@@ -1,0 +1,132 @@
+//! Dispatcher hot-path microbenchmarks: the O(1) claim.
+//!
+//! Sec. 6's "O(1) dispatch" rests on the slice table: a lookup indexes a
+//! fixed-width slice and inspects at most two allocation records, no matter
+//! how many allocations the table holds. This benchmark measures:
+//!
+//! * `slice_lookup` — `Table::lookup` across table sizes (should be flat);
+//! * `linear_scan` — the naive alternative (binary search over
+//!   allocations; grows with size) for contrast;
+//! * `level2_pick` — the second-level scheduler's decision;
+//! * `binary_encode`/`binary_decode` — the hypercall payload round trip;
+//! * `full_decide` — the complete dispatcher decision including ownership
+//!   checks.
+//!
+//! Run with: `cargo bench -p tableau-bench --bench dispatch`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtsched::time::Nanos;
+use tableau_core::dispatch::Dispatcher;
+use tableau_core::level2::Level2;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::table::Table;
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuId, VcpuSpec, VmSpec};
+
+/// Plans a table whose per-core allocation count scales with `vms_per_core`
+/// (tighter latency goals make more, shorter slots).
+fn table_with_density(cores: usize, vms_per_core: usize, goal: Nanos) -> Table {
+    let mut host = HostConfig::new(cores);
+    let u = Utilization::from_ppm(1_000_000 / vms_per_core as u32 - 1_000);
+    let spec = VcpuSpec::new(u, goal);
+    for i in 0..cores * vms_per_core {
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    plan(&host, &PlannerOptions::default()).unwrap().table
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_lookup");
+    for goal_ms in [1u64, 20, 100] {
+        let table = table_with_density(4, 4, Nanos::from_millis(goal_ms));
+        let allocs = table.cpu(0).allocations().len();
+        let mut now = Nanos::ZERO;
+        group.bench_with_input(
+            BenchmarkId::new("slice_lookup", format!("{allocs}allocs")),
+            &table,
+            |b, table| {
+                b.iter(|| {
+                    now += Nanos::from_micros(137);
+                    std::hint::black_box(table.lookup(0, now))
+                })
+            },
+        );
+        // Naive contrast: binary search over the allocation array.
+        let mut now2 = Nanos::ZERO;
+        group.bench_with_input(
+            BenchmarkId::new("binary_search", format!("{allocs}allocs")),
+            &table,
+            |b, table| {
+                let list = table.cpu(0).allocations();
+                b.iter(|| {
+                    now2 += Nanos::from_micros(137);
+                    let t = now2 % table.len();
+                    let idx = list.partition_point(|a| a.end <= t);
+                    std::hint::black_box(list.get(idx).filter(|a| a.contains(t)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_level2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_level2");
+    for n in [4usize, 16, 64] {
+        let eligible: Vec<VcpuId> = (0..n as u32).map(VcpuId).collect();
+        let mut l2 = Level2::with_default_epoch(&eligible);
+        group.bench_with_input(BenchmarkId::new("pick", n), &n, |b, _| {
+            b.iter(|| {
+                let pick = l2.pick(|_| true);
+                if let Some(v) = pick {
+                    l2.charge(v, Nanos::from_micros(100));
+                }
+                std::hint::black_box(pick)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_binary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_binary");
+    let table = table_with_density(12, 4, Nanos::from_millis(20));
+    group.bench_function("encode", |b| {
+        b.iter(|| std::hint::black_box(tableau_core::binary::encode(&table)))
+    });
+    let bytes = tableau_core::binary::encode(&table);
+    group.bench_function("decode", |b| {
+        b.iter(|| std::hint::black_box(tableau_core::binary::decode(bytes.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_full_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_full");
+    let table = table_with_density(12, 4, Nanos::from_millis(20));
+    let n = 48usize;
+    let mut d = Dispatcher::new(table, vec![false; n], Nanos::from_millis(10));
+    let mut now = Nanos::ZERO;
+    let mut core = 0usize;
+    group.bench_function("decide", |b| {
+        b.iter(|| {
+            now += Nanos::from_micros(97);
+            core = (core + 1) % 12;
+            let dec = d.decide(core, now, |_| true);
+            if let Some(v) = dec.vcpu() {
+                d.on_descheduled(v, core);
+            }
+            std::hint::black_box(dec)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_level2,
+    bench_binary,
+    bench_full_decide
+);
+criterion_main!(benches);

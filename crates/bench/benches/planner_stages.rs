@@ -1,0 +1,182 @@
+//! Planner-stage ablation benchmarks (the DESIGN.md design choices).
+//!
+//! The planner uses a progression of three techniques (Sec. 5). This bench
+//! quantifies what each stage costs, justifying the "cheap first" ordering:
+//!
+//! * `partitioned` — WFD + per-core EDF simulation on an easily
+//!   partitionable set (the common cloud case);
+//! * `semi_partitioned` — the same set made unpartitionable, forcing C=D
+//!   splitting with its binary-searched demand tests;
+//! * `clustered` — DP-Fair generation forced via `GenOptions::first_stage`
+//!   (what the planner would pay if it skipped straight to the optimal
+//!   scheduler — many more preemptions and slices);
+//! * `analysis` — the raw processor-demand schedulability test;
+//! * `verify` — the post-generation verification pass;
+//! * `coalesce` — the sliver-merging post-processing step.
+//!
+//! Run with: `cargo bench -p tableau-bench --bench planner_stages`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtsched::analysis::edf_schedulable;
+use rtsched::generator::{generate_schedule, GenOptions, Stage};
+use rtsched::task::{PeriodicTask, TaskId};
+use rtsched::time::Nanos;
+use rtsched::verify::verify_schedule;
+use tableau_core::postprocess::coalesce;
+use tableau_core::table::Allocation;
+use tableau_core::vcpu::VcpuId;
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+/// 4-per-core partitionable set: 32 tasks of 25% on 8 cores.
+fn easy_set() -> Vec<PeriodicTask> {
+    (0..32)
+        .map(|i| PeriodicTask::implicit(TaskId(i), ms(5), ms(20)))
+        .collect()
+}
+
+/// Unpartitionable set: 13 tasks of 60% on 8 cores (7.8 total).
+fn split_set() -> Vec<PeriodicTask> {
+    (0..13)
+        .map(|i| PeriodicTask::implicit(TaskId(i), ms(12), ms(20)))
+        .collect()
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_stages");
+    group.sample_size(20);
+    let opts = GenOptions::default();
+
+    group.bench_function("partitioned", |b| {
+        let tasks = easy_set();
+        b.iter(|| {
+            let g = generate_schedule(&tasks, 8, ms(20), &opts).unwrap();
+            assert_eq!(g.stage, Stage::Partitioned);
+            std::hint::black_box(g)
+        })
+    });
+
+    group.bench_function("semi_partitioned", |b| {
+        let tasks = split_set();
+        b.iter(|| {
+            let g = generate_schedule(&tasks, 8, ms(20), &opts).unwrap();
+            assert_eq!(g.stage, Stage::SemiPartitioned);
+            std::hint::black_box(g)
+        })
+    });
+
+    group.bench_function("clustered", |b| {
+        let tasks = split_set();
+        let forced = GenOptions {
+            first_stage: Stage::Clustered,
+            ..GenOptions::default()
+        };
+        b.iter(|| std::hint::black_box(generate_schedule(&tasks, 8, ms(20), &forced).unwrap()))
+    });
+
+    group.bench_function("analysis_qpa", |b| {
+        let tasks = split_set();
+        b.iter(|| std::hint::black_box(edf_schedulable(&tasks[..6], ms(20))))
+    });
+
+    group.bench_function("analysis_enumerative", |b| {
+        use rtsched::analysis::edf_schedulable_enumerative;
+        let tasks = split_set();
+        b.iter(|| std::hint::black_box(edf_schedulable_enumerative(&tasks[..6], ms(20))))
+    });
+
+    // QPA's advantage grows with the deadline density: a 1 ms-goal style
+    // set over the full hyperperiod has hundreds of check points.
+    group.bench_function("analysis_qpa_dense", |b| {
+        let tasks: Vec<PeriodicTask> = (0..4)
+            .map(|i| {
+                PeriodicTask::implicit(TaskId(i), Nanos::from_micros(120), Nanos::from_micros(600))
+            })
+            .collect();
+        b.iter(|| std::hint::black_box(edf_schedulable(&tasks, Nanos::from_millis(102))))
+    });
+
+    group.bench_function("analysis_enumerative_dense", |b| {
+        use rtsched::analysis::edf_schedulable_enumerative;
+        let tasks: Vec<PeriodicTask> = (0..4)
+            .map(|i| {
+                PeriodicTask::implicit(TaskId(i), Nanos::from_micros(120), Nanos::from_micros(600))
+            })
+            .collect();
+        b.iter(|| {
+            std::hint::black_box(edf_schedulable_enumerative(&tasks, Nanos::from_millis(102)))
+        })
+    });
+
+    group.bench_function("verify", |b| {
+        let tasks = easy_set();
+        let g = generate_schedule(&tasks, 8, ms(20), &opts).unwrap();
+        b.iter(|| {
+            let v = verify_schedule(&tasks, &g.schedule);
+            assert!(v.is_empty());
+            std::hint::black_box(v)
+        })
+    });
+
+    group.bench_function("coalesce", |b| {
+        // A worst-ish case: alternating slivers and real allocations.
+        let make = || -> Vec<Allocation> {
+            (0..200u64)
+                .map(|i| Allocation {
+                    start: Nanos(i * 100_000),
+                    end: Nanos(i * 100_000 + if i % 2 == 0 { 90_000 } else { 10_000 }),
+                    vcpu: VcpuId((i % 8) as u32),
+                })
+                .collect()
+        };
+        b.iter(|| {
+            let mut allocs = make();
+            std::hint::black_box(coalesce(&mut allocs, Nanos(20_000)))
+        })
+    });
+
+    group.finish();
+}
+
+/// Incremental vs. full replanning: the Sec. 7.1 optimization, quantified.
+fn bench_incremental(c: &mut Criterion) {
+    use tableau_core::incremental::plan_incremental;
+    use tableau_core::planner::{plan, PlannerOptions};
+    use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+    let host_with = |names: &[String]| {
+        let mut h = HostConfig::new(16);
+        let spec = VcpuSpec::capped(Utilization::from_percent(25), ms(20));
+        for n in names {
+            h.add_vm(VmSpec::uniform(n.clone(), 1, spec));
+        }
+        h
+    };
+    let names: Vec<String> = (0..60).map(|i| format!("vm{i}")).collect();
+    let opts = PlannerOptions::default();
+    let prev_host = host_with(&names);
+    let prev = plan(&prev_host, &opts).unwrap();
+    let mut grown = names.clone();
+    grown.push("newcomer".to_owned());
+    let host = host_with(&grown);
+
+    let mut group = c.benchmark_group("planner_incremental");
+    group.sample_size(20);
+    group.bench_function("full_replan", |b| {
+        b.iter(|| std::hint::black_box(plan(&host, &opts).unwrap()))
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let (p, report) = plan_incremental(&prev_host, &prev, &host, &opts).unwrap();
+            assert!(!report.full_replan);
+            std::hint::black_box(p)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_incremental);
+criterion_main!(benches);

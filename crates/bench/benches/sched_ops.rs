@@ -1,0 +1,108 @@
+//! Tables 1 & 2 as Criterion microbenchmarks: the *real* cost of this
+//! repository's scheduler implementations.
+//!
+//! The simulator charges modeled costs (calibrated to the paper, see
+//! `schedulers::costs`); this benchmark instead measures the actual
+//! wall-clock cost of each implementation's `schedule`, `on_wakeup`, and
+//! `on_descheduled` paths on this machine, at the paper's two scales
+//! (48 vCPUs / 12 guest cores and 176 vCPUs / 44 guest cores). The claim
+//! being checked is the paper's *ordering*: Tableau's table lookup is the
+//! cheapest decision path because it does no queue scans, no credit
+//! arithmetic, and takes no locks.
+//!
+//! Run with: `cargo bench -p tableau-bench --bench sched_ops`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use experiments::config::{guest_machine_16core, guest_machine_48core};
+use rtsched::time::Nanos;
+use schedulers::{Credit, Credit2, Rtds, Tableau};
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+use xensim::sched::{VcpuId, VcpuView, VmScheduler};
+use xensim::Machine;
+
+/// Builds a scheduler with the paper's density (4 vCPUs per core).
+fn populate(sched: &mut dyn VmScheduler, machine: &Machine) -> usize {
+    let n = machine.n_cores() * 4;
+    for i in 0..n {
+        sched.register_vcpu(VcpuId(i as u32), i % machine.n_cores());
+    }
+    n
+}
+
+fn tableau_for(machine: &Machine) -> Tableau {
+    let mut host = HostConfig::new(machine.n_cores());
+    let spec = VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20));
+    for i in 0..machine.n_cores() * 4 {
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    Tableau::from_plan(&plan(&host, &PlannerOptions::default()).unwrap())
+}
+
+fn bench_ops(c: &mut Criterion) {
+    for (label, machine) in [
+        ("16core", guest_machine_16core()),
+        ("48core", guest_machine_48core()),
+    ] {
+        let mut schedulers: Vec<(&str, Box<dyn VmScheduler>)> = vec![
+            ("credit", Box::new(Credit::new(machine))),
+            ("credit2", Box::new(Credit2::new(machine))),
+            ("rtds", Box::new(Rtds::new(machine))),
+            ("tableau", Box::new(tableau_for(&machine))),
+        ];
+        let mut n_vcpus = 0;
+        for (_, s) in &mut schedulers {
+            if s.name() == "tableau" {
+                n_vcpus = machine.n_cores() * 4;
+            } else {
+                n_vcpus = populate(s.as_mut(), &machine);
+            }
+        }
+        let runnable = vec![true; n_vcpus];
+
+        let mut group = c.benchmark_group(format!("tab_{label}"));
+        group.sample_size(20);
+        for (name, mut sched) in schedulers {
+            // Schedule op: decisions across cores with advancing time.
+            let mut now = Nanos::ZERO;
+            let mut core = 0usize;
+            group.bench_function(BenchmarkId::new("schedule", name), |b| {
+                b.iter(|| {
+                    now += Nanos::from_micros(10);
+                    core = (core + 1) % machine.n_cores();
+                    let view = VcpuView { runnable: &runnable };
+                    std::hint::black_box(sched.schedule(core, now, view))
+                })
+            });
+            // Wakeup op.
+            let mut v = 0u32;
+            group.bench_function(BenchmarkId::new("wakeup", name), |b| {
+                b.iter(|| {
+                    now += Nanos::from_micros(10);
+                    v = (v + 1) % n_vcpus as u32;
+                    let view = VcpuView { runnable: &runnable };
+                    std::hint::black_box(sched.on_wakeup(VcpuId(v), now, view))
+                })
+            });
+            // De-schedule (the paper's "Migrate" row).
+            group.bench_function(BenchmarkId::new("migrate", name), |b| {
+                b.iter(|| {
+                    now += Nanos::from_micros(10);
+                    v = (v + 1) % n_vcpus as u32;
+                    core = (core + 1) % machine.n_cores();
+                    std::hint::black_box(sched.on_descheduled(
+                        VcpuId(v),
+                        core,
+                        Nanos::from_micros(100),
+                        now,
+                    ))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 3 as a Criterion benchmark: planner table-generation time.
+//!
+//! The paper measures table-generation time on a 44-guest-core machine for
+//! up to 176 VMs at four latency goals (1/30/60/100 ms); its Python planner
+//! needs up to ~2 s. This benchmark regenerates the same sweep against this
+//! repository's Rust planner: the expected *shape* is identical — time
+//! grows with VM count and the 1 ms goal dominates — at absolute times a
+//! couple of orders of magnitude lower.
+//!
+//! Run with: `cargo bench -p tableau-bench --bench table_generation`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtsched::time::Nanos;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+fn host(n_vms: usize, goal: Nanos) -> HostConfig {
+    let mut h = HostConfig::new(44);
+    let spec = VcpuSpec::capped(Utilization::from_percent(25), goal);
+    for i in 0..n_vms {
+        h.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    h
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_table_generation");
+    group.sample_size(10);
+    let opts = PlannerOptions::default();
+    for goal_ms in [1u64, 30, 60, 100] {
+        for n_vms in [44usize, 88, 176] {
+            let h = host(n_vms, Nanos::from_millis(goal_ms));
+            group.bench_with_input(
+                BenchmarkId::new(format!("goal_{goal_ms}ms"), n_vms),
+                &h,
+                |b, h| b.iter(|| plan(h, &opts).expect("plans")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! Plan caching for recurring configurations (Sec. 7.1).
+//!
+//! "It is trivially possible to centrally cache tables for common
+//! configurations that are frequently reused" — cloud providers sell a
+//! handful of regular VM sizes, so hosts across a fleet keep asking the
+//! planner for the same table. [`PlanCache`] memoizes plans keyed by the
+//! *semantic* configuration: core count plus the positional list of
+//! `(utilization, latency, capped)` specs. VM names are irrelevant (vCPU
+//! ids are positional), so renaming a fleet hits the cache.
+//!
+//! Entries are shared via [`Arc`]; eviction is least-recently-used with a
+//! fixed capacity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::planner::{plan, Plan, PlanError, PlannerOptions};
+use crate::vcpu::HostConfig;
+
+/// Semantic cache key of a host configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    n_cores: usize,
+    /// Positional `(ppm, latency_ns, capped)` triples — positional because
+    /// vCPU ids (and hence table contents) are positional.
+    specs: Vec<(u32, u64, bool)>,
+}
+
+impl Key {
+    fn of(host: &HostConfig) -> Key {
+        Key {
+            n_cores: host.n_cores,
+            specs: host
+                .vcpus()
+                .into_iter()
+                .map(|(_, s)| (s.utilization.ppm(), s.latency.as_nanos(), s.capped))
+                .collect(),
+        }
+    }
+}
+
+/// An LRU cache of planner outputs.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: HashMap<Key, (Arc<Plan>, u64)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding up to `capacity` plans.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the cached plan for `host`, planning (and caching) on miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`plan`]'s admission errors; failures are not cached.
+    pub fn get_or_plan(
+        &mut self,
+        host: &HostConfig,
+        opts: &PlannerOptions,
+    ) -> Result<Arc<Plan>, PlanError> {
+        self.tick += 1;
+        let key = Key::of(host);
+        if let Some((cached, used)) = self.entries.get_mut(&key) {
+            *used = self.tick;
+            self.hits += 1;
+            return Ok(cached.clone());
+        }
+        self.misses += 1;
+        let fresh = Arc::new(plan(host, opts)?);
+        if self.entries.len() >= self.capacity {
+            // Evict the least-recently-used entry.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (fresh.clone(), self.tick));
+        Ok(fresh)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached plan.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcpu::{Utilization, VcpuSpec, VmSpec};
+    use rtsched::time::Nanos;
+
+    fn host(n: usize, name_prefix: &str) -> HostConfig {
+        let mut h = HostConfig::new(2);
+        let spec = VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20));
+        for i in 0..n {
+            h.add_vm(VmSpec::uniform(format!("{name_prefix}{i}"), 1, spec));
+        }
+        h
+    }
+
+    #[test]
+    fn repeat_configurations_hit() {
+        let mut cache = PlanCache::new(4);
+        let opts = PlannerOptions::default();
+        let a = cache.get_or_plan(&host(8, "a"), &opts).unwrap();
+        let b = cache.get_or_plan(&host(8, "a"), &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn names_do_not_matter_specs_do() {
+        let mut cache = PlanCache::new(4);
+        let opts = PlannerOptions::default();
+        let _ = cache.get_or_plan(&host(8, "prod"), &opts).unwrap();
+        // Same shape, different names: hit.
+        let _ = cache.get_or_plan(&host(8, "canary"), &opts).unwrap();
+        assert_eq!(cache.hits(), 1);
+        // Different VM count: miss.
+        let _ = cache.get_or_plan(&host(6, "prod"), &opts).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_hot_entry() {
+        let mut cache = PlanCache::new(2);
+        let opts = PlannerOptions::default();
+        let _ = cache.get_or_plan(&host(2, "a"), &opts).unwrap(); // A
+        let _ = cache.get_or_plan(&host(4, "b"), &opts).unwrap(); // B
+        let _ = cache.get_or_plan(&host(2, "a"), &opts).unwrap(); // touch A
+        let _ = cache.get_or_plan(&host(6, "c"), &opts).unwrap(); // evicts B
+        assert_eq!(cache.len(), 2);
+        let _ = cache.get_or_plan(&host(2, "a"), &opts).unwrap();
+        assert_eq!(cache.hits(), 2, "A was evicted instead of B");
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let mut cache = PlanCache::new(2);
+        let opts = PlannerOptions::default();
+        let over = host(9, "x"); // 9 * 25% on 2 cores
+        assert!(cache.get_or_plan(&over, &opts).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn positional_order_is_part_of_the_key() {
+        // Same multiset of specs, different order: the tables differ (vCPU
+        // ids are positional), so these must be distinct entries.
+        let mut h1 = HostConfig::new(2);
+        h1.add_vm(VmSpec::uniform(
+            "a",
+            1,
+            VcpuSpec::capped(Utilization::from_percent(50), Nanos::from_millis(20)),
+        ));
+        h1.add_vm(VmSpec::uniform(
+            "b",
+            1,
+            VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20)),
+        ));
+        let mut h2 = HostConfig::new(2);
+        h2.add_vm(VmSpec::uniform(
+            "a",
+            1,
+            VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20)),
+        ));
+        h2.add_vm(VmSpec::uniform(
+            "b",
+            1,
+            VcpuSpec::capped(Utilization::from_percent(50), Nanos::from_millis(20)),
+        ));
+        let mut cache = PlanCache::new(4);
+        let opts = PlannerOptions::default();
+        let _ = cache.get_or_plan(&h1, &opts).unwrap();
+        let _ = cache.get_or_plan(&h2, &opts).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+}

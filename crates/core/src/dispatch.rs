@@ -1,0 +1,449 @@
+//! The Tableau dispatcher: the hypervisor-side hot path (Secs. 4 and 6).
+//!
+//! A scheduling decision under Tableau is little more than a table lookup:
+//!
+//! 1. find the slot covering "now" in the current table (O(1) via the slice
+//!    table);
+//! 2. if the slot is reserved and its vCPU is runnable (and not still
+//!    running on another core — see below), dispatch it until the slot ends;
+//! 3. otherwise invoke the second-level scheduler for a core-local,
+//!    uncapped, runnable vCPU;
+//! 4. otherwise idle until the slot expires.
+//!
+//! **Cross-core migrations.** A vCPU split across cores may have one
+//! allocation end on core A a few cycles before (or after — timer skew) the
+//! next begins on core B. Core B must not run the vCPU until A has fully
+//! de-scheduled it, or the vCPU's stack would be corrupted. Tableau tracks a
+//! per-vCPU *owner* core; a core that finds the designated vCPU still owned
+//! elsewhere records an IPI request and falls through to the second level.
+//! When the owner de-schedules the vCPU, the pending request is turned into
+//! an IPI to the waiting core. In the real implementation these are atomic
+//! fields in the vCPU control block (no locks, no globally shared cache
+//! lines); this crate models the protocol for a single-threaded simulator,
+//! so plain fields suffice — the *logic* is what the reproduction preserves.
+
+use rtsched::time::Nanos;
+
+use crate::level2::Level2;
+use crate::switch::TableManager;
+use crate::table::{Slot, Table};
+use crate::vcpu::VcpuId;
+
+/// A scheduling decision for one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Run `vcpu` until the absolute time `until` (then re-invoke).
+    Run {
+        /// The vCPU to dispatch.
+        vcpu: VcpuId,
+        /// Absolute expiry of the decision.
+        until: Nanos,
+        /// `true` if the pick came from the second-level scheduler.
+        level2: bool,
+    },
+    /// Nothing to run; re-invoke at `until` (or earlier on a wake-up IPI).
+    Idle {
+        /// Absolute expiry of the decision.
+        until: Nanos,
+    },
+}
+
+impl Decision {
+    /// Absolute time at which this decision expires.
+    pub fn until(&self) -> Nanos {
+        match *self {
+            Decision::Run { until, .. } | Decision::Idle { until } => until,
+        }
+    }
+
+    /// The vCPU to run, if any.
+    pub fn vcpu(&self) -> Option<VcpuId> {
+        match *self {
+            Decision::Run { vcpu, .. } => Some(vcpu),
+            Decision::Idle { .. } => None,
+        }
+    }
+}
+
+/// Tableau's per-host dispatcher state.
+///
+/// One instance serves all cores; every method takes the acting core as a
+/// parameter. State is partitioned per core (second level) or per vCPU
+/// (ownership), mirroring the core-local design of the Xen implementation.
+#[derive(Debug)]
+pub struct Dispatcher {
+    tables: TableManager,
+    /// Per-core second-level scheduler.
+    level2: Vec<Level2>,
+    /// Epoch each core's second level was built against (refreshed lazily
+    /// when the core adopts a new table).
+    level2_epoch: Vec<usize>,
+    /// Per-vCPU capped flag (capped vCPUs never run at the second level).
+    capped: Vec<bool>,
+    /// Which core currently has each vCPU context-loaded, if any.
+    owner: Vec<Option<usize>>,
+    /// Pending "tell me when this vCPU is de-scheduled" IPI requests.
+    ipi_request: Vec<Option<usize>>,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher from an initial table.
+    ///
+    /// `capped` is indexed by vCPU id; vCPUs not covered default to capped
+    /// (the conservative choice: they never consume spare cycles).
+    pub fn new(table: Table, capped: Vec<bool>, l2_epoch_len: Nanos) -> Dispatcher {
+        let n_cores = table.n_cores();
+        let mut d = Dispatcher {
+            tables: TableManager::new(table),
+            level2: Vec::with_capacity(n_cores),
+            level2_epoch: vec![0; n_cores],
+            capped,
+            owner: Vec::new(),
+            ipi_request: Vec::new(),
+        };
+        for core in 0..n_cores {
+            let table = d.tables.table_for(core, Nanos::ZERO);
+            let eligible = d.level2_eligible(&table, core);
+            d.level2.push(Level2::new(l2_epoch_len, &eligible));
+        }
+        d
+    }
+
+    fn level2_eligible(&self, table: &Table, core: usize) -> Vec<VcpuId> {
+        table
+            .vcpus_homed_on(core)
+            .into_iter()
+            .filter(|v| !self.is_capped(*v))
+            .collect()
+    }
+
+    /// Whether `vcpu` is capped (defaults to `true` when unknown).
+    pub fn is_capped(&self, vcpu: VcpuId) -> bool {
+        self.capped.get(vcpu.0 as usize).copied().unwrap_or(true)
+    }
+
+    /// Number of cores the dispatcher serves.
+    pub fn n_cores(&self) -> usize {
+        self.level2.len()
+    }
+
+    /// The core currently owning (running) `vcpu`, if any.
+    pub fn owner_of(&self, vcpu: VcpuId) -> Option<usize> {
+        self.owner.get(vcpu.0 as usize).copied().flatten()
+    }
+
+    fn ensure_vcpu_slots(&mut self, vcpu: VcpuId) {
+        let need = vcpu.0 as usize + 1;
+        if self.owner.len() < need {
+            self.owner.resize(need, None);
+            self.ipi_request.resize(need, None);
+        }
+    }
+
+    /// Makes a scheduling decision for `core` at absolute time `now`.
+    ///
+    /// `is_runnable` reports guest state (runnable vs. blocked); the
+    /// dispatcher handles ownership itself. The returned decision holds
+    /// until `until`, a wake-up IPI, or the guest blocking — whichever
+    /// comes first; the caller re-invokes on each of those events.
+    pub fn decide(
+        &mut self,
+        core: usize,
+        now: Nanos,
+        mut is_runnable: impl FnMut(VcpuId) -> bool,
+    ) -> Decision {
+        let table = self.tables.table_for(core, now);
+
+        // Refresh second-level eligibility if this core adopted a new table.
+        let epoch = self.tables.core_epoch(core);
+        if epoch != self.level2_epoch[core] {
+            let eligible = self.level2_eligible(&table, core);
+            self.level2[core].set_eligible(&eligible);
+            self.level2_epoch[core] = epoch;
+        }
+
+        let slot = table.lookup(core, now);
+        let until = now + (slot.until() - now % table.len());
+
+        // First level: the reserved vCPU, if it can actually run here.
+        if let Slot::Reserved { vcpu, .. } = slot {
+            self.ensure_vcpu_slots(vcpu);
+            if is_runnable(vcpu) {
+                match self.owner[vcpu.0 as usize] {
+                    Some(other) if other != core => {
+                        // Still context-loaded elsewhere: request an IPI on
+                        // de-schedule and fall through to the second level.
+                        self.ipi_request[vcpu.0 as usize] = Some(core);
+                    }
+                    _ => {
+                        self.owner[vcpu.0 as usize] = Some(core);
+                        return Decision::Run {
+                            vcpu,
+                            until,
+                            level2: false,
+                        };
+                    }
+                }
+            }
+        }
+
+        // Second level: core-local, uncapped, runnable, not owned elsewhere.
+        let owner = &self.owner;
+        let pick = self.level2[core].pick(|v| {
+            is_runnable(v)
+                && owner
+                    .get(v.0 as usize)
+                    .copied()
+                    .flatten()
+                    .map(|o| o == core)
+                    .unwrap_or(true)
+        });
+        if let Some(vcpu) = pick {
+            self.ensure_vcpu_slots(vcpu);
+            self.owner[vcpu.0 as usize] = Some(core);
+            return Decision::Run {
+                vcpu,
+                until,
+                level2: true,
+            };
+        }
+
+        Decision::Idle { until }
+    }
+
+    /// Records that `core` de-scheduled `vcpu` (context fully saved).
+    ///
+    /// Returns the core to IPI, if one was waiting for this vCPU (the
+    /// cross-core migration hand-off of Sec. 6).
+    pub fn on_descheduled(&mut self, vcpu: VcpuId, core: usize) -> Option<usize> {
+        self.ensure_vcpu_slots(vcpu);
+        if self.owner[vcpu.0 as usize] == Some(core) {
+            self.owner[vcpu.0 as usize] = None;
+        }
+        self.ipi_request[vcpu.0 as usize].take()
+    }
+
+    /// Charges second-level execution time (the caller knows how long the
+    /// level-2 pick actually ran).
+    pub fn charge_level2(&mut self, core: usize, vcpu: VcpuId, amount: Nanos) {
+        self.level2[core].charge(vcpu, amount);
+    }
+
+    /// The core to IPI when `vcpu` wakes at `now` (Sec. 6, "Efficient
+    /// wake-ups"): the core of its current-or-next allocation; capped vCPUs
+    /// with no current allocation can safely be left for their next slot.
+    ///
+    /// Returns `None` when no IPI is needed.
+    pub fn wakeup_target(&mut self, vcpu: VcpuId, now: Nanos) -> Option<usize> {
+        // Route by core 0's table view; wake-up routing tolerates a stale
+        // epoch (worst case the IPI lands on a core that no longer serves
+        // the vCPU, which re-routes at its next decision).
+        let table = self.tables.table_for(0, now);
+        let target = table.wakeup_target(vcpu, now)?;
+        if self.is_capped(vcpu) {
+            // Only worth interrupting if the vCPU's slot is active now.
+            let t = now % table.len();
+            let active = table
+                .placement(vcpu)?
+                .allocations
+                .iter()
+                .any(|&(c, s, e)| c == target && s <= t && t < e);
+            return active.then_some(target);
+        }
+        Some(target)
+    }
+
+    /// Installs a table pushed by the planner; returns the absolute time at
+    /// which every core will have switched (see [`TableManager::install`]).
+    pub fn install_table(&mut self, table: Table, now: Nanos) -> Nanos {
+        self.tables.install(table, now)
+    }
+
+    /// Replaces the capped flags (on VM reconfiguration).
+    pub fn set_capped(&mut self, capped: Vec<bool>) {
+        self.capped = capped;
+        // Eligibility is refreshed lazily per core on the next decision.
+        for e in &mut self.level2_epoch {
+            *e = usize::MAX;
+        }
+    }
+
+    /// Runs table garbage collection; returns the number of tables freed.
+    pub fn collect_garbage(&mut self) -> usize {
+        self.tables.collect_garbage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Allocation;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn alloc(s: u64, e: u64, v: u32) -> Allocation {
+        Allocation {
+            start: ms(s),
+            end: ms(e),
+            vcpu: VcpuId(v),
+        }
+    }
+
+    /// Two cores; vCPU 0 on core 0 [0,3), vCPU 1 on core 0 [5,8),
+    /// vCPU 2 on core 1 [0,10). Table length 10 ms.
+    fn two_core_dispatcher(capped: Vec<bool>) -> Dispatcher {
+        let table = Table::new(
+            ms(10),
+            vec![
+                vec![alloc(0, 3, 0), alloc(5, 8, 1)],
+                vec![alloc(0, 10, 2)],
+            ],
+        )
+        .unwrap();
+        Dispatcher::new(table, capped, ms(10))
+    }
+
+    #[test]
+    fn first_level_dispatch() {
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        let dec = d.decide(0, ms(1), |_| true);
+        assert_eq!(
+            dec,
+            Decision::Run {
+                vcpu: VcpuId(0),
+                until: ms(3),
+                level2: false
+            }
+        );
+    }
+
+    #[test]
+    fn blocked_reserved_vcpu_falls_to_level2() {
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        // vCPU 0 blocked; vCPU 1 (homed on core 0, uncapped) takes over.
+        let dec = d.decide(0, ms(1), |v| v != VcpuId(0));
+        assert_eq!(dec.vcpu(), Some(VcpuId(1)));
+        assert!(matches!(dec, Decision::Run { level2: true, .. }));
+    }
+
+    #[test]
+    fn idle_gap_used_by_level2() {
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        // [3, 5) is idle in the table; level 2 picks a core-local vCPU.
+        let dec = d.decide(0, ms(3), |_| true);
+        assert!(matches!(dec, Decision::Run { level2: true, .. }));
+        assert_eq!(dec.until(), ms(5));
+    }
+
+    #[test]
+    fn capped_vcpus_never_run_level2() {
+        let mut d = two_core_dispatcher(vec![true; 3]);
+        let dec = d.decide(0, ms(3), |_| true);
+        assert_eq!(dec, Decision::Idle { until: ms(5) });
+    }
+
+    #[test]
+    fn level2_is_core_local() {
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        // Core 1's reserved vCPU 2 blocked; vCPUs 0/1 are homed on core 0,
+        // so core 1 idles.
+        let dec = d.decide(1, ms(1), |v| v != VcpuId(2));
+        assert_eq!(dec, Decision::Idle { until: ms(10) });
+    }
+
+    #[test]
+    fn migration_handoff_protocol() {
+        // vCPU 0 split: core 0 [0,3), core 1 [3,6).
+        let table = Table::new(
+            ms(10),
+            vec![vec![alloc(0, 3, 0)], vec![alloc(3, 6, 0)]],
+        )
+        .unwrap();
+        let mut d = Dispatcher::new(table, vec![true], ms(10));
+        // Core 0 runs it.
+        let dec = d.decide(0, ms(0), |_| true);
+        assert_eq!(dec.vcpu(), Some(VcpuId(0)));
+        // Core 1's slot begins but core 0 has not de-scheduled yet (timer
+        // skew): core 1 must NOT run the vCPU.
+        let dec = d.decide(1, ms(3), |_| true);
+        assert_eq!(dec.vcpu(), None);
+        // When core 0 de-schedules, the hand-off IPI targets core 1.
+        assert_eq!(d.on_descheduled(VcpuId(0), 0), Some(1));
+        // Now core 1 can claim it.
+        let dec = d.decide(1, ms(3), |_| true);
+        assert_eq!(dec.vcpu(), Some(VcpuId(0)));
+        assert_eq!(d.owner_of(VcpuId(0)), Some(1));
+    }
+
+    #[test]
+    fn wakeup_routing() {
+        let mut d = two_core_dispatcher(vec![false, false, false]);
+        // vCPU 2 has a current allocation on core 1.
+        assert_eq!(d.wakeup_target(VcpuId(2), ms(4)), Some(1));
+        // vCPU 1's next allocation is on core 0.
+        assert_eq!(d.wakeup_target(VcpuId(1), ms(1)), Some(0));
+    }
+
+    #[test]
+    fn capped_wakeup_outside_slot_needs_no_ipi() {
+        let mut d = two_core_dispatcher(vec![true, true, true]);
+        // vCPU 1 capped, current time outside its [5, 8) slot.
+        assert_eq!(d.wakeup_target(VcpuId(1), ms(1)), None);
+        // Inside its slot the IPI goes to core 0.
+        assert_eq!(d.wakeup_target(VcpuId(1), ms(6)), Some(0));
+    }
+
+    #[test]
+    fn table_switch_refreshes_level2() {
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        // New table moves vCPU 1 to core 1.
+        let new = Table::new(
+            ms(10),
+            vec![
+                vec![alloc(0, 3, 0)],
+                vec![alloc(0, 5, 2), alloc(5, 8, 1)],
+            ],
+        )
+        .unwrap();
+        let switch_at = d.install_table(new, ms(1));
+        // After the switch, core 1's level 2 includes vCPU 1: during core
+        // 1's idle tail [8, 10) it can pick vCPU 1 or 2.
+        let dec = d.decide(1, switch_at + ms(8), |v| v == VcpuId(1));
+        assert_eq!(dec.vcpu(), Some(VcpuId(1)));
+        // And core 0 no longer second-levels vCPU 1.
+        let dec = d.decide(0, switch_at + ms(4), |v| v == VcpuId(1));
+        assert_eq!(dec.vcpu(), None);
+    }
+
+    #[test]
+    fn level2_budgets_rotate_fairly() {
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        // During the idle gap, repeatedly pick and charge: both uncapped
+        // core-0 vCPUs get turns.
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            if let Decision::Run { vcpu, .. } = d.decide(0, ms(3), |_| true) {
+                d.charge_level2(0, vcpu, ms(2));
+                d.on_descheduled(vcpu, 0);
+                seen.push(vcpu);
+            }
+        }
+        assert!(seen.contains(&VcpuId(0)));
+        assert!(seen.contains(&VcpuId(1)));
+    }
+
+    #[test]
+    fn decision_accessors() {
+        let r = Decision::Run {
+            vcpu: VcpuId(1),
+            until: ms(5),
+            level2: false,
+        };
+        assert_eq!(r.until(), ms(5));
+        assert_eq!(r.vcpu(), Some(VcpuId(1)));
+        let i = Decision::Idle { until: ms(2) };
+        assert_eq!(i.vcpu(), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! The second-level, core-local fair-share scheduler (Sec. 4).
+//!
+//! A purely table-driven scheduler is not work-conserving: when the
+//! table-designated vCPU is blocked, or an interval is idle, the core would
+//! sit unused. Tableau fills these holes with a simple epoch-based
+//! round-robin fair-share scheduler: the time within each (configurable)
+//! epoch is divided evenly among the runnable vCPUs into per-vCPU budgets,
+//! and the scheduler picks the ready vCPU with the highest remaining budget.
+//! Budgets are replenished when every ready vCPU has exhausted its budget.
+//!
+//! Only *uncapped* vCPUs are eligible; capped vCPUs must never exceed their
+//! table reservation. Each vCPU participates on its home core only, so the
+//! structure is strictly core-local (no cross-core synchronization).
+
+use rtsched::time::Nanos;
+
+use crate::vcpu::VcpuId;
+
+/// Default second-level epoch length (10 ms).
+pub const DEFAULT_EPOCH: Nanos = Nanos(10_000_000);
+
+/// Per-core second-level scheduler state.
+#[derive(Debug, Clone)]
+pub struct Level2 {
+    epoch: Nanos,
+    /// `(vcpu, remaining budget)` for every eligible vCPU on this core.
+    budgets: Vec<(VcpuId, Nanos)>,
+}
+
+impl Level2 {
+    /// Creates a second-level scheduler for the given eligible vCPUs.
+    ///
+    /// Budgets start replenished (each eligible vCPU gets an even share of
+    /// the first epoch).
+    pub fn new(epoch: Nanos, eligible: &[VcpuId]) -> Level2 {
+        let share = if eligible.is_empty() {
+            Nanos::ZERO
+        } else {
+            epoch / eligible.len() as u64
+        };
+        Level2 {
+            epoch,
+            budgets: eligible.iter().map(|&v| (v, share)).collect(),
+        }
+    }
+
+    /// Creates a scheduler with the default 10 ms epoch.
+    pub fn with_default_epoch(eligible: &[VcpuId]) -> Level2 {
+        Level2::new(DEFAULT_EPOCH, eligible)
+    }
+
+    /// Returns the eligible vCPUs.
+    pub fn eligible(&self) -> impl Iterator<Item = VcpuId> + '_ {
+        self.budgets.iter().map(|&(v, _)| v)
+    }
+
+    /// Returns the remaining budget of `vcpu` (zero if not eligible).
+    pub fn budget(&self, vcpu: VcpuId) -> Nanos {
+        self.budgets
+            .iter()
+            .find(|&&(v, _)| v == vcpu)
+            .map(|&(_, b)| b)
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Picks the ready vCPU with the highest remaining budget, replenishing
+    /// the epoch first if every ready vCPU has run dry.
+    ///
+    /// `is_ready` reports whether a vCPU can run right now (i.e., it is
+    /// runnable and not currently scheduled elsewhere). Returns `None` when
+    /// no eligible vCPU is ready. Ties are broken by the lowest vCPU id for
+    /// determinism.
+    pub fn pick(&mut self, mut is_ready: impl FnMut(VcpuId) -> bool) -> Option<VcpuId> {
+        let best = |budgets: &[(VcpuId, Nanos)], is_ready: &mut dyn FnMut(VcpuId) -> bool| {
+            budgets
+                .iter()
+                .filter(|&&(v, _)| is_ready(v))
+                .max_by_key(|&&(v, b)| (b, std::cmp::Reverse(v)))
+                .copied()
+        };
+        match best(&self.budgets, &mut is_ready) {
+            None => None,
+            Some((v, b)) if !b.is_zero() => Some(v),
+            Some(_) => {
+                // Every ready vCPU is out of budget: replenish the epoch for
+                // all eligible vCPUs and pick again.
+                self.replenish();
+                best(&self.budgets, &mut is_ready).map(|(v, _)| v)
+            }
+        }
+    }
+
+    /// Charges `amount` of second-level execution to `vcpu`.
+    ///
+    /// Charging an ineligible vCPU is a no-op (it can happen transiently
+    /// after a table switch changed eligibility).
+    pub fn charge(&mut self, vcpu: VcpuId, amount: Nanos) {
+        if let Some((_, b)) = self.budgets.iter_mut().find(|(v, _)| *v == vcpu) {
+            *b = b.saturating_sub(amount);
+        }
+    }
+
+    /// Resets every eligible vCPU's budget to an even share of the epoch.
+    pub fn replenish(&mut self) {
+        if self.budgets.is_empty() {
+            return;
+        }
+        let share = self.epoch / self.budgets.len() as u64;
+        for (_, b) in &mut self.budgets {
+            *b = share;
+        }
+    }
+
+    /// Replaces the eligible set (after a table switch); budgets restart
+    /// replenished.
+    pub fn set_eligible(&mut self, eligible: &[VcpuId]) {
+        *self = Level2::new(self.epoch, eligible);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VcpuId {
+        VcpuId(i)
+    }
+
+    #[test]
+    fn even_initial_budgets() {
+        let l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1), v(2), v(3)]);
+        for i in 0..4 {
+            assert_eq!(l2.budget(v(i)), Nanos::from_micros(2_500));
+        }
+        assert_eq!(l2.budget(v(9)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn picks_highest_remaining_budget() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        l2.charge(v(0), Nanos::from_millis(2));
+        assert_eq!(l2.pick(|_| true), Some(v(1)));
+    }
+
+    #[test]
+    fn ties_break_to_lowest_id() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(3), v(1), v(2)]);
+        assert_eq!(l2.pick(|_| true), Some(v(1)));
+    }
+
+    #[test]
+    fn skips_unready_vcpus() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        assert_eq!(l2.pick(|x| x == v(1)), Some(v(1)));
+        assert_eq!(l2.pick(|_| false), None);
+    }
+
+    #[test]
+    fn replenishes_when_ready_set_is_dry() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        l2.charge(v(0), Nanos::from_millis(5));
+        l2.charge(v(1), Nanos::from_millis(5));
+        // Both dry -> replenish -> a pick still succeeds.
+        assert!(l2.pick(|_| true).is_some());
+        assert_eq!(l2.budget(v(0)), Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn dry_ready_vcpu_does_not_replenish_while_others_have_budget() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        l2.charge(v(0), Nanos::from_millis(5)); // v0 dry
+        // Only v0 is ready and it is dry: all *ready* vCPUs are dry, so the
+        // epoch replenishes (paper: replenished when all ready vCPUs have
+        // run out of budget).
+        assert_eq!(l2.pick(|x| x == v(0)), Some(v(0)));
+        // v1's budget was also reset by the replenish.
+        assert_eq!(l2.budget(v(1)), Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn round_robin_emerges_from_budgets() {
+        // Alternating picks with equal charges visit both vCPUs evenly.
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        let mut picks = Vec::new();
+        for _ in 0..4 {
+            let p = l2.pick(|_| true).unwrap();
+            l2.charge(p, Nanos::from_millis(1));
+            picks.push(p);
+        }
+        assert_eq!(picks.iter().filter(|&&p| p == v(0)).count(), 2);
+        assert_eq!(picks.iter().filter(|&&p| p == v(1)).count(), 2);
+    }
+
+    #[test]
+    fn empty_eligible_set() {
+        let mut l2 = Level2::with_default_epoch(&[]);
+        assert_eq!(l2.pick(|_| true), None);
+        l2.charge(v(0), Nanos::MILLI); // no-op
+        l2.replenish(); // no-op
+    }
+
+    #[test]
+    fn set_eligible_resets_budgets() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0)]);
+        l2.charge(v(0), Nanos::from_millis(3));
+        l2.set_eligible(&[v(0), v(1)]);
+        assert_eq!(l2.budget(v(0)), Nanos::from_millis(5));
+        assert_eq!(l2.budget(v(1)), Nanos::from_millis(5));
+    }
+}

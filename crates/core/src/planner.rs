@@ -1,0 +1,599 @@
+//! The Tableau planner: from vCPU SLAs to a verified dispatch table
+//! (Sec. 5 of the paper).
+//!
+//! The planner runs outside the dispatcher's hot path — in the paper it is
+//! a userspace daemon in dom0, invoked only on VM creation, teardown, or
+//! reconfiguration. Its pipeline:
+//!
+//! 1. **Dedicated cores** — vCPUs with `U = 1` each get a whole physical
+//!    core and are excluded from packing.
+//! 2. **SLA → periodic task** — each remaining vCPU `(U, L)` becomes a task
+//!    `(C, T)`: the worst-case blackout of a periodic task is
+//!    `2 * (1 - U) * T`, so the planner picks the **largest** hyperperiod
+//!    divisor `T` with `2 * (1 - U) * T <= L` (maximizing the period
+//!    minimizes preemptions), and `C = ceil(U * T)` (rounding in the
+//!    tenant's favor).
+//! 3. **Table generation** — the three-stage `rtsched` generator
+//!    (partitioned EDF → C=D splitting → clustered DP-Fair).
+//! 4. **Post-processing** — coalescing of un-enforceable slivers, then
+//!    slice-table construction (inside [`Table::new`]).
+//!
+//! With the paper's running configuration — `U = 25%`, `L = 20 ms` — step 2
+//! picks `T = H/8 = 12,837,825 ns` (~13 ms) and `C ≈ 3.21 ms`, matching the
+//! parameters reported in Sec. 7.2.
+
+use serde::{Deserialize, Serialize};
+
+use rtsched::generator::{generate_schedule_with_preferences, GenError, GenOptions, Stage};
+use rtsched::hyperperiod::PeriodCandidates;
+use rtsched::task::{PeriodicTask, TaskId};
+use rtsched::time::Nanos;
+use rtsched::verify::task_max_blackout;
+
+use crate::postprocess::{coalesce_with, CoalesceReport, DEFAULT_THRESHOLD};
+use crate::table::{Allocation, Table};
+use crate::vcpu::{HostConfig, VcpuId, VcpuSpec};
+
+/// Planner tunables.
+#[derive(Debug, Clone)]
+pub struct PlannerOptions {
+    /// Candidate periods (divisors of the hyperperiod above the
+    /// enforceability threshold).
+    pub candidates: PeriodCandidates,
+    /// Allocations shorter than this are coalesced away.
+    pub coalesce_threshold: Nanos,
+    /// Options forwarded to the schedule generator.
+    pub gen: GenOptions,
+    /// Run the verified peephole preemption-reduction pass after
+    /// generation (the paper's Sec. 5 future-work optimization; off by
+    /// default to match the paper's baseline planner).
+    pub peephole: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> PlannerOptions {
+        PlannerOptions {
+            candidates: PeriodCandidates::standard(),
+            coalesce_threshold: DEFAULT_THRESHOLD,
+            gen: GenOptions::default(),
+            peephole: false,
+        }
+    }
+}
+
+/// The periodic-task parameters chosen for one vCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcpuParams {
+    /// The vCPU.
+    pub vcpu: VcpuId,
+    /// Budget per period.
+    pub cost: Nanos,
+    /// Chosen period (a hyperperiod divisor), or the full table for a
+    /// dedicated core.
+    pub period: Nanos,
+    /// `true` if the vCPU received a dedicated physical core.
+    pub dedicated: bool,
+    /// `true` if the vCPU is capped (no second-level participation).
+    pub capped: bool,
+}
+
+/// A complete plan: the dispatch table plus everything the hypervisor-side
+/// needs to enact it.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The generated dispatch table (one hyperperiod).
+    pub table: Table,
+    /// Which generation stage succeeded.
+    pub stage: Stage,
+    /// Per-vCPU task parameters in vCPU-id order.
+    pub params: Vec<VcpuParams>,
+    /// vCPUs with allocations on more than one core.
+    pub split_vcpus: Vec<VcpuId>,
+    /// What coalescing removed.
+    pub coalesce: CoalesceReport,
+    /// Observed worst-case service gap per vCPU in the final table
+    /// (cyclic), for validation against each vCPU's latency goal.
+    pub worst_blackout: Vec<(VcpuId, Nanos)>,
+}
+
+impl Plan {
+    /// The chosen parameters for `vcpu`, if it exists in the plan.
+    pub fn params_of(&self, vcpu: VcpuId) -> Option<&VcpuParams> {
+        self.params.iter().find(|p| p.vcpu == vcpu)
+    }
+
+    /// The observed worst-case blackout of `vcpu` in the table.
+    pub fn blackout_of(&self, vcpu: VcpuId) -> Option<Nanos> {
+        self.worst_blackout
+            .iter()
+            .find(|(v, _)| *v == vcpu)
+            .map(|&(_, b)| b)
+    }
+}
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// More dedicated (`U = 1`) vCPUs than physical cores.
+    TooManyDedicated {
+        /// Number of vCPUs demanding a full core.
+        dedicated: usize,
+        /// Available physical cores.
+        cores: usize,
+    },
+    /// Table generation failed (over-utilization or pathological input).
+    Generation(GenError),
+    /// Internal error constructing the table (generator and post-processing
+    /// disagree); never expected, surfaced rather than panicking.
+    Table(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::TooManyDedicated { dedicated, cores } => {
+                write!(f, "{dedicated} dedicated vCPUs exceed {cores} cores")
+            }
+            PlanError::Generation(e) => write!(f, "table generation failed: {e}"),
+            PlanError::Table(e) => write!(f, "table construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<GenError> for PlanError {
+    fn from(e: GenError) -> PlanError {
+        PlanError::Generation(e)
+    }
+}
+
+/// Chooses a period for a vCPU SLA: the largest candidate `T` such that the
+/// worst-case blackout `2 * (1 - U) * T` stays within the latency goal `L`.
+///
+/// If even the smallest candidate exceeds the goal (an extremely tight
+/// latency goal), the smallest candidate is used best-effort — the bound is
+/// then as small as the platform can enforce, consistent with the paper's
+/// treatment of `L` as an upper bound the tenant may beat.
+pub fn period_for(spec: &VcpuSpec, candidates: &PeriodCandidates) -> Nanos {
+    let ppm = spec.utilization.ppm() as u128;
+    debug_assert!(ppm < 1_000_000, "dedicated vCPUs have no period");
+    // 2 * (1 - U) * T <= L  <=>  T <= L * 1e6 / (2 * (1e6 - ppm)).
+    let bound = (spec.latency.as_nanos() as u128 * 1_000_000) / (2 * (1_000_000 - ppm));
+    let bound = Nanos(bound.min(u64::MAX as u128) as u64);
+    candidates
+        .largest_at_most(bound)
+        .unwrap_or_else(|| candidates.smallest())
+}
+
+/// Generates a plan for `host`.
+///
+/// # Errors
+///
+/// See [`PlanError`]; over-utilized configurations are rejected, matching
+/// the paper's admission rule.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::time::Nanos;
+/// use tableau_core::planner::{plan, PlannerOptions};
+/// use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+///
+/// // The paper's evaluation setup: 4 single-vCPU VMs per core, 25% each.
+/// let mut host = HostConfig::new(4);
+/// let spec = VcpuSpec::new(Utilization::from_percent(25), Nanos::from_millis(20));
+/// for i in 0..16 {
+///     host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+/// }
+/// let plan = plan(&host, &PlannerOptions::default()).unwrap();
+/// assert_eq!(plan.table.n_cores(), 4);
+/// // Every vCPU's observed blackout respects its 20 ms latency goal.
+/// for (_, blackout) in &plan.worst_blackout {
+///     assert!(*blackout <= Nanos::from_millis(20));
+/// }
+/// ```
+pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError> {
+    let hyperperiod = opts.candidates.hyperperiod();
+    let vcpus = host.vcpus();
+
+    // Stage 0: dedicated cores for U = 1 vCPUs, allocated from the highest
+    // core ids downward so the generator can use a dense 0..k range.
+    let dedicated: Vec<VcpuId> = vcpus
+        .iter()
+        .filter(|(_, s)| s.utilization.is_full_core())
+        .map(|&(v, _)| v)
+        .collect();
+    if dedicated.len() > host.n_cores {
+        return Err(PlanError::TooManyDedicated {
+            dedicated: dedicated.len(),
+            cores: host.n_cores,
+        });
+    }
+    let shared_cores = host.n_cores - dedicated.len();
+
+    // Stage 1: SLA -> periodic task. Budgets shorter than twice the
+    // coalescing threshold are rounded up so the guarantee survives
+    // post-processing (providers sell a minimum granularity anyway).
+    let min_budget = opts.coalesce_threshold * 2;
+    let mut tasks: Vec<PeriodicTask> = Vec::new();
+    // Soft NUMA preferences, aligned with `tasks` by position: the cores of
+    // the owning VM's node, restricted to the shared-core range.
+    let mut prefs: Vec<Vec<usize>> = Vec::new();
+    let mut params: Vec<VcpuParams> = Vec::new();
+    for &(vcpu, spec) in &vcpus {
+        if spec.utilization.is_full_core() {
+            params.push(VcpuParams {
+                vcpu,
+                cost: hyperperiod,
+                period: hyperperiod,
+                dedicated: true,
+                capped: spec.capped,
+            });
+            continue;
+        }
+        let period = period_for(&spec, &opts.candidates);
+        // Rounding the (floor-rounded) budget up to twice the coalescing
+        // threshold can over-commit only configurations that reserve less
+        // than ~0.03% per vCPU — rejected as over-utilized, which is fine.
+        let cost = spec.utilization.budget_in(period).max(min_budget).min(period);
+        tasks.push(PeriodicTask::implicit(TaskId(vcpu.0), cost, period));
+        prefs.push(
+            host.vm_of(vcpu)
+                .and_then(|vm| host.vms[vm].numa_node)
+                .map(|node| {
+                    host.cores_of_node(node)
+                        .into_iter()
+                        .filter(|&c| c < shared_cores)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        );
+        params.push(VcpuParams {
+            vcpu,
+            cost,
+            period,
+            dedicated: false,
+            capped: spec.capped,
+        });
+    }
+
+    // Stage 2: three-stage table generation (admission happens inside).
+    let mut generated = generate_schedule_with_preferences(
+        &tasks,
+        shared_cores,
+        hyperperiod,
+        &opts.gen,
+        &prefs,
+    )?;
+
+    // Optional peephole pass: merge needlessly sliced allocations where the
+    // verifier confirms every guarantee survives.
+    if opts.peephole {
+        rtsched::peephole::peephole(&tasks, &mut generated.schedule);
+    }
+
+    // Stage 3: post-processing — translate segments to allocations and
+    // coalesce per core. Split vCPUs must never be *extended* by a
+    // donation: their pieces on other cores begin exactly where a piece
+    // ends, and growing one would schedule the vCPU on two cores at once.
+    let split: Vec<VcpuId> = generated
+        .split_tasks
+        .iter()
+        .map(|t| VcpuId(t.0))
+        .collect();
+    let mut per_core: Vec<Vec<Allocation>> = Vec::with_capacity(host.n_cores);
+    let mut coalesce_report = CoalesceReport::default();
+    for core in 0..shared_cores {
+        let mut allocs: Vec<Allocation> = generated.schedule.cores[core]
+            .segments()
+            .iter()
+            .map(|s| Allocation {
+                start: s.start,
+                end: s.end,
+                vcpu: VcpuId(s.task.0),
+            })
+            .collect();
+        coalesce_report.absorb(coalesce_with(&mut allocs, opts.coalesce_threshold, |v| {
+            !split.contains(&v)
+        }));
+        per_core.push(allocs);
+    }
+    // Dedicated cores: one wall-to-wall allocation each.
+    for (i, &vcpu) in dedicated.iter().enumerate() {
+        let _ = i;
+        per_core.push(vec![Allocation {
+            start: Nanos::ZERO,
+            end: hyperperiod,
+            vcpu,
+        }]);
+    }
+
+    let table = Table::new(hyperperiod, per_core).map_err(PlanError::Table)?;
+
+    // Observed worst-case blackout per vCPU, for latency-goal validation.
+    let mut worst_blackout = Vec::with_capacity(vcpus.len());
+    for &(vcpu, _) in &vcpus {
+        let ivs: Vec<(Nanos, Nanos)> = table
+            .placement(vcpu)
+            .map(|p| p.allocations.iter().map(|&(_, s, e)| (s, e)).collect())
+            .unwrap_or_default();
+        let blackout = if ivs.is_empty() {
+            hyperperiod
+        } else {
+            // Reuse the rtsched helper on a synthetic single-task schedule.
+            let mut sched = rtsched::MultiCoreSchedule::idle(hyperperiod, 1);
+            let mut merged = ivs;
+            merged.sort_unstable();
+            for (s, e) in merged {
+                // Allocations of one vCPU never overlap (checked by
+                // Table::new), but cross-core ones can touch; push merges
+                // only same-task adjacency, which is what we want.
+                sched.cores[0].push(rtsched::Segment::new(s, e, TaskId(vcpu.0)));
+            }
+            task_max_blackout(TaskId(vcpu.0), &sched)
+        };
+        worst_blackout.push((vcpu, blackout));
+    }
+
+    Ok(Plan {
+        table,
+        stage: generated.stage,
+        params,
+        split_vcpus: generated
+            .split_tasks
+            .iter()
+            .map(|t| VcpuId(t.0))
+            .collect(),
+        coalesce: coalesce_report,
+        worst_blackout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcpu::{Utilization, VmSpec};
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn paper_spec() -> VcpuSpec {
+        VcpuSpec::new(Utilization::from_percent(25), ms(20))
+    }
+
+    fn dense_host(cores: usize, vms_per_core: usize, spec: VcpuSpec) -> HostConfig {
+        let mut host = HostConfig::new(cores);
+        for i in 0..cores * vms_per_core {
+            host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+        }
+        host
+    }
+
+    #[test]
+    fn paper_parameters_reproduced() {
+        // Sec. 7.2: U = 25%, L = 20 ms "results in the planner picking a
+        // period of roughly 13 ms with a budget of about 3.2 ms".
+        let period = period_for(&paper_spec(), &PeriodCandidates::standard());
+        assert_eq!(period, Nanos(12_837_825)); // H / 8
+        let cost = Utilization::from_percent(25).budget_in(period);
+        assert_eq!(cost, Nanos(3_209_456)); // floor(T / 4)
+    }
+
+    #[test]
+    fn blackout_respects_latency_goal() {
+        let host = dense_host(4, 4, paper_spec());
+        let p = plan(&host, &PlannerOptions::default()).unwrap();
+        for (v, b) in &p.worst_blackout {
+            assert!(*b <= ms(20), "vCPU {v} blackout {b} exceeds goal");
+        }
+    }
+
+    #[test]
+    fn tight_latency_goals_get_small_periods() {
+        let spec = VcpuSpec::new(Utilization::from_percent(25), ms(1));
+        let period = period_for(&spec, &PeriodCandidates::standard());
+        // T <= 1 ms / 1.5 = 666 us.
+        assert!(period <= Nanos::from_micros(667));
+        assert!(period >= Nanos::from_micros(100));
+    }
+
+    #[test]
+    fn impossible_latency_goal_falls_back_to_smallest_candidate() {
+        let spec = VcpuSpec::new(Utilization::from_percent(25), Nanos::from_micros(10));
+        let period = period_for(&spec, &PeriodCandidates::standard());
+        assert_eq!(period, PeriodCandidates::standard().smallest());
+    }
+
+    #[test]
+    fn dedicated_vcpus_get_whole_cores() {
+        let mut host = HostConfig::new(2);
+        host.add_vm(VmSpec::uniform(
+            "dedicated",
+            1,
+            VcpuSpec::new(Utilization::FULL, ms(100)),
+        ));
+        host.add_vm(VmSpec::uniform("shared", 1, paper_spec()));
+        let p = plan(&host, &PlannerOptions::default()).unwrap();
+        let dp = p.params_of(VcpuId(0)).unwrap();
+        assert!(dp.dedicated);
+        // The dedicated vCPU has zero blackout.
+        assert_eq!(p.blackout_of(VcpuId(0)), Some(Nanos::ZERO));
+    }
+
+    #[test]
+    fn too_many_dedicated_rejected() {
+        let mut host = HostConfig::new(1);
+        let d = VcpuSpec::new(Utilization::FULL, ms(100));
+        host.add_vm(VmSpec::uniform("a", 1, d));
+        host.add_vm(VmSpec::uniform("b", 1, d));
+        assert!(matches!(
+            plan(&host, &PlannerOptions::default()),
+            Err(PlanError::TooManyDedicated { .. })
+        ));
+    }
+
+    #[test]
+    fn over_utilization_rejected() {
+        // 5 * 25% on one core.
+        let host = dense_host(1, 5, paper_spec());
+        assert!(matches!(
+            plan(&host, &PlannerOptions::default()),
+            Err(PlanError::Generation(GenError::OverUtilized { .. }))
+        ));
+    }
+
+    #[test]
+    fn sixteen_core_paper_setup_plans_quickly_and_correctly() {
+        // 4 VMs per core on 12 guest cores (the Fig. 7 setup).
+        let host = dense_host(12, 4, paper_spec());
+        let p = plan(&host, &PlannerOptions::default()).unwrap();
+        assert_eq!(p.stage, Stage::Partitioned);
+        assert!(p.split_vcpus.is_empty());
+        assert_eq!(p.table.n_cores(), 12);
+        // Each vCPU is guaranteed its budget every period: check service
+        // time in the table equals cost * (H / T).
+        for params in &p.params {
+            let placement = p.table.placement(params.vcpu).unwrap();
+            let total: Nanos = placement
+                .allocations
+                .iter()
+                .map(|&(_, s, e)| e - s)
+                .sum();
+            let periods = p.table.len() / params.period;
+            assert_eq!(total, params.cost * periods);
+        }
+    }
+
+    #[test]
+    fn mixed_latency_goals_coexist() {
+        let mut host = HostConfig::new(2);
+        host.add_vm(VmSpec::uniform(
+            "tight",
+            1,
+            VcpuSpec::new(Utilization::from_percent(25), ms(1)),
+        ));
+        host.add_vm(VmSpec::uniform(
+            "loose",
+            2,
+            VcpuSpec::new(Utilization::from_percent(50), ms(100)),
+        ));
+        let p = plan(&host, &PlannerOptions::default()).unwrap();
+        let tight = p.params_of(VcpuId(0)).unwrap();
+        let loose = p.params_of(VcpuId(1)).unwrap();
+        assert!(tight.period < loose.period);
+        assert!(p.blackout_of(VcpuId(0)).unwrap() <= ms(1));
+    }
+
+    #[test]
+    fn numa_pinning_places_vcpus_on_the_node() {
+        // 4 cores on 2 nodes; two VMs pinned to node 1 must land on cores
+        // {2, 3}.
+        let mut host = HostConfig::with_numa(4, 2);
+        for i in 0..2 {
+            host.add_vm(
+                VmSpec::uniform(format!("pinned{i}"), 1, paper_spec()).on_node(1),
+            );
+        }
+        host.add_vm(VmSpec::uniform("free", 1, paper_spec()));
+        let p = plan(&host, &PlannerOptions::default()).unwrap();
+        for v in 0..2u32 {
+            let placement = p.table.placement(VcpuId(v)).unwrap();
+            for &(core, _, _) in &placement.allocations {
+                assert!(
+                    host.cores_of_node(1).contains(&core),
+                    "{} landed off-node on core {core}",
+                    VcpuId(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numa_preference_is_soft_not_an_admission_constraint() {
+        // Five 25% VMs all pinned to a one-core node: one must spill, and
+        // the plan still succeeds with every guarantee intact.
+        let mut host = HostConfig::with_numa(2, 2);
+        for i in 0..5 {
+            host.add_vm(
+                VmSpec::uniform(format!("vm{i}"), 1, paper_spec()).on_node(0),
+            );
+        }
+        let p = plan(&host, &PlannerOptions::default()).unwrap();
+        for (v, b) in &p.worst_blackout {
+            assert!(*b <= ms(20), "{v}: {b}");
+        }
+        // Node 0 (core 0) holds at most 4 of the 25% VMs.
+        let on_core0 = (0..5u32)
+            .filter(|&v| {
+                p.table
+                    .placement(VcpuId(v))
+                    .map(|pl| pl.allocations.iter().all(|&(c, _, _)| c == 0))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(on_core0, 4);
+    }
+
+    #[test]
+    fn capped_flag_propagates() {
+        let mut host = HostConfig::new(1);
+        host.add_vm(VmSpec::uniform(
+            "c",
+            1,
+            VcpuSpec::capped(Utilization::from_percent(25), ms(20)),
+        ));
+        let p = plan(&host, &PlannerOptions::default()).unwrap();
+        assert!(p.params_of(VcpuId(0)).unwrap().capped);
+    }
+
+    #[test]
+    fn peephole_never_fragments_and_keeps_guarantees() {
+        // A mixed-period host whose EDF tables contain sliced allocations.
+        let mut host = HostConfig::new(2);
+        host.add_vm(VmSpec::uniform(
+            "fast",
+            2,
+            VcpuSpec::capped(Utilization::from_percent(20), ms(3)),
+        ));
+        host.add_vm(VmSpec::uniform(
+            "slow",
+            2,
+            VcpuSpec::capped(Utilization::from_percent(55), ms(80)),
+        ));
+        let plain = plan(&host, &PlannerOptions::default()).unwrap();
+        let opt = plan(
+            &host,
+            &PlannerOptions {
+                peephole: true,
+                ..PlannerOptions::default()
+            },
+        )
+        .unwrap();
+        let count = |p: &Plan| -> usize {
+            (0..p.table.n_cores())
+                .map(|c| p.table.cpu(c).allocations().len())
+                .sum()
+        };
+        assert!(count(&opt) <= count(&plain), "peephole fragmented the table");
+        for (vcpu, spec) in host.vcpus() {
+            assert!(opt.blackout_of(vcpu).unwrap() <= spec.latency);
+        }
+    }
+
+    #[test]
+    fn tiny_budgets_rounded_up_to_survivable_size() {
+        let mut host = HostConfig::new(1);
+        host.add_vm(VmSpec::uniform(
+            "tiny",
+            1,
+            VcpuSpec::new(Utilization::from_ppm(100), ms(100)),
+        ));
+        let p = plan(&host, &PlannerOptions::default()).unwrap();
+        let params = p.params_of(VcpuId(0)).unwrap();
+        assert!(params.cost >= DEFAULT_THRESHOLD * 2);
+        // And the vCPU still has allocations after coalescing.
+        assert!(p.table.placement(VcpuId(0)).is_some());
+    }
+}

@@ -1,0 +1,281 @@
+//! Lock-free, time-synchronized table switches (Sec. 6).
+//!
+//! The dispatcher's hot path must not take locks, yet all cores must agree
+//! on which table is current — a core picking up a new table while another
+//! still runs the old one would produce an inconsistent schedule (e.g., a
+//! migrating vCPU double-scheduled). Tableau solves this without barriers by
+//! exploiting time: each core re-reads its `next_table` pointer only when
+//! its table wraps around, and the planner *times* the setting of the
+//! pointers to the middle of a table round — safely away from any wrap. All
+//! cores therefore observe the pointer by the next wrap and switch at the
+//! same table boundary. Two rounds after the upload, every core has
+//! switched, and the old table is garbage-collected.
+//!
+//! This module models that protocol exactly (arm time = middle of the next
+//! round; adoption at the following wrap; GC two rounds after upload); the
+//! simulator drives it per-core and the unit tests cover the race the
+//! protocol is designed to avoid.
+
+use std::sync::Arc;
+
+use rtsched::time::Nanos;
+
+use crate::table::Table;
+
+/// Per-core view of the table switch protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CoreView {
+    /// Index (into [`TableManager::epochs`]) of the table this core runs.
+    epoch: usize,
+    /// Table-round boundary up to which this core has confirmed its view.
+    confirmed_at: Nanos,
+}
+
+/// Manages the current and pending scheduling tables for all cores.
+///
+/// All tables share the same length (one hyperperiod) by construction; the
+/// manager asserts this on install.
+#[derive(Debug, Clone)]
+pub struct TableManager {
+    /// All tables ever installed and not yet collected, oldest first.
+    epochs: Vec<Arc<Table>>,
+    /// Absolute times at which each epoch becomes adoptable (cores adopt at
+    /// their first wrap at/after this time). `activation[0]` is zero.
+    activations: Vec<Nanos>,
+    /// Per-core adoption state.
+    cores: Vec<CoreView>,
+    len: Nanos,
+}
+
+impl TableManager {
+    /// Creates a manager with an initial table active from time zero.
+    pub fn new(initial: Table) -> TableManager {
+        let len = initial.len();
+        let n_cores = initial.n_cores();
+        TableManager {
+            epochs: vec![Arc::new(initial)],
+            activations: vec![Nanos::ZERO],
+            cores: vec![
+                CoreView {
+                    epoch: 0,
+                    confirmed_at: Nanos::ZERO,
+                };
+                n_cores
+            ],
+            len,
+        }
+    }
+
+    /// The table length (identical for all epochs).
+    pub fn table_len(&self) -> Nanos {
+        self.len
+    }
+
+    /// Installs a new table pushed by the planner at time `now`.
+    ///
+    /// Per the protocol, the `next_table` pointers are timed to be set in
+    /// the middle of the *next* round of the current table; every core then
+    /// adopts at its first wrap after that point — i.e., at the end of the
+    /// next round. Returns the absolute time at which all cores will have
+    /// switched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new table's length or core count differs from the
+    /// current one's (the planner always regenerates full same-shape
+    /// tables).
+    pub fn install(&mut self, table: Table, now: Nanos) -> Nanos {
+        assert_eq!(table.len(), self.len, "table length changed across install");
+        assert_eq!(
+            table.n_cores(),
+            self.cores.len(),
+            "core count changed across install"
+        );
+        let round = now / self.len;
+        // Pointer set mid-way through round `round + 1`; cores notice at
+        // their wrap ending that round.
+        let arm = self.len * (round + 1) + self.len / 2;
+        let switch_at = self.len * (round + 2);
+        debug_assert!(arm < switch_at && arm > now);
+        self.epochs.push(Arc::new(table));
+        self.activations.push(arm);
+        switch_at
+    }
+
+    /// The table `core` must use for a scheduling decision at `now`.
+    ///
+    /// Models the per-core wrap check: the core's view advances only at
+    /// table-round boundaries, adopting the newest epoch whose pointer was
+    /// armed before the boundary. Also performs garbage collection of
+    /// epochs no core can reference anymore, returning to the caller (the
+    /// hypervisor) how many tables were freed.
+    pub fn table_for(&mut self, core: usize, now: Nanos) -> Arc<Table> {
+        let boundary = self.len * (now / self.len);
+        let view = &mut self.cores[core];
+        if boundary > view.confirmed_at {
+            // The core crossed at least one wrap since it last looked: it
+            // re-read next_table at each wrap; the epoch it now runs is the
+            // newest one armed strictly before the *latest* boundary.
+            let newest = self
+                .activations
+                .iter()
+                .rposition(|&a| a < boundary)
+                .unwrap_or(view.epoch);
+            view.epoch = view.epoch.max(newest);
+            view.confirmed_at = boundary;
+        }
+        self.epochs[view.epoch].clone()
+    }
+
+    /// Garbage-collects epochs that no core will ever use again; returns
+    /// how many were freed. Old epochs are replaced by the oldest still
+    /// reachable one (indices stay stable).
+    pub fn collect_garbage(&mut self) -> usize {
+        let min_epoch = self.cores.iter().map(|c| c.epoch).min().unwrap_or(0);
+        let mut freed = 0;
+        for i in 0..min_epoch {
+            if !Arc::ptr_eq(&self.epochs[i], &self.epochs[min_epoch]) {
+                self.epochs[i] = self.epochs[min_epoch].clone();
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// The epoch index `core` currently runs (diagnostics/tests).
+    pub fn core_epoch(&self, core: usize) -> usize {
+        self.cores[core].epoch
+    }
+
+    /// Number of distinct live tables (diagnostics/tests).
+    pub fn live_tables(&self) -> usize {
+        let mut seen: Vec<*const Table> = self
+            .epochs
+            .iter()
+            .map(|t| Arc::as_ptr(t))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Allocation;
+    use crate::vcpu::VcpuId;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn table(len_ms: u64, vcpu: u32) -> Table {
+        Table::new(
+            ms(len_ms),
+            vec![
+                vec![Allocation {
+                    start: Nanos::ZERO,
+                    end: ms(1),
+                    vcpu: VcpuId(vcpu),
+                }],
+                vec![],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn switch_lands_at_end_of_next_round() {
+        let mut m = TableManager::new(table(10, 0));
+        // Install at t = 3 ms (round 0): arm at 15 ms, switch at 20 ms.
+        let at = m.install(table(10, 1), ms(3));
+        assert_eq!(at, ms(20));
+    }
+
+    #[test]
+    fn cores_use_old_table_until_switch_time() {
+        let mut m = TableManager::new(table(10, 0));
+        m.install(table(10, 1), ms(3));
+        // Mid-round 1 (pointer armed at 15 ms but adoption only at wrap).
+        let t = m.table_for(0, ms(17));
+        assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(0)));
+        // After the wrap at 20 ms both cores see the new table.
+        let t = m.table_for(0, ms(21));
+        assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(1)));
+        let t = m.table_for(1, ms(20));
+        assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(1)));
+    }
+
+    #[test]
+    fn all_cores_switch_at_the_same_boundary() {
+        let mut m = TableManager::new(table(10, 0));
+        let at = m.install(table(10, 1), ms(9)); // just before a wrap
+        assert_eq!(at, ms(20)); // arm at 15 ms, adopt at wrap 20 ms
+        // At 19.9 ms neither core has switched (pointer armed mid-round 1).
+        assert_eq!(
+            m.table_for(0, Nanos(19_900_000)).lookup(0, Nanos::ZERO).vcpu(),
+            Some(VcpuId(0))
+        );
+        assert_eq!(
+            m.table_for(1, ms(20)).lookup(0, Nanos::ZERO).vcpu(),
+            Some(VcpuId(1))
+        );
+    }
+
+    #[test]
+    fn install_near_wrap_never_splits_cores() {
+        // The race the protocol avoids: an install "during" a wrap must not
+        // let one core switch a round earlier than another. Whatever cores
+        // query at any time >= switch point sees one consistent table.
+        let mut m = TableManager::new(table(10, 0));
+        let switch = m.install(table(10, 1), Nanos(9_999_999));
+        for query in [switch, switch + Nanos(1), switch + ms(5)] {
+            let a = m.table_for(0, query);
+            let b = m.table_for(1, query);
+            assert!(Arc::ptr_eq(&a, &b));
+        }
+    }
+
+    #[test]
+    fn garbage_collection_after_all_cores_switch() {
+        let mut m = TableManager::new(table(10, 0));
+        m.install(table(10, 1), ms(3));
+        assert_eq!(m.live_tables(), 2);
+        // Nothing collectible while a core still runs the old epoch.
+        assert_eq!(m.collect_garbage(), 0);
+        let _ = m.table_for(0, ms(25));
+        assert_eq!(m.collect_garbage(), 0); // core 1 still on epoch 0
+        let _ = m.table_for(1, ms(25));
+        assert_eq!(m.collect_garbage(), 1);
+        assert_eq!(m.live_tables(), 1);
+    }
+
+    #[test]
+    fn back_to_back_installs_resolve_to_newest() {
+        let mut m = TableManager::new(table(10, 0));
+        m.install(table(10, 1), ms(1));
+        m.install(table(10, 2), ms(2));
+        // Both armed mid-round 1; the wrap at 20 ms adopts the newest.
+        let t = m.table_for(0, ms(20));
+        assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length changed")]
+    fn length_change_rejected() {
+        let mut m = TableManager::new(table(10, 0));
+        m.install(table(20, 1), ms(1));
+    }
+
+    #[test]
+    fn epochs_are_monotonic_per_core() {
+        let mut m = TableManager::new(table(10, 0));
+        m.install(table(10, 1), ms(1));
+        let _ = m.table_for(0, ms(25));
+        assert_eq!(m.core_epoch(0), 1);
+        // A late query for an *earlier* time must not roll the core back.
+        let _ = m.table_for(0, ms(24));
+        assert_eq!(m.core_epoch(0), 1);
+    }
+}

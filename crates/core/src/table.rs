@@ -1,0 +1,564 @@
+//! Tableau scheduling tables: per-CPU allocations plus the slice table for
+//! O(1) dispatch (Fig. 2 of the paper).
+//!
+//! A table maps one hyperperiod of time to vCPU reservations on each core.
+//! Allocations are variable-length, non-overlapping intervals; idle gaps
+//! between them belong to the second-level scheduler. To make dispatch
+//! constant-time, each per-CPU allocation list is accompanied by a **slice
+//! table**: fixed-size windows of length equal to the core's *shortest*
+//! allocation. Because no allocation is shorter than a slice, a slice can
+//! overlap at most two allocations — so resolving "who runs at time `t`"
+//! inspects a bounded number of records regardless of table size, touching
+//! at most two cache lines in the hot path.
+
+use serde::{Deserialize, Serialize};
+
+use rtsched::time::Nanos;
+
+use crate::vcpu::VcpuId;
+
+/// One reserved interval within a core's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Start offset relative to the table start.
+    pub start: Nanos,
+    /// End offset (exclusive).
+    pub end: Nanos,
+    /// The vCPU that has priority during this interval.
+    pub vcpu: VcpuId,
+}
+
+impl Allocation {
+    /// Returns the allocation's length.
+    pub fn len(&self) -> Nanos {
+        self.end - self.start
+    }
+
+    /// Returns `true` if `t` falls inside the interval.
+    pub fn contains(&self, t: Nanos) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// The dispatcher's verdict for a point in table-relative time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// The interval `[.., until)` is reserved for `vcpu`.
+    Reserved {
+        /// The vCPU holding the reservation.
+        vcpu: VcpuId,
+        /// Table-relative end of the reservation.
+        until: Nanos,
+    },
+    /// No reservation covers the current time; the gap ends at `until`
+    /// (table-relative; may equal the table length, i.e. the next table
+    /// round starts with the first allocation).
+    Idle {
+        /// Table-relative end of the idle gap.
+        until: Nanos,
+    },
+}
+
+impl Slot {
+    /// Table-relative time at which this verdict expires.
+    pub fn until(&self) -> Nanos {
+        match *self {
+            Slot::Reserved { until, .. } | Slot::Idle { until } => until,
+        }
+    }
+
+    /// The reserved vCPU, if any.
+    pub fn vcpu(&self) -> Option<VcpuId> {
+        match *self {
+            Slot::Reserved { vcpu, .. } => Some(vcpu),
+            Slot::Idle { .. } => None,
+        }
+    }
+}
+
+/// The schedule of one core: allocations plus its slice index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuTable {
+    /// Reserved intervals, sorted by start, non-overlapping.
+    allocations: Vec<Allocation>,
+    /// Fixed slice width for this core (the shortest allocation length, or
+    /// the table length for an empty core).
+    slice_len: Nanos,
+    /// For each slice, the index of the first allocation that *ends after*
+    /// the slice starts; `u32::MAX` when no further allocation exists.
+    slices: Vec<u32>,
+}
+
+/// Sentinel for "no allocation".
+const NO_ALLOC: u32 = u32::MAX;
+
+impl CpuTable {
+    /// Builds a core table from sorted, non-overlapping allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if allocations are unsorted, overlapping, empty, or
+    /// extend past `table_len`.
+    pub fn new(allocations: Vec<Allocation>, table_len: Nanos) -> Result<CpuTable, String> {
+        for a in &allocations {
+            if a.start >= a.end {
+                return Err(format!("empty allocation [{}, {})", a.start, a.end));
+            }
+            if a.end > table_len {
+                return Err(format!("allocation [{}, {}) exceeds table length {table_len}", a.start, a.end));
+            }
+        }
+        for w in allocations.windows(2) {
+            if w[0].end > w[1].start {
+                return Err(format!(
+                    "allocations overlap or unsorted at [{}, {})",
+                    w[1].start, w[1].end
+                ));
+            }
+        }
+
+        // Slice length: the shortest allocation (see module docs). An empty
+        // core gets a single slice covering the whole table.
+        let slice_len = allocations
+            .iter()
+            .map(|a| a.len())
+            .min()
+            .unwrap_or(table_len);
+        let n_slices = table_len.div_ceil(slice_len) as usize;
+        let mut slices = vec![NO_ALLOC; n_slices];
+        for (s, slot) in slices.iter_mut().enumerate() {
+            let slice_start = slice_len * s as u64;
+            // First allocation ending after the slice start.
+            let idx = allocations.partition_point(|a| a.end <= slice_start);
+            *slot = if idx < allocations.len() {
+                idx as u32
+            } else {
+                NO_ALLOC
+            };
+        }
+        Ok(CpuTable {
+            allocations,
+            slice_len,
+            slices,
+        })
+    }
+
+    /// Returns the allocations in time order.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+
+    /// Returns this core's slice width.
+    pub fn slice_len(&self) -> Nanos {
+        self.slice_len
+    }
+
+    /// Returns the number of slices.
+    pub fn n_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// O(1) lookup: the slot covering table-relative time `t`.
+    ///
+    /// `t` must already be reduced modulo the table length (the
+    /// [`Table::lookup`] wrapper does this). The scan below inspects at most
+    /// three allocation records — a slice overlaps at most two allocations,
+    /// and the slot boundary after them is the third's start.
+    pub fn slot_at(&self, t: Nanos, table_len: Nanos) -> Slot {
+        debug_assert!(t < table_len, "lookup time {t} not reduced mod {table_len}");
+        let slice = (t / self.slice_len).min(self.slices.len() as u64 - 1) as usize;
+        let first = self.slices[slice];
+        if first == NO_ALLOC {
+            return Slot::Idle { until: table_len };
+        }
+        for idx in first as usize..(first as usize + 3).min(self.allocations.len()) {
+            let a = &self.allocations[idx];
+            if a.contains(t) {
+                return Slot::Reserved {
+                    vcpu: a.vcpu,
+                    until: a.end,
+                };
+            }
+            if t < a.start {
+                return Slot::Idle { until: a.start };
+            }
+        }
+        // Past the last allocation the slice could see: idle to table end.
+        Slot::Idle { until: table_len }
+    }
+
+    /// Total reserved time in this core's table.
+    pub fn busy_time(&self) -> Nanos {
+        self.allocations.iter().map(|a| a.len()).sum()
+    }
+}
+
+/// Per-vCPU placement metadata derived from the table, used for wake-up
+/// routing and second-level eligibility (Sec. 6, "Efficient wake-ups").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcpuPlacement {
+    /// All allocations of this vCPU as `(core, start, end)`, sorted by start.
+    pub allocations: Vec<(usize, Nanos, Nanos)>,
+    /// The core carrying the largest share of this vCPU's reserved time —
+    /// the vCPU's "home" for second-level scheduling (the "trailing core"
+    /// policy degenerates to this for non-migrating vCPUs, which are the
+    /// common case).
+    pub home_core: usize,
+}
+
+/// A complete Tableau scheduling table.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::time::Nanos;
+/// use tableau_core::table::{Allocation, Table};
+/// use tableau_core::vcpu::VcpuId;
+///
+/// let ms = Nanos::from_millis;
+/// let table = Table::new(
+///     ms(10),
+///     vec![vec![
+///         Allocation { start: ms(0), end: ms(3), vcpu: VcpuId(0) },
+///         Allocation { start: ms(5), end: ms(8), vcpu: VcpuId(1) },
+///     ]],
+/// )
+/// .unwrap();
+/// // Lookups reduce absolute time modulo the table length.
+/// let slot = table.lookup(0, ms(26)); // round 2, offset 6 ms: inside [5, 8)
+/// assert_eq!(slot.vcpu(), Some(VcpuId(1)));
+/// let slot = table.lookup(0, ms(24)); // offset 4 ms: idle gap [3, 5)
+/// assert_eq!(slot.vcpu(), None);
+/// let slot = table.lookup(0, ms(21)); // offset 1 ms: inside [0, 3)
+/// assert_eq!(slot.vcpu(), Some(VcpuId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table length (one hyperperiod).
+    len: Nanos,
+    /// Per-core tables, indexed by core id.
+    cpus: Vec<CpuTable>,
+    /// Per-vCPU placement metadata, indexed by `VcpuId`.
+    placements: Vec<VcpuPlacement>,
+}
+
+impl Table {
+    /// Builds a table from per-core allocation lists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-core structural errors, and rejects a vCPU whose
+    /// allocations overlap in time across cores (it cannot run on two cores
+    /// at once).
+    pub fn new(len: Nanos, per_core: Vec<Vec<Allocation>>) -> Result<Table, String> {
+        let cpus: Vec<CpuTable> = per_core
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(core, allocs)| {
+                CpuTable::new(allocs, len).map_err(|e| format!("core {core}: {e}"))
+            })
+            .collect::<Result<_, String>>()?;
+
+        // Build per-vCPU placements.
+        let max_vcpu = per_core
+            .iter()
+            .flatten()
+            .map(|a| a.vcpu.0)
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0);
+        let mut placements = vec![
+            VcpuPlacement {
+                allocations: Vec::new(),
+                home_core: 0,
+            };
+            max_vcpu
+        ];
+        for (core, allocs) in per_core.iter().enumerate() {
+            for a in allocs {
+                placements[a.vcpu.0 as usize]
+                    .allocations
+                    .push((core, a.start, a.end));
+            }
+        }
+        for (vid, p) in placements.iter_mut().enumerate() {
+            p.allocations.sort_by_key(|&(_, s, _)| s);
+            // Cross-core overlap check.
+            for w in p.allocations.windows(2) {
+                if w[0].2 > w[1].1 {
+                    return Err(format!(
+                        "vCPU v{vid} has overlapping allocations at {}",
+                        w[1].1
+                    ));
+                }
+            }
+            // Home core: most reserved time, ties to the lowest core id.
+            let mut per_core_time: Vec<(usize, Nanos)> = Vec::new();
+            for &(core, s, e) in &p.allocations {
+                match per_core_time.iter_mut().find(|(c, _)| *c == core) {
+                    Some((_, t)) => *t += e - s,
+                    None => per_core_time.push((core, e - s)),
+                }
+            }
+            p.home_core = per_core_time
+                .iter()
+                .max_by_key(|&&(c, t)| (t, std::cmp::Reverse(c)))
+                .map(|&(c, _)| c)
+                .unwrap_or(0);
+        }
+
+        Ok(Table {
+            len,
+            cpus,
+            placements,
+        })
+    }
+
+    /// Returns the table length (one hyperperiod).
+    pub fn len(&self) -> Nanos {
+        self.len
+    }
+
+    /// Returns the number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Returns the per-core table of `core`.
+    pub fn cpu(&self, core: usize) -> &CpuTable {
+        &self.cpus[core]
+    }
+
+    /// O(1) dispatch lookup for `core` at absolute time `now`.
+    ///
+    /// The returned [`Slot`]'s `until` is table-relative; use
+    /// [`Table::slot_end_abs`] for the absolute expiry.
+    pub fn lookup(&self, core: usize, now: Nanos) -> Slot {
+        let t = now % self.len;
+        self.cpus[core].slot_at(t, self.len)
+    }
+
+    /// Absolute time at which the slot covering `now` on `core` expires.
+    pub fn slot_end_abs(&self, core: usize, now: Nanos) -> Nanos {
+        let t = now % self.len;
+        let slot = self.cpus[core].slot_at(t, self.len);
+        now + (slot.until() - t)
+    }
+
+    /// Per-vCPU placement metadata (wake-up routing, home cores).
+    ///
+    /// Returns `None` for a vCPU with no allocations in this table.
+    pub fn placement(&self, vcpu: VcpuId) -> Option<&VcpuPlacement> {
+        self.placements
+            .get(vcpu.0 as usize)
+            .filter(|p| !p.allocations.is_empty())
+    }
+
+    /// The wake-up IPI target for `vcpu` at absolute time `now` (Sec. 6):
+    /// the core where the vCPU currently has an allocation, or the core of
+    /// its *next* upcoming allocation (its home core for service).
+    pub fn wakeup_target(&self, vcpu: VcpuId, now: Nanos) -> Option<usize> {
+        let p = self.placement(vcpu)?;
+        let t = now % self.len;
+        // Current allocation?
+        for &(core, s, e) in &p.allocations {
+            if s <= t && t < e {
+                return Some(core);
+            }
+        }
+        // Next allocation in this round, else the first of the next round.
+        for &(core, s, _) in &p.allocations {
+            if s > t {
+                return Some(core);
+            }
+        }
+        p.allocations.first().map(|&(core, _, _)| core)
+    }
+
+    /// vCPU ids with at least one allocation whose home core is `core`.
+    pub fn vcpus_homed_on(&self, core: usize) -> Vec<VcpuId> {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.allocations.is_empty() && p.home_core == core)
+            .map(|(i, _)| VcpuId(i as u32))
+            .collect()
+    }
+
+    /// The shortest allocation across all cores (diagnostic; drives the
+    /// per-core slice sizing which is already done internally).
+    pub fn shortest_allocation(&self) -> Option<Nanos> {
+        self.cpus
+            .iter()
+            .flat_map(|c| c.allocations().iter().map(|a| a.len()))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn alloc(s: u64, e: u64, v: u32) -> Allocation {
+        Allocation {
+            start: ms(s),
+            end: ms(e),
+            vcpu: VcpuId(v),
+        }
+    }
+
+    fn table_1core() -> Table {
+        Table::new(
+            ms(10),
+            vec![vec![alloc(0, 2, 0), alloc(2, 5, 1), alloc(7, 9, 2)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_inside_allocations() {
+        let t = table_1core();
+        assert_eq!(
+            t.lookup(0, ms(0)),
+            Slot::Reserved {
+                vcpu: VcpuId(0),
+                until: ms(2)
+            }
+        );
+        assert_eq!(
+            t.lookup(0, ms(3)),
+            Slot::Reserved {
+                vcpu: VcpuId(1),
+                until: ms(5)
+            }
+        );
+        assert_eq!(t.lookup(0, ms(5)), Slot::Idle { until: ms(7) });
+        assert_eq!(t.lookup(0, ms(9)), Slot::Idle { until: ms(10) });
+    }
+
+    #[test]
+    fn lookup_wraps_modulo_table_length() {
+        let t = table_1core();
+        assert_eq!(t.lookup(0, ms(23)).vcpu(), Some(VcpuId(1)));
+        assert_eq!(t.slot_end_abs(0, ms(23)), ms(25));
+        assert_eq!(t.slot_end_abs(0, ms(29)), ms(30));
+    }
+
+    #[test]
+    fn slice_len_is_shortest_allocation() {
+        let t = table_1core();
+        assert_eq!(t.cpu(0).slice_len(), ms(2));
+        assert_eq!(t.cpu(0).n_slices(), 5);
+    }
+
+    #[test]
+    fn empty_core_is_always_idle() {
+        let t = Table::new(ms(10), vec![vec![], vec![alloc(0, 10, 0)]]).unwrap();
+        assert_eq!(t.lookup(0, ms(4)), Slot::Idle { until: ms(10) });
+        assert_eq!(t.lookup(1, ms(4)).vcpu(), Some(VcpuId(0)));
+    }
+
+    #[test]
+    fn exhaustive_lookup_matches_linear_scan() {
+        // Property-style check at 100 us granularity: the O(1) slice lookup
+        // agrees with a naive scan over allocations.
+        let allocs = vec![
+            alloc(0, 1, 0),
+            alloc(1, 3, 1),
+            alloc(4, 8, 2),
+            alloc(9, 10, 3),
+        ];
+        let t = Table::new(ms(10), vec![allocs.clone()]).unwrap();
+        let mut now = Nanos::ZERO;
+        while now < ms(10) {
+            let want = allocs.iter().find(|a| a.contains(now));
+            assert_eq!(
+                t.lookup(0, now).vcpu(),
+                want.map(|a| a.vcpu),
+                "mismatch at {now}"
+            );
+            now += Nanos::from_micros(100);
+        }
+    }
+
+    #[test]
+    fn overlapping_allocations_rejected() {
+        assert!(Table::new(ms(10), vec![vec![alloc(0, 3, 0), alloc(2, 5, 1)]]).is_err());
+    }
+
+    #[test]
+    fn cross_core_vcpu_overlap_rejected() {
+        let r = Table::new(
+            ms(10),
+            vec![vec![alloc(0, 3, 0)], vec![alloc(2, 5, 0)]],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cross_core_vcpu_adjacent_ok() {
+        let t = Table::new(
+            ms(10),
+            vec![vec![alloc(0, 3, 0)], vec![alloc(3, 5, 0)]],
+        )
+        .unwrap();
+        let p = t.placement(VcpuId(0)).unwrap();
+        assert_eq!(p.allocations.len(), 2);
+        // Home core is the one with more time.
+        assert_eq!(p.home_core, 0);
+    }
+
+    #[test]
+    fn wakeup_targets() {
+        let t = Table::new(
+            ms(10),
+            vec![vec![alloc(0, 2, 0)], vec![alloc(5, 9, 1)]],
+        )
+        .unwrap();
+        // During its allocation.
+        assert_eq!(t.wakeup_target(VcpuId(0), ms(1)), Some(0));
+        // After it: next allocation is next round, still core 0.
+        assert_eq!(t.wakeup_target(VcpuId(0), ms(6)), Some(0));
+        // Before vCPU 1's slot: upcoming allocation on core 1.
+        assert_eq!(t.wakeup_target(VcpuId(1), ms(1)), Some(1));
+        // Unknown vCPU.
+        assert_eq!(t.wakeup_target(VcpuId(7), ms(1)), None);
+    }
+
+    #[test]
+    fn homed_vcpus() {
+        let t = Table::new(
+            ms(10),
+            vec![
+                vec![alloc(0, 2, 0), alloc(2, 4, 1)],
+                vec![alloc(0, 5, 2)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.vcpus_homed_on(0), vec![VcpuId(0), VcpuId(1)]);
+        assert_eq!(t.vcpus_homed_on(1), vec![VcpuId(2)]);
+    }
+
+    #[test]
+    fn allocation_past_table_end_rejected() {
+        assert!(Table::new(ms(10), vec![vec![alloc(8, 12, 0)]]).is_err());
+    }
+
+    #[test]
+    fn slot_until_and_vcpu_accessors() {
+        let s = Slot::Reserved {
+            vcpu: VcpuId(3),
+            until: ms(4),
+        };
+        assert_eq!(s.until(), ms(4));
+        assert_eq!(s.vcpu(), Some(VcpuId(3)));
+        let i = Slot::Idle { until: ms(9) };
+        assert_eq!(i.until(), ms(9));
+        assert_eq!(i.vcpu(), None);
+    }
+}

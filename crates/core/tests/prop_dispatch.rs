@@ -1,0 +1,151 @@
+//! Property-based tests for the dispatcher's safety invariants.
+//!
+//! Whatever the guests do (arbitrary runnable/blocked patterns, arbitrary
+//! decision orderings across cores), the dispatcher must never:
+//!
+//! * run a vCPU on two cores at once (the ownership protocol);
+//! * dispatch a blocked vCPU;
+//! * give a *capped* vCPU CPU time outside its table reservation;
+//! * return a decision that expires in the past.
+//!
+//! The exploration is randomized: each case drives every core through a
+//! few hundred decision points with proptest-chosen runnable flags and
+//! de-schedule orders.
+
+use proptest::prelude::*;
+
+use rtsched::time::Nanos;
+use tableau_core::dispatch::{Decision, Dispatcher};
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::table::Slot;
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuId, VcpuSpec, VmSpec};
+
+fn paper_dispatcher(capped_mask: u8) -> (Dispatcher, usize, usize) {
+    let n_cores = 2;
+    let n_vcpus = 8;
+    let mut host = HostConfig::new(n_cores);
+    for i in 0..n_vcpus {
+        let u = Utilization::from_percent(25);
+        let l = Nanos::from_millis(20);
+        let spec = if capped_mask & (1 << i) != 0 {
+            VcpuSpec::capped(u, l)
+        } else {
+            VcpuSpec::new(u, l)
+        };
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    let p = plan(&host, &PlannerOptions::default()).unwrap();
+    let capped: Vec<bool> = p.params.iter().map(|x| x.capped).collect();
+    (
+        Dispatcher::new(p.table, capped, Nanos::from_millis(10)),
+        n_cores,
+        n_vcpus,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core exclusion: across interleaved decisions on all cores, a vCPU is
+    /// never simultaneously dispatched on two cores.
+    #[test]
+    fn no_vcpu_runs_on_two_cores(
+        capped_mask in any::<u8>(),
+        runnable_seed in any::<u64>(),
+        steps in 50usize..200,
+    ) {
+        let (mut d, n_cores, n_vcpus) = paper_dispatcher(capped_mask);
+        let mut running: Vec<Option<VcpuId>> = vec![None; n_cores];
+        let mut rng = runnable_seed;
+        let mut now = Nanos::ZERO;
+        for step in 0..steps {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let flags = rng;
+            let core = step % n_cores;
+            // De-schedule whatever the core ran (the hypervisor saved it).
+            if let Some(v) = running[core].take() {
+                let _ = d.on_descheduled(v, core);
+            }
+            let dec = d.decide(core, now, |v| {
+                // Pseudorandom runnable pattern; running vCPUs stay runnable.
+                flags & (1 << (v.0 % 8)) != 0 || running.contains(&Some(v))
+            });
+            prop_assert!(dec.until() > now, "decision expired instantly");
+            if let Some(v) = dec.vcpu() {
+                prop_assert!(
+                    !running.contains(&Some(v)),
+                    "vCPU {v} double-dispatched at step {step}"
+                );
+                running[core] = Some(v);
+            }
+            now += Nanos::from_micros(137 + (rng % 4096));
+            let _ = n_vcpus;
+        }
+    }
+
+    /// Capped vCPUs only ever run inside their own table reservation.
+    #[test]
+    fn capped_vcpus_stay_inside_their_slots(
+        runnable_seed in any::<u64>(),
+        steps in 50usize..200,
+    ) {
+        // All vCPUs capped.
+        let (mut d, n_cores, _) = paper_dispatcher(0xFF);
+        // Reconstruct the table through a parallel plan for slot checking.
+        let mut host = HostConfig::new(n_cores);
+        for i in 0..8 {
+            host.add_vm(VmSpec::uniform(
+                format!("vm{i}"),
+                1,
+                VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20)),
+            ));
+        }
+        let table = plan(&host, &PlannerOptions::default()).unwrap().table;
+
+        let mut rng = runnable_seed;
+        let mut now = Nanos::ZERO;
+        for step in 0..steps {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let flags = rng;
+            let core = step % n_cores;
+            let dec = d.decide(core, now, |v| flags & (1 << (v.0 % 8)) != 0);
+            if let Decision::Run { vcpu, level2, .. } = dec {
+                prop_assert!(!level2, "capped vCPU picked by the second level");
+                // The table's slot at `now` on this core must name it.
+                match table.lookup(core, now) {
+                    Slot::Reserved { vcpu: owner, .. } => prop_assert_eq!(owner, vcpu),
+                    Slot::Idle { .. } => prop_assert!(
+                        false,
+                        "capped {} dispatched into an idle slot",
+                        vcpu
+                    ),
+                }
+                d.on_descheduled(vcpu, core);
+            }
+            now += Nanos::from_micros(211 + (rng % 2048));
+        }
+    }
+
+    /// Blocked vCPUs are never dispatched.
+    #[test]
+    fn blocked_vcpus_never_run(
+        capped_mask in any::<u8>(),
+        blocked_mask in any::<u8>(),
+        steps in 50usize..150,
+    ) {
+        let (mut d, n_cores, _) = paper_dispatcher(capped_mask);
+        let mut now = Nanos::ZERO;
+        for step in 0..steps {
+            let core = step % n_cores;
+            let dec = d.decide(core, now, |v| blocked_mask & (1 << (v.0 % 8)) == 0);
+            if let Some(v) = dec.vcpu() {
+                prop_assert!(
+                    blocked_mask & (1 << (v.0 % 8)) == 0,
+                    "blocked {v} dispatched"
+                );
+                d.on_descheduled(v, core);
+            }
+            now += Nanos::from_micros(500);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! CLI entry point for the experiment harness.
+//!
+//! Usage: `experiments <fig3|fig4|tab1|tab2|fig5|fig6|fig7|fig8|all>
+//! [--quick]`. `fig3`/`fig4` and `tab1`/`tab2` are generated together
+//! (they share their runs).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+
+    for id in which {
+        match id {
+            "fig3" | "fig4" | "planner" => {
+                experiments::planner_scale::run(quick);
+            }
+            "tab1" | "tab2" | "overheads" => {
+                experiments::overheads::run(quick);
+            }
+            "fig5" | "intrinsic" => {
+                experiments::intrinsic_delay::run(quick);
+            }
+            "fig6" | "ping" => {
+                experiments::ping_latency::run(quick);
+            }
+            "fig7" => {
+                experiments::nginx::run_fig7(quick);
+            }
+            "fig8" => {
+                experiments::nginx::run_fig8(quick);
+            }
+            "ablations" => {
+                experiments::ablations::run(quick);
+                experiments::scaling::run(quick);
+                experiments::latency_sweep::run(quick);
+            }
+            "scaling" => {
+                experiments::scaling::run(quick);
+                experiments::latency_sweep::run(quick);
+            }
+            "latency_sweep" => {
+                experiments::latency_sweep::run(quick);
+            }
+            "all" => {
+                experiments::planner_scale::run(quick);
+                experiments::overheads::run(quick);
+                experiments::intrinsic_delay::run(quick);
+                experiments::ping_latency::run(quick);
+                experiments::nginx::run_fig7(quick);
+                experiments::nginx::run_fig8(quick);
+                experiments::ablations::run(quick);
+                experiments::scaling::run(quick);
+                experiments::latency_sweep::run(quick);
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!("known: fig3 fig4 tab1 tab2 fig5 fig6 fig7 fig8 ablations scaling latency_sweep all [--quick]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

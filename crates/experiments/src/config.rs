@@ -1,0 +1,246 @@
+//! Shared experiment configuration: the paper's evaluation setups.
+//!
+//! Sec. 7.2: *"on our 16-core server, we assigned four single-vCPU VMs per
+//! core (i.e., each with 25% CPU utilization), with four cores dedicated to
+//! dom0"* — so guest VMs run on 12 cores (48 VMs). The 48-core machine
+//! analogously dedicates 4 cores to dom0, leaving 44 guest cores (176 VMs).
+//! The simulator models the guest cores only (dom0's cores never run guest
+//! vCPUs and the SR-IOV NIC bypasses dom0's I/O path).
+//!
+//! All schedulers are configured as in Sec. 7.2: Credit with a 5 ms
+//! timeslice, Tableau with `U = 25%` and `L = 20 ms` (planner picks
+//! `T ≈ 12.84 ms`, `C ≈ 3.21 ms`), and RTDS matched to Tableau's
+//! parameters.
+
+use rtsched::time::Nanos;
+use schedulers::{Credit, Credit2, Rtds, Tableau};
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+use workloads::{CacheThrash, IoStress, LightSystemNoise};
+use xensim::sched::GuestWorkload;
+use xensim::{Machine, Sim, VcpuId};
+
+/// The guest-visible 16-core platform: 12 guest cores across 2 sockets.
+pub fn guest_machine_16core() -> Machine {
+    Machine {
+        n_sockets: 2,
+        cores_per_socket: 6,
+        ..Machine::xeon_16core()
+    }
+}
+
+/// The guest-visible 48-core platform: 44 guest cores across 4 sockets.
+pub fn guest_machine_48core() -> Machine {
+    Machine {
+        n_sockets: 4,
+        cores_per_socket: 11,
+        ..Machine::xeon_48core()
+    }
+}
+
+/// Which scheduler a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Xen's default Credit scheduler.
+    Credit,
+    /// Xen's Credit2 (uncapped scenarios only, as in the paper).
+    Credit2,
+    /// RTDS (capped scenarios only, as in the paper).
+    Rtds,
+    /// Tableau.
+    Tableau,
+}
+
+impl SchedKind {
+    /// Display name matching the paper's labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedKind::Credit => "Credit",
+            SchedKind::Credit2 => "Credit2",
+            SchedKind::Rtds => "RTDS",
+            SchedKind::Tableau => "Tableau",
+        }
+    }
+}
+
+/// Background workload flavor ("BG" in the paper's figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Background {
+    /// No benchmark running — just light guest-system activity.
+    None,
+    /// I/O-intensive `stress` (frequent scheduler invocations).
+    Io,
+    /// Cache-thrashing, fully CPU-bound `stress`.
+    Cpu,
+}
+
+impl Background {
+    /// Display name matching the paper's figure captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            Background::None => "No BG",
+            Background::Io => "IO BG",
+            Background::Cpu => "CPU BG",
+        }
+    }
+
+    fn workload(self) -> Box<dyn GuestWorkload> {
+        match self {
+            Background::None => Box::new(LightSystemNoise::paper_default()),
+            Background::Io => Box::new(IoStress::paper_default()),
+            Background::Cpu => Box::new(CacheThrash),
+        }
+    }
+}
+
+/// The paper's per-vCPU parameters: 25% reservation, 20 ms latency goal.
+pub const VM_UTILIZATION_PCT: u32 = 25;
+pub const LATENCY_GOAL: Nanos = Nanos(20_000_000);
+
+/// RTDS parameters matched to Tableau's planner output (Sec. 7.2).
+pub const RTDS_BUDGET: Nanos = Nanos(3_209_456);
+pub const RTDS_PERIOD: Nanos = Nanos(12_837_825);
+
+/// Builds a high-density scenario: `vms_per_core` single-vCPU VMs per guest
+/// core, one *vantage VM* (vCPU 0) running `vantage`, all others running
+/// the background workload.
+///
+/// Returns the simulator (not yet started) and the vantage vCPU id.
+///
+/// # Panics
+///
+/// Panics if the Tableau planner rejects the configuration (cannot happen
+/// for the paper's 4x25% shape) or if an unsupported scheduler/cap
+/// combination is requested (Credit2 capped, RTDS uncapped), mirroring the
+/// paper's scenario split.
+pub fn build_scenario(
+    machine: Machine,
+    vms_per_core: usize,
+    kind: SchedKind,
+    capped: bool,
+    vantage: Box<dyn GuestWorkload>,
+    background: Background,
+) -> (Sim, VcpuId) {
+    let n_cores = machine.n_cores();
+    let n_vms = n_cores * vms_per_core;
+    let utilization = Utilization::from_percent(100 / vms_per_core as u32);
+
+    let sched: Box<dyn xensim::VmScheduler> = match kind {
+        SchedKind::Credit => Box::new(Credit::new(machine)),
+        SchedKind::Credit2 => {
+            assert!(!capped, "Credit2 does not support caps (Sec. 7.2)");
+            Box::new(Credit2::new(machine))
+        }
+        SchedKind::Rtds => {
+            assert!(capped, "RTDS is not work-conserving; capped only");
+            let mut r = Rtds::new(machine);
+            r.set_default_params(
+                utilization.budget_in(RTDS_PERIOD),
+                RTDS_PERIOD,
+            );
+            Box::new(r)
+        }
+        SchedKind::Tableau => {
+            let mut host = HostConfig::new(n_cores);
+            let spec = if capped {
+                VcpuSpec::capped(utilization, LATENCY_GOAL)
+            } else {
+                VcpuSpec::new(utilization, LATENCY_GOAL)
+            };
+            for i in 0..n_vms {
+                host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+            }
+            let p = plan(&host, &PlannerOptions::default()).expect("paper shape must plan");
+            Box::new(Tableau::from_plan(&p))
+        }
+    };
+
+    let mut sim = Sim::new(machine, sched);
+    let vantage_id = sim.add_vcpu(vantage, 0, false);
+    for i in 1..n_vms {
+        sim.add_vcpu(background.workload(), i % n_cores, true);
+    }
+
+    // Credit caps are per-vCPU runtime configuration.
+    if capped && kind == SchedKind::Credit {
+        let ppm = utilization.ppm();
+        let credit = sim
+            .scheduler_mut()
+            .as_any()
+            .downcast_mut::<Credit>()
+            .expect("credit scheduler");
+        for i in 0..n_vms {
+            credit.set_cap(VcpuId(i as u32), ppm);
+        }
+    }
+
+    (sim, vantage_id)
+}
+
+/// The scheduler line-up for a capped scenario (Sec. 7.2's split).
+pub const CAPPED_SCHEDULERS: [SchedKind; 3] =
+    [SchedKind::Credit, SchedKind::Rtds, SchedKind::Tableau];
+
+/// The scheduler line-up for an uncapped scenario.
+pub const UNCAPPED_SCHEDULERS: [SchedKind; 3] =
+    [SchedKind::Credit, SchedKind::Credit2, SchedKind::Tableau];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::IntrinsicLatency;
+
+    #[test]
+    fn guest_machines_match_paper_minus_dom0() {
+        assert_eq!(guest_machine_16core().n_cores(), 12);
+        assert_eq!(guest_machine_48core().n_cores(), 44);
+    }
+
+    #[test]
+    fn all_scenarios_build() {
+        let m = Machine::small(2);
+        for kind in CAPPED_SCHEDULERS {
+            let (sim, v) = build_scenario(
+                m,
+                4,
+                kind,
+                true,
+                Box::new(IntrinsicLatency::new()),
+                Background::Io,
+            );
+            assert_eq!(v, VcpuId(0));
+            assert_eq!(sim.machine().n_cores(), 2);
+        }
+        for kind in UNCAPPED_SCHEDULERS {
+            let (_sim, _) = build_scenario(
+                m,
+                4,
+                kind,
+                false,
+                Box::new(IntrinsicLatency::new()),
+                Background::Cpu,
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Credit2 does not support caps")]
+    fn credit2_capped_is_rejected() {
+        let _ = build_scenario(
+            Machine::small(1),
+            4,
+            SchedKind::Credit2,
+            true,
+            Box::new(IntrinsicLatency::new()),
+            Background::None,
+        );
+    }
+
+    #[test]
+    fn rtds_budget_matches_utilization() {
+        assert_eq!(
+            Utilization::from_percent(25).budget_in(RTDS_PERIOD),
+            RTDS_BUDGET
+        );
+    }
+}

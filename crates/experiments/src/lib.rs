@@ -1,0 +1,29 @@
+//! Experiment harness regenerating every table and figure of the Tableau
+//! paper's evaluation (Sec. 7).
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`planner_scale`] | Fig. 3 (table-generation time), Fig. 4 (table size) |
+//! | [`overheads`] | Table 1 (16-core overheads), Table 2 (48-core) |
+//! | [`intrinsic_delay`] | Fig. 5 (max scheduling delay, redis-cli probe) |
+//! | [`ping_latency`] | Fig. 6 (avg/max ping latency) |
+//! | [`nginx`] | Fig. 7 (latency vs. throughput, IO BG), Fig. 8 (CPU BG) |
+//!
+//! [`ablations`] additionally isolates individual design choices (Credit's
+//! boost, the second-level scheduler and its epoch, the peephole pass).
+//!
+//! Run via the `experiments` binary: `cargo run --release -p experiments --
+//! all` (or a specific id, with `--quick` for a fast smoke pass). Each
+//! experiment prints the paper's rows/series and writes a JSON artifact to
+//! `results/`.
+
+pub mod ablations;
+pub mod config;
+pub mod intrinsic_delay;
+pub mod latency_sweep;
+pub mod nginx;
+pub mod overheads;
+pub mod ping_latency;
+pub mod planner_scale;
+pub mod report;
+pub mod scaling;

@@ -1,0 +1,298 @@
+//! Figs. 7 & 8: nginx HTTPS latency-vs-throughput curves.
+//!
+//! The vantage VM serves fixed-size files (1 KiB / 100 KiB / 1 MiB) over
+//! HTTPS while an open-loop wrk2-style generator sweeps the request rate;
+//! every other VM runs a background workload (I/O-intensive for Fig. 7,
+//! cache-thrashing for Fig. 8). Each row of the paper's figures is a curve
+//! of {mean, p99, max} latency against achieved throughput.
+//!
+//! Key shapes to reproduce (Secs. 7.4–7.5):
+//!
+//! * Tableau reaches the highest SLA-aware peak throughput for 1 KiB and
+//!   100 KiB files in both capped and uncapped scenarios;
+//! * RTDS collapses under the I/O background (scheduler overhead eats the
+//!   vantage VM's budget);
+//! * Credit's tail latencies climb well before its peak;
+//! * uncapped Tableau beats capped Tableau (the second-level scheduler);
+//! * **exception**: capped 1 MiB, where Credit beats Tableau — the NIC
+//!   ring drains and idles during table blackouts (Sec. 7.5);
+//! * Fig. 8 (CPU-bound background): all schedulers converge in the capped
+//!   scenario; uncapped, Tableau keeps its capped-level peak while
+//!   Credit/Credit2 lose throughput to the aggressive background VMs.
+
+use serde::Serialize;
+
+use rtsched::time::Nanos;
+use workloads::wrk2::{constant_rate_arrivals, LoadPoint};
+use workloads::HttpServer;
+use xensim::Machine;
+
+use crate::config::{
+    build_scenario, Background, SchedKind, CAPPED_SCHEDULERS, UNCAPPED_SCHEDULERS,
+};
+use crate::report::{print_table, write_json};
+
+/// One measured point of one curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct CurvePoint {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Capped or uncapped scenario.
+    pub capped: bool,
+    /// Background workload label.
+    pub background: String,
+    /// Response size in KiB.
+    pub file_kib: u64,
+    /// The latency/throughput measurements.
+    #[serde(flatten)]
+    pub load: LoadPoint,
+}
+
+/// Measures one (scheduler, scenario, size, rate) point.
+pub fn measure(
+    machine: Machine,
+    kind: SchedKind,
+    capped: bool,
+    bg: Background,
+    file_kib: u64,
+    rate: f64,
+    duration: Nanos,
+) -> CurvePoint {
+    let (mut sim, vantage) = build_scenario(
+        machine,
+        4,
+        kind,
+        capped,
+        Box::new(HttpServer::new(file_kib * 1024)),
+        bg,
+    );
+    for t in constant_rate_arrivals(rate, duration) {
+        sim.push_external(t, vantage, 0);
+    }
+    // Measure exactly the load window; requests still in flight at the cut
+    // simply do not count (as with a fixed-duration wrk2 run).
+    sim.run_until(duration);
+    let server = sim
+        .workload_mut(vantage)
+        .as_any()
+        .downcast_ref::<HttpServer>()
+        .expect("http server");
+    CurvePoint {
+        scheduler: kind.label().to_string(),
+        capped,
+        background: bg.label().to_string(),
+        file_kib,
+        load: LoadPoint::from_histogram(rate, server.completed, duration, &server.latencies),
+    }
+}
+
+/// The swept request rates per file size (requests per second).
+pub fn rates_for(file_kib: u64, quick: bool) -> Vec<f64> {
+    let full: &[f64] = match file_kib {
+        1 => &[
+            200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0, 1400.0, 1600.0, 1800.0, 2000.0, 2400.0,
+        ],
+        100 => &[
+            100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0,
+        ],
+        1024 => &[10.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0],
+        _ => &[100.0, 500.0, 1000.0],
+    };
+    if quick {
+        full.iter().step_by(3).copied().collect()
+    } else {
+        full.to_vec()
+    }
+}
+
+/// Sweeps one figure row (one file size, one scenario).
+pub fn sweep(
+    machine: Machine,
+    kinds: &[SchedKind],
+    capped: bool,
+    bg: Background,
+    file_kib: u64,
+    duration: Nanos,
+    quick: bool,
+) -> Vec<CurvePoint> {
+    let mut out = Vec::new();
+    for &kind in kinds {
+        for rate in rates_for(file_kib, quick) {
+            out.push(measure(machine, kind, capped, bg, file_kib, rate, duration));
+        }
+    }
+    out
+}
+
+fn print_points(title: &str, points: &[CurvePoint]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.scheduler.clone(),
+                if p.capped { "capped" } else { "uncapped" }.into(),
+                p.file_kib.to_string(),
+                format!("{:.0}", p.load.offered_rps),
+                format!("{:.0}", p.load.achieved_rps),
+                format!("{:.2}", p.load.mean_ms),
+                format!("{:.2}", p.load.p99_ms),
+                format!("{:.2}", p.load.max_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &[
+            "scheduler", "scenario", "KiB", "offered", "achieved", "mean(ms)", "p99(ms)",
+            "max(ms)",
+        ],
+        &rows,
+    );
+}
+
+/// Runs the full Fig. 7 grid (I/O background).
+pub fn run_fig7(quick: bool) -> Vec<CurvePoint> {
+    let machine = crate::config::guest_machine_16core();
+    let duration = if quick {
+        Nanos::from_millis(600)
+    } else {
+        Nanos::from_secs(5)
+    };
+    let mut points = Vec::new();
+    for &file_kib in &[1u64, 100, 1024] {
+        points.extend(sweep(
+            machine,
+            &CAPPED_SCHEDULERS,
+            true,
+            Background::Io,
+            file_kib,
+            duration,
+            quick,
+        ));
+        points.extend(sweep(
+            machine,
+            &UNCAPPED_SCHEDULERS,
+            false,
+            Background::Io,
+            file_kib,
+            duration,
+            quick,
+        ));
+    }
+    print_points("Fig. 7: nginx HTTPS latency vs. throughput (IO BG)", &points);
+    write_json("fig7_nginx_io_bg", &points);
+    points
+}
+
+/// Runs the full Fig. 8 grid (cache-thrashing background, 100 KiB files).
+pub fn run_fig8(quick: bool) -> Vec<CurvePoint> {
+    let machine = crate::config::guest_machine_16core();
+    let duration = if quick {
+        Nanos::from_millis(600)
+    } else {
+        Nanos::from_secs(5)
+    };
+    let mut points = sweep(
+        machine,
+        &CAPPED_SCHEDULERS,
+        true,
+        Background::Cpu,
+        100,
+        duration,
+        quick,
+    );
+    points.extend(sweep(
+        machine,
+        &UNCAPPED_SCHEDULERS,
+        false,
+        Background::Cpu,
+        100,
+        duration,
+        quick,
+    ));
+    print_points(
+        "Fig. 8: nginx HTTPS latency vs. throughput (cache-thrash BG, 100 KiB)",
+        &points,
+    );
+    write_json("fig8_nginx_cpu_bg", &points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::sla_peak_throughput;
+
+    fn small() -> Machine {
+        Machine::small(2)
+    }
+
+    const DUR: Nanos = Nanos(2_000_000_000);
+
+    fn peak(kind: SchedKind, capped: bool, bg: Background, kib: u64) -> f64 {
+        // Scale rates to the 2-core machine: the vantage VM still has a
+        // 25% reservation of one core, so per-VM peaks match the paper's.
+        let points: Vec<LoadPoint> = rates_for(kib, true)
+            .into_iter()
+            .map(|r| measure(small(), kind, capped, bg, kib, r, DUR).load)
+            .collect();
+        sla_peak_throughput(&points, 100.0)
+    }
+
+    #[test]
+    fn tableau_beats_rtds_on_small_files_with_io_bg() {
+        // The RTDS degradation is a *scale* effect: the background VMs'
+        // scheduler-invocation churn needs the full 12-guest-core machine,
+        // so this check runs on the paper's platform. Near saturation
+        // RTDS's p99 climbs steeply while Tableau's stays at its table
+        // bound; the SLA-aware peaks separate accordingly.
+        let machine = crate::config::guest_machine_16core();
+        let curve = |kind: SchedKind| -> Vec<LoadPoint> {
+            [1200.0, 1400.0, 1600.0]
+                .into_iter()
+                .map(|r| measure(machine, kind, true, Background::Io, 1, r, DUR).load)
+                .collect()
+        };
+        let tableau = curve(SchedKind::Tableau);
+        let rtds = curve(SchedKind::Rtds);
+        let t = sla_peak_throughput(&tableau, 30.0);
+        let r = sla_peak_throughput(&rtds, 30.0);
+        assert!(
+            t > r * 1.1,
+            "Tableau {t} req/s vs RTDS {r} req/s (expected a clear win)"
+        );
+        // Tableau's p99 stays within ~its table bound at every tested rate.
+        assert!(
+            tableau.iter().all(|p| p.p99_ms < 15.0),
+            "Tableau tails not flat: {tableau:?}"
+        );
+        // RTDS's p99 at the top rate has left the bounded regime.
+        assert!(rtds.last().unwrap().p99_ms > 20.0);
+    }
+
+    #[test]
+    fn uncapped_tableau_beats_capped_tableau() {
+        let capped = peak(SchedKind::Tableau, true, Background::Io, 100);
+        let uncapped = peak(SchedKind::Tableau, false, Background::Io, 100);
+        assert!(
+            uncapped > capped,
+            "level 2 should lift throughput: {uncapped} vs {capped}"
+        );
+    }
+
+    #[test]
+    fn saturation_raises_latency() {
+        // Far beyond peak, latency must blow past any SLA.
+        let p = measure(small(), SchedKind::Tableau, true, Background::Io, 1, 5_000.0, DUR);
+        assert!(p.load.p99_ms > 100.0, "p99 only {} ms at 5k rps", p.load.p99_ms);
+        // And achieved < offered.
+        assert!(p.load.achieved_rps < 3_000.0);
+    }
+
+    #[test]
+    fn low_rate_latency_is_low_for_dynamic_schedulers() {
+        let p = measure(small(), SchedKind::Credit, false, Background::Cpu, 1, 50.0, DUR);
+        assert!(p.load.mean_ms < 20.0, "mean {} ms at 50 rps", p.load.mean_ms);
+        assert!((p.load.achieved_rps - 50.0).abs() < 5.0);
+    }
+}

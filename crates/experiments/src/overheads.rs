@@ -1,0 +1,185 @@
+//! Tables 1 & 2: mean scheduler-operation overheads under an I/O-intensive
+//! high-density workload.
+//!
+//! Sec. 7.2: every VM runs the `stress`-based I/O workload for 60 s while
+//! tracepoints record the cost of (i) scheduling decisions, (ii) wake-up
+//! processing, and (iii) post-de-schedule work ("Migrate"). Table 1 is the
+//! 16-core (12 guest cores) machine; Table 2 the 48-core (44 guest cores)
+//! machine, where RTDS's global lock melts down (>168 µs mean migrate).
+//!
+//! Base costs are calibrated to Table 1 (see `schedulers::costs`); the
+//! Table 2 blow-ups *emerge* from lock contention and machine-size scan
+//! terms.
+
+use serde::Serialize;
+
+use rtsched::time::Nanos;
+use workloads::IoStress;
+use xensim::stats::OpKind;
+use xensim::Machine;
+
+use crate::config::{build_scenario, Background, SchedKind};
+use crate::report::{print_table, us, write_json};
+
+/// One scheduler's row pair in Table 1/2.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Mean decision cost in µs.
+    pub schedule_us: f64,
+    /// Mean wake-up cost in µs.
+    pub wakeup_us: f64,
+    /// Mean post-de-schedule ("Migrate") cost in µs.
+    pub migrate_us: f64,
+    /// Number of decisions sampled.
+    pub samples: u64,
+}
+
+/// Measures one scheduler on one machine.
+fn measure(machine: Machine, kind: SchedKind, duration: Nanos) -> OverheadRow {
+    // Per the paper's scenario split, Credit2 runs uncapped and the rest
+    // capped; the workload is identical.
+    let capped = kind != SchedKind::Credit2;
+    let (mut sim, _v) = build_scenario(
+        machine,
+        4,
+        kind,
+        capped,
+        Box::new(IoStress::paper_default()),
+        Background::Io,
+    );
+    sim.run_until(duration);
+    let ops = &sim.stats().ops;
+    OverheadRow {
+        scheduler: kind.label().to_string(),
+        schedule_us: ops.get(OpKind::Schedule).mean_us(),
+        wakeup_us: ops.get(OpKind::Wakeup).mean_us(),
+        migrate_us: ops.get(OpKind::Deschedule).mean_us(),
+        samples: ops.get(OpKind::Schedule).count,
+    }
+}
+
+/// The full Table 1/2 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadTables {
+    /// 16-core machine (12 guest cores) — Table 1.
+    pub table1: Vec<OverheadRow>,
+    /// 48-core machine (44 guest cores) — Table 2.
+    pub table2: Vec<OverheadRow>,
+}
+
+const ALL: [SchedKind; 4] = [
+    SchedKind::Credit,
+    SchedKind::Credit2,
+    SchedKind::Rtds,
+    SchedKind::Tableau,
+];
+
+/// Runs both overhead tables.
+pub fn run(quick: bool) -> OverheadTables {
+    let duration = if quick {
+        Nanos::from_millis(500)
+    } else {
+        Nanos::from_secs(5)
+    };
+
+    let run_machine = |machine: Machine, title: &str| -> Vec<OverheadRow> {
+        let rows: Vec<OverheadRow> = ALL
+            .iter()
+            .map(|&kind| measure(machine, kind, duration))
+            .collect();
+        let printable: Vec<Vec<String>> = OpKind::ALL
+            .iter()
+            .map(|&op| {
+                let mut cells = vec![op.label().to_string()];
+                for r in &rows {
+                    cells.push(us(match op {
+                        OpKind::Schedule => r.schedule_us,
+                        OpKind::Wakeup => r.wakeup_us,
+                        OpKind::Deschedule => r.migrate_us,
+                    }));
+                }
+                cells
+            })
+            .collect();
+        print_table(
+            title,
+            &["", "Credit", "Credit2", "RTDS", "Tableau"],
+            &printable,
+        );
+        rows
+    };
+
+    let table1 = run_machine(
+        crate::config::guest_machine_16core(),
+        "Table 1: mean overheads (us), 16-core 2-socket server",
+    );
+    let table2 = run_machine(
+        crate::config::guest_machine_48core(),
+        "Table 2: mean overheads (us), 48-core 4-socket server",
+    );
+    let tables = OverheadTables { table1, table2 };
+    write_json("tab1_tab2_overheads", &tables);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(rows: &'a [OverheadRow], name: &str) -> &'a OverheadRow {
+        rows.iter().find(|r| r.scheduler == name).unwrap()
+    }
+
+    #[test]
+    fn paper_orderings_hold() {
+        // A short-but-real run on the small 16-core machine.
+        let duration = Nanos::from_millis(400);
+        let m = crate::config::guest_machine_16core();
+        let rows: Vec<OverheadRow> =
+            ALL.iter().map(|&k| measure(m, k, duration)).collect();
+        let credit = row(&rows, "Credit");
+        let credit2 = row(&rows, "Credit2");
+        let rtds = row(&rows, "RTDS");
+        let tableau = row(&rows, "Tableau");
+
+        for r in &rows {
+            assert!(r.samples > 100, "{} undersampled: {}", r.scheduler, r.samples);
+        }
+        // Schedule: Tableau cheapest; Credit most expensive.
+        assert!(tableau.schedule_us < rtds.schedule_us);
+        assert!(tableau.schedule_us < credit2.schedule_us);
+        assert!(credit.schedule_us > credit2.schedule_us);
+        // Wakeup: Tableau cheapest.
+        assert!(tableau.wakeup_us < credit.wakeup_us);
+        assert!(tableau.wakeup_us < credit2.wakeup_us);
+        assert!(tableau.wakeup_us < rtds.wakeup_us);
+        // Migrate: RTDS most expensive; Credit and Tableau tiny.
+        assert!(rtds.migrate_us > credit2.migrate_us);
+        assert!(credit.migrate_us < 1.0);
+        assert!(tableau.migrate_us < 1.0);
+    }
+
+    #[test]
+    fn rtds_migrate_blows_up_on_the_big_machine() {
+        // The Table 2 headline: RTDS's global lock under 44 cores of I/O
+        // churn. Short duration suffices for the contention to compound.
+        let duration = Nanos::from_millis(300);
+        let small = measure(crate::config::guest_machine_16core(), SchedKind::Rtds, duration);
+        let big = measure(crate::config::guest_machine_48core(), SchedKind::Rtds, duration);
+        assert!(
+            big.migrate_us > 2.0 * small.migrate_us,
+            "no blow-up: {} vs {}",
+            big.migrate_us,
+            small.migrate_us
+        );
+        assert!(big.migrate_us > 15.0, "absolute cost too low: {}", big.migrate_us);
+        // Tableau stays flat in comparison.
+        let t_small =
+            measure(crate::config::guest_machine_16core(), SchedKind::Tableau, duration);
+        let t_big =
+            measure(crate::config::guest_machine_48core(), SchedKind::Tableau, duration);
+        assert!(t_big.migrate_us < 2.0 * t_small.migrate_us + 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Figs. 3 & 4: table-generation time and table size vs. number of VMs.
+//!
+//! The paper stresses the planner on the 48-core machine: 44 guest cores,
+//! up to four VMs per core (176 VMs), with every VM assigned one of four
+//! latency goals (1 ms, 30 ms, 60 ms, 100 ms). Fig. 3 reports generation
+//! time (their Python planner: up to ~2 s); Fig. 4 reports the compiled
+//! table size (up to ~1.2 MiB, dominated by the 1 ms goal, whose short
+//! periods produce many allocations and fine slices).
+//!
+//! Absolute times differ (this planner is compiled Rust, the paper's is
+//! Python on SchedCAT); the *shapes* to reproduce are: time grows with VM
+//! count, the 1 ms goal is by far the most expensive, and table size is
+//! dominated by the 1 ms goal while the others nearly coincide.
+
+use serde::Serialize;
+
+use rtsched::time::Nanos;
+use tableau_core::binary::encoded_size;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+use crate::report::{print_table, write_json};
+
+/// One measurement point for Figs. 3–4.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlannerPoint {
+    /// Number of single-vCPU VMs planned for.
+    pub n_vms: usize,
+    /// The latency goal shared by all VMs, in milliseconds.
+    pub latency_goal_ms: u64,
+    /// Mean wall-clock table-generation time in milliseconds.
+    pub gen_time_ms: f64,
+    /// Compiled (binary) table size in bytes.
+    pub table_bytes: usize,
+    /// Which generation stage succeeded.
+    pub stage: String,
+}
+
+/// The paper's latency goals.
+pub const GOALS_MS: [u64; 4] = [1, 30, 60, 100];
+
+/// Builds the Fig. 3/4 host: `n_vms` single-vCPU VMs at 25% on 44 cores.
+fn host(n_vms: usize, goal: Nanos) -> HostConfig {
+    let mut h = HostConfig::new(44);
+    let spec = VcpuSpec::capped(Utilization::from_percent(25), goal);
+    for i in 0..n_vms {
+        h.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    h
+}
+
+/// Runs the planner-scalability experiment.
+pub fn run(quick: bool) -> Vec<PlannerPoint> {
+    let counts: Vec<usize> = if quick {
+        vec![44, 176]
+    } else {
+        vec![22, 44, 66, 88, 110, 132, 154, 176]
+    };
+    let reps = if quick { 1 } else { 5 };
+    let opts = PlannerOptions::default();
+
+    let mut points = Vec::new();
+    for &goal_ms in &GOALS_MS {
+        for &n in &counts {
+            let h = host(n, Nanos::from_millis(goal_ms));
+            let mut total = std::time::Duration::ZERO;
+            let mut last = None;
+            for _ in 0..reps {
+                let t0 = std::time::Instant::now();
+                let p = plan(&h, &opts).expect("paper shape must plan");
+                total += t0.elapsed();
+                last = Some(p);
+            }
+            let p = last.expect("at least one rep");
+            points.push(PlannerPoint {
+                n_vms: n,
+                latency_goal_ms: goal_ms,
+                gen_time_ms: total.as_secs_f64() * 1e3 / reps as f64,
+                table_bytes: encoded_size(&p.table),
+                stage: format!("{:?}", p.stage),
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n_vms.to_string(),
+                p.latency_goal_ms.to_string(),
+                format!("{:.3}", p.gen_time_ms),
+                format!("{:.3}", p.table_bytes as f64 / (1024.0 * 1024.0)),
+                p.stage.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 3 & 4: table-generation time and table size (44 guest cores)",
+        &["VMs", "goal(ms)", "gen time(ms)", "size(MiB)", "stage"],
+        &rows,
+    );
+    write_json("fig3_fig4_planner_scale", &points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_expected_shape() {
+        let pts = run(true);
+        assert_eq!(pts.len(), GOALS_MS.len() * 2);
+        // Time grows with VM count for the 1 ms goal (the expensive one).
+        let t44 = pts
+            .iter()
+            .find(|p| p.latency_goal_ms == 1 && p.n_vms == 44)
+            .unwrap();
+        let t176 = pts
+            .iter()
+            .find(|p| p.latency_goal_ms == 1 && p.n_vms == 176)
+            .unwrap();
+        assert!(t176.gen_time_ms > t44.gen_time_ms * 1.5);
+        // The 1 ms table dwarfs the 100 ms table.
+        let s1 = pts
+            .iter()
+            .find(|p| p.latency_goal_ms == 1 && p.n_vms == 176)
+            .unwrap()
+            .table_bytes;
+        let s100 = pts
+            .iter()
+            .find(|p| p.latency_goal_ms == 100 && p.n_vms == 176)
+            .unwrap()
+            .table_bytes;
+        assert!(s1 > 5 * s100, "1 ms: {s1} B vs 100 ms: {s100} B");
+    }
+
+    #[test]
+    fn relaxed_goals_all_have_near_zero_size_on_the_figure_axis() {
+        // Fig. 4: "All but the 1 ms curve overlap" — on a MiB-scale axis
+        // the 30/60/100 ms tables are all indistinguishable from zero while
+        // the 1 ms table is orders of magnitude larger.
+        let opts = PlannerOptions::default();
+        let size = |g: u64| {
+            let p = plan(&host(88, Nanos::from_millis(g)), &opts).unwrap();
+            encoded_size(&p.table)
+        };
+        let tight = size(1);
+        for g in [30u64, 60, 100] {
+            let s = size(g);
+            assert!(
+                s * 5 < tight,
+                "goal {g} ms table ({s} B) not dwarfed by 1 ms table ({tight} B)"
+            );
+        }
+    }
+}

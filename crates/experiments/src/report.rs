@@ -1,0 +1,103 @@
+//! Report rendering: aligned text tables (the paper's rows) plus JSON
+//! artifacts for downstream plotting.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Prints an aligned table with a header row.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Directory where experiment JSON artifacts are written.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("TABLEAU_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Serializes `value` as pretty JSON into `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize report");
+    let mut f = std::fs::File::create(&path).expect("create report file");
+    f.write_all(json.as_bytes()).expect("write report");
+    println!("[written] {}", path.display());
+    path
+}
+
+/// Formats a nanosecond value as milliseconds with two decimals.
+pub fn ms(ns: rtsched::time::Nanos) -> String {
+    format!("{:.2}", ns.as_millis_f64())
+}
+
+/// Formats a microsecond float with two decimals.
+pub fn us(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Checks a JSON artifact path exists (test helper).
+pub fn artifact_exists(name: &str) -> bool {
+    Path::new(&results_dir().join(format!("{name}.json"))).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[
+                vec!["1".into(), "22".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        std::env::set_var("TABLEAU_RESULTS_DIR", std::env::temp_dir().join("tbl-test"));
+        let path = write_json("unit-test", &vec![1, 2, 3]);
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        assert!(artifact_exists("unit-test"));
+        std::env::remove_var("TABLEAU_RESULTS_DIR");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(rtsched::time::Nanos::from_micros(1_500)), "1.50");
+        assert_eq!(us(3.14159), "3.14");
+    }
+}

@@ -1,0 +1,154 @@
+//! Scalability sweep: scheduler overheads vs. machine size.
+//!
+//! Tables 1–2 give two data points (16 and 48 cores); the paper's central
+//! scalability claim — "our implementation is inherently scalable because
+//! it uses almost exclusively core-local data structures" — is really a
+//! curve. This experiment sweeps the guest-core count under the standard
+//! high-density I/O workload and reports each scheduler's mean
+//! per-operation overhead, making the asymptotics visible: Tableau flat,
+//! Credit linear in core count (balance/idler scans), RTDS superlinear
+//! once its global lock saturates.
+
+use serde::Serialize;
+
+use rtsched::time::Nanos;
+use workloads::IoStress;
+use xensim::stats::OpKind;
+use xensim::Machine;
+
+use crate::config::{build_scenario, Background, SchedKind};
+use crate::report::{print_table, write_json};
+
+/// One (scheduler, machine size) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingPoint {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Guest cores simulated.
+    pub cores: usize,
+    /// Mean decision cost (µs).
+    pub schedule_us: f64,
+    /// Mean wake-up cost (µs).
+    pub wakeup_us: f64,
+    /// Mean post-de-schedule cost (µs).
+    pub migrate_us: f64,
+    /// Total scheduler CPU time as a fraction of machine capacity — the
+    /// "5% of all cycles" style figure the paper quotes from Google.
+    pub overhead_fraction: f64,
+}
+
+fn measure(cores: usize, kind: SchedKind, duration: Nanos) -> ScalingPoint {
+    // Keep the topology class of the paper's machines: sockets of ~8-12.
+    let n_sockets = (cores / 11).max(1);
+    let machine = Machine {
+        n_sockets,
+        cores_per_socket: cores / n_sockets,
+        ..Machine::xeon_16core()
+    };
+    let capped = kind != SchedKind::Credit2;
+    let (mut sim, _v) = build_scenario(
+        machine,
+        4,
+        kind,
+        capped,
+        Box::new(IoStress::paper_default()),
+        Background::Io,
+    );
+    sim.run_until(duration);
+    let stats = sim.stats();
+    let capacity = duration.as_nanos() as f64 * machine.n_cores() as f64;
+    ScalingPoint {
+        scheduler: kind.label().to_string(),
+        cores: machine.n_cores(),
+        schedule_us: stats.ops.get(OpKind::Schedule).mean_us(),
+        wakeup_us: stats.ops.get(OpKind::Wakeup).mean_us(),
+        migrate_us: stats.ops.get(OpKind::Deschedule).mean_us(),
+        overhead_fraction: stats.ops.total_overhead().as_nanos() as f64 / capacity,
+    }
+}
+
+/// Runs the scalability sweep.
+pub fn run(quick: bool) -> Vec<ScalingPoint> {
+    let duration = if quick {
+        Nanos::from_millis(300)
+    } else {
+        Nanos::from_secs(2)
+    };
+    let cores: &[usize] = if quick { &[8, 24] } else { &[8, 12, 22, 33, 44] };
+    let mut points = Vec::new();
+    for &c in cores {
+        for kind in [
+            SchedKind::Credit,
+            SchedKind::Credit2,
+            SchedKind::Rtds,
+            SchedKind::Tableau,
+        ] {
+            points.push(measure(c, kind, duration));
+        }
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.cores.to_string(),
+                p.scheduler.clone(),
+                format!("{:.2}", p.schedule_us),
+                format!("{:.2}", p.wakeup_us),
+                format!("{:.2}", p.migrate_us),
+                format!("{:.1}%", p.overhead_fraction * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Scalability sweep: mean op overheads (us) and total scheduler share",
+        &["cores", "scheduler", "schedule", "wakeup", "migrate", "cycles"],
+        &rows,
+    );
+    write_json("scaling_sweep", &points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tableau_overheads_are_flat_with_core_count() {
+        let d = Nanos::from_millis(300);
+        let small = measure(8, SchedKind::Tableau, d);
+        let big = measure(33, SchedKind::Tableau, d);
+        assert!(
+            (big.schedule_us - small.schedule_us).abs() < 0.3,
+            "Tableau decision cost moved: {} -> {}",
+            small.schedule_us,
+            big.schedule_us
+        );
+    }
+
+    #[test]
+    fn credit_overheads_grow_with_core_count() {
+        let d = Nanos::from_millis(300);
+        let small = measure(8, SchedKind::Credit, d);
+        let big = measure(33, SchedKind::Credit, d);
+        assert!(
+            big.schedule_us > small.schedule_us * 1.5,
+            "Credit should scale with cores: {} -> {}",
+            small.schedule_us,
+            big.schedule_us
+        );
+    }
+
+    #[test]
+    fn tableau_scheduler_share_is_smallest() {
+        let d = Nanos::from_millis(300);
+        let t = measure(12, SchedKind::Tableau, d);
+        for kind in [SchedKind::Credit, SchedKind::Credit2, SchedKind::Rtds] {
+            let other = measure(12, kind, d);
+            assert!(
+                t.overhead_fraction < other.overhead_fraction,
+                "{} spends fewer cycles than Tableau?",
+                other.scheduler
+            );
+        }
+    }
+}

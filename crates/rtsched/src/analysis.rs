@@ -1,0 +1,332 @@
+//! Uniprocessor EDF schedulability analysis via the processor-demand
+//! criterion.
+//!
+//! The planner needs a fast, exact yes/no test while bin-packing: "if this
+//! (piece of a) task is added to this core, does EDF still meet every
+//! deadline?" For synchronous periodic tasks with constrained deadlines the
+//! classic processor-demand criterion applies: the set is schedulable iff
+//! for every interval length `t`,
+//!
+//! ```text
+//! dbf(t) = sum_i max(0, floor((t - D_i) / T_i) + 1) * C_i  <=  t
+//! ```
+//!
+//! Release offsets only *reduce* demand relative to the synchronous case
+//! (Baruah et al.), so ignoring them here is sound — the generated table is
+//! additionally checked by the exact [`crate::verify`] pass.
+//!
+//! Because every period in Tableau divides the hyperperiod `H`, it suffices
+//! to check `t` at every absolute deadline up to `H` (for total utilization
+//! exactly 1 the demand bound recurs with period `H`).
+
+use crate::task::PeriodicTask;
+use crate::time::Nanos;
+
+/// Exact demand bound function of a single task for interval length `t`.
+///
+/// Returns the maximum cumulative execution requirement of jobs of `task`
+/// that have both release and deadline inside an interval of length `t`,
+/// assuming a synchronous release (offsets ignored — see module docs).
+pub fn dbf_task(task: &PeriodicTask, t: Nanos) -> Nanos {
+    if t < task.deadline {
+        return Nanos::ZERO;
+    }
+    // floor((t - D) / T) + 1 complete windows fit in t.
+    let jobs = (t - task.deadline) / task.period + 1;
+    task.cost * jobs
+}
+
+/// Exact demand bound function of a set of tasks for interval length `t`.
+pub fn dbf(tasks: &[PeriodicTask], t: Nanos) -> Nanos {
+    tasks.iter().map(|task| dbf_task(task, t)).sum()
+}
+
+/// Exact EDF schedulability test for synchronous periodic tasks with
+/// constrained deadlines on one core.
+///
+/// `horizon` bounds the check points; pass the hyperperiod of the set (every
+/// period in Tableau divides the standard hyperperiod, so the planner always
+/// passes `H`). Internally uses Quick Processor-demand Analysis
+/// ([`qpa_schedulable`]) — exact, and typically visits a handful of points
+/// instead of every deadline. The exhaustive point enumeration is kept as
+/// [`edf_schedulable_enumerative`]; a property test pins their equivalence.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::analysis::edf_schedulable;
+/// use rtsched::task::{PeriodicTask, TaskId};
+/// use rtsched::time::Nanos;
+///
+/// let ms = Nanos::from_millis;
+/// let tasks = [
+///     PeriodicTask::implicit(TaskId(0), ms(3), ms(10)),
+///     PeriodicTask::implicit(TaskId(1), ms(7), ms(10)),
+/// ];
+/// assert!(edf_schedulable(&tasks, ms(10)));
+/// let over = [
+///     PeriodicTask::implicit(TaskId(0), ms(4), ms(10)),
+///     PeriodicTask::implicit(TaskId(1), ms(7), ms(10)),
+/// ];
+/// assert!(!edf_schedulable(&over, ms(10)));
+/// ```
+pub fn edf_schedulable(tasks: &[PeriodicTask], horizon: Nanos) -> bool {
+    qpa_schedulable(tasks, horizon)
+}
+
+/// Exhaustive processor-demand test: checks `dbf(t) <= t` at every absolute
+/// deadline up to the horizon.
+///
+/// Kept as the reference implementation for property tests and benchmarks;
+/// [`qpa_schedulable`] computes the same predicate faster.
+pub fn edf_schedulable_enumerative(tasks: &[PeriodicTask], horizon: Nanos) -> bool {
+    if tasks.is_empty() {
+        return true;
+    }
+    // Reject over-utilization exactly: demand over the horizon must fit.
+    // (All periods must divide the horizon for `cost_per` to be exact; the
+    // planner guarantees this by construction.)
+    let total: Nanos = tasks.iter().map(|t| t.cost_per(horizon)).sum();
+    if total > horizon {
+        return false;
+    }
+
+    // Collect candidate check points: every absolute deadline up to the
+    // horizon. Sorting + dedup keeps the inner loop cache-friendly and
+    // avoids re-testing the same instant.
+    let mut points: Vec<Nanos> = Vec::new();
+    for task in tasks {
+        let mut d = task.deadline;
+        while d <= horizon {
+            points.push(d);
+            d += task.period;
+        }
+    }
+    points.sort_unstable();
+    points.dedup();
+
+    points.iter().all(|&t| dbf(tasks, t) <= t)
+}
+
+/// The largest absolute deadline strictly below `t`, if any.
+fn max_deadline_below(tasks: &[PeriodicTask], t: Nanos) -> Option<Nanos> {
+    tasks
+        .iter()
+        .filter_map(|task| {
+            if t <= task.deadline {
+                return None;
+            }
+            // Largest k with k*T + D < t  =>  k = floor((t - D - 1) / T).
+            let k = (t - task.deadline - Nanos(1)) / task.period;
+            Some(task.deadline + task.period * k)
+        })
+        .max()
+}
+
+/// Quick Processor-demand Analysis (Zhang & Burns, 2009): exact EDF
+/// schedulability in typically O(few) demand evaluations.
+///
+/// QPA walks *backwards* from the horizon: starting at the largest deadline
+/// below the horizon, it repeatedly jumps to `h(t)` (the demand at `t`) —
+/// which skips every check point in `(h(t), t)` at once, since demand is
+/// constant between deadlines — or to the previous deadline when `h(t) = t`.
+/// The set is schedulable iff the walk reaches the smallest deadline with
+/// demand within bounds.
+pub fn qpa_schedulable(tasks: &[PeriodicTask], horizon: Nanos) -> bool {
+    if tasks.is_empty() {
+        return true;
+    }
+    let total: Nanos = tasks.iter().map(|t| t.cost_per(horizon)).sum();
+    if total > horizon {
+        return false;
+    }
+
+    let d_min = tasks.iter().map(|t| t.deadline).min().expect("non-empty");
+    // Start at the largest deadline at or below the horizon.
+    let Some(mut t) = max_deadline_below(tasks, horizon + Nanos(1)) else {
+        return true; // no deadline within the horizon: nothing to check
+    };
+
+    loop {
+        let h = dbf(tasks, t);
+        if h > t {
+            return false;
+        }
+        if h <= d_min {
+            // Demand below the first deadline can never exceed time.
+            return true;
+        }
+        if h < t {
+            t = h;
+        } else {
+            // h == t: step to the previous deadline.
+            match max_deadline_below(tasks, t) {
+                Some(prev) => t = prev,
+                None => return true,
+            }
+        }
+    }
+}
+
+/// Returns the largest zero-laxity cost `c` such that adding the C=D piece
+/// `(cost = c, period, deadline = c)` to `tasks` keeps the core EDF
+/// schedulable, capped at `max_cost`.
+///
+/// Returns `None` if not even a 1 ns piece fits. Used by C=D splitting to
+/// size the piece placed on each donor core; monotonicity of the demand in
+/// `c` makes binary search exact.
+pub fn max_zero_laxity_piece(
+    tasks: &[PeriodicTask],
+    period: Nanos,
+    max_cost: Nanos,
+    horizon: Nanos,
+) -> Option<Nanos> {
+    use crate::task::TaskId;
+
+    let fits = |c: Nanos| -> bool {
+        if c.is_zero() {
+            return true;
+        }
+        let mut with_piece = tasks.to_vec();
+        // The id is irrelevant to the analysis.
+        with_piece.push(PeriodicTask::with_window(
+            TaskId(u32::MAX),
+            c,
+            period,
+            c,
+            Nanos::ZERO,
+        ));
+        edf_schedulable(&with_piece, horizon)
+    };
+
+    if !fits(Nanos(1)) {
+        return None;
+    }
+    if fits(max_cost) {
+        return Some(max_cost);
+    }
+    // Invariant: fits(lo) && !fits(hi).
+    let (mut lo, mut hi) = (1u64, max_cost.as_nanos());
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(Nanos(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(Nanos(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn imp(id: u32, c: u64, t: u64) -> PeriodicTask {
+        PeriodicTask::implicit(TaskId(id), ms(c), ms(t))
+    }
+
+    #[test]
+    fn dbf_of_implicit_task() {
+        let t = imp(0, 2, 10);
+        assert_eq!(dbf_task(&t, ms(9)), Nanos::ZERO);
+        assert_eq!(dbf_task(&t, ms(10)), ms(2));
+        assert_eq!(dbf_task(&t, ms(19)), ms(2));
+        assert_eq!(dbf_task(&t, ms(20)), ms(4));
+        assert_eq!(dbf_task(&t, ms(100)), ms(20));
+    }
+
+    #[test]
+    fn dbf_of_constrained_task() {
+        let t = PeriodicTask::with_window(TaskId(0), ms(2), ms(10), ms(4), Nanos::ZERO);
+        assert_eq!(dbf_task(&t, ms(3)), Nanos::ZERO);
+        assert_eq!(dbf_task(&t, ms(4)), ms(2));
+        assert_eq!(dbf_task(&t, ms(13)), ms(2));
+        assert_eq!(dbf_task(&t, ms(14)), ms(4));
+    }
+
+    #[test]
+    fn fully_utilized_implicit_set_is_schedulable() {
+        let tasks = [imp(0, 5, 10), imp(1, 10, 20)];
+        assert!(edf_schedulable(&tasks, ms(20)));
+    }
+
+    #[test]
+    fn overutilized_set_is_rejected() {
+        let tasks = [imp(0, 6, 10), imp(1, 10, 20)];
+        assert!(!edf_schedulable(&tasks, ms(20)));
+    }
+
+    #[test]
+    fn constrained_deadlines_can_fail_below_full_utilization() {
+        // Two zero-laxity pieces with coinciding windows cannot both run.
+        // Utilization is only 0.4 but the set is infeasible.
+        let a = PeriodicTask::with_window(TaskId(0), ms(2), ms(10), ms(2), Nanos::ZERO);
+        let b = PeriodicTask::with_window(TaskId(1), ms(2), ms(10), ms(2), Nanos::ZERO);
+        assert!(!edf_schedulable(&[a, b], ms(10)));
+        // Each alone is fine.
+        assert!(edf_schedulable(&[a], ms(10)));
+    }
+
+    #[test]
+    fn empty_set_is_schedulable() {
+        assert!(edf_schedulable(&[], ms(10)));
+    }
+
+    #[test]
+    fn max_piece_on_empty_core_is_the_cap() {
+        assert_eq!(
+            max_zero_laxity_piece(&[], ms(10), ms(4), ms(10)),
+            Some(ms(4))
+        );
+    }
+
+    #[test]
+    fn no_second_zero_laxity_piece_next_to_an_existing_one() {
+        // Core already carries a C=D piece of 6 ms every 10 ms. Any second
+        // zero-laxity piece of the same period is infeasible under the
+        // synchronous analysis: at t = 6 ms, demand is 6 + c > 6 for any
+        // c > 0. This is precisely why the splitting stage restricts itself
+        // to one zero-laxity piece per core.
+        let existing = PeriodicTask::with_window(TaskId(0), ms(6), ms(10), ms(6), Nanos::ZERO);
+        assert_eq!(max_zero_laxity_piece(&[existing], ms(10), ms(10), ms(10)), None);
+    }
+
+    #[test]
+    fn max_piece_next_to_implicit_tasks_is_sound_and_tight() {
+        // An implicit 40% background task leaves room for a zero-laxity
+        // piece; whatever the search returns must be exactly the boundary.
+        let bg = imp(0, 4, 10);
+        let c = max_zero_laxity_piece(&[bg], ms(10), ms(10), ms(10))
+            .expect("a piece must fit next to a 40% implicit task");
+        let piece = PeriodicTask::with_window(TaskId(1), c, ms(10), c, Nanos::ZERO);
+        assert!(edf_schedulable(&[bg, piece], ms(10)));
+        let bigger =
+            PeriodicTask::with_window(TaskId(1), c + Nanos(1), ms(10), c + Nanos(1), Nanos::ZERO);
+        assert!(!edf_schedulable(&[bg, bigger], ms(10)));
+    }
+
+    #[test]
+    fn max_piece_none_when_core_saturated() {
+        let full = imp(0, 10, 10);
+        assert_eq!(max_zero_laxity_piece(&[full], ms(10), ms(5), ms(10)), None);
+    }
+
+    #[test]
+    fn exact_boundary_found_by_binary_search() {
+        // Implicit task with U = 0.5; a zero-laxity piece (c, 10ms, c) is
+        // schedulable iff dbf checks pass. For the piece: at t = c demand =
+        // c; at t = 10 demand = 5 + c <= 10 => c <= 5. Between, at t = c the
+        // implicit task contributes 0 (D = 10). So the max is 5 ms.
+        let bg = imp(0, 5, 10);
+        assert_eq!(
+            max_zero_laxity_piece(&[bg], ms(10), ms(10), ms(10)),
+            Some(ms(5))
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Uniprocessor EDF schedule simulation (the table generator's engine).
+//!
+//! Once tasks are partitioned onto cores, Tableau "simply simulate\[s\] on
+//! each core an earliest-deadline-first schedule until the hyperperiod"
+//! (Sec. 5). Because EDF is optimal on uniprocessors, the simulation yields
+//! a concrete table meeting every deadline whenever the core passed the
+//! schedulability test.
+//!
+//! The simulation is event-driven: execution advances either to the next job
+//! completion or to the next release (where a newly released job may preempt
+//! under EDF). Ties on deadlines are broken by task id, then release time,
+//! which makes table generation fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::schedule::{CoreSchedule, Segment};
+use crate::task::PeriodicTask;
+use crate::time::Nanos;
+
+/// A deadline miss detected during simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineMiss {
+    /// The task whose job missed.
+    pub task: crate::task::TaskId,
+    /// Release time of the missed job.
+    pub release: Nanos,
+    /// Absolute deadline that passed with work remaining.
+    pub deadline: Nanos,
+    /// Unserved work at the deadline.
+    pub remaining: Nanos,
+}
+
+/// One pending job in the EDF simulation.
+///
+/// Ordered for a min-heap on `(deadline, task, release)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Job {
+    deadline: Nanos,
+    task_index: usize,
+    release: Nanos,
+    remaining: Nanos,
+}
+
+/// Simulates an EDF schedule of `tasks` on one core over `[0, horizon)`.
+///
+/// Jobs are released at `offset + k * period`; the final partial job window
+/// never extends past `horizon` because the planner maintains
+/// `offset + deadline <= period` and periods dividing the horizon (see
+/// [`crate::task`]). The resulting [`CoreSchedule`] therefore repeats
+/// cleanly with period `horizon`.
+///
+/// # Errors
+///
+/// Returns the first [`DeadlineMiss`] if the task set was not schedulable.
+/// The planner only calls this after a successful schedulability test, so an
+/// error here indicates an analysis bug (and is exercised directly in
+/// tests).
+pub fn simulate_edf(tasks: &[PeriodicTask], horizon: Nanos) -> Result<CoreSchedule, DeadlineMiss> {
+    let mut schedule = CoreSchedule::new();
+    if tasks.is_empty() {
+        return Ok(schedule);
+    }
+
+    // Pre-compute all releases, sorted by time. Each entry is
+    // (release_time, task_index).
+    let mut releases: Vec<(Nanos, usize)> = Vec::new();
+    for (idx, task) in tasks.iter().enumerate() {
+        debug_assert!(task.is_valid(), "invalid task in simulate_edf: {task:?}");
+        debug_assert!(
+            (horizon % task.period).is_zero(),
+            "period {} does not divide horizon {horizon}",
+            task.period
+        );
+        let mut r = task.offset;
+        while r < horizon {
+            releases.push((r, idx));
+            r += task.period;
+        }
+    }
+    releases.sort_unstable();
+    let mut next_release = 0usize;
+
+    // Min-heap of pending jobs.
+    let mut ready: BinaryHeap<Reverse<Job>> = BinaryHeap::new();
+    let mut now = Nanos::ZERO;
+
+    loop {
+        // Admit all releases up to `now`.
+        while next_release < releases.len() && releases[next_release].0 <= now {
+            let (release, task_index) = releases[next_release];
+            let task = &tasks[task_index];
+            ready.push(Reverse(Job {
+                deadline: release + task.deadline,
+                task_index,
+                release,
+                remaining: task.cost,
+            }));
+            next_release += 1;
+        }
+
+        let Some(Reverse(mut job)) = ready.pop() else {
+            // Idle: jump to the next release, or finish.
+            match releases.get(next_release) {
+                Some(&(r, _)) => {
+                    now = r;
+                    continue;
+                }
+                None => break,
+            }
+        };
+
+        // A miss happens exactly when a job still has work at its deadline.
+        // Two cases surface it here: the popped job's deadline has already
+        // passed, or running it to completion would cross the deadline (EDF
+        // ran every earlier-deadline job first, so nothing can save it).
+        let completion = now + job.remaining;
+        if job.deadline <= now || completion > job.deadline {
+            let served_by_deadline = job.deadline.saturating_sub(now).min(job.remaining);
+            return Err(DeadlineMiss {
+                task: tasks[job.task_index].id,
+                release: job.release,
+                deadline: job.deadline,
+                remaining: job.remaining - served_by_deadline,
+            });
+        }
+
+        // Run the earliest-deadline job until it completes or the next
+        // release arrives (a release is the only event that can preempt
+        // under EDF with a static ready set).
+        let until = match releases.get(next_release) {
+            Some(&(r, _)) => completion.min(r),
+            None => completion,
+        };
+
+        if until > now {
+            schedule.push(Segment::new(now, until, tasks[job.task_index].id));
+            job.remaining -= until - now;
+        }
+        now = until;
+
+        if job.remaining > Nanos::ZERO {
+            ready.push(Reverse(job));
+        }
+    }
+
+    debug_assert!(
+        schedule
+            .segments()
+            .last()
+            .map(|s| s.end <= horizon)
+            .unwrap_or(true),
+        "EDF simulation ran past the horizon"
+    );
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{PeriodicTask, TaskId};
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn single_task_runs_at_each_release() {
+        let t = PeriodicTask::implicit(TaskId(0), ms(2), ms(10));
+        let s = simulate_edf(&[t], ms(20)).unwrap();
+        assert_eq!(
+            s.segments(),
+            &[
+                Segment::new(ms(0), ms(2), TaskId(0)),
+                Segment::new(ms(10), ms(12), TaskId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        // Task 1 has the shorter period (hence earlier first deadline) and
+        // runs first.
+        let a = PeriodicTask::implicit(TaskId(0), ms(4), ms(20));
+        let b = PeriodicTask::implicit(TaskId(1), ms(2), ms(10));
+        let s = simulate_edf(&[a, b], ms(20)).unwrap();
+        let segs = s.segments();
+        assert_eq!(segs[0].task, TaskId(1));
+        assert_eq!(segs[0].end, ms(2));
+        assert_eq!(segs[1].task, TaskId(0));
+    }
+
+    #[test]
+    fn preemption_on_earlier_deadline_release() {
+        // Long job starts at 0; short-period task released at 5 preempts it.
+        let long = PeriodicTask::implicit(TaskId(0), ms(8), ms(20));
+        let short = PeriodicTask::with_window(TaskId(1), ms(1), ms(20), ms(2), ms(5));
+        let s = simulate_edf(&[long, short], ms(20)).unwrap();
+        // Expect: [0,5) long, [5,6) short, [6,9) long.
+        assert_eq!(
+            s.segments(),
+            &[
+                Segment::new(ms(0), ms(5), TaskId(0)),
+                Segment::new(ms(5), ms(6), TaskId(1)),
+                Segment::new(ms(6), ms(9), TaskId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_utilization_meets_all_deadlines() {
+        let a = PeriodicTask::implicit(TaskId(0), ms(5), ms(10));
+        let b = PeriodicTask::implicit(TaskId(1), ms(10), ms(20));
+        let s = simulate_edf(&[a, b], ms(20)).unwrap();
+        assert_eq!(s.busy_time(), ms(20));
+        // Each task receives its cost in each of its periods.
+        assert_eq!(s.service_in(TaskId(0), ms(0), ms(10)), ms(5));
+        assert_eq!(s.service_in(TaskId(0), ms(10), ms(20)), ms(5));
+        assert_eq!(s.service_in(TaskId(1), ms(0), ms(20)), ms(10));
+    }
+
+    #[test]
+    fn zero_laxity_piece_runs_exactly_at_release() {
+        let piece = PeriodicTask::with_window(TaskId(0), ms(3), ms(10), ms(3), Nanos::ZERO);
+        let filler = PeriodicTask::implicit(TaskId(1), ms(4), ms(10));
+        let s = simulate_edf(&[piece, filler], ms(10)).unwrap();
+        assert_eq!(s.segments()[0], Segment::new(ms(0), ms(3), TaskId(0)));
+    }
+
+    #[test]
+    fn offset_pieces_respect_release_times() {
+        let piece = PeriodicTask::with_window(TaskId(0), ms(2), ms(10), ms(2), ms(4));
+        let s = simulate_edf(&[piece], ms(20)).unwrap();
+        assert_eq!(
+            s.segments(),
+            &[
+                Segment::new(ms(4), ms(6), TaskId(0)),
+                Segment::new(ms(14), ms(16), TaskId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn infeasible_set_reports_miss() {
+        let a = PeriodicTask::with_window(TaskId(0), ms(2), ms(10), ms(2), Nanos::ZERO);
+        let b = PeriodicTask::with_window(TaskId(1), ms(2), ms(10), ms(2), Nanos::ZERO);
+        let err = simulate_edf(&[a, b], ms(10)).unwrap_err();
+        assert_eq!(err.deadline, ms(2));
+        assert!(err.remaining > Nanos::ZERO);
+    }
+
+    #[test]
+    fn empty_task_list_gives_idle_schedule() {
+        let s = simulate_edf(&[], ms(10)).unwrap();
+        assert!(s.segments().is_empty());
+    }
+
+    #[test]
+    fn simulation_respects_horizon() {
+        let t = PeriodicTask::implicit(TaskId(0), ms(9), ms(10));
+        let s = simulate_edf(&[t], ms(50)).unwrap();
+        assert!(s.segments().last().unwrap().end <= ms(50));
+        assert_eq!(s.busy_time(), ms(45));
+    }
+}

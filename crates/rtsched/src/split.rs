@@ -1,0 +1,303 @@
+//! C=D semi-partitioning (Burns et al.), the planner's second stage.
+//!
+//! When a task fits on no single core, it is broken into *pieces* that are
+//! placed on different cores. The C=D scheme makes the pieces easy to reason
+//! about: every piece except the last is *zero-laxity* — its relative
+//! deadline equals its cost (`C = D`) — so any schedule meeting its deadline
+//! must run it continuously, exactly during `[k*T + offset, k*T + offset +
+//! C)`. The next piece is released precisely when the previous one ends
+//! (release `offset` grows by the piece's cost, deadline shrinks by it), so
+//! pieces of the same task can never execute in parallel, by construction.
+//!
+//! Two standard restrictions keep the scheme sound and the analysis simple:
+//!
+//! * at most one zero-laxity piece per core (two could demand the processor
+//!   at the same instant);
+//! * the size of each piece is the *largest* zero-laxity cost the donor core
+//!   can absorb while staying EDF-schedulable, found by binary search over
+//!   the processor-demand test ([`crate::analysis::max_zero_laxity_piece`]).
+//!
+//! Finding valid C=D splits is coNP-hard in general (Eisenbrand & Rothvoß);
+//! with Tableau's fixed table length the demand test is cheap, which is
+//! exactly the observation the paper makes in Sec. 5.
+
+use crate::analysis::max_zero_laxity_piece;
+use crate::partition::{worst_fit_decreasing, CoreBins};
+use crate::task::PeriodicTask;
+use crate::time::Nanos;
+
+/// Why semi-partitioning failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitError {
+    /// No core could absorb even the minimum-sized piece of this task.
+    NoProgress {
+        /// The task that could not be (fully) placed.
+        task: PeriodicTask,
+        /// How much of its cost remains unplaced.
+        remaining: Nanos,
+    },
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitError::NoProgress { task, remaining } => write!(
+                f,
+                "C=D splitting stuck: {} of task {} unplaced",
+                remaining, task.id
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// Result of a successful semi-partitioning pass.
+#[derive(Debug, Clone)]
+pub struct SemiPartition {
+    /// Per-core task (piece) assignment.
+    pub bins: CoreBins,
+    /// Ids of tasks that were split across cores.
+    pub split_tasks: Vec<crate::task::TaskId>,
+}
+
+/// Splits one task across `bins` using the C=D scheme.
+///
+/// `zero_laxity_on` tracks which cores already host a zero-laxity piece.
+/// Returns the ordered pieces placed (for reporting); the bins are updated
+/// in place on success and left untouched on failure.
+fn place_with_splitting(
+    task: PeriodicTask,
+    bins: &mut CoreBins,
+    zero_laxity_on: &mut [bool],
+    min_piece: Nanos,
+) -> Result<Vec<(usize, PeriodicTask)>, SplitError> {
+    let mut remaining = task;
+    let mut placed: Vec<(usize, PeriodicTask)> = Vec::new();
+    let snapshot = bins.clone();
+    let zl_snapshot = zero_laxity_on.to_vec();
+
+    loop {
+        // First preference: place the whole remainder (it keeps its slack,
+        // so it does not count as a zero-laxity piece).
+        if let Some(core) = bins
+            .worst_fit_order()
+            .into_iter()
+            .find(|&c| bins.fits(c, &remaining))
+        {
+            bins.assign(core, remaining);
+            placed.push((core, remaining));
+            return Ok(placed);
+        }
+
+        // Otherwise, carve the largest zero-laxity piece some core can take.
+        // Donor cores are scanned in worst-fit order; cores already hosting
+        // a zero-laxity piece are skipped (see module docs).
+        let mut best: Option<(usize, Nanos)> = None;
+        for core in bins.worst_fit_order() {
+            if zero_laxity_on[core] {
+                continue;
+            }
+            // The piece must leave at least `min_piece` of the remainder (or
+            // consume it entirely) and must itself be at least `min_piece`,
+            // so the table never contains un-enforceable slivers.
+            let cap = remaining.cost;
+            if let Some(c) = max_zero_laxity_piece(&bins.cores[core], task.period, cap, bins.horizon)
+            {
+                let c = if c >= remaining.cost {
+                    remaining.cost
+                } else if remaining.cost > min_piece {
+                    // Keep the remainder at least `min_piece` long.
+                    c.min(remaining.cost - min_piece)
+                } else {
+                    // The remainder is itself below the sliver threshold and
+                    // this core cannot take all of it: not a useful donor.
+                    Nanos::ZERO
+                };
+                if !c.is_zero() && c >= min_piece && best.map(|(_, b)| c > b).unwrap_or(true) {
+                    best = Some((core, c));
+                }
+            }
+        }
+
+        let Some((core, c)) = best else {
+            *bins = snapshot;
+            zero_laxity_on.copy_from_slice(&zl_snapshot);
+            return Err(SplitError::NoProgress {
+                task,
+                remaining: remaining.cost,
+            });
+        };
+
+        let piece = PeriodicTask::with_window(
+            remaining.id,
+            c,
+            remaining.period,
+            c,
+            remaining.offset,
+        );
+        debug_assert!(piece.is_valid());
+        bins.assign(core, piece);
+        zero_laxity_on[core] = true;
+        placed.push((core, piece));
+
+        if c == remaining.cost {
+            return Ok(placed);
+        }
+        remaining = PeriodicTask::with_window(
+            remaining.id,
+            remaining.cost - c,
+            remaining.period,
+            remaining.deadline - c,
+            remaining.offset + c,
+        );
+        debug_assert!(remaining.is_valid());
+    }
+}
+
+/// Partitions `tasks` onto `n_cores`, splitting tasks with the C=D scheme
+/// when whole placement fails.
+///
+/// `min_piece` is the smallest allocation worth creating (Tableau uses the
+/// coalescing threshold; pieces below it would be merged away again).
+///
+/// # Errors
+///
+/// Returns [`SplitError::NoProgress`] when some task cannot be placed even
+/// with splitting — the planner then falls back to clustered optimal
+/// scheduling (the cluster stage of [`crate::generator`]).
+pub fn semi_partition(
+    tasks: &[PeriodicTask],
+    n_cores: usize,
+    horizon: Nanos,
+    min_piece: Nanos,
+) -> Result<SemiPartition, SplitError> {
+    let first_pass = worst_fit_decreasing(tasks, n_cores, horizon);
+    let mut bins = first_pass.bins;
+    let mut zero_laxity_on = vec![false; n_cores];
+    let mut split_tasks = Vec::new();
+
+    for task in first_pass.unassigned {
+        let placed = place_with_splitting(task, &mut bins, &mut zero_laxity_on, min_piece)?;
+        if placed.len() > 1 {
+            split_tasks.push(task.id);
+        }
+    }
+    Ok(SemiPartition { bins, split_tasks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::edf_schedulable;
+    use crate::task::TaskId;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn imp(id: u32, c: u64, t: u64) -> PeriodicTask {
+        PeriodicTask::implicit(TaskId(id), ms(c), ms(t))
+    }
+
+    const MIN_PIECE: Nanos = Nanos(100_000); // 100 us
+
+    #[test]
+    fn no_splitting_needed_when_partitionable() {
+        let tasks: Vec<_> = (0..4).map(|i| imp(i, 5, 10)).collect();
+        let sp = semi_partition(&tasks, 2, ms(10), MIN_PIECE).unwrap();
+        assert!(sp.split_tasks.is_empty());
+    }
+
+    #[test]
+    fn splits_the_classic_three_big_tasks_case() {
+        // Three 60% tasks on two cores: unpartitionable, but semi-
+        // partitioning places 1.8 total utilization on 2 cores.
+        let tasks = [imp(0, 6, 10), imp(1, 6, 10), imp(2, 6, 10)];
+        let sp = semi_partition(&tasks, 2, ms(10), MIN_PIECE).unwrap();
+        assert_eq!(sp.split_tasks.len(), 1);
+        // Every core must remain schedulable.
+        for core in &sp.bins.cores {
+            assert!(edf_schedulable(core, ms(10)));
+        }
+        // The split task's pieces must jointly provide its full cost.
+        let split_id = sp.split_tasks[0];
+        let total: Nanos = sp
+            .bins
+            .cores
+            .iter()
+            .flatten()
+            .filter(|t| t.id == split_id)
+            .map(|t| t.cost)
+            .sum();
+        assert_eq!(total, ms(6));
+    }
+
+    #[test]
+    fn split_pieces_chain_offsets_and_deadlines() {
+        let tasks = [imp(0, 6, 10), imp(1, 6, 10), imp(2, 6, 10)];
+        let sp = semi_partition(&tasks, 2, ms(10), MIN_PIECE).unwrap();
+        let split_id = sp.split_tasks[0];
+        let mut pieces: Vec<&PeriodicTask> = sp
+            .bins
+            .cores
+            .iter()
+            .flatten()
+            .filter(|t| t.id == split_id)
+            .collect();
+        pieces.sort_by_key(|p| p.offset);
+        // Windows tile without overlap: next release = previous window end
+        // for zero-laxity pieces; the final piece may have slack.
+        for w in pieces.windows(2) {
+            assert!(w[0].is_zero_laxity());
+            assert_eq!(w[0].offset + w[0].cost, w[1].offset);
+        }
+        // Window invariant is preserved for all pieces.
+        for p in &pieces {
+            assert!(p.is_valid());
+        }
+    }
+
+    #[test]
+    fn near_full_utilization_splits_successfully() {
+        // Eight tasks of U = 0.45 on four cores plus one of U = 0.55:
+        // total 4.15 > 4 fails; use 0.35 filler: total = 8*0.45 + 0.35 =
+        // 3.95 on 4 cores; WFD places pairs of 0.45 leaving 0.1 slack per
+        // core, the 0.35 task must split.
+        let mut tasks: Vec<_> = (0..8).map(|i| imp(i, 45, 100)).collect();
+        tasks.push(imp(8, 35, 100));
+        let sp = semi_partition(&tasks, 4, ms(100), MIN_PIECE).unwrap();
+        assert_eq!(sp.split_tasks, vec![TaskId(8)]);
+        for core in &sp.bins.cores {
+            assert!(edf_schedulable(core, ms(100)));
+        }
+    }
+
+    #[test]
+    fn over_utilized_system_fails() {
+        let tasks = [imp(0, 8, 10), imp(1, 8, 10), imp(2, 8, 10)];
+        let err = semi_partition(&tasks, 2, ms(10), MIN_PIECE).unwrap_err();
+        let SplitError::NoProgress { remaining, .. } = err;
+        assert!(remaining > Nanos::ZERO);
+    }
+
+    #[test]
+    fn failure_restores_bins() {
+        // One task fits; the second cannot even with splitting. The bins
+        // must not contain partial pieces of the failed task.
+        let tasks = [imp(0, 9, 10), imp(1, 9, 10), imp(2, 9, 10)];
+        let err = semi_partition(&tasks, 2, ms(10), MIN_PIECE);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn min_piece_prevents_slivers() {
+        // Force a split and check that every zero-laxity piece is at least
+        // the minimum size.
+        let tasks = [imp(0, 6, 10), imp(1, 6, 10), imp(2, 6, 10)];
+        let sp = semi_partition(&tasks, 2, ms(10), Nanos::from_millis(1)).unwrap();
+        for t in sp.bins.cores.iter().flatten() {
+            assert!(t.cost >= Nanos::from_millis(1), "sliver piece: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The periodic task model (Liu & Layland) with release offsets and
+//! constrained deadlines.
+//!
+//! Tableau's planner models every vCPU as a periodic task `(C, T)`: the task
+//! must receive `C` units of processor time in every period of length `T`.
+//! Two extensions are needed for table generation:
+//!
+//! * **constrained deadlines** (`D <= T`): the zero-laxity pieces produced by
+//!   C=D semi-partitioning have `D = C`, and split remainders have `D < T`;
+//! * **release offsets**: a split remainder is released only once the
+//!   preceding piece has completed, i.e. `offset` time units into the period.
+//!
+//! Throughout the crate the invariant `offset + deadline <= period` holds;
+//! together with periods that divide the hyperperiod, it guarantees that
+//! every job's scheduling window lies entirely within one hyperperiod, which
+//! is what makes a cyclic table of exactly one hyperperiod valid.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Nanos;
+
+/// Identifies a task within a [`TaskSet`].
+///
+/// Task ids are dense indices assigned by the caller (the Tableau planner
+/// uses the vCPU index). Split pieces of the same task share its id — this
+/// is what lets the verifier check that pieces never execute in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A periodic task (or a piece of a split task).
+///
+/// Releases jobs at `offset + k * period` for `k = 0, 1, 2, ...`; each job
+/// must receive `cost` units of service by its absolute deadline
+/// `offset + k * period + deadline`.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::task::{PeriodicTask, TaskId};
+/// use rtsched::time::Nanos;
+///
+/// let t = PeriodicTask::implicit(TaskId(0), Nanos::from_millis(2), Nanos::from_millis(10));
+/// assert_eq!(t.utilization(), 0.2);
+/// assert!(t.is_valid());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicTask {
+    /// Identity of the (logical) task this piece belongs to.
+    pub id: TaskId,
+    /// Worst-case execution requirement per period (`C`).
+    pub cost: Nanos,
+    /// Period (`T`).
+    pub period: Nanos,
+    /// Relative deadline (`D`), measured from the release; `D <= T`.
+    pub deadline: Nanos,
+    /// Release offset within the period; `offset + deadline <= period`.
+    pub offset: Nanos,
+}
+
+impl PeriodicTask {
+    /// Creates an implicit-deadline task (`D = T`, zero offset).
+    pub fn implicit(id: TaskId, cost: Nanos, period: Nanos) -> PeriodicTask {
+        PeriodicTask {
+            id,
+            cost,
+            period,
+            deadline: period,
+            offset: Nanos::ZERO,
+        }
+    }
+
+    /// Creates a task with an explicit deadline and offset.
+    pub fn with_window(
+        id: TaskId,
+        cost: Nanos,
+        period: Nanos,
+        deadline: Nanos,
+        offset: Nanos,
+    ) -> PeriodicTask {
+        PeriodicTask {
+            id,
+            cost,
+            period,
+            deadline,
+            offset,
+        }
+    }
+
+    /// Returns the task's utilization `C / T` as a float.
+    ///
+    /// Exact comparisons should use [`PeriodicTask::cost_per`] instead; the
+    /// float form is only for heuristics and reporting.
+    pub fn utilization(&self) -> f64 {
+        self.cost.as_nanos() as f64 / self.period.as_nanos() as f64
+    }
+
+    /// Returns the exact demand of this task over an interval `horizon` that
+    /// is an integer multiple of the period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not a multiple of `period`.
+    pub fn cost_per(&self, horizon: Nanos) -> Nanos {
+        assert!(
+            (horizon % self.period).is_zero(),
+            "cost_per: horizon {horizon} not a multiple of period {}",
+            self.period
+        );
+        self.cost * (horizon / self.period)
+    }
+
+    /// Returns `true` if the task satisfies the structural invariants used
+    /// throughout the crate: a positive period, `0 < C <= D`,
+    /// `D <= T`, and `offset + D <= T`.
+    pub fn is_valid(&self) -> bool {
+        !self.period.is_zero()
+            && !self.cost.is_zero()
+            && self.cost <= self.deadline
+            && self.deadline <= self.period
+            && self.offset + self.deadline <= self.period
+    }
+
+    /// Returns `true` if this piece is a zero-laxity ("C=D") piece: its
+    /// window is exactly as long as its cost, so any valid schedule must run
+    /// it continuously from release to deadline.
+    pub fn is_zero_laxity(&self) -> bool {
+        self.cost == self.deadline
+    }
+
+    /// The worst-case "blackout" bound used to translate a latency goal into
+    /// a period (Sec. 5 of the paper): a periodic task may be served at the
+    /// very start of one period and the very end of the next, going
+    /// `2 * (T - C)` without service.
+    pub fn worst_case_blackout(&self) -> Nanos {
+        (self.period - self.cost) * 2
+    }
+}
+
+/// A set of periodic tasks to be scheduled on one or more cores.
+///
+/// Construction validates each task (see [`PeriodicTask::is_valid`]); the
+/// set itself may over-utilize a platform — admission is the scheduler's
+/// job, not the container's.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskSet {
+    tasks: Vec<PeriodicTask>,
+}
+
+impl TaskSet {
+    /// Creates an empty task set.
+    pub fn new() -> TaskSet {
+        TaskSet::default()
+    }
+
+    /// Creates a task set from the given tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structurally invalid task, if any.
+    pub fn from_tasks(tasks: Vec<PeriodicTask>) -> Result<TaskSet, PeriodicTask> {
+        if let Some(bad) = tasks.iter().find(|t| !t.is_valid()) {
+            return Err(*bad);
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// Adds a task to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task violates the structural invariants; the planner
+    /// only ever constructs valid tasks, so this is a programming error.
+    pub fn push(&mut self, task: PeriodicTask) {
+        assert!(task.is_valid(), "invalid task added to TaskSet: {task:?}");
+        self.tasks.push(task);
+    }
+
+    /// Returns the tasks in insertion order.
+    pub fn tasks(&self) -> &[PeriodicTask] {
+        &self.tasks
+    }
+
+    /// Returns the number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the set contains no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Returns the total utilization of the set as a float.
+    pub fn total_utilization(&self) -> f64 {
+        self.tasks.iter().map(|t| t.utilization()).sum()
+    }
+
+    /// Returns the exact total demand over `horizon`, which must be a
+    /// multiple of every period in the set (e.g. the hyperperiod).
+    pub fn total_demand(&self, horizon: Nanos) -> Nanos {
+        self.tasks.iter().map(|t| t.cost_per(horizon)).sum()
+    }
+
+    /// Returns an iterator over the tasks.
+    pub fn iter(&self) -> impl Iterator<Item = &PeriodicTask> {
+        self.tasks.iter()
+    }
+}
+
+impl FromIterator<PeriodicTask> for TaskSet {
+    fn from_iter<I: IntoIterator<Item = PeriodicTask>>(iter: I) -> TaskSet {
+        let mut set = TaskSet::new();
+        for t in iter {
+            set.push(t);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn implicit_task_shape() {
+        let t = PeriodicTask::implicit(TaskId(3), ms(2), ms(8));
+        assert_eq!(t.deadline, ms(8));
+        assert_eq!(t.offset, Nanos::ZERO);
+        assert_eq!(t.utilization(), 0.25);
+        assert!(t.is_valid());
+        assert!(!t.is_zero_laxity());
+    }
+
+    #[test]
+    fn zero_laxity_detection() {
+        let t = PeriodicTask::with_window(TaskId(0), ms(2), ms(10), ms(2), Nanos::ZERO);
+        assert!(t.is_zero_laxity());
+        assert!(t.is_valid());
+    }
+
+    #[test]
+    fn invalid_tasks_rejected() {
+        // Zero cost.
+        let t = PeriodicTask::implicit(TaskId(0), Nanos::ZERO, ms(10));
+        assert!(!t.is_valid());
+        // Deadline beyond period.
+        let t = PeriodicTask::with_window(TaskId(0), ms(1), ms(10), ms(11), Nanos::ZERO);
+        assert!(!t.is_valid());
+        // Cost beyond deadline.
+        let t = PeriodicTask::with_window(TaskId(0), ms(3), ms(10), ms(2), Nanos::ZERO);
+        assert!(!t.is_valid());
+        // Offset pushes window past the period boundary.
+        let t = PeriodicTask::with_window(TaskId(0), ms(1), ms(10), ms(5), ms(6));
+        assert!(!t.is_valid());
+    }
+
+    #[test]
+    fn cost_per_scales_demand() {
+        let t = PeriodicTask::implicit(TaskId(0), ms(2), ms(10));
+        assert_eq!(t.cost_per(ms(100)), ms(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn cost_per_rejects_non_multiple_horizon() {
+        let t = PeriodicTask::implicit(TaskId(0), ms(2), ms(10));
+        let _ = t.cost_per(ms(15));
+    }
+
+    #[test]
+    fn worst_case_blackout_matches_paper_example() {
+        // Paper example: (C, T) = (10 ms, 100 ms) => blackout 180 ms.
+        let t = PeriodicTask::implicit(TaskId(0), ms(10), ms(100));
+        assert_eq!(t.worst_case_blackout(), ms(180));
+    }
+
+    #[test]
+    fn taskset_accounting() {
+        let mut set = TaskSet::new();
+        set.push(PeriodicTask::implicit(TaskId(0), ms(2), ms(10)));
+        set.push(PeriodicTask::implicit(TaskId(1), ms(5), ms(20)));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert!((set.total_utilization() - 0.45).abs() < 1e-12);
+        assert_eq!(set.total_demand(ms(20)), ms(9));
+    }
+
+    #[test]
+    fn from_tasks_rejects_invalid() {
+        let bad = PeriodicTask::implicit(TaskId(0), ms(2), Nanos::ZERO);
+        assert!(TaskSet::from_tasks(vec![bad]).is_err());
+        let good = PeriodicTask::implicit(TaskId(0), ms(2), ms(4));
+        assert!(TaskSet::from_tasks(vec![good]).is_ok());
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for schedule generation.
+//!
+//! The central invariant of `rtsched` is *generate-then-verify*: for any
+//! task set that does not over-utilize the platform, the three-stage
+//! generator must produce a schedule, and the independent verifier must
+//! find it flawless (exact per-window service, no parallel execution of one
+//! task, bounded blackouts). Property testing explores the awkward corners
+//! of that space — near-full utilization, mixed periods, forced splits.
+
+use proptest::prelude::*;
+
+use rtsched::analysis::{dbf, edf_schedulable, edf_schedulable_enumerative, qpa_schedulable};
+use rtsched::edf::simulate_edf;
+use rtsched::generator::{generate_schedule, GenOptions};
+use rtsched::hyperperiod::divisors;
+use rtsched::task::{PeriodicTask, TaskId};
+use rtsched::time::Nanos;
+use rtsched::verify::verify_schedule;
+
+/// Period menu: divisors of 7,200 µs (a small, divisor-rich hyperperiod).
+const HYPER_US: u64 = 7_200;
+fn period_menu() -> Vec<u64> {
+    divisors(HYPER_US)
+        .into_iter()
+        .filter(|&d| d >= 400) // enforceability floor, scaled down
+        .collect()
+}
+
+/// Strategy: a task with a menu period and a utilization in [5%, 95%].
+fn arb_task(id: u32) -> impl Strategy<Value = PeriodicTask> {
+    let menu = period_menu();
+    (0..menu.len(), 5u64..=95).prop_map(move |(pi, upct)| {
+        let period = Nanos::from_micros(menu[pi]);
+        let cost = Nanos(period.as_nanos() * upct / 100);
+        PeriodicTask::implicit(TaskId(id), cost, period)
+    })
+}
+
+/// Strategy: up to 12 tasks trimmed so total utilization fits `cores`.
+fn arb_taskset(cores: usize) -> impl Strategy<Value = Vec<PeriodicTask>> {
+    proptest::collection::vec(any::<u32>(), 1..=12)
+        .prop_flat_map(move |seeds| {
+            let tasks: Vec<_> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, _)| arb_task(i as u32))
+                .collect();
+            (tasks, Just(cores))
+        })
+        .prop_map(|(mut tasks, cores)| {
+            // Trim tasks until the exact demand fits the platform.
+            let horizon = Nanos::from_micros(HYPER_US);
+            let capacity = horizon * cores as u64;
+            while tasks
+                .iter()
+                .map(|t| t.cost_per(horizon))
+                .sum::<Nanos>()
+                > capacity
+            {
+                tasks.pop();
+            }
+            tasks
+        })
+        .prop_filter("non-empty", |t| !t.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any admissible set generates, and the generated schedule verifies.
+    #[test]
+    fn admissible_sets_generate_verified_schedules(tasks in arb_taskset(3)) {
+        let horizon = Nanos::from_micros(HYPER_US);
+        let g = generate_schedule(&tasks, 3, horizon, &GenOptions {
+            // Scaled-down sliver floor to match the scaled-down horizon.
+            min_piece: Nanos::from_micros(10),
+            ..GenOptions::default()
+        });
+        let g = g.expect("admissible set must generate");
+        prop_assert!(verify_schedule(&tasks, &g.schedule).is_empty());
+    }
+
+    /// The demand-bound test agrees with exhaustive EDF simulation on one
+    /// core (the analysis is exact, not merely sufficient).
+    #[test]
+    fn demand_test_matches_edf_simulation(tasks in arb_taskset(1)) {
+        let horizon = Nanos::from_micros(HYPER_US);
+        let analytic = edf_schedulable(&tasks, horizon);
+        let simulated = simulate_edf(&tasks, horizon).is_ok();
+        prop_assert_eq!(analytic, simulated);
+    }
+
+    /// QPA computes exactly the same predicate as full point enumeration —
+    /// on arbitrary (not necessarily admissible) sets, including
+    /// over-utilized and zero-laxity-heavy ones.
+    #[test]
+    fn qpa_equals_enumeration(
+        raw in proptest::collection::vec((1u64..=95, 0usize..6, 0u64..=100), 1..10)
+    ) {
+        let menu = period_menu();
+        let tasks: Vec<PeriodicTask> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(upct, pi, dpct))| {
+                let period = Nanos::from_micros(menu[pi % menu.len()]);
+                let cost = Nanos((period.as_nanos() * upct / 100).max(1));
+                // Deadline between cost and period.
+                let slack = period - cost;
+                let deadline = cost + Nanos(slack.as_nanos() * dpct / 100);
+                PeriodicTask::with_window(TaskId(i as u32), cost, period, deadline, Nanos::ZERO)
+            })
+            .collect();
+        let horizon = Nanos::from_micros(HYPER_US);
+        prop_assert_eq!(
+            qpa_schedulable(&tasks, horizon),
+            edf_schedulable_enumerative(&tasks, horizon)
+        );
+    }
+
+    /// dbf is monotone in t and zero below the earliest deadline.
+    #[test]
+    fn dbf_is_monotone(tasks in arb_taskset(2), probe in 0u64..HYPER_US) {
+        let t1 = Nanos::from_micros(probe);
+        let t2 = t1 + Nanos::from_micros(100);
+        prop_assert!(dbf(&tasks, t1) <= dbf(&tasks, t2));
+        let earliest = tasks.iter().map(|t| t.deadline).min().unwrap();
+        if t1 < earliest {
+            prop_assert_eq!(dbf(&tasks, t1), Nanos::ZERO);
+        }
+    }
+
+    /// EDF simulation gives every task exactly its cost in every period.
+    #[test]
+    fn edf_service_is_exact(tasks in arb_taskset(1)) {
+        let horizon = Nanos::from_micros(HYPER_US);
+        if let Ok(schedule) = simulate_edf(&tasks, horizon) {
+            for task in &tasks {
+                let mut start = Nanos::ZERO;
+                while start < horizon {
+                    let got = schedule.service_in(task.id, start, start + task.period);
+                    prop_assert_eq!(got, task.cost);
+                    start += task.period;
+                }
+            }
+        }
+    }
+
+    /// EDF dominates fixed priorities: anything deadline-monotonic
+    /// schedules, EDF schedules too (the converse fails — see the textbook
+    /// unit test in `rtsched::fp`).
+    #[test]
+    fn edf_dominates_deadline_monotonic(tasks in arb_taskset(1)) {
+        let horizon = Nanos::from_micros(HYPER_US);
+        if rtsched::fp::simulate_dm(&tasks, horizon).is_ok() {
+            prop_assert!(
+                simulate_edf(&tasks, horizon).is_ok(),
+                "DM schedulable but EDF not?!"
+            );
+        }
+    }
+
+    /// Response-time analysis is exact: it agrees with exhaustive DM
+    /// simulation on synchronous task sets.
+    #[test]
+    fn rta_matches_dm_simulation(tasks in arb_taskset(1)) {
+        let horizon = Nanos::from_micros(HYPER_US);
+        prop_assert_eq!(
+            rtsched::fp::rta_schedulable(&tasks),
+            rtsched::fp::simulate_dm(&tasks, horizon).is_ok()
+        );
+    }
+
+    /// Generation is deterministic: same input, same schedule.
+    #[test]
+    fn generation_is_deterministic(tasks in arb_taskset(2)) {
+        let horizon = Nanos::from_micros(HYPER_US);
+        let opts = GenOptions { min_piece: Nanos::from_micros(10), ..GenOptions::default() };
+        let a = generate_schedule(&tasks, 2, horizon, &opts);
+        let b = generate_schedule(&tasks, 2, horizon, &opts);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.schedule, y.schedule),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "nondeterministic outcome"),
+        }
+    }
+}

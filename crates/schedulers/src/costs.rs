@@ -1,0 +1,183 @@
+//! Scheduler operation cost models, calibrated to the paper's Table 1.
+//!
+//! The simulator charges every scheduler operation its CPU cost. Each cost
+//! decomposes into:
+//!
+//! * a **base** term — the algorithm's fixed work (table lookup for
+//!   Tableau, heap/queue manipulation for the others);
+//! * **scan** terms proportional to data-structure sizes (Credit's
+//!   runqueue walks and idler searches grow with load and core count);
+//! * **lock** terms — critical sections on shared locks, where *waiting*
+//!   time emerges from the simulation's contention ([`xensim::SimLock`]).
+//!
+//! Base and hold constants are calibrated so that the 16-core, 4-VMs/core
+//! I/O-intensive scenario of Sec. 7.2 lands near the paper's Table 1; the
+//! 48-core numbers of Table 2 are *not* calibrated — they emerge from the
+//! scan terms and lock contention, which is the point of the reproduction
+//! (RTDS's global lock is what blows up its 48-core migrate cost).
+//!
+//! All constants are in nanoseconds.
+
+use rtsched::time::Nanos;
+
+/// Credit scheduler cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditCosts {
+    /// Fixed decision work.
+    pub schedule_base: Nanos,
+    /// Per-runqueue-entry scan cost during a decision (priority walk plus
+    /// accounting); capped at [`CreditCosts::scan_cap`] entries.
+    pub schedule_scan: Nanos,
+    /// Entries beyond this add no scan cost (Xen's queues are short-walked).
+    pub scan_cap: usize,
+    /// Per-core cost of the load-balancing bookkeeping a decision performs
+    /// (grows with machine size; the Table 2 effect for Credit).
+    pub schedule_balance_per_core: Nanos,
+    /// Fixed wake-up work (boost handling).
+    pub wakeup_base: Nanos,
+    /// Per-core idler-search cost on wake-up.
+    pub wakeup_scan_per_core: Nanos,
+    /// Post-de-schedule work (Credit does almost none).
+    pub deschedule_base: Nanos,
+}
+
+impl Default for CreditCosts {
+    fn default() -> CreditCosts {
+        CreditCosts {
+            schedule_base: Nanos(2_600),
+            schedule_scan: Nanos(1_100),
+            scan_cap: 5,
+            schedule_balance_per_core: Nanos(260),
+            wakeup_base: Nanos(1_300),
+            wakeup_scan_per_core: Nanos(100),
+            deschedule_base: Nanos(320),
+        }
+    }
+}
+
+/// Credit2 scheduler cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct Credit2Costs {
+    /// Fixed decision work (credit comparison, runqueue head).
+    pub schedule_base: Nanos,
+    /// Hold time of the per-socket runqueue lock during a decision.
+    pub schedule_lock_hold: Nanos,
+    /// Fixed wake-up work (credit placement, no boost).
+    pub wakeup_base: Nanos,
+    /// Runqueue lock hold during wake-up.
+    pub wakeup_lock_hold: Nanos,
+    /// Post-de-schedule work (runqueue re-insert, credit burn).
+    pub deschedule_base: Nanos,
+    /// Runqueue lock hold during post-de-schedule work.
+    pub deschedule_lock_hold: Nanos,
+    /// Per-runqueue-member cost of the re-insert/load-balance walk — this
+    /// is what grows Credit2's migrate overhead on the 48-core machine
+    /// (44 members per socket runqueue vs. 24).
+    pub deschedule_scan_per_member: Nanos,
+}
+
+impl Default for Credit2Costs {
+    fn default() -> Credit2Costs {
+        Credit2Costs {
+            schedule_base: Nanos(2_400),
+            schedule_lock_hold: Nanos(500),
+            wakeup_base: Nanos(4_200),
+            wakeup_lock_hold: Nanos(700),
+            deschedule_base: Nanos(2_600),
+            deschedule_lock_hold: Nanos(1_200),
+            deschedule_scan_per_member: Nanos(70),
+        }
+    }
+}
+
+/// RTDS scheduler cost model: every operation serializes on the global
+/// run-queue lock.
+#[derive(Debug, Clone, Copy)]
+pub struct RtdsCosts {
+    /// Fixed decision work (EDF pick).
+    pub schedule_base: Nanos,
+    /// Global lock hold during a decision.
+    pub schedule_lock_hold: Nanos,
+    /// Fixed wake-up work (replenish + placement).
+    pub wakeup_base: Nanos,
+    /// Global lock hold during a wake-up.
+    pub wakeup_lock_hold: Nanos,
+    /// Fixed post-de-schedule work (re-insert, load balancing).
+    pub deschedule_base: Nanos,
+    /// Global lock hold during post-de-schedule work — the dominant term
+    /// of the paper's 48-core Table 2 blow-up.
+    pub deschedule_lock_hold: Nanos,
+}
+
+impl Default for RtdsCosts {
+    fn default() -> RtdsCosts {
+        RtdsCosts {
+            schedule_base: Nanos(2_400),
+            schedule_lock_hold: Nanos(200),
+            wakeup_base: Nanos(3_200),
+            wakeup_lock_hold: Nanos(500),
+            deschedule_base: Nanos(8_200),
+            deschedule_lock_hold: Nanos(800),
+        }
+    }
+}
+
+/// Tableau dispatcher cost model: flat, core-local costs.
+#[derive(Debug, Clone, Copy)]
+pub struct TableauCosts {
+    /// Table lookup plus dispatch (at most two cache lines).
+    pub schedule_base: Nanos,
+    /// Wake-up routing via the table.
+    pub wakeup_base: Nanos,
+    /// Post-de-schedule work (the occasional hand-off IPI write).
+    pub deschedule_base: Nanos,
+    /// Extra cost when the hand-off actually sends an IPI.
+    pub handoff_ipi: Nanos,
+}
+
+impl Default for TableauCosts {
+    fn default() -> TableauCosts {
+        TableauCosts {
+            schedule_base: Nanos(1_400),
+            wakeup_base: Nanos(1_050),
+            deschedule_base: Nanos(400),
+            handoff_ipi: Nanos(120),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reflect_paper_ordering() {
+        // Table 1 ordering on the Schedule row: Credit > Credit2 > RTDS >
+        // Tableau, at 16-core scale with ~2 runnable entries per queue.
+        let credit = CreditCosts::default();
+        let credit_sched_16 = credit.schedule_base
+            + credit.schedule_scan * 2
+            + credit.schedule_balance_per_core * 12;
+        let credit2 = Credit2Costs::default();
+        let c2_sched = credit2.schedule_base + credit2.schedule_lock_hold;
+        let rtds = RtdsCosts::default();
+        let rtds_sched = rtds.schedule_base + rtds.schedule_lock_hold;
+        let tableau = TableauCosts::default();
+        assert!(credit_sched_16 > c2_sched);
+        assert!(c2_sched > rtds_sched);
+        assert!(rtds_sched > tableau.schedule_base);
+        // Wakeup row: Credit2 > RTDS > Credit > Tableau.
+        let c_wake_16 = credit.wakeup_base + credit.wakeup_scan_per_core * 16;
+        let c2_wake = credit2.wakeup_base + credit2.wakeup_lock_hold;
+        let r_wake = rtds.wakeup_base + rtds.wakeup_lock_hold;
+        assert!(c2_wake > r_wake);
+        assert!(r_wake > c_wake_16);
+        assert!(c_wake_16 > tableau.wakeup_base);
+        // Migrate row: RTDS > Credit2 > Tableau > Credit (uncontended).
+        let r_mig = rtds.deschedule_base + rtds.deschedule_lock_hold;
+        let c2_mig = credit2.deschedule_base + credit2.deschedule_lock_hold;
+        assert!(r_mig > c2_mig);
+        assert!(c2_mig > tableau.deschedule_base);
+        assert!(tableau.deschedule_base > credit.deschedule_base);
+    }
+}

@@ -1,0 +1,451 @@
+//! Xen's Credit scheduler (the default), re-implemented for the simulator.
+//!
+//! Credit is a weighted proportional-fair scheduler:
+//!
+//! * every accounting period (30 ms) each active vCPU receives credits
+//!   proportional to its weight (or to its *cap*, if capped);
+//! * a running vCPU burns credits as it executes;
+//! * vCPUs with positive credits have `UNDER` priority, others `OVER`;
+//!   capped vCPUs that exhaust their credits are *parked* until the next
+//!   accounting period (this is where the paper's 44 ms capped-scenario
+//!   delays come from — a parked vantage VM must wait out the period while
+//!   its core-mates drain theirs);
+//! * a vCPU that wakes from I/O with `UNDER` priority is **boosted** above
+//!   everything else until the next tick — the heuristic the paper shows to
+//!   backfire when *every* VM performs I/O (all boosted ⇒ none boosted);
+//! * idle cores steal `BOOST`/`UNDER` vCPUs from busy ones.
+//!
+//! Per the paper's setup (Sec. 7.2) the timeslice is 5 ms ("the default
+//! 30 ms value is known to be non-ideal for I/O workloads") and ticks fire
+//! every 10 ms with accounting every third tick.
+
+use rtsched::time::Nanos;
+use xensim::sched::{
+    DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
+};
+use xensim::Machine;
+
+use crate::costs::CreditCosts;
+
+/// Credit priority classes, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prio {
+    Boost,
+    Under,
+    Over,
+}
+
+#[derive(Debug, Clone)]
+struct CreditVcpu {
+    home: usize,
+    /// Credits in nanoseconds of CPU time; may go negative.
+    credits: i64,
+    /// Cap in parts-per-million of one core, if capped.
+    cap_ppm: Option<u32>,
+    weight: u32,
+    boosted: bool,
+    /// Parked: capped and out of credits until the next accounting.
+    parked: bool,
+    running_on: Option<usize>,
+    /// Runqueue position within a priority class: lower runs first. Updated
+    /// on dispatch *and on wake-up* — Xen's `__runq_insert` places a woken
+    /// vCPU at the tail of its priority class, so a freshly boosted vCPU
+    /// queues behind the boosted vCPUs already waiting. Under an all-I/O
+    /// overload this is what makes BOOST useless (everyone is boosted and
+    /// the queue is long), the failure mode of Sec. 7.4.
+    rr_seq: u64,
+}
+
+impl CreditVcpu {
+    fn prio(&self) -> Prio {
+        if self.boosted {
+            Prio::Boost
+        } else if self.credits > 0 {
+            Prio::Under
+        } else {
+            Prio::Over
+        }
+    }
+}
+
+/// Tunable Credit parameters (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct CreditParams {
+    /// Scheduling quantum (5 ms per the paper's documented best practice).
+    pub timeslice: Nanos,
+    /// Tick period (10 ms in Xen).
+    pub tick: Nanos,
+    /// Accounting runs every `acct_every` ticks (3 ⇒ 30 ms in Xen).
+    pub acct_every: u64,
+    /// Whether wake-ups boost `UNDER` vCPUs (Credit's signature heuristic).
+    pub boost_enabled: bool,
+}
+
+impl Default for CreditParams {
+    fn default() -> CreditParams {
+        CreditParams {
+            timeslice: Nanos::from_millis(5),
+            tick: Nanos::from_millis(10),
+            acct_every: 3,
+            boost_enabled: true,
+        }
+    }
+}
+
+/// The Credit scheduler.
+pub struct Credit {
+    machine: Machine,
+    params: CreditParams,
+    costs: CreditCosts,
+    vcpus: Vec<CreditVcpu>,
+    /// What each core is running (scheduler-side mirror).
+    core_running: Vec<Option<VcpuId>>,
+    ticks: u64,
+    rr_counter: u64,
+}
+
+impl Credit {
+    /// Creates a Credit scheduler for `machine` with paper-default
+    /// parameters.
+    pub fn new(machine: Machine) -> Credit {
+        Credit::with_params(machine, CreditParams::default(), CreditCosts::default())
+    }
+
+    /// Creates a Credit scheduler with explicit parameters.
+    pub fn with_params(machine: Machine, params: CreditParams, costs: CreditCosts) -> Credit {
+        let n = machine.n_cores();
+        Credit {
+            machine,
+            params,
+            costs,
+            vcpus: Vec::new(),
+            core_running: vec![None; n],
+            ticks: 0,
+            rr_counter: 0,
+        }
+    }
+
+    /// Caps a vCPU at `ppm` parts-per-million of one core.
+    pub fn set_cap(&mut self, vcpu: VcpuId, ppm: u32) {
+        self.vcpus[vcpu.0 as usize].cap_ppm = Some(ppm);
+    }
+
+    /// Enables or disables the wake-up BOOST heuristic (ablation knob;
+    /// boosting is what Credit2 removed, Sec. 7.2).
+    pub fn set_boost_enabled(&mut self, enabled: bool) {
+        self.params.boost_enabled = enabled;
+        if !enabled {
+            for v in &mut self.vcpus {
+                v.boosted = false;
+            }
+        }
+    }
+
+    /// The accounting share a vCPU earns per accounting period.
+    fn share(&self, v: &CreditVcpu) -> i64 {
+        let period = self.params.tick * self.params.acct_every;
+        match v.cap_ppm {
+            // Capped: credits accrue at exactly the cap rate.
+            Some(ppm) => (period.as_nanos() as u128 * ppm as u128 / 1_000_000) as i64,
+            // Uncapped: weighted fair share of the whole machine.
+            None => {
+                let total_weight: u64 = self.vcpus.iter().map(|x| x.weight as u64).sum();
+                if total_weight == 0 {
+                    0
+                } else {
+                    (period.as_nanos() as u128 * self.machine.n_cores() as u128
+                        * v.weight as u128
+                        / total_weight as u128) as i64
+                }
+            }
+        }
+    }
+
+    fn accounting(&mut self) {
+        let shares: Vec<i64> = self.vcpus.iter().map(|v| self.share(v)).collect();
+        for (v, share) in self.vcpus.iter_mut().zip(shares) {
+            // Credits accrue but are clipped to one period's worth in both
+            // directions, as in Xen's csched_acct. The negative clip is
+            // behaviorally important: an overloaded vCPU's credits hover
+            // around zero and cross into UNDER right after accounting — so
+            // under an all-I/O overload *every* VM gets boosted on wake,
+            // which is exactly the "all boosted, none boosted" failure mode
+            // the paper demonstrates.
+            v.credits = (v.credits + share).clamp(-share, share);
+            v.parked = v.cap_ppm.is_some() && v.credits <= 0;
+        }
+    }
+
+    /// Best local candidate on `core` (not running anywhere, not parked).
+    fn pick_local(&self, core: usize, view: &VcpuView<'_>) -> Option<(VcpuId, Prio)> {
+        self.vcpus
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| {
+                v.home == core
+                    && view.is_runnable(VcpuId(*i as u32))
+                    && v.running_on.is_none()
+                    && !v.parked
+            })
+            .min_by_key(|(_, v)| (v.prio(), v.rr_seq))
+            .map(|(i, v)| (VcpuId(i as u32), v.prio()))
+    }
+
+    /// Steal candidate from any other core: best BOOST/UNDER vCPU.
+    fn pick_steal(&self, core: usize, view: &VcpuView<'_>) -> Option<VcpuId> {
+        self.vcpus
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| {
+                v.home != core
+                    && view.is_runnable(VcpuId(*i as u32))
+                    && v.running_on.is_none()
+                    && !v.parked
+                    && v.prio() < Prio::Over
+            })
+            .min_by_key(|(_, v)| (v.prio(), v.rr_seq))
+            .map(|(i, _)| VcpuId(i as u32))
+    }
+
+    fn runnable_on(&self, core: usize, view: &VcpuView<'_>) -> usize {
+        self.vcpus
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| v.home == core && view.is_runnable(VcpuId(*i as u32)) && !v.parked)
+            .count()
+    }
+}
+
+impl VmScheduler for Credit {
+    fn name(&self) -> &'static str {
+        "credit"
+    }
+
+    fn register_vcpu(&mut self, vcpu: VcpuId, home: usize) {
+        assert_eq!(vcpu.0 as usize, self.vcpus.len(), "dense registration");
+        let period = self.params.tick * self.params.acct_every;
+        self.vcpus.push(CreditVcpu {
+            home: home % self.machine.n_cores(),
+            // Start with a period's fair share so freshly created VMs run.
+            credits: (period.as_nanos() / 4) as i64,
+            cap_ppm: None,
+            weight: 256,
+            boosted: false,
+            parked: false,
+            running_on: None,
+            rr_seq: 0,
+        });
+    }
+
+    fn schedule(&mut self, core: usize, now: Nanos, view: VcpuView<'_>) -> (SchedDecision, Nanos) {
+        self.core_running[core] = None;
+        let queue_len = self.runnable_on(core, &view);
+        let mut cost = self.costs.schedule_base
+            + self.costs.schedule_scan * queue_len.min(self.costs.scan_cap) as u64
+            + self.costs.schedule_balance_per_core * self.machine.n_cores() as u64;
+
+        let mut pick = self.pick_local(core, &view);
+        if pick.map(|(_, p)| p == Prio::Over).unwrap_or(true) {
+            // Local queue has nothing better than OVER: try to steal
+            // BOOST/UNDER work from peers (the idle-stealing path).
+            if let Some(stolen) = self.pick_steal(core, &view) {
+                self.vcpus[stolen.0 as usize].home = core;
+                // A steal walks the peers' queues.
+                cost += self.costs.schedule_scan * 2;
+                pick = Some((stolen, self.vcpus[stolen.0 as usize].prio()));
+            }
+        }
+
+        match pick {
+            Some((vcpu, _)) => {
+                let v = &mut self.vcpus[vcpu.0 as usize];
+                v.running_on = Some(core);
+                self.rr_counter += 1;
+                v.rr_seq = self.rr_counter;
+                self.core_running[core] = Some(vcpu);
+                (SchedDecision::run(vcpu, now + self.params.timeslice), cost)
+            }
+            None => (SchedDecision::idle(now + self.params.timeslice), cost),
+        }
+    }
+
+    fn on_wakeup(&mut self, vcpu: VcpuId, _now: Nanos, view: VcpuView<'_>) -> WakeupPlan {
+        let cost = self.costs.wakeup_base
+            + self.costs.wakeup_scan_per_core * self.machine.n_cores() as u64;
+        self.rr_counter += 1;
+        let seq = self.rr_counter;
+        let (wake_prio, home) = {
+            let v = &mut self.vcpus[vcpu.0 as usize];
+            if self.params.boost_enabled && !v.parked && v.credits > 0 {
+                v.boosted = true;
+            }
+            // Runqueue insertion at the tail of the priority class.
+            v.rr_seq = seq;
+            (v.prio(), v.home)
+        };
+        if self.vcpus[vcpu.0 as usize].parked {
+            return WakeupPlan {
+                ipi_cores: vec![],
+                cost,
+            };
+        }
+
+        // Placement: an idle core anywhere beats queueing; otherwise
+        // preempt the home core if we outrank what it runs.
+        let idle_core = (0..self.machine.n_cores()).find(|&c| {
+            self.core_running[c].is_none()
+                // ... and nothing runnable is waiting there already.
+                && self.pick_local(c, &view).is_none()
+        });
+        if let Some(c) = idle_core {
+            self.vcpus[vcpu.0 as usize].home = c;
+            return WakeupPlan {
+                ipi_cores: vec![c],
+                cost,
+            };
+        }
+        let preempt = match self.core_running[home] {
+            Some(running) => wake_prio < self.vcpus[running.0 as usize].prio(),
+            None => true,
+        };
+        WakeupPlan {
+            ipi_cores: if preempt { vec![home] } else { vec![] },
+            cost,
+        }
+    }
+
+    fn on_block(&mut self, _vcpu: VcpuId, _core: usize, _now: Nanos) {}
+
+    fn on_descheduled(
+        &mut self,
+        vcpu: VcpuId,
+        core: usize,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> DeschedulePlan {
+        let v = &mut self.vcpus[vcpu.0 as usize];
+        v.credits -= ran.as_nanos() as i64;
+        if v.cap_ppm.is_some() && v.credits <= 0 {
+            v.parked = true;
+        }
+        if v.running_on == Some(core) {
+            v.running_on = None;
+        }
+        if self.core_running[core] == Some(vcpu) {
+            self.core_running[core] = None;
+        }
+        DeschedulePlan {
+            ipi_cores: vec![],
+            cost: self.costs.deschedule_base,
+        }
+    }
+
+    fn tick_interval(&self) -> Option<Nanos> {
+        Some(self.params.tick)
+    }
+
+    fn on_tick(&mut self, core: usize, _now: Nanos, _view: VcpuView<'_>) -> bool {
+        // The tick de-boosts whatever is running here (Xen clears BOOST on
+        // the periodic tick).
+        let mut resched = false;
+        if let Some(running) = self.core_running[core] {
+            let v = &mut self.vcpus[running.0 as usize];
+            if v.boosted {
+                v.boosted = false;
+                resched = true;
+            }
+        }
+        // Core 0's tick drives global accounting.
+        if core == 0 {
+            self.ticks += 1;
+            if self.ticks % self.params.acct_every == 0 {
+                self.accounting();
+                resched = true;
+            }
+        }
+        // A parked vCPU must not keep running.
+        if let Some(running) = self.core_running[core] {
+            if self.vcpus[running.0 as usize].parked {
+                resched = true;
+            }
+        }
+        resched
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xensim::sched::BusyLoop;
+    use xensim::Sim;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn uncapped_busy_vcpus_share_fairly() {
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Credit::new(machine)));
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        let b = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.run_until(Nanos::from_secs(1));
+        let (sa, sb) = (sim.stats().vcpu(a).service, sim.stats().vcpu(b).service);
+        let ratio = sa.as_nanos() as f64 / sb.as_nanos() as f64;
+        assert!((0.85..1.18).contains(&ratio), "{sa} vs {sb}");
+        // Work conserving: the two together use nearly the whole core.
+        assert!(sa + sb > Nanos::from_millis(950));
+    }
+
+    #[test]
+    fn capped_vcpu_is_rate_limited() {
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Credit::new(machine)));
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        // Cap at 25%.
+        sim.scheduler_mut()
+            .as_any()
+            .downcast_mut::<Credit>()
+            .expect("credit scheduler")
+            .set_cap(a, 250_000);
+        sim.run_until(Nanos::from_secs(1));
+        let s = sim.stats().vcpu(a).service;
+        // 25% of a second, within tick-quantization slack.
+        assert!(s < Nanos::from_millis(300), "capped vCPU got {s}");
+        assert!(s > Nanos::from_millis(180), "capped vCPU got {s}");
+    }
+
+    #[test]
+    fn idle_stealing_spreads_load() {
+        let machine = Machine::small(2);
+        let mut sim = Sim::new(machine, Box::new(Credit::new(machine)));
+        // Both vCPUs homed on core 0; stealing should move one to core 1.
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        let b = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.run_until(ms(100));
+        let total = sim.stats().vcpu(a).service + sim.stats().vcpu(b).service;
+        assert!(total > ms(180), "stealing failed: total {total}");
+    }
+
+    #[test]
+    fn parked_vcpu_waits_out_the_accounting_period() {
+        // One capped, CPU-hungry vCPU alone on a core: it burns its credits
+        // then waits parked; its max scheduling delay approaches the
+        // accounting period (the paper's capped-scenario Credit artifact).
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Credit::new(machine)));
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.scheduler_mut()
+            .as_any()
+            .downcast_mut::<Credit>()
+            .expect("credit scheduler")
+            .set_cap(a, 250_000);
+        sim.run_until(Nanos::from_secs(2));
+        let d = sim.stats().vcpu(a).delay_max;
+        assert!(d >= ms(15), "expected parking delays, max {d}");
+    }
+}

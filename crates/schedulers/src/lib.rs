@@ -1,0 +1,29 @@
+//! VM scheduler implementations for the `xensim` simulator.
+//!
+//! This crate provides the four schedulers the Tableau paper (EuroSys 2018)
+//! evaluates on Xen 4.9:
+//!
+//! * [`credit::Credit`] — Xen's default weighted proportional-fair
+//!   scheduler, with priority boosting, caps (parking), ticks, and idle
+//!   stealing;
+//! * [`credit2::Credit2`] — the boost-free redesign with per-socket
+//!   runqueues and credit reset events (no caps, as in Xen 4.9);
+//! * [`rtds::Rtds`] — the RT-Xen global-EDF reservation scheduler with its
+//!   global run-queue lock;
+//! * [`tableau::Tableau`] — the adapter wiring `tableau-core`'s planner
+//!   output and dispatcher into the simulator.
+//!
+//! Operation cost models (calibrated to the paper's Table 1) live in
+//! [`costs`]; lock waits and scan terms make the 48-core Table 2 behaviour
+//! emerge rather than being hard-coded.
+
+pub mod costs;
+pub mod credit;
+pub mod credit2;
+pub mod rtds;
+pub mod tableau;
+
+pub use credit::Credit;
+pub use credit2::Credit2;
+pub use rtds::Rtds;
+pub use tableau::Tableau;

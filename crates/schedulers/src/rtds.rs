@@ -1,0 +1,402 @@
+//! Xen's RTDS real-time scheduler, re-implemented for the simulator.
+//!
+//! RTDS (from the RT-Xen project) is, like Tableau, based on the periodic
+//! task model: each vCPU has a budget and a period, its budget replenishes
+//! at every period boundary, and runnable vCPUs with remaining budget are
+//! scheduled **globally** by earliest deadline first. Unlike Tableau, every
+//! decision is made *online*: the run queue is a single global structure
+//! protected by a global spinlock, which is precisely the scalability
+//! bottleneck the paper demonstrates in Table 2 ("RTDS spends over 168 µs
+//! while attempting to migrate a VM each time it is preempted" on 48
+//! cores).
+//!
+//! RTDS is a pure reservation scheduler: a vCPU that exhausts its budget
+//! waits for its next period even if cores idle (the paper therefore
+//! evaluates it only in capped scenarios).
+
+use rtsched::time::Nanos;
+use xensim::sched::{
+    DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
+};
+use xensim::{Machine, SimLock};
+
+use crate::costs::RtdsCosts;
+
+/// Budget-accounting granularity: a vCPU whose remaining budget drops below
+/// this is treated as depleted until its replenish. Without it, a residual
+/// budget of a few nanoseconds would be "scheduled" in slices smaller than
+/// the scheduler's own overhead — each decision costing more CPU than it
+/// grants — starving deadline-tied peers (RTDS likewise accounts budgets at
+/// a coarse granularity).
+const BUDGET_GRANULARITY: Nanos = Nanos(100_000);
+
+#[derive(Debug, Clone)]
+struct RtdsVcpu {
+    /// Full budget per period.
+    budget: Nanos,
+    period: Nanos,
+    /// Budget left in the current period.
+    left: Nanos,
+    /// Absolute deadline of the current period (also the replenish time).
+    deadline: Nanos,
+    running_on: Option<usize>,
+}
+
+impl RtdsVcpu {
+    /// Lazily advances periods so that `deadline > now`.
+    fn replenish(&mut self, now: Nanos) {
+        while self.deadline <= now {
+            self.deadline += self.period;
+            self.left = self.budget;
+        }
+    }
+}
+
+/// The RTDS scheduler.
+pub struct Rtds {
+    costs: RtdsCosts,
+    vcpus: Vec<RtdsVcpu>,
+    core_running: Vec<Option<VcpuId>>,
+    /// The global run-queue lock every operation serializes on.
+    lock: SimLock,
+    /// Default (budget, period) for newly registered vCPUs.
+    default_params: (Nanos, Nanos),
+    /// Work-conserving mode (off in Xen 4.9, the paper's version; added as
+    /// a per-vCPU flag in Xen 4.10): depleted-but-runnable vCPUs run at a
+    /// background priority instead of idling the core.
+    work_conserving: bool,
+}
+
+impl Rtds {
+    /// Creates an RTDS scheduler; vCPUs default to the paper's
+    /// Tableau-matched parameters (budget ≈ 3.21 ms, period ≈ 12.84 ms).
+    pub fn new(machine: Machine) -> Rtds {
+        Rtds::with_costs(machine, RtdsCosts::default())
+    }
+
+    /// Creates an RTDS scheduler with an explicit cost model.
+    pub fn with_costs(machine: Machine, costs: RtdsCosts) -> Rtds {
+        Rtds {
+            costs,
+            vcpus: Vec::new(),
+            core_running: vec![None; machine.n_cores()],
+            lock: SimLock::new(),
+            default_params: (Nanos(3_209_456), Nanos(12_837_825)),
+            work_conserving: false,
+        }
+    }
+
+    /// Enables work-conserving mode (Xen ≥ 4.10's `work-conserving` flag,
+    /// applied globally): depleted vCPUs may consume idle cycles at
+    /// background priority, ordered by earliest replenishment.
+    pub fn set_work_conserving(&mut self, enabled: bool) {
+        self.work_conserving = enabled;
+    }
+
+    /// Sets a vCPU's reservation.
+    pub fn set_params(&mut self, vcpu: VcpuId, budget: Nanos, period: Nanos) {
+        let v = &mut self.vcpus[vcpu.0 as usize];
+        v.budget = budget;
+        v.period = period;
+        v.left = budget;
+        v.deadline = period;
+    }
+
+    /// Sets the default reservation for vCPUs registered afterwards.
+    pub fn set_default_params(&mut self, budget: Nanos, period: Nanos) {
+        self.default_params = (budget, period);
+    }
+
+    /// Earliest-deadline runnable vCPU with budget, not running anywhere.
+    fn pick_edf(&mut self, now: Nanos, view: &VcpuView<'_>) -> Option<VcpuId> {
+        let mut best: Option<(Nanos, u32)> = None;
+        for (i, v) in self.vcpus.iter_mut().enumerate() {
+            if !view.is_runnable(VcpuId(i as u32)) || v.running_on.is_some() {
+                continue;
+            }
+            v.replenish(now);
+            if v.left < BUDGET_GRANULARITY {
+                continue;
+            }
+            let key = (v.deadline, i as u32);
+            if best.map(|b| key < b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, i)| VcpuId(i))
+    }
+
+    /// Next replenish time among runnable but depleted vCPUs.
+    fn next_replenish(&self, view: &VcpuView<'_>) -> Option<Nanos> {
+        self.vcpus
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| {
+                view.is_runnable(VcpuId(*i as u32))
+                    && v.running_on.is_none()
+                    && v.left < BUDGET_GRANULARITY
+            })
+            .map(|(_, v)| v.deadline)
+            .min()
+    }
+}
+
+impl VmScheduler for Rtds {
+    fn name(&self) -> &'static str {
+        "rtds"
+    }
+
+    fn register_vcpu(&mut self, vcpu: VcpuId, _home: usize) {
+        assert_eq!(vcpu.0 as usize, self.vcpus.len(), "dense registration");
+        let (budget, period) = self.default_params;
+        // Xen's RTDS anchors each vCPU's period at its creation time; VMs
+        // are brought up seconds apart, so their deadlines are mutually
+        // phase-shifted. A deterministic stagger reproduces that: without
+        // it, every deadline ties and EDF degenerates to index order.
+        let phase = Nanos((vcpu.0 as u64).wrapping_mul(1_000_037) % period.as_nanos().max(1));
+        self.vcpus.push(RtdsVcpu {
+            budget,
+            period,
+            left: budget,
+            deadline: period + phase,
+            running_on: None,
+        });
+    }
+
+    fn schedule(&mut self, core: usize, now: Nanos, view: VcpuView<'_>) -> (SchedDecision, Nanos) {
+        self.core_running[core] = None;
+        let wait = self.lock.acquire(now, self.costs.schedule_lock_hold);
+        let cost = self.costs.schedule_base + self.costs.schedule_lock_hold + wait;
+
+        match self.pick_edf(now, &view) {
+            Some(vcpu) => {
+                let v = &mut self.vcpus[vcpu.0 as usize];
+                v.running_on = Some(core);
+                self.core_running[core] = Some(vcpu);
+                // Run until budget depletion or the period boundary,
+                // whichever is first.
+                let until = (now + v.left).min(v.deadline);
+                (SchedDecision::run(vcpu, until), cost)
+            }
+            None => {
+                // Work-conserving mode: hand idle cycles to a depleted
+                // runnable vCPU (earliest replenishment first) until its
+                // budget returns and EDF takes over again.
+                if self.work_conserving {
+                    let depleted = self
+                        .vcpus
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, v)| {
+                            view.is_runnable(VcpuId(*i as u32)) && v.running_on.is_none()
+                        })
+                        .min_by_key(|(i, v)| (v.deadline, *i))
+                        .map(|(i, v)| (VcpuId(i as u32), v.deadline));
+                    if let Some((vcpu, replenish)) = depleted {
+                        let v = &mut self.vcpus[vcpu.0 as usize];
+                        v.running_on = Some(core);
+                        self.core_running[core] = Some(vcpu);
+                        return (
+                            SchedDecision::run(vcpu, replenish.max(now + Nanos(1_000))),
+                            cost,
+                        );
+                    }
+                }
+                // Idle until the next replenish could make someone eligible.
+                let until = self
+                    .next_replenish(&view)
+                    .unwrap_or(now + Nanos::from_millis(10));
+                (SchedDecision::idle(until.max(now + Nanos(1_000))), cost)
+            }
+        }
+    }
+
+    fn on_wakeup(&mut self, vcpu: VcpuId, now: Nanos, _view: VcpuView<'_>) -> WakeupPlan {
+        let wait = self.lock.acquire(now, self.costs.wakeup_lock_hold);
+        let cost = self.costs.wakeup_base + self.costs.wakeup_lock_hold + wait;
+
+        let (deadline, has_budget) = {
+            let v = &mut self.vcpus[vcpu.0 as usize];
+            v.replenish(now);
+            (v.deadline, v.left >= BUDGET_GRANULARITY)
+        };
+        if !has_budget {
+            // Depleted: it becomes eligible at its replenish; cores will
+            // pick it up via their idle timers.
+            return WakeupPlan {
+                ipi_cores: vec![],
+                cost,
+            };
+        }
+        // Global placement: an idle core, else preempt the core running the
+        // latest deadline if ours is earlier.
+        let idle = self.core_running.iter().position(|r| r.is_none());
+        let target = match idle {
+            Some(c) => Some(c),
+            None => self
+                .core_running
+                .iter()
+                .enumerate()
+                .filter_map(|(c, r)| r.map(|r| (c, self.vcpus[r.0 as usize].deadline)))
+                .max_by_key(|&(c, d)| (d, c))
+                .filter(|&(_, d)| d > deadline)
+                .map(|(c, _)| c),
+        };
+        WakeupPlan {
+            ipi_cores: target.into_iter().collect(),
+            cost,
+        }
+    }
+
+    fn on_block(&mut self, _vcpu: VcpuId, _core: usize, _now: Nanos) {}
+
+    fn on_descheduled(
+        &mut self,
+        vcpu: VcpuId,
+        core: usize,
+        ran: Nanos,
+        now: Nanos,
+    ) -> DeschedulePlan {
+        // Post-schedule work: budget burn plus global-queue re-insertion and
+        // load balancing, all under the global lock — the Table 2 hot spot.
+        let wait = self.lock.acquire(now, self.costs.deschedule_lock_hold);
+        let v = &mut self.vcpus[vcpu.0 as usize];
+        v.left = v.left.saturating_sub(ran);
+        if v.running_on == Some(core) {
+            v.running_on = None;
+        }
+        if self.core_running[core] == Some(vcpu) {
+            self.core_running[core] = None;
+        }
+        DeschedulePlan {
+            ipi_cores: vec![],
+            cost: self.costs.deschedule_base + self.costs.deschedule_lock_hold + wait,
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xensim::sched::BusyLoop;
+    use xensim::Sim;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn reservation_is_enforced() {
+        // A lone CPU-hungry vCPU with a 25% reservation gets 25%, not more
+        // (RTDS is not work conserving).
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Rtds::new(machine)));
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.scheduler_mut()
+            .as_any()
+            .downcast_mut::<Rtds>()
+            .unwrap()
+            .set_params(a, ms(5), ms(20));
+        sim.run_until(Nanos::from_secs(1));
+        let s = sim.stats().vcpu(a).service;
+        assert!(s >= Nanos::from_millis(240), "got {s}");
+        assert!(s <= Nanos::from_millis(255), "got {s}");
+    }
+
+    #[test]
+    fn four_reservations_fill_a_core() {
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Rtds::new(machine)));
+        let vs: Vec<_> = (0..4)
+            .map(|_| sim.add_vcpu(Box::new(BusyLoop), 0, true))
+            .collect();
+        for &v in &vs {
+            sim.scheduler_mut()
+                .as_any()
+                .downcast_mut::<Rtds>()
+                .unwrap()
+                .set_params(v, ms(5), ms(20));
+        }
+        sim.run_until(Nanos::from_secs(1));
+        for &v in &vs {
+            let s = sim.stats().vcpu(v).service;
+            // Overheads steal a little from full utilization.
+            assert!(s > Nanos::from_millis(210), "vCPU {v} got {s}");
+            assert!(s <= Nanos::from_millis(251), "vCPU {v} got {s}");
+        }
+    }
+
+    #[test]
+    fn edf_bounds_scheduling_delay() {
+        // With 4 x (5 ms, 20 ms) vCPUs on one core, the worst-case delay is
+        // bounded by roughly a period (15 ms of other budgets + own offset).
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Rtds::new(machine)));
+        let vs: Vec<_> = (0..4)
+            .map(|_| sim.add_vcpu(Box::new(BusyLoop), 0, true))
+            .collect();
+        for &v in &vs {
+            sim.scheduler_mut()
+                .as_any()
+                .downcast_mut::<Rtds>()
+                .unwrap()
+                .set_params(v, ms(5), ms(20));
+        }
+        sim.run_until(Nanos::from_secs(2));
+        let d = sim.stats().vcpu(vs[0]).delay_max;
+        assert!(d <= ms(16), "delay {d} exceeds the EDF bound");
+    }
+
+    #[test]
+    fn work_conserving_mode_uses_idle_cycles() {
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Rtds::new(machine)));
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        {
+            let r = sim.scheduler_mut().as_any().downcast_mut::<Rtds>().unwrap();
+            r.set_params(a, ms(5), ms(20));
+            r.set_work_conserving(true);
+        }
+        sim.run_until(Nanos::from_secs(1));
+        // A lone hog with a 25% reservation soaks up the idle core.
+        let s = sim.stats().vcpu(a).service;
+        assert!(s > Nanos::from_millis(900), "work conservation unused: {s}");
+    }
+
+    #[test]
+    fn work_conserving_mode_preserves_reservations() {
+        // A reserved vCPU still gets its budget with an uncapped hog around.
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Rtds::new(machine)));
+        let hog = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        let reserved = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        {
+            let r = sim.scheduler_mut().as_any().downcast_mut::<Rtds>().unwrap();
+            r.set_params(hog, ms(1), ms(20));
+            r.set_params(reserved, ms(10), ms(20));
+            r.set_work_conserving(true);
+        }
+        sim.run_until(Nanos::from_secs(1));
+        let rs = sim.stats().vcpu(reserved).service;
+        assert!(rs > Nanos::from_millis(480), "reservation eroded: {rs}");
+        // And the hog got the leftovers, not just its 5%.
+        let hs = sim.stats().vcpu(hog).service;
+        assert!(hs > Nanos::from_millis(350), "hog starved: {hs}");
+    }
+
+    #[test]
+    fn global_lock_sees_every_operation() {
+        let machine = Machine::small(2);
+        let mut sim = Sim::new(machine, Box::new(Rtds::new(machine)));
+        for _ in 0..8 {
+            sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        }
+        sim.run_until(Nanos::from_millis(200));
+        let r = sim.scheduler_mut().as_any().downcast_mut::<Rtds>().unwrap();
+        assert!(r.lock.acquisitions() > 50);
+    }
+}

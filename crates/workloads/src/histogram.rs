@@ -1,0 +1,263 @@
+//! A log-linear latency histogram (HdrHistogram-style), built from scratch.
+//!
+//! The paper measures tail latency with wrk2, whose defining feature is
+//! HdrHistogram-based recording that is cheap at record time and supports
+//! accurate high percentiles. This is the same design: values are bucketed
+//! by magnitude (position of the leading bit) and linearly sub-bucketed
+//! within each magnitude, giving a bounded *relative* error (1/32 with the
+//! default 32 sub-buckets, i.e. ~3%) across the full `u64` range with a
+//! few KiB of memory.
+
+use serde::{Deserialize, Serialize};
+
+use rtsched::time::Nanos;
+
+/// Sub-buckets per magnitude: relative quantization error is `1/SUB`.
+const SUB: u64 = 32;
+const SUB_BITS: u32 = 5; // log2(SUB)
+
+/// Number of magnitude groups needed for u64 values.
+const GROUPS: usize = 60;
+
+/// A log-linear histogram of nanosecond latencies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; GROUPS * SUB as usize],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value.
+    fn index(value: u64) -> usize {
+        if value < SUB {
+            // Values below SUB are exact (group 0 maps identity).
+            return value as usize;
+        }
+        let magnitude = 63 - value.leading_zeros(); // >= SUB_BITS
+        let group = (magnitude - SUB_BITS + 1) as usize;
+        // Sub-bucket width within [2^m, 2^(m+1)) is 2^(m - SUB_BITS).
+        let sub = (value >> (magnitude - SUB_BITS)) & (SUB - 1);
+        group * SUB as usize + sub as usize
+    }
+
+    /// Representative (upper-bound) value of a bucket.
+    fn bucket_value(idx: usize) -> u64 {
+        let group = idx as u64 / SUB;
+        let sub = idx as u64 % SUB;
+        if group == 0 {
+            return sub;
+        }
+        let shift = group - 1;
+        // Upper edge of the bucket: ((SUB + sub + 1) << shift) - 1.
+        ((SUB + sub + 1) << shift) - 1
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, value: Nanos) {
+        let v = value.as_nanos();
+        let idx = Histogram::index(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> Nanos {
+        if self.total == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos(self.max)
+        }
+    }
+
+    /// Exact minimum recorded value.
+    pub fn min(&self) -> Nanos {
+        if self.total == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos(self.min)
+        }
+    }
+
+    /// Exact mean of recorded values.
+    pub fn mean(&self) -> Nanos {
+        if self.total == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos((self.sum / self.total as u128) as u64)
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, within the histogram's relative
+    /// error. The exact max is returned for `q = 1`.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        if q >= 1.0 {
+            return Nanos(self.max);
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Nanos(Histogram::bucket_value(idx).min(self.max));
+            }
+        }
+        Nanos(self.max)
+    }
+
+    /// The 99th percentile (the paper's headline tail metric).
+    pub fn p99(&self) -> Nanos {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Nanos::ZERO);
+        assert_eq!(h.max(), Nanos::ZERO);
+        assert_eq!(h.quantile(0.5), Nanos::ZERO);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB {
+            h.record(Nanos(v));
+        }
+        assert_eq!(h.min(), Nanos(0));
+        assert_eq!(h.max(), Nanos(SUB - 1));
+        assert_eq!(h.count(), SUB);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::new();
+        h.record(Nanos(1_000));
+        h.record(Nanos(3_000));
+        h.record(Nanos(100_000));
+        assert_eq!(h.mean(), Nanos(34_666));
+        assert_eq!(h.max(), Nanos(100_000));
+        assert_eq!(h.min(), Nanos(1_000));
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        // 1..=10000 us.
+        for v in 1..=10_000u64 {
+            h.record(Nanos(v * 1_000));
+        }
+        for &(q, expect) in &[(0.5, 5_000_000u64), (0.9, 9_000_000), (0.99, 9_900_000)] {
+            let got = h.quantile(q).as_nanos() as f64;
+            let err = (got - expect as f64).abs() / expect as f64;
+            assert!(err < 0.04, "q={q}: got {got}, want ~{expect}");
+        }
+        assert_eq!(h.quantile(1.0), Nanos(10_000_000_000 / 1000));
+    }
+
+    #[test]
+    fn index_is_monotonic_and_bounded() {
+        let mut last = 0usize;
+        for shift in 0..60 {
+            let v = 1u64 << shift;
+            for &x in &[v, v + v / 3, v + v / 2, (v << 1).wrapping_sub(1)] {
+                if x < v {
+                    continue;
+                }
+                let idx = Histogram::index(x);
+                assert!(idx >= last || x < SUB, "non-monotonic at {x}");
+                assert!(idx < GROUPS * SUB as usize, "out of range at {x}");
+                last = idx.max(last);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_value_bounds_its_members() {
+        for &v in &[0u64, 5, 31, 32, 100, 1_000, 123_456, u32::MAX as u64] {
+            let idx = Histogram::index(v);
+            let upper = Histogram::bucket_value(idx);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            // Relative error bound.
+            if v >= SUB {
+                assert!(
+                    (upper - v) as f64 / v as f64 <= 1.0 / SUB as f64 + 1e-9,
+                    "error too large for {v}: upper {upper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Nanos(100));
+        b.record(Nanos(1_000_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Nanos(1_000_000));
+        assert_eq!(a.min(), Nanos(100));
+    }
+
+    #[test]
+    fn p99_of_bimodal_distribution() {
+        let mut h = Histogram::new();
+        for _ in 0..990 {
+            h.record(Nanos(1_000));
+        }
+        for _ in 0..10 {
+            h.record(Nanos(50_000_000));
+        }
+        // p99 straddles the mode boundary; p98 is clearly in the low mode.
+        assert!(h.quantile(0.98).as_nanos() < 2_000);
+        assert!(h.quantile(0.995).as_nanos() > 40_000_000);
+    }
+}

@@ -1,0 +1,31 @@
+//! Guest workloads, load generation, and latency measurement for the
+//! Tableau reproduction.
+//!
+//! Each module reproduces one measurement instrument or stimulus from the
+//! paper's evaluation (Sec. 7):
+//!
+//! * [`histogram`] — an HdrHistogram-style log-linear latency recorder
+//!   (what wrk2 uses for coordinated-omission-safe tail latencies);
+//! * [`stress`] — the `stress`-based background VMs: I/O-intensive
+//!   (frequent block/wake cycles) and cache-thrashing (pure CPU);
+//! * [`intrinsic`] — the `redis-cli --intrinsic-latency` probe (Fig. 5);
+//! * [`ping`] — the ICMP echo responder and the 8x5,000 randomly spaced
+//!   ping schedule (Fig. 6);
+//! * [`http`] — the nginx/PHP-over-HTTPS server cost model with the NIC
+//!   transmit ring (Figs. 7–8);
+//! * [`wrk2`] — open-loop constant-rate load generation and the
+//!   latency-vs-throughput / SLA-aware-peak reporting used in Figs. 7–8.
+
+pub mod histogram;
+pub mod http;
+pub mod intrinsic;
+pub mod ping;
+pub mod stress;
+pub mod wrk2;
+
+pub use histogram::Histogram;
+pub use http::{HttpCosts, HttpServer};
+pub use intrinsic::IntrinsicLatency;
+pub use ping::{paper_ping_arrivals, PingResponder};
+pub use stress::{CacheThrash, IoStress, LightSystemNoise};
+pub use wrk2::{constant_rate_arrivals, sla_peak_throughput, LoadPoint};

@@ -1,0 +1,159 @@
+//! The ping-latency workload (Sec. 7.3).
+//!
+//! The paper measures round-trip ping latency from a client machine to a
+//! *vantage VM*: ICMP echo requests are handled in the guest kernel, so in
+//! a controlled network the round-trip time is dominated by how quickly the
+//! VM scheduler dispatches the VM after the packet's wake-up — "a good
+//! proxy for the scheduling latency incurred by a VM in reaction to
+//! wake-ups triggered by external I/O events".
+//!
+//! [`PingResponder`] is the guest side: each echo costs a few microseconds
+//! of CPU; the latency of a ping is the time from packet arrival to the
+//! completion of its handler. [`ping_arrivals`] generates the paper's load:
+//! eight client threads, each sending 5,000 pings with uniformly random
+//! spacing in `[0, 200 ms)` — 40,000 samples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rtsched::time::Nanos;
+use xensim::sched::{GuestAction, GuestWorkload};
+
+use crate::histogram::Histogram;
+
+/// CPU cost of handling one ICMP echo in the guest kernel.
+pub const PING_HANDLER_COST: Nanos = Nanos(5_000);
+
+/// Guest-kernel ICMP responder for a vantage VM.
+#[derive(Debug)]
+pub struct PingResponder {
+    /// Arrival times of pings waiting to be handled.
+    pending: std::collections::VecDeque<Nanos>,
+    /// The ping currently being handled.
+    in_flight: Option<Nanos>,
+    /// Per-ping latency (arrival to handler completion).
+    pub latencies: Histogram,
+    handler_cost: Nanos,
+}
+
+impl PingResponder {
+    /// Creates a responder with the default handler cost.
+    pub fn new() -> PingResponder {
+        PingResponder::with_cost(PING_HANDLER_COST)
+    }
+
+    /// Creates a responder with an explicit per-ping CPU cost.
+    pub fn with_cost(handler_cost: Nanos) -> PingResponder {
+        PingResponder {
+            pending: std::collections::VecDeque::new(),
+            in_flight: None,
+            latencies: Histogram::new(),
+            handler_cost,
+        }
+    }
+}
+
+impl Default for PingResponder {
+    fn default() -> PingResponder {
+        PingResponder::new()
+    }
+}
+
+impl GuestWorkload for PingResponder {
+    fn next(&mut self, now: Nanos) -> GuestAction {
+        // The previous handler (if any) just completed: record its latency.
+        if let Some(arrival) = self.in_flight.take() {
+            self.latencies.record(now - arrival);
+        }
+        match self.pending.pop_front() {
+            Some(arrival) => {
+                self.in_flight = Some(arrival);
+                GuestAction::Compute(self.handler_cost)
+            }
+            None => GuestAction::Block,
+        }
+    }
+
+    fn on_event(&mut self, _tag: u64, now: Nanos) -> bool {
+        self.pending.push_back(now);
+        true
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Generates the paper's ping schedule: `threads` senders, each issuing
+/// `per_thread` pings with i.i.d. uniform spacing in `[0, max_gap)`.
+///
+/// Returns sorted absolute arrival times. Deterministic in `seed`.
+pub fn ping_arrivals(threads: usize, per_thread: usize, max_gap: Nanos, seed: u64) -> Vec<Nanos> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals = Vec::with_capacity(threads * per_thread);
+    for _ in 0..threads {
+        let mut t = Nanos::ZERO;
+        for _ in 0..per_thread {
+            t += Nanos(rng.gen_range(0..max_gap.as_nanos()));
+            arrivals.push(t);
+        }
+    }
+    arrivals.sort_unstable();
+    arrivals
+}
+
+/// The paper's exact configuration: 8 threads x 5,000 pings, 0–200 ms gaps.
+pub fn paper_ping_arrivals(seed: u64) -> Vec<Nanos> {
+    ping_arrivals(8, 5_000, Nanos::from_millis(200), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responder_records_latency_from_arrival() {
+        let mut r = PingResponder::new();
+        // Ping arrives at t=100us while blocked.
+        assert!(r.on_event(0, Nanos::from_micros(100)));
+        // Dispatched at t=500us: handler runs.
+        assert_eq!(
+            r.next(Nanos::from_micros(500)),
+            GuestAction::Compute(PING_HANDLER_COST)
+        );
+        // Handler completes at 505us: latency = 405us.
+        assert_eq!(r.next(Nanos::from_micros(505)), GuestAction::Block);
+        assert_eq!(r.latencies.count(), 1);
+        assert_eq!(r.latencies.max(), Nanos::from_micros(405));
+    }
+
+    #[test]
+    fn queued_pings_are_served_fifo() {
+        let mut r = PingResponder::new();
+        r.on_event(0, Nanos(1_000));
+        r.on_event(0, Nanos(2_000));
+        assert!(matches!(r.next(Nanos(10_000)), GuestAction::Compute(_)));
+        assert!(matches!(r.next(Nanos(15_000)), GuestAction::Compute(_)));
+        assert_eq!(r.next(Nanos(20_000)), GuestAction::Block);
+        assert_eq!(r.latencies.count(), 2);
+        // First ping: 15000 - 1000; second: 20000 - 2000.
+        assert_eq!(r.latencies.max(), Nanos(18_000));
+    }
+
+    #[test]
+    fn arrival_generation_matches_paper_shape() {
+        let a = paper_ping_arrivals(42);
+        assert_eq!(a.len(), 40_000);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // Expected mean gap 100 ms per thread => ~500 s per thread span.
+        let span = *a.last().unwrap();
+        assert!(span > Nanos::from_secs(400));
+        assert!(span < Nanos::from_secs(600));
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        assert_eq!(paper_ping_arrivals(7), paper_ping_arrivals(7));
+        assert_ne!(paper_ping_arrivals(7), paper_ping_arrivals(8));
+    }
+}

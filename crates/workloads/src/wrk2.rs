@@ -1,0 +1,178 @@
+//! wrk2-style open-loop load generation and latency reporting (Sec. 7.4).
+//!
+//! wrk2 differs from naive load generators in being **open-loop**: requests
+//! are issued on a fixed schedule regardless of how slowly the server
+//! responds, so server stalls show up as queueing latency instead of
+//! silently reducing the offered load — avoiding the *Coordinated Omission*
+//! problem the paper cites. In the simulator we get this for free by
+//! pre-scheduling every arrival as an external event: an overwhelmed server
+//! accumulates the backlog, and each request's latency is measured from its
+//! scheduled arrival time.
+
+use serde::Serialize;
+
+use rtsched::time::Nanos;
+
+use crate::histogram::Histogram;
+
+/// Generates a constant-throughput arrival schedule (like `wrk2 -R`).
+///
+/// Returns strictly increasing arrival times covering `[0, duration)`, at
+/// `rate` requests per second.
+pub fn constant_rate_arrivals(rate: f64, duration: Nanos) -> Vec<Nanos> {
+    assert!(rate > 0.0, "non-positive request rate");
+    let gap = 1e9 / rate;
+    let n = (duration.as_nanos() as f64 / gap).floor() as u64;
+    (0..n).map(|i| Nanos((i as f64 * gap) as u64)).collect()
+}
+
+/// Generates a Poisson arrival schedule at mean `rate` requests per second.
+///
+/// Real client populations are bursty; exponential inter-arrivals are the
+/// standard open-loop model. Deterministic in `seed`. Burstiness stresses
+/// tail latency harder than wrk2's metronome at the same mean rate.
+pub fn poisson_arrivals(rate: f64, duration: Nanos, seed: u64) -> Vec<Nanos> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(rate > 0.0, "non-positive request rate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity((rate * duration.as_secs_f64()) as usize + 16);
+    let mut t = 0.0f64;
+    loop {
+        // Inverse-CDF sampling of Exp(rate); guard the open interval.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / rate * 1e9;
+        if t >= duration.as_nanos() as f64 {
+            return out;
+        }
+        out.push(Nanos(t as u64));
+    }
+}
+
+/// One point of a latency-vs-throughput curve (one row of Fig. 7/8 data).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LoadPoint {
+    /// Requests per second offered by the generator.
+    pub offered_rps: f64,
+    /// Requests per second actually completed.
+    pub achieved_rps: f64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Maximum observed latency in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LoadPoint {
+    /// Assembles a point from a latency histogram and completion count.
+    pub fn from_histogram(
+        offered_rps: f64,
+        completed: u64,
+        duration: Nanos,
+        latencies: &Histogram,
+    ) -> LoadPoint {
+        let secs = duration.as_secs_f64();
+        LoadPoint {
+            offered_rps,
+            achieved_rps: completed as f64 / secs,
+            mean_ms: latencies.mean().as_millis_f64(),
+            p99_ms: latencies.p99().as_millis_f64(),
+            max_ms: latencies.max().as_millis_f64(),
+        }
+    }
+
+    /// Whether this point satisfies a p99 SLA of `sla_ms` milliseconds —
+    /// the paper's "SLA-aware throughput" criterion.
+    pub fn meets_p99_sla(&self, sla_ms: f64) -> bool {
+        self.p99_ms <= sla_ms
+    }
+}
+
+/// The highest achieved throughput among points meeting a p99 SLA (the
+/// paper's headline comparison, e.g. "1.6x peak throughput with a 100 ms
+/// SLA").
+pub fn sla_peak_throughput(points: &[LoadPoint], sla_ms: f64) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.meets_p99_sla(sla_ms))
+        .map(|p| p.achieved_rps)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_spacing() {
+        let a = constant_rate_arrivals(1000.0, Nanos::from_secs(1));
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a[0], Nanos::ZERO);
+        assert_eq!(a[1], Nanos::from_micros(1000));
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(*a.last().unwrap() < Nanos::from_secs(1));
+    }
+
+    #[test]
+    fn fractional_rates_round_down() {
+        let a = constant_rate_arrivals(2.5, Nanos::from_secs(2));
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn poisson_rate_and_determinism() {
+        let a = poisson_arrivals(1_000.0, Nanos::from_secs(4), 7);
+        // Mean 4000 arrivals; 4 sigma ~ 250.
+        assert!((3_700..=4_300).contains(&a.len()), "{} arrivals", a.len());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*a.last().unwrap() < Nanos::from_secs(4));
+        assert_eq!(a, poisson_arrivals(1_000.0, Nanos::from_secs(4), 7));
+        assert_ne!(a, poisson_arrivals(1_000.0, Nanos::from_secs(4), 8));
+    }
+
+    #[test]
+    fn poisson_is_burstier_than_constant_rate() {
+        // Coefficient of variation of inter-arrival gaps: ~1 for Poisson,
+        // ~0 for the metronome.
+        let a = poisson_arrivals(2_000.0, Nanos::from_secs(2), 3);
+        let gaps: Vec<f64> = a
+            .windows(2)
+            .map(|w| (w[1].as_nanos() - w[0].as_nanos()) as f64)
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 0.8 && cv < 1.2, "cv = {cv}");
+    }
+
+    #[test]
+    fn load_point_math() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record(Nanos::from_millis(i));
+        }
+        let p = LoadPoint::from_histogram(120.0, 100, Nanos::from_secs(2), &h);
+        assert_eq!(p.achieved_rps, 50.0);
+        assert!((p.mean_ms - 50.5).abs() < 0.1);
+        assert!(p.max_ms == 100.0);
+        assert!(p.p99_ms >= 98.0);
+        assert!(p.meets_p99_sla(100.0));
+        assert!(!p.meets_p99_sla(50.0));
+    }
+
+    #[test]
+    fn sla_peak_picks_best_conforming_point() {
+        let mk = |rps: f64, p99: f64| LoadPoint {
+            offered_rps: rps,
+            achieved_rps: rps,
+            mean_ms: 1.0,
+            p99_ms: p99,
+            max_ms: p99,
+        };
+        let pts = [mk(100.0, 5.0), mk(200.0, 20.0), mk(400.0, 300.0)];
+        assert_eq!(sla_peak_throughput(&pts, 100.0), 200.0);
+        assert_eq!(sla_peak_throughput(&pts, 1.0), 0.0);
+        assert_eq!(sla_peak_throughput(&pts, 1000.0), 400.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the log-linear histogram.
+//!
+//! The histogram underpins every latency number in the reproduction, so its
+//! error bounds are checked against an exact oracle (the sorted sample
+//! vector): quantiles must sit within the documented ~3% relative error,
+//! exact statistics (min/max/mean/count) must be exact, and merging two
+//! histograms must equal recording the union.
+
+use proptest::prelude::*;
+
+use rtsched::time::Nanos;
+use workloads::Histogram;
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantiles are within the documented relative error of the oracle.
+    #[test]
+    fn quantiles_track_the_oracle(
+        mut values in proptest::collection::vec(1u64..10_000_000_000, 1..500),
+        qs in proptest::collection::vec(0.01f64..1.0, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(Nanos(v));
+        }
+        values.sort_unstable();
+        for &q in &qs {
+            let got = h.quantile(q).as_nanos();
+            let want = exact_quantile(&values, q);
+            // The bucket's upper edge is at most 1/32 above the true value,
+            // and ties at bucket granularity can pick a neighbouring sample.
+            let tolerance = want / 16 + 1;
+            prop_assert!(
+                got + tolerance >= want && got <= want + tolerance,
+                "q={q}: got {got}, want {want}"
+            );
+        }
+    }
+
+    /// Exact statistics are exact.
+    #[test]
+    fn exact_stats(values in proptest::collection::vec(0u64..u32::MAX as u64, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(Nanos(v));
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max().as_nanos(), *values.iter().max().unwrap());
+        prop_assert_eq!(h.min().as_nanos(), *values.iter().min().unwrap());
+        let mean = values.iter().map(|&v| v as u128).sum::<u128>() / values.len() as u128;
+        prop_assert_eq!(h.mean().as_nanos() as u128, mean);
+    }
+
+    /// Merging equals recording the union.
+    #[test]
+    fn merge_is_union(
+        a in proptest::collection::vec(1u64..1_000_000_000, 0..100),
+        b in proptest::collection::vec(1u64..1_000_000_000, 1..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a {
+            ha.record(Nanos(v));
+        }
+        let mut hb = Histogram::new();
+        for &v in &b {
+            hb.record(Nanos(v));
+        }
+        ha.merge(&hb);
+
+        let mut hu = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            hu.record(Nanos(v));
+        }
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.max(), hu.max());
+        prop_assert_eq!(ha.mean(), hu.mean());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hu.quantile(q));
+        }
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(1u64..1_000_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(Nanos(v));
+        }
+        let mut last = Nanos::ZERO;
+        for i in 1..=20 {
+            let q = h.quantile(i as f64 / 20.0);
+            prop_assert!(q >= last, "quantile regressed at {i}/20");
+            last = q;
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+}

@@ -1,0 +1,243 @@
+//! The hypervisor scheduler interface and guest workload model.
+//!
+//! [`VmScheduler`] is the simulator's equivalent of Xen's `struct scheduler`
+//! hook table: the simulator calls into it whenever a scheduling decision is
+//! needed, a vCPU wakes or blocks, a vCPU is de-scheduled, or a periodic
+//! tick fires. Each callback returns the *cost* of the operation — the
+//! simulated CPU time the hypervisor spends in the scheduler — which the
+//! simulator charges to the core (delaying guest progress) and records into
+//! the per-operation statistics that regenerate Tables 1–2 of the paper.
+//!
+//! [`GuestWorkload`] models what runs *inside* a vCPU: a sequence of compute
+//! bursts and blocking waits, reacting to external events (packets,
+//! timers). Workloads only progress while their vCPU is dispatched, which
+//! is exactly the coupling the paper's experiments measure.
+
+use rtsched::time::Nanos;
+
+/// Identifies a vCPU within a simulation.
+///
+/// Kept distinct from `tableau_core::vcpu::VcpuId` so the simulator does not
+/// depend on the scheduler under test; the Tableau adapter converts (both
+/// are dense `u32` indices).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct VcpuId(pub u32);
+
+impl std::fmt::Display for VcpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// What a scheduler decided for one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedDecision {
+    /// The vCPU to run, or `None` to idle.
+    pub vcpu: Option<VcpuId>,
+    /// Absolute time at which the simulator re-invokes the scheduler (it
+    /// may be re-invoked earlier: on block, wake-up IPI, or tick).
+    pub until: Nanos,
+}
+
+impl SchedDecision {
+    /// Convenience constructor for "run `vcpu` until `until`".
+    pub fn run(vcpu: VcpuId, until: Nanos) -> SchedDecision {
+        SchedDecision {
+            vcpu: Some(vcpu),
+            until,
+        }
+    }
+
+    /// Convenience constructor for "idle until `until`".
+    pub fn idle(until: Nanos) -> SchedDecision {
+        SchedDecision { vcpu: None, until }
+    }
+}
+
+/// Read-only vCPU state exposed to schedulers.
+#[derive(Debug, Clone, Copy)]
+pub struct VcpuView<'a> {
+    /// `runnable[v]` is `true` if vCPU `v` can execute (not blocked). A
+    /// running vCPU is also runnable.
+    pub runnable: &'a [bool],
+}
+
+impl VcpuView<'_> {
+    /// Whether `vcpu` is runnable.
+    pub fn is_runnable(&self, vcpu: VcpuId) -> bool {
+        self.runnable.get(vcpu.0 as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Outcome of a wake-up notification: which cores to interrupt, and what
+/// the wake-up processing cost.
+#[derive(Debug, Clone, Default)]
+pub struct WakeupPlan {
+    /// Cores to send a re-schedule IPI to (usually zero or one).
+    pub ipi_cores: Vec<usize>,
+    /// CPU time spent processing the wake-up.
+    pub cost: Nanos,
+}
+
+/// Outcome of a de-schedule hook (post-"context saved" work).
+#[derive(Debug, Clone, Default)]
+pub struct DeschedulePlan {
+    /// Cores to send a re-schedule IPI to (e.g. migration hand-off).
+    pub ipi_cores: Vec<usize>,
+    /// CPU time spent (the paper's "Migrate" overhead column).
+    pub cost: Nanos,
+}
+
+/// A hypervisor VM scheduler under test.
+///
+/// Implementations live in the `schedulers` crate (Credit, Credit2, RTDS,
+/// and the Tableau adapter). All callbacks are invoked in global simulated
+/// time order; implementations keep their own run queues in sync using the
+/// wake/block/deschedule notifications.
+pub trait VmScheduler {
+    /// Short name for reports ("credit", "rtds", "tableau", ...).
+    fn name(&self) -> &'static str;
+
+    /// Picks what `core` runs next. Returns the decision and the CPU cost
+    /// of making it.
+    fn schedule(&mut self, core: usize, now: Nanos, view: VcpuView<'_>) -> (SchedDecision, Nanos);
+
+    /// `vcpu` became runnable (I/O completion, timer, IPI from a peer VM).
+    fn on_wakeup(&mut self, vcpu: VcpuId, now: Nanos, view: VcpuView<'_>) -> WakeupPlan;
+
+    /// `vcpu` blocked voluntarily while running on `core`.
+    fn on_block(&mut self, vcpu: VcpuId, core: usize, now: Nanos);
+
+    /// `vcpu` was de-scheduled from `core` (context fully saved) after
+    /// having run for `ran`; the scheduler performs budget/credit
+    /// accounting and any post-schedule work here.
+    fn on_descheduled(&mut self, vcpu: VcpuId, core: usize, ran: Nanos, now: Nanos)
+        -> DeschedulePlan;
+
+    /// The scheduler's periodic tick interval, if it uses one (Credit burns
+    /// credits on 10 ms ticks). Ticks fire per core.
+    fn tick_interval(&self) -> Option<Nanos> {
+        None
+    }
+
+    /// A periodic tick on `core`; returns `true` if the core should
+    /// re-schedule (e.g. priority changed).
+    fn on_tick(&mut self, core: usize, now: Nanos, view: VcpuView<'_>) -> bool {
+        let _ = (core, now, view);
+        false
+    }
+
+    /// Registers a vCPU before the simulation starts. `home` is a placement
+    /// hint (round-robin by default in the harness).
+    fn register_vcpu(&mut self, vcpu: VcpuId, home: usize);
+
+    /// Downcast support so harnesses can reconfigure a concrete scheduler
+    /// (set caps, install new tables) after it is boxed into the simulator.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// What a guest does next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestAction {
+    /// Execute for this much CPU time, then ask again.
+    Compute(Nanos),
+    /// Block until an external event wakes the vCPU.
+    Block,
+    /// Block, but wake autonomously after `Nanos` (a guest-internal timer).
+    BlockFor(Nanos),
+}
+
+/// The software running inside a vCPU.
+///
+/// The simulator calls [`GuestWorkload::next`] whenever the previous action
+/// completes (including at first dispatch), and
+/// [`GuestWorkload::on_event`] whenever an external event tagged by the
+/// harness is delivered.
+pub trait GuestWorkload {
+    /// The next action, decided at absolute guest-visible time `now`.
+    fn next(&mut self, now: Nanos) -> GuestAction;
+
+    /// An external event arrived. Returns `true` if a blocked vCPU should
+    /// wake (delivering an interrupt); the return value is ignored when the
+    /// vCPU is already awake.
+    fn on_event(&mut self, tag: u64, now: Nanos) -> bool {
+        let _ = (tag, now);
+        true
+    }
+
+    /// Downcast support so harnesses can retrieve workload-local
+    /// measurements after a run.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A workload that computes forever (cache-thrash / `stress --cpu`).
+#[derive(Debug, Default)]
+pub struct BusyLoop;
+
+impl GuestWorkload for BusyLoop {
+    fn next(&mut self, _now: Nanos) -> GuestAction {
+        // One-second bursts: long enough that scheduler events dominate.
+        GuestAction::Compute(Nanos::from_secs(1))
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A workload that never runs (pure idle VM).
+#[derive(Debug, Default)]
+pub struct IdleGuest;
+
+impl GuestWorkload for IdleGuest {
+    fn next(&mut self, _now: Nanos) -> GuestAction {
+        GuestAction::Block
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_constructors() {
+        let d = SchedDecision::run(VcpuId(3), Nanos::from_millis(5));
+        assert_eq!(d.vcpu, Some(VcpuId(3)));
+        let i = SchedDecision::idle(Nanos::from_millis(5));
+        assert_eq!(i.vcpu, None);
+        assert_eq!(i.until, Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn view_bounds() {
+        let flags = [true, false];
+        let view = VcpuView { runnable: &flags };
+        assert!(view.is_runnable(VcpuId(0)));
+        assert!(!view.is_runnable(VcpuId(1)));
+        assert!(!view.is_runnable(VcpuId(9)));
+    }
+
+    #[test]
+    fn builtin_workloads() {
+        let mut b = BusyLoop;
+        assert!(matches!(b.next(Nanos::ZERO), GuestAction::Compute(_)));
+        assert!(b.on_event(0, Nanos::ZERO));
+        let mut i = IdleGuest;
+        assert_eq!(i.next(Nanos::ZERO), GuestAction::Block);
+    }
+}

@@ -1,0 +1,740 @@
+//! The discrete-event simulation driver.
+//!
+//! [`Sim`] multiplexes guest workloads over a [`Machine`] under a pluggable
+//! [`VmScheduler`], in deterministic global time order. The coupling it
+//! models is the one the paper measures:
+//!
+//! * guests progress only while dispatched;
+//! * every scheduler operation (decision, wake-up, de-schedule work) costs
+//!   CPU time on the core it runs on, delaying guest progress;
+//! * wake-ups travel via IPIs with a delivery latency;
+//! * context switches and cross-core migrations have hardware costs.
+//!
+//! Event ties are broken by insertion order, so a given configuration
+//! replays identically — all experiment figures are reproducible bit for
+//! bit.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rtsched::time::Nanos;
+
+use crate::machine::Machine;
+use crate::sched::{GuestAction, GuestWorkload, VcpuId, VcpuView, VmScheduler};
+use crate::stats::{OpKind, SimStats};
+use crate::trace::{TraceBuffer, TraceEvent};
+
+/// Guest-visible vCPU states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VState {
+    /// Waiting for an event; not schedulable.
+    Blocked,
+    /// Schedulable but not on a core.
+    Runnable,
+    /// Executing on a core.
+    Running,
+}
+
+struct VcpuSlot {
+    state: VState,
+    /// Remaining compute of the current burst; `None` means the workload
+    /// must be asked for its next action at the next dispatch.
+    remaining: Option<Nanos>,
+    runnable_since: Option<Nanos>,
+    last_core: Option<usize>,
+    wake_gen: u64,
+    workload: Box<dyn GuestWorkload>,
+}
+
+struct CoreState {
+    running: Option<VcpuId>,
+    /// When the current vCPU began making guest progress (dispatch time
+    /// plus overheads and context-switch cost).
+    run_started: Nanos,
+    /// Wall time charged to the vCPU since dispatch: guest progress plus
+    /// the overheads and context-switch costs spent getting it running.
+    /// This is what schedulers burn budgets/credits from — Xen's
+    /// `burn_budget`-style accounting uses wall-clock deltas, which is
+    /// precisely how scheduler overhead taxes a reservation.
+    ran_since_dispatch: Nanos,
+    decision_until: Nanos,
+    /// Decision generation; stale core-timer events are ignored.
+    gen: u64,
+    /// Overhead charged to this core (wake-up processing, de-schedule
+    /// work), consumed at the next dispatch.
+    pending_overhead: Nanos,
+    last_ran: Option<VcpuId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Decision expiry or burst completion on a core.
+    CoreTimer { core: usize, gen: u64 },
+    /// Unconditional re-schedule (IPI arrival).
+    Resched { core: usize },
+    /// External event for a vCPU (packet, request, ping).
+    External { vcpu: VcpuId, tag: u64 },
+    /// Guest-internal timer expiry (from [`GuestAction::BlockFor`]).
+    SelfWake { vcpu: VcpuId, gen: u64 },
+    /// Scheduler periodic tick on a core.
+    Tick { core: usize },
+}
+
+/// A deterministic discrete-event hypervisor simulation.
+pub struct Sim {
+    machine: Machine,
+    now: Nanos,
+    seq: u64,
+    events: BinaryHeap<Reverse<(Nanos, u64, Event)>>,
+    cores: Vec<CoreState>,
+    vcpus: Vec<VcpuSlot>,
+    /// Runnable flags mirroring vCPU states, for cheap scheduler views.
+    flags: Vec<bool>,
+    sched: Box<dyn VmScheduler>,
+    stats: SimStats,
+    trace: TraceBuffer,
+    started: bool,
+}
+
+impl Sim {
+    /// Creates a simulation of `machine` under `sched`.
+    pub fn new(machine: Machine, sched: Box<dyn VmScheduler>) -> Sim {
+        let n = machine.n_cores();
+        Sim {
+            machine,
+            now: Nanos::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            cores: (0..n)
+                .map(|_| CoreState {
+                    running: None,
+                    run_started: Nanos::ZERO,
+                    ran_since_dispatch: Nanos::ZERO,
+                    decision_until: Nanos::ZERO,
+                    gen: 0,
+                    pending_overhead: Nanos::ZERO,
+                    last_ran: None,
+                })
+                .collect(),
+            vcpus: Vec::new(),
+            flags: Vec::new(),
+            sched,
+            stats: SimStats::new(n),
+            trace: TraceBuffer::new(1 << 20),
+            started: false,
+        }
+    }
+
+    /// Turns on event tracing (a xentrace-style ring buffer; see
+    /// [`crate::trace`]). Cheap enough to enable for whole experiments.
+    pub fn enable_tracing(&mut self) {
+        self.trace.set_enabled(true);
+    }
+
+    /// The trace buffer (read access for analyses).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Mutable trace access (clearing between measurement windows).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Adds a vCPU running `workload`, registered with the scheduler with
+    /// placement hint `home`. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation started.
+    pub fn add_vcpu(
+        &mut self,
+        workload: Box<dyn GuestWorkload>,
+        home: usize,
+        runnable: bool,
+    ) -> VcpuId {
+        assert!(!self.started, "vCPUs must be added before the first run");
+        let id = VcpuId(self.vcpus.len() as u32);
+        self.vcpus.push(VcpuSlot {
+            state: if runnable {
+                VState::Runnable
+            } else {
+                VState::Blocked
+            },
+            remaining: None,
+            runnable_since: runnable.then_some(Nanos::ZERO),
+            last_core: None,
+            wake_gen: 0,
+            workload,
+        });
+        self.flags.push(runnable);
+        self.sched.register_vcpu(id, home);
+        id
+    }
+
+    /// Schedules an external event for `vcpu` at absolute time `at`.
+    pub fn push_external(&mut self, at: Nanos, vcpu: VcpuId, tag: u64) {
+        self.push(at, Event::External { vcpu, tag });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Simulation statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to a vCPU's workload (to extract measurements).
+    pub fn workload_mut(&mut self, vcpu: VcpuId) -> &mut dyn GuestWorkload {
+        &mut *self.vcpus[vcpu.0 as usize].workload
+    }
+
+    /// Mutable access to the scheduler under test.
+    pub fn scheduler_mut(&mut self) -> &mut dyn VmScheduler {
+        &mut *self.sched
+    }
+
+    fn push(&mut self, at: Nanos, event: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, event)));
+    }
+
+    /// Runs the simulation up to (and including) absolute time `end`.
+    pub fn run_until(&mut self, end: Nanos) {
+        if !self.started {
+            self.started = true;
+            // Initial decisions on every core, plus periodic ticks.
+            for core in 0..self.cores.len() {
+                self.push(Nanos::ZERO, Event::Resched { core });
+            }
+            if let Some(interval) = self.sched.tick_interval() {
+                for core in 0..self.cores.len() {
+                    self.push(interval, Event::Tick { core });
+                }
+            }
+        }
+
+        while let Some(&Reverse((at, _, _))) = self.events.peek() {
+            if at > end {
+                break;
+            }
+            let Reverse((at, _, event)) = self.events.pop().expect("peeked");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.handle(event);
+        }
+        self.now = end;
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::CoreTimer { core, gen } => {
+                if self.cores[core].gen != gen {
+                    return; // superseded decision
+                }
+                if self.cores[core].running.is_some()
+                    && self.now < self.cores[core].decision_until
+                {
+                    self.burst_complete(core);
+                } else {
+                    self.resched(core);
+                }
+            }
+            Event::Resched { core } => self.resched(core),
+            Event::External { vcpu, tag } => self.deliver_external(vcpu, tag),
+            Event::SelfWake { vcpu, gen } => {
+                let slot = &self.vcpus[vcpu.0 as usize];
+                if slot.wake_gen == gen && slot.state == VState::Blocked {
+                    self.wake(vcpu);
+                }
+            }
+            Event::Tick { core } => {
+                let interval = self
+                    .sched
+                    .tick_interval()
+                    .expect("tick event without tick interval");
+                let view = VcpuView {
+                    runnable: &self.flags,
+                };
+                let needs_resched = self.sched.on_tick(core, self.now, view);
+                self.push(self.now + interval, Event::Tick { core });
+                if needs_resched {
+                    self.resched(core);
+                }
+            }
+        }
+    }
+
+    /// Applies guest progress made on `core` since `run_started`.
+    fn apply_progress(&mut self, core: usize) -> Nanos {
+        let c = &mut self.cores[core];
+        let Some(vcpu) = c.running else {
+            return Nanos::ZERO;
+        };
+        let ran = self.now.saturating_sub(c.run_started);
+        c.run_started = self.now;
+        c.ran_since_dispatch += ran;
+        let slot = &mut self.vcpus[vcpu.0 as usize];
+        if let Some(rem) = &mut slot.remaining {
+            *rem = rem.saturating_sub(ran);
+        }
+        self.stats.core_busy[core] += ran;
+        self.stats.vcpu_mut(vcpu).service += ran;
+        ran
+    }
+
+    /// The running vCPU's burst finished before the decision expired.
+    fn burst_complete(&mut self, core: usize) {
+        self.apply_progress(core);
+        let vcpu = self.cores[core].running.expect("burst on idle core");
+        debug_assert_eq!(
+            self.vcpus[vcpu.0 as usize].remaining,
+            Some(Nanos::ZERO),
+            "burst event fired early"
+        );
+        self.vcpus[vcpu.0 as usize].remaining = None;
+        self.advance_workload(core, vcpu);
+    }
+
+    /// Asks the workload of the running `vcpu` for its next action and
+    /// re-arms the core accordingly.
+    fn advance_workload(&mut self, core: usize, vcpu: VcpuId) {
+        let action = self.vcpus[vcpu.0 as usize].workload.next(self.now);
+        match action {
+            GuestAction::Compute(amount) => {
+                let amount = amount.max(Nanos(1));
+                self.vcpus[vcpu.0 as usize].remaining = Some(amount);
+                let c = &mut self.cores[core];
+                c.run_started = self.now;
+                let fire = (self.now + amount).min(c.decision_until);
+                let gen = c.gen;
+                self.push(fire, Event::CoreTimer { core, gen });
+            }
+            GuestAction::Block | GuestAction::BlockFor(_) => {
+                if let GuestAction::BlockFor(delay) = action {
+                    let slot = &mut self.vcpus[vcpu.0 as usize];
+                    slot.wake_gen += 1;
+                    let gen = slot.wake_gen;
+                    self.push(self.now + delay, Event::SelfWake { vcpu, gen });
+                }
+                self.block_running(core, vcpu);
+                // Blocking invokes the scheduler, exactly as in Xen.
+                self.resched(core);
+            }
+        }
+    }
+
+    /// Transitions the running `vcpu` on `core` to blocked, with scheduler
+    /// notification and de-schedule bookkeeping.
+    fn block_running(&mut self, core: usize, vcpu: VcpuId) {
+        let slot = &mut self.vcpus[vcpu.0 as usize];
+        slot.state = VState::Blocked;
+        slot.runnable_since = None;
+        slot.last_core = Some(core);
+        self.flags[vcpu.0 as usize] = false;
+        self.sched.on_block(vcpu, core, self.now);
+        self.trace.record(self.now, TraceEvent::Block { vcpu });
+        let ran = std::mem::replace(&mut self.cores[core].ran_since_dispatch, Nanos::ZERO);
+        self.trace
+            .record(self.now, TraceEvent::Deschedule { core, vcpu, ran });
+        let plan = self.sched.on_descheduled(vcpu, core, ran, self.now);
+        self.stats.ops.record(OpKind::Deschedule, plan.cost);
+        self.cores[core].pending_overhead += plan.cost;
+        self.send_ipis(&plan.ipi_cores);
+        self.cores[core].running = None;
+    }
+
+    fn send_ipis(&mut self, targets: &[usize]) {
+        for &t in targets {
+            self.stats.ipis += 1;
+            self.trace.record(self.now, TraceEvent::Ipi { core: t });
+            self.push(self.now + self.machine.ipi_latency, Event::Resched { core: t });
+        }
+    }
+
+    /// Stops the vCPU currently on `core` (preemption path) and notifies
+    /// the scheduler.
+    fn stop_current(&mut self, core: usize) {
+        self.apply_progress(core);
+        let Some(vcpu) = self.cores[core].running.take() else {
+            return;
+        };
+        let slot = &mut self.vcpus[vcpu.0 as usize];
+        slot.state = VState::Runnable;
+        slot.runnable_since = Some(self.now);
+        slot.last_core = Some(core);
+        let ran = std::mem::replace(&mut self.cores[core].ran_since_dispatch, Nanos::ZERO);
+        self.trace
+            .record(self.now, TraceEvent::Deschedule { core, vcpu, ran });
+        let plan = self.sched.on_descheduled(vcpu, core, ran, self.now);
+        self.stats.ops.record(OpKind::Deschedule, plan.cost);
+        self.cores[core].pending_overhead += plan.cost;
+        self.send_ipis(&plan.ipi_cores);
+    }
+
+    /// Full scheduling pass on `core`: stop the incumbent, ask the
+    /// scheduler, dispatch.
+    fn resched(&mut self, core: usize) {
+        self.stop_current(core);
+        self.cores[core].gen += 1;
+
+        // A scheduler may hand back a vCPU that blocks instantly on
+        // dispatch; loop a bounded number of times (each iteration blocks
+        // one more vCPU, so it terminates).
+        for _ in 0..=self.vcpus.len() {
+            let view = VcpuView {
+                runnable: &self.flags,
+            };
+            let (decision, cost) = self.sched.schedule(core, self.now, view);
+            self.stats.ops.record(OpKind::Schedule, cost);
+            let overhead = cost + std::mem::take(&mut self.cores[core].pending_overhead);
+            let until = decision.until.max(self.now + Nanos(1));
+            self.cores[core].decision_until = until;
+            let gen = self.cores[core].gen;
+
+            let Some(vcpu) = decision.vcpu else {
+                self.trace.record(self.now, TraceEvent::Idle { core });
+                self.push(until, Event::CoreTimer { core, gen });
+                return;
+            };
+            debug_assert!(
+                self.flags[vcpu.0 as usize],
+                "scheduler dispatched blocked {vcpu}"
+            );
+
+            self.trace.record(self.now, TraceEvent::Dispatch { core, vcpu });
+
+            // Dispatch latency sample.
+            let slot = &mut self.vcpus[vcpu.0 as usize];
+            if let Some(since) = slot.runnable_since.take() {
+                let delay = self.now - since;
+                self.stats.record_delay(vcpu, delay);
+            }
+            self.stats.vcpu_mut(vcpu).dispatches += 1;
+
+            // Context-switch and migration costs.
+            let mut cs = Nanos::ZERO;
+            if self.cores[core].last_ran != Some(vcpu) {
+                cs += self.machine.context_switch;
+                self.stats.context_switches += 1;
+                let slot = &self.vcpus[vcpu.0 as usize];
+                if slot.last_core.is_some() && slot.last_core != Some(core) {
+                    cs += self.machine.migration_penalty;
+                }
+            }
+
+            let start = self.now + overhead + cs;
+            let slot = &mut self.vcpus[vcpu.0 as usize];
+            slot.state = VState::Running;
+            let c = &mut self.cores[core];
+            c.running = Some(vcpu);
+            c.run_started = start;
+            // Wall-time accounting: the dispatch overhead and context
+            // switch are charged to the incoming vCPU (see field docs).
+            c.ran_since_dispatch = overhead + cs;
+            c.last_ran = Some(vcpu);
+
+            // If the workload has no burst in progress, ask it now.
+            if self.vcpus[vcpu.0 as usize].remaining.is_none() {
+                let action = self.vcpus[vcpu.0 as usize].workload.next(self.now);
+                match action {
+                    GuestAction::Compute(amount) => {
+                        self.vcpus[vcpu.0 as usize].remaining = Some(amount.max(Nanos(1)));
+                    }
+                    GuestAction::Block | GuestAction::BlockFor(_) => {
+                        if let GuestAction::BlockFor(delay) = action {
+                            let slot = &mut self.vcpus[vcpu.0 as usize];
+                            slot.wake_gen += 1;
+                            let wgen = slot.wake_gen;
+                            self.push(self.now + delay, Event::SelfWake { vcpu, gen: wgen });
+                        }
+                        self.block_running(core, vcpu);
+                        continue; // pick someone else
+                    }
+                }
+            }
+
+            let remaining = self.vcpus[vcpu.0 as usize]
+                .remaining
+                .expect("dispatched vCPU without a burst");
+            let fire = (start + remaining).min(until);
+            self.push(fire.max(self.now), Event::CoreTimer { core, gen });
+            return;
+        }
+        unreachable!("resched loop failed to terminate");
+    }
+
+    /// Delivers an external event to `vcpu`.
+    fn deliver_external(&mut self, vcpu: VcpuId, tag: u64) {
+        let slot = &mut self.vcpus[vcpu.0 as usize];
+        let wants_wake = slot.workload.on_event(tag, self.now);
+        if slot.state == VState::Blocked && wants_wake {
+            self.wake(vcpu);
+        }
+    }
+
+    /// Wakes a blocked vCPU and routes the wake-up through the scheduler.
+    fn wake(&mut self, vcpu: VcpuId) {
+        let slot = &mut self.vcpus[vcpu.0 as usize];
+        debug_assert_eq!(slot.state, VState::Blocked);
+        slot.state = VState::Runnable;
+        slot.runnable_since = Some(self.now);
+        slot.remaining = None;
+        self.flags[vcpu.0 as usize] = true;
+        self.stats.vcpu_mut(vcpu).wakeups += 1;
+        self.trace.record(self.now, TraceEvent::Wake { vcpu });
+
+        let view = VcpuView {
+            runnable: &self.flags,
+        };
+        let plan = self.sched.on_wakeup(vcpu, self.now, view);
+        self.stats.ops.record(OpKind::Wakeup, plan.cost);
+        // Wake-up processing time lands on the first IPI target (the core
+        // that will act on it); with no target the cost is charged nowhere
+        // — the wake-up was absorbed by state alone.
+        if let Some(&first) = plan.ipi_cores.first() {
+            self.cores[first].pending_overhead += plan.cost;
+        }
+        self.send_ipis(&plan.ipi_cores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{BusyLoop, DeschedulePlan, SchedDecision, WakeupPlan};
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    /// A trivial round-robin scheduler for driver tests: runs the lowest
+    /// runnable vCPU id for a 1 ms quantum, on core (id % n_cores).
+    struct ToyScheduler {
+        n_cores: usize,
+        vcpus: Vec<VcpuId>,
+        rr_next: usize,
+    }
+
+    impl ToyScheduler {
+        fn new(n_cores: usize) -> ToyScheduler {
+            ToyScheduler {
+                n_cores,
+                vcpus: Vec::new(),
+                rr_next: 0,
+            }
+        }
+    }
+
+    impl VmScheduler for ToyScheduler {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn schedule(
+            &mut self,
+            core: usize,
+            now: Nanos,
+            view: VcpuView<'_>,
+        ) -> (SchedDecision, Nanos) {
+            let cost = Nanos::from_micros(1);
+            // Round-robin over runnable vCPUs homed on this core.
+            let mine: Vec<VcpuId> = self
+                .vcpus
+                .iter()
+                .copied()
+                .filter(|v| v.0 as usize % self.n_cores == core && view.is_runnable(*v))
+                .collect();
+            if mine.is_empty() {
+                return (SchedDecision::idle(now + ms(10)), cost);
+            }
+            let pick = mine[self.rr_next % mine.len()];
+            self.rr_next += 1;
+            (SchedDecision::run(pick, now + ms(1)), cost)
+        }
+
+        fn on_wakeup(&mut self, vcpu: VcpuId, _now: Nanos, _view: VcpuView<'_>) -> WakeupPlan {
+            WakeupPlan {
+                ipi_cores: vec![vcpu.0 as usize % self.n_cores],
+                cost: Nanos::from_micros(1),
+            }
+        }
+
+        fn on_block(&mut self, _vcpu: VcpuId, _core: usize, _now: Nanos) {}
+
+        fn on_descheduled(
+            &mut self,
+            _vcpu: VcpuId,
+            _core: usize,
+            _ran: Nanos,
+            _now: Nanos,
+        ) -> DeschedulePlan {
+            DeschedulePlan {
+                ipi_cores: vec![],
+                cost: Nanos(100),
+            }
+        }
+
+        fn register_vcpu(&mut self, vcpu: VcpuId, _home: usize) {
+            self.vcpus.push(vcpu);
+        }
+
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn busy_vcpu_accumulates_service() {
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        let v = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.run_until(ms(100));
+        let s = sim.stats().vcpu(v);
+        // Overheads and context switches eat a little; the guest should
+        // still get the vast majority of 100 ms.
+        assert!(s.service > ms(95), "service only {}", s.service);
+        assert!(s.dispatches > 50);
+    }
+
+    #[test]
+    fn two_busy_vcpus_share_a_core_evenly() {
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        let b = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.run_until(ms(100));
+        let (sa, sb) = (sim.stats().vcpu(a).service, sim.stats().vcpu(b).service);
+        let ratio = sa.as_nanos() as f64 / sb.as_nanos() as f64;
+        assert!((0.9..1.1).contains(&ratio), "unfair split {sa} vs {sb}");
+    }
+
+    #[test]
+    fn blocked_vcpu_consumes_nothing_until_woken() {
+        struct OneShot {
+            served: bool,
+        }
+        impl GuestWorkload for OneShot {
+            fn next(&mut self, _now: Nanos) -> GuestAction {
+                if self.served {
+                    GuestAction::Block
+                } else {
+                    self.served = true;
+                    GuestAction::Compute(Nanos::from_micros(500))
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        let v = sim.add_vcpu(Box::new(OneShot { served: false }), 0, false);
+        sim.push_external(ms(50), v, 0);
+        sim.run_until(ms(40));
+        assert_eq!(sim.stats().vcpu(v).service, Nanos::ZERO);
+        sim.run_until(ms(100));
+        let s = sim.stats().vcpu(v);
+        assert_eq!(s.service, Nanos::from_micros(500));
+        assert_eq!(s.wakeups, 1);
+    }
+
+    #[test]
+    fn self_wake_timers_fire() {
+        /// Runs 100 us, sleeps 900 us, repeats.
+        struct Periodic;
+        impl GuestWorkload for Periodic {
+            fn next(&mut self, _now: Nanos) -> GuestAction {
+                GuestAction::Compute(Nanos::from_micros(100))
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        // Workload alternates compute/sleep via a wrapper.
+        struct Alternating {
+            compute_next: bool,
+        }
+        impl GuestWorkload for Alternating {
+            fn next(&mut self, _now: Nanos) -> GuestAction {
+                self.compute_next = !self.compute_next;
+                if self.compute_next {
+                    GuestAction::BlockFor(Nanos::from_micros(900))
+                } else {
+                    GuestAction::Compute(Nanos::from_micros(100))
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        let v = sim.add_vcpu(Box::new(Alternating { compute_next: true }), 0, true);
+        sim.run_until(ms(10));
+        let s = sim.stats().vcpu(v);
+        // ~10 cycles of 100 us compute.
+        assert!(s.service >= Nanos::from_micros(900), "service {}", s.service);
+        assert!(s.service <= Nanos::from_micros(1100));
+        assert!(s.wakeups >= 8);
+        let _ = Periodic; // silence unused struct in this test body
+    }
+
+    #[test]
+    fn overheads_are_recorded() {
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.run_until(ms(10));
+        let ops = &sim.stats().ops;
+        assert!(ops.get(OpKind::Schedule).count >= 9);
+        // Toy scheduler charges exactly 1 us per decision.
+        assert!((ops.get(OpKind::Schedule).mean_us() - 1.0).abs() < 1e-9);
+        assert!(ops.get(OpKind::Deschedule).count > 0);
+    }
+
+    #[test]
+    fn scheduling_delay_is_tracked() {
+        // Two busy vCPUs on one core with 1 ms quanta: each waits ~1 ms
+        // while the other runs.
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.run_until(ms(100));
+        let s = sim.stats().vcpu(a);
+        assert!(s.delay_max >= ms(1), "max delay {}", s.delay_max);
+        assert!(s.delay_max <= ms(2), "max delay {}", s.delay_max);
+    }
+
+    #[test]
+    fn multicore_independence() {
+        let mut sim = Sim::new(Machine::small(2), Box::new(ToyScheduler::new(2)));
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true); // core 0
+        let b = sim.add_vcpu(Box::new(BusyLoop), 1, true); // core 1
+        sim.run_until(ms(50));
+        // Both make near-full progress: no false sharing of cores.
+        assert!(sim.stats().vcpu(a).service > ms(47));
+        assert!(sim.stats().vcpu(b).service > ms(47));
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut sim = Sim::new(Machine::small(2), Box::new(ToyScheduler::new(2)));
+            let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            let b = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            sim.push_external(ms(3), a, 7);
+            sim.run_until(ms(20));
+            (
+                sim.stats().vcpu(a).service,
+                sim.stats().vcpu(b).service,
+                sim.stats().ops.get(OpKind::Schedule).count,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,361 @@
+//! Measurement infrastructure: per-operation overhead samples and per-vCPU
+//! service/delay accounting.
+//!
+//! [`OpStats`] regenerates the paper's Tables 1–2 (mean schedule, wakeup,
+//! and migrate/de-schedule overheads); [`VcpuStats`] provides the
+//! scheduling-delay figures behind Fig. 5 (maximum delay while runnable)
+//! and general service accounting used by throughput experiments.
+
+use serde::{Deserialize, Serialize};
+
+use rtsched::time::Nanos;
+
+use crate::sched::VcpuId;
+
+/// The three scheduler operations the paper traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Making a scheduling decision (`schedule`).
+    Schedule,
+    /// Processing a wake-up (`wakeup`).
+    Wakeup,
+    /// Post-de-schedule work, including migration hand-off ("Migrate" in
+    /// the paper's tables).
+    Deschedule,
+}
+
+impl OpKind {
+    /// All operation kinds, in the paper's table row order.
+    pub const ALL: [OpKind; 3] = [OpKind::Schedule, OpKind::Wakeup, OpKind::Deschedule];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Schedule => "Schedule",
+            OpKind::Wakeup => "Wakeup",
+            OpKind::Deschedule => "Migrate",
+        }
+    }
+}
+
+/// Streaming accumulator for one operation kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpAccumulator {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of sample costs.
+    pub total: Nanos,
+    /// Largest single sample.
+    pub max: Nanos,
+}
+
+impl OpAccumulator {
+    /// Records one sample.
+    pub fn record(&mut self, cost: Nanos) {
+        self.count += 1;
+        self.total += cost;
+        self.max = self.max.max(cost);
+    }
+
+    /// Mean cost in microseconds (the paper's unit).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total.as_nanos() as f64 / self.count as f64 / 1e3
+        }
+    }
+}
+
+/// Overhead samples for all three operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    schedule: OpAccumulator,
+    wakeup: OpAccumulator,
+    deschedule: OpAccumulator,
+}
+
+impl OpStats {
+    /// Records a sample for `kind`.
+    pub fn record(&mut self, kind: OpKind, cost: Nanos) {
+        self.get_mut(kind).record(cost);
+    }
+
+    /// The accumulator for `kind`.
+    pub fn get(&self, kind: OpKind) -> &OpAccumulator {
+        match kind {
+            OpKind::Schedule => &self.schedule,
+            OpKind::Wakeup => &self.wakeup,
+            OpKind::Deschedule => &self.deschedule,
+        }
+    }
+
+    fn get_mut(&mut self, kind: OpKind) -> &mut OpAccumulator {
+        match kind {
+            OpKind::Schedule => &mut self.schedule,
+            OpKind::Wakeup => &mut self.wakeup,
+            OpKind::Deschedule => &mut self.deschedule,
+        }
+    }
+
+    /// Total scheduler CPU time across all operations.
+    pub fn total_overhead(&self) -> Nanos {
+        self.schedule.total + self.wakeup.total + self.deschedule.total
+    }
+}
+
+/// Per-vCPU service and delay accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcpuStats {
+    /// Total CPU service received.
+    pub service: Nanos,
+    /// Number of dispatches.
+    pub dispatches: u64,
+    /// Number of wake-ups.
+    pub wakeups: u64,
+    /// Scheduling-delay samples: time from becoming runnable (or being
+    /// preempted while runnable) to the next dispatch.
+    pub delay_count: u64,
+    /// Sum of delays (for the mean).
+    pub delay_total: Nanos,
+    /// Largest single delay — the paper's "maximum scheduling delay".
+    pub delay_max: Nanos,
+}
+
+impl VcpuStats {
+    /// Records a dispatch-delay sample.
+    pub fn record_delay(&mut self, delay: Nanos) {
+        self.delay_count += 1;
+        self.delay_total += delay;
+        self.delay_max = self.delay_max.max(delay);
+    }
+
+    /// Mean scheduling delay.
+    pub fn mean_delay(&self) -> Nanos {
+        if self.delay_count == 0 {
+            Nanos::ZERO
+        } else {
+            self.delay_total / self.delay_count
+        }
+    }
+}
+
+/// A compact logarithmic histogram of scheduling delays.
+///
+/// Bucket `i` counts delays in `[2^i, 2^(i+1))` ns (bucket 0 additionally
+/// holds zero). Power-of-two resolution is coarse (a factor of two), but
+/// scheduling-delay *scales* — microseconds vs. a period vs. an accounting
+/// interval — differ by orders of magnitude, which is what the paper's
+/// figures distinguish.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelayHist {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl DelayHist {
+    const BUCKETS: usize = 44; // up to ~17,592 s
+
+    /// Records one delay sample.
+    pub fn record(&mut self, delay: Nanos) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; DelayHist::BUCKETS];
+        }
+        let idx = (64 - delay.as_nanos().leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(DelayHist::BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 for no data).
+    pub fn quantile_upper(&self, q: f64) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil().max(1.0) as u64).min(self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Nanos((1u64 << (i + 1)) - 1);
+            }
+        }
+        Nanos(u64::MAX)
+    }
+
+    /// Samples at or above `threshold` (tail mass).
+    pub fn count_at_least(&self, threshold: Nanos) -> u64 {
+        let idx = (64 - threshold.as_nanos().leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(DelayHist::BUCKETS - 1);
+        self.buckets.iter().skip(idx).sum()
+    }
+}
+
+/// Whole-simulation statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Scheduler operation overheads.
+    pub ops: OpStats,
+    /// Per-vCPU accounting, indexed by vCPU id.
+    pub vcpus: Vec<VcpuStats>,
+    /// Per-vCPU scheduling-delay distributions, indexed by vCPU id.
+    pub delay_hists: Vec<DelayHist>,
+    /// Per-core busy time (guest execution only, not overhead).
+    pub core_busy: Vec<Nanos>,
+    /// Total IPIs sent.
+    pub ipis: u64,
+    /// Total context switches performed.
+    pub context_switches: u64,
+}
+
+impl SimStats {
+    /// Creates statistics for `n_cores` cores (vCPU slots grow on demand).
+    pub fn new(n_cores: usize) -> SimStats {
+        SimStats {
+            core_busy: vec![Nanos::ZERO; n_cores],
+            ..SimStats::default()
+        }
+    }
+
+    /// The stats slot for `vcpu`, growing the vector as needed.
+    pub fn vcpu_mut(&mut self, vcpu: VcpuId) -> &mut VcpuStats {
+        let idx = vcpu.0 as usize;
+        if self.vcpus.len() <= idx {
+            self.vcpus.resize_with(idx + 1, VcpuStats::default);
+        }
+        &mut self.vcpus[idx]
+    }
+
+    /// The stats of `vcpu` (default-empty if never touched).
+    pub fn vcpu(&self, vcpu: VcpuId) -> VcpuStats {
+        self.vcpus
+            .get(vcpu.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Records a dispatch-delay sample for `vcpu` (summary plus
+    /// distribution).
+    pub fn record_delay(&mut self, vcpu: VcpuId, delay: Nanos) {
+        self.vcpu_mut(vcpu).record_delay(delay);
+        let idx = vcpu.0 as usize;
+        if self.delay_hists.len() <= idx {
+            self.delay_hists.resize_with(idx + 1, DelayHist::default);
+        }
+        self.delay_hists[idx].record(delay);
+    }
+
+    /// The delay distribution of `vcpu` (empty if it never waited).
+    pub fn delay_hist(&self, vcpu: VcpuId) -> DelayHist {
+        self.delay_hists
+            .get(vcpu.0 as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Nanos {
+        Nanos::from_micros(v)
+    }
+
+    #[test]
+    fn accumulator_math() {
+        let mut a = OpAccumulator::default();
+        a.record(us(2));
+        a.record(us(4));
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total, us(6));
+        assert_eq!(a.max, us(4));
+        assert!((a.mean_us() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_mean_is_zero() {
+        assert_eq!(OpAccumulator::default().mean_us(), 0.0);
+    }
+
+    #[test]
+    fn op_stats_routing() {
+        let mut s = OpStats::default();
+        s.record(OpKind::Schedule, us(1));
+        s.record(OpKind::Wakeup, us(2));
+        s.record(OpKind::Deschedule, us(3));
+        assert_eq!(s.get(OpKind::Schedule).total, us(1));
+        assert_eq!(s.get(OpKind::Wakeup).total, us(2));
+        assert_eq!(s.get(OpKind::Deschedule).total, us(3));
+        assert_eq!(s.total_overhead(), us(6));
+    }
+
+    #[test]
+    fn vcpu_delay_tracking() {
+        let mut v = VcpuStats::default();
+        v.record_delay(us(10));
+        v.record_delay(us(30));
+        assert_eq!(v.delay_max, us(30));
+        assert_eq!(v.mean_delay(), us(20));
+    }
+
+    #[test]
+    fn sim_stats_grow_on_demand() {
+        let mut s = SimStats::new(2);
+        s.vcpu_mut(VcpuId(5)).service += us(1);
+        assert_eq!(s.vcpus.len(), 6);
+        assert_eq!(s.vcpu(VcpuId(5)).service, us(1));
+        assert_eq!(s.vcpu(VcpuId(9)).service, Nanos::ZERO);
+    }
+
+    #[test]
+    fn delay_hist_buckets_by_magnitude() {
+        let mut h = DelayHist::default();
+        h.record(Nanos(0));
+        h.record(Nanos(1_000)); // ~2^10
+        h.record(Nanos(1_000_000)); // ~2^20
+        h.record(Nanos(20_000_000)); // ~2^24
+        assert_eq!(h.count(), 4);
+        // Median sits at the microsecond-scale bucket.
+        let p50 = h.quantile_upper(0.5);
+        assert!(p50 >= Nanos(1_000) && p50 < Nanos(4_000), "{p50}");
+        // The max bucket bounds the largest sample within 2x.
+        let p100 = h.quantile_upper(1.0);
+        assert!(p100 >= Nanos(20_000_000) && p100 < Nanos(67_108_864));
+        // Tail mass above 1 ms: two samples.
+        assert_eq!(h.count_at_least(Nanos(1_000_000)), 2);
+    }
+
+    #[test]
+    fn empty_delay_hist() {
+        let h = DelayHist::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_upper(0.99), Nanos::ZERO);
+        assert_eq!(h.count_at_least(Nanos(1)), 0);
+    }
+
+    #[test]
+    fn sim_stats_delay_recording_feeds_both_views() {
+        let mut s = SimStats::new(1);
+        s.record_delay(VcpuId(2), Nanos(5_000));
+        s.record_delay(VcpuId(2), Nanos(15_000_000));
+        assert_eq!(s.vcpu(VcpuId(2)).delay_count, 2);
+        assert_eq!(s.vcpu(VcpuId(2)).delay_max, Nanos(15_000_000));
+        assert_eq!(s.delay_hist(VcpuId(2)).count(), 2);
+        assert_eq!(s.delay_hist(VcpuId(0)).count(), 0);
+    }
+
+    #[test]
+    fn op_labels_match_paper_rows() {
+        assert_eq!(OpKind::Schedule.label(), "Schedule");
+        assert_eq!(OpKind::Wakeup.label(), "Wakeup");
+        assert_eq!(OpKind::Deschedule.label(), "Migrate");
+    }
+}

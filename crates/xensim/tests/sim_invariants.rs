@@ -1,0 +1,210 @@
+//! Simulator conservation and determinism invariants.
+//!
+//! Whatever scheduler or workload runs, the simulator itself must conserve
+//! time: guest service on a core can never exceed wall time, a vCPU's
+//! service never exceeds the whole run, blocked vCPUs accrue nothing, and
+//! identical configurations replay identically. These are checked under a
+//! randomized scheduler driven by proptest-chosen event schedules — if the
+//! event loop mis-handled stale timers or double-dispatched a vCPU, these
+//! properties break.
+
+use proptest::prelude::*;
+
+use rtsched::time::Nanos;
+use xensim::sched::{
+    DeschedulePlan, GuestAction, GuestWorkload, SchedDecision, VcpuId, VcpuView, VmScheduler,
+    WakeupPlan,
+};
+use xensim::{Machine, Sim};
+
+/// A scheduler whose picks rotate by a seed — deliberately arbitrary, to
+/// stress the simulator rather than the policy.
+struct Chaotic {
+    seed: u64,
+    n_cores: usize,
+    quantum_us: u64,
+}
+
+impl VmScheduler for Chaotic {
+    fn name(&self) -> &'static str {
+        "chaotic"
+    }
+
+    fn schedule(&mut self, core: usize, now: Nanos, view: VcpuView<'_>) -> (SchedDecision, Nanos) {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(core as u64);
+        let n = view.runnable.len();
+        let until = now + Nanos::from_micros(1 + self.quantum_us);
+        if n == 0 {
+            return (SchedDecision::idle(until), Nanos(300));
+        }
+        // Walk from a pseudo-random start; pick the first runnable vCPU
+        // that this scheduler believes is not running elsewhere (it relies
+        // on home partitioning: vcpu % cores == core).
+        let start = (self.seed >> 33) as usize % n;
+        for k in 0..n {
+            let v = VcpuId(((start + k) % n) as u32);
+            if v.0 as usize % self.n_cores == core && view.is_runnable(v) {
+                return (SchedDecision::run(v, until), Nanos(300));
+            }
+        }
+        (SchedDecision::idle(until), Nanos(300))
+    }
+
+    fn on_wakeup(&mut self, vcpu: VcpuId, _now: Nanos, _view: VcpuView<'_>) -> WakeupPlan {
+        WakeupPlan {
+            ipi_cores: vec![vcpu.0 as usize % self.n_cores],
+            cost: Nanos(200),
+        }
+    }
+
+    fn on_block(&mut self, _vcpu: VcpuId, _core: usize, _now: Nanos) {}
+
+    fn on_descheduled(
+        &mut self,
+        _vcpu: VcpuId,
+        _core: usize,
+        _ran: Nanos,
+        _now: Nanos,
+    ) -> DeschedulePlan {
+        DeschedulePlan {
+            ipi_cores: vec![],
+            cost: Nanos(100),
+        }
+    }
+
+    fn register_vcpu(&mut self, _vcpu: VcpuId, _home: usize) {}
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Compute/block cycler with parameters from proptest.
+struct Cycler {
+    burst_us: u64,
+    wait_us: u64,
+    compute_next: bool,
+}
+
+impl GuestWorkload for Cycler {
+    fn next(&mut self, _now: Nanos) -> GuestAction {
+        self.compute_next = !self.compute_next;
+        if !self.compute_next {
+            GuestAction::Compute(Nanos::from_micros(self.burst_us))
+        } else if self.wait_us == 0 {
+            GuestAction::Compute(Nanos::from_micros(self.burst_us))
+        } else {
+            GuestAction::BlockFor(Nanos::from_micros(self.wait_us))
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn build(
+    seed: u64,
+    cores: usize,
+    vcpus: &[(u64, u64)],
+    events: &[(u64, u32)],
+    quantum_us: u64,
+) -> Sim {
+    let machine = Machine::small(cores);
+    let mut sim = Sim::new(
+        machine,
+        Box::new(Chaotic {
+            seed,
+            n_cores: cores,
+            quantum_us,
+        }),
+    );
+    for (i, &(burst, wait)) in vcpus.iter().enumerate() {
+        sim.add_vcpu(
+            Box::new(Cycler {
+                burst_us: burst.max(1),
+                wait_us: wait,
+                compute_next: false,
+            }),
+            i % cores,
+            i % 2 == 0,
+        );
+    }
+    for &(at_us, v) in events {
+        let target = VcpuId(v % vcpus.len() as u32);
+        sim.push_external(Nanos::from_micros(at_us % 50_000), target, 0);
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: core busy time within wall time; per-vCPU service
+    /// within total capacity; no service for never-woken blocked vCPUs.
+    #[test]
+    fn time_is_conserved(
+        seed in any::<u64>(),
+        cores in 1usize..=4,
+        vcpus in proptest::collection::vec((1u64..500, 0u64..500), 1..8),
+        events in proptest::collection::vec((0u64..50_000, any::<u32>()), 0..32),
+        quantum in 1u64..2_000,
+    ) {
+        let horizon = Nanos::from_millis(50);
+        let mut sim = build(seed, cores, &vcpus, &events, quantum);
+        sim.run_until(horizon);
+        let stats = sim.stats();
+        for (core, &busy) in stats.core_busy.iter().enumerate() {
+            prop_assert!(busy <= horizon, "core {core} busy {busy} > wall {horizon}");
+        }
+        let total: Nanos = stats.core_busy.iter().copied().sum();
+        let service: Nanos = (0..vcpus.len())
+            .map(|i| stats.vcpu(VcpuId(i as u32)).service)
+            .sum();
+        prop_assert_eq!(total, service, "core and vCPU accounting disagree");
+    }
+
+    /// Determinism: the same configuration produces identical statistics.
+    #[test]
+    fn simulation_is_deterministic(
+        seed in any::<u64>(),
+        vcpus in proptest::collection::vec((1u64..300, 0u64..300), 1..6),
+        events in proptest::collection::vec((0u64..20_000, any::<u32>()), 0..16),
+    ) {
+        let run = || {
+            let mut sim = build(seed, 2, &vcpus, &events, 500);
+            sim.run_until(Nanos::from_millis(25));
+            let s = sim.stats();
+            (
+                s.core_busy.clone(),
+                (0..vcpus.len())
+                    .map(|i| s.vcpu(VcpuId(i as u32)))
+                    .collect::<Vec<_>>(),
+                s.ipis,
+                s.context_switches,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A vCPU that starts blocked and receives no events does nothing.
+    #[test]
+    fn blocked_vcpus_stay_silent(seed in any::<u64>()) {
+        let machine = Machine::small(1);
+        let mut sim = Sim::new(machine, Box::new(Chaotic { seed, n_cores: 1, quantum_us: 100 }));
+        let sleeper = sim.add_vcpu(
+            Box::new(Cycler { burst_us: 100, wait_us: 0, compute_next: false }),
+            0,
+            false,
+        );
+        sim.add_vcpu(
+            Box::new(Cycler { burst_us: 100, wait_us: 50, compute_next: false }),
+            0,
+            true,
+        );
+        sim.run_until(Nanos::from_millis(20));
+        let s = sim.stats().vcpu(sleeper);
+        prop_assert_eq!(s.service, Nanos::ZERO);
+        prop_assert_eq!(s.dispatches, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Planner CLI: the userspace planner daemon, as a one-shot tool.
+//!
+//! In the Xen implementation the planner is a dom0 daemon that takes the
+//! host's VM configuration and pushes a compiled table via hypercall. This
+//! example is the same pipeline as a CLI: a JSON host description in, a
+//! plan report (and optionally the compiled binary table) out.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example planner_cli -- --demo            # built-in config
+//! cargo run --release --example planner_cli -- host.json        # your config
+//! cargo run --release --example planner_cli -- host.json out.tbl # also write binary
+//! ```
+//!
+//! Host JSON format (utilization in parts-per-million, latency in ns):
+//!
+//! ```json
+//! {
+//!   "n_cores": 4,
+//!   "vms": [
+//!     { "name": "web", "vcpus": [
+//!       { "utilization": 250000, "latency": 20000000, "capped": false } ] }
+//!   ]
+//! }
+//! ```
+
+use std::io::Write;
+
+use tableau_core::binary::encode;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+use rtsched::time::Nanos;
+
+fn demo_host() -> HostConfig {
+    let mut host = HostConfig::new(4);
+    // A mixed fleet: a latency-sensitive tier, a bulk tier, one dedicated.
+    host.add_vm(VmSpec::uniform(
+        "latency-tier",
+        4,
+        VcpuSpec::new(Utilization::from_percent(10), Nanos::from_millis(2)),
+    ));
+    host.add_vm(VmSpec::uniform(
+        "bulk-tier",
+        4,
+        VcpuSpec::capped(Utilization::from_percent(40), Nanos::from_millis(100)),
+    ));
+    host.add_vm(VmSpec::uniform(
+        "dedicated",
+        1,
+        VcpuSpec::new(Utilization::FULL, Nanos::from_millis(100)),
+    ));
+    host
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: planner_cli (--demo | <host.json>) [out.tbl]");
+        return;
+    }
+
+    let host: HostConfig = if args.first().map(|s| s.as_str()) == Some("--demo") || args.is_empty()
+    {
+        demo_host()
+    } else {
+        let text = std::fs::read_to_string(&args[0]).expect("read host config");
+        serde_json::from_str(&text).expect("parse host config")
+    };
+
+    println!(
+        "Planning {} vCPUs ({:.2} cores reserved) on {} cores...",
+        host.vcpus().len(),
+        host.total_utilization(),
+        host.n_cores
+    );
+
+    let t0 = std::time::Instant::now();
+    let plan = match plan(&host, &PlannerOptions::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = t0.elapsed();
+
+    println!("stage: {:?}   time: {:.2} ms", plan.stage, elapsed.as_secs_f64() * 1e3);
+    println!("split vCPUs: {:?}", plan.split_vcpus);
+    println!(
+        "coalescing: removed {} allocations, {} total service donated",
+        plan.coalesce.removed,
+        plan.coalesce.total_lost()
+    );
+    println!("\nvCPU  dedicated  period        budget        worst blackout");
+    for p in &plan.params {
+        println!(
+            "{:>4}  {:>9}  {:>12}  {:>12}  {:>12}",
+            p.vcpu.to_string(),
+            p.dedicated,
+            p.period.to_string(),
+            p.cost.to_string(),
+            plan.blackout_of(p.vcpu).unwrap().to_string(),
+        );
+    }
+
+    let bytes = encode(&plan.table);
+    println!("\ncompiled table: {} bytes", bytes.len());
+    if let Some(out) = args.get(1) {
+        let mut f = std::fs::File::create(out).expect("create output file");
+        f.write_all(&bytes).expect("write table");
+        println!("written to {out}");
+    }
+}

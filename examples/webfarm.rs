@@ -1,0 +1,61 @@
+//! Web-farm throughput sweep: SLA-aware peak throughput per scheduler.
+//!
+//! A miniature of the paper's Sec. 7.4 experiment: a vantage VM serves
+//! 1 KiB files over HTTPS while the other VMs run an I/O-heavy background;
+//! an open-loop wrk2-style generator sweeps the request rate and the
+//! highest rate whose p99 satisfies a 100 ms SLA is each scheduler's
+//! "SLA-aware peak throughput".
+//!
+//! Run with: `cargo run --release --example webfarm`
+
+use experiments::config::{build_scenario, Background, SchedKind};
+use rtsched::time::Nanos;
+use workloads::wrk2::{constant_rate_arrivals, sla_peak_throughput, LoadPoint};
+use workloads::HttpServer;
+use xensim::Machine;
+
+fn measure(machine: Machine, kind: SchedKind, rate: f64, duration: Nanos) -> LoadPoint {
+    let (mut sim, vantage) = build_scenario(
+        machine,
+        4,
+        kind,
+        true,
+        Box::new(HttpServer::new(1024)),
+        Background::Io,
+    );
+    for t in constant_rate_arrivals(rate, duration) {
+        sim.push_external(t, vantage, 0);
+    }
+    sim.run_until(duration);
+    let server = sim
+        .workload_mut(vantage)
+        .as_any()
+        .downcast_ref::<HttpServer>()
+        .unwrap();
+    LoadPoint::from_histogram(rate, server.completed, duration, &server.latencies)
+}
+
+fn main() {
+    let machine = Machine::small(4);
+    let duration = Nanos::from_secs(2);
+    let rates = [800.0, 1000.0, 1200.0, 1400.0, 1600.0];
+
+    println!("4 cores, 16 capped VMs, vantage nginx serving 1 KiB over HTTPS, IO BG\n");
+    for kind in [SchedKind::Credit, SchedKind::Rtds, SchedKind::Tableau] {
+        println!("--- {} ---", kind.label());
+        println!("offered   achieved   mean(ms)   p99(ms)");
+        let mut points = Vec::new();
+        for &rate in &rates {
+            let p = measure(machine, kind, rate, duration);
+            println!(
+                "{:>7.0}   {:>8.1}   {:>8.2}   {:>7.2}",
+                p.offered_rps, p.achieved_rps, p.mean_ms, p.p99_ms
+            );
+            points.push(p);
+        }
+        println!(
+            "SLA-aware peak (p99 <= 100 ms): {:.0} req/s\n",
+            sla_peak_throughput(&points, 100.0)
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Umbrella crate for the Tableau reproduction.
+//!
+//! This repository is a from-scratch Rust reproduction of *"Tableau: A
+//! High-Throughput and Predictable VM Scheduler for High-Density
+//! Workloads"* (Vanga, Gujarati & Brandenburg, EuroSys 2018). The system is
+//! split across focused crates, re-exported here for convenience:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`rtsched`] | Real-time scheduling theory: periodic tasks, EDF analysis and simulation, worst-fit partitioning, C=D splitting, DP-Fair |
+//! | [`tableau_core`] | The paper's contribution: planner, scheduling tables with O(1) slice lookups, dispatcher, second-level scheduler, table-switch protocol, binary format |
+//! | [`xensim`] | Deterministic discrete-event hypervisor/multicore simulator (the Xen testbed substitute) |
+//! | [`schedulers`] | Credit, Credit2, RTDS baselines and the Tableau adapter |
+//! | [`workloads`] | Guest workloads, load generation, HDR-style latency histograms |
+//! | [`experiments`] | Harness regenerating every table and figure of the paper |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record. Start with the
+//! runnable examples:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! cargo run --release --example high_density
+//! cargo run --release --example webfarm
+//! cargo run --release --example planner_cli -- --help
+//! ```
+
+pub use experiments;
+pub use rtsched;
+pub use schedulers;
+pub use tableau_core;
+pub use workloads;
+pub use xensim;

@@ -1,0 +1,179 @@
+//! Reconfiguration end to end: the planner pushes a new table while the
+//! system runs (the paper's VM creation/teardown path, Secs. 3 and 6).
+//!
+//! The defining property of Tableau's table-switch protocol is that the
+//! running system keeps its guarantees *through* the switch: no core ever
+//! runs an inconsistent mix of tables, the newly admitted VM starts
+//! receiving service only after the synchronized switch point, and the
+//! surviving VMs' reservations continue seamlessly.
+
+use rtsched::time::Nanos;
+use schedulers::Tableau;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+use xensim::sched::BusyLoop;
+use xensim::{Machine, Sim, VcpuId};
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+fn host_with(n: usize) -> HostConfig {
+    let mut host = HostConfig::new(2);
+    let spec = VcpuSpec::capped(Utilization::from_percent(25), ms(20));
+    for i in 0..n {
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    host
+}
+
+#[test]
+fn vm_admission_via_table_switch() {
+    // Start with 6 VMs; the 7th and 8th will be admitted at runtime.
+    let initial = plan(&host_with(6), &PlannerOptions::default()).unwrap();
+    let expanded = plan(&host_with(8), &PlannerOptions::default()).unwrap();
+
+    let machine = Machine::small(2);
+    let mut sim = Sim::new(machine, Box::new(Tableau::from_plan(&initial)));
+    // All 8 vCPUs exist as guests; the last two are runnable but have no
+    // reservations until the new table lands.
+    for i in 0..8 {
+        sim.add_vcpu(Box::new(BusyLoop), i % 2, true);
+    }
+
+    // Phase 1: run 500 ms on the initial table.
+    sim.run_until(ms(500));
+    let before_7 = sim.stats().vcpu(VcpuId(7)).service;
+    assert_eq!(
+        before_7,
+        Nanos::ZERO,
+        "unadmitted VM ran before its table existed"
+    );
+
+    // Phase 2: the planner pushes the expanded table.
+    let now = sim.now();
+    let switch_at = sim
+        .scheduler_mut()
+        .as_any()
+        .downcast_mut::<Tableau>()
+        .unwrap()
+        .install_table(expanded.table.clone(), now);
+    assert!(switch_at > now);
+    // The protocol switches at the end of the round after next: within two
+    // table lengths.
+    assert!(switch_at <= now + expanded.table.len() * 2);
+
+    // Phase 3: run well past the switch.
+    sim.run_until(switch_at + Nanos::from_secs(1));
+
+    // The admitted VMs now receive their 25% reservations.
+    for i in 6..8u32 {
+        let s = sim.stats().vcpu(VcpuId(i));
+        let expected = Nanos((1e9 * 0.25) as u64);
+        assert!(
+            s.service > expected - ms(30),
+            "admitted vCPU {i} got {} after the switch",
+            s.service
+        );
+    }
+    // Survivors kept their reservations across the whole run
+    // (~1.5s + pre-switch slack at 25% each).
+    let total = switch_at + Nanos::from_secs(1);
+    for i in 0..6u32 {
+        let s = sim.stats().vcpu(VcpuId(i));
+        let floor = Nanos((total.as_nanos() as f64 * 0.24) as u64);
+        assert!(
+            s.service > floor,
+            "survivor vCPU {i} lost service across the switch: {} of {}",
+            s.service,
+            total
+        );
+        // And the latency bound held throughout, including the switch.
+        assert!(s.delay_max <= ms(21), "vCPU {i} delay {}", s.delay_max);
+    }
+}
+
+#[test]
+fn vm_teardown_frees_capacity_for_the_second_level() {
+    // 8 uncapped VMs; after teardown of 4, the survivors (uncapped) soak up
+    // the freed capacity through the second-level scheduler.
+    let full = {
+        let mut host = HostConfig::new(2);
+        let spec = VcpuSpec::new(Utilization::from_percent(25), ms(20));
+        for i in 0..8 {
+            host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+        }
+        plan(&host, &PlannerOptions::default()).unwrap()
+    };
+    let shrunk = {
+        let mut host = HostConfig::new(2);
+        let spec = VcpuSpec::new(Utilization::from_percent(25), ms(20));
+        for i in 0..4 {
+            host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+        }
+        plan(&host, &PlannerOptions::default()).unwrap()
+    };
+
+    let machine = Machine::small(2);
+    let mut sim = Sim::new(machine, Box::new(Tableau::from_plan(&full)));
+    for i in 0..8 {
+        sim.add_vcpu(Box::new(BusyLoop), i % 2, true);
+    }
+    sim.run_until(ms(300));
+    let now = sim.now();
+    let switch_at = sim
+        .scheduler_mut()
+        .as_any()
+        .downcast_mut::<Tableau>()
+        .unwrap()
+        .install_table(shrunk.table.clone(), now);
+    let mark = switch_at + ms(100);
+    sim.run_until(mark);
+    let at_mark: Vec<Nanos> = (0..4u32)
+        .map(|i| sim.stats().vcpu(VcpuId(i)).service)
+        .collect();
+    sim.run_until(mark + Nanos::from_secs(1));
+
+    // Survivors now split 2 cores 4 ways: ~50% each rather than 25%.
+    for (i, &base) in at_mark.iter().enumerate() {
+        let gained = sim.stats().vcpu(VcpuId(i as u32)).service - base;
+        assert!(
+            gained > ms(400),
+            "survivor {i} gained only {gained} after teardown"
+        );
+    }
+}
+
+#[test]
+fn switch_preserves_consistency_under_repeated_pushes() {
+    // Hammer the switch path: push a new table every ~150 ms and check the
+    // guarantees never lapse.
+    let machine = Machine::small(2);
+    let p = plan(&host_with(8), &PlannerOptions::default()).unwrap();
+    let mut sim = Sim::new(machine, Box::new(Tableau::from_plan(&p)));
+    for i in 0..8 {
+        sim.add_vcpu(Box::new(BusyLoop), i % 2, true);
+    }
+    let mut t = ms(150);
+    for _ in 0..8 {
+        sim.run_until(t);
+        let now = sim.now();
+        let table = plan(&host_with(8), &PlannerOptions::default()).unwrap().table;
+        sim.scheduler_mut()
+            .as_any()
+            .downcast_mut::<Tableau>()
+            .unwrap()
+            .install_table(table, now);
+        t += ms(150);
+    }
+    sim.run_until(t + Nanos::from_secs(1));
+    for i in 0..8u32 {
+        let s = sim.stats().vcpu(VcpuId(i));
+        assert!(
+            s.delay_max <= ms(21),
+            "vCPU {i} delay {} under repeated switches",
+            s.delay_max
+        );
+        assert!(s.service > Nanos((t.as_nanos() as f64 * 0.23) as u64));
+    }
+}
