@@ -71,7 +71,9 @@ fn bench_ops(c: &mut Criterion) {
                 b.iter(|| {
                     now += Nanos::from_micros(10);
                     core = (core + 1) % machine.n_cores();
-                    let view = VcpuView { runnable: &runnable };
+                    let view = VcpuView {
+                        runnable: &runnable,
+                    };
                     std::hint::black_box(sched.schedule(core, now, view))
                 })
             });
@@ -81,7 +83,9 @@ fn bench_ops(c: &mut Criterion) {
                 b.iter(|| {
                     now += Nanos::from_micros(10);
                     v = (v + 1) % n_vcpus as u32;
-                    let view = VcpuView { runnable: &runnable };
+                    let view = VcpuView {
+                        runnable: &runnable,
+                    };
                     std::hint::black_box(sched.on_wakeup(VcpuId(v), now, view))
                 })
             });

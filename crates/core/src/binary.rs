@@ -92,9 +92,7 @@ pub fn encode(table: &Table) -> Bytes {
         // bytes must match what the hypervisor-side index would contain.
         for s in 0..cpu.n_slices() {
             let slice_start = cpu.slice_len() * s as u64;
-            let idx = cpu
-                .allocations()
-                .partition_point(|a| a.end <= slice_start);
+            let idx = cpu.allocations().partition_point(|a| a.end <= slice_start);
             let first = if idx < cpu.allocations().len() {
                 idx as u32
             } else {
@@ -350,18 +348,13 @@ mod tests {
         assert_eq!(payload.l2_epoch, ms(10));
         for params in &p.params {
             assert_eq!(
-                payload.capped[params.vcpu.0 as usize],
-                params.capped,
+                payload.capped[params.vcpu.0 as usize], params.capped,
                 "{}",
                 params.vcpu
             );
         }
         // The decoded payload is sufficient to stand up the dispatcher.
-        let d = crate::dispatch::Dispatcher::new(
-            payload.table,
-            payload.capped,
-            payload.l2_epoch,
-        );
+        let d = crate::dispatch::Dispatcher::new(payload.table, payload.capped, payload.l2_epoch);
         assert_eq!(d.n_cores(), 2);
     }
 

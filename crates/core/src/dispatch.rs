@@ -25,7 +25,7 @@
 use rtsched::time::Nanos;
 
 use crate::level2::Level2;
-use crate::switch::TableManager;
+use crate::switch::{InstallError, StagedInstall, TableManager};
 use crate::table::{Slot, Table};
 use crate::vcpu::VcpuId;
 
@@ -259,6 +259,34 @@ impl Dispatcher {
         self.tables.install(table, now)
     }
 
+    /// Phase one of a two-phase table install: validates and stages the
+    /// table without exposing it to any core (see
+    /// [`TableManager::begin_install`]).
+    pub fn begin_table_switch(
+        &mut self,
+        table: Table,
+        now: Nanos,
+    ) -> Result<StagedInstall, InstallError> {
+        self.tables.begin_install(table, now)
+    }
+
+    /// Phase two: atomically publishes the staged table; returns the time
+    /// all cores will have switched.
+    pub fn commit_table_switch(&mut self, staged: StagedInstall) -> Nanos {
+        self.tables.commit_install(staged)
+    }
+
+    /// Rolls back a staged table install (the push was interrupted); the
+    /// dispatcher keeps running the old table as if nothing happened.
+    pub fn abort_table_switch(&mut self) {
+        self.tables.abort_install();
+    }
+
+    /// Whether a table install is currently staged.
+    pub fn has_staged_table(&self) -> bool {
+        self.tables.has_staged()
+    }
+
     /// Replaces the capped flags (on VM reconfiguration).
     pub fn set_capped(&mut self, capped: Vec<bool>) {
         self.capped = capped;
@@ -296,10 +324,7 @@ mod tests {
     fn two_core_dispatcher(capped: Vec<bool>) -> Dispatcher {
         let table = Table::new(
             ms(10),
-            vec![
-                vec![alloc(0, 3, 0), alloc(5, 8, 1)],
-                vec![alloc(0, 10, 2)],
-            ],
+            vec![vec![alloc(0, 3, 0), alloc(5, 8, 1)], vec![alloc(0, 10, 2)]],
         )
         .unwrap();
         Dispatcher::new(table, capped, ms(10))
@@ -356,11 +381,7 @@ mod tests {
     #[test]
     fn migration_handoff_protocol() {
         // vCPU 0 split: core 0 [0,3), core 1 [3,6).
-        let table = Table::new(
-            ms(10),
-            vec![vec![alloc(0, 3, 0)], vec![alloc(3, 6, 0)]],
-        )
-        .unwrap();
+        let table = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(3, 6, 0)]]).unwrap();
         let mut d = Dispatcher::new(table, vec![true], ms(10));
         // Core 0 runs it.
         let dec = d.decide(0, ms(0), |_| true);
@@ -401,10 +422,7 @@ mod tests {
         // New table moves vCPU 1 to core 1.
         let new = Table::new(
             ms(10),
-            vec![
-                vec![alloc(0, 3, 0)],
-                vec![alloc(0, 5, 2), alloc(5, 8, 1)],
-            ],
+            vec![vec![alloc(0, 3, 0)], vec![alloc(0, 5, 2), alloc(5, 8, 1)]],
         )
         .unwrap();
         let switch_at = d.install_table(new, ms(1));

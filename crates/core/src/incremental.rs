@@ -180,7 +180,11 @@ pub fn plan_incremental(
     for &nid in &added {
         let spec = new_keys[nid as usize].1;
         let period = period_for(&spec, &opts.candidates);
-        let cost = spec.utilization.budget_in(period).max(min_budget).min(period);
+        let cost = spec
+            .utilization
+            .budget_in(period)
+            .max(min_budget)
+            .min(period);
         params_by_new_id.insert(nid, (cost, period, spec.capped));
     }
 
@@ -208,8 +212,7 @@ pub fn plan_incremental(
     // least-loaded unaffected cores as needed.
     let mut stage = Stage::Partitioned;
     let generated = loop {
-        let affected_list: Vec<usize> =
-            (0..n_cores).filter(|&c| affected[c]).collect();
+        let affected_list: Vec<usize> = (0..n_cores).filter(|&c| affected[c]).collect();
         if !affected_list.is_empty() || tasks.is_empty() {
             // NUMA preferences, remapped from physical cores to the
             // generator's dense affected-core index space.
@@ -236,18 +239,15 @@ pub fn plan_incremental(
                         .unwrap_or_default()
                 })
                 .collect();
-            match generate_schedule_with_preferences(
+            if let Ok(g) = generate_schedule_with_preferences(
                 &tasks,
                 affected_list.len(),
                 hyperperiod,
                 &opts.gen,
                 &prefs,
             ) {
-                Ok(g) => {
-                    stage = g.stage;
-                    break Some((g, affected_list));
-                }
-                Err(_) => {}
+                stage = g.stage;
+                break Some((g, affected_list));
             }
         }
         // Widen: add the unaffected core with the most idle time — among
@@ -311,8 +311,8 @@ pub fn plan_incremental(
     let mut per_core: Vec<Vec<Allocation>> = Vec::with_capacity(n_cores);
     let mut coalesce_report = CoalesceReport::default();
     let mut fresh_iter = 0usize;
-    for core in 0..n_cores {
-        if affected[core] {
+    for (core, &core_affected) in affected.iter().enumerate().take(n_cores) {
+        if core_affected {
             let mut allocs: Vec<Allocation> = generated.schedule.cores[fresh_iter]
                 .segments()
                 .iter()
@@ -512,7 +512,11 @@ mod tests {
         let (p, report) = plan_incremental(&prev_host, &prev, &host, &opts).unwrap();
         assert!(!report.full_replan);
         let b = VcpuId(1);
-        assert!(p.blackout_of(b).unwrap() <= ms(2), "{}", p.blackout_of(b).unwrap());
+        assert!(
+            p.blackout_of(b).unwrap() <= ms(2),
+            "{}",
+            p.blackout_of(b).unwrap()
+        );
         // b's period shrank to honour the 2 ms goal.
         assert!(p.params_of(b).unwrap().period < ms(2));
     }

@@ -169,9 +169,9 @@ mod tests {
     fn dry_ready_vcpu_does_not_replenish_while_others_have_budget() {
         let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
         l2.charge(v(0), Nanos::from_millis(5)); // v0 dry
-        // Only v0 is ready and it is dry: all *ready* vCPUs are dry, so the
-        // epoch replenishes (paper: replenished when all ready vCPUs have
-        // run out of budget).
+                                                // Only v0 is ready and it is dry: all *ready* vCPUs are dry, so the
+                                                // epoch replenishes (paper: replenished when all ready vCPUs have
+                                                // run out of budget).
         assert_eq!(l2.pick(|x| x == v(0)), Some(v(0)));
         // v1's budget was also reset by the replenish.
         assert_eq!(l2.budget(v(1)), Nanos::from_millis(5));

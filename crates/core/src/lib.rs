@@ -51,6 +51,10 @@ pub mod vcpu;
 pub mod viz;
 
 pub use dispatch::{Decision, Dispatcher};
-pub use planner::{plan, Plan, PlanError, PlannerOptions};
+pub use planner::{
+    plan, plan_with_fallback, Plan, PlanError, PlannerOptions, ReplanError, ReplanOutcome,
+    ReplanPath,
+};
+pub use switch::{InstallError, StagedInstall, TableManager};
 pub use table::{Allocation, Slot, Table};
 pub use vcpu::{HostConfig, Utilization, VcpuId, VcpuSpec, VmSpec};

@@ -148,6 +148,145 @@ impl From<GenError> for PlanError {
     }
 }
 
+/// Which rung of the replanning ladder produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanPath {
+    /// Incremental per-core replanning against the previous plan.
+    Incremental,
+    /// Full from-scratch replan (no previous plan, or incremental
+    /// abandoned).
+    Full,
+    /// Full replan under conservative default options after the requested
+    /// options failed.
+    FullConservative,
+}
+
+impl ReplanPath {
+    /// Short label for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplanPath::Incremental => "incremental",
+            ReplanPath::Full => "full",
+            ReplanPath::FullConservative => "full-conservative",
+        }
+    }
+}
+
+/// A successful replan, with provenance.
+#[derive(Debug, Clone)]
+pub struct ReplanOutcome {
+    /// The plan to install.
+    pub plan: Plan,
+    /// Which ladder rung produced it.
+    pub path: ReplanPath,
+    /// The incremental report, when the incremental rung ran to completion.
+    pub incremental: Option<crate::incremental::IncrementalReport>,
+    /// Errors from rungs that were tried and failed before this one.
+    pub attempts: Vec<(ReplanPath, PlanError)>,
+}
+
+/// Every rung of the replanning ladder failed; the reconfiguration must be
+/// rejected. Carries one error per attempted rung, newest last.
+#[derive(Debug, Clone)]
+pub struct ReplanError {
+    /// `(rung, why it failed)`, in attempt order.
+    pub attempts: Vec<(ReplanPath, PlanError)>,
+}
+
+impl std::fmt::Display for ReplanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replanning failed after {} attempt(s):",
+            self.attempts.len()
+        )?;
+        for (path, err) in &self.attempts {
+            write!(f, " [{}] {err};", path.label())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ReplanError {}
+
+/// Plans `host` with graceful degradation: incremental replanning first
+/// (when a previous plan is available), then a full replan under the
+/// requested options, then — if the requested options were non-default — a
+/// full replan under conservative defaults. Only when every rung fails is
+/// the reconfiguration rejected, with the per-rung diagnostic trail.
+///
+/// This is the planner's fault-tolerance ladder: a planner daemon facing a
+/// pathological reconfiguration (or a table push that was rolled back
+/// mid-switch) degrades to a slower but safer planning mode instead of
+/// leaving the host on a stale table with no explanation.
+///
+/// # Errors
+///
+/// [`ReplanError`] with one [`PlanError`] per attempted rung; the host's
+/// running table is untouched by any failed attempt.
+pub fn plan_with_fallback(
+    prev: Option<(&HostConfig, &Plan)>,
+    host: &HostConfig,
+    opts: &PlannerOptions,
+) -> Result<ReplanOutcome, ReplanError> {
+    let mut attempts: Vec<(ReplanPath, PlanError)> = Vec::new();
+
+    if let Some((prev_host, prev_plan)) = prev {
+        match crate::incremental::plan_incremental(prev_host, prev_plan, host, opts) {
+            Ok((plan, report)) => {
+                // The incremental path may itself have decided on a full
+                // replan (structural change); report the rung that did the
+                // work.
+                let path = if report.full_replan {
+                    ReplanPath::Full
+                } else {
+                    ReplanPath::Incremental
+                };
+                return Ok(ReplanOutcome {
+                    plan,
+                    path,
+                    incremental: Some(report),
+                    attempts,
+                });
+            }
+            Err(e) => attempts.push((ReplanPath::Incremental, e)),
+        }
+    }
+
+    match plan(host, opts) {
+        Ok(plan) => {
+            return Ok(ReplanOutcome {
+                plan,
+                path: ReplanPath::Full,
+                incremental: None,
+                attempts,
+            })
+        }
+        Err(e) => attempts.push((ReplanPath::Full, e)),
+    }
+
+    // Conservative rescue: only meaningful when the requested options could
+    // have caused the failure (aggressive coalescing inflates minimum
+    // budgets; the peephole pass is optional by design).
+    let defaults = PlannerOptions::default();
+    let non_default = opts.peephole || opts.coalesce_threshold != defaults.coalesce_threshold;
+    if non_default {
+        match plan(host, &defaults) {
+            Ok(plan) => {
+                return Ok(ReplanOutcome {
+                    plan,
+                    path: ReplanPath::FullConservative,
+                    incremental: None,
+                    attempts,
+                })
+            }
+            Err(e) => attempts.push((ReplanPath::FullConservative, e)),
+        }
+    }
+
+    Err(ReplanError { attempts })
+}
+
 /// Chooses a period for a vCPU SLA: the largest candidate `T` such that the
 /// worst-case blackout `2 * (1 - U) * T` stays within the latency goal `L`.
 ///
@@ -236,7 +375,11 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
         // Rounding the (floor-rounded) budget up to twice the coalescing
         // threshold can over-commit only configurations that reserve less
         // than ~0.03% per vCPU — rejected as over-utilized, which is fine.
-        let cost = spec.utilization.budget_in(period).max(min_budget).min(period);
+        let cost = spec
+            .utilization
+            .budget_in(period)
+            .max(min_budget)
+            .min(period);
         tasks.push(PeriodicTask::implicit(TaskId(vcpu.0), cost, period));
         prefs.push(
             host.vm_of(vcpu)
@@ -259,13 +402,8 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
     }
 
     // Stage 2: three-stage table generation (admission happens inside).
-    let mut generated = generate_schedule_with_preferences(
-        &tasks,
-        shared_cores,
-        hyperperiod,
-        &opts.gen,
-        &prefs,
-    )?;
+    let mut generated =
+        generate_schedule_with_preferences(&tasks, shared_cores, hyperperiod, &opts.gen, &prefs)?;
 
     // Optional peephole pass: merge needlessly sliced allocations where the
     // verifier confirms every guarantee survives.
@@ -277,11 +415,7 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
     // coalesce per core. Split vCPUs must never be *extended* by a
     // donation: their pieces on other cores begin exactly where a piece
     // ends, and growing one would schedule the vCPU on two cores at once.
-    let split: Vec<VcpuId> = generated
-        .split_tasks
-        .iter()
-        .map(|t| VcpuId(t.0))
-        .collect();
+    let split: Vec<VcpuId> = generated.split_tasks.iter().map(|t| VcpuId(t.0)).collect();
     let mut per_core: Vec<Vec<Allocation>> = Vec::with_capacity(host.n_cores);
     let mut coalesce_report = CoalesceReport::default();
     for core in 0..shared_cores {
@@ -340,11 +474,7 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
         table,
         stage: generated.stage,
         params,
-        split_vcpus: generated
-            .split_tasks
-            .iter()
-            .map(|t| VcpuId(t.0))
-            .collect(),
+        split_vcpus: generated.split_tasks.iter().map(|t| VcpuId(t.0)).collect(),
         coalesce: coalesce_report,
         worst_blackout,
     })
@@ -456,11 +586,7 @@ mod tests {
         // time in the table equals cost * (H / T).
         for params in &p.params {
             let placement = p.table.placement(params.vcpu).unwrap();
-            let total: Nanos = placement
-                .allocations
-                .iter()
-                .map(|&(_, s, e)| e - s)
-                .sum();
+            let total: Nanos = placement.allocations.iter().map(|&(_, s, e)| e - s).sum();
             let periods = p.table.len() / params.period;
             assert_eq!(total, params.cost * periods);
         }
@@ -492,9 +618,7 @@ mod tests {
         // {2, 3}.
         let mut host = HostConfig::with_numa(4, 2);
         for i in 0..2 {
-            host.add_vm(
-                VmSpec::uniform(format!("pinned{i}"), 1, paper_spec()).on_node(1),
-            );
+            host.add_vm(VmSpec::uniform(format!("pinned{i}"), 1, paper_spec()).on_node(1));
         }
         host.add_vm(VmSpec::uniform("free", 1, paper_spec()));
         let p = plan(&host, &PlannerOptions::default()).unwrap();
@@ -516,9 +640,7 @@ mod tests {
         // the plan still succeeds with every guarantee intact.
         let mut host = HostConfig::with_numa(2, 2);
         for i in 0..5 {
-            host.add_vm(
-                VmSpec::uniform(format!("vm{i}"), 1, paper_spec()).on_node(0),
-            );
+            host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, paper_spec()).on_node(0));
         }
         let p = plan(&host, &PlannerOptions::default()).unwrap();
         for (v, b) in &p.worst_blackout {
@@ -576,10 +698,76 @@ mod tests {
                 .map(|c| p.table.cpu(c).allocations().len())
                 .sum()
         };
-        assert!(count(&opt) <= count(&plain), "peephole fragmented the table");
+        assert!(
+            count(&opt) <= count(&plain),
+            "peephole fragmented the table"
+        );
         for (vcpu, spec) in host.vcpus() {
             assert!(opt.blackout_of(vcpu).unwrap() <= spec.latency);
         }
+    }
+
+    #[test]
+    fn fallback_ladder_uses_incremental_when_possible() {
+        let opts = PlannerOptions::default();
+        let mut prev_host = HostConfig::new(4);
+        for i in 0..12 {
+            prev_host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, paper_spec()));
+        }
+        let prev = plan(&prev_host, &opts).unwrap();
+        let mut host = prev_host.clone();
+        host.add_vm(VmSpec::uniform("newcomer", 1, paper_spec()));
+
+        let out = plan_with_fallback(Some((&prev_host, &prev)), &host, &opts).unwrap();
+        assert_eq!(out.path, ReplanPath::Incremental);
+        assert!(out.attempts.is_empty());
+        assert!(!out.incremental.as_ref().unwrap().reused_cores.is_empty());
+    }
+
+    #[test]
+    fn fallback_ladder_without_history_plans_fully() {
+        let host = dense_host(2, 4, paper_spec());
+        let out = plan_with_fallback(None, &host, &PlannerOptions::default()).unwrap();
+        assert_eq!(out.path, ReplanPath::Full);
+        assert!(out.incremental.is_none());
+    }
+
+    #[test]
+    fn fallback_ladder_rescues_bad_options_with_defaults() {
+        // A 50 ms coalescing threshold inflates every budget to a full
+        // period (over-utilized); the conservative rung with default options
+        // must rescue the reconfiguration.
+        let host = dense_host(2, 4, paper_spec());
+        let aggressive = PlannerOptions {
+            coalesce_threshold: ms(50),
+            ..PlannerOptions::default()
+        };
+        let out = plan_with_fallback(None, &host, &aggressive).unwrap();
+        assert_eq!(out.path, ReplanPath::FullConservative);
+        assert_eq!(out.attempts.len(), 1);
+        assert!(matches!(out.attempts[0].0, ReplanPath::Full));
+        for (v, b) in &out.plan.worst_blackout {
+            assert!(*b <= ms(20), "{v}: {b}");
+        }
+    }
+
+    #[test]
+    fn fallback_ladder_rejects_with_full_diagnostic_trail() {
+        // Over-utilized no matter the options: every rung fails, and the
+        // error carries one diagnostic per rung on a single line.
+        let prev_ok = dense_host(1, 4, paper_spec());
+        let prev = plan(&prev_ok, &PlannerOptions::default()).unwrap();
+        let host = dense_host(1, 5, paper_spec());
+        let aggressive = PlannerOptions {
+            coalesce_threshold: ms(50),
+            ..PlannerOptions::default()
+        };
+        let err = plan_with_fallback(Some((&prev_ok, &prev)), &host, &aggressive).unwrap_err();
+        assert_eq!(err.attempts.len(), 3, "{err}");
+        let msg = err.to_string();
+        assert!(!msg.contains('\n'), "multi-line diagnostic: {msg:?}");
+        assert!(msg.contains("incremental"), "{msg}");
+        assert!(msg.contains("full-conservative"), "{msg}");
     }
 
     #[test]

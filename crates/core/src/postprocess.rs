@@ -88,10 +88,7 @@ pub fn coalesce_with(
     let mut report = CoalesceReport::default();
     report.removed += merge_adjacent(allocs);
 
-    loop {
-        let Some(idx) = allocs.iter().position(|a| a.len() < threshold) else {
-            break;
-        };
+    while let Some(idx) = allocs.iter().position(|a| a.len() < threshold) {
         let sliver = allocs[idx];
 
         // Contiguous neighbors may absorb the interval; prefer the longer

@@ -22,6 +22,58 @@ use rtsched::time::Nanos;
 
 use crate::table::Table;
 
+/// Why a table install was rejected before commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// The new table's hyperperiod differs from the installed one's.
+    LengthMismatch {
+        /// Length of the tables already installed.
+        expected: Nanos,
+        /// Length of the rejected table.
+        got: Nanos,
+    },
+    /// The new table's core count differs from the installed one's.
+    CoreCountMismatch {
+        /// Core count of the tables already installed.
+        expected: usize,
+        /// Core count of the rejected table.
+        got: usize,
+    },
+    /// Another install is already staged and neither committed nor aborted.
+    AlreadyStaged,
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "table length changed across install ({expected} -> {got})"
+                )
+            }
+            InstallError::CoreCountMismatch { expected, got } => {
+                write!(f, "core count changed across install ({expected} -> {got})")
+            }
+            InstallError::AlreadyStaged => write!(f, "an install is already staged"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// Handle to a staged (validated but uncommitted) table install.
+///
+/// Produced by [`TableManager::begin_install`]; consumed by
+/// [`TableManager::commit_install`] or [`TableManager::abort_install`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedInstall {
+    /// Absolute time the `next_table` pointers would be set.
+    pub arm: Nanos,
+    /// Absolute time all cores would have switched.
+    pub switch_at: Nanos,
+}
+
 /// Per-core view of the table switch protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CoreView {
@@ -44,6 +96,9 @@ pub struct TableManager {
     activations: Vec<Nanos>,
     /// Per-core adoption state.
     cores: Vec<CoreView>,
+    /// A validated install awaiting commit (two-phase protocol). Invisible
+    /// to [`TableManager::table_for`] until committed.
+    staged: Option<(Arc<Table>, Nanos)>,
     len: Nanos,
 }
 
@@ -62,6 +117,7 @@ impl TableManager {
                 };
                 n_cores
             ],
+            staged: None,
             len,
         }
     }
@@ -91,15 +147,71 @@ impl TableManager {
             self.cores.len(),
             "core count changed across install"
         );
+        assert!(self.staged.is_none(), "install during a staged install");
+        let staged = self.begin_install(table, now).expect("validated above");
+        self.commit_install(staged)
+    }
+
+    /// Phase one of a two-phase install: validates the table and stages it
+    /// without making it visible to any core. An interrupted planner push
+    /// (crash, fault injection) between begin and commit is undone with
+    /// [`TableManager::abort_install`], leaving the manager exactly as it
+    /// was — no core can ever adopt a half-pushed table.
+    pub fn begin_install(
+        &mut self,
+        table: Table,
+        now: Nanos,
+    ) -> Result<StagedInstall, InstallError> {
+        if table.len() != self.len {
+            return Err(InstallError::LengthMismatch {
+                expected: self.len,
+                got: table.len(),
+            });
+        }
+        if table.n_cores() != self.cores.len() {
+            return Err(InstallError::CoreCountMismatch {
+                expected: self.cores.len(),
+                got: table.n_cores(),
+            });
+        }
+        if self.staged.is_some() {
+            return Err(InstallError::AlreadyStaged);
+        }
         let round = now / self.len;
         // Pointer set mid-way through round `round + 1`; cores notice at
         // their wrap ending that round.
         let arm = self.len * (round + 1) + self.len / 2;
         let switch_at = self.len * (round + 2);
         debug_assert!(arm < switch_at && arm > now);
-        self.epochs.push(Arc::new(table));
+        self.staged = Some((Arc::new(table), arm));
+        Ok(StagedInstall { arm, switch_at })
+    }
+
+    /// Phase two: atomically publishes the staged table. Cores adopt at
+    /// their first wrap at/after the arm time, exactly as with
+    /// [`TableManager::install`]. Returns the switch-complete time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is staged (commit without begin).
+    pub fn commit_install(&mut self, staged: StagedInstall) -> Nanos {
+        let (table, arm) = self.staged.take().expect("commit without a staged install");
+        debug_assert_eq!(arm, staged.arm);
+        self.epochs.push(table);
         self.activations.push(arm);
-        switch_at
+        staged.switch_at
+    }
+
+    /// Rolls back a staged install. The manager is left bit-identical to
+    /// its pre-[`TableManager::begin_install`] state; a no-op if nothing is
+    /// staged.
+    pub fn abort_install(&mut self) {
+        self.staged = None;
+    }
+
+    /// Whether an install is currently staged (diagnostics/tests).
+    pub fn has_staged(&self) -> bool {
+        self.staged.is_some()
     }
 
     /// The table `core` must use for a scheduling decision at `now`.
@@ -149,11 +261,7 @@ impl TableManager {
 
     /// Number of distinct live tables (diagnostics/tests).
     pub fn live_tables(&self) -> usize {
-        let mut seen: Vec<*const Table> = self
-            .epochs
-            .iter()
-            .map(|t| Arc::as_ptr(t))
-            .collect();
+        let mut seen: Vec<*const Table> = self.epochs.iter().map(Arc::as_ptr).collect();
         seen.sort_unstable();
         seen.dedup();
         seen.len()
@@ -212,9 +320,11 @@ mod tests {
         let mut m = TableManager::new(table(10, 0));
         let at = m.install(table(10, 1), ms(9)); // just before a wrap
         assert_eq!(at, ms(20)); // arm at 15 ms, adopt at wrap 20 ms
-        // At 19.9 ms neither core has switched (pointer armed mid-round 1).
+                                // At 19.9 ms neither core has switched (pointer armed mid-round 1).
         assert_eq!(
-            m.table_for(0, Nanos(19_900_000)).lookup(0, Nanos::ZERO).vcpu(),
+            m.table_for(0, Nanos(19_900_000))
+                .lookup(0, Nanos::ZERO)
+                .vcpu(),
             Some(VcpuId(0))
         );
         assert_eq!(
@@ -266,6 +376,62 @@ mod tests {
     fn length_change_rejected() {
         let mut m = TableManager::new(table(10, 0));
         m.install(table(20, 1), ms(1));
+    }
+
+    #[test]
+    fn staged_install_is_invisible_until_commit() {
+        let mut m = TableManager::new(table(10, 0));
+        let staged = m.begin_install(table(10, 1), ms(3)).unwrap();
+        assert!(m.has_staged());
+        // Way past the would-be switch time, cores still run the old table.
+        let t = m.table_for(0, ms(40));
+        assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(0)));
+        assert_eq!(m.live_tables(), 1);
+        // Commit publishes with the originally computed timing.
+        assert_eq!(m.commit_install(staged), ms(20));
+        let t = m.table_for(1, ms(20));
+        assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(1)));
+    }
+
+    #[test]
+    fn aborted_install_leaves_no_trace() {
+        let mut m = TableManager::new(table(10, 0));
+        let before = (m.live_tables(), m.core_epoch(0), m.core_epoch(1));
+        let _staged = m.begin_install(table(10, 1), ms(3)).unwrap();
+        m.abort_install();
+        assert!(!m.has_staged());
+        assert_eq!((m.live_tables(), m.core_epoch(0), m.core_epoch(1)), before);
+        let t = m.table_for(0, ms(50));
+        assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(0)));
+        // The manager accepts a fresh install afterwards.
+        let at = m.install(table(10, 2), ms(50));
+        assert_eq!(at, ms(70));
+    }
+
+    #[test]
+    fn begin_install_validates_shape() {
+        let mut m = TableManager::new(table(10, 0));
+        assert_eq!(
+            m.begin_install(table(20, 1), ms(1)).unwrap_err(),
+            InstallError::LengthMismatch {
+                expected: ms(10),
+                got: ms(20)
+            }
+        );
+        assert!(!m.has_staged());
+        let _ = m.begin_install(table(10, 1), ms(1)).unwrap();
+        assert_eq!(
+            m.begin_install(table(10, 2), ms(1)).unwrap_err(),
+            InstallError::AlreadyStaged
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "install during a staged install")]
+    fn one_phase_install_rejects_pending_stage() {
+        let mut m = TableManager::new(table(10, 0));
+        let _ = m.begin_install(table(10, 1), ms(1)).unwrap();
+        m.install(table(10, 2), ms(2));
     }
 
     #[test]

@@ -105,7 +105,10 @@ impl CpuTable {
                 return Err(format!("empty allocation [{}, {})", a.start, a.end));
             }
             if a.end > table_len {
-                return Err(format!("allocation [{}, {}) exceeds table length {table_len}", a.start, a.end));
+                return Err(format!(
+                    "allocation [{}, {}) exceeds table length {table_len}",
+                    a.start, a.end
+                ));
             }
         }
         for w in allocations.windows(2) {
@@ -493,20 +496,13 @@ mod tests {
 
     #[test]
     fn cross_core_vcpu_overlap_rejected() {
-        let r = Table::new(
-            ms(10),
-            vec![vec![alloc(0, 3, 0)], vec![alloc(2, 5, 0)]],
-        );
+        let r = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(2, 5, 0)]]);
         assert!(r.is_err());
     }
 
     #[test]
     fn cross_core_vcpu_adjacent_ok() {
-        let t = Table::new(
-            ms(10),
-            vec![vec![alloc(0, 3, 0)], vec![alloc(3, 5, 0)]],
-        )
-        .unwrap();
+        let t = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(3, 5, 0)]]).unwrap();
         let p = t.placement(VcpuId(0)).unwrap();
         assert_eq!(p.allocations.len(), 2);
         // Home core is the one with more time.
@@ -515,11 +511,7 @@ mod tests {
 
     #[test]
     fn wakeup_targets() {
-        let t = Table::new(
-            ms(10),
-            vec![vec![alloc(0, 2, 0)], vec![alloc(5, 9, 1)]],
-        )
-        .unwrap();
+        let t = Table::new(ms(10), vec![vec![alloc(0, 2, 0)], vec![alloc(5, 9, 1)]]).unwrap();
         // During its allocation.
         assert_eq!(t.wakeup_target(VcpuId(0), ms(1)), Some(0));
         // After it: next allocation is next round, still core 0.
@@ -534,10 +526,7 @@ mod tests {
     fn homed_vcpus() {
         let t = Table::new(
             ms(10),
-            vec![
-                vec![alloc(0, 2, 0), alloc(2, 4, 1)],
-                vec![alloc(0, 5, 2)],
-            ],
+            vec![vec![alloc(0, 2, 0), alloc(2, 4, 1)], vec![alloc(0, 5, 2)]],
         )
         .unwrap();
         assert_eq!(t.vcpus_homed_on(0), vec![VcpuId(0), VcpuId(1)]);

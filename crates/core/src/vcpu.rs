@@ -40,9 +40,7 @@ impl std::fmt::Display for VcpuId {
 /// assert!(!quarter.is_full_core());
 /// assert!(Utilization::FULL.is_full_core());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Utilization(u32);
 
@@ -209,9 +207,7 @@ impl HostConfig {
     /// The cores belonging to `node`.
     pub fn cores_of_node(&self, node: usize) -> Vec<usize> {
         let per = (self.n_cores / self.numa_nodes.max(1)).max(1);
-        (0..self.n_cores)
-            .filter(|c| c / per == node)
-            .collect()
+        (0..self.n_cores).filter(|c| c / per == node).collect()
     }
 
     /// Adds a VM and returns its index.

@@ -1,0 +1,150 @@
+//! Property-based tests for incremental replanning.
+//!
+//! The contract: `plan_incremental` may reuse per-core tables from the
+//! previous plan, but the result must be indistinguishable from a full
+//! replan *in its guarantees* — for every vCPU of the new host, the
+//! per-vCPU maximum scheduling blackout respects that vCPU's latency goal
+//! exactly as a from-scratch plan's does. Random fleets are planned,
+//! mutated (a VM leaves, a VM arrives, or both), and replanned both ways.
+
+use proptest::prelude::*;
+
+use rtsched::time::Nanos;
+use tableau_core::incremental::plan_incremental;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+/// A reproducible fleet description: per-VM (utilization %, latency ms,
+/// capped) tuples on a small multicore.
+type FleetDesc = (usize, Vec<(u32, u64, bool)>);
+
+fn build_host(cores: usize, vms: &[(u32, u64, bool)]) -> HostConfig {
+    let mut host = HostConfig::new(cores);
+    for (i, &(upct, l_ms, capped)) in vms.iter().enumerate() {
+        let u = Utilization::from_percent(upct);
+        let l = Nanos::from_millis(l_ms);
+        let spec = if capped {
+            VcpuSpec::capped(u, l)
+        } else {
+            VcpuSpec::new(u, l)
+        };
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    host
+}
+
+/// Strategy: 2–3 cores and 1–8 VMs whose utilizations always admit both
+/// the original fleet and the mutated one (one extra 10% VM). Utilization
+/// and latency are drawn from small paper-like menus via indices.
+fn arb_fleet() -> impl Strategy<Value = FleetDesc> {
+    const UTILS: [u32; 3] = [10, 20, 25];
+    const LATENCIES: [u64; 3] = [10, 20, 40];
+    (
+        2usize..=3,
+        proptest::collection::vec((0usize..3, 0usize..3, any::<bool>()), 1..=8),
+    )
+        .prop_map(|(cores, picks)| {
+            // Keep total utilization (plus a 10% newcomer) admissible.
+            let budget = cores as u64 * 100 - 15;
+            let mut used = 0u64;
+            let mut vms: Vec<(u32, u64, bool)> = Vec::new();
+            for (ui, li, capped) in picks {
+                let u = UTILS[ui];
+                if used + u as u64 > budget {
+                    continue;
+                }
+                used += u as u64;
+                vms.push((u, LATENCIES[li], capped));
+            }
+            if vms.is_empty() {
+                vms.push((10, 40, false));
+            }
+            (cores, vms)
+        })
+}
+
+/// The mutated host keeps surviving VM names stable (identity is the VM
+/// name), so incremental replanning can recognize them.
+fn mutated_host(
+    cores: usize,
+    vms: &[(u32, u64, bool)],
+    remove_idx: usize,
+    add: bool,
+) -> HostConfig {
+    let mut host = HostConfig::new(cores);
+    let removed = if vms.len() > 1 {
+        Some(remove_idx % vms.len())
+    } else {
+        None
+    };
+    for (i, &(upct, l_ms, capped)) in vms.iter().enumerate() {
+        if removed == Some(i) {
+            continue;
+        }
+        let u = Utilization::from_percent(upct);
+        let l = Nanos::from_millis(l_ms);
+        let spec = if capped {
+            VcpuSpec::capped(u, l)
+        } else {
+            VcpuSpec::new(u, l)
+        };
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    if add {
+        host.add_vm(VmSpec::uniform(
+            "newcomer",
+            1,
+            VcpuSpec::new(Utilization::from_percent(10), Nanos::from_millis(20)),
+        ));
+    }
+    host
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After any VM arrival/departure, the incremental plan's per-vCPU
+    /// max blackout meets each latency goal whenever the full replan's
+    /// does — table reuse never weakens the guarantee.
+    #[test]
+    fn incremental_blackouts_match_full_replan(
+        (cores, vms) in arb_fleet(),
+        remove_idx in 0usize..8,
+        add in any::<bool>(),
+    ) {
+        let opts = PlannerOptions::default();
+        let prev_host = build_host(cores, &vms);
+        let prev = plan(&prev_host, &opts).expect("admissible fleet plans");
+
+        let host = mutated_host(cores, &vms, remove_idx, add);
+        let (inc, report) = plan_incremental(&prev_host, &prev, &host, &opts)
+            .expect("mutated fleet plans incrementally");
+        let full = plan(&host, &opts).expect("mutated fleet plans fully");
+
+        let slack = tableau_core::postprocess::DEFAULT_THRESHOLD;
+        for (vcpu, spec) in host.vcpus() {
+            let a = inc.blackout_of(vcpu).expect("incremental measures every vCPU");
+            let b = full.blackout_of(vcpu).expect("full measures every vCPU");
+            prop_assert!(
+                b <= spec.latency + slack,
+                "{vcpu}: full replan blackout {b} exceeds goal {}",
+                spec.latency
+            );
+            prop_assert!(
+                a <= spec.latency + slack,
+                "{vcpu}: incremental blackout {a} exceeds goal {} (full: {b}, \
+                 reused cores {:?})",
+                spec.latency,
+                report.reused_cores
+            );
+        }
+
+        // Reuse bookkeeping is consistent: every core is either reused or
+        // replanned, never both.
+        for core in 0..cores {
+            let reused = report.reused_cores.contains(&core);
+            let replanned = report.replanned_cores.contains(&core);
+            prop_assert!(reused != replanned, "core {core}: reused={reused} replanned={replanned}");
+        }
+    }
+}

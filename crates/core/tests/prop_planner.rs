@@ -16,7 +16,10 @@ use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
 
 /// Strategy: a host of 2–4 cores with VMs whose total reservation fits.
 fn arb_host() -> impl Strategy<Value = HostConfig> {
-    (2usize..=4, proptest::collection::vec((5u32..=60, 2u64..=100, any::<bool>()), 1..=12))
+    (
+        2usize..=4,
+        proptest::collection::vec((5u32..=60, 2u64..=100, any::<bool>()), 1..=12),
+    )
         .prop_map(|(cores, vms)| {
             let mut host = HostConfig::new(cores);
             let mut budget_ppm = cores as u64 * 1_000_000;

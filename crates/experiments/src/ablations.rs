@@ -114,10 +114,8 @@ fn l2_point(machine: Machine, epoch: Option<Nanos>, rate: f64, duration: Nanos) 
         host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
     }
     let p = plan(&host, &PlannerOptions::default()).expect("plans");
-    let sched = Tableau::from_plan_with_epoch(
-        &p,
-        epoch.unwrap_or(tableau_core::level2::DEFAULT_EPOCH),
-    );
+    let sched =
+        Tableau::from_plan_with_epoch(&p, epoch.unwrap_or(tableau_core::level2::DEFAULT_EPOCH));
     let mut sim = Sim::new(machine, Box::new(sched));
     let vantage = sim.add_vcpu(Box::new(HttpServer::new(100 * 1024)), 0, false);
     for i in 1..n_cores * 4 {

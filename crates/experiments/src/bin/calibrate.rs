@@ -13,32 +13,50 @@ fn main() {
     for kind in [SchedKind::Credit, SchedKind::Rtds, SchedKind::Tableau] {
         for rate in [1000.0, 1200.0, 1400.0, 1600.0] {
             let p = measure(m, kind, true, Background::Io, 1, rate, dur);
-            println!("{:8} rate {:5.0} achieved {:6.1} mean {:8.2} p99 {:8.2}",
-                p.scheduler, p.load.offered_rps, p.load.achieved_rps, p.load.mean_ms, p.load.p99_ms);
+            println!(
+                "{:8} rate {:5.0} achieved {:6.1} mean {:8.2} p99 {:8.2}",
+                p.scheduler, p.load.offered_rps, p.load.achieved_rps, p.load.mean_ms, p.load.p99_ms
+            );
         }
     }
     println!("--- capped 1 MiB, IO BG (paper: Credit beats Tableau) ---");
     for kind in [SchedKind::Credit, SchedKind::Tableau] {
         for rate in [40.0, 60.0, 80.0, 100.0, 120.0] {
             let p = measure(m, kind, true, Background::Io, 1024, rate, dur);
-            println!("{:8} rate {:5.0} achieved {:6.1} mean {:8.2} p99 {:8.2}",
-                p.scheduler, p.load.offered_rps, p.load.achieved_rps, p.load.mean_ms, p.load.p99_ms);
+            println!(
+                "{:8} rate {:5.0} achieved {:6.1} mean {:8.2} p99 {:8.2}",
+                p.scheduler, p.load.offered_rps, p.load.achieved_rps, p.load.mean_ms, p.load.p99_ms
+            );
         }
     }
     println!("--- uncapped 100 KiB, IO BG (paper: Tableau > Credit2 > Credit) ---");
     for kind in [SchedKind::Credit, SchedKind::Credit2, SchedKind::Tableau] {
         for rate in [50.0, 200.0, 400.0, 600.0, 800.0, 1000.0] {
             let p = measure(m, kind, false, Background::Io, 100, rate, dur);
-            println!("{:8} rate {:5.0} achieved {:6.1} mean {:8.2} p99 {:8.2}",
-                p.scheduler, p.load.offered_rps, p.load.achieved_rps, p.load.mean_ms, p.load.p99_ms);
+            println!(
+                "{:8} rate {:5.0} achieved {:6.1} mean {:8.2} p99 {:8.2}",
+                p.scheduler, p.load.offered_rps, p.load.achieved_rps, p.load.mean_ms, p.load.p99_ms
+            );
         }
     }
-    println!("--- capped 100 KiB IO BG vs uncapped (paper: uncapped Tableau ~850 vs capped ~600) ---");
+    println!(
+        "--- capped 100 KiB IO BG vs uncapped (paper: uncapped Tableau ~850 vs capped ~600) ---"
+    );
     for capped in [true, false] {
         for rate in [400.0, 500.0, 600.0, 700.0, 800.0, 900.0] {
-            let p = measure(m, SchedKind::Tableau, capped, Background::Io, 100, rate, dur);
-            println!("tableau capped={:5} rate {:5.0} achieved {:6.1} p99 {:8.2}",
-                capped, p.load.offered_rps, p.load.achieved_rps, p.load.p99_ms);
+            let p = measure(
+                m,
+                SchedKind::Tableau,
+                capped,
+                Background::Io,
+                100,
+                rate,
+                dur,
+            );
+            println!(
+                "tableau capped={:5} rate {:5.0} achieved {:6.1} p99 {:8.2}",
+                capped, p.load.offered_rps, p.load.achieved_rps, p.load.p99_ms
+            );
         }
     }
 }

@@ -1,23 +1,114 @@
 //! CLI entry point for the experiment harness.
 //!
-//! Usage: `experiments <fig3|fig4|tab1|tab2|fig5|fig6|fig7|fig8|all>
-//! [--quick]`. `fig3`/`fig4` and `tab1`/`tab2` are generated together
-//! (they share their runs).
+//! Usage: `experiments <fig3|fig4|tab1|tab2|fig5|fig6|fig7|fig8|robustness|all>
+//! [--quick] [--seed <u64>]`. `fig3`/`fig4` and `tab1`/`tab2` are generated
+//! together (they share their runs).
+//!
+//! Bad input never panics: every user error exits with code 1 and a
+//! one-line `error: ...` diagnostic.
 
+use std::fmt;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: experiments <id>... [--quick] [--seed <u64>]\n\
+    known ids: fig3 fig4 tab1 tab2 fig5 fig6 fig7 fig8 planner overheads \
+    intrinsic ping ablations scaling latency_sweep robustness all";
+
+/// A user-input problem, rendered as a single diagnostic line.
+#[derive(Debug)]
+enum CliError {
+    UnknownFlag(String),
+    MissingValue(&'static str),
+    BadValue(&'static str, String),
+    UnknownExperiment(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            CliError::MissingValue(flag) => write!(f, "flag '{flag}' needs a value"),
+            CliError::BadValue(flag, got) => {
+                write!(f, "flag '{flag}' needs an unsigned integer, got '{got}'")
+            }
+            CliError::UnknownExperiment(id) => write!(f, "unknown experiment '{id}'"),
+        }
+    }
+}
+
+struct Cli {
+    ids: Vec<String>,
+    quick: bool,
+    seed: u64,
+}
+
+const KNOWN_IDS: &[&str] = &[
+    "fig3",
+    "fig4",
+    "planner",
+    "tab1",
+    "tab2",
+    "overheads",
+    "fig5",
+    "intrinsic",
+    "fig6",
+    "ping",
+    "fig7",
+    "fig8",
+    "ablations",
+    "scaling",
+    "latency_sweep",
+    "robustness",
+    "all",
+];
+
+fn parse(args: &[String]) -> Result<Cli, CliError> {
+    let mut cli = Cli {
+        ids: Vec::new(),
+        quick: false,
+        seed: experiments::robustness::DEFAULT_SEED,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--seed" => {
+                let v = it.next().ok_or(CliError::MissingValue("--seed"))?;
+                cli.seed = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--seed", v.clone()))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::UnknownFlag(flag.to_string()));
+            }
+            id => {
+                if !KNOWN_IDS.contains(&id) {
+                    return Err(CliError::UnknownExperiment(id.to_string()));
+                }
+                cli.ids.push(id.to_string());
+            }
+        }
+    }
+    if cli.ids.is_empty() {
+        cli.ids.push("all".to_string());
+    }
+    Ok(cli)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
-    let which = if which.is_empty() { vec!["all"] } else { which };
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    for id in which {
-        match id {
+    let quick = cli.quick;
+    for id in &cli.ids {
+        match id.as_str() {
             "fig3" | "fig4" | "planner" => {
                 experiments::planner_scale::run(quick);
             }
@@ -48,6 +139,9 @@ fn main() -> ExitCode {
             "latency_sweep" => {
                 experiments::latency_sweep::run(quick);
             }
+            "robustness" => {
+                experiments::robustness::run_with_seed(quick, cli.seed);
+            }
             "all" => {
                 experiments::planner_scale::run(quick);
                 experiments::overheads::run(quick);
@@ -58,12 +152,9 @@ fn main() -> ExitCode {
                 experiments::ablations::run(quick);
                 experiments::scaling::run(quick);
                 experiments::latency_sweep::run(quick);
+                experiments::robustness::run_with_seed(quick, cli.seed);
             }
-            other => {
-                eprintln!("unknown experiment '{other}'");
-                eprintln!("known: fig3 fig4 tab1 tab2 fig5 fig6 fig7 fig8 ablations scaling latency_sweep all [--quick]");
-                return ExitCode::FAILURE;
-            }
+            _ => unreachable!("ids validated in parse"),
         }
     }
     ExitCode::SUCCESS

@@ -12,9 +12,11 @@
 //! `T ≈ 12.84 ms`, `C ≈ 3.21 ms`), and RTDS matched to Tableau's
 //! parameters.
 
+use std::fmt;
+
 use rtsched::time::Nanos;
 use schedulers::{Credit, Credit2, Rtds, Tableau};
-use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::planner::{plan, PlanError, PlannerOptions};
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
 use workloads::{CacheThrash, IoStress, LightSystemNoise};
 use xensim::sched::GuestWorkload;
@@ -101,26 +103,78 @@ pub const LATENCY_GOAL: Nanos = Nanos(20_000_000);
 pub const RTDS_BUDGET: Nanos = Nanos(3_209_456);
 pub const RTDS_PERIOD: Nanos = Nanos(12_837_825);
 
+/// Why a requested scenario cannot be built.
+///
+/// User-supplied configuration (CLI flags, sweep parameters) surfaces here
+/// as a value instead of a panic, so the binary can exit with a one-line
+/// diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// `vms_per_core` is outside the supported density range.
+    InvalidVmsPerCore {
+        /// The rejected value.
+        vms_per_core: usize,
+    },
+    /// A scheduler/cap combination the paper's split excludes.
+    UnsupportedCombination {
+        /// Scheduler label.
+        scheduler: &'static str,
+        /// Whether caps were requested.
+        capped: bool,
+        /// Human-readable reason, mirroring the paper's constraint.
+        reason: &'static str,
+    },
+    /// The Tableau planner rejected the resulting host configuration.
+    Plan(PlanError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::InvalidVmsPerCore { vms_per_core } => write!(
+                f,
+                "invalid density: {vms_per_core} VMs per core (supported: 1..=100)"
+            ),
+            ScenarioError::UnsupportedCombination {
+                scheduler,
+                capped,
+                reason,
+            } => write!(
+                f,
+                "{scheduler} cannot run {}: {reason}",
+                if *capped { "capped" } else { "uncapped" }
+            ),
+            ScenarioError::Plan(e) => write!(f, "planner rejected the scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<PlanError> for ScenarioError {
+    fn from(e: PlanError) -> Self {
+        ScenarioError::Plan(e)
+    }
+}
+
 /// Builds a high-density scenario: `vms_per_core` single-vCPU VMs per guest
 /// core, one *vantage VM* (vCPU 0) running `vantage`, all others running
 /// the background workload.
 ///
-/// Returns the simulator (not yet started) and the vantage vCPU id.
-///
-/// # Panics
-///
-/// Panics if the Tableau planner rejects the configuration (cannot happen
-/// for the paper's 4x25% shape) or if an unsupported scheduler/cap
-/// combination is requested (Credit2 capped, RTDS uncapped), mirroring the
-/// paper's scenario split.
-pub fn build_scenario(
+/// Returns the simulator (not yet started) and the vantage vCPU id, or a
+/// [`ScenarioError`] when the requested combination is invalid (unsupported
+/// scheduler/cap pairing, absurd density, or a planner rejection).
+pub fn try_build_scenario(
     machine: Machine,
     vms_per_core: usize,
     kind: SchedKind,
     capped: bool,
     vantage: Box<dyn GuestWorkload>,
     background: Background,
-) -> (Sim, VcpuId) {
+) -> Result<(Sim, VcpuId), ScenarioError> {
+    if vms_per_core == 0 || vms_per_core > 100 {
+        return Err(ScenarioError::InvalidVmsPerCore { vms_per_core });
+    }
     let n_cores = machine.n_cores();
     let n_vms = n_cores * vms_per_core;
     let utilization = Utilization::from_percent(100 / vms_per_core as u32);
@@ -128,16 +182,25 @@ pub fn build_scenario(
     let sched: Box<dyn xensim::VmScheduler> = match kind {
         SchedKind::Credit => Box::new(Credit::new(machine)),
         SchedKind::Credit2 => {
-            assert!(!capped, "Credit2 does not support caps (Sec. 7.2)");
+            if capped {
+                return Err(ScenarioError::UnsupportedCombination {
+                    scheduler: "Credit2",
+                    capped,
+                    reason: "Credit2 does not support caps (Sec. 7.2)",
+                });
+            }
             Box::new(Credit2::new(machine))
         }
         SchedKind::Rtds => {
-            assert!(capped, "RTDS is not work-conserving; capped only");
+            if !capped {
+                return Err(ScenarioError::UnsupportedCombination {
+                    scheduler: "RTDS",
+                    capped,
+                    reason: "RTDS is not work-conserving; capped only",
+                });
+            }
             let mut r = Rtds::new(machine);
-            r.set_default_params(
-                utilization.budget_in(RTDS_PERIOD),
-                RTDS_PERIOD,
-            );
+            r.set_default_params(utilization.budget_in(RTDS_PERIOD), RTDS_PERIOD);
             Box::new(r)
         }
         SchedKind::Tableau => {
@@ -150,7 +213,7 @@ pub fn build_scenario(
             for i in 0..n_vms {
                 host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
             }
-            let p = plan(&host, &PlannerOptions::default()).expect("paper shape must plan");
+            let p = plan(&host, &PlannerOptions::default())?;
             Box::new(Tableau::from_plan(&p))
         }
     };
@@ -174,7 +237,26 @@ pub fn build_scenario(
         }
     }
 
-    (sim, vantage_id)
+    Ok((sim, vantage_id))
+}
+
+/// Infallible wrapper over [`try_build_scenario`] for the paper's known-good
+/// shapes.
+///
+/// # Panics
+///
+/// Panics with the [`ScenarioError`]'s message if the combination is
+/// invalid (Credit2 capped, RTDS uncapped, planner rejection).
+pub fn build_scenario(
+    machine: Machine,
+    vms_per_core: usize,
+    kind: SchedKind,
+    capped: bool,
+    vantage: Box<dyn GuestWorkload>,
+    background: Background,
+) -> (Sim, VcpuId) {
+    try_build_scenario(machine, vms_per_core, kind, capped, vantage, background)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The scheduler line-up for a capped scenario (Sec. 7.2's split).
@@ -234,6 +316,54 @@ mod tests {
             Box::new(IntrinsicLatency::new()),
             Background::None,
         );
+    }
+
+    #[test]
+    fn invalid_combinations_surface_as_typed_errors() {
+        let mk = || Box::new(IntrinsicLatency::new());
+        let m = Machine::small(1);
+        let err = |r: Result<(Sim, VcpuId), ScenarioError>| match r {
+            Ok(_) => panic!("expected a scenario error"),
+            Err(e) => e,
+        };
+        let e = err(try_build_scenario(
+            m,
+            4,
+            SchedKind::Credit2,
+            true,
+            mk(),
+            Background::None,
+        ));
+        assert!(e.to_string().contains("Credit2 does not support caps"));
+        let e = err(try_build_scenario(
+            m,
+            4,
+            SchedKind::Rtds,
+            false,
+            mk(),
+            Background::None,
+        ));
+        assert!(e.to_string().contains("capped only"));
+        let e = err(try_build_scenario(
+            m,
+            0,
+            SchedKind::Tableau,
+            true,
+            mk(),
+            Background::None,
+        ));
+        assert_eq!(e, ScenarioError::InvalidVmsPerCore { vms_per_core: 0 });
+        // Every diagnostic is a single line.
+        for e in [
+            ScenarioError::InvalidVmsPerCore { vms_per_core: 500 },
+            ScenarioError::UnsupportedCombination {
+                scheduler: "Credit2",
+                capped: true,
+                reason: "Credit2 does not support caps (Sec. 7.2)",
+            },
+        ] {
+            assert!(!e.to_string().contains('\n'), "{e}");
+        }
     }
 
     #[test]

@@ -117,7 +117,13 @@ pub fn run(quick: bool) -> Vec<DelayPoint> {
         .collect();
     print_table(
         "Fig. 5: max scheduling delay (ms) via intrinsic-latency probe",
-        &["scenario", "BG", "scheduler", "max delay (ms)", "p99 (<=, ms)"],
+        &[
+            "scenario",
+            "BG",
+            "scheduler",
+            "max delay (ms)",
+            "p99 (<=, ms)",
+        ],
         &rows,
     );
     write_json("fig5_intrinsic_delay", &points);
@@ -146,7 +152,11 @@ mod tests {
             );
             // And it is never trivially zero (a capped CPU hog must wait
             // between its slots).
-            assert!(p.max_delay_ms > 1.0, "{} ms suspiciously low", p.max_delay_ms);
+            assert!(
+                p.max_delay_ms > 1.0,
+                "{} ms suspiciously low",
+                p.max_delay_ms
+            );
         }
     }
 
@@ -182,7 +192,11 @@ mod tests {
         let p = measure(small(), SchedKind::Tableau, true, Background::Cpu, DUR);
         // The guest-side probe can only see gaps at its 100 us quantum
         // granularity; both views must be within a quantum of each other.
-        assert!((p.max_delay_ms - p.sim_delay_ms).abs() <= 0.2,
-            "probe {} vs sim {}", p.max_delay_ms, p.sim_delay_ms);
+        assert!(
+            (p.max_delay_ms - p.sim_delay_ms).abs() <= 0.2,
+            "probe {} vs sim {}",
+            p.max_delay_ms,
+            p.sim_delay_ms
+        );
     }
 }

@@ -91,7 +91,11 @@ pub fn run(quick: bool) -> Vec<LatencyPoint> {
     } else {
         Nanos::from_secs(4)
     };
-    let goals: &[u64] = if quick { &[2, 100] } else { &[2, 5, 20, 50, 100] };
+    let goals: &[u64] = if quick {
+        &[2, 100]
+    } else {
+        &[2, 5, 20, 50, 100]
+    };
     let rate = 800.0; // half of the 1 KiB saturation point
     let points: Vec<LatencyPoint> = goals
         .iter()
@@ -113,7 +117,15 @@ pub fn run(quick: bool) -> Vec<LatencyPoint> {
         .collect();
     print_table(
         "Latency-goal sweep: 1 KiB HTTPS @ 800 rps, capped Tableau, IO BG",
-        &["goal(ms)", "period(ms)", "mean", "p99", "max", "decisions/s", "table"],
+        &[
+            "goal(ms)",
+            "period(ms)",
+            "mean",
+            "p99",
+            "max",
+            "decisions/s",
+            "table",
+        ],
         &rows,
     );
     write_json("latency_goal_sweep", &points);

@@ -11,6 +11,9 @@
 //!
 //! [`ablations`] additionally isolates individual design choices (Credit's
 //! boost, the second-level scheduler and its epoch, the peephole pass).
+//! [`robustness`] goes beyond the paper: it sweeps an injected-fault
+//! intensity (timer jitter, IPI loss, stolen time, overruns) and reports
+//! each scheduler's SLA-violation rate and latency inflation.
 //!
 //! Run via the `experiments` binary: `cargo run --release -p experiments --
 //! all` (or a specific id, with `--quick` for a fast smoke pass). Each
@@ -26,4 +29,5 @@ pub mod overheads;
 pub mod ping_latency;
 pub mod planner_scale;
 pub mod report;
+pub mod robustness;
 pub mod scaling;

@@ -143,7 +143,13 @@ fn print_points(title: &str, points: &[CurvePoint]) {
     print_table(
         title,
         &[
-            "scheduler", "scenario", "KiB", "offered", "achieved", "mean(ms)", "p99(ms)",
+            "scheduler",
+            "scenario",
+            "KiB",
+            "offered",
+            "achieved",
+            "mean(ms)",
+            "p99(ms)",
             "max(ms)",
         ],
         &rows,
@@ -179,7 +185,10 @@ pub fn run_fig7(quick: bool) -> Vec<CurvePoint> {
             quick,
         ));
     }
-    print_points("Fig. 7: nginx HTTPS latency vs. throughput (IO BG)", &points);
+    print_points(
+        "Fig. 7: nginx HTTPS latency vs. throughput (IO BG)",
+        &points,
+    );
     write_json("fig7_nginx_io_bg", &points);
     points
 }
@@ -283,16 +292,40 @@ mod tests {
     #[test]
     fn saturation_raises_latency() {
         // Far beyond peak, latency must blow past any SLA.
-        let p = measure(small(), SchedKind::Tableau, true, Background::Io, 1, 5_000.0, DUR);
-        assert!(p.load.p99_ms > 100.0, "p99 only {} ms at 5k rps", p.load.p99_ms);
+        let p = measure(
+            small(),
+            SchedKind::Tableau,
+            true,
+            Background::Io,
+            1,
+            5_000.0,
+            DUR,
+        );
+        assert!(
+            p.load.p99_ms > 100.0,
+            "p99 only {} ms at 5k rps",
+            p.load.p99_ms
+        );
         // And achieved < offered.
         assert!(p.load.achieved_rps < 3_000.0);
     }
 
     #[test]
     fn low_rate_latency_is_low_for_dynamic_schedulers() {
-        let p = measure(small(), SchedKind::Credit, false, Background::Cpu, 1, 50.0, DUR);
-        assert!(p.load.mean_ms < 20.0, "mean {} ms at 50 rps", p.load.mean_ms);
+        let p = measure(
+            small(),
+            SchedKind::Credit,
+            false,
+            Background::Cpu,
+            1,
+            50.0,
+            DUR,
+        );
+        assert!(
+            p.load.mean_ms < 20.0,
+            "mean {} ms at 50 rps",
+            p.load.mean_ms
+        );
         assert!((p.load.achieved_rps - 50.0).abs() < 5.0);
     }
 }

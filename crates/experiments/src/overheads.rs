@@ -137,15 +137,19 @@ mod tests {
         // A short-but-real run on the small 16-core machine.
         let duration = Nanos::from_millis(400);
         let m = crate::config::guest_machine_16core();
-        let rows: Vec<OverheadRow> =
-            ALL.iter().map(|&k| measure(m, k, duration)).collect();
+        let rows: Vec<OverheadRow> = ALL.iter().map(|&k| measure(m, k, duration)).collect();
         let credit = row(&rows, "Credit");
         let credit2 = row(&rows, "Credit2");
         let rtds = row(&rows, "RTDS");
         let tableau = row(&rows, "Tableau");
 
         for r in &rows {
-            assert!(r.samples > 100, "{} undersampled: {}", r.scheduler, r.samples);
+            assert!(
+                r.samples > 100,
+                "{} undersampled: {}",
+                r.scheduler,
+                r.samples
+            );
         }
         // Schedule: Tableau cheapest; Credit most expensive.
         assert!(tableau.schedule_us < rtds.schedule_us);
@@ -166,20 +170,38 @@ mod tests {
         // The Table 2 headline: RTDS's global lock under 44 cores of I/O
         // churn. Short duration suffices for the contention to compound.
         let duration = Nanos::from_millis(300);
-        let small = measure(crate::config::guest_machine_16core(), SchedKind::Rtds, duration);
-        let big = measure(crate::config::guest_machine_48core(), SchedKind::Rtds, duration);
+        let small = measure(
+            crate::config::guest_machine_16core(),
+            SchedKind::Rtds,
+            duration,
+        );
+        let big = measure(
+            crate::config::guest_machine_48core(),
+            SchedKind::Rtds,
+            duration,
+        );
         assert!(
             big.migrate_us > 2.0 * small.migrate_us,
             "no blow-up: {} vs {}",
             big.migrate_us,
             small.migrate_us
         );
-        assert!(big.migrate_us > 15.0, "absolute cost too low: {}", big.migrate_us);
+        assert!(
+            big.migrate_us > 15.0,
+            "absolute cost too low: {}",
+            big.migrate_us
+        );
         // Tableau stays flat in comparison.
-        let t_small =
-            measure(crate::config::guest_machine_16core(), SchedKind::Tableau, duration);
-        let t_big =
-            measure(crate::config::guest_machine_48core(), SchedKind::Tableau, duration);
+        let t_small = measure(
+            crate::config::guest_machine_16core(),
+            SchedKind::Tableau,
+            duration,
+        );
+        let t_big = measure(
+            crate::config::guest_machine_48core(),
+            SchedKind::Tableau,
+            duration,
+        );
         assert!(t_big.migrate_us < 2.0 * t_small.migrate_us + 1.0);
     }
 }

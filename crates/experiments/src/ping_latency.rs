@@ -58,14 +58,8 @@ pub fn measure(
     bg: Background,
     arrivals: &[Nanos],
 ) -> PingPoint {
-    let (mut sim, vantage) = build_scenario(
-        machine,
-        4,
-        kind,
-        capped,
-        Box::new(PingResponder::new()),
-        bg,
-    );
+    let (mut sim, vantage) =
+        build_scenario(machine, 4, kind, capped, Box::new(PingResponder::new()), bg);
     for &t in arrivals {
         sim.push_external(t, vantage, 0);
     }
@@ -150,7 +144,13 @@ mod tests {
 
     #[test]
     fn all_pings_are_answered() {
-        let p = measure(small(), SchedKind::Tableau, true, Background::Io, &arrivals());
+        let p = measure(
+            small(),
+            SchedKind::Tableau,
+            true,
+            Background::Io,
+            &arrivals(),
+        );
         assert_eq!(p.samples, 600);
     }
 
@@ -187,9 +187,20 @@ mod tests {
     fn capped_tableau_average_reflects_table_rigidity() {
         // Capped: pings arriving between slots wait for the next slot, so
         // the average is far above the uncapped case.
-        let capped = measure(small(), SchedKind::Tableau, true, Background::None, &arrivals());
-        let uncapped =
-            measure(small(), SchedKind::Tableau, false, Background::None, &arrivals());
+        let capped = measure(
+            small(),
+            SchedKind::Tableau,
+            true,
+            Background::None,
+            &arrivals(),
+        );
+        let uncapped = measure(
+            small(),
+            SchedKind::Tableau,
+            false,
+            Background::None,
+            &arrivals(),
+        );
         assert!(
             capped.avg_us > 4.0 * uncapped.avg_us,
             "capped {} vs uncapped {}",

@@ -88,8 +88,7 @@ mod tests {
     fn json_round_trip() {
         std::env::set_var("TABLEAU_RESULTS_DIR", std::env::temp_dir().join("tbl-test"));
         let path = write_json("unit-test", &vec![1, 2, 3]);
-        let back: Vec<i32> =
-            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         assert!(artifact_exists("unit-test"));
         std::env::remove_var("TABLEAU_RESULTS_DIR");
@@ -98,6 +97,6 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(ms(rtsched::time::Nanos::from_micros(1_500)), "1.50");
-        assert_eq!(us(3.14159), "3.14");
+        assert_eq!(us(2.34567), "2.35");
     }
 }

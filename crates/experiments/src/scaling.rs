@@ -74,7 +74,11 @@ pub fn run(quick: bool) -> Vec<ScalingPoint> {
     } else {
         Nanos::from_secs(2)
     };
-    let cores: &[usize] = if quick { &[8, 24] } else { &[8, 12, 22, 33, 44] };
+    let cores: &[usize] = if quick {
+        &[8, 24]
+    } else {
+        &[8, 12, 22, 33, 44]
+    };
     let mut points = Vec::new();
     for &c in cores {
         for kind in [
@@ -101,7 +105,14 @@ pub fn run(quick: bool) -> Vec<ScalingPoint> {
         .collect();
     print_table(
         "Scalability sweep: mean op overheads (us) and total scheduler share",
-        &["cores", "scheduler", "schedule", "wakeup", "migrate", "cycles"],
+        &[
+            "cores",
+            "scheduler",
+            "schedule",
+            "wakeup",
+            "migrate",
+            "cycles",
+        ],
         &rows,
     );
     write_json("scaling_sweep", &points);

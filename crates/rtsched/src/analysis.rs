@@ -294,7 +294,10 @@ mod tests {
         // c > 0. This is precisely why the splitting stage restricts itself
         // to one zero-laxity piece per core.
         let existing = PeriodicTask::with_window(TaskId(0), ms(6), ms(10), ms(6), Nanos::ZERO);
-        assert_eq!(max_zero_laxity_piece(&[existing], ms(10), ms(10), ms(10)), None);
+        assert_eq!(
+            max_zero_laxity_piece(&[existing], ms(10), ms(10), ms(10)),
+            None
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl std::fmt::Display for DpFairError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DpFairError::OverUtilized { demand, capacity } => {
-                write!(f, "cluster over-utilized: demand {demand} > capacity {capacity}")
+                write!(
+                    f,
+                    "cluster over-utilized: demand {demand} > capacity {capacity}"
+                )
             }
             DpFairError::TaskTooBig(t) => write!(f, "task {} has utilization > 1", t.id),
             DpFairError::RoundingOverflow { slice_start } => {
@@ -327,7 +330,10 @@ mod tests {
     fn full_utilization_task_gets_a_whole_core() {
         // U = 1 is handled by the mandatory mechanism: the task's boundary
         // never leaves it slack, so it runs wall-to-wall.
-        let tasks = [PeriodicTask::implicit(TaskId(0), ms(10), ms(10)), imp(1, 5, 10)];
+        let tasks = [
+            PeriodicTask::implicit(TaskId(0), ms(10), ms(10)),
+            imp(1, 5, 10),
+        ];
         let cores = dpfair_schedule(&tasks, 2, ms(10)).unwrap();
         check(&tasks, &cores, ms(10));
     }

@@ -97,10 +97,17 @@ impl std::fmt::Display for GenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GenError::OverUtilized { demand, capacity } => {
-                write!(f, "platform over-utilized: demand {demand} > capacity {capacity}")
+                write!(
+                    f,
+                    "platform over-utilized: demand {demand} > capacity {capacity}"
+                )
             }
             GenError::BadPeriod(t) => {
-                write!(f, "period {} of task {} does not divide the hyperperiod", t.period, t.id)
+                write!(
+                    f,
+                    "period {} of task {} does not divide the hyperperiod",
+                    t.period, t.id
+                )
             }
             GenError::Exhausted(s) => write!(f, "all generation stages failed: {s}"),
             GenError::VerificationFailed(s) => write!(f, "generated schedule invalid: {s}"),
@@ -183,9 +190,7 @@ pub fn generate_schedule_with_preferences(
         let r = if prefs.is_empty() {
             worst_fit_decreasing(tasks, n_cores, horizon)
         } else {
-            crate::partition::worst_fit_decreasing_with_preferences(
-                tasks, n_cores, horizon, prefs,
-            )
+            crate::partition::worst_fit_decreasing_with_preferences(tasks, n_cores, horizon, prefs)
         };
         if r.is_complete() {
             let schedule = simulate_bins(&r.bins, horizon)?;
@@ -210,7 +215,9 @@ pub fn generate_schedule_with_preferences(
     // Stage 3: clustered optimal scheduling.
     match clustered_schedule(tasks, n_cores, horizon, opts) {
         Ok((schedule, split)) => finish(tasks, schedule, Stage::Clustered, split),
-        Err(e) => Err(GenError::Exhausted(format!("{last_error}; clustering: {e}"))),
+        Err(e) => Err(GenError::Exhausted(format!(
+            "{last_error}; clustering: {e}"
+        ))),
     }
 }
 
@@ -245,11 +252,8 @@ fn finish(
     // Report every task with allocations on >1 core (covers DP-Fair
     // migrations too, not just C=D splits).
     for t in tasks {
-        let mut cores_used: Vec<usize> = schedule
-            .segments_of(t.id)
-            .iter()
-            .map(|(c, _)| *c)
-            .collect();
+        let mut cores_used: Vec<usize> =
+            schedule.segments_of(t.id).iter().map(|(c, _)| *c).collect();
         cores_used.sort_unstable();
         cores_used.dedup();
         if cores_used.len() > 1 && !split_tasks.contains(&t.id) {

@@ -40,7 +40,7 @@ pub fn divisors(n: u64) -> Vec<u64> {
     let mut large = Vec::new();
     let mut d = 1u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d * d != n {
                 large.push(n / d);
@@ -133,7 +133,9 @@ mod tests {
     fn divisors_are_sorted_and_divide() {
         let ds = divisors(STANDARD_HYPERPERIOD.as_nanos());
         assert!(ds.windows(2).all(|w| w[0] < w[1]));
-        assert!(ds.iter().all(|d| STANDARD_HYPERPERIOD.as_nanos() % d == 0));
+        assert!(ds
+            .iter()
+            .all(|d| STANDARD_HYPERPERIOD.as_nanos().is_multiple_of(*d)));
     }
 
     #[test]
@@ -181,7 +183,10 @@ mod tests {
         let cands = PeriodCandidates::standard();
         assert!(cands.smallest() >= MIN_ENFORCEABLE_PERIOD);
         // The smallest divisor of H above 100,000 ns.
-        assert_eq!(STANDARD_HYPERPERIOD.as_nanos() % cands.smallest().as_nanos(), 0);
+        assert_eq!(
+            STANDARD_HYPERPERIOD.as_nanos() % cands.smallest().as_nanos(),
+            0
+        );
     }
 
     #[test]

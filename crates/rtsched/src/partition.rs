@@ -55,11 +55,7 @@ impl CoreBins {
         }
         // Fast path: a core holding only implicit-deadline tasks is
         // schedulable iff demand fits, which was just checked.
-        if task.deadline == task.period
-            && self.cores[core]
-                .iter()
-                .all(|t| t.deadline == t.period)
-        {
+        if task.deadline == task.period && self.cores[core].iter().all(|t| t.deadline == t.period) {
             return true;
         }
         let mut with = self.cores[core].clone();

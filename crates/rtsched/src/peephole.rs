@@ -38,11 +38,7 @@ impl PeepholeReport {
 }
 
 /// Rebuilds one core's segment list with the window at `i..i+3` replaced.
-fn with_window_replaced(
-    segments: &[Segment],
-    i: usize,
-    replacement: [Segment; 2],
-) -> Vec<Segment> {
+fn with_window_replaced(segments: &[Segment], i: usize, replacement: [Segment; 2]) -> Vec<Segment> {
     let mut out = Vec::with_capacity(segments.len() - 1);
     out.extend_from_slice(&segments[..i]);
     out.extend_from_slice(&replacement);

@@ -228,9 +228,8 @@ mod tests {
 
     #[test]
     fn segment_lookup() {
-        let cs =
-            CoreSchedule::from_segments(vec![seg(0, 10, 1), seg(20, 30, 2), seg(30, 40, 3)])
-                .unwrap();
+        let cs = CoreSchedule::from_segments(vec![seg(0, 10, 1), seg(20, 30, 2), seg(30, 40, 3)])
+            .unwrap();
         assert_eq!(cs.segment_at(Nanos(0)).unwrap().task, TaskId(1));
         assert_eq!(cs.segment_at(Nanos(9)).unwrap().task, TaskId(1));
         assert!(cs.segment_at(Nanos(10)).is_none()); // idle gap

@@ -102,7 +102,8 @@ fn place_with_splitting(
             // consume it entirely) and must itself be at least `min_piece`,
             // so the table never contains un-enforceable slivers.
             let cap = remaining.cost;
-            if let Some(c) = max_zero_laxity_piece(&bins.cores[core], task.period, cap, bins.horizon)
+            if let Some(c) =
+                max_zero_laxity_piece(&bins.cores[core], task.period, cap, bins.horizon)
             {
                 let c = if c >= remaining.cost {
                     remaining.cost
@@ -129,13 +130,8 @@ fn place_with_splitting(
             });
         };
 
-        let piece = PeriodicTask::with_window(
-            remaining.id,
-            c,
-            remaining.period,
-            c,
-            remaining.offset,
-        );
+        let piece =
+            PeriodicTask::with_window(remaining.id, c, remaining.period, c, remaining.offset);
         debug_assert!(piece.is_valid());
         bins.assign(core, piece);
         zero_laxity_on[core] = true;

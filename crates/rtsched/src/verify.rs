@@ -279,7 +279,8 @@ mod tests {
         // Force an overlapping layout through a second core list trick:
         // build with from_segments would reject, so mutate via push panics;
         // instead simulate a generator bug with two cores and (3).
-        s.cores.push(CoreSchedule::from_segments(vec![seg(0, 6, 1)]).unwrap());
+        s.cores
+            .push(CoreSchedule::from_segments(vec![seg(0, 6, 1)]).unwrap());
         assert!(verify_schedule(&tasks, &s).is_empty());
     }
 

@@ -51,12 +51,7 @@ fn arb_taskset(cores: usize) -> impl Strategy<Value = Vec<PeriodicTask>> {
             // Trim tasks until the exact demand fits the platform.
             let horizon = Nanos::from_micros(HYPER_US);
             let capacity = horizon * cores as u64;
-            while tasks
-                .iter()
-                .map(|t| t.cost_per(horizon))
-                .sum::<Nanos>()
-                > capacity
-            {
+            while tasks.iter().map(|t| t.cost_per(horizon)).sum::<Nanos>() > capacity {
                 tasks.pop();
             }
             tasks

@@ -155,9 +155,8 @@ mod tests {
         // Table 1 ordering on the Schedule row: Credit > Credit2 > RTDS >
         // Tableau, at 16-core scale with ~2 runnable entries per queue.
         let credit = CreditCosts::default();
-        let credit_sched_16 = credit.schedule_base
-            + credit.schedule_scan * 2
-            + credit.schedule_balance_per_core * 12;
+        let credit_sched_16 =
+            credit.schedule_base + credit.schedule_scan * 2 + credit.schedule_balance_per_core * 12;
         let credit2 = Credit2Costs::default();
         let c2_sched = credit2.schedule_base + credit2.schedule_lock_hold;
         let rtds = RtdsCosts::default();

@@ -20,9 +20,7 @@
 //! every 10 ms with accounting every third tick.
 
 use rtsched::time::Nanos;
-use xensim::sched::{
-    DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
-};
+use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
 use xensim::Machine;
 
 use crate::costs::CreditCosts;
@@ -153,8 +151,7 @@ impl Credit {
                 if total_weight == 0 {
                     0
                 } else {
-                    (period.as_nanos() as u128 * self.machine.n_cores() as u128
-                        * v.weight as u128
+                    (period.as_nanos() as u128 * self.machine.n_cores() as u128 * v.weight as u128
                         / total_weight as u128) as i64
                 }
             }
@@ -358,7 +355,7 @@ impl VmScheduler for Credit {
         // Core 0's tick drives global accounting.
         if core == 0 {
             self.ticks += 1;
-            if self.ticks % self.params.acct_every == 0 {
+            if self.ticks.is_multiple_of(self.params.acct_every) {
                 self.accounting();
                 resched = true;
             }

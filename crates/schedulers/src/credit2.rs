@@ -18,9 +18,7 @@
 //! against Credit/Credit2.
 
 use rtsched::time::Nanos;
-use xensim::sched::{
-    DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
-};
+use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
 use xensim::{Machine, SimLock};
 
 use crate::costs::Credit2Costs;
@@ -80,9 +78,7 @@ impl Credit2 {
             .iter()
             .enumerate()
             .filter(|(i, v)| {
-                v.socket == socket
-                    && view.is_runnable(VcpuId(*i as u32))
-                    && v.running_on.is_none()
+                v.socket == socket && view.is_runnable(VcpuId(*i as u32)) && v.running_on.is_none()
             })
             .max_by_key(|(_, v)| (v.credits, std::cmp::Reverse(v.rr_seq)))
             .map(|(i, _)| VcpuId(i as u32))
@@ -149,8 +145,8 @@ impl VmScheduler for Credit2 {
         // Place on an idle core of the socket; otherwise preempt the core
         // running the lowest-credit vCPU if we beat it by the ratelimit
         // margin (no boost: pure credit comparison).
-        let sockets_cores = (0..self.machine.n_cores())
-            .filter(|&c| self.machine.socket_of(c) == socket);
+        let sockets_cores =
+            (0..self.machine.n_cores()).filter(|&c| self.machine.socket_of(c) == socket);
         let mut idle = None;
         let mut worst: Option<(usize, i64)> = None;
         for c in sockets_cores {
@@ -170,8 +166,7 @@ impl VmScheduler for Credit2 {
         let target = match idle {
             Some(c) => Some(c),
             None => worst.and_then(|(c, w)| {
-                (self.vcpus[vcpu.0 as usize].credits > w + RATELIMIT.as_nanos() as i64)
-                    .then_some(c)
+                (self.vcpus[vcpu.0 as usize].credits > w + RATELIMIT.as_nanos() as i64).then_some(c)
             }),
         };
         WakeupPlan {
@@ -259,10 +254,7 @@ mod tests {
         assert!(total > Nanos::from_millis(1_900), "total {total}");
         for &v in &vs {
             let s = sim.stats().vcpu(v).service;
-            assert!(
-                s > Nanos::from_millis(400),
-                "vCPU {v} starved with {s}"
-            );
+            assert!(s > Nanos::from_millis(400), "vCPU {v} starved with {s}");
         }
     }
 

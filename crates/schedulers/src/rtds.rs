@@ -15,9 +15,7 @@
 //! evaluates it only in capped scenarios).
 
 use rtsched::time::Nanos;
-use xensim::sched::{
-    DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
-};
+use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
 use xensim::{Machine, SimLock};
 
 use crate::costs::RtdsCosts;

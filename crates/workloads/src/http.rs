@@ -161,7 +161,8 @@ impl HttpServer {
         let (accepted, completion) = self.ring.offer(now, job.bytes_left);
         job.bytes_left -= accepted;
         if job.bytes_left == 0 {
-            self.latencies.record(completion.saturating_sub(job.arrival));
+            self.latencies
+                .record(completion.saturating_sub(job.arrival));
             self.completed += 1;
         } else {
             let space_at = self.ring.time_for_space(now, job.bytes_left);
@@ -218,11 +219,7 @@ impl GuestWorkload for HttpServer {
             self.current = Some(job);
             return GuestAction::Compute(self.costs.chunk_cpu(self.file_size, first));
         }
-        if let Some(&(wake, _)) = self
-            .sleeping
-            .iter()
-            .min_by_key(|&&(wake, _)| wake)
-        {
+        if let Some(&(wake, _)) = self.sleeping.iter().min_by_key(|&&(wake, _)| wake) {
             return GuestAction::BlockFor(wake.saturating_sub(now).max(Nanos(1)));
         }
         GuestAction::Block

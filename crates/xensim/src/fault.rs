@@ -1,0 +1,445 @@
+//! Deterministic fault injection: platform interference for robustness
+//! experiments.
+//!
+//! The paper's evaluation runs on a quiet, dedicated testbed; production
+//! hosts are not so polite. This module injects five classes of platform
+//! misbehaviour into the simulator, all seeded and reproducible:
+//!
+//! 1. **Timer faults** — tick jitter and coarsening: core timers fire late
+//!    by a bounded random amount and/or only on a coarse granularity
+//!    (modelling `CONFIG_HZ` limits, timer coalescing, deep C-state exit).
+//! 2. **IPI faults** — delivery delay and outright loss. A lost IPI is
+//!    re-delivered after a bounded interval (the periodic re-check every
+//!    real interrupt path has), so wake-ups are delayed, never dropped.
+//! 3. **Stolen time** — intervals on selected cores where the CPU simply
+//!    does not execute the guest (SMIs, host kernel work, a co-located
+//!    hypervisor tenant). Wall time passes; guest progress does not.
+//! 4. **Burst overruns** — guests demanding more CPU than their declared
+//!    burst (mis-estimated workloads); schedulers must clamp them.
+//! 5. **Table-switch interruption** — the planner push is interrupted
+//!    mid-switch; the two-phase install protocol in `tableau-core` must
+//!    roll back to a consistent table.
+//!
+//! Determinism contract: each class draws from its **own** RNG stream
+//! derived from the master seed, and a class at zero intensity performs
+//! **no draws and schedules no events** — a configuration with every class
+//! inactive replays bit-for-bit identically to a simulation with no fault
+//! engine at all.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use rtsched::time::Nanos;
+
+/// Timer tick jitter and coarsening.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimerFaults {
+    /// Maximum extra delay added to each core timer/tick (uniform draw).
+    pub jitter: Nanos,
+    /// Timer granularity: firing times are rounded **up** to a multiple of
+    /// this quantum (zero = precise timers).
+    pub coarsen: Nanos,
+}
+
+impl TimerFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        self.jitter > Nanos::ZERO || self.coarsen > Nanos::ZERO
+    }
+}
+
+/// IPI delivery faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IpiFaults {
+    /// Probability an IPI is lost entirely.
+    pub loss_prob: f64,
+    /// Maximum extra delivery latency for IPIs that do arrive.
+    pub extra_delay: Nanos,
+    /// A lost IPI's effect (a re-schedule) is re-delivered after this
+    /// interval — the fallback poll every real interrupt path has.
+    pub redeliver_after: Nanos,
+}
+
+impl IpiFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        self.loss_prob > 0.0 || self.extra_delay > Nanos::ZERO
+    }
+}
+
+/// Stolen-time intervals on selected cores.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StolenFaults {
+    /// Cores subject to theft (others are never touched — the basis of the
+    /// cross-core isolation experiments).
+    pub cores: Vec<usize>,
+    /// Mean interval between thefts on each affected core (actual gaps are
+    /// drawn uniformly from `[interval/2, 3*interval/2]`).
+    pub interval: Nanos,
+    /// Maximum duration of one theft (drawn from `[duration/2, duration]`).
+    pub duration: Nanos,
+}
+
+impl StolenFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        !self.cores.is_empty() && self.interval > Nanos::ZERO && self.duration > Nanos::ZERO
+    }
+}
+
+/// Guest bursts overrunning their declared demand.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverrunFaults {
+    /// Probability a compute burst overruns.
+    pub prob: f64,
+    /// Maximum extra demand added to an overrunning burst.
+    pub max_extra: Nanos,
+}
+
+impl OverrunFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        self.prob > 0.0 && self.max_extra > Nanos::ZERO
+    }
+}
+
+/// Mid-switch interruption of planner table pushes.
+///
+/// The simulator core never installs tables itself; harnesses that push
+/// tables consult [`FaultEngine::switch_interrupted`] and drive the
+/// two-phase begin/commit/abort protocol accordingly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SwitchFaults {
+    /// Probability a table install is interrupted before commit.
+    pub interrupt_prob: f64,
+}
+
+impl SwitchFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        self.interrupt_prob > 0.0
+    }
+}
+
+/// Full fault-injection configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Master seed; each class derives an independent stream from it.
+    pub seed: u64,
+    /// Timer jitter/coarsening.
+    pub timer: TimerFaults,
+    /// IPI delay/loss.
+    pub ipi: IpiFaults,
+    /// Stolen-time intervals.
+    pub stolen: StolenFaults,
+    /// Guest burst overruns.
+    pub overrun: OverrunFaults,
+    /// Table-switch interruption.
+    pub table_switch: SwitchFaults,
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing (equivalent to no engine).
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// Whether any class injects anything.
+    pub fn any_active(&self) -> bool {
+        self.timer.is_active()
+            || self.ipi.is_active()
+            || self.stolen.is_active()
+            || self.overrun.is_active()
+            || self.table_switch.is_active()
+    }
+
+    /// A preset scaling every class by `intensity` in `[0, 1]`.
+    ///
+    /// At intensity 0 every class is inactive (see the module-level
+    /// determinism contract); at intensity 1 the preset injects 50 µs timer
+    /// jitter, 100 µs timer granularity, 5% IPI loss with up to 20 µs extra
+    /// delay, ~10% stolen time on core 0 (up to 500 µs every ~5 ms), 10%
+    /// burst overruns of up to 200 µs, and a 50% chance of interrupting
+    /// each table switch.
+    pub fn with_intensity(seed: u64, intensity: f64) -> FaultConfig {
+        let i = intensity.clamp(0.0, 1.0);
+        let scale = |ns: u64| Nanos((ns as f64 * i) as u64);
+        FaultConfig {
+            seed,
+            timer: TimerFaults {
+                jitter: scale(50_000),
+                coarsen: scale(100_000),
+            },
+            ipi: IpiFaults {
+                loss_prob: 0.05 * i,
+                extra_delay: scale(20_000),
+                redeliver_after: Nanos(100_000),
+            },
+            stolen: StolenFaults {
+                cores: vec![0],
+                interval: Nanos(5_000_000),
+                duration: scale(500_000),
+            },
+            overrun: OverrunFaults {
+                prob: 0.1 * i,
+                max_extra: scale(200_000),
+            },
+            table_switch: SwitchFaults {
+                interrupt_prob: 0.5 * i,
+            },
+        }
+    }
+}
+
+/// Fate of one injected IPI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpiFate {
+    /// Delivered normally.
+    Deliver,
+    /// Delivered with this much extra latency.
+    Late(Nanos),
+    /// Lost; its effect is re-delivered after the given interval.
+    Lost {
+        /// Delay until the fallback re-delivery.
+        redeliver_after: Nanos,
+    },
+}
+
+/// The seeded fault-injection engine driven by [`crate::Sim`].
+///
+/// Per-class RNG streams keep classes independent: changing the IPI loss
+/// rate does not perturb the stolen-time schedule, so sweeps vary exactly
+/// one variable at a time.
+#[derive(Debug)]
+pub struct FaultEngine {
+    cfg: FaultConfig,
+    timer_rng: SmallRng,
+    ipi_rng: SmallRng,
+    stolen_rng: SmallRng,
+    overrun_rng: SmallRng,
+    switch_rng: SmallRng,
+}
+
+impl FaultEngine {
+    /// Builds an engine from a configuration.
+    pub fn new(cfg: FaultConfig) -> FaultEngine {
+        // Fixed per-class stream tags; seed_from_u64 runs splitmix64, so
+        // nearby tags still yield uncorrelated streams.
+        let stream = |tag: u64| {
+            SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(tag))
+        };
+        FaultEngine {
+            timer_rng: stream(1),
+            ipi_rng: stream(2),
+            stolen_rng: stream(3),
+            overrun_rng: stream(4),
+            switch_rng: stream(5),
+            cfg,
+        }
+    }
+
+    /// The configuration the engine was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Adjusts a timer firing time: coarsens (rounds up) then jitters
+    /// (delays). Never moves a timer earlier. No draws when inactive.
+    pub fn adjust_timer(&mut self, at: Nanos) -> Nanos {
+        let t = &self.cfg.timer;
+        if !t.is_active() {
+            return at;
+        }
+        let mut ns = at.as_nanos();
+        if t.coarsen > Nanos::ZERO {
+            let q = t.coarsen.as_nanos();
+            ns = ns.div_ceil(q).saturating_mul(q);
+        }
+        if t.jitter > Nanos::ZERO {
+            ns = ns.saturating_add(self.timer_rng.gen_range(0..=t.jitter.as_nanos()));
+        }
+        Nanos(ns)
+    }
+
+    /// Decides the fate of one IPI. No draws when inactive.
+    pub fn ipi_fate(&mut self) -> IpiFate {
+        let c = &self.cfg.ipi;
+        if !c.is_active() {
+            return IpiFate::Deliver;
+        }
+        if c.loss_prob > 0.0 && self.ipi_rng.gen_bool(c.loss_prob.min(1.0)) {
+            return IpiFate::Lost {
+                redeliver_after: c.redeliver_after.max(Nanos(1)),
+            };
+        }
+        if c.extra_delay > Nanos::ZERO {
+            let extra = Nanos(self.ipi_rng.gen_range(0..=c.extra_delay.as_nanos()));
+            if extra > Nanos::ZERO {
+                return IpiFate::Late(extra);
+            }
+        }
+        IpiFate::Deliver
+    }
+
+    /// Gap until the next theft on an affected core.
+    pub fn theft_gap(&mut self) -> Nanos {
+        let i = self.cfg.stolen.interval.as_nanos();
+        Nanos(
+            self.stolen_rng
+                .gen_range(i / 2..=i.saturating_mul(3) / 2)
+                .max(1),
+        )
+    }
+
+    /// Duration of one theft.
+    pub fn theft_duration(&mut self) -> Nanos {
+        let d = self.cfg.stolen.duration.as_nanos();
+        Nanos(self.stolen_rng.gen_range(d / 2..=d).max(1))
+    }
+
+    /// Extra demand for a compute burst, if this one overruns. No draws
+    /// when inactive.
+    pub fn overrun_extra(&mut self, _declared: Nanos) -> Option<Nanos> {
+        let o = &self.cfg.overrun;
+        if !o.is_active() {
+            return None;
+        }
+        if !self.overrun_rng.gen_bool(o.prob.min(1.0)) {
+            return None;
+        }
+        Some(Nanos(
+            self.overrun_rng.gen_range(1..=o.max_extra.as_nanos()),
+        ))
+    }
+
+    /// Whether the next table switch is interrupted mid-protocol. No draws
+    /// when inactive.
+    pub fn switch_interrupted(&mut self) -> bool {
+        let s = &self.cfg.table_switch;
+        s.is_active() && self.switch_rng.gen_bool(s.interrupt_prob.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_intensity_preset_is_fully_inactive() {
+        let cfg = FaultConfig::with_intensity(7, 0.0);
+        assert!(!cfg.any_active());
+        assert_eq!(
+            cfg,
+            FaultConfig {
+                seed: 7,
+                ipi: IpiFaults {
+                    redeliver_after: Nanos(100_000),
+                    ..IpiFaults::default()
+                },
+                stolen: StolenFaults {
+                    cores: vec![0],
+                    interval: Nanos(5_000_000),
+                    duration: Nanos::ZERO
+                },
+                ..FaultConfig::none()
+            }
+        );
+    }
+
+    #[test]
+    fn full_intensity_preset_activates_every_class() {
+        let cfg = FaultConfig::with_intensity(7, 1.0);
+        assert!(cfg.timer.is_active());
+        assert!(cfg.ipi.is_active());
+        assert!(cfg.stolen.is_active());
+        assert!(cfg.overrun.is_active());
+        assert!(cfg.table_switch.is_active());
+    }
+
+    #[test]
+    fn inactive_classes_pass_through_without_draws() {
+        let mut e = FaultEngine::new(FaultConfig::none());
+        assert_eq!(e.adjust_timer(Nanos(12_345)), Nanos(12_345));
+        assert_eq!(e.ipi_fate(), IpiFate::Deliver);
+        assert_eq!(e.overrun_extra(Nanos(1_000)), None);
+        assert!(!e.switch_interrupted());
+    }
+
+    #[test]
+    fn timer_adjustment_never_moves_earlier() {
+        let mut e = FaultEngine::new(FaultConfig::with_intensity(3, 1.0));
+        for ns in [1u64, 999, 100_000, 12_837_825] {
+            let adj = e.adjust_timer(Nanos(ns));
+            assert!(adj >= Nanos(ns), "{adj} < {ns}");
+        }
+    }
+
+    #[test]
+    fn coarsening_rounds_up_to_the_quantum() {
+        let mut e = FaultEngine::new(FaultConfig {
+            timer: TimerFaults {
+                jitter: Nanos::ZERO,
+                coarsen: Nanos(1_000),
+            },
+            ..FaultConfig::none()
+        });
+        assert_eq!(e.adjust_timer(Nanos(1)), Nanos(1_000));
+        assert_eq!(e.adjust_timer(Nanos(1_000)), Nanos(1_000));
+        assert_eq!(e.adjust_timer(Nanos(1_001)), Nanos(2_000));
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let draws = |seed: u64| {
+            let mut e = FaultEngine::new(FaultConfig::with_intensity(seed, 0.8));
+            let mut out = Vec::new();
+            for _ in 0..32 {
+                out.push((
+                    e.adjust_timer(Nanos(1_000_000)),
+                    e.ipi_fate(),
+                    e.theft_gap(),
+                    e.theft_duration(),
+                    e.overrun_extra(Nanos(50_000)),
+                    e.switch_interrupted(),
+                ));
+            }
+            out
+        };
+        assert_eq!(draws(42), draws(42));
+        assert_ne!(draws(42), draws(43));
+    }
+
+    #[test]
+    fn certain_loss_always_loses() {
+        let mut e = FaultEngine::new(FaultConfig {
+            ipi: IpiFaults {
+                loss_prob: 1.0,
+                extra_delay: Nanos::ZERO,
+                redeliver_after: Nanos(100),
+            },
+            ..FaultConfig::none()
+        });
+        for _ in 0..16 {
+            assert!(matches!(e.ipi_fate(), IpiFate::Lost { .. }));
+        }
+    }
+
+    #[test]
+    fn theft_draws_stay_in_their_ranges() {
+        let mut e = FaultEngine::new(FaultConfig {
+            stolen: StolenFaults {
+                cores: vec![0],
+                interval: Nanos(10_000),
+                duration: Nanos(4_000),
+            },
+            ..FaultConfig::none()
+        });
+        for _ in 0..64 {
+            let g = e.theft_gap();
+            assert!(g >= Nanos(5_000) && g <= Nanos(15_000), "{g}");
+            let d = e.theft_duration();
+            assert!(d >= Nanos(2_000) && d <= Nanos(4_000), "{d}");
+        }
+    }
+}

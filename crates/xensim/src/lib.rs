@@ -19,6 +19,7 @@
 //! Determinism: events are processed in `(time, insertion order)`, so every
 //! experiment replays identically.
 
+pub mod fault;
 pub mod lock;
 pub mod machine;
 pub mod net;
@@ -27,6 +28,7 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 
+pub use fault::{FaultConfig, FaultEngine, IpiFate};
 pub use lock::SimLock;
 pub use machine::Machine;
 pub use net::TxRing;
@@ -34,5 +36,5 @@ pub use sched::{
     GuestAction, GuestWorkload, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
 };
 pub use sim::Sim;
-pub use trace::{TraceBuffer, TraceEvent, TraceSummary};
 pub use stats::{OpKind, OpStats, SimStats};
+pub use trace::{TraceBuffer, TraceEvent, TraceSummary};

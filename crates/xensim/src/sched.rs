@@ -21,16 +21,7 @@ use rtsched::time::Nanos;
 /// depend on the scheduler under test; the Tableau adapter converts (both
 /// are dense `u32` indices).
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct VcpuId(pub u32);
 
@@ -122,8 +113,13 @@ pub trait VmScheduler {
     /// `vcpu` was de-scheduled from `core` (context fully saved) after
     /// having run for `ran`; the scheduler performs budget/credit
     /// accounting and any post-schedule work here.
-    fn on_descheduled(&mut self, vcpu: VcpuId, core: usize, ran: Nanos, now: Nanos)
-        -> DeschedulePlan;
+    fn on_descheduled(
+        &mut self,
+        vcpu: VcpuId,
+        core: usize,
+        ran: Nanos,
+        now: Nanos,
+    ) -> DeschedulePlan;
 
     /// The scheduler's periodic tick interval, if it uses one (Credit burns
     /// credits on 10 ms ticks). Ticks fire per core.
@@ -136,6 +132,17 @@ pub trait VmScheduler {
     fn on_tick(&mut self, core: usize, now: Nanos, view: VcpuView<'_>) -> bool {
         let _ = (core, now, view);
         false
+    }
+
+    /// `duration` of wall time was stolen from `core` at `now` (SMI, host
+    /// kernel work, a co-located tenant) while `victim` was dispatched
+    /// (`None` if the core was idle). The simulator has already charged the
+    /// theft to the core's wall-clock accounting; schedulers that keep their
+    /// own fine-grained budgets (e.g. Tableau's second level) use this hook
+    /// to charge the interference to the offending slot immediately rather
+    /// than discovering it at the next de-schedule.
+    fn on_stolen(&mut self, core: usize, victim: Option<VcpuId>, duration: Nanos, now: Nanos) {
+        let _ = (core, victim, duration, now);
     }
 
     /// Registers a vCPU before the simulation starts. `home` is a placement

@@ -19,6 +19,7 @@ use std::collections::BinaryHeap;
 
 use rtsched::time::Nanos;
 
+use crate::fault::{FaultConfig, FaultEngine, IpiFate};
 use crate::machine::Machine;
 use crate::sched::{GuestAction, GuestWorkload, VcpuId, VcpuView, VmScheduler};
 use crate::stats::{OpKind, SimStats};
@@ -78,6 +79,8 @@ enum Event {
     SelfWake { vcpu: VcpuId, gen: u64 },
     /// Scheduler periodic tick on a core.
     Tick { core: usize },
+    /// Start of a stolen-time interval on a core (fault injection).
+    Stolen { core: usize },
 }
 
 /// A deterministic discrete-event hypervisor simulation.
@@ -93,6 +96,13 @@ pub struct Sim {
     sched: Box<dyn VmScheduler>,
     stats: SimStats,
     trace: TraceBuffer,
+    /// Fault-injection engine; `None` when every fault class is inactive,
+    /// so fault-free runs take exactly the pre-fault code paths (bit-for-bit
+    /// replay compatibility).
+    faults: Option<FaultEngine>,
+    /// Per-core end of the latest stolen-time interval; dispatches on a
+    /// core cannot make guest progress before this.
+    stolen_until: Vec<Nanos>,
     started: bool,
 }
 
@@ -121,8 +131,51 @@ impl Sim {
             sched,
             stats: SimStats::new(n),
             trace: TraceBuffer::new(1 << 20),
+            faults: None,
+            stolen_until: vec![Nanos::ZERO; n],
             started: false,
         }
+    }
+
+    /// Installs a fault-injection configuration (see [`crate::fault`]).
+    ///
+    /// A configuration with every class inactive installs no engine at all,
+    /// so the run replays bit-for-bit identically to one that never called
+    /// this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation started.
+    pub fn set_fault_config(&mut self, cfg: FaultConfig) {
+        assert!(
+            !self.started,
+            "faults must be configured before the first run"
+        );
+        self.faults = cfg.any_active().then(|| FaultEngine::new(cfg));
+    }
+
+    /// The active fault configuration, if an engine is installed.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref().map(|f| f.config())
+    }
+
+    /// Draws whether the next table switch is interrupted mid-protocol
+    /// (`false` without an engine). Harnesses that push tables into a
+    /// running scheduler consult this and drive the two-phase
+    /// begin/commit/abort install accordingly.
+    pub fn fault_switch_interrupted(&mut self) -> bool {
+        self.faults
+            .as_mut()
+            .map(|f| f.switch_interrupted())
+            .unwrap_or(false)
+    }
+
+    /// Replaces the trace ring buffer with one of the given capacity,
+    /// preserving the enabled flag. Existing records are discarded.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        let enabled = self.trace.is_enabled();
+        self.trace = TraceBuffer::new(capacity);
+        self.trace.set_enabled(enabled);
     }
 
     /// Turns on event tracing (a xentrace-style ring buffer; see
@@ -203,6 +256,13 @@ impl Sim {
     }
 
     fn push(&mut self, at: Nanos, event: Event) {
+        // Timer faults perturb hypervisor timers (decision expiry, burst
+        // completion, ticks) only; external events, IPIs, and guest-internal
+        // timers are delivered precisely. Adjustment only ever delays.
+        let at = match (&mut self.faults, event) {
+            (Some(f), Event::CoreTimer { .. } | Event::Tick { .. }) => f.adjust_timer(at),
+            _ => at,
+        };
         self.seq += 1;
         self.events.push(Reverse((at, self.seq, event)));
     }
@@ -220,6 +280,25 @@ impl Sim {
                     self.push(interval, Event::Tick { core });
                 }
             }
+            // Seed the stolen-time schedule on each affected core.
+            if let Some(f) = &mut self.faults {
+                if f.config().stolen.is_active() {
+                    let n = self.cores.len();
+                    let first: Vec<(usize, Nanos)> = f
+                        .config()
+                        .stolen
+                        .cores
+                        .clone()
+                        .into_iter()
+                        .filter(|&c| c < n)
+                        .map(|c| (c, f.theft_gap()))
+                        .collect();
+                    for (core, gap) in first {
+                        let at = self.now + gap;
+                        self.push(at, Event::Stolen { core });
+                    }
+                }
+            }
         }
 
         while let Some(&Reverse((at, _, _))) = self.events.peek() {
@@ -232,6 +311,7 @@ impl Sim {
             self.handle(event);
         }
         self.now = end;
+        self.stats.trace_dropped = self.trace.dropped();
     }
 
     fn handle(&mut self, event: Event) {
@@ -240,8 +320,7 @@ impl Sim {
                 if self.cores[core].gen != gen {
                     return; // superseded decision
                 }
-                if self.cores[core].running.is_some()
-                    && self.now < self.cores[core].decision_until
+                if self.cores[core].running.is_some() && self.now < self.cores[core].decision_until
                 {
                     self.burst_complete(core);
                 } else {
@@ -270,7 +349,40 @@ impl Sim {
                     self.resched(core);
                 }
             }
+            Event::Stolen { core } => self.steal(core),
         }
+    }
+
+    /// A stolen-time interval begins on `core`: wall time passes without
+    /// guest progress, the loss is charged to whoever holds the core (so a
+    /// reservation absorbs its own interference rather than leaking it into
+    /// other slots), and the next theft is scheduled.
+    fn steal(&mut self, core: usize) {
+        let (duration, gap) = {
+            let f = self
+                .faults
+                .as_mut()
+                .expect("stolen event without a fault engine");
+            (f.theft_duration(), f.theft_gap())
+        };
+        self.push(self.now + gap, Event::Stolen { core });
+        self.stats.stolen_time[core] += duration;
+        self.trace
+            .record(self.now, TraceEvent::Stolen { core, duration });
+
+        let victim = self.cores[core].running;
+        if victim.is_some() {
+            // Account progress up to the theft, then shift the progress
+            // clock past it: the interval contributes to wall-clock charging
+            // (`ran_since_dispatch`) but not to guest service.
+            self.apply_progress(core);
+            let c = &mut self.cores[core];
+            c.run_started = c.run_started.max(self.now) + duration;
+            c.ran_since_dispatch += duration;
+        }
+        // Dispatches during the theft cannot start guest progress early.
+        self.stolen_until[core] = (self.now + duration).max(self.stolen_until[core]);
+        self.sched.on_stolen(core, victim, duration, self.now);
     }
 
     /// Applies guest progress made on `core` since `run_started`.
@@ -280,7 +392,10 @@ impl Sim {
             return Nanos::ZERO;
         };
         let ran = self.now.saturating_sub(c.run_started);
-        c.run_started = self.now;
+        // `run_started` can sit in the future after a theft shifted it;
+        // never pull it backwards (that would resurrect the stolen time as
+        // guest progress).
+        c.run_started = self.now.max(c.run_started);
         c.ran_since_dispatch += ran;
         let slot = &mut self.vcpus[vcpu.0 as usize];
         if let Some(rem) = &mut slot.remaining {
@@ -295,11 +410,19 @@ impl Sim {
     fn burst_complete(&mut self, core: usize) {
         self.apply_progress(core);
         let vcpu = self.cores[core].running.expect("burst on idle core");
-        debug_assert_eq!(
-            self.vcpus[vcpu.0 as usize].remaining,
-            Some(Nanos::ZERO),
-            "burst event fired early"
-        );
+        let remaining = self.vcpus[vcpu.0 as usize]
+            .remaining
+            .expect("burst event without a burst");
+        if remaining > Nanos::ZERO {
+            // Stolen time shifted the progress clock after this timer was
+            // armed, so the burst is not actually done; re-arm for the rest.
+            debug_assert!(self.faults.is_some(), "burst event fired early");
+            let c = &self.cores[core];
+            let fire = (c.run_started.max(self.now) + remaining).min(c.decision_until);
+            let gen = c.gen;
+            self.push(fire, Event::CoreTimer { core, gen });
+            return;
+        }
         self.vcpus[vcpu.0 as usize].remaining = None;
         self.advance_workload(core, vcpu);
     }
@@ -310,7 +433,7 @@ impl Sim {
         let action = self.vcpus[vcpu.0 as usize].workload.next(self.now);
         match action {
             GuestAction::Compute(amount) => {
-                let amount = amount.max(Nanos(1));
+                let amount = self.burst_demand(vcpu, amount);
                 self.vcpus[vcpu.0 as usize].remaining = Some(amount);
                 let c = &mut self.cores[core];
                 c.run_started = self.now;
@@ -354,10 +477,39 @@ impl Sim {
 
     fn send_ipis(&mut self, targets: &[usize]) {
         for &t in targets {
+            let mut latency = self.machine.ipi_latency;
+            if let Some(f) = &mut self.faults {
+                match f.ipi_fate() {
+                    IpiFate::Deliver => {}
+                    IpiFate::Late(extra) => latency += extra,
+                    IpiFate::Lost { redeliver_after } => {
+                        // The interrupt is dropped; the target still
+                        // re-schedules when the fallback poll notices.
+                        self.stats.ipis_lost += 1;
+                        self.trace.record(self.now, TraceEvent::IpiLost { core: t });
+                        self.push(self.now + redeliver_after, Event::Resched { core: t });
+                        continue;
+                    }
+                }
+            }
             self.stats.ipis += 1;
             self.trace.record(self.now, TraceEvent::Ipi { core: t });
-            self.push(self.now + self.machine.ipi_latency, Event::Resched { core: t });
+            self.push(self.now + latency, Event::Resched { core: t });
         }
+    }
+
+    /// The effective demand of a compute burst: the declared amount, plus
+    /// any injected overrun.
+    fn burst_demand(&mut self, vcpu: VcpuId, amount: Nanos) -> Nanos {
+        let amount = amount.max(Nanos(1));
+        let Some(extra) = self.faults.as_mut().and_then(|f| f.overrun_extra(amount)) else {
+            return amount;
+        };
+        self.stats.overruns += 1;
+        self.stats.overrun_time += extra;
+        self.trace
+            .record(self.now, TraceEvent::Overrun { vcpu, extra });
+        amount + extra
     }
 
     /// Stops the vCPU currently on `core` (preemption path) and notifies
@@ -410,7 +562,8 @@ impl Sim {
                 "scheduler dispatched blocked {vcpu}"
             );
 
-            self.trace.record(self.now, TraceEvent::Dispatch { core, vcpu });
+            self.trace
+                .record(self.now, TraceEvent::Dispatch { core, vcpu });
 
             // Dispatch latency sample.
             let slot = &mut self.vcpus[vcpu.0 as usize];
@@ -431,15 +584,18 @@ impl Sim {
                 }
             }
 
-            let start = self.now + overhead + cs;
+            // Guest progress starts after overheads and context switch, and
+            // never inside a stolen-time interval on this core.
+            let start = (self.now + overhead + cs).max(self.stolen_until[core]);
             let slot = &mut self.vcpus[vcpu.0 as usize];
             slot.state = VState::Running;
             let c = &mut self.cores[core];
             c.running = Some(vcpu);
             c.run_started = start;
-            // Wall-time accounting: the dispatch overhead and context
-            // switch are charged to the incoming vCPU (see field docs).
-            c.ran_since_dispatch = overhead + cs;
+            // Wall-time accounting: the dispatch overhead, context switch,
+            // and any stolen-time stall are charged to the incoming vCPU
+            // (see field docs).
+            c.ran_since_dispatch = start - self.now;
             c.last_ran = Some(vcpu);
 
             // If the workload has no burst in progress, ask it now.
@@ -447,7 +603,8 @@ impl Sim {
                 let action = self.vcpus[vcpu.0 as usize].workload.next(self.now);
                 match action {
                     GuestAction::Compute(amount) => {
-                        self.vcpus[vcpu.0 as usize].remaining = Some(amount.max(Nanos(1)));
+                        let amount = self.burst_demand(vcpu, amount);
+                        self.vcpus[vcpu.0 as usize].remaining = Some(amount);
                     }
                     GuestAction::Block | GuestAction::BlockFor(_) => {
                         if let GuestAction::BlockFor(delay) = action {
@@ -679,7 +836,11 @@ mod tests {
         sim.run_until(ms(10));
         let s = sim.stats().vcpu(v);
         // ~10 cycles of 100 us compute.
-        assert!(s.service >= Nanos::from_micros(900), "service {}", s.service);
+        assert!(
+            s.service >= Nanos::from_micros(900),
+            "service {}",
+            s.service
+        );
         assert!(s.service <= Nanos::from_micros(1100));
         assert!(s.wakeups >= 8);
         let _ = Periodic; // silence unused struct in this test body
@@ -736,5 +897,204 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Fingerprint of a run for byte-level replay comparisons.
+    fn fingerprint(sim: &Sim) -> (Vec<Nanos>, Vec<Nanos>, u64, u64, u64, Vec<Nanos>) {
+        let s = sim.stats();
+        (
+            s.vcpus.iter().map(|v| v.service).collect(),
+            s.vcpus.iter().map(|v| v.delay_max).collect(),
+            s.ops.get(OpKind::Schedule).count,
+            s.ipis,
+            s.context_switches,
+            s.core_busy.clone(),
+        )
+    }
+
+    #[test]
+    fn zero_intensity_faults_replay_bit_for_bit() {
+        let run = |faults: bool| {
+            let mut sim = Sim::new(Machine::small(2), Box::new(ToyScheduler::new(2)));
+            if faults {
+                sim.set_fault_config(crate::fault::FaultConfig::with_intensity(99, 0.0));
+            }
+            let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            sim.add_vcpu(Box::new(BusyLoop), 1, true);
+            sim.push_external(ms(3), a, 7);
+            sim.run_until(ms(50));
+            fingerprint(&sim)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn zero_intensity_installs_no_engine() {
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        sim.set_fault_config(crate::fault::FaultConfig::with_intensity(1, 0.0));
+        assert!(sim.fault_config().is_none());
+        assert!(!sim.fault_switch_interrupted());
+    }
+
+    #[test]
+    fn stolen_time_is_counted_and_slows_the_victim() {
+        use crate::fault::{FaultConfig, StolenFaults};
+        let run = |stolen: bool| {
+            let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+            if stolen {
+                sim.set_fault_config(FaultConfig {
+                    stolen: StolenFaults {
+                        cores: vec![0],
+                        interval: ms(2),
+                        duration: Nanos::from_micros(400),
+                    },
+                    ..FaultConfig::none()
+                });
+            }
+            let v = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            sim.run_until(ms(100));
+            (sim.stats().vcpu(v).service, sim.stats().stolen_time[0])
+        };
+        let (clean_service, clean_stolen) = run(false);
+        let (service, stolen) = run(true);
+        assert_eq!(clean_stolen, Nanos::ZERO);
+        assert!(stolen > ms(5), "stolen only {stolen}");
+        // Service lost matches the theft, within overhead noise.
+        assert!(
+            service <= clean_service - stolen + ms(1),
+            "service {service} vs clean {clean_service} - stolen {stolen}"
+        );
+        assert!(service >= clean_service - stolen - ms(5));
+    }
+
+    #[test]
+    fn stolen_time_on_an_idle_core_reaches_the_scheduler() {
+        use crate::fault::{FaultConfig, StolenFaults};
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        sim.set_fault_config(FaultConfig {
+            stolen: StolenFaults {
+                cores: vec![0],
+                interval: ms(1),
+                duration: Nanos::from_micros(100),
+            },
+            ..FaultConfig::none()
+        });
+        // No vCPUs at all: thefts hit an idle core and must not crash or
+        // charge service anywhere.
+        sim.run_until(ms(20));
+        assert!(sim.stats().stolen_time[0] > Nanos::ZERO);
+        assert_eq!(sim.stats().core_busy[0], Nanos::ZERO);
+    }
+
+    #[test]
+    fn lost_ipis_are_redelivered() {
+        use crate::fault::{FaultConfig, IpiFaults};
+        struct OneShot {
+            served: bool,
+        }
+        impl GuestWorkload for OneShot {
+            fn next(&mut self, _now: Nanos) -> GuestAction {
+                if self.served {
+                    GuestAction::Block
+                } else {
+                    self.served = true;
+                    GuestAction::Compute(Nanos::from_micros(500))
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        sim.set_fault_config(FaultConfig {
+            ipi: IpiFaults {
+                loss_prob: 1.0,
+                extra_delay: Nanos::ZERO,
+                redeliver_after: Nanos::from_micros(200),
+            },
+            ..FaultConfig::none()
+        });
+        let v = sim.add_vcpu(Box::new(OneShot { served: false }), 0, false);
+        sim.push_external(ms(50), v, 0);
+        sim.run_until(ms(100));
+        // Every wake-up IPI was lost, yet the fallback re-delivery still got
+        // the guest running.
+        assert!(sim.stats().ipis_lost > 0);
+        assert_eq!(sim.stats().vcpu(v).service, Nanos::from_micros(500));
+    }
+
+    #[test]
+    fn overruns_are_counted_and_extend_service() {
+        use crate::fault::{FaultConfig, OverrunFaults};
+        /// 100 us of declared compute, then sleep 900 us, forever.
+        struct Periodic {
+            compute_next: bool,
+        }
+        impl GuestWorkload for Periodic {
+            fn next(&mut self, _now: Nanos) -> GuestAction {
+                self.compute_next = !self.compute_next;
+                if self.compute_next {
+                    GuestAction::BlockFor(Nanos::from_micros(900))
+                } else {
+                    GuestAction::Compute(Nanos::from_micros(100))
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        sim.set_fault_config(FaultConfig {
+            overrun: OverrunFaults {
+                prob: 1.0,
+                max_extra: Nanos::from_micros(50),
+            },
+            ..FaultConfig::none()
+        });
+        let v = sim.add_vcpu(Box::new(Periodic { compute_next: true }), 0, true);
+        sim.run_until(ms(10));
+        let s = sim.stats();
+        assert!(s.overruns > 0);
+        assert!(s.overrun_time > Nanos::ZERO);
+        // The guest consumed its declared demand plus the injected extra.
+        assert!(s.vcpu(v).service > Nanos::from_micros(900));
+    }
+
+    #[test]
+    fn timer_faults_only_delay_and_stay_deterministic() {
+        use crate::fault::{FaultConfig, TimerFaults};
+        let run = || {
+            let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+            sim.set_fault_config(FaultConfig {
+                timer: TimerFaults {
+                    jitter: Nanos::from_micros(30),
+                    coarsen: Nanos::from_micros(100),
+                },
+                ..FaultConfig::none()
+            });
+            let a = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            let b = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            sim.run_until(ms(50));
+            (sim.stats().vcpu(a).service, sim.stats().vcpu(b).service)
+        };
+        let (sa, sb) = run();
+        assert_eq!(run(), (sa, sb));
+        // Jittered quanta still share the core roughly evenly.
+        let ratio = sa.as_nanos() as f64 / sb.as_nanos() as f64;
+        assert!((0.8..1.25).contains(&ratio), "{sa} vs {sb}");
+    }
+
+    #[test]
+    fn trace_capacity_is_bounded_and_drops_are_reported() {
+        let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+        sim.set_trace_capacity(8);
+        sim.enable_tracing();
+        sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.add_vcpu(Box::new(BusyLoop), 0, true);
+        sim.run_until(ms(50));
+        assert_eq!(sim.trace().len(), 8);
+        assert!(sim.trace().dropped() > 0);
+        assert_eq!(sim.stats().trace_dropped, sim.trace().dropped());
     }
 }

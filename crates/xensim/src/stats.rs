@@ -213,6 +213,17 @@ pub struct SimStats {
     pub ipis: u64,
     /// Total context switches performed.
     pub context_switches: u64,
+    /// Per-core wall time stolen by injected platform interference (see
+    /// [`crate::fault`]).
+    pub stolen_time: Vec<Nanos>,
+    /// IPIs lost by fault injection (each is later re-delivered).
+    pub ipis_lost: u64,
+    /// Guest bursts that overran their declared demand (fault injection).
+    pub overruns: u64,
+    /// Total extra demand added by overruns.
+    pub overrun_time: Nanos,
+    /// Trace records dropped by the bounded trace ring buffer.
+    pub trace_dropped: u64,
 }
 
 impl SimStats {
@@ -220,6 +231,7 @@ impl SimStats {
     pub fn new(n_cores: usize) -> SimStats {
         SimStats {
             core_busy: vec![Nanos::ZERO; n_cores],
+            stolen_time: vec![Nanos::ZERO; n_cores],
             ..SimStats::default()
         }
     }
@@ -235,10 +247,7 @@ impl SimStats {
 
     /// The stats of `vcpu` (default-empty if never touched).
     pub fn vcpu(&self, vcpu: VcpuId) -> VcpuStats {
-        self.vcpus
-            .get(vcpu.0 as usize)
-            .copied()
-            .unwrap_or_default()
+        self.vcpus.get(vcpu.0 as usize).copied().unwrap_or_default()
     }
 
     /// Records a dispatch-delay sample for `vcpu` (summary plus

@@ -21,7 +21,11 @@ pub enum TraceEvent {
     /// `vcpu` began running on `core`.
     Dispatch { core: usize, vcpu: VcpuId },
     /// `vcpu` stopped running on `core` (preemption or block) after `ran`.
-    Deschedule { core: usize, vcpu: VcpuId, ran: Nanos },
+    Deschedule {
+        core: usize,
+        vcpu: VcpuId,
+        ran: Nanos,
+    },
     /// `vcpu` became runnable.
     Wake { vcpu: VcpuId },
     /// `vcpu` blocked.
@@ -30,6 +34,13 @@ pub enum TraceEvent {
     Idle { core: usize },
     /// An IPI was sent to `core`.
     Ipi { core: usize },
+    /// `duration` of wall time was stolen from `core` (fault injection).
+    Stolen { core: usize, duration: Nanos },
+    /// An IPI to `core` was lost (fault injection; re-delivered later).
+    IpiLost { core: usize },
+    /// `vcpu`'s burst overran its declared demand by `extra` (fault
+    /// injection).
+    Overrun { vcpu: VcpuId, extra: Nanos },
 }
 
 /// A timestamped trace record.
@@ -244,9 +255,23 @@ mod tests {
         t.set_enabled(true);
         let v = VcpuId(3);
         t.record(us(0), TraceEvent::Dispatch { core: 0, vcpu: v });
-        t.record(us(10), TraceEvent::Deschedule { core: 0, vcpu: v, ran: us(10) });
+        t.record(
+            us(10),
+            TraceEvent::Deschedule {
+                core: 0,
+                vcpu: v,
+                ran: us(10),
+            },
+        );
         t.record(us(20), TraceEvent::Dispatch { core: 1, vcpu: v }); // migration
-        t.record(us(30), TraceEvent::Deschedule { core: 1, vcpu: v, ran: us(10) });
+        t.record(
+            us(30),
+            TraceEvent::Deschedule {
+                core: 1,
+                vcpu: v,
+                ran: us(10),
+            },
+        );
         t.record(us(40), TraceEvent::Dispatch { core: 1, vcpu: v }); // same core
         let s = TraceSummary::from_trace(&t);
         assert_eq!(s.dispatches_of(v), 3);

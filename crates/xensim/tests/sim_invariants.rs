@@ -31,7 +31,10 @@ impl VmScheduler for Chaotic {
     }
 
     fn schedule(&mut self, core: usize, now: Nanos, view: VcpuView<'_>) -> (SchedDecision, Nanos) {
-        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(core as u64);
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(core as u64);
         let n = view.runnable.len();
         let until = now + Nanos::from_micros(1 + self.quantum_us);
         if n == 0 {
@@ -89,9 +92,7 @@ struct Cycler {
 impl GuestWorkload for Cycler {
     fn next(&mut self, _now: Nanos) -> GuestAction {
         self.compute_next = !self.compute_next;
-        if !self.compute_next {
-            GuestAction::Compute(Nanos::from_micros(self.burst_us))
-        } else if self.wait_us == 0 {
+        if !self.compute_next || self.wait_us == 0 {
             GuestAction::Compute(Nanos::from_micros(self.burst_us))
         } else {
             GuestAction::BlockFor(Nanos::from_micros(self.wait_us))

@@ -52,12 +52,36 @@ fn main() {
 
     // Initial deployment: a latency-sensitive API tier plus batch workers.
     let mut fleet = vec![
-        ContainerSpec { name: "api-0", millicores: 300, latency: ms(5) },
-        ContainerSpec { name: "api-1", millicores: 300, latency: ms(5) },
-        ContainerSpec { name: "worker-0", millicores: 700, latency: ms(100) },
-        ContainerSpec { name: "worker-1", millicores: 700, latency: ms(100) },
-        ContainerSpec { name: "worker-2", millicores: 700, latency: ms(100) },
-        ContainerSpec { name: "logship", millicores: 100, latency: ms(50) },
+        ContainerSpec {
+            name: "api-0",
+            millicores: 300,
+            latency: ms(5),
+        },
+        ContainerSpec {
+            name: "api-1",
+            millicores: 300,
+            latency: ms(5),
+        },
+        ContainerSpec {
+            name: "worker-0",
+            millicores: 700,
+            latency: ms(100),
+        },
+        ContainerSpec {
+            name: "worker-1",
+            millicores: 700,
+            latency: ms(100),
+        },
+        ContainerSpec {
+            name: "worker-2",
+            millicores: 700,
+            latency: ms(100),
+        },
+        ContainerSpec {
+            name: "logship",
+            millicores: 100,
+            latency: ms(50),
+        },
     ];
 
     let opts = PlannerOptions {
@@ -66,14 +90,20 @@ fn main() {
     };
     let mut prev_host = host_for(n_cores, &fleet);
     let mut prev_plan = plan(&prev_host, &opts).expect("fleet fits the node");
-    show("initial deployment (6 containers, 2.8 cores requested)", &prev_plan);
+    show(
+        "initial deployment (6 containers, 2.8 cores requested)",
+        &prev_plan,
+    );
 
     // A rolling deploy adds a canary.
-    fleet.push(ContainerSpec { name: "api-canary", millicores: 300, latency: ms(5) });
+    fleet.push(ContainerSpec {
+        name: "api-canary",
+        millicores: 300,
+        latency: ms(5),
+    });
     let host = host_for(n_cores, &fleet);
     let t0 = std::time::Instant::now();
-    let (p, report) = plan_incremental(&prev_host, &prev_plan, &host, &opts)
-        .expect("canary fits");
+    let (p, report) = plan_incremental(&prev_host, &prev_plan, &host, &opts).expect("canary fits");
     println!(
         "deploy api-canary: replanned cores {:?}, reused {:?} ({} us)\n",
         report.replanned_cores,
@@ -88,8 +118,8 @@ fn main() {
     fleet.retain(|c| c.name != "worker-2");
     let host = host_for(n_cores, &fleet);
     let t0 = std::time::Instant::now();
-    let (p, report) = plan_incremental(&prev_host, &prev_plan, &host, &opts)
-        .expect("shrink always fits");
+    let (p, report) =
+        plan_incremental(&prev_host, &prev_plan, &host, &opts).expect("shrink always fits");
     println!(
         "scale down workers: replanned cores {:?}, reused {:?} ({} us)\n",
         report.replanned_cores,

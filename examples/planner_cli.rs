@@ -86,7 +86,11 @@ fn main() {
     };
     let elapsed = t0.elapsed();
 
-    println!("stage: {:?}   time: {:.2} ms", plan.stage, elapsed.as_secs_f64() * 1e3);
+    println!(
+        "stage: {:?}   time: {:.2} ms",
+        plan.stage,
+        elapsed.as_secs_f64() * 1e3
+    );
     println!("split vCPUs: {:?}", plan.split_vcpus);
     println!(
         "coalescing: removed {} allocations, {} total service donated",

@@ -50,7 +50,12 @@ fn main() {
     // 4. The first few allocations of core 0's table.
     println!("\nCore 0 table (first 8 allocations):");
     for a in plan.table.cpu(0).allocations().iter().take(8) {
-        println!("  [{:>12} .. {:>12})  {}", a.start.to_string(), a.end.to_string(), a.vcpu);
+        println!(
+            "  [{:>12} .. {:>12})  {}",
+            a.start.to_string(),
+            a.end.to_string(),
+            a.vcpu
+        );
     }
 
     // 5. Dispatch: who runs on core 0 through the first 2 ms? Each lookup
@@ -61,11 +66,22 @@ fn main() {
     while now < Nanos::from_millis(26) && steps < 8 {
         let slot = plan.table.lookup(0, now);
         match slot.vcpu() {
-            Some(v) => println!("  t={:>9}  run  {v} until {}", now.to_string(), slot.until()),
-            None => println!("  t={:>9}  idle      until {}", now.to_string(), slot.until()),
+            Some(v) => println!(
+                "  t={:>9}  run  {v} until {}",
+                now.to_string(),
+                slot.until()
+            ),
+            None => println!(
+                "  t={:>9}  idle      until {}",
+                now.to_string(),
+                slot.until()
+            ),
         }
         now = plan.table.slot_end_abs(0, now);
         steps += 1;
     }
-    println!("\n(the schedule repeats every {} — that is the whole hot path)", plan.table.len());
+    println!(
+        "\n(the schedule repeats every {} — that is the whole hot path)",
+        plan.table.len()
+    );
 }

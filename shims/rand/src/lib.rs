@@ -1,0 +1,219 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Provides the subset this workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen_range, gen, gen_bool}` over
+//! integer and float ranges. The generator is xoshiro256** seeded via
+//! splitmix64 — deterministic across platforms and runs, which is all the
+//! simulator needs (no cryptographic claims).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core of every generator: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (half-open or inclusive).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a value of a primitive type uniformly at random.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// Types with a natural uniform distribution over their whole domain
+/// (floats: over `[0, 1)`).
+pub trait Standard: Sized {
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Standard for $t {
+            fn sample(rng: &mut dyn RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = f64::sample(rng);
+        let v = self.start + (self.end - self.start) * u;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        (self.start as f64..self.end as f64).sample(rng) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut dyn RngCore) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Xoshiro256 {
+        let mut sm = seed;
+        Xoshiro256 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard generator (xoshiro256**; deterministic, not
+    /// cryptographic — unlike the real `StdRng`).
+    pub type StdRng = super::Xoshiro256;
+    /// Alias; the shim has a single generator.
+    pub type SmallRng = super::Xoshiro256;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0usize..=3);
+            assert!(y <= 3);
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+}

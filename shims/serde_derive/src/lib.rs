@@ -1,0 +1,537 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Parses the item's token stream by hand (no `syn`/`quote` — the build
+//! environment has no registry access) and emits `impl serde::Serialize` /
+//! `impl serde::Deserialize` blocks as strings, re-parsed into a
+//! `TokenStream`.
+//!
+//! Supported shapes: named structs, tuple structs (newtype structs
+//! serialize as their inner value), unit structs, and enums with unit,
+//! tuple and struct variants (externally tagged, matching serde's default).
+//! Supported attributes: `#[serde(transparent)]` on containers,
+//! `#[serde(default)]`, `#[serde(default = "path")]` and
+//! `#[serde(flatten)]` on named fields. Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model ------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` for `#[serde(default)]`, `Some(Some(path))` for
+    /// `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    flatten: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, folding any `#[serde(...)]` flags into
+    /// the returned `FieldAttrs` (plus a `transparent` container flag).
+    fn eat_attrs(&mut self) -> (FieldAttrs, bool) {
+        let mut attrs = FieldAttrs::default();
+        let mut transparent = false;
+        while self.eat_punct('#') {
+            // Inner attributes (`#![..]`) don't occur in derive input.
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: expected [attr] group, got {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if !inner.eat_ident("serde") {
+                continue;
+            }
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                other => panic!("serde_derive: expected serde(...), got {other:?}"),
+            };
+            let mut a = Cursor::new(args.stream());
+            while let Some(tok) = a.next() {
+                let flag = match tok {
+                    TokenTree::Ident(i) => i.to_string(),
+                    TokenTree::Punct(p) if p.as_char() == ',' => continue,
+                    other => panic!("serde_derive: unexpected serde attr token {other:?}"),
+                };
+                match flag.as_str() {
+                    "transparent" => transparent = true,
+                    "flatten" => attrs.flatten = true,
+                    "default" => {
+                        if a.eat_punct('=') {
+                            let lit = match a.next() {
+                                Some(TokenTree::Literal(l)) => l.to_string(),
+                                other => {
+                                    panic!("serde_derive: expected \"path\" after default =, got {other:?}")
+                                }
+                            };
+                            attrs.default = Some(Some(lit.trim_matches('"').to_string()));
+                        } else {
+                            attrs.default = Some(None);
+                        }
+                    }
+                    // Unknown flags (rename, skip, ...) are not used in this
+                    // workspace; fail loudly rather than mis-serializing.
+                    other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+        (attrs, transparent)
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn eat_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips a type (or any expression) up to a top-level comma, tracking
+    /// angle-bracket depth so `Vec<(A, B)>` and `Foo<Bar<T>>` stay intact.
+    fn skip_to_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (attrs, _) = c.eat_attrs();
+        c.eat_vis();
+        let name = c.expect_ident();
+        assert!(
+            c.eat_punct(':'),
+            "serde_derive: expected `:` after field name"
+        );
+        c.skip_to_comma();
+        c.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut n = 0;
+    while c.peek().is_some() {
+        let (_attrs, _) = c.eat_attrs();
+        c.eat_vis();
+        c.skip_to_comma();
+        c.eat_punct(',');
+        n += 1;
+    }
+    n
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let (_, transparent) = c.eat_attrs();
+    c.eat_vis();
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (on `{name}`)");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                let (_attrs, _) = vc.eat_attrs();
+                let vname = vc.expect_ident();
+                let shape = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vc.pos += 1;
+                        VariantShape::Struct(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        vc.pos += 1;
+                        VariantShape::Tuple(n)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip a possible `= discriminant` and the separating comma.
+                vc.skip_to_comma();
+                vc.eat_punct(',');
+                variants.push(Variant { name: vname, shape });
+            }
+            Shape::Enum(variants)
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            if item.transparent {
+                assert_eq!(fields.len(), 1, "transparent needs exactly one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut s = String::from(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    if f.attrs.flatten {
+                        s.push_str(&format!(
+                            "match ::serde::Serialize::to_value(&self.{n}) {{\n\
+                             ::serde::Value::Map(__inner) => __m.extend(__inner),\n\
+                             __other => __m.push((::std::string::String::from(\"{n}\"), __other)),\n\
+                             }}\n",
+                            n = f.name
+                        ));
+                    } else {
+                        s.push_str(&format!(
+                            "__m.push((::std::string::String::from(\"{n}\"), \
+                             ::serde::Serialize::to_value(&self.{n})));\n",
+                            n = f.name
+                        ));
+                    }
+                }
+                s.push_str("::serde::Value::Map(__m)");
+                s
+            }
+        }
+        Shape::TupleStruct(n) => match n {
+            0 => "::serde::Value::Null".to_string(),
+            // Newtype structs serialize as their inner value (serde's
+            // default), which also covers #[serde(transparent)].
+            1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        },
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bl}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            bl = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{n}\"), \
+                                     ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bl} }} => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(vec![{items}]))]),\n",
+                            bl = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_field_init(fields: &[Field], err_ctx: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.attrs.flatten {
+            s.push_str(&format!("{n}: ::serde::Deserialize::from_value(__v)?,\n"));
+            continue;
+        }
+        let missing = match &f.attrs.default {
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+            None => format!(
+                "return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"{err_ctx}: missing field `{n}`\"))"
+            ),
+        };
+        s.push_str(&format!(
+            "{n}: match ::serde::Value::get_field(__m, \"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n"
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            if item.transparent {
+                assert_eq!(fields.len(), 1, "transparent needs exactly one field");
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0].name
+                )
+            } else {
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     ::serde::Error::msg(\"{name}: expected map\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}}})",
+                    gen_named_field_init(fields, name)
+                )
+            }
+        }
+        Shape::TupleStruct(n) => match n {
+            0 => format!("::std::result::Result::Ok({name}())"),
+            1 => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(__s.get({i}).ok_or_else(|| \
+                             ::serde::Error::msg(\"{name}: tuple too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| \
+                     ::serde::Error::msg(\"{name}: expected sequence\"))?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+        },
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__inner)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__s.get({i})\
+                                         .ok_or_else(|| ::serde::Error::msg(\
+                                         \"{name}::{vn}: tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __s = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::msg(\"{name}::{vn}: expected sequence\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {expr},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __v = __inner;\n\
+                             let __m = __inner.as_map().ok_or_else(|| \
+                             ::serde::Error::msg(\"{name}::{vn}: expected map\"))?;\n\
+                             let _ = __v;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{init}}})\n}},\n",
+                            init = gen_named_field_init(fields, &format!("{name}::{vn}"))
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = &__m[0];\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"{name}: expected variant string or single-key map\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

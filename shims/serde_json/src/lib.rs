@@ -1,0 +1,338 @@
+//! Offline stand-in for `serde_json`, built on the serde shim's [`Value`]
+//! data model: a recursive-descent JSON parser and a (pretty) writer.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    T::from_value(&v)
+}
+
+// ---- writer ----------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if !f.is_finite() {
+                out.push_str("null");
+            } else if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_word("null") => Ok(Value::Null),
+            Some(b't') if self.eat_word("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::msg(format!("bad array at offset {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    entries.push((key, self.parse_value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::msg(format!("bad object at offset {}", self.pos))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{08}'),
+                        Some(b'f') => s.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for this
+                            // workspace's data; map lone surrogates to the
+                            // replacement character.
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::msg("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("hi\n").unwrap(), "\"hi\\n\"");
+        let v: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let v: Value = from_str(r#"{"a": [1, {"b": null}], "c": -2.5}"#).unwrap();
+        match v {
+            Value::Map(m) => assert_eq!(m.len(), 2),
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+}

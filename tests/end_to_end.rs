@@ -95,14 +95,8 @@ fn mixed_tiers_get_tier_appropriate_latency() {
 fn tableau_isolates_against_background_interference() {
     let service_with = |bg: Background| -> Nanos {
         let machine = Machine::small(2);
-        let (mut sim, v) = build_scenario(
-            machine,
-            4,
-            SchedKind::Tableau,
-            true,
-            Box::new(BusyLoop),
-            bg,
-        );
+        let (mut sim, v) =
+            build_scenario(machine, 4, SchedKind::Tableau, true, Box::new(BusyLoop), bg);
         sim.push_external(Nanos(1), v, 0);
         sim.run_until(Nanos::from_secs(1));
         sim.stats().vcpu(v).service
@@ -113,8 +107,14 @@ fn tableau_isolates_against_background_interference() {
     let spread = |a: Nanos, b: Nanos| {
         (a.as_nanos() as f64 - b.as_nanos() as f64).abs() / a.as_nanos() as f64
     };
-    assert!(spread(idle, io) < 0.02, "IO bg changed service: {idle} vs {io}");
-    assert!(spread(idle, cpu) < 0.02, "CPU bg changed service: {idle} vs {cpu}");
+    assert!(
+        spread(idle, io) < 0.02,
+        "IO bg changed service: {idle} vs {io}"
+    );
+    assert!(
+        spread(idle, cpu) < 0.02,
+        "CPU bg changed service: {idle} vs {cpu}"
+    );
 }
 
 /// Every scheduler in the repository runs the full high-density scenario
@@ -128,14 +128,8 @@ fn all_schedulers_serve_a_dense_host() {
         (SchedKind::Tableau, true),
     ] {
         let machine = Machine::small(2);
-        let (mut sim, v) = build_scenario(
-            machine,
-            4,
-            kind,
-            capped,
-            Box::new(BusyLoop),
-            Background::Io,
-        );
+        let (mut sim, v) =
+            build_scenario(machine, 4, kind, capped, Box::new(BusyLoop), Background::Io);
         sim.push_external(Nanos(1), v, 0);
         sim.run_until(Nanos::from_secs(1));
         let s = sim.stats().vcpu(v);
@@ -155,14 +149,8 @@ fn all_schedulers_serve_a_dense_host() {
 fn delay_characters_match_the_paper() {
     let max_delay = |kind: SchedKind| -> Nanos {
         let machine = Machine::small(2);
-        let (mut sim, v) = build_scenario(
-            machine,
-            4,
-            kind,
-            true,
-            Box::new(BusyLoop),
-            Background::Io,
-        );
+        let (mut sim, v) =
+            build_scenario(machine, 4, kind, true, Box::new(BusyLoop), Background::Io);
         sim.push_external(Nanos(1), v, 0);
         sim.run_until(Nanos::from_secs(2));
         sim.stats().vcpu(v).delay_max

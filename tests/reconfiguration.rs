@@ -158,7 +158,9 @@ fn switch_preserves_consistency_under_repeated_pushes() {
     for _ in 0..8 {
         sim.run_until(t);
         let now = sim.now();
-        let table = plan(&host_with(8), &PlannerOptions::default()).unwrap().table;
+        let table = plan(&host_with(8), &PlannerOptions::default())
+            .unwrap()
+            .table;
         sim.scheduler_mut()
             .as_any()
             .downcast_mut::<Tableau>()
