@@ -11,7 +11,7 @@ use proptest::prelude::*;
 
 use rtsched::time::Nanos;
 use tableau_core::incremental::plan_incremental;
-use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::planner::{plan, plan_with_fallback, PlannerOptions, ReplanPath};
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
 
 /// A reproducible fleet description: per-VM (utilization %, latency ms,
@@ -145,6 +145,57 @@ proptest! {
             let reused = report.reused_cores.contains(&core);
             let replanned = report.replanned_cores.contains(&core);
             prop_assert!(reused != replanned, "core {core}: reused={reused} replanned={replanned}");
+        }
+    }
+
+    /// The fallback ladder offers the same guarantee: whichever rung ends
+    /// up doing the work — incremental reuse, or the full replan forced by
+    /// a structural change such as a core-count change — the resulting
+    /// per-vCPU max blackout meets every latency goal exactly as a
+    /// from-scratch plan's does.
+    #[test]
+    fn fallback_ladder_blackouts_match_full_replan(
+        (cores, vms) in arb_fleet(),
+        remove_idx in 0usize..8,
+        add in any::<bool>(),
+        grow_cores in any::<bool>(),
+    ) {
+        let opts = PlannerOptions::default();
+        let prev_host = build_host(cores, &vms);
+        let prev = plan(&prev_host, &opts).expect("admissible fleet plans");
+
+        // Growing the machine is a structural change: the incremental rung
+        // must hand over to a full replan inside the ladder.
+        let new_cores = if grow_cores { cores + 1 } else { cores };
+        let host = mutated_host(new_cores, &vms, remove_idx, add);
+
+        let out = plan_with_fallback(Some((&prev_host, &prev)), &host, &opts)
+            .expect("ladder plans an admissible reconfiguration");
+        let full = plan(&host, &opts).expect("mutated fleet plans fully");
+
+        if grow_cores {
+            prop_assert!(
+                matches!(out.path, ReplanPath::Full),
+                "core-count change must take the full-replan rung, took {}",
+                out.path.label()
+            );
+        }
+
+        let slack = tableau_core::postprocess::DEFAULT_THRESHOLD;
+        for (vcpu, spec) in host.vcpus() {
+            let a = out.plan.blackout_of(vcpu).expect("ladder measures every vCPU");
+            let b = full.blackout_of(vcpu).expect("full measures every vCPU");
+            prop_assert!(
+                a <= spec.latency + slack,
+                "{vcpu}: ladder ({}) blackout {a} exceeds goal {} (full: {b})",
+                out.path.label(),
+                spec.latency
+            );
+            prop_assert!(
+                b <= spec.latency + slack,
+                "{vcpu}: full replan blackout {b} exceeds goal {}",
+                spec.latency
+            );
         }
     }
 }

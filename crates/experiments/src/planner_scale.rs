@@ -49,8 +49,11 @@ fn host(n_vms: usize, goal: Nanos) -> HostConfig {
     h
 }
 
-/// Runs the planner-scalability experiment.
-pub fn run(quick: bool) -> Vec<PlannerPoint> {
+/// Measures every cell of the planner-scalability sweep, with no I/O
+/// side effects (tests call this; only [`run`] writes the artifact, so
+/// `cargo test` never overwrites the tracked `results/` JSON with
+/// quick-mode timings).
+pub fn sweep(quick: bool) -> Vec<PlannerPoint> {
     let counts: Vec<usize> = if quick {
         vec![44, 176]
     } else {
@@ -81,7 +84,12 @@ pub fn run(quick: bool) -> Vec<PlannerPoint> {
             });
         }
     }
+    points
+}
 
+/// Runs the planner-scalability experiment: sweep, table, JSON artifact.
+pub fn run(quick: bool) -> Vec<PlannerPoint> {
+    let points = sweep(quick);
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -109,7 +117,8 @@ mod tests {
 
     #[test]
     fn quick_run_has_expected_shape() {
-        let pts = run(true);
+        // `sweep`, not `run`: no artifact write from under `cargo test`.
+        let pts = sweep(true);
         assert_eq!(pts.len(), GOALS_MS.len() * 2);
         // Time grows with VM count for the 1 ms goal (the expensive one).
         let t44 = pts

@@ -45,7 +45,17 @@ pub fn results_dir() -> PathBuf {
 
 /// Serializes `value` as pretty JSON into `results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
-    let path = results_dir().join(format!("{name}.json"));
+    write_json_to(&results_dir(), name, value)
+}
+
+/// Serializes `value` as pretty JSON into `<dir>/<name>.json`.
+///
+/// Tests use this with an explicit temporary directory instead of mutating
+/// the process-global `TABLEAU_RESULTS_DIR` (which races with parallel
+/// tests and can clobber the tracked `results/` artifacts).
+pub fn write_json_to<T: Serialize>(dir: &Path, name: &str, value: &T) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize report");
     let mut f = std::fs::File::create(&path).expect("create report file");
     f.write_all(json.as_bytes()).expect("write report");
@@ -86,12 +96,14 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        std::env::set_var("TABLEAU_RESULTS_DIR", std::env::temp_dir().join("tbl-test"));
-        let path = write_json("unit-test", &vec![1, 2, 3]);
-        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        // Explicit output dir: no process-global env mutation, so this is
+        // safe alongside other tests running in parallel threads.
+        let dir = std::env::temp_dir().join("tbl-test-json-round-trip");
+        let path = write_json_to(&dir, "unit-test", &vec![1, 2, 3]);
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
-        assert!(artifact_exists("unit-test"));
-        std::env::remove_var("TABLEAU_RESULTS_DIR");
+        assert!(path.exists());
     }
 
     #[test]

@@ -37,6 +37,30 @@ pub const DEFAULT_SEED: u64 = 42;
 /// The swept fault intensities.
 pub const INTENSITIES: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
 
+/// Provenance of a sweep artifact: distinguishes a full run (16-core
+/// machine, seconds of simulated time) from a `--quick` smoke run so the
+/// two can never be mistaken for each other in `results/`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustnessMeta {
+    /// True for the `--quick` smoke configuration.
+    pub quick: bool,
+    /// Physical cores on the simulated machine.
+    pub machine_cores: usize,
+    /// Simulated duration per cell (ms).
+    pub duration_ms: f64,
+    /// Fault-stream seed.
+    pub seed: u64,
+}
+
+/// The sweep artifact written to `results/robustness.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustnessReport {
+    /// Run provenance (machine, duration, seed, quick flag).
+    pub meta: RobustnessMeta,
+    /// One entry per (scheduler, cap, intensity) cell.
+    pub points: Vec<RobustnessPoint>,
+}
+
 /// One cell of the robustness sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct RobustnessPoint {
@@ -134,13 +158,12 @@ fn summarize(sim: &Sim, kind: SchedKind, capped: bool, intensity: f64) -> Robust
     }
 }
 
-/// Runs the robustness sweep with the default seed.
-pub fn run(quick: bool) -> Vec<RobustnessPoint> {
-    run_with_seed(quick, DEFAULT_SEED)
-}
-
-/// Runs the robustness sweep: intensity grid x scheduler line-up.
-pub fn run_with_seed(quick: bool, seed: u64) -> Vec<RobustnessPoint> {
+/// Runs the sweep and measures every cell, with no I/O side effects.
+///
+/// Tests exercise this directly; only [`run_with_seed`] (the CLI path)
+/// writes the `results/robustness.json` artifact, so `cargo test` can
+/// never clobber the checked-in full-run data with quick-mode output.
+pub fn sweep(quick: bool, seed: u64) -> RobustnessReport {
     let (machine, duration) = if quick {
         (Machine::small(2), Nanos::from_millis(200))
     } else {
@@ -174,7 +197,27 @@ pub fn run_with_seed(quick: bool, seed: u64) -> Vec<RobustnessPoint> {
         }
     }
 
-    let rows: Vec<Vec<String>> = points
+    RobustnessReport {
+        meta: RobustnessMeta {
+            quick,
+            machine_cores: machine.n_cores(),
+            duration_ms: duration.as_millis_f64(),
+            seed,
+        },
+        points,
+    }
+}
+
+/// Runs the robustness sweep with the default seed.
+pub fn run(quick: bool) -> Vec<RobustnessPoint> {
+    run_with_seed(quick, DEFAULT_SEED)
+}
+
+/// Runs the robustness sweep, prints the table and writes the artifact.
+pub fn run_with_seed(quick: bool, seed: u64) -> Vec<RobustnessPoint> {
+    let report = sweep(quick, seed);
+    let rows: Vec<Vec<String>> = report
+        .points
         .iter()
         .map(|p| {
             vec![
@@ -207,8 +250,8 @@ pub fn run_with_seed(quick: bool, seed: u64) -> Vec<RobustnessPoint> {
         ],
         &rows,
     );
-    write_json("robustness", &points);
-    points
+    write_json("robustness", &report);
+    report.points
 }
 
 #[cfg(test)]
@@ -352,7 +395,13 @@ mod tests {
 
     #[test]
     fn quick_sweep_covers_the_grid_and_fills_inflation() {
-        let points = run(true);
+        // `sweep`, not `run`: the test must never write (and thereby
+        // clobber) the tracked results/robustness.json artifact.
+        let report = sweep(true, DEFAULT_SEED);
+        assert!(report.meta.quick);
+        assert_eq!(report.meta.machine_cores, 2);
+        assert_eq!(report.meta.seed, DEFAULT_SEED);
+        let points = report.points;
         assert_eq!(points.len(), INTENSITIES.len() * 6);
         for p in &points {
             if p.intensity == 0.0 {
