@@ -4,30 +4,82 @@
 //! configurations that are frequently reused" — cloud providers sell a
 //! handful of regular VM sizes, so hosts across a fleet keep asking the
 //! planner for the same table. [`PlanCache`] memoizes plans keyed by the
-//! *semantic* configuration: core count plus the positional list of
-//! `(utilization, latency, capped)` specs. VM names are irrelevant (vCPU
-//! ids are positional), so renaming a fleet hits the cache.
+//! *semantic* configuration: core count, the positional list of
+//! `(utilization, latency, capped)` specs, **and** a canonical encoding of
+//! the [`PlannerOptions`] the plan was computed under. VM names are
+//! irrelevant (vCPU ids are positional), so renaming a fleet hits the
+//! cache; changing the options (a conservative fallback rung, the peephole
+//! pass, a different coalescing threshold) must *miss* — a plan computed
+//! under different options is a different table, and serving it would
+//! silently change the guarantees the tenant was sold.
 //!
 //! Entries are shared via [`Arc`]; eviction is least-recently-used with a
-//! fixed capacity.
+//! fixed capacity. [`PlanCache::stats`] reports aggregate and per-key
+//! hit/miss counts for fleet observability.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use rtsched::generator::Stage;
+
 use crate::planner::{plan, Plan, PlanError, PlannerOptions};
 use crate::vcpu::HostConfig;
 
-/// Semantic cache key of a host configuration.
+/// Canonical, hashable encoding of [`PlannerOptions`].
+///
+/// Every field that can change the produced table participates; two option
+/// values encode equal iff they drive the planner identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct OptionsKey {
+    /// Hyperperiod of the candidate set.
+    hyperperiod: u64,
+    /// The candidate periods themselves (ascending, as stored).
+    periods: Vec<u64>,
+    /// Coalescing threshold in nanoseconds.
+    coalesce_threshold: u64,
+    /// `GenOptions::min_piece` in nanoseconds.
+    min_piece: u64,
+    /// `GenOptions::first_stage`, discretized.
+    first_stage: u8,
+    /// Whether the peephole pass runs.
+    peephole: bool,
+}
+
+impl OptionsKey {
+    fn of(opts: &PlannerOptions) -> OptionsKey {
+        OptionsKey {
+            hyperperiod: opts.candidates.hyperperiod().as_nanos(),
+            periods: opts
+                .candidates
+                .periods()
+                .iter()
+                .map(|p| p.as_nanos())
+                .collect(),
+            coalesce_threshold: opts.coalesce_threshold.as_nanos(),
+            min_piece: opts.gen.min_piece.as_nanos(),
+            first_stage: match opts.gen.first_stage {
+                Stage::Partitioned => 0,
+                Stage::SemiPartitioned => 1,
+                Stage::Clustered => 2,
+            },
+            peephole: opts.peephole,
+        }
+    }
+}
+
+/// Semantic cache key of a `(host configuration, planner options)` pair.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
     n_cores: usize,
     /// Positional `(ppm, latency_ns, capped)` triples — positional because
     /// vCPU ids (and hence table contents) are positional.
     specs: Vec<(u32, u64, bool)>,
+    /// The options the plan must have been computed under.
+    opts: OptionsKey,
 }
 
 impl Key {
-    fn of(host: &HostConfig) -> Key {
+    fn of(host: &HostConfig, opts: &PlannerOptions) -> Key {
         Key {
             n_cores: host.n_cores,
             specs: host
@@ -35,14 +87,54 @@ impl Key {
                 .into_iter()
                 .map(|(_, s)| (s.utilization.ppm(), s.latency.as_nanos(), s.capped))
                 .collect(),
+            opts: OptionsKey::of(opts),
         }
     }
+
+    /// Human-readable label for stats (`cores=2 vcpus=8 peephole coalesce=50us`).
+    fn label(&self) -> String {
+        let mut s = format!("cores={} vcpus={}", self.n_cores, self.specs.len());
+        if self.opts.peephole {
+            s.push_str(" peephole");
+        }
+        s.push_str(&format!(
+            " coalesce={}ns first_stage={}",
+            self.opts.coalesce_threshold, self.opts.first_stage
+        ));
+        s
+    }
+}
+
+/// Hit/miss counters for one cache key, as reported by [`PlanCache::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyStats {
+    /// Human-readable key label (core count, vCPU count, options summary).
+    pub key: String,
+    /// Hits served for this key.
+    pub hits: u64,
+    /// Misses (planner invocations) charged to this key.
+    pub misses: u64,
+}
+
+/// Aggregate and per-key cache statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total hits across all keys.
+    pub hits: u64,
+    /// Total misses across all keys.
+    pub misses: u64,
+    /// Per-key counters, most-hit first. Keys survive eviction of their
+    /// entry (counters track the key's lifetime, not the entry's).
+    pub per_key: Vec<KeyStats>,
 }
 
 /// An LRU cache of planner outputs.
 #[derive(Debug)]
 pub struct PlanCache {
     entries: HashMap<Key, (Arc<Plan>, u64)>,
+    /// Per-key hit/miss counters; kept separate from `entries` so eviction
+    /// does not erase a key's history.
+    counters: HashMap<Key, (u64, u64)>,
     capacity: usize,
     tick: u64,
     hits: u64,
@@ -54,6 +146,7 @@ impl PlanCache {
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
             entries: HashMap::new(),
+            counters: HashMap::new(),
             capacity: capacity.max(1),
             tick: 0,
             hits: 0,
@@ -61,7 +154,9 @@ impl PlanCache {
         }
     }
 
-    /// Returns the cached plan for `host`, planning (and caching) on miss.
+    /// Returns the cached plan for `(host, opts)`, planning (and caching)
+    /// on miss. Plans computed under different [`PlannerOptions`] never
+    /// alias, even for the same host shape.
     ///
     /// # Errors
     ///
@@ -72,13 +167,15 @@ impl PlanCache {
         opts: &PlannerOptions,
     ) -> Result<Arc<Plan>, PlanError> {
         self.tick += 1;
-        let key = Key::of(host);
+        let key = Key::of(host, opts);
         if let Some((cached, used)) = self.entries.get_mut(&key) {
             *used = self.tick;
             self.hits += 1;
+            self.counters.entry(key).or_insert((0, 0)).0 += 1;
             return Ok(cached.clone());
         }
         self.misses += 1;
+        self.counters.entry(key.clone()).or_insert((0, 0)).1 += 1;
         let fresh = Arc::new(plan(host, opts)?);
         if self.entries.len() >= self.capacity {
             // Evict the least-recently-used entry.
@@ -105,6 +202,26 @@ impl PlanCache {
         self.misses
     }
 
+    /// Aggregate plus per-key hit/miss statistics, most-hit keys first
+    /// (ties broken by label for a stable report).
+    pub fn stats(&self) -> CacheStats {
+        let mut per_key: Vec<KeyStats> = self
+            .counters
+            .iter()
+            .map(|(k, &(hits, misses))| KeyStats {
+                key: k.label(),
+                hits,
+                misses,
+            })
+            .collect();
+        per_key.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.key.cmp(&b.key)));
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            per_key,
+        }
+    }
+
     /// Number of cached plans.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -115,7 +232,7 @@ impl PlanCache {
         self.entries.is_empty()
     }
 
-    /// Drops every cached plan.
+    /// Drops every cached plan (per-key statistics are retained).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
@@ -124,6 +241,7 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::postprocess::DEFAULT_THRESHOLD;
     use crate::vcpu::{Utilization, VcpuSpec, VmSpec};
     use rtsched::time::Nanos;
 
@@ -160,6 +278,62 @@ mod tests {
     }
 
     #[test]
+    fn different_options_never_alias() {
+        // The regression for the stale-plan collision: the same host under
+        // two option sets must produce two distinct cache entries — the
+        // peephole pass and a different coalescing threshold both change
+        // the table, so serving the default-options plan would be wrong.
+        let mut cache = PlanCache::new(8);
+        let defaults = PlannerOptions::default();
+        let peephole = PlannerOptions {
+            peephole: true,
+            ..PlannerOptions::default()
+        };
+        let coarse = PlannerOptions {
+            coalesce_threshold: DEFAULT_THRESHOLD * 4,
+            ..PlannerOptions::default()
+        };
+
+        let h = host(8, "vm");
+        let a = cache.get_or_plan(&h, &defaults).unwrap();
+        let b = cache.get_or_plan(&h, &peephole).unwrap();
+        let c = cache.get_or_plan(&h, &coarse).unwrap();
+        assert_eq!(cache.misses(), 3, "an option set aliased a cached plan");
+        assert_eq!(cache.len(), 3);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+
+        // And each option set hits its own entry on re-query.
+        let b2 = cache.get_or_plan(&h, &peephole).unwrap();
+        assert!(Arc::ptr_eq(&b, &b2));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn per_key_stats_surface_hits_and_misses() {
+        let mut cache = PlanCache::new(4);
+        let defaults = PlannerOptions::default();
+        let peephole = PlannerOptions {
+            peephole: true,
+            ..PlannerOptions::default()
+        };
+        let h = host(4, "vm");
+        let _ = cache.get_or_plan(&h, &defaults).unwrap();
+        let _ = cache.get_or_plan(&h, &defaults).unwrap();
+        let _ = cache.get_or_plan(&h, &defaults).unwrap();
+        let _ = cache.get_or_plan(&h, &peephole).unwrap();
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+        assert_eq!(stats.per_key.len(), 2, "one counter per distinct key");
+        // Most-hit first: the defaults key (2 hits, 1 miss).
+        assert_eq!((stats.per_key[0].hits, stats.per_key[0].misses), (2, 1));
+        assert_eq!((stats.per_key[1].hits, stats.per_key[1].misses), (0, 1));
+        assert!(stats.per_key[1].key.contains("peephole"));
+        assert!(!stats.per_key[0].key.contains("peephole"));
+    }
+
+    #[test]
     fn lru_eviction_keeps_the_hot_entry() {
         let mut cache = PlanCache::new(2);
         let opts = PlannerOptions::default();
@@ -179,6 +353,9 @@ mod tests {
         let over = host(9, "x"); // 9 * 25% on 2 cores
         assert!(cache.get_or_plan(&over, &opts).is_err());
         assert!(cache.is_empty());
+        // The failed attempt still shows up as a per-key miss.
+        assert_eq!(cache.stats().per_key.len(), 1);
+        assert_eq!(cache.stats().per_key[0].misses, 1);
     }
 
     #[test]

@@ -235,10 +235,14 @@ impl Dispatcher {
     ///
     /// Returns `None` when no IPI is needed.
     pub fn wakeup_target(&mut self, vcpu: VcpuId, now: Nanos) -> Option<usize> {
-        // Route by core 0's table view; wake-up routing tolerates a stale
-        // epoch (worst case the IPI lands on a core that no longer serves
-        // the vCPU, which re-routes at its next decision).
-        let table = self.tables.table_for(0, now);
+        // Core 0's view only nominates a candidate. Mid-switch, per-core
+        // epoch views diverge (a core that looked at its pointer more
+        // recently holds a newer epoch), so whether the vCPU's slot is
+        // active must be judged by the table the *target* core is actually
+        // running — else a capped vCPU's needed IPI can be suppressed (or a
+        // useless one sent) based on a table that core isn't executing.
+        let candidate = self.tables.table_for(0, now).wakeup_target(vcpu, now)?;
+        let table = self.tables.table_for(candidate, now);
         let target = table.wakeup_target(vcpu, now)?;
         if self.is_capped(vcpu) {
             // Only worth interrupting if the vCPU's slot is active now.
@@ -272,7 +276,13 @@ impl Dispatcher {
 
     /// Phase two: atomically publishes the staged table; returns the time
     /// all cores will have switched.
-    pub fn commit_table_switch(&mut self, staged: StagedInstall) -> Nanos {
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::NothingStaged`] when nothing is staged (commit
+    /// without begin, double commit, or commit after abort); the running
+    /// table is untouched.
+    pub fn commit_table_switch(&mut self, staged: StagedInstall) -> Result<Nanos, InstallError> {
         self.tables.commit_install(staged)
     }
 
@@ -414,6 +424,28 @@ mod tests {
         assert_eq!(d.wakeup_target(VcpuId(1), ms(1)), None);
         // Inside its slot the IPI goes to core 0.
         assert_eq!(d.wakeup_target(VcpuId(1), ms(6)), Some(0));
+    }
+
+    #[test]
+    fn capped_wakeup_mid_switch_routes_by_target_cores_view() {
+        // Table A: capped vCPU 1 on core 1 at [5,10). Table B (installed
+        // at t=5ms, pointer armed mid-round at 15ms) moves that slot to
+        // [0,3).
+        let a = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(5, 10, 1)]]).unwrap();
+        let b = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(0, 3, 1)]]).unwrap();
+        let mut d = Dispatcher::new(a, vec![true, true], ms(10));
+        d.install_table(b, ms(5));
+        // Core 0 decides just past the 20ms wrap and adopts B ...
+        let _ = d.decide(0, ms(21), |_| true);
+        // ... but a wakeup for vCPU 1 carries a pre-wrap timestamp (timer
+        // skew): core 1 is still executing A, whose [5,10) slot is active
+        // at t=19ms. Judged by core 0's post-wrap view (B, where [0,3) is
+        // inactive) the IPI would be suppressed and the capped vCPU would
+        // silently lose the rest of its slot.
+        assert_eq!(d.wakeup_target(VcpuId(1), ms(19)), Some(1));
+        // Post-wrap wakeups agree with B: slot [0,3) inactive at t=24ms.
+        assert_eq!(d.wakeup_target(VcpuId(1), ms(24)), None);
+        assert_eq!(d.wakeup_target(VcpuId(1), ms(22)), Some(1));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! With the paper's running configuration — `U = 25%`, `L = 20 ms` — step 2
 //! picks `T = H/8 = 12,837,825 ns` (~13 ms) and `C ≈ 3.21 ms`, matching the
 //! parameters reported in Sec. 7.2.
+//!
+//! **Parallel pipeline.** The per-core / per-cluster stages (EDF
+//! simulation, DP-Fair generation, verification, coalescing) and the
+//! per-vCPU blackout validation operate on disjoint data and run
+//! concurrently on scoped worker threads; every fan-out collects results in
+//! index order, so the produced [`Plan`] is bit-identical to a sequential
+//! run (pinned by `tests/prop_parallel.rs`).
 
 use serde::{Deserialize, Serialize};
 
@@ -415,22 +422,30 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
     // coalesce per core. Split vCPUs must never be *extended* by a
     // donation: their pieces on other cores begin exactly where a piece
     // ends, and growing one would schedule the vCPU on two cores at once.
+    // Coalescing is core-local, so the cores are processed concurrently;
+    // reports are absorbed in core order to keep the aggregate
+    // deterministic.
     let split: Vec<VcpuId> = generated.split_tasks.iter().map(|t| VcpuId(t.0)).collect();
+    let coalesced: Vec<(Vec<Allocation>, CoalesceReport)> =
+        rayon::par_map_indices(shared_cores, |core| {
+            let mut allocs: Vec<Allocation> = generated.schedule.cores[core]
+                .segments()
+                .iter()
+                .map(|s| Allocation {
+                    start: s.start,
+                    end: s.end,
+                    vcpu: VcpuId(s.task.0),
+                })
+                .collect();
+            let report = coalesce_with(&mut allocs, opts.coalesce_threshold, |v| {
+                !split.contains(&v)
+            });
+            (allocs, report)
+        });
     let mut per_core: Vec<Vec<Allocation>> = Vec::with_capacity(host.n_cores);
     let mut coalesce_report = CoalesceReport::default();
-    for core in 0..shared_cores {
-        let mut allocs: Vec<Allocation> = generated.schedule.cores[core]
-            .segments()
-            .iter()
-            .map(|s| Allocation {
-                start: s.start,
-                end: s.end,
-                vcpu: VcpuId(s.task.0),
-            })
-            .collect();
-        coalesce_report.absorb(coalesce_with(&mut allocs, opts.coalesce_threshold, |v| {
-            !split.contains(&v)
-        }));
+    for (allocs, report) in coalesced {
+        coalesce_report.absorb(report);
         per_core.push(allocs);
     }
     // Dedicated cores: one wall-to-wall allocation each.
@@ -446,8 +461,10 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
     let table = Table::new(hyperperiod, per_core).map_err(PlanError::Table)?;
 
     // Observed worst-case blackout per vCPU, for latency-goal validation.
-    let mut worst_blackout = Vec::with_capacity(vcpus.len());
-    for &(vcpu, _) in &vcpus {
+    // Each vCPU's scan only reads the (now immutable) table, so the vCPUs
+    // are validated concurrently, collected in vCPU order.
+    let worst_blackout: Vec<(VcpuId, Nanos)> = rayon::par_map_indices(vcpus.len(), |i| {
+        let (vcpu, _) = vcpus[i];
         let ivs: Vec<(Nanos, Nanos)> = table
             .placement(vcpu)
             .map(|p| p.allocations.iter().map(|&(_, s, e)| (s, e)).collect())
@@ -467,8 +484,8 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
             }
             task_max_blackout(TaskId(vcpu.0), &sched)
         };
-        worst_blackout.push((vcpu, blackout));
-    }
+        (vcpu, blackout)
+    });
 
     Ok(Plan {
         table,

@@ -41,6 +41,9 @@ pub enum InstallError {
     },
     /// Another install is already staged and neither committed nor aborted.
     AlreadyStaged,
+    /// Commit was requested but nothing is staged (commit without begin, or
+    /// a double commit after the stage was already consumed).
+    NothingStaged,
 }
 
 impl std::fmt::Display for InstallError {
@@ -56,6 +59,7 @@ impl std::fmt::Display for InstallError {
                 write!(f, "core count changed across install ({expected} -> {got})")
             }
             InstallError::AlreadyStaged => write!(f, "an install is already staged"),
+            InstallError::NothingStaged => write!(f, "no install is staged to commit"),
         }
     }
 }
@@ -150,6 +154,7 @@ impl TableManager {
         assert!(self.staged.is_none(), "install during a staged install");
         let staged = self.begin_install(table, now).expect("validated above");
         self.commit_install(staged)
+            .expect("a just-begun install is staged")
     }
 
     /// Phase one of a two-phase install: validates the table and stages it
@@ -191,15 +196,18 @@ impl TableManager {
     /// their first wrap at/after the arm time, exactly as with
     /// [`TableManager::install`]. Returns the switch-complete time.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if nothing is staged (commit without begin).
-    pub fn commit_install(&mut self, staged: StagedInstall) -> Nanos {
-        let (table, arm) = self.staged.take().expect("commit without a staged install");
+    /// [`InstallError::NothingStaged`] when no install is staged (commit
+    /// without begin, double commit, or commit after an abort). The manager
+    /// is untouched — consistent with the graceful-degradation contract, a
+    /// mis-sequenced planner push never takes down the dispatcher.
+    pub fn commit_install(&mut self, staged: StagedInstall) -> Result<Nanos, InstallError> {
+        let (table, arm) = self.staged.take().ok_or(InstallError::NothingStaged)?;
         debug_assert_eq!(arm, staged.arm);
         self.epochs.push(table);
         self.activations.push(arm);
-        staged.switch_at
+        Ok(staged.switch_at)
     }
 
     /// Rolls back a staged install. The manager is left bit-identical to
@@ -388,7 +396,7 @@ mod tests {
         assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(0)));
         assert_eq!(m.live_tables(), 1);
         // Commit publishes with the originally computed timing.
-        assert_eq!(m.commit_install(staged), ms(20));
+        assert_eq!(m.commit_install(staged), Ok(ms(20)));
         let t = m.table_for(1, ms(20));
         assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(1)));
     }
@@ -432,6 +440,32 @@ mod tests {
         let mut m = TableManager::new(table(10, 0));
         let _ = m.begin_install(table(10, 1), ms(1)).unwrap();
         m.install(table(10, 2), ms(2));
+    }
+
+    #[test]
+    fn commit_without_begin_is_a_typed_error_not_a_panic() {
+        let mut m = TableManager::new(table(10, 0));
+        // A StagedInstall that was never (or no longer is) staged: commit
+        // must fail gracefully, leaving the manager untouched.
+        let phantom = StagedInstall {
+            arm: ms(15),
+            switch_at: ms(20),
+        };
+        assert_eq!(m.commit_install(phantom), Err(InstallError::NothingStaged));
+        assert_eq!(m.live_tables(), 1);
+
+        // Double commit: the first consumes the stage, the second errors.
+        let staged = m.begin_install(table(10, 1), ms(3)).unwrap();
+        assert_eq!(m.commit_install(staged), Ok(ms(20)));
+        assert_eq!(m.commit_install(staged), Err(InstallError::NothingStaged));
+
+        // Commit after abort likewise.
+        let staged = m.begin_install(table(10, 2), ms(25)).unwrap();
+        m.abort_install();
+        assert_eq!(m.commit_install(staged), Err(InstallError::NothingStaged));
+        // The manager still works afterwards.
+        let at = m.install(table(10, 3), ms(30));
+        assert_eq!(at, ms(50));
     }
 
     #[test]

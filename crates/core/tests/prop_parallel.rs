@@ -1,0 +1,106 @@
+//! Parallel-pipeline determinism: the planner's concurrent stages must be
+//! invisible in the output.
+//!
+//! The planner fans per-core EDF verification, clustered generation,
+//! coalescing and blackout scans out across a scoped thread pool
+//! (`rayon::par_map_indices`), reassembling results in index order. The
+//! contract tested here: for any fleet, the plan produced with the thread
+//! pool enabled is **identical in every field** to the plan produced with
+//! `rayon::force_sequential` — same table, same stage, same parameters,
+//! same coalesce accounting, same blackouts, and the same error on
+//! unplannable fleets. Scheduling nondeterminism may reorder *execution*,
+//! never *results*.
+
+use proptest::prelude::*;
+
+use rtsched::time::Nanos;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+/// A reproducible fleet: core count plus per-VM (utilization %, latency
+/// ms, capped) tuples.
+type FleetDesc = (usize, Vec<(u32, u64, bool)>);
+
+fn build_host(cores: usize, vms: &[(u32, u64, bool)]) -> HostConfig {
+    let mut host = HostConfig::new(cores);
+    for (i, &(upct, l_ms, capped)) in vms.iter().enumerate() {
+        let u = Utilization::from_percent(upct);
+        let l = Nanos::from_millis(l_ms);
+        let spec = if capped {
+            VcpuSpec::capped(u, l)
+        } else {
+            VcpuSpec::new(u, l)
+        };
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    host
+}
+
+/// Paper-like menus; utilizations include 60% entries so some fleets force
+/// C=D splitting or clustered generation (the parallel stages).
+fn arb_fleet() -> impl Strategy<Value = FleetDesc> {
+    const UTILS: [u32; 4] = [10, 25, 40, 60];
+    const GOALS: [u64; 3] = [10, 20, 100];
+    let vm = (0usize..UTILS.len(), 0usize..GOALS.len(), any::<bool>())
+        .prop_map(|(u, l, c)| (UTILS[u], GOALS[l], c));
+    (2usize..=4, proptest::collection::vec(vm, 1..10))
+}
+
+fn assert_plans_identical(host: &HostConfig, opts: &PlannerOptions) {
+    let par = plan(host, opts);
+    let seq = rayon::force_sequential(|| plan(host, opts));
+    match (par, seq) {
+        (Ok(p), Ok(s)) => {
+            assert_eq!(p.table, s.table, "tables diverge");
+            assert_eq!(p.stage, s.stage, "stages diverge");
+            assert_eq!(p.params, s.params, "params diverge");
+            assert_eq!(p.split_vcpus, s.split_vcpus, "split sets diverge");
+            assert_eq!(p.coalesce, s.coalesce, "coalesce reports diverge");
+            assert_eq!(p.worst_blackout, s.worst_blackout, "blackouts diverge");
+        }
+        (Err(p), Err(s)) => assert_eq!(format!("{p:?}"), format!("{s:?}"), "errors diverge"),
+        (par, seq) => panic!("plannability diverges: parallel {par:?} vs sequential {seq:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_plan_is_field_identical_to_sequential((cores, vms) in arb_fleet()) {
+        let host = build_host(cores, &vms);
+        assert_plans_identical(&host, &PlannerOptions::default());
+    }
+
+    #[test]
+    fn parallelism_is_invisible_under_peephole_too((cores, vms) in arb_fleet()) {
+        let host = build_host(cores, &vms);
+        let opts = PlannerOptions {
+            peephole: true,
+            ..PlannerOptions::default()
+        };
+        assert_plans_identical(&host, &opts);
+    }
+}
+
+/// The parallel path must also be stable run-to-run (no dependence on
+/// thread scheduling): repeated parallel plans are identical.
+#[test]
+fn parallel_plan_is_stable_across_runs() {
+    let host = build_host(
+        3,
+        &[
+            (60, 20, true),
+            (60, 20, true),
+            (60, 20, true),
+            (40, 10, false),
+        ],
+    );
+    let opts = PlannerOptions::default();
+    let first = plan(&host, &opts).expect("fleet plans");
+    for _ in 0..5 {
+        let again = plan(&host, &opts).expect("fleet plans");
+        assert_eq!(first.table, again.table);
+        assert_eq!(first.worst_blackout, again.worst_blackout);
+    }
+}

@@ -1,0 +1,362 @@
+//! `bench snapshot`: the tracked perf trajectory.
+//!
+//! Experiment sweeps now run their points concurrently, so their wall-clock
+//! columns measure *contended* time; this module is the uncontended timing
+//! source. It times the three planner stages through the full [`plan`]
+//! entry point, the [`PlanCache`] hit and miss paths, and the dispatcher's
+//! [`Dispatcher::decide`]/wake-up/table-switch hot paths, then writes
+//! `BENCH_planner.json` and `BENCH_dispatch.json` at the repo root.
+//!
+//! Those two files are committed: each PR that lands a perf-relevant change
+//! reruns `experiments bench snapshot` and commits the refreshed numbers,
+//! so the trajectory is readable from git history alone. The `meta` block
+//! (schema tag, seed, machine cores, worker threads, git rev) makes any
+//! two snapshots comparable — or flags them as apples-to-oranges when the
+//! machines differ. `--quick` runs a reduced iteration count and validates
+//! the schema round-trip against a scratch directory without touching the
+//! tracked files (the CI smoke path).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use rtsched::generator::Stage;
+use rtsched::time::Nanos;
+use tableau_core::cache::PlanCache;
+use tableau_core::dispatch::Dispatcher;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::VcpuId;
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+use crate::report::{print_table, write_json_to};
+
+/// Schema tag; bump when the snapshot format changes incompatibly.
+pub const SCHEMA: &str = "tableau-bench-v1";
+
+/// Provenance of a snapshot: everything needed to judge whether two
+/// snapshots are comparable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchMeta {
+    /// Format version ([`SCHEMA`]).
+    pub schema: String,
+    /// True for the reduced `--quick` configuration (never committed).
+    pub quick: bool,
+    /// Recorded sweep seed (the bench inputs themselves are fixed).
+    pub seed: u64,
+    /// Physical cores on the measuring host.
+    pub machine_cores: usize,
+    /// Worker threads the parallel pipeline used.
+    pub threads: usize,
+    /// `git rev-parse --short HEAD`, or `"unknown"` outside a checkout.
+    pub git_rev: String,
+}
+
+/// One timed hot path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Stable entry name (`area/path`), the join key across snapshots.
+    pub name: String,
+    /// Timed iterations (after one untimed warm-up).
+    pub iters: u64,
+    /// Total wall-clock for all iterations (ns).
+    pub total_ns: u64,
+    /// Mean per-iteration wall-clock (ns).
+    pub mean_ns: f64,
+}
+
+/// A full snapshot artifact (`BENCH_planner.json` / `BENCH_dispatch.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Run provenance.
+    pub meta: BenchMeta,
+    /// Timed entries, in a fixed order.
+    pub entries: Vec<BenchEntry>,
+}
+
+fn time_entry<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) -> BenchEntry {
+    std::hint::black_box(f()); // warm-up: page in code and data
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = t0.elapsed();
+    BenchEntry {
+        name: name.to_string(),
+        iters,
+        total_ns: total.as_nanos() as u64,
+        mean_ns: total.as_nanos() as f64 / iters as f64,
+    }
+}
+
+/// `n_vms` single-vCPU VMs at `pct`% utilization with a 20 ms goal.
+fn bench_host(n_cores: usize, n_vms: usize, pct: u32) -> HostConfig {
+    let mut h = HostConfig::new(n_cores);
+    let spec = VcpuSpec::capped(Utilization::from_percent(pct), Nanos::from_millis(20));
+    for i in 0..n_vms {
+        h.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    h
+}
+
+fn meta(quick: bool, seed: u64) -> BenchMeta {
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    BenchMeta {
+        schema: SCHEMA.to_string(),
+        quick,
+        seed,
+        machine_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        threads: rayon::current_num_threads(),
+        git_rev,
+    }
+}
+
+/// Times the planner hot paths: the three generation stages (each through
+/// the full `plan()` entry point) and the cache hit/miss paths.
+pub fn planner_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
+    let iters: u64 = if quick { 2 } else { 20 };
+    // Mirrors the criterion bench sets: an easily partitionable 4-per-core
+    // set, and a 60%-utilization set that forces C=D splitting.
+    let easy = bench_host(8, 32, 25);
+    let split = bench_host(8, 13, 60);
+    let defaults = PlannerOptions::default();
+    let mut clustered = PlannerOptions::default();
+    clustered.gen.first_stage = Stage::Clustered;
+
+    let entries = vec![
+        time_entry("plan/partitioned", iters, || {
+            let p = plan(&easy, &defaults).expect("easy set plans");
+            assert_eq!(p.stage, Stage::Partitioned);
+            p
+        }),
+        time_entry("plan/semi_partitioned", iters, || {
+            let p = plan(&split, &defaults).expect("split set plans");
+            assert_eq!(p.stage, Stage::SemiPartitioned);
+            p
+        }),
+        time_entry("plan/clustered", iters, || {
+            plan(&split, &clustered).expect("clustered set plans")
+        }),
+        time_entry("cache/miss", iters, || {
+            // A fresh cache per iteration: the full miss path (key build,
+            // plan, insert).
+            let mut c = PlanCache::new(4);
+            c.get_or_plan(&easy, &defaults).expect("plans")
+        }),
+        {
+            let mut c = PlanCache::new(4);
+            c.get_or_plan(&easy, &defaults).expect("plans");
+            time_entry("cache/hit", iters.max(100), move || {
+                c.get_or_plan(&easy, &defaults).expect("plans")
+            })
+        },
+    ];
+    BenchSnapshot {
+        meta: meta(quick, seed),
+        entries,
+    }
+}
+
+/// Times the dispatcher hot paths: first/second-level `decide`, wake-up
+/// routing, and the two-phase table switch.
+pub fn dispatch_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
+    let iters: u64 = if quick { 1_000 } else { 100_000 };
+    let host = bench_host(8, 32, 25);
+    let p = plan(&host, &PlannerOptions::default()).expect("bench host plans");
+    let len = p.table.len();
+    let n_vcpus = p.params.len();
+    let make = |capped: bool| Dispatcher::new(p.table.clone(), vec![capped; n_vcpus], len);
+
+    let entries = vec![
+        {
+            let mut d = make(false);
+            let mut i = 0u64;
+            time_entry("dispatch/decide", iters, move || {
+                i += 1;
+                let core = (i % 8) as usize;
+                let now = Nanos(i * 50_000 % len.as_nanos());
+                d.decide(core, now, |_| true)
+            })
+        },
+        {
+            let mut d = make(true);
+            let mut i = 0u64;
+            time_entry("dispatch/wakeup_capped", iters, move || {
+                i += 1;
+                let v = VcpuId((i % n_vcpus as u64) as u32);
+                let now = Nanos(i * 50_000 % len.as_nanos());
+                d.wakeup_target(v, now)
+            })
+        },
+        {
+            let mut d = make(false);
+            let table = p.table.clone();
+            time_entry("dispatch/table_switch_begin_abort", iters, move || {
+                let staged = d
+                    .begin_table_switch(table.clone(), Nanos(1))
+                    .expect("stages");
+                d.abort_table_switch();
+                staged
+            })
+        },
+        {
+            let mut d = make(false);
+            let table = p.table.clone();
+            let mut round = 0u64;
+            time_entry(
+                "dispatch/table_switch_commit",
+                iters.min(10_000),
+                move || {
+                    // Advance by a round per install so each arm time is fresh;
+                    // touch every core past the switch and collect garbage so
+                    // the epoch list stays O(1).
+                    let now = len * round;
+                    let staged = d.begin_table_switch(table.clone(), now).expect("stages");
+                    let done = d.commit_table_switch(staged).expect("staged");
+                    for core in 0..8 {
+                        std::hint::black_box(d.decide(core, done, |_| true));
+                    }
+                    round += 2;
+                    d.collect_garbage()
+                },
+            )
+        },
+    ];
+    BenchSnapshot {
+        meta: meta(quick, seed),
+        entries,
+    }
+}
+
+/// Where full-mode snapshots go: the repo root (`git rev-parse
+/// --show-toplevel`), overridable with `TABLEAU_BENCH_DIR`.
+fn bench_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("TABLEAU_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--show-toplevel"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| PathBuf::from(String::from_utf8_lossy(&o.stdout).trim()))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Reads a written snapshot back and checks it is well-formed — the schema
+/// smoke check CI runs via `--quick`.
+fn validate(path: &std::path::Path) -> BenchSnapshot {
+    let text = std::fs::read_to_string(path).expect("read snapshot back");
+    let snap: BenchSnapshot = serde_json::from_str(&text).expect("snapshot schema round-trips");
+    assert_eq!(snap.meta.schema, SCHEMA, "schema tag mismatch");
+    assert!(!snap.entries.is_empty(), "snapshot has no entries");
+    for e in &snap.entries {
+        assert!(
+            e.iters > 0 && e.mean_ns > 0.0,
+            "degenerate entry {}",
+            e.name
+        );
+    }
+    snap
+}
+
+/// Runs both snapshots, prints them, writes and validates the artifacts.
+///
+/// Full mode writes `BENCH_planner.json`/`BENCH_dispatch.json` at the repo
+/// root (the committed trajectory); `--quick` writes to a scratch
+/// directory instead so a smoke run never dirties the tracked files.
+pub fn run(quick: bool, seed: u64) -> (BenchSnapshot, BenchSnapshot) {
+    let planner = planner_snapshot(quick, seed);
+    let dispatch = dispatch_snapshot(quick, seed);
+
+    for (title, snap) in [("planner", &planner), ("dispatch", &dispatch)] {
+        let rows: Vec<Vec<String>> = snap
+            .entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.name.clone(),
+                    e.iters.to_string(),
+                    format!("{:.1}", e.mean_ns / 1e3),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "bench snapshot [{title}] rev={} cores={} threads={}",
+                snap.meta.git_rev, snap.meta.machine_cores, snap.meta.threads
+            ),
+            &["entry", "iters", "mean(us)"],
+            &rows,
+        );
+    }
+
+    let dir = if quick {
+        std::env::temp_dir().join("tableau-bench-quick")
+    } else {
+        bench_dir()
+    };
+    let p_path = write_json_to(&dir, "BENCH_planner", &planner);
+    let d_path = write_json_to(&dir, "BENCH_dispatch", &dispatch);
+    validate(&p_path);
+    validate(&d_path);
+    (planner, dispatch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshots_cover_the_hot_paths() {
+        let planner = planner_snapshot(true, 42);
+        let names: Vec<&str> = planner.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "plan/partitioned",
+                "plan/semi_partitioned",
+                "plan/clustered",
+                "cache/miss",
+                "cache/hit"
+            ]
+        );
+        assert_eq!(planner.meta.schema, SCHEMA);
+        assert!(planner.meta.quick);
+        for e in &planner.entries {
+            assert!(e.mean_ns > 0.0, "{} has no measured time", e.name);
+        }
+        // The hit path must be far cheaper than the miss path (it skips
+        // planning entirely) — this is the cache's reason to exist.
+        let mean = |n: &str| {
+            planner
+                .entries
+                .iter()
+                .find(|e| e.name == n)
+                .unwrap()
+                .mean_ns
+        };
+        assert!(mean("cache/hit") * 10.0 < mean("cache/miss"));
+    }
+
+    #[test]
+    fn snapshot_schema_round_trips_through_json() {
+        let dispatch = dispatch_snapshot(true, 7);
+        assert_eq!(dispatch.entries.len(), 4);
+        let dir = std::env::temp_dir().join("tableau-bench-schema-test");
+        let path = write_json_to(&dir, "BENCH_dispatch_test", &dispatch);
+        let back = validate(&path);
+        assert_eq!(back.meta.seed, 7);
+        assert_eq!(back.entries.len(), dispatch.entries.len());
+        for (a, b) in back.entries.iter().zip(&dispatch.entries) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.total_ns, b.total_ns);
+        }
+    }
+}

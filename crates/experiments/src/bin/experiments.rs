@@ -2,7 +2,10 @@
 //!
 //! Usage: `experiments <fig3|fig4|tab1|tab2|fig5|fig6|fig7|fig8|robustness|all>
 //! [--quick] [--seed <u64>]`. `fig3`/`fig4` and `tab1`/`tab2` are generated
-//! together (they share their runs).
+//! together (they share their runs). `bench snapshot` times the
+//! planner/cache/dispatcher hot paths and refreshes the committed
+//! `BENCH_planner.json`/`BENCH_dispatch.json` trajectory (with `--quick`:
+//! a schema smoke run against a scratch directory).
 //!
 //! Bad input never panics: every user error exits with code 1 and a
 //! one-line `error: ...` diagnostic.
@@ -12,7 +15,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: experiments <id>... [--quick] [--seed <u64>]\n\
     known ids: fig3 fig4 tab1 tab2 fig5 fig6 fig7 fig8 planner overheads \
-    intrinsic ping ablations scaling latency_sweep robustness all";
+    intrinsic ping ablations scaling latency_sweep robustness all\n\
+    perf trajectory: experiments bench snapshot [--quick]";
 
 /// A user-input problem, rendered as a single diagnostic line.
 #[derive(Debug)]
@@ -59,6 +63,8 @@ const KNOWN_IDS: &[&str] = &[
     "scaling",
     "latency_sweep",
     "robustness",
+    "bench",
+    "snapshot",
     "all",
 ];
 
@@ -107,8 +113,17 @@ fn main() -> ExitCode {
     };
 
     let quick = cli.quick;
+    // `bench snapshot` reads as one command but parses as two ids; run the
+    // snapshot once no matter how it was spelled.
+    let mut bench_done = false;
     for id in &cli.ids {
         match id.as_str() {
+            "bench" | "snapshot" => {
+                if !bench_done {
+                    experiments::bench_snapshot::run(quick, cli.seed);
+                    bench_done = true;
+                }
+            }
             "fig3" | "fig4" | "planner" => {
                 experiments::planner_scale::run(quick);
             }

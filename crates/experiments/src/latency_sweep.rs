@@ -83,8 +83,13 @@ pub fn measure(machine: Machine, goal: Nanos, rate: f64, duration: Nanos) -> Lat
     }
 }
 
-/// Runs the sweep.
-pub fn run(quick: bool) -> Vec<LatencyPoint> {
+/// Measures every goal of the sweep, with no I/O side effects (tests call
+/// this; only [`run`] writes the artifact).
+///
+/// Every point is an independent simulation in simulated time, so the
+/// points run concurrently and reassemble in goal order with results
+/// identical to the sequential sweep.
+pub fn sweep(quick: bool) -> Vec<LatencyPoint> {
     let machine = crate::config::guest_machine_16core();
     let duration = if quick {
         Nanos::from_millis(600)
@@ -97,10 +102,14 @@ pub fn run(quick: bool) -> Vec<LatencyPoint> {
         &[2, 5, 20, 50, 100]
     };
     let rate = 800.0; // half of the 1 KiB saturation point
-    let points: Vec<LatencyPoint> = goals
-        .iter()
-        .map(|&g| measure(machine, Nanos::from_millis(g), rate, duration))
-        .collect();
+    rayon::par_map_indices(goals.len(), |i| {
+        measure(machine, Nanos::from_millis(goals[i]), rate, duration)
+    })
+}
+
+/// Runs the sweep.
+pub fn run(quick: bool) -> Vec<LatencyPoint> {
+    let points = sweep(quick);
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

@@ -14,6 +14,8 @@
 //! [`robustness`] goes beyond the paper: it sweeps an injected-fault
 //! intensity (timer jitter, IPI loss, stolen time, overruns) and reports
 //! each scheduler's SLA-violation rate and latency inflation.
+//! [`bench_snapshot`] times the planner/cache/dispatcher hot paths and
+//! writes the committed `BENCH_*.json` perf trajectory (`bench snapshot`).
 //!
 //! Run via the `experiments` binary: `cargo run --release -p experiments --
 //! all` (or a specific id, with `--quick` for a fast smoke pass). Each
@@ -21,6 +23,7 @@
 //! `results/`.
 
 pub mod ablations;
+pub mod bench_snapshot;
 pub mod config;
 pub mod intrinsic_delay;
 pub mod latency_sweep;

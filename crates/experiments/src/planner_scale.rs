@@ -62,29 +62,39 @@ pub fn sweep(quick: bool) -> Vec<PlannerPoint> {
     let reps = if quick { 1 } else { 5 };
     let opts = PlannerOptions::default();
 
-    let mut points = Vec::new();
+    // Grid in sequential order: goal-major, then VM count.
+    let mut cells = Vec::new();
     for &goal_ms in &GOALS_MS {
         for &n in &counts {
-            let h = host(n, Nanos::from_millis(goal_ms));
-            let mut total = std::time::Duration::ZERO;
-            let mut last = None;
-            for _ in 0..reps {
-                let t0 = std::time::Instant::now();
-                let p = plan(&h, &opts).expect("paper shape must plan");
-                total += t0.elapsed();
-                last = Some(p);
-            }
-            let p = last.expect("at least one rep");
-            points.push(PlannerPoint {
-                n_vms: n,
-                latency_goal_ms: goal_ms,
-                gen_time_ms: total.as_secs_f64() * 1e3 / reps as f64,
-                table_bytes: encoded_size(&p.table),
-                stage: format!("{:?}", p.stage),
-            });
+            cells.push((goal_ms, n));
         }
     }
-    points
+    // Cells are independent `plan()` calls; running them concurrently and
+    // reassembling in grid order leaves every deterministic field
+    // (n_vms, goal, table_bytes, stage) identical to the sequential sweep.
+    // Only `gen_time_ms` is wall-clock, and under a concurrent sweep it
+    // measures *contended* time — `bench snapshot` is the uncontended
+    // timing source for the perf trajectory.
+    rayon::par_map_indices(cells.len(), |i| {
+        let (goal_ms, n) = cells[i];
+        let h = host(n, Nanos::from_millis(goal_ms));
+        let mut total = std::time::Duration::ZERO;
+        let mut last = None;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let p = plan(&h, &opts).expect("paper shape must plan");
+            total += t0.elapsed();
+            last = Some(p);
+        }
+        let p = last.expect("at least one rep");
+        PlannerPoint {
+            n_vms: n,
+            latency_goal_ms: goal_ms,
+            gen_time_ms: total.as_secs_f64() * 1e3 / reps as f64,
+            table_bytes: encoded_size(&p.table),
+            stage: format!("{:?}", p.stage),
+        }
+    })
 }
 
 /// Runs the planner-scalability experiment: sweep, table, JSON artifact.

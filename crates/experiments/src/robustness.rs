@@ -169,15 +169,25 @@ pub fn sweep(quick: bool, seed: u64) -> RobustnessReport {
     } else {
         (crate::config::guest_machine_16core(), Nanos::from_secs(5))
     };
-    let mut points = Vec::new();
+    // The grid in sequential order: intensity-major, capped before
+    // uncapped schedulers.
+    let mut cells = Vec::new();
     for intensity in INTENSITIES {
         for kind in CAPPED_SCHEDULERS {
-            points.push(measure(machine, kind, true, intensity, seed, duration));
+            cells.push((kind, true, intensity));
         }
         for kind in UNCAPPED_SCHEDULERS {
-            points.push(measure(machine, kind, false, intensity, seed, duration));
+            cells.push((kind, false, intensity));
         }
     }
+    // Every cell is an independent simulation whose fault stream is fully
+    // determined by (seed, intensity); measuring the cells concurrently
+    // and reassembling in grid order reproduces the sequential sweep
+    // byte-for-byte (see `tests/sweep_determinism.rs`).
+    let mut points = rayon::par_map_indices(cells.len(), |i| {
+        let (kind, capped, intensity) = cells[i];
+        measure(machine, kind, capped, intensity, seed, duration)
+    });
 
     // Latency inflation is relative to the same scheduler/cap at zero
     // intensity.

@@ -67,8 +67,13 @@ fn measure(cores: usize, kind: SchedKind, duration: Nanos) -> ScalingPoint {
     }
 }
 
-/// Runs the scalability sweep.
-pub fn run(quick: bool) -> Vec<ScalingPoint> {
+/// Measures every (core count, scheduler) cell, with no I/O side effects
+/// (tests call this; only [`run`] writes the artifact).
+///
+/// Each cell is an independent simulation in simulated time; the cells
+/// run concurrently and reassemble in grid order, identical to the
+/// sequential sweep.
+pub fn sweep(quick: bool) -> Vec<ScalingPoint> {
     let duration = if quick {
         Nanos::from_millis(300)
     } else {
@@ -79,7 +84,7 @@ pub fn run(quick: bool) -> Vec<ScalingPoint> {
     } else {
         &[8, 12, 22, 33, 44]
     };
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for &c in cores {
         for kind in [
             SchedKind::Credit,
@@ -87,9 +92,18 @@ pub fn run(quick: bool) -> Vec<ScalingPoint> {
             SchedKind::Rtds,
             SchedKind::Tableau,
         ] {
-            points.push(measure(c, kind, duration));
+            cells.push((c, kind));
         }
     }
+    rayon::par_map_indices(cells.len(), |i| {
+        let (c, kind) = cells[i];
+        measure(c, kind, duration)
+    })
+}
+
+/// Runs the scalability sweep.
+pub fn run(quick: bool) -> Vec<ScalingPoint> {
+    let points = sweep(quick);
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

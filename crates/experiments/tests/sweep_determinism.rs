@@ -1,0 +1,64 @@
+//! Parallel-sweep determinism: running sweep points concurrently must not
+//! change a single byte of the artifacts.
+//!
+//! Every sweep now measures its points on a scoped thread pool and
+//! reassembles them in grid order; each point is an independent simulation
+//! in *simulated* time whose behavior is fully determined by its inputs
+//! (and, for robustness, the fault seed). These tests serialize the
+//! parallel and `rayon::force_sequential` sweeps and compare the JSON
+//! byte-for-byte — except `planner_scale`, whose `gen_time_ms` field is
+//! wall-clock by definition and is compared field-by-field around it.
+
+use experiments::{latency_sweep, planner_scale, robustness, scaling};
+
+#[test]
+fn robustness_sweep_is_byte_identical_to_sequential() {
+    let par = robustness::sweep(true, robustness::DEFAULT_SEED);
+    let seq = rayon::force_sequential(|| robustness::sweep(true, robustness::DEFAULT_SEED));
+    assert_eq!(
+        serde_json::to_string_pretty(&par).unwrap(),
+        serde_json::to_string_pretty(&seq).unwrap(),
+        "parallel robustness sweep diverged from the sequential artifact"
+    );
+}
+
+#[test]
+fn scaling_sweep_is_byte_identical_to_sequential() {
+    let par = scaling::sweep(true);
+    let seq = rayon::force_sequential(|| scaling::sweep(true));
+    assert_eq!(
+        serde_json::to_string_pretty(&par).unwrap(),
+        serde_json::to_string_pretty(&seq).unwrap(),
+        "parallel scaling sweep diverged from the sequential artifact"
+    );
+}
+
+#[test]
+fn latency_sweep_is_byte_identical_to_sequential() {
+    let par = latency_sweep::sweep(true);
+    let seq = rayon::force_sequential(|| latency_sweep::sweep(true));
+    assert_eq!(
+        serde_json::to_string_pretty(&par).unwrap(),
+        serde_json::to_string_pretty(&seq).unwrap(),
+        "parallel latency sweep diverged from the sequential artifact"
+    );
+}
+
+#[test]
+fn planner_scale_sweep_matches_sequential_in_every_deterministic_field() {
+    let par = planner_scale::sweep(true);
+    let seq = rayon::force_sequential(|| planner_scale::sweep(true));
+    assert_eq!(par.len(), seq.len());
+    for (p, s) in par.iter().zip(&seq) {
+        assert_eq!(p.n_vms, s.n_vms);
+        assert_eq!(p.latency_goal_ms, s.latency_goal_ms);
+        assert_eq!(
+            p.table_bytes, s.table_bytes,
+            "goal {} ms",
+            p.latency_goal_ms
+        );
+        assert_eq!(p.stage, s.stage, "goal {} ms", p.latency_goal_ms);
+        // `gen_time_ms` is wall-clock: positive, but never byte-stable.
+        assert!(p.gen_time_ms > 0.0 && s.gen_time_ms > 0.0);
+    }
+}

@@ -19,6 +19,12 @@
 //! Every produced schedule is passed through [`crate::verify`]; a violation
 //! is returned as an internal error rather than silently handed to the
 //! dispatcher.
+//!
+//! **Parallel execution.** Cores (stage 1/2) and clusters (stage 3) hold
+//! disjoint task sets, so their EDF simulations and the DP-Fair generation
+//! run concurrently on scoped worker threads. Results are reassembled in
+//! core order; the generated schedule is bit-identical to a sequential run
+//! (see `prop_parallel` in `tableau-core`).
 
 use serde::{Deserialize, Serialize};
 
@@ -222,15 +228,24 @@ pub fn generate_schedule_with_preferences(
 }
 
 /// Simulates per-core EDF for a complete bin assignment.
+///
+/// Cores are independent by construction (each bin is a disjoint task set),
+/// so the simulations run concurrently; results are reassembled in core
+/// order, making the outcome identical to the sequential evaluation. On
+/// failure the lowest-numbered failing core's diagnostic is returned —
+/// exactly the error the sequential loop would have stopped at.
 fn simulate_bins(bins: &CoreBins, horizon: Nanos) -> Result<MultiCoreSchedule, GenError> {
-    let mut schedule = MultiCoreSchedule::idle(horizon, bins.cores.len());
-    for (core, pieces) in bins.cores.iter().enumerate() {
-        schedule.cores[core] = simulate_edf(pieces, horizon).map_err(|miss| {
+    let per_core = rayon::par_map_indices(bins.cores.len(), |core| {
+        simulate_edf(&bins.cores[core], horizon).map_err(|miss| {
             GenError::VerificationFailed(format!(
                 "EDF deadline miss on core {core}: task {} at {}",
                 miss.task, miss.deadline
             ))
-        })?;
+        })
+    });
+    let mut schedule = MultiCoreSchedule::idle(horizon, bins.cores.len());
+    for (core, result) in per_core.into_iter().enumerate() {
+        schedule.cores[core] = result?;
     }
     Ok(schedule)
 }
@@ -336,14 +351,23 @@ fn try_clustered(
         cluster_demand += d;
     }
 
-    // Generate: DP-Fair on the cluster, EDF on the singles.
-    let cluster_cores = dpfair_schedule(&cluster_tasks, cluster_size, horizon).ok()?;
+    // Generate: DP-Fair on the cluster and EDF on the singles, concurrently
+    // — the cluster and the singleton bins hold disjoint task sets.
+    let (cluster_cores, singles) = rayon::join(
+        || dpfair_schedule(&cluster_tasks, cluster_size, horizon),
+        || {
+            rayon::par_map_indices(single_bins.cores.len(), |i| {
+                simulate_edf(&single_bins.cores[i], horizon)
+            })
+        },
+    );
+    let cluster_cores = cluster_cores.ok()?;
     let mut schedule = MultiCoreSchedule::idle(horizon, n_cores);
     for (i, cs) in cluster_cores.into_iter().enumerate() {
         schedule.cores[i] = cs;
     }
-    for (i, pieces) in single_bins.cores.iter().enumerate() {
-        schedule.cores[cluster_size + i] = simulate_edf(pieces, horizon).ok()?;
+    for (i, cs) in singles.into_iter().enumerate() {
+        schedule.cores[cluster_size + i] = cs.ok()?;
     }
     let split: Vec<TaskId> = cluster_tasks.iter().map(|t| t.id).collect();
     let _ = opts;

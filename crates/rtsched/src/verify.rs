@@ -83,31 +83,41 @@ impl std::fmt::Display for Violation {
 /// pieces; the verifier checks the end-to-end guarantee that splitting is
 /// supposed to preserve.
 pub fn verify_schedule(tasks: &[PeriodicTask], schedule: &MultiCoreSchedule) -> Vec<Violation> {
-    let mut violations = Vec::new();
     let h = schedule.hyperperiod;
 
+    // Cores and tasks are each checked independently, so both passes run
+    // concurrently; per-core and per-task findings are concatenated in
+    // index order, producing the exact violation list (and ordering) of a
+    // sequential scan.
+
     // (1) Per-core geometry.
-    for (core, cs) in schedule.cores.iter().enumerate() {
+    let per_core = rayon::par_map_indices(schedule.cores.len(), |core| {
+        let cs = &schedule.cores[core];
+        let mut found = Vec::new();
         for seg in cs.segments() {
             if seg.end > h || seg.start >= seg.end {
-                violations.push(Violation::OutOfRange { core });
+                found.push(Violation::OutOfRange { core });
             }
         }
         for w in cs.segments().windows(2) {
             if w[0].end > w[1].start {
-                violations.push(Violation::CoreOverlap {
+                found.push(Violation::CoreOverlap {
                     core,
                     at: w[1].start,
                 });
             }
         }
-    }
+        found
+    });
 
-    for task in tasks {
+    // (2)–(4) Per-task guarantees.
+    let per_task = rayon::par_map_indices(tasks.len(), |i| {
+        let task = &tasks[i];
+        let mut found = Vec::new();
         let segs = schedule.segments_of(task.id);
         if segs.is_empty() {
-            violations.push(Violation::MissingTask(task.id));
-            continue;
+            found.push(Violation::MissingTask(task.id));
+            return found;
         }
 
         // (2) Exact service per period window.
@@ -115,7 +125,7 @@ pub fn verify_schedule(tasks: &[PeriodicTask], schedule: &MultiCoreSchedule) -> 
         while start < h {
             let got = schedule.total_service_in(task.id, start, start + task.period);
             if got != task.cost {
-                violations.push(Violation::WrongService {
+                found.push(Violation::WrongService {
                     task: task.id,
                     window_start: start,
                     got,
@@ -130,7 +140,7 @@ pub fn verify_schedule(tasks: &[PeriodicTask], schedule: &MultiCoreSchedule) -> 
         ordered.sort_unstable();
         for w in ordered.windows(2) {
             if w[0].1 > w[1].0 {
-                violations.push(Violation::ParallelExecution {
+                found.push(Violation::ParallelExecution {
                     task: task.id,
                     at: w[1].0,
                 });
@@ -142,15 +152,18 @@ pub fn verify_schedule(tasks: &[PeriodicTask], schedule: &MultiCoreSchedule) -> 
             let bound = task.worst_case_blackout();
             let observed = max_blackout(&ordered, h);
             if observed > bound {
-                violations.push(Violation::BlackoutTooLong {
+                found.push(Violation::BlackoutTooLong {
                     task: task.id,
                     observed,
                     bound,
                 });
             }
         }
-    }
+        found
+    });
 
+    let mut violations: Vec<Violation> = per_core.into_iter().flatten().collect();
+    violations.extend(per_task.into_iter().flatten());
     violations
 }
 

@@ -122,7 +122,7 @@ impl Tableau {
             self.dispatcher.abort_table_switch();
             return Ok(None);
         }
-        Ok(Some(self.dispatcher.commit_table_switch(staged)))
+        Ok(Some(self.dispatcher.commit_table_switch(staged)?))
     }
 
     /// Access to the underlying dispatcher (diagnostics/tests).

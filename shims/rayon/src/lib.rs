@@ -1,0 +1,259 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! workspace ships a minimal data-parallelism layer with the `rayon` surface
+//! the planner and experiment sweeps use: [`join`], `par_iter()` over slices
+//! with `map(..).collect()`, and the index-range helper [`par_map_indices`].
+//! Work is executed on `std::thread::scope` threads in fixed contiguous
+//! chunks and results are reassembled in input order, so every parallel
+//! entry point is **deterministic**: the output is bit-identical to the
+//! sequential evaluation regardless of thread count or interleaving.
+//!
+//! Two deliberate simplifications relative to real rayon:
+//!
+//! * **No work stealing.** Chunks are static; workers never rebalance. The
+//!   workloads here (per-core EDF simulation, per-sweep-point measurement)
+//!   have near-uniform cell costs, so static chunking loses little.
+//! * **No nested pools.** A worker thread that itself reaches a parallel
+//!   entry point runs it inline. This bounds the total thread count at
+//!   `available_parallelism` per top-level call instead of multiplying at
+//!   every nesting level.
+//!
+//! [`force_sequential`] runs a closure with every parallel entry point
+//! inlined on the calling thread — the reference executions that the
+//! determinism tests compare against the parallel ones.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Set inside worker threads (and `force_sequential`): parallel entry
+    /// points observed under this flag run inline instead of spawning.
+    static INLINE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Upper bound on worker threads for one parallel call.
+///
+/// `RAYON_NUM_THREADS` overrides the detected core count, mirroring real
+/// rayon's global-pool knob.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn workers_for(n_items: usize) -> usize {
+    if INLINE.with(Cell::get) || n_items <= 1 {
+        1
+    } else {
+        current_num_threads().min(n_items)
+    }
+}
+
+/// Runs `f` with all parallel entry points executing inline on the calling
+/// thread (shim extension; used by determinism tests to produce the
+/// sequential reference run).
+pub fn force_sequential<R>(f: impl FnOnce() -> R) -> R {
+    let prev = INLINE.with(Cell::get);
+    INLINE.with(|c| c.set(true));
+    let r = f();
+    INLINE.with(|c| c.set(prev));
+    r
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if INLINE.with(Cell::get) {
+        return (oper_a(), oper_b());
+    }
+    std::thread::scope(|s| {
+        let b = s.spawn(|| {
+            INLINE.with(|c| c.set(true));
+            oper_b()
+        });
+        let ra = oper_a();
+        let rb = b.join().expect("rayon shim: joined closure panicked");
+        (ra, rb)
+    })
+}
+
+/// Maps `f` over `0..n` with the results in index order.
+///
+/// The workhorse behind the iterator adapters, exposed directly because
+/// "parallel for each core index" is the planner's dominant shape (shim
+/// extension; real rayon spells this `(0..n).into_par_iter()`).
+pub fn par_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            handles.push(s.spawn(move || {
+                INLINE.with(|c| c.set(true));
+                (start..end).map(f).collect::<Vec<R>>()
+            }));
+        }
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon shim: worker panicked"));
+        }
+        out
+    })
+}
+
+/// `rayon::prelude` — import to get `par_iter()` on slices and `Vec`s.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type yielded by the parallel iterator.
+    type Item: 'a;
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over slice elements.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (evaluated when collected).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal operations run the pool.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluates the map in parallel and collects the results in input
+    /// order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        par_map_indices(self.items.len(), |i| f(&self.items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Marker trait so `use rayon::prelude::*` mirrors real rayon imports.
+pub trait ParallelIterator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_indices_preserves_order() {
+        let out = par_map_indices(1000, |i| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_collect_matches_sequential() {
+        let items: Vec<u64> = (0..257).collect();
+        let par: Vec<u64> = items.par_iter().map(|&x| x * x + 1).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn force_sequential_produces_identical_output() {
+        let items: Vec<u64> = (0..100).collect();
+        let par: Vec<u64> = items.par_iter().map(|&x| x + 1).collect();
+        let seq: Vec<u64> =
+            force_sequential(|| items.par_iter().map(|&x| x + 1).collect::<Vec<u64>>());
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn nested_calls_run_inline_not_multiplicatively() {
+        // Count live worker generations: the inner par_map under a worker
+        // must not spawn again, so every inner element is computed on the
+        // same thread as its outer element.
+        let outer_threads = AtomicUsize::new(0);
+        let out = par_map_indices(8, |i| {
+            outer_threads.fetch_add(1, Ordering::Relaxed);
+            let inner = par_map_indices(8, |j| {
+                let same_thread = std::thread::current().id();
+                (j, same_thread)
+            });
+            let tid = std::thread::current().id();
+            assert!(inner.iter().all(|&(_, t)| t == tid));
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_indices(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indices(1, |i| i + 5), vec![5]);
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
