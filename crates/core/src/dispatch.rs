@@ -24,6 +24,7 @@
 
 use rtsched::time::Nanos;
 
+use crate::guardian::SlaMonitor;
 use crate::level2::Level2;
 use crate::switch::{InstallError, StagedInstall, TableManager};
 use crate::table::{Slot, Table};
@@ -84,6 +85,11 @@ pub struct Dispatcher {
     owner: Vec<Option<usize>>,
     /// Pending "tell me when this vCPU is de-scheduled" IPI requests.
     ipi_request: Vec<Option<usize>>,
+    /// Per-vCPU quarantine flags (source of truth; demotions are re-applied
+    /// to each core's second level on its next lazy rebuild).
+    quarantined: Vec<bool>,
+    /// Optional SLA monitor fed from the dispatch path.
+    monitor: Option<SlaMonitor>,
 }
 
 impl Dispatcher {
@@ -100,6 +106,8 @@ impl Dispatcher {
             capped,
             owner: Vec::new(),
             ipi_request: Vec::new(),
+            quarantined: Vec::new(),
+            monitor: None,
         };
         for core in 0..n_cores {
             let table = d.tables.table_for(core, Nanos::ZERO);
@@ -159,6 +167,16 @@ impl Dispatcher {
         if epoch != self.level2_epoch[core] {
             let eligible = self.level2_eligible(&table, core);
             self.level2[core].set_eligible(&eligible);
+            if self.quarantined.iter().any(|&q| q) {
+                let demoted: Vec<VcpuId> = eligible
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.is_quarantined(v))
+                    .collect();
+                if !demoted.is_empty() {
+                    self.level2[core].set_demoted(&demoted);
+                }
+            }
             self.level2_epoch[core] = epoch;
         }
 
@@ -177,6 +195,9 @@ impl Dispatcher {
                     }
                     _ => {
                         self.owner[vcpu.0 as usize] = Some(core);
+                        if let Some(m) = &mut self.monitor {
+                            m.note_dispatched(vcpu, now);
+                        }
                         return Decision::Run {
                             vcpu,
                             until,
@@ -201,6 +222,9 @@ impl Dispatcher {
         if let Some(vcpu) = pick {
             self.ensure_vcpu_slots(vcpu);
             self.owner[vcpu.0 as usize] = Some(core);
+            if let Some(m) = &mut self.monitor {
+                m.note_dispatched(vcpu, now);
+            }
             return Decision::Run {
                 vcpu,
                 until,
@@ -309,6 +333,50 @@ impl Dispatcher {
     /// Runs table garbage collection; returns the number of tables freed.
     pub fn collect_garbage(&mut self) -> usize {
         self.tables.collect_garbage()
+    }
+
+    /// Quarantines `vcpu` (demotes it at the second level so it only
+    /// scavenges otherwise-idle time) or lifts the quarantine.
+    ///
+    /// Takes effect on each core's next decision via the lazy second-level
+    /// rebuild; the table reservation of the vCPU is untouched.
+    pub fn set_quarantined(&mut self, vcpu: VcpuId, quarantined: bool) {
+        let need = vcpu.0 as usize + 1;
+        if self.quarantined.len() < need {
+            self.quarantined.resize(need, false);
+        }
+        if self.quarantined[vcpu.0 as usize] == quarantined {
+            return;
+        }
+        self.quarantined[vcpu.0 as usize] = quarantined;
+        // Demotions are re-applied lazily per core on the next decision.
+        for e in &mut self.level2_epoch {
+            *e = usize::MAX;
+        }
+    }
+
+    /// Whether `vcpu` is currently quarantined.
+    pub fn is_quarantined(&self, vcpu: VcpuId) -> bool {
+        self.quarantined
+            .get(vcpu.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Attaches an SLA monitor; subsequent dispatches feed it. Replaces any
+    /// previously attached monitor.
+    pub fn attach_sla_monitor(&mut self, monitor: SlaMonitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// The attached SLA monitor, if any.
+    pub fn sla_monitor(&self) -> Option<&SlaMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Mutable access to the attached SLA monitor, if any.
+    pub fn sla_monitor_mut(&mut self) -> Option<&mut SlaMonitor> {
+        self.monitor.as_mut()
     }
 }
 
@@ -482,6 +550,76 @@ mod tests {
         }
         assert!(seen.contains(&VcpuId(0)));
         assert!(seen.contains(&VcpuId(1)));
+    }
+
+    #[test]
+    fn quarantined_vcpu_yields_level2_to_good_standing() {
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        d.set_quarantined(VcpuId(0), true);
+        // In the idle gap [3, 5) both vCPU 0 and 1 are ready; quarantine
+        // makes vCPU 1 win every time.
+        for _ in 0..3 {
+            let dec = d.decide(0, ms(3), |_| true);
+            assert_eq!(dec.vcpu(), Some(VcpuId(1)));
+            d.charge_level2(0, VcpuId(1), ms(2));
+            d.on_descheduled(VcpuId(1), 0);
+        }
+        // The quarantined vCPU still scavenges when nothing else is ready.
+        let dec = d.decide(0, ms(3), |v| v == VcpuId(0));
+        assert_eq!(dec.vcpu(), Some(VcpuId(0)));
+        d.on_descheduled(VcpuId(0), 0);
+        // Lifting the quarantine restores fair rotation.
+        d.set_quarantined(VcpuId(0), false);
+        assert!(!d.is_quarantined(VcpuId(0)));
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            if let Decision::Run { vcpu, .. } = d.decide(0, ms(3), |_| true) {
+                d.charge_level2(0, vcpu, ms(2));
+                d.on_descheduled(vcpu, 0);
+                seen.push(vcpu);
+            }
+        }
+        assert!(seen.contains(&VcpuId(0)));
+        assert!(seen.contains(&VcpuId(1)));
+    }
+
+    #[test]
+    fn quarantine_survives_table_switch() {
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        d.set_quarantined(VcpuId(0), true);
+        let _ = d.decide(0, ms(3), |_| true);
+        // Reinstall the same layout: the switch rebuilds level 2, which
+        // must re-apply the demotion.
+        let new = Table::new(
+            ms(10),
+            vec![vec![alloc(0, 3, 0), alloc(5, 8, 1)], vec![alloc(0, 10, 2)]],
+        )
+        .unwrap();
+        let switch_at = d.install_table(new, ms(1));
+        let dec = d.decide(0, switch_at + ms(3), |_| true);
+        assert_eq!(dec.vcpu(), Some(VcpuId(1)));
+    }
+
+    #[test]
+    fn attached_monitor_sees_dispatches() {
+        use crate::guardian::SlaMonitor;
+        let mut d = two_core_dispatcher(vec![false; 3]);
+        let mut m = SlaMonitor::new(vec![(VcpuId(0), ms(2))]);
+        m.note_runnable(VcpuId(0), ms(0));
+        d.attach_sla_monitor(m);
+        // Dispatched at 1 ms after becoming runnable at 0: within bound.
+        let _ = d.decide(0, ms(1), |_| true);
+        assert!(d.sla_monitor_mut().unwrap().drain_violations().is_empty());
+        d.on_descheduled(VcpuId(0), 0);
+        // Runnable again at 3 ms but only dispatched at 10 ms (its next
+        // table slot round): 7 ms delay blows the 2 ms bound.
+        d.sla_monitor_mut().unwrap().note_runnable(VcpuId(0), ms(3));
+        let _ = d.decide(0, ms(10), |_| true);
+        let violations = d.sla_monitor_mut().unwrap().drain_violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].vcpu, VcpuId(0));
+        assert_eq!(violations[0].observed, ms(7));
+        assert_eq!(violations[0].bound, ms(2));
     }
 
     #[test]

@@ -1,0 +1,951 @@
+//! The runtime SLA guardian: online violation detection and self-healing.
+//!
+//! Tableau's contract is *static*: the planner proves every capped vCPU a
+//! worst-case scheduling blackout of `2·(1−U)·T ≤ L` and the dispatcher is
+//! too simple to break it. The guardian closes the loop at *runtime*, for
+//! the faults the proof does not cover — a core dropping out of service, a
+//! table push that keeps getting interrupted, a guest that persistently
+//! overruns its declared demand:
+//!
+//! * [`SlaMonitor`] rides the dispatch path and measures each vCPU's
+//!   observed scheduling latency against its declared bound `L`, raising
+//!   typed [`SlaViolation`] events (including for vCPUs still waiting —
+//!   a vCPU stranded on an offline core must not need a dispatch to be
+//!   noticed).
+//! * [`Guardian`] consumes violations, core-loss events and overrun
+//!   counters and drives recovery: it **evacuates** vCPUs from offline
+//!   cores by replanning onto the surviving cores (down the
+//!   [`plan_with_fallback`] ladder), installs the new table with the
+//!   two-phase protocol and **bounded exponential backoff** on interrupted
+//!   pushes, and **quarantines** persistent overrunners by demoting them
+//!   in the level-2 fair-share scheduler.
+//!
+//! Every action is recorded as a [`RecoveryRecord`] with provenance (which
+//! ladder rung produced the installed plan, how many install attempts it
+//! took), so experiment artifacts can distinguish degraded runs.
+
+use rtsched::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+use crate::dispatch::Dispatcher;
+use crate::planner::{plan_with_fallback, Plan, PlannerOptions, ReplanPath};
+use crate::table::Table;
+use crate::vcpu::{HostConfig, VcpuId};
+
+/// A capped vCPU's observed scheduling latency exceeded its declared bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlaViolation {
+    /// The affected vCPU.
+    pub vcpu: VcpuId,
+    /// The observed runnable-to-dispatch latency.
+    pub observed: Nanos,
+    /// The vCPU's declared latency bound `L`.
+    pub bound: Nanos,
+    /// When the violation was detected.
+    pub at: Nanos,
+}
+
+/// Per-vCPU blackout monitor on the dispatch path.
+///
+/// Fed by the scheduler adapter (`note_runnable` / `note_blocked`) and the
+/// dispatcher (`note_dispatched`); a control loop calls
+/// [`SlaMonitor::scan_overdue`] periodically so that a vCPU *stuck* waiting
+/// (e.g. homed on an offline core) is reported without ever being
+/// dispatched. Each waiting spell reports at most one violation.
+#[derive(Debug, Clone, Default)]
+pub struct SlaMonitor {
+    /// Declared latency bound per vCPU id (`None` = unmonitored).
+    bounds: Vec<Option<Nanos>>,
+    /// When each vCPU last became runnable without being dispatched yet.
+    runnable_since: Vec<Option<Nanos>>,
+    /// Whether the current waiting spell already reported a violation.
+    flagged: Vec<bool>,
+    /// Worst observed runnable-to-dispatch latency per vCPU.
+    worst: Vec<Nanos>,
+    pending: Vec<SlaViolation>,
+    seen: u64,
+}
+
+impl SlaMonitor {
+    /// Creates a monitor for the given `(vcpu, latency bound)` pairs.
+    pub fn new(bounds: Vec<(VcpuId, Nanos)>) -> SlaMonitor {
+        let mut m = SlaMonitor::default();
+        for (v, b) in bounds {
+            let i = m.slot(v);
+            m.bounds[i] = Some(b);
+        }
+        m
+    }
+
+    /// Creates a monitor covering every vCPU of `host`, bounded by its
+    /// declared latency goal.
+    pub fn from_host(host: &HostConfig) -> SlaMonitor {
+        SlaMonitor::new(
+            host.vcpus()
+                .into_iter()
+                .map(|(v, spec)| (v, spec.latency))
+                .collect(),
+        )
+    }
+
+    fn slot(&mut self, vcpu: VcpuId) -> usize {
+        let i = vcpu.0 as usize;
+        if self.bounds.len() <= i {
+            self.bounds.resize(i + 1, None);
+            self.runnable_since.resize(i + 1, None);
+            self.flagged.resize(i + 1, false);
+            self.worst.resize(i + 1, Nanos::ZERO);
+        }
+        i
+    }
+
+    /// The declared bound of `vcpu`, if monitored.
+    pub fn bound_of(&self, vcpu: VcpuId) -> Option<Nanos> {
+        self.bounds.get(vcpu.0 as usize).copied().flatten()
+    }
+
+    /// Worst observed runnable-to-dispatch latency of `vcpu` so far.
+    pub fn worst_of(&self, vcpu: VcpuId) -> Nanos {
+        self.worst
+            .get(vcpu.0 as usize)
+            .copied()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Total violations raised since creation.
+    pub fn violations_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// `vcpu` became runnable at `now` (wake-up or preemption). Idempotent
+    /// within one waiting spell: the earliest timestamp wins.
+    pub fn note_runnable(&mut self, vcpu: VcpuId, now: Nanos) {
+        let i = self.slot(vcpu);
+        if self.runnable_since[i].is_none() {
+            self.runnable_since[i] = Some(now);
+            self.flagged[i] = false;
+        }
+    }
+
+    /// `vcpu` blocked voluntarily; the waiting spell (if any) is abandoned.
+    pub fn note_blocked(&mut self, vcpu: VcpuId, now: Nanos) {
+        let _ = now;
+        let i = self.slot(vcpu);
+        self.runnable_since[i] = None;
+        self.flagged[i] = false;
+    }
+
+    /// `vcpu` was dispatched at `now`; closes the waiting spell and raises
+    /// a violation if the delay exceeded the bound (unless
+    /// [`SlaMonitor::scan_overdue`] already reported this spell).
+    pub fn note_dispatched(&mut self, vcpu: VcpuId, now: Nanos) {
+        let i = self.slot(vcpu);
+        if let Some(since) = self.runnable_since[i].take() {
+            let delay = now.saturating_sub(since);
+            if delay > self.worst[i] {
+                self.worst[i] = delay;
+            }
+            if !self.flagged[i] {
+                if let Some(bound) = self.bounds[i] {
+                    if delay > bound {
+                        self.seen += 1;
+                        self.pending.push(SlaViolation {
+                            vcpu,
+                            observed: delay,
+                            bound,
+                            at: now,
+                        });
+                    }
+                }
+            }
+            self.flagged[i] = false;
+        }
+    }
+
+    /// Reports vCPUs that have been waiting past their bound without being
+    /// dispatched (at most once per waiting spell).
+    pub fn scan_overdue(&mut self, now: Nanos) {
+        for i in 0..self.runnable_since.len() {
+            let (Some(since), Some(bound), false) =
+                (self.runnable_since[i], self.bounds[i], self.flagged[i])
+            else {
+                continue;
+            };
+            let waited = now.saturating_sub(since);
+            if waited > bound {
+                self.flagged[i] = true;
+                if waited > self.worst[i] {
+                    self.worst[i] = waited;
+                }
+                self.seen += 1;
+                self.pending.push(SlaViolation {
+                    vcpu: VcpuId(i as u32),
+                    observed: waited,
+                    bound,
+                    at: now,
+                });
+            }
+        }
+    }
+
+    /// Takes all violations raised since the last drain.
+    pub fn drain_violations(&mut self) -> Vec<SlaViolation> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+/// A core dropped out of, or returned to, service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreEvent {
+    /// `core` stopped executing at `at`.
+    Offline {
+        /// The lost core.
+        core: usize,
+        /// When it was lost.
+        at: Nanos,
+    },
+    /// `core` resumed executing at `at`.
+    Online {
+        /// The recovered core.
+        core: usize,
+        /// When it returned.
+        at: Nanos,
+    },
+}
+
+/// Tunables for the guardian's recovery policy.
+#[derive(Debug, Clone)]
+pub struct GuardianConfig {
+    /// Give up on a pending install after this many interrupted attempts
+    /// and re-run the planning ladder instead.
+    pub max_install_retries: u32,
+    /// First retry delay; doubles per attempt.
+    pub backoff_base: Nanos,
+    /// Retry delay ceiling.
+    pub backoff_cap: Nanos,
+    /// Quarantine an uncapped guest once its cumulative overrun count
+    /// reaches this threshold.
+    pub quarantine_overruns: u64,
+    /// Planner options for evacuation/restore replans.
+    pub planner: PlannerOptions,
+}
+
+impl Default for GuardianConfig {
+    fn default() -> GuardianConfig {
+        GuardianConfig {
+            max_install_retries: 5,
+            backoff_base: Nanos::from_millis(1),
+            backoff_cap: Nanos::from_millis(100),
+            quarantine_overruns: 50,
+            planner: PlannerOptions::default(),
+        }
+    }
+}
+
+/// One recovery action taken by the guardian, for provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// The monitor reported a blackout past a vCPU's bound.
+    ViolationObserved {
+        /// The affected vCPU.
+        vcpu: VcpuId,
+        /// Observed latency.
+        observed: Nanos,
+        /// Declared bound.
+        bound: Nanos,
+    },
+    /// A core dropped out of service.
+    CoreLost {
+        /// The lost core.
+        core: usize,
+    },
+    /// An offline core returned to service.
+    CoreRestored {
+        /// The recovered core.
+        core: usize,
+    },
+    /// The planning ladder produced an evacuation/restore plan.
+    Replanned {
+        /// Ladder rung that produced the plan ([`ReplanPath::label`]).
+        path: String,
+        /// Cores the plan targets.
+        online_cores: usize,
+        /// Rungs that failed before this one.
+        fallback_attempts: usize,
+    },
+    /// Every rung of the planning ladder failed; retried on the next
+    /// core-set change.
+    ReplanFailed {
+        /// The per-rung diagnostic trail.
+        error: String,
+    },
+    /// A two-phase install was interrupted and rolled back; the dispatcher
+    /// stays on the old table until the retry.
+    InstallRetried {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Earliest time of the next attempt (exponential backoff).
+        next_try: Nanos,
+    },
+    /// The retry budget ran out; the guardian re-runs the planning ladder.
+    InstallRetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The install was rejected outright (e.g. hyperperiod mismatch).
+    InstallFailed {
+        /// Why.
+        error: String,
+    },
+    /// The staged table was committed; recovery for the triggering event
+    /// is complete once every core switches.
+    Installed {
+        /// Ladder rung of the installed plan.
+        path: String,
+        /// When every core will have switched.
+        switch_at: Nanos,
+        /// Interrupted attempts before this one succeeded.
+        attempts: u32,
+    },
+    /// A persistently overrunning guest was demoted at the second level.
+    Quarantined {
+        /// The demoted vCPU.
+        vcpu: VcpuId,
+        /// Its cumulative overrun count at demotion time.
+        overruns: u64,
+    },
+}
+
+/// A timestamped [`RecoveryAction`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// When the action was taken.
+    pub at: Nanos,
+    /// What was done.
+    pub action: RecoveryAction,
+}
+
+/// Aggregate recovery counters (mirrors `xensim`'s `RecoveryStats` without
+/// depending on the simulator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardianCounters {
+    /// SLA violations consumed from the monitor.
+    pub violations_seen: u64,
+    /// Evacuation/restore replans that produced an installable plan.
+    pub evacuations: u64,
+    /// Interrupted installs that were rolled back and retried.
+    pub install_retries: u64,
+    /// Guests demoted at the second level.
+    pub quarantines: u64,
+}
+
+/// An evacuation/restore plan awaiting a successful two-phase install.
+#[derive(Debug, Clone)]
+struct PendingInstall {
+    host: HostConfig,
+    plan: Plan,
+    /// The plan's table remapped to the full core width (empty lanes for
+    /// offline cores) so it matches the dispatcher's core count.
+    table: Table,
+    path: ReplanPath,
+    attempts: u32,
+    next_try: Nanos,
+}
+
+/// The self-healing control loop.
+///
+/// Owns the recovery policy, not the mechanism: the dispatcher keeps making
+/// decisions on whatever table is installed; the guardian only ever changes
+/// state through the dispatcher's public install/quarantine interfaces. Call
+/// [`Guardian::step`] periodically (each control epoch).
+#[derive(Debug)]
+pub struct Guardian {
+    cfg: GuardianConfig,
+    /// The full-width host the deployment was admitted with.
+    base_host: HostConfig,
+    /// Per-vCPU capped flags of the base host (capped guests are never
+    /// quarantined: the table already clamps them).
+    capped: Vec<bool>,
+    /// The host/plan pair behind the currently installed table (previous
+    /// plan for the incremental rung of the next replan).
+    installed: (HostConfig, Plan),
+    offline: Vec<bool>,
+    replan_needed: bool,
+    pending: Option<PendingInstall>,
+    /// Latest cumulative overrun count per vCPU id.
+    overruns_seen: Vec<u64>,
+    counters: GuardianCounters,
+    log: Vec<RecoveryRecord>,
+}
+
+impl Guardian {
+    /// Creates a guardian for a deployment admitted as `base_host` with
+    /// `initial` installed.
+    pub fn new(base_host: HostConfig, initial: Plan, cfg: GuardianConfig) -> Guardian {
+        let capped = base_host
+            .vcpus()
+            .into_iter()
+            .map(|(_, spec)| spec.capped)
+            .collect();
+        Guardian {
+            cfg,
+            capped,
+            installed: (base_host.clone(), initial),
+            offline: vec![false; base_host.n_cores],
+            base_host,
+            replan_needed: false,
+            pending: None,
+            overruns_seen: Vec::new(),
+            counters: GuardianCounters::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// A monitor covering every vCPU of the guarded host.
+    pub fn monitor(&self) -> SlaMonitor {
+        SlaMonitor::from_host(&self.base_host)
+    }
+
+    /// Feeds a core offline/online event. Out-of-range cores are ignored.
+    pub fn on_core_event(&mut self, event: CoreEvent) {
+        let (core, at, offline) = match event {
+            CoreEvent::Offline { core, at } => (core, at, true),
+            CoreEvent::Online { core, at } => (core, at, false),
+        };
+        let Some(flag) = self.offline.get_mut(core) else {
+            return;
+        };
+        if *flag == offline {
+            return;
+        }
+        *flag = offline;
+        self.replan_needed = true;
+        // A plan built for the previous core set is stale; rebuild.
+        self.pending = None;
+        self.log.push(RecoveryRecord {
+            at,
+            action: if offline {
+                RecoveryAction::CoreLost { core }
+            } else {
+                RecoveryAction::CoreRestored { core }
+            },
+        });
+    }
+
+    /// Records `vcpu`'s cumulative overrun count (monotone; from the
+    /// hypervisor's per-vCPU statistics). Quarantine is decided at the next
+    /// [`Guardian::step`].
+    pub fn observe_overruns(&mut self, vcpu: VcpuId, total: u64) {
+        let i = vcpu.0 as usize;
+        if self.overruns_seen.len() <= i {
+            self.overruns_seen.resize(i + 1, 0);
+        }
+        self.overruns_seen[i] = total;
+    }
+
+    /// Runs one control epoch at `now`: drains the monitor, quarantines
+    /// persistent overrunners, replans after core-set changes, and drives
+    /// any pending install (`install_interrupted` reports whether a push
+    /// attempted *this* epoch would be interrupted — in a live system this
+    /// is the outcome of the push itself).
+    ///
+    /// Returns the recovery records produced by this step.
+    pub fn step(
+        &mut self,
+        dispatcher: &mut Dispatcher,
+        now: Nanos,
+        install_interrupted: bool,
+    ) -> Vec<RecoveryRecord> {
+        let mark = self.log.len();
+
+        if let Some(m) = dispatcher.sla_monitor_mut() {
+            m.scan_overdue(now);
+            for v in m.drain_violations() {
+                self.counters.violations_seen += 1;
+                self.log.push(RecoveryRecord {
+                    at: v.at,
+                    action: RecoveryAction::ViolationObserved {
+                        vcpu: v.vcpu,
+                        observed: v.observed,
+                        bound: v.bound,
+                    },
+                });
+            }
+        }
+
+        for i in 0..self.overruns_seen.len() {
+            let vcpu = VcpuId(i as u32);
+            if self.overruns_seen[i] >= self.cfg.quarantine_overruns
+                && !self.capped.get(i).copied().unwrap_or(true)
+                && !dispatcher.is_quarantined(vcpu)
+            {
+                dispatcher.set_quarantined(vcpu, true);
+                self.counters.quarantines += 1;
+                self.log.push(RecoveryRecord {
+                    at: now,
+                    action: RecoveryAction::Quarantined {
+                        vcpu,
+                        overruns: self.overruns_seen[i],
+                    },
+                });
+            }
+        }
+
+        if self.replan_needed && self.pending.is_none() {
+            self.replan(now);
+        }
+
+        if self.pending.as_ref().is_some_and(|p| now >= p.next_try) {
+            self.try_install(dispatcher, now, install_interrupted);
+        }
+
+        self.log[mark..].to_vec()
+    }
+
+    fn replan(&mut self, now: Nanos) {
+        self.replan_needed = false;
+        let online: Vec<usize> = (0..self.base_host.n_cores)
+            .filter(|&c| !self.offline[c])
+            .collect();
+        if online.is_empty() {
+            self.log.push(RecoveryRecord {
+                at: now,
+                action: RecoveryAction::ReplanFailed {
+                    error: "no cores online".to_string(),
+                },
+            });
+            return;
+        }
+        // Evacuation target: the same guests on the surviving cores. vCPU
+        // ids stay dense and identical (same VMs in the same order), so the
+        // compact plan's lanes can be remapped onto the full core width.
+        let mut target = HostConfig::new(online.len());
+        for vm in &self.base_host.vms {
+            let mut vm = vm.clone();
+            // NUMA placement hints may reference lost cores; evacuation
+            // trades placement quality for service.
+            vm.numa_node = None;
+            target.add_vm(vm);
+        }
+        match plan_with_fallback(
+            Some((&self.installed.0, &self.installed.1)),
+            &target,
+            &self.cfg.planner,
+        ) {
+            Ok(outcome) => {
+                match remap_to_width(&outcome.plan.table, &online, self.base_host.n_cores) {
+                    Ok(full) => {
+                        self.counters.evacuations += 1;
+                        self.log.push(RecoveryRecord {
+                            at: now,
+                            action: RecoveryAction::Replanned {
+                                path: outcome.path.label().to_string(),
+                                online_cores: online.len(),
+                                fallback_attempts: outcome.attempts.len(),
+                            },
+                        });
+                        self.pending = Some(PendingInstall {
+                            host: target,
+                            plan: outcome.plan,
+                            table: full,
+                            path: outcome.path,
+                            attempts: 0,
+                            next_try: now,
+                        });
+                    }
+                    Err(error) => self.log.push(RecoveryRecord {
+                        at: now,
+                        action: RecoveryAction::ReplanFailed { error },
+                    }),
+                }
+            }
+            Err(e) => self.log.push(RecoveryRecord {
+                at: now,
+                action: RecoveryAction::ReplanFailed {
+                    error: e.to_string(),
+                },
+            }),
+        }
+    }
+
+    fn try_install(&mut self, dispatcher: &mut Dispatcher, now: Nanos, interrupted: bool) {
+        let Some(mut p) = self.pending.take() else {
+            return;
+        };
+        if dispatcher.has_staged_table() {
+            // Defensive: never stack on a foreign staged install.
+            dispatcher.abort_table_switch();
+        }
+        let staged = match dispatcher.begin_table_switch(p.table.clone(), now) {
+            Ok(staged) => staged,
+            Err(e) => {
+                self.log.push(RecoveryRecord {
+                    at: now,
+                    action: RecoveryAction::InstallFailed {
+                        error: e.to_string(),
+                    },
+                });
+                self.replan_needed = true;
+                return;
+            }
+        };
+        if interrupted {
+            // Torn push: roll back, keep the old table, retry with backoff.
+            dispatcher.abort_table_switch();
+            self.counters.install_retries += 1;
+            p.attempts += 1;
+            if p.attempts > self.cfg.max_install_retries {
+                self.log.push(RecoveryRecord {
+                    at: now,
+                    action: RecoveryAction::InstallRetriesExhausted {
+                        attempts: p.attempts,
+                    },
+                });
+                // Escalate: rebuild the plan down the ladder next step.
+                self.replan_needed = true;
+            } else {
+                p.next_try = now + backoff(self.cfg.backoff_base, self.cfg.backoff_cap, p.attempts);
+                self.log.push(RecoveryRecord {
+                    at: now,
+                    action: RecoveryAction::InstallRetried {
+                        attempt: p.attempts,
+                        next_try: p.next_try,
+                    },
+                });
+                self.pending = Some(p);
+            }
+            return;
+        }
+        match dispatcher.commit_table_switch(staged) {
+            Ok(switch_at) => {
+                self.log.push(RecoveryRecord {
+                    at: now,
+                    action: RecoveryAction::Installed {
+                        path: p.path.label().to_string(),
+                        switch_at,
+                        attempts: p.attempts,
+                    },
+                });
+                self.installed = (p.host, p.plan);
+            }
+            Err(e) => {
+                self.log.push(RecoveryRecord {
+                    at: now,
+                    action: RecoveryAction::InstallFailed {
+                        error: e.to_string(),
+                    },
+                });
+                self.replan_needed = true;
+            }
+        }
+    }
+
+    /// Aggregate recovery counters.
+    pub fn counters(&self) -> GuardianCounters {
+        self.counters
+    }
+
+    /// Every recovery record since creation, in order.
+    pub fn log(&self) -> &[RecoveryRecord] {
+        &self.log
+    }
+
+    /// The plan behind the currently installed table.
+    pub fn installed_plan(&self) -> &Plan {
+        &self.installed.1
+    }
+
+    /// Whether `core` is believed online.
+    pub fn is_core_online(&self, core: usize) -> bool {
+        self.offline.get(core).is_some_and(|&off| !off)
+    }
+
+    /// Cores currently believed online.
+    pub fn online_cores(&self) -> usize {
+        self.offline.iter().filter(|&&off| !off).count()
+    }
+
+    /// Whether an evacuation/restore install is still pending.
+    pub fn recovery_pending(&self) -> bool {
+        self.pending.is_some() || self.replan_needed
+    }
+}
+
+/// Remaps a compact `table` (one lane per online core) onto `width` cores,
+/// leaving offline cores' lanes empty (a whole-table idle slice).
+fn remap_to_width(table: &Table, online: &[usize], width: usize) -> Result<Table, String> {
+    let mut per_core = vec![Vec::new(); width];
+    for (compact, &full) in online.iter().enumerate() {
+        per_core[full] = table.cpu(compact).allocations().to_vec();
+    }
+    Table::new(table.len(), per_core)
+}
+
+fn backoff(base: Nanos, cap: Nanos, attempt: u32) -> Nanos {
+    let shift = attempt.saturating_sub(1).min(32);
+    Nanos(base.0.saturating_mul(1u64 << shift).min(cap.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::Decision;
+    use crate::level2::DEFAULT_EPOCH;
+    use crate::planner::plan;
+    use crate::vcpu::{Utilization, VcpuSpec, VmSpec};
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    /// Two cores, four single-vCPU VMs at 25% each: two capped (20 ms
+    /// latency goal), two uncapped. One core's worth of load fits on the
+    /// survivor when the other core dies.
+    fn host() -> HostConfig {
+        let mut h = HostConfig::new(2);
+        let capped = VcpuSpec::capped(Utilization::from_percent(25), ms(20));
+        let uncapped = VcpuSpec::new(Utilization::from_percent(25), ms(20));
+        h.add_vm(VmSpec::uniform("c0", 1, capped));
+        h.add_vm(VmSpec::uniform("c1", 1, capped));
+        h.add_vm(VmSpec::uniform("u0", 1, uncapped));
+        h.add_vm(VmSpec::uniform("u1", 1, uncapped));
+        h
+    }
+
+    fn setup() -> (Guardian, Dispatcher) {
+        let h = host();
+        let p = plan(&h, &PlannerOptions::default()).unwrap();
+        let capped: Vec<bool> = h.vcpus().into_iter().map(|(_, s)| s.capped).collect();
+        let mut d = Dispatcher::new(p.table.clone(), capped, DEFAULT_EPOCH);
+        let g = Guardian::new(h, p, GuardianConfig::default());
+        d.attach_sla_monitor(g.monitor());
+        (g, d)
+    }
+
+    fn find(
+        records: &[RecoveryRecord],
+        pred: impl Fn(&RecoveryAction) -> bool,
+    ) -> Option<&RecoveryRecord> {
+        records.iter().find(|r| pred(&r.action))
+    }
+
+    #[test]
+    fn monitor_reports_once_per_waiting_spell() {
+        let mut m = SlaMonitor::new(vec![(VcpuId(0), ms(2))]);
+        m.note_runnable(VcpuId(0), ms(0));
+        m.scan_overdue(ms(5)); // overdue: flags the spell
+        m.scan_overdue(ms(6)); // same spell: no second report
+        m.note_dispatched(VcpuId(0), ms(7)); // already flagged: no report
+        let v = m.drain_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].observed, ms(5));
+        assert_eq!(m.worst_of(VcpuId(0)), ms(7));
+        assert_eq!(m.violations_seen(), 1);
+        // A fresh spell within bound reports nothing.
+        m.note_runnable(VcpuId(0), ms(10));
+        m.note_dispatched(VcpuId(0), ms(11));
+        assert!(m.drain_violations().is_empty());
+    }
+
+    #[test]
+    fn monitor_ignores_unbounded_and_blocked_vcpus() {
+        let mut m = SlaMonitor::new(vec![(VcpuId(0), ms(2))]);
+        // vCPU 9 has no declared bound: tracked for worst-case only.
+        m.note_runnable(VcpuId(9), ms(0));
+        m.note_dispatched(VcpuId(9), ms(50));
+        assert_eq!(m.worst_of(VcpuId(9)), ms(50));
+        // Blocking abandons the spell.
+        m.note_runnable(VcpuId(0), ms(0));
+        m.note_blocked(VcpuId(0), ms(1));
+        m.scan_overdue(ms(100));
+        assert!(m.drain_violations().is_empty());
+    }
+
+    #[test]
+    fn core_loss_evacuates_onto_survivor() {
+        let (mut g, mut d) = setup();
+        g.on_core_event(CoreEvent::Offline { core: 1, at: ms(1) });
+        assert_eq!(g.online_cores(), 1);
+        assert!(find(g.log(), |a| matches!(
+            a,
+            RecoveryAction::CoreLost { core: 1 }
+        ))
+        .is_some());
+        let records = g.step(&mut d, ms(1), false);
+        let installed = find(&records, |a| matches!(a, RecoveryAction::Installed { .. }))
+            .expect("evacuation plan installed");
+        let RecoveryAction::Installed { switch_at, .. } = installed.action else {
+            unreachable!()
+        };
+        assert_eq!(g.counters().evacuations, 1);
+        assert!(!g.recovery_pending());
+        // After the switch the lost core's lane is empty: it idles for the
+        // whole table round while the survivor serves all four vCPUs.
+        let dec = d.decide(1, switch_at, |_| true);
+        assert!(matches!(dec, Decision::Idle { .. }));
+        let len = g.installed_plan().table.len();
+        let mut served = std::collections::BTreeSet::new();
+        let mut t = switch_at;
+        while t < switch_at + len {
+            let dec = d.decide(0, t, |_| true);
+            if let Some(v) = dec.vcpu() {
+                served.insert(v);
+                d.on_descheduled(v, 0);
+            }
+            t = dec.until();
+        }
+        for v in 0..2 {
+            assert!(served.contains(&VcpuId(v)), "capped v{v} lost service");
+        }
+    }
+
+    #[test]
+    fn restore_returns_to_full_width() {
+        let (mut g, mut d) = setup();
+        g.on_core_event(CoreEvent::Offline { core: 1, at: ms(1) });
+        g.step(&mut d, ms(1), false);
+        g.on_core_event(CoreEvent::Online {
+            core: 1,
+            at: ms(30),
+        });
+        assert!(find(g.log(), |a| matches!(
+            a,
+            RecoveryAction::CoreRestored { core: 1 }
+        ))
+        .is_some());
+        let records = g.step(&mut d, ms(30), false);
+        let installed = find(&records, |a| matches!(a, RecoveryAction::Installed { .. }))
+            .expect("restore plan installed");
+        let RecoveryAction::Installed { switch_at, .. } = installed.action else {
+            unreachable!()
+        };
+        // Core 1 serves again after the restore switch.
+        let len = g.installed_plan().table.len();
+        let mut t = switch_at;
+        let mut served_any = false;
+        while t < switch_at + len {
+            let dec = d.decide(1, t, |_| true);
+            if let Some(v) = dec.vcpu() {
+                served_any = true;
+                d.on_descheduled(v, 1);
+            }
+            t = dec.until();
+        }
+        assert!(served_any, "restored core never served a vCPU");
+        assert_eq!(g.counters().evacuations, 2);
+    }
+
+    #[test]
+    fn interrupted_installs_back_off_and_eventually_commit() {
+        let (mut g, mut d) = setup();
+        g.on_core_event(CoreEvent::Offline { core: 1, at: ms(0) });
+        // Two interrupted pushes: rolled back, old table intact.
+        let r1 = g.step(&mut d, ms(0), true);
+        let retry1 = find(&r1, |a| matches!(a, RecoveryAction::InstallRetried { .. }))
+            .expect("first retry recorded");
+        let RecoveryAction::InstallRetried { next_try, .. } = retry1.action else {
+            unreachable!()
+        };
+        assert!(!d.has_staged_table());
+        assert_eq!(next_try, ms(0) + ms(1));
+        // Before the backoff expires nothing is attempted.
+        let quiet = g.step(&mut d, Nanos::from_micros(500), true);
+        assert!(find(&quiet, |a| matches!(
+            a,
+            RecoveryAction::InstallRetried { .. }
+        ))
+        .is_none());
+        let r2 = g.step(&mut d, ms(1), true);
+        let retry2 = find(&r2, |a| matches!(a, RecoveryAction::InstallRetried { .. })).unwrap();
+        let RecoveryAction::InstallRetried { next_try, attempt } = retry2.action else {
+            unreachable!()
+        };
+        assert_eq!(attempt, 2);
+        assert_eq!(next_try, ms(1) + ms(2)); // doubled
+        assert_eq!(g.counters().install_retries, 2);
+        assert!(g.recovery_pending());
+        // A clean push commits exactly once.
+        let r3 = g.step(&mut d, ms(3), false);
+        let installed =
+            find(&r3, |a| matches!(a, RecoveryAction::Installed { .. })).expect("committed");
+        let RecoveryAction::Installed { attempts, .. } = &installed.action else {
+            unreachable!()
+        };
+        assert_eq!(*attempts, 2);
+        assert!(!g.recovery_pending());
+    }
+
+    #[test]
+    fn exhausted_retries_rebuild_the_plan() {
+        let (_, mut d) = setup();
+        let cfg = GuardianConfig {
+            max_install_retries: 1,
+            ..GuardianConfig::default()
+        };
+        let h = host();
+        let p = plan(&h, &PlannerOptions::default()).unwrap();
+        let mut g = Guardian::new(h, p, cfg);
+        g.on_core_event(CoreEvent::Offline { core: 1, at: ms(0) });
+        g.step(&mut d, ms(0), true); // attempt 1: retry scheduled
+        let r = g.step(&mut d, ms(5), true); // attempt 2: budget exhausted
+        assert!(find(&r, |a| matches!(
+            a,
+            RecoveryAction::InstallRetriesExhausted { .. }
+        ))
+        .is_some());
+        // The next step re-runs the ladder and installs cleanly.
+        let r = g.step(&mut d, ms(10), false);
+        assert!(find(&r, |a| matches!(a, RecoveryAction::Replanned { .. })).is_some());
+        assert!(find(&r, |a| matches!(a, RecoveryAction::Installed { .. })).is_some());
+    }
+
+    #[test]
+    fn persistent_overrunner_is_quarantined_once() {
+        let (mut g, mut d) = setup();
+        // vCPU 2 is uncapped ("u0"); vCPU 0 is capped.
+        g.observe_overruns(VcpuId(2), 49);
+        g.step(&mut d, ms(1), false);
+        assert!(!d.is_quarantined(VcpuId(2)));
+        g.observe_overruns(VcpuId(2), 50);
+        let r = g.step(&mut d, ms(2), false);
+        assert!(find(&r, |a| matches!(a, RecoveryAction::Quarantined { .. })).is_some());
+        assert!(d.is_quarantined(VcpuId(2)));
+        assert_eq!(g.counters().quarantines, 1);
+        // Idempotent: no second quarantine of the same guest.
+        let r = g.step(&mut d, ms(3), false);
+        assert!(find(&r, |a| matches!(a, RecoveryAction::Quarantined { .. })).is_none());
+        assert_eq!(g.counters().quarantines, 1);
+        // Capped guests are never quarantined, however much they overrun.
+        g.observe_overruns(VcpuId(0), 1_000);
+        g.step(&mut d, ms(4), false);
+        assert!(!d.is_quarantined(VcpuId(0)));
+    }
+
+    #[test]
+    fn violations_flow_from_monitor_to_log() {
+        let (mut g, mut d) = setup();
+        d.sla_monitor_mut().unwrap().note_runnable(VcpuId(0), ms(0));
+        // 25 ms without a dispatch blows the 20 ms bound.
+        let r = g.step(&mut d, ms(25), false);
+        let v = find(&r, |a| {
+            matches!(a, RecoveryAction::ViolationObserved { .. })
+        })
+        .expect("violation logged");
+        let RecoveryAction::ViolationObserved { vcpu, observed, .. } = v.action else {
+            unreachable!()
+        };
+        assert_eq!(vcpu, VcpuId(0));
+        assert_eq!(observed, ms(25));
+        assert_eq!(g.counters().violations_seen, 1);
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let base = Nanos::from_millis(1);
+        let cap = Nanos::from_millis(100);
+        assert_eq!(backoff(base, cap, 1), Nanos::from_millis(1));
+        assert_eq!(backoff(base, cap, 3), Nanos::from_millis(4));
+        assert_eq!(backoff(base, cap, 8), Nanos::from_millis(100)); // capped
+        assert_eq!(backoff(base, cap, 64), Nanos::from_millis(100)); // no overflow
+    }
+}

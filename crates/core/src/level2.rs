@@ -11,6 +11,12 @@
 //! Only *uncapped* vCPUs are eligible; capped vCPUs must never exceed their
 //! table reservation. Each vCPU participates on its home core only, so the
 //! structure is strictly core-local (no cross-core synchronization).
+//!
+//! **Quarantine.** A guest that persistently overruns its declared demand
+//! can be *demoted*: it stays eligible but receives a zero share and is
+//! picked only when no vCPU in good standing is ready, so it scavenges
+//! otherwise-idle time without blowing its neighbours' budgets. An empty
+//! demoted set leaves the scheduler's behaviour exactly as before.
 
 use rtsched::time::Nanos;
 
@@ -25,6 +31,9 @@ pub struct Level2 {
     epoch: Nanos,
     /// `(vcpu, remaining budget)` for every eligible vCPU on this core.
     budgets: Vec<(VcpuId, Nanos)>,
+    /// Quarantined vCPUs: eligible but zero-share, scheduled only when no
+    /// vCPU in good standing is ready.
+    demoted: Vec<VcpuId>,
 }
 
 impl Level2 {
@@ -41,6 +50,7 @@ impl Level2 {
         Level2 {
             epoch,
             budgets: eligible.iter().map(|&v| (v, share)).collect(),
+            demoted: Vec::new(),
         }
     }
 
@@ -70,22 +80,33 @@ impl Level2 {
     /// runnable and not currently scheduled elsewhere). Returns `None` when
     /// no eligible vCPU is ready. Ties are broken by the lowest vCPU id for
     /// determinism.
+    ///
+    /// Demoted vCPUs are considered only when no vCPU in good standing is
+    /// ready; among demoted vCPUs the lowest id wins.
     pub fn pick(&mut self, mut is_ready: impl FnMut(VcpuId) -> bool) -> Option<VcpuId> {
-        let best = |budgets: &[(VcpuId, Nanos)], is_ready: &mut dyn FnMut(VcpuId) -> bool| {
+        fn best(
+            budgets: &[(VcpuId, Nanos)],
+            demoted: &[VcpuId],
+            is_ready: &mut dyn FnMut(VcpuId) -> bool,
+        ) -> Option<(VcpuId, Nanos)> {
             budgets
                 .iter()
-                .filter(|&&(v, _)| is_ready(v))
+                .filter(|&&(v, _)| !demoted.contains(&v) && is_ready(v))
                 .max_by_key(|&&(v, b)| (b, std::cmp::Reverse(v)))
                 .copied()
-        };
-        match best(&self.budgets, &mut is_ready) {
-            None => None,
+        }
+        match best(&self.budgets, &self.demoted, &mut is_ready) {
+            None => {
+                // No vCPU in good standing is ready: let a quarantined vCPU
+                // scavenge the otherwise-idle time (lowest id first).
+                self.demoted.iter().copied().filter(|&v| is_ready(v)).min()
+            }
             Some((v, b)) if !b.is_zero() => Some(v),
             Some(_) => {
                 // Every ready vCPU is out of budget: replenish the epoch for
                 // all eligible vCPUs and pick again.
                 self.replenish();
-                best(&self.budgets, &mut is_ready).map(|(v, _)| v)
+                best(&self.budgets, &self.demoted, &mut is_ready).map(|(v, _)| v)
             }
         }
     }
@@ -101,20 +122,59 @@ impl Level2 {
     }
 
     /// Resets every eligible vCPU's budget to an even share of the epoch.
+    ///
+    /// Demoted vCPUs receive a zero share; the epoch is split among the
+    /// vCPUs in good standing only.
     pub fn replenish(&mut self) {
         if self.budgets.is_empty() {
             return;
         }
-        let share = self.epoch / self.budgets.len() as u64;
-        for (_, b) in &mut self.budgets {
-            *b = share;
+        let good = self
+            .budgets
+            .iter()
+            .filter(|(v, _)| !self.demoted.contains(v))
+            .count();
+        let share = if good == 0 {
+            Nanos::ZERO
+        } else {
+            self.epoch / good as u64
+        };
+        let demoted = &self.demoted;
+        for (v, b) in &mut self.budgets {
+            *b = if demoted.contains(v) {
+                Nanos::ZERO
+            } else {
+                share
+            };
         }
     }
 
     /// Replaces the eligible set (after a table switch); budgets restart
-    /// replenished.
+    /// replenished and any demotions are cleared (callers that track
+    /// quarantine re-apply it via [`Level2::set_demoted`]).
     pub fn set_eligible(&mut self, eligible: &[VcpuId]) {
         *self = Level2::new(self.epoch, eligible);
+    }
+
+    /// Marks the intersection of `demoted` and the eligible set as
+    /// quarantined and re-replenishes so shares take effect immediately.
+    pub fn set_demoted(&mut self, demoted: &[VcpuId]) {
+        self.demoted = demoted
+            .iter()
+            .copied()
+            .filter(|&d| self.budgets.iter().any(|&(v, _)| v == d))
+            .collect();
+        self.replenish();
+    }
+
+    /// Whether `vcpu` is currently demoted.
+    pub fn is_demoted(&self, vcpu: VcpuId) -> bool {
+        self.demoted.contains(&vcpu)
+    }
+
+    /// The currently demoted vCPUs.
+    pub fn demoted(&self) -> &[VcpuId] {
+        &self.demoted
     }
 }
 
@@ -197,6 +257,63 @@ mod tests {
         assert_eq!(l2.pick(|_| true), None);
         l2.charge(v(0), Nanos::MILLI); // no-op
         l2.replenish(); // no-op
+    }
+
+    #[test]
+    fn demoted_vcpu_runs_only_when_nothing_else_is_ready() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        l2.set_demoted(&[v(0)]);
+        // Good standing wins while it is ready...
+        assert_eq!(l2.pick(|_| true), Some(v(1)));
+        // ...even when the good-standing vCPU's budget is dry (replenish).
+        l2.charge(v(1), Nanos::from_millis(10));
+        assert_eq!(l2.pick(|_| true), Some(v(1)));
+        // The demoted vCPU scavenges when nothing else is ready.
+        assert_eq!(l2.pick(|x| x == v(0)), Some(v(0)));
+    }
+
+    #[test]
+    fn demoted_vcpus_get_zero_share() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        l2.set_demoted(&[v(0)]);
+        assert_eq!(l2.budget(v(0)), Nanos::ZERO);
+        // The full epoch goes to the vCPUs in good standing.
+        assert_eq!(l2.budget(v(1)), Nanos::from_millis(10));
+        assert!(l2.is_demoted(v(0)));
+        assert!(!l2.is_demoted(v(1)));
+    }
+
+    #[test]
+    fn undemoting_restores_even_shares() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        l2.set_demoted(&[v(0)]);
+        l2.set_demoted(&[]);
+        assert_eq!(l2.budget(v(0)), Nanos::from_millis(5));
+        assert_eq!(l2.budget(v(1)), Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn demotion_ignores_ineligible_vcpus() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0)]);
+        l2.set_demoted(&[v(7)]);
+        assert!(l2.demoted().is_empty());
+        assert_eq!(l2.budget(v(0)), Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn all_demoted_scavenge_by_lowest_id() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(2), v(1)]);
+        l2.set_demoted(&[v(1), v(2)]);
+        assert_eq!(l2.pick(|_| true), Some(v(1)));
+    }
+
+    #[test]
+    fn set_eligible_clears_demotions() {
+        let mut l2 = Level2::new(Nanos::from_millis(10), &[v(0), v(1)]);
+        l2.set_demoted(&[v(0)]);
+        l2.set_eligible(&[v(0), v(1)]);
+        assert!(!l2.is_demoted(v(0)));
+        assert_eq!(l2.budget(v(0)), Nanos::from_millis(5));
     }
 
     #[test]

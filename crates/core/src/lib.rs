@@ -41,6 +41,7 @@
 pub mod binary;
 pub mod cache;
 pub mod dispatch;
+pub mod guardian;
 pub mod incremental;
 pub mod level2;
 pub mod planner;
@@ -51,6 +52,10 @@ pub mod vcpu;
 pub mod viz;
 
 pub use dispatch::{Decision, Dispatcher};
+pub use guardian::{
+    CoreEvent, Guardian, GuardianConfig, GuardianCounters, RecoveryAction, RecoveryRecord,
+    SlaMonitor, SlaViolation,
+};
 pub use planner::{
     plan, plan_with_fallback, Plan, PlanError, PlannerOptions, ReplanError, ReplanOutcome,
     ReplanPath,

@@ -1,0 +1,117 @@
+//! Install-retry semantics: a table push that fails N times and then
+//! succeeds must leave the dispatcher on the old table throughout — no
+//! torn epoch, no partially adopted table — and then switch exactly once.
+
+use rtsched::time::Nanos;
+use tableau_core::{Allocation, Dispatcher, Table, TableManager, VcpuId};
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+/// A one-core table running `vcpu` for the whole 10 ms round.
+fn whole_round(vcpu: u32) -> Table {
+    Table::new(
+        ms(10),
+        vec![vec![Allocation {
+            start: Nanos::ZERO,
+            end: ms(10),
+            vcpu: VcpuId(vcpu),
+        }]],
+    )
+    .unwrap()
+}
+
+#[test]
+fn aborted_installs_never_touch_the_running_table() {
+    let mut tm = TableManager::new(whole_round(0));
+
+    for attempt in 0..5u64 {
+        let now = ms(attempt);
+        let staged = tm.begin_install(whole_round(1), now).unwrap();
+        assert!(tm.has_staged());
+        assert!(staged.arm > now);
+        tm.abort_install();
+        assert!(!tm.has_staged());
+        // The old table keeps running and the core's epoch never moves.
+        assert_eq!(tm.core_epoch(0), 0);
+        let t = tm.table_for(0, now);
+        assert_eq!(t.lookup(0, now).vcpu(), Some(VcpuId(0)));
+    }
+    // Nothing leaked: the aborted stagings left exactly one live table.
+    assert_eq!(tm.live_tables(), 1);
+}
+
+#[test]
+fn switch_happens_exactly_once_after_retries_succeed() {
+    let mut tm = TableManager::new(whole_round(0));
+
+    // Three interrupted pushes...
+    for attempt in 0..3u64 {
+        let _ = tm.begin_install(whole_round(1), ms(attempt)).unwrap();
+        tm.abort_install();
+    }
+    // ...then a clean one.
+    let staged = tm.begin_install(whole_round(1), ms(5)).unwrap();
+    let switch_at = tm.commit_install(staged).unwrap();
+    assert_eq!(switch_at, ms(20)); // end of the next full round
+
+    // Right up to the switch boundary the old table runs.
+    let t = tm.table_for(0, switch_at - Nanos(1));
+    assert_eq!(t.lookup(0, switch_at - Nanos(1)).vcpu(), Some(VcpuId(0)));
+    assert_eq!(tm.core_epoch(0), 0);
+
+    // At the boundary the core adopts the new table — exactly one epoch.
+    let t = tm.table_for(0, switch_at);
+    assert_eq!(t.lookup(0, switch_at).vcpu(), Some(VcpuId(1)));
+    assert_eq!(tm.core_epoch(0), 1);
+
+    // And it stays there: no double adoption on later rounds.
+    let _ = tm.table_for(0, switch_at + ms(25));
+    assert_eq!(tm.core_epoch(0), 1);
+}
+
+#[test]
+fn dispatcher_decisions_stay_on_old_table_across_failed_pushes() {
+    let mut d = Dispatcher::new(whole_round(0), vec![true, true], ms(10));
+
+    for attempt in 0..4u64 {
+        let now = ms(attempt);
+        let _staged = d.begin_table_switch(whole_round(1), now).unwrap();
+        assert!(d.has_staged_table());
+        d.abort_table_switch();
+        assert!(!d.has_staged_table());
+        let dec = d.decide(0, now, |_| true);
+        assert_eq!(
+            dec.vcpu(),
+            Some(VcpuId(0)),
+            "torn epoch at attempt {attempt}"
+        );
+        if let Some(v) = dec.vcpu() {
+            d.on_descheduled(v, 0);
+        }
+    }
+
+    // The successful push switches the decision stream exactly once.
+    let staged = d.begin_table_switch(whole_round(1), ms(6)).unwrap();
+    let switch_at = d.commit_table_switch(staged).unwrap();
+    let dec = d.decide(0, switch_at - Nanos(1), |_| true);
+    assert_eq!(dec.vcpu(), Some(VcpuId(0)));
+    if let Some(v) = dec.vcpu() {
+        d.on_descheduled(v, 0);
+    }
+    let dec = d.decide(0, switch_at, |_| true);
+    assert_eq!(dec.vcpu(), Some(VcpuId(1)));
+}
+
+#[test]
+fn commit_after_abort_is_rejected_and_harmless() {
+    let mut tm = TableManager::new(whole_round(0));
+    let staged = tm.begin_install(whole_round(1), ms(1)).unwrap();
+    tm.abort_install();
+    // The stale handle cannot resurrect the aborted install.
+    assert!(tm.commit_install(staged).is_err());
+    assert_eq!(tm.core_epoch(0), 0);
+    let t = tm.table_for(0, ms(30));
+    assert_eq!(t.lookup(0, ms(30)).vcpu(), Some(VcpuId(0)));
+}

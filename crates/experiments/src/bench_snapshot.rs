@@ -100,20 +100,13 @@ fn bench_host(n_cores: usize, n_vms: usize, pct: u32) -> HostConfig {
 }
 
 fn meta(quick: bool, seed: u64) -> BenchMeta {
-    let git_rev = std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string());
     BenchMeta {
         schema: SCHEMA.to_string(),
         quick,
         seed,
         machine_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         threads: rayon::current_num_threads(),
-        git_rev,
+        git_rev: crate::report::git_rev(),
     }
 }
 

@@ -15,7 +15,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: experiments <id>... [--quick] [--seed <u64>]\n\
     known ids: fig3 fig4 tab1 tab2 fig5 fig6 fig7 fig8 planner overheads \
-    intrinsic ping ablations scaling latency_sweep robustness all\n\
+    intrinsic ping ablations scaling latency_sweep robustness soak all\n\
     perf trajectory: experiments bench snapshot [--quick]";
 
 /// A user-input problem, rendered as a single diagnostic line.
@@ -63,6 +63,7 @@ const KNOWN_IDS: &[&str] = &[
     "scaling",
     "latency_sweep",
     "robustness",
+    "soak",
     "bench",
     "snapshot",
     "all",
@@ -157,6 +158,9 @@ fn main() -> ExitCode {
             "robustness" => {
                 experiments::robustness::run_with_seed(quick, cli.seed);
             }
+            "soak" => {
+                experiments::soak::run_with_seed(quick, cli.seed);
+            }
             "all" => {
                 experiments::planner_scale::run(quick);
                 experiments::overheads::run(quick);
@@ -168,6 +172,7 @@ fn main() -> ExitCode {
                 experiments::scaling::run(quick);
                 experiments::latency_sweep::run(quick);
                 experiments::robustness::run_with_seed(quick, cli.seed);
+                experiments::soak::run_with_seed(quick, cli.seed);
             }
             _ => unreachable!("ids validated in parse"),
         }

@@ -14,6 +14,10 @@
 //! [`robustness`] goes beyond the paper: it sweeps an injected-fault
 //! intensity (timer jitter, IPI loss, stolen time, overruns) and reports
 //! each scheduler's SLA-violation rate and latency inflation.
+//! [`soak`] closes the loop: a runtime SLA guardian polls a long chaos
+//! run (core flaps, theft, overruns, interrupted installs), evacuates
+//! lost cores and repairs violations, with invariants asserted every
+//! control epoch.
 //! [`bench_snapshot`] times the planner/cache/dispatcher hot paths and
 //! writes the committed `BENCH_*.json` perf trajectory (`bench snapshot`).
 //!
@@ -34,3 +38,4 @@ pub mod planner_scale;
 pub mod report;
 pub mod robustness;
 pub mod scaling;
+pub mod soak;

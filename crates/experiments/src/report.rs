@@ -63,6 +63,19 @@ pub fn write_json_to<T: Serialize>(dir: &Path, name: &str, value: &T) -> PathBuf
     path
 }
 
+/// The short git revision of the working tree, or `"unknown"` outside a
+/// repository. Artifact metadata records this so every `results/*.json`
+/// file names the code that produced it.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Formats a nanosecond value as milliseconds with two decimals.
 pub fn ms(ns: rtsched::time::Nanos) -> String {
     format!("{:.2}", ns.as_millis_f64())

@@ -9,7 +9,7 @@
 //! byte-for-byte — except `planner_scale`, whose `gen_time_ms` field is
 //! wall-clock by definition and is compared field-by-field around it.
 
-use experiments::{latency_sweep, planner_scale, robustness, scaling};
+use experiments::{latency_sweep, planner_scale, robustness, scaling, soak};
 
 #[test]
 fn robustness_sweep_is_byte_identical_to_sequential() {
@@ -41,6 +41,17 @@ fn latency_sweep_is_byte_identical_to_sequential() {
         serde_json::to_string_pretty(&par).unwrap(),
         serde_json::to_string_pretty(&seq).unwrap(),
         "parallel latency sweep diverged from the sequential artifact"
+    );
+}
+
+#[test]
+fn soak_sweep_is_byte_identical_to_sequential() {
+    let par = soak::sweep(true, soak::DEFAULT_SEED);
+    let seq = rayon::force_sequential(|| soak::sweep(true, soak::DEFAULT_SEED));
+    assert_eq!(
+        serde_json::to_string_pretty(&par).unwrap(),
+        serde_json::to_string_pretty(&seq).unwrap(),
+        "parallel soak sweep diverged from the sequential artifact"
     );
 }
 

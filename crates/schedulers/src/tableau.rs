@@ -8,6 +8,7 @@
 
 use rtsched::time::Nanos;
 use tableau_core::dispatch::{Decision, Dispatcher};
+use tableau_core::guardian::CoreEvent;
 use tableau_core::planner::Plan;
 use tableau_core::vcpu::VcpuId as TcVcpu;
 use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
@@ -50,6 +51,12 @@ pub struct Tableau {
     /// [`VmScheduler::on_stolen`]); subtracted from the wall-clock charge at
     /// de-schedule so interference is never double-billed.
     stolen_in_pick: Vec<Nanos>,
+    /// Per-vCPU blocked flags (grown on demand): a de-schedule of a vCPU
+    /// that did *not* block is a preemption, which starts a new waiting
+    /// spell for the attached SLA monitor.
+    blocked: Vec<bool>,
+    /// Core offline/online notifications awaiting a guardian to drain them.
+    core_events: Vec<CoreEvent>,
 }
 
 fn tc(v: VcpuId) -> TcVcpu {
@@ -93,7 +100,21 @@ impl Tableau {
             last_pick: vec![None; n_cores],
             picks: Vec::new(),
             stolen_in_pick: vec![Nanos::ZERO; n_cores],
+            blocked: Vec::new(),
+            core_events: Vec::new(),
         }
+    }
+
+    fn set_blocked(&mut self, vcpu: VcpuId, blocked: bool) {
+        let i = vcpu.0 as usize;
+        if self.blocked.len() <= i {
+            self.blocked.resize(i + 1, false);
+        }
+        self.blocked[i] = blocked;
+    }
+
+    fn is_blocked(&self, vcpu: VcpuId) -> bool {
+        self.blocked.get(vcpu.0 as usize).copied().unwrap_or(false)
     }
 
     /// Dispatch attribution for `vcpu` (zeroes if it never ran).
@@ -128,6 +149,18 @@ impl Tableau {
     /// Access to the underlying dispatcher (diagnostics/tests).
     pub fn dispatcher(&self) -> &Dispatcher {
         &self.dispatcher
+    }
+
+    /// Mutable access to the underlying dispatcher (control loops: attach
+    /// an SLA monitor, drive table installs and quarantine).
+    pub fn dispatcher_mut(&mut self) -> &mut Dispatcher {
+        &mut self.dispatcher
+    }
+
+    /// Takes the core offline/online events recorded since the last drain
+    /// (for a guardian control loop).
+    pub fn drain_core_events(&mut self) -> Vec<CoreEvent> {
+        std::mem::take(&mut self.core_events)
     }
 }
 
@@ -174,6 +207,10 @@ impl VmScheduler for Tableau {
     }
 
     fn on_wakeup(&mut self, vcpu: VcpuId, now: Nanos, _view: VcpuView<'_>) -> WakeupPlan {
+        self.set_blocked(vcpu, false);
+        if let Some(m) = self.dispatcher.sla_monitor_mut() {
+            m.note_runnable(tc(vcpu), now);
+        }
         let target = self.dispatcher.wakeup_target(tc(vcpu), now);
         WakeupPlan {
             ipi_cores: target.into_iter().collect(),
@@ -181,7 +218,12 @@ impl VmScheduler for Tableau {
         }
     }
 
-    fn on_block(&mut self, _vcpu: VcpuId, _core: usize, _now: Nanos) {}
+    fn on_block(&mut self, vcpu: VcpuId, _core: usize, now: Nanos) {
+        self.set_blocked(vcpu, true);
+        if let Some(m) = self.dispatcher.sla_monitor_mut() {
+            m.note_blocked(tc(vcpu), now);
+        }
+    }
 
     fn on_stolen(&mut self, core: usize, victim: Option<VcpuId>, duration: Nanos, _now: Nanos) {
         // Graceful degradation under platform interference: theft during a
@@ -206,7 +248,7 @@ impl VmScheduler for Tableau {
         vcpu: VcpuId,
         core: usize,
         ran: Nanos,
-        _now: Nanos,
+        now: Nanos,
     ) -> DeschedulePlan {
         // Charge second-level budgets for time consumed at level 2. Stolen
         // time was already charged eagerly by `on_stolen`; subtract it so
@@ -220,6 +262,13 @@ impl VmScheduler for Tableau {
         }
         self.last_pick[core] = None;
         self.stolen_in_pick[core] = Nanos::ZERO;
+        // A de-schedule without a preceding block is a preemption: the vCPU
+        // is runnable again and its wait for the next dispatch starts now.
+        if !self.is_blocked(vcpu) {
+            if let Some(m) = self.dispatcher.sla_monitor_mut() {
+                m.note_runnable(tc(vcpu), now);
+            }
+        }
         let handoff = self.dispatcher.on_descheduled(tc(vcpu), core);
         let mut cost = self.costs.deschedule_base;
         if handoff.is_some() {
@@ -229,6 +278,14 @@ impl VmScheduler for Tableau {
             ipi_cores: handoff.into_iter().collect(),
             cost,
         }
+    }
+
+    fn on_core_offline(&mut self, core: usize, now: Nanos) {
+        self.core_events.push(CoreEvent::Offline { core, at: now });
+    }
+
+    fn on_core_online(&mut self, core: usize, now: Nanos) {
+        self.core_events.push(CoreEvent::Online { core, at: now });
     }
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {

@@ -19,6 +19,10 @@
 //! 5. **Table-switch interruption** — the planner push is interrupted
 //!    mid-switch; the two-phase install protocol in `tableau-core` must
 //!    roll back to a consistent table.
+//! 6. **Core offline/online flaps** — selected cores drop out of service
+//!    for bounded outages (hotplug, deep firmware stalls, a failing
+//!    package being fenced by the host) and later return. While offline a
+//!    core runs nothing; a runtime guardian must evacuate its vCPUs.
 //!
 //! Determinism contract: each class draws from its **own** RNG stream
 //! derived from the master seed, and a class at zero intensity performs
@@ -122,6 +126,25 @@ impl SwitchFaults {
     }
 }
 
+/// Core offline/online flaps on selected cores.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreFaults {
+    /// Cores subject to flaps (others never go offline).
+    pub cores: Vec<usize>,
+    /// Mean interval between outages on each affected core (actual gaps
+    /// are drawn uniformly from `[interval/2, 3*interval/2]`).
+    pub interval: Nanos,
+    /// Maximum duration of one outage (drawn from `[outage/2, outage]`).
+    pub outage: Nanos,
+}
+
+impl CoreFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        !self.cores.is_empty() && self.interval > Nanos::ZERO && self.outage > Nanos::ZERO
+    }
+}
+
 /// Full fault-injection configuration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultConfig {
@@ -137,6 +160,8 @@ pub struct FaultConfig {
     pub overrun: OverrunFaults,
     /// Table-switch interruption.
     pub table_switch: SwitchFaults,
+    /// Core offline/online flaps.
+    pub core: CoreFaults,
 }
 
 impl FaultConfig {
@@ -152,6 +177,7 @@ impl FaultConfig {
             || self.stolen.is_active()
             || self.overrun.is_active()
             || self.table_switch.is_active()
+            || self.core.is_active()
     }
 
     /// A preset scaling every class by `intensity` in `[0, 1]`.
@@ -188,6 +214,49 @@ impl FaultConfig {
             table_switch: SwitchFaults {
                 interrupt_prob: 0.5 * i,
             },
+            // Core flaps are not part of the classic robustness sweep; use
+            // `chaos` for fault schedules that include them.
+            core: CoreFaults::default(),
+        }
+    }
+
+    /// The guardian soak preset: core flaps plus the interference a runtime
+    /// recovery loop must absorb, scaled by `intensity` in `[0, 1]`.
+    ///
+    /// At intensity 0 every class is inactive (the determinism contract);
+    /// at intensity 1 the preset flaps core 0 offline for up to 120 ms
+    /// every ~400 ms (long enough that a guardian polling every few tens of
+    /// milliseconds must *evacuate*, not merely wait the outage out),
+    /// steals up to 300 µs from core 0 every ~10 ms, overruns 10% of
+    /// bursts by up to 200 µs, and interrupts half of all table switches.
+    /// Timer and IPI faults are deliberately excluded: they perturb
+    /// *observation* (when delays are sampled), not the scheduled supply
+    /// the guardian defends, and the soak invariants are stated against
+    /// exact table-driven supply.
+    pub fn chaos(seed: u64, intensity: f64) -> FaultConfig {
+        let i = intensity.clamp(0.0, 1.0);
+        let scale = |ns: u64| Nanos((ns as f64 * i) as u64);
+        FaultConfig {
+            seed,
+            timer: TimerFaults::default(),
+            ipi: IpiFaults::default(),
+            stolen: StolenFaults {
+                cores: vec![0],
+                interval: Nanos(10_000_000),
+                duration: scale(300_000),
+            },
+            overrun: OverrunFaults {
+                prob: 0.1 * i,
+                max_extra: scale(200_000),
+            },
+            table_switch: SwitchFaults {
+                interrupt_prob: 0.5 * i,
+            },
+            core: CoreFaults {
+                cores: vec![0],
+                interval: Nanos(400_000_000),
+                outage: scale(120_000_000),
+            },
         }
     }
 }
@@ -219,6 +288,7 @@ pub struct FaultEngine {
     stolen_rng: SmallRng,
     overrun_rng: SmallRng,
     switch_rng: SmallRng,
+    core_rng: SmallRng,
 }
 
 impl FaultEngine {
@@ -235,6 +305,7 @@ impl FaultEngine {
             stolen_rng: stream(3),
             overrun_rng: stream(4),
             switch_rng: stream(5),
+            core_rng: stream(6),
             cfg,
         }
     }
@@ -298,6 +369,22 @@ impl FaultEngine {
         Nanos(self.stolen_rng.gen_range(d / 2..=d).max(1))
     }
 
+    /// Gap until the next outage on a flapping core.
+    pub fn outage_gap(&mut self) -> Nanos {
+        let i = self.cfg.core.interval.as_nanos();
+        Nanos(
+            self.core_rng
+                .gen_range(i / 2..=i.saturating_mul(3) / 2)
+                .max(1),
+        )
+    }
+
+    /// Duration of one core outage.
+    pub fn outage_duration(&mut self) -> Nanos {
+        let d = self.cfg.core.outage.as_nanos();
+        Nanos(self.core_rng.gen_range(d / 2..=d).max(1))
+    }
+
     /// Extra demand for a compute burst, if this one overruns. No draws
     /// when inactive.
     pub fn overrun_extra(&mut self, _declared: Nanos) -> Option<Nanos> {
@@ -355,6 +442,44 @@ mod tests {
         assert!(cfg.stolen.is_active());
         assert!(cfg.overrun.is_active());
         assert!(cfg.table_switch.is_active());
+        // Core flaps stay out of the classic sweep preset.
+        assert!(!cfg.core.is_active());
+    }
+
+    #[test]
+    fn zero_intensity_chaos_preset_is_fully_inactive() {
+        let cfg = FaultConfig::chaos(7, 0.0);
+        assert!(!cfg.any_active());
+        assert!(!cfg.core.is_active());
+    }
+
+    #[test]
+    fn full_intensity_chaos_preset_flaps_cores_but_not_timers() {
+        let cfg = FaultConfig::chaos(7, 1.0);
+        assert!(cfg.core.is_active());
+        assert!(cfg.stolen.is_active());
+        assert!(cfg.overrun.is_active());
+        assert!(cfg.table_switch.is_active());
+        assert!(!cfg.timer.is_active());
+        assert!(!cfg.ipi.is_active());
+    }
+
+    #[test]
+    fn outage_draws_stay_in_their_ranges() {
+        let mut e = FaultEngine::new(FaultConfig {
+            core: CoreFaults {
+                cores: vec![1],
+                interval: Nanos(100_000),
+                outage: Nanos(8_000),
+            },
+            ..FaultConfig::none()
+        });
+        for _ in 0..64 {
+            let g = e.outage_gap();
+            assert!(g >= Nanos(50_000) && g <= Nanos(150_000), "{g}");
+            let d = e.outage_duration();
+            assert!(d >= Nanos(4_000) && d <= Nanos(8_000), "{d}");
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 
-pub use fault::{FaultConfig, FaultEngine, IpiFate};
+pub use fault::{CoreFaults, FaultConfig, FaultEngine, IpiFate};
 pub use lock::SimLock;
 pub use machine::Machine;
 pub use net::TxRing;
@@ -36,5 +36,5 @@ pub use sched::{
     GuestAction, GuestWorkload, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
 };
 pub use sim::Sim;
-pub use stats::{OpKind, OpStats, SimStats};
+pub use stats::{OpKind, OpStats, RecoveryStats, SimStats};
 pub use trace::{TraceBuffer, TraceEvent, TraceSummary};

@@ -79,6 +79,13 @@ impl Machine {
         self.n_sockets * self.cores_per_socket
     }
 
+    /// Whether `core` exists on this machine. Fault configurations name
+    /// cores by index; injection silently skips indices beyond the
+    /// topology so one config can drive machines of different sizes.
+    pub fn has_core(&self, core: usize) -> bool {
+        core < self.n_cores()
+    }
+
     /// The socket a core belongs to.
     pub fn socket_of(&self, core: usize) -> usize {
         core / self.cores_per_socket
@@ -119,5 +126,7 @@ mod tests {
         let m = Machine::small(4);
         assert_eq!(m.n_cores(), 4);
         assert!(m.same_socket(0, 3));
+        assert!(m.has_core(3));
+        assert!(!m.has_core(4));
     }
 }

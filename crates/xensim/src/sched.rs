@@ -145,6 +145,20 @@ pub trait VmScheduler {
         let _ = (core, victim, duration, now);
     }
 
+    /// `core` dropped out of service at `now` (core-fault injection). Any
+    /// incumbent was already de-scheduled via [`Self::on_descheduled`];
+    /// the core makes no scheduling decisions until it returns. Schedulers
+    /// that expose core-loss events to a recovery loop record them here.
+    fn on_core_offline(&mut self, core: usize, now: Nanos) {
+        let _ = (core, now);
+    }
+
+    /// An offline `core` returned to service at `now`; a re-schedule on it
+    /// follows immediately.
+    fn on_core_online(&mut self, core: usize, now: Nanos) {
+        let _ = (core, now);
+    }
+
     /// Registers a vCPU before the simulation starts. `home` is a placement
     /// hint (round-robin by default in the harness).
     fn register_vcpu(&mut self, vcpu: VcpuId, home: usize);

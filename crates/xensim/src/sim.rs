@@ -81,6 +81,10 @@ enum Event {
     Tick { core: usize },
     /// Start of a stolen-time interval on a core (fault injection).
     Stolen { core: usize },
+    /// A core drops out of service (fault injection).
+    CoreOffline { core: usize },
+    /// An offline core returns to service (fault injection).
+    CoreOnline { core: usize },
 }
 
 /// A deterministic discrete-event hypervisor simulation.
@@ -103,6 +107,10 @@ pub struct Sim {
     /// Per-core end of the latest stolen-time interval; dispatches on a
     /// core cannot make guest progress before this.
     stolen_until: Vec<Nanos>,
+    /// Per-core service flag; core-fault injection can take cores out of
+    /// service. An offline core runs nothing and absorbs re-schedules
+    /// (they are re-issued when it returns).
+    core_online: Vec<bool>,
     started: bool,
 }
 
@@ -133,6 +141,7 @@ impl Sim {
             trace: TraceBuffer::new(1 << 20),
             faults: None,
             stolen_until: vec![Nanos::ZERO; n],
+            core_online: vec![true; n],
             started: false,
         }
     }
@@ -240,6 +249,13 @@ impl Sim {
         &self.stats
     }
 
+    /// Mutable statistics access, for control loops that report recovery
+    /// accounting (see [`crate::stats::RecoveryStats`]) into the run
+    /// record.
+    pub fn stats_mut(&mut self) -> &mut SimStats {
+        &mut self.stats
+    }
+
     /// The machine being simulated.
     pub fn machine(&self) -> &Machine {
         &self.machine
@@ -253,6 +269,12 @@ impl Sim {
     /// Mutable access to the scheduler under test.
     pub fn scheduler_mut(&mut self) -> &mut dyn VmScheduler {
         &mut *self.sched
+    }
+
+    /// Whether `core` is currently in service (core-fault injection can
+    /// take cores offline for bounded outages).
+    pub fn core_online(&self, core: usize) -> bool {
+        self.core_online[core]
     }
 
     fn push(&mut self, at: Nanos, event: Event) {
@@ -281,21 +303,39 @@ impl Sim {
                 }
             }
             // Seed the stolen-time schedule on each affected core.
+            let machine = self.machine;
             if let Some(f) = &mut self.faults {
                 if f.config().stolen.is_active() {
-                    let n = self.cores.len();
                     let first: Vec<(usize, Nanos)> = f
                         .config()
                         .stolen
                         .cores
                         .clone()
                         .into_iter()
-                        .filter(|&c| c < n)
+                        .filter(|&c| machine.has_core(c))
                         .map(|c| (c, f.theft_gap()))
                         .collect();
                     for (core, gap) in first {
                         let at = self.now + gap;
                         self.push(at, Event::Stolen { core });
+                    }
+                }
+            }
+            // Seed the core-flap schedule on each affected core.
+            if let Some(f) = &mut self.faults {
+                if f.config().core.is_active() {
+                    let first: Vec<(usize, Nanos)> = f
+                        .config()
+                        .core
+                        .cores
+                        .clone()
+                        .into_iter()
+                        .filter(|&c| machine.has_core(c))
+                        .map(|c| (c, f.outage_gap()))
+                        .collect();
+                    for (core, gap) in first {
+                        let at = self.now + gap;
+                        self.push(at, Event::CoreOffline { core });
                     }
                 }
             }
@@ -340,6 +380,12 @@ impl Sim {
                     .sched
                     .tick_interval()
                     .expect("tick event without tick interval");
+                if !self.core_online[core] {
+                    // Keep the periodic chain alive, but an offline core
+                    // does no scheduler work.
+                    self.push(self.now + interval, Event::Tick { core });
+                    return;
+                }
                 let view = VcpuView {
                     runnable: &self.flags,
                 };
@@ -350,6 +396,8 @@ impl Sim {
                 }
             }
             Event::Stolen { core } => self.steal(core),
+            Event::CoreOffline { core } => self.core_goes_offline(core),
+            Event::CoreOnline { core } => self.core_comes_online(core),
         }
     }
 
@@ -383,6 +431,43 @@ impl Sim {
         // Dispatches during the theft cannot start guest progress early.
         self.stolen_until[core] = (self.now + duration).max(self.stolen_until[core]);
         self.sched.on_stolen(core, victim, duration, self.now);
+    }
+
+    /// `core` drops out of service: the incumbent is preempted (it becomes
+    /// runnable and waits for the control plane to evacuate it — the sim
+    /// never re-homes vCPUs by itself), the outstanding decision is
+    /// cancelled, and both the return-to-service and the next outage are
+    /// scheduled.
+    fn core_goes_offline(&mut self, core: usize) {
+        let (duration, gap) = {
+            let f = self
+                .faults
+                .as_mut()
+                .expect("core-offline event without a fault engine");
+            (f.outage_duration(), f.outage_gap())
+        };
+        self.stop_current(core);
+        // Invalidate the decision timer; nothing runs until the core
+        // returns.
+        self.cores[core].gen += 1;
+        self.core_online[core] = false;
+        self.stats.core_offline_events += 1;
+        self.stats.core_offline_time[core] += duration;
+        self.trace
+            .record(self.now, TraceEvent::CoreOffline { core, duration });
+        self.sched.on_core_offline(core, self.now);
+        self.push(self.now + duration, Event::CoreOnline { core });
+        self.push(self.now + duration + gap, Event::CoreOffline { core });
+    }
+
+    /// An offline `core` returns to service and immediately re-schedules
+    /// (the hardware's online path ends in a scheduler invocation, exactly
+    /// like an IPI arrival).
+    fn core_comes_online(&mut self, core: usize) {
+        self.core_online[core] = true;
+        self.trace.record(self.now, TraceEvent::CoreOnline { core });
+        self.sched.on_core_online(core, self.now);
+        self.resched(core);
     }
 
     /// Applies guest progress made on `core` since `run_started`.
@@ -507,6 +592,7 @@ impl Sim {
         };
         self.stats.overruns += 1;
         self.stats.overrun_time += extra;
+        self.stats.vcpu_mut(vcpu).overruns += 1;
         self.trace
             .record(self.now, TraceEvent::Overrun { vcpu, extra });
         amount + extra
@@ -535,6 +621,11 @@ impl Sim {
     /// Full scheduling pass on `core`: stop the incumbent, ask the
     /// scheduler, dispatch.
     fn resched(&mut self, core: usize) {
+        if !self.core_online[core] {
+            // Re-schedules aimed at an offline core are absorbed; the
+            // online path re-issues one when the core returns.
+            return;
+        }
         self.stop_current(core);
         self.cores[core].gen += 1;
 
@@ -1083,6 +1174,89 @@ mod tests {
         // Jittered quanta still share the core roughly evenly.
         let ratio = sa.as_nanos() as f64 / sb.as_nanos() as f64;
         assert!((0.8..1.25).contains(&ratio), "{sa} vs {sb}");
+    }
+
+    #[test]
+    fn core_flaps_preempt_the_victim_and_service_resumes() {
+        use crate::fault::{CoreFaults, FaultConfig};
+        let run = |flaps: bool| {
+            let mut sim = Sim::new(Machine::small(1), Box::new(ToyScheduler::new(1)));
+            if flaps {
+                sim.set_fault_config(FaultConfig {
+                    core: CoreFaults {
+                        cores: vec![0],
+                        interval: ms(10),
+                        outage: ms(4),
+                    },
+                    ..FaultConfig::none()
+                });
+            }
+            let v = sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            sim.run_until(ms(100));
+            (
+                sim.stats().vcpu(v).service,
+                sim.stats().core_offline_events,
+                sim.stats().core_offline_time[0],
+            )
+        };
+        let (clean, zero_events, zero_time) = run(false);
+        assert_eq!(zero_events, 0);
+        assert_eq!(zero_time, Nanos::ZERO);
+        let (service, events, offline) = run(true);
+        assert!(events > 3, "only {events} outages");
+        assert!(offline > ms(5), "offline only {offline}");
+        // Service lost tracks the outage time, within overhead noise.
+        assert!(
+            service <= clean - offline + ms(1),
+            "service {service} vs clean {clean} - offline {offline}"
+        );
+        assert!(service >= clean - offline - ms(5));
+    }
+
+    #[test]
+    fn offline_core_runs_nothing_and_reports_state() {
+        use crate::fault::{CoreFaults, FaultConfig};
+        let mut sim = Sim::new(Machine::small(2), Box::new(ToyScheduler::new(2)));
+        sim.set_fault_config(FaultConfig {
+            core: CoreFaults {
+                cores: vec![0],
+                interval: ms(1),
+                // Outages far longer than the gap: core 0 is almost always
+                // offline.
+                outage: ms(200),
+            },
+            ..FaultConfig::none()
+        });
+        let a = sim.add_vcpu(Box::new(BusyLoop), 0, true); // core 0
+        let b = sim.add_vcpu(Box::new(BusyLoop), 1, true); // core 1
+        sim.run_until(ms(50));
+        assert!(!sim.core_online(0));
+        assert!(sim.core_online(1));
+        // The victim made almost no progress; the other core is untouched.
+        assert!(sim.stats().vcpu(a).service < ms(5));
+        assert!(sim.stats().vcpu(b).service > ms(47));
+    }
+
+    #[test]
+    fn core_flaps_replay_deterministically() {
+        use crate::fault::{CoreFaults, FaultConfig};
+        let run = || {
+            let mut sim = Sim::new(Machine::small(2), Box::new(ToyScheduler::new(2)));
+            sim.set_fault_config(FaultConfig {
+                seed: 11,
+                core: CoreFaults {
+                    cores: vec![0, 1],
+                    interval: ms(7),
+                    outage: ms(2),
+                },
+                ..FaultConfig::none()
+            });
+            sim.add_vcpu(Box::new(BusyLoop), 0, true);
+            sim.add_vcpu(Box::new(BusyLoop), 1, true);
+            sim.run_until(ms(80));
+            (fingerprint(&sim), sim.stats().core_offline_events)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

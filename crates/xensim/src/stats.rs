@@ -120,6 +120,9 @@ pub struct VcpuStats {
     pub delay_total: Nanos,
     /// Largest single delay — the paper's "maximum scheduling delay".
     pub delay_max: Nanos,
+    /// Bursts of this vCPU that overran their declared demand (fault
+    /// injection) — the attribution a quarantine policy keys off.
+    pub overruns: u64,
 }
 
 impl VcpuStats {
@@ -198,6 +201,21 @@ impl DelayHist {
     }
 }
 
+/// Counters a runtime recovery loop (an SLA guardian) reports back into
+/// the simulation record, so fault experiments carry both the injected
+/// damage and the repairs in one artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// SLA violations observed (dispatch latency above a vCPU's bound).
+    pub violations_seen: u64,
+    /// Evacuation replans triggered by core outages or returns.
+    pub evacuations: u64,
+    /// Table installs retried after a mid-switch interruption.
+    pub install_retries: u64,
+    /// Guests demoted for persistently overrunning their declared demand.
+    pub quarantines: u64,
+}
+
 /// Whole-simulation statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimStats {
@@ -224,6 +242,14 @@ pub struct SimStats {
     pub overrun_time: Nanos,
     /// Trace records dropped by the bounded trace ring buffer.
     pub trace_dropped: u64,
+    /// Core outages injected (each takes one core out of service for a
+    /// bounded interval).
+    pub core_offline_events: u64,
+    /// Per-core wall time spent out of service.
+    pub core_offline_time: Vec<Nanos>,
+    /// Runtime-recovery accounting, filled in by a control loop driving
+    /// the simulation (the simulator itself never recovers anything).
+    pub recovery: RecoveryStats,
 }
 
 impl SimStats {
@@ -232,6 +258,7 @@ impl SimStats {
         SimStats {
             core_busy: vec![Nanos::ZERO; n_cores],
             stolen_time: vec![Nanos::ZERO; n_cores],
+            core_offline_time: vec![Nanos::ZERO; n_cores],
             ..SimStats::default()
         }
     }

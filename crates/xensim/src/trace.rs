@@ -41,6 +41,10 @@ pub enum TraceEvent {
     /// `vcpu`'s burst overran its declared demand by `extra` (fault
     /// injection).
     Overrun { vcpu: VcpuId, extra: Nanos },
+    /// `core` dropped out of service for `duration` (fault injection).
+    CoreOffline { core: usize, duration: Nanos },
+    /// `core` returned to service (fault injection).
+    CoreOnline { core: usize },
 }
 
 /// A timestamped trace record.
