@@ -22,6 +22,8 @@
 //! lines); this crate models the protocol for a single-threaded simulator,
 //! so plain fields suffice — the *logic* is what the reproduction preserves.
 
+use std::sync::Arc;
+
 use rtsched::time::Nanos;
 
 use crate::guardian::SlaMonitor;
@@ -71,9 +73,33 @@ impl Decision {
 /// One instance serves all cores; every method takes the acting core as a
 /// parameter. State is partitioned per core (second level) or per vCPU
 /// (ownership), mirroring the core-local design of the Xen implementation.
+/// Per-core memo of the last dispatch lookup: which table round and segment
+/// the core was in. Per-core time moves forward, so the next lookup resumes
+/// from here — the steady state is a few compares and one forward step over
+/// the flattened segment array, with no division and no re-scan.
+#[derive(Debug, Clone, Copy)]
+struct SlotCursor {
+    /// Epoch index the cursor was built against (`usize::MAX` = invalid).
+    epoch: usize,
+    /// Absolute start of the table round the cursor is in.
+    round_base: Nanos,
+    /// Segment index within the core's flattened table.
+    seg: usize,
+}
+
+impl SlotCursor {
+    const INVALID: SlotCursor = SlotCursor {
+        epoch: usize::MAX,
+        round_base: Nanos::ZERO,
+        seg: 0,
+    };
+}
+
 #[derive(Debug)]
 pub struct Dispatcher {
     tables: TableManager,
+    /// Per-core dispatch-lookup cursor (the "next boundary" hint).
+    cursor: Vec<SlotCursor>,
     /// Per-core second-level scheduler.
     level2: Vec<Level2>,
     /// Epoch each core's second level was built against (refreshed lazily
@@ -97,10 +123,12 @@ impl Dispatcher {
     ///
     /// `capped` is indexed by vCPU id; vCPUs not covered default to capped
     /// (the conservative choice: they never consume spare cycles).
-    pub fn new(table: Table, capped: Vec<bool>, l2_epoch_len: Nanos) -> Dispatcher {
+    pub fn new(table: impl Into<Arc<Table>>, capped: Vec<bool>, l2_epoch_len: Nanos) -> Dispatcher {
+        let table = table.into();
         let n_cores = table.n_cores();
         let mut d = Dispatcher {
             tables: TableManager::new(table),
+            cursor: vec![SlotCursor::INVALID; n_cores],
             level2: Vec::with_capacity(n_cores),
             level2_epoch: vec![0; n_cores],
             capped,
@@ -110,8 +138,7 @@ impl Dispatcher {
             monitor: None,
         };
         for core in 0..n_cores {
-            let table = d.tables.table_for(core, Nanos::ZERO);
-            let eligible = d.level2_eligible(&table, core);
+            let eligible = d.level2_eligible(d.tables.epoch_table(0), core);
             d.level2.push(Level2::new(l2_epoch_len, &eligible));
         }
         d
@@ -120,7 +147,8 @@ impl Dispatcher {
     fn level2_eligible(&self, table: &Table, core: usize) -> Vec<VcpuId> {
         table
             .vcpus_homed_on(core)
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|v| !self.is_capped(*v))
             .collect()
     }
@@ -160,12 +188,11 @@ impl Dispatcher {
         now: Nanos,
         mut is_runnable: impl FnMut(VcpuId) -> bool,
     ) -> Decision {
-        let table = self.tables.table_for(core, now);
+        let epoch = self.tables.confirm(core, now);
 
         // Refresh second-level eligibility if this core adopted a new table.
-        let epoch = self.tables.core_epoch(core);
         if epoch != self.level2_epoch[core] {
-            let eligible = self.level2_eligible(&table, core);
+            let eligible = self.level2_eligible(self.tables.epoch_table(epoch), core);
             self.level2[core].set_eligible(&eligible);
             if self.quarantined.iter().any(|&q| q) {
                 let demoted: Vec<VcpuId> = eligible
@@ -180,8 +207,23 @@ impl Dispatcher {
             self.level2_epoch[core] = epoch;
         }
 
-        let slot = table.lookup(core, now);
-        let until = now + (slot.until() - now % table.len());
+        // Slot lookup via the per-core cursor: resume from the last
+        // segment; division only on a table wrap or an epoch change.
+        let (slot, until) = {
+            let table = self.tables.epoch_table(epoch);
+            let len = table.len();
+            let cpu = table.cpu(core);
+            let cur = &mut self.cursor[core];
+            if cur.epoch != epoch || now < cur.round_base || now - cur.round_base >= len {
+                cur.epoch = epoch;
+                cur.round_base = now - now % len;
+                cur.seg = 0;
+            }
+            let t = now - cur.round_base;
+            cur.seg = cpu.seek_segment(cur.seg, t);
+            let slot = cpu.segment_slot(cur.seg);
+            (slot, cur.round_base + slot.until())
+        };
 
         // First level: the reserved vCPU, if it can actually run here.
         if let Slot::Reserved { vcpu, .. } = slot {
@@ -265,8 +307,10 @@ impl Dispatcher {
         // active must be judged by the table the *target* core is actually
         // running — else a capped vCPU's needed IPI can be suppressed (or a
         // useless one sent) based on a table that core isn't executing.
-        let candidate = self.tables.table_for(0, now).wakeup_target(vcpu, now)?;
-        let table = self.tables.table_for(candidate, now);
+        let epoch0 = self.tables.confirm(0, now);
+        let candidate = self.tables.epoch_table(epoch0).wakeup_target(vcpu, now)?;
+        let epoch = self.tables.confirm(candidate, now);
+        let table = self.tables.epoch_table(epoch);
         let target = table.wakeup_target(vcpu, now)?;
         if self.is_capped(vcpu) {
             // Only worth interrupting if the vCPU's slot is active now.
@@ -283,7 +327,10 @@ impl Dispatcher {
 
     /// Installs a table pushed by the planner; returns the absolute time at
     /// which every core will have switched (see [`TableManager::install`]).
-    pub fn install_table(&mut self, table: Table, now: Nanos) -> Nanos {
+    ///
+    /// Accepts an owned [`Table`] or a shared `Arc<Table>`; the latter is
+    /// allocation-free — the planner-built slice index is shared as-is.
+    pub fn install_table(&mut self, table: impl Into<Arc<Table>>, now: Nanos) -> Nanos {
         self.tables.install(table, now)
     }
 
@@ -292,7 +339,7 @@ impl Dispatcher {
     /// [`TableManager::begin_install`]).
     pub fn begin_table_switch(
         &mut self,
-        table: Table,
+        table: impl Into<Arc<Table>>,
         now: Nanos,
     ) -> Result<StagedInstall, InstallError> {
         self.tables.begin_install(table, now)

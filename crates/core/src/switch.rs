@@ -108,11 +108,12 @@ pub struct TableManager {
 
 impl TableManager {
     /// Creates a manager with an initial table active from time zero.
-    pub fn new(initial: Table) -> TableManager {
+    pub fn new(initial: impl Into<Arc<Table>>) -> TableManager {
+        let initial = initial.into();
         let len = initial.len();
         let n_cores = initial.n_cores();
         TableManager {
-            epochs: vec![Arc::new(initial)],
+            epochs: vec![initial],
             activations: vec![Nanos::ZERO],
             cores: vec![
                 CoreView {
@@ -144,7 +145,8 @@ impl TableManager {
     /// Panics if the new table's length or core count differs from the
     /// current one's (the planner always regenerates full same-shape
     /// tables).
-    pub fn install(&mut self, table: Table, now: Nanos) -> Nanos {
+    pub fn install(&mut self, table: impl Into<Arc<Table>>, now: Nanos) -> Nanos {
+        let table = table.into();
         assert_eq!(table.len(), self.len, "table length changed across install");
         assert_eq!(
             table.n_cores(),
@@ -162,11 +164,16 @@ impl TableManager {
     /// (crash, fault injection) between begin and commit is undone with
     /// [`TableManager::abort_install`], leaving the manager exactly as it
     /// was — no core can ever adopt a half-pushed table.
+    ///
+    /// Accepts anything convertible into an `Arc<Table>`; passing an
+    /// already-shared `Arc` makes staging allocation-free — the planner's
+    /// built slice index is shared, never rebuilt or deep-copied.
     pub fn begin_install(
         &mut self,
-        table: Table,
+        table: impl Into<Arc<Table>>,
         now: Nanos,
     ) -> Result<StagedInstall, InstallError> {
+        let table = table.into();
         if table.len() != self.len {
             return Err(InstallError::LengthMismatch {
                 expected: self.len,
@@ -188,7 +195,7 @@ impl TableManager {
         let arm = self.len * (round + 1) + self.len / 2;
         let switch_at = self.len * (round + 2);
         debug_assert!(arm < switch_at && arm > now);
-        self.staged = Some((Arc::new(table), arm));
+        self.staged = Some((table, arm));
         Ok(StagedInstall { arm, switch_at })
     }
 
@@ -224,14 +231,29 @@ impl TableManager {
 
     /// The table `core` must use for a scheduling decision at `now`.
     ///
+    /// A convenience wrapper over [`TableManager::confirm`] +
+    /// [`TableManager::epoch_table`] that hands out a shared handle.
+    pub fn table_for(&mut self, core: usize, now: Nanos) -> Arc<Table> {
+        let epoch = self.confirm(core, now);
+        self.epochs[epoch].clone()
+    }
+
+    /// Advances `core`'s table view to `now` and returns the epoch index of
+    /// the table it runs (pass to [`TableManager::epoch_table`]).
+    ///
     /// Models the per-core wrap check: the core's view advances only at
     /// table-round boundaries, adopting the newest epoch whose pointer was
-    /// armed before the boundary. Also performs garbage collection of
-    /// epochs no core can reference anymore, returning to the caller (the
-    /// hypervisor) how many tables were freed.
-    pub fn table_for(&mut self, core: usize, now: Nanos) -> Arc<Table> {
-        let boundary = self.len * (now / self.len);
+    /// armed before the boundary. The steady state (no boundary crossed
+    /// since the last confirmation) is a pair of compares — no division, no
+    /// reference-count traffic.
+    pub fn confirm(&mut self, core: usize, now: Nanos) -> usize {
         let view = &mut self.cores[core];
+        // `confirmed_at` is always a round boundary: while `now` stays
+        // within [confirmed_at, confirmed_at + len) no new wrap happened.
+        if now >= view.confirmed_at && now - view.confirmed_at < self.len {
+            return view.epoch;
+        }
+        let boundary = self.len * (now / self.len);
         if boundary > view.confirmed_at {
             // The core crossed at least one wrap since it last looked: it
             // re-read next_table at each wrap; the epoch it now runs is the
@@ -244,7 +266,14 @@ impl TableManager {
             view.epoch = view.epoch.max(newest);
             view.confirmed_at = boundary;
         }
-        self.epochs[view.epoch].clone()
+        view.epoch
+    }
+
+    /// The table at epoch index `epoch` (as returned by
+    /// [`TableManager::confirm`]), borrowed — the dispatcher's hot path
+    /// never touches the reference count.
+    pub fn epoch_table(&self, epoch: usize) -> &Table {
+        &self.epochs[epoch]
     }
 
     /// Garbage-collects epochs that no core will ever use again; returns

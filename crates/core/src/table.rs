@@ -77,6 +77,15 @@ impl Slot {
 }
 
 /// The schedule of one core: allocations plus its slice index.
+///
+/// Internally the schedule is *flattened* into a gap-free sequence of
+/// segments covering `[0, table_len)`, stored as a structure-of-arrays of
+/// `(end_offset, vcpu)` pairs: `seg_end[i]` is the exclusive end of segment
+/// `i` and `seg_vcpu[i]` its vCPU (or [`NO_VCPU`] for an idle gap). A
+/// dispatch lookup is then a single bounded forward walk over one contiguous
+/// array — and because per-core time moves forward, the dispatcher carries a
+/// segment cursor between decisions so the steady-state lookup never
+/// re-scans (see `Dispatcher`).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CpuTable {
     /// Reserved intervals, sorted by start, non-overlapping.
@@ -84,13 +93,18 @@ pub struct CpuTable {
     /// Fixed slice width for this core (the shortest allocation length, or
     /// the table length for an empty core).
     slice_len: Nanos,
-    /// For each slice, the index of the first allocation that *ends after*
-    /// the slice starts; `u32::MAX` when no further allocation exists.
+    /// For each slice, the index of the segment containing the slice start
+    /// (the random-access entry point into the segment arrays).
     slices: Vec<u32>,
+    /// Exclusive end offset of each segment; the last entry equals the
+    /// table length.
+    seg_end: Vec<Nanos>,
+    /// vCPU id of each segment, [`NO_VCPU`] for idle gaps.
+    seg_vcpu: Vec<u32>,
 }
 
-/// Sentinel for "no allocation".
-const NO_ALLOC: u32 = u32::MAX;
+/// Sentinel for "no vCPU" (an idle segment).
+const NO_VCPU: u32 = u32::MAX;
 
 impl CpuTable {
     /// Builds a core table from sorted, non-overlapping allocations.
@@ -128,21 +142,37 @@ impl CpuTable {
             .min()
             .unwrap_or(table_len);
         let n_slices = table_len.div_ceil(slice_len) as usize;
-        let mut slices = vec![NO_ALLOC; n_slices];
+
+        // Flatten into gap-free segments (idle gaps made explicit).
+        let mut seg_end = Vec::with_capacity(allocations.len() * 2 + 1);
+        let mut seg_vcpu = Vec::with_capacity(seg_end.capacity());
+        let mut t = Nanos::ZERO;
+        for a in &allocations {
+            if a.start > t {
+                seg_end.push(a.start);
+                seg_vcpu.push(NO_VCPU);
+            }
+            seg_end.push(a.end);
+            seg_vcpu.push(a.vcpu.0);
+            t = a.end;
+        }
+        if t < table_len || seg_end.is_empty() {
+            seg_end.push(table_len);
+            seg_vcpu.push(NO_VCPU);
+        }
+
+        // Slice index: the segment containing each slice start.
+        let mut slices = vec![0u32; n_slices];
         for (s, slot) in slices.iter_mut().enumerate() {
             let slice_start = slice_len * s as u64;
-            // First allocation ending after the slice start.
-            let idx = allocations.partition_point(|a| a.end <= slice_start);
-            *slot = if idx < allocations.len() {
-                idx as u32
-            } else {
-                NO_ALLOC
-            };
+            *slot = seg_end.partition_point(|&e| e <= slice_start) as u32;
         }
         Ok(CpuTable {
             allocations,
             slice_len,
             slices,
+            seg_end,
+            seg_vcpu,
         })
     }
 
@@ -164,30 +194,61 @@ impl CpuTable {
     /// O(1) lookup: the slot covering table-relative time `t`.
     ///
     /// `t` must already be reduced modulo the table length (the
-    /// [`Table::lookup`] wrapper does this). The scan below inspects at most
-    /// three allocation records — a slice overlaps at most two allocations,
-    /// and the slot boundary after them is the third's start.
+    /// [`Table::lookup`] wrapper does this). The walk from the slice's
+    /// segment inspects a bounded number of records: a slice overlaps at
+    /// most two allocations plus the idle gaps around them.
     pub fn slot_at(&self, t: Nanos, table_len: Nanos) -> Slot {
         debug_assert!(t < table_len, "lookup time {t} not reduced mod {table_len}");
+        self.segment_slot(self.segment_at(t))
+    }
+
+    /// Index of the segment containing table-relative time `t` (random
+    /// access via the slice index).
+    pub fn segment_at(&self, t: Nanos) -> usize {
         let slice = (t / self.slice_len).min(self.slices.len() as u64 - 1) as usize;
-        let first = self.slices[slice];
-        if first == NO_ALLOC {
-            return Slot::Idle { until: table_len };
+        let mut i = self.slices[slice] as usize;
+        while self.seg_end[i] <= t {
+            i += 1;
         }
-        for idx in first as usize..(first as usize + 3).min(self.allocations.len()) {
-            let a = &self.allocations[idx];
-            if a.contains(t) {
-                return Slot::Reserved {
-                    vcpu: a.vcpu,
-                    until: a.end,
-                };
-            }
-            if t < a.start {
-                return Slot::Idle { until: a.start };
-            }
+        i
+    }
+
+    /// Advances a segment-index `hint` to the segment containing `t`.
+    ///
+    /// When `t` lies at or after the hinted segment's start this is a pure
+    /// forward walk (the dispatcher's steady state: amortized O(1), no
+    /// division, one contiguous array); otherwise it falls back to
+    /// [`CpuTable::segment_at`].
+    pub fn seek_segment(&self, hint: usize, t: Nanos) -> usize {
+        let mut i = hint;
+        if i >= self.seg_end.len() || t < self.segment_start(i) {
+            return self.segment_at(t);
         }
-        // Past the last allocation the slice could see: idle to table end.
-        Slot::Idle { until: table_len }
+        while self.seg_end[i] <= t {
+            i += 1;
+        }
+        i
+    }
+
+    /// Table-relative start of segment `i`.
+    pub fn segment_start(&self, i: usize) -> Nanos {
+        if i == 0 {
+            Nanos::ZERO
+        } else {
+            self.seg_end[i - 1]
+        }
+    }
+
+    /// The [`Slot`] verdict for segment `i`.
+    pub fn segment_slot(&self, i: usize) -> Slot {
+        let until = self.seg_end[i];
+        match self.seg_vcpu[i] {
+            NO_VCPU => Slot::Idle { until },
+            v => Slot::Reserved {
+                vcpu: VcpuId(v),
+                until,
+            },
+        }
     }
 
     /// Total reserved time in this core's table.
@@ -243,6 +304,10 @@ pub struct Table {
     cpus: Vec<CpuTable>,
     /// Per-vCPU placement metadata, indexed by `VcpuId`.
     placements: Vec<VcpuPlacement>,
+    /// Per-core home lists: `homed[c]` holds the vCPUs whose home core is
+    /// `c`, precomputed so second-level rebuilds on a table switch never
+    /// re-scan all placements.
+    homed: Vec<Vec<VcpuId>>,
 }
 
 impl Table {
@@ -311,10 +376,18 @@ impl Table {
                 .unwrap_or(0);
         }
 
+        let mut homed = vec![Vec::new(); per_core.len()];
+        for (vid, p) in placements.iter().enumerate() {
+            if !p.allocations.is_empty() {
+                homed[p.home_core].push(VcpuId(vid as u32));
+            }
+        }
+
         Ok(Table {
             len,
             cpus,
             placements,
+            homed,
         })
     }
 
@@ -379,14 +452,10 @@ impl Table {
         p.allocations.first().map(|&(core, _, _)| core)
     }
 
-    /// vCPU ids with at least one allocation whose home core is `core`.
-    pub fn vcpus_homed_on(&self, core: usize) -> Vec<VcpuId> {
-        self.placements
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| !p.allocations.is_empty() && p.home_core == core)
-            .map(|(i, _)| VcpuId(i as u32))
-            .collect()
+    /// vCPU ids with at least one allocation whose home core is `core`
+    /// (precomputed at table build time; ascending by id).
+    pub fn vcpus_homed_on(&self, core: usize) -> &[VcpuId] {
+        &self.homed[core]
     }
 
     /// The shortest allocation across all cores (diagnostic; drives the

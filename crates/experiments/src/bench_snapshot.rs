@@ -7,16 +7,19 @@
 //! [`Dispatcher::decide`]/wake-up/table-switch hot paths, then writes
 //! `BENCH_planner.json` and `BENCH_dispatch.json` at the repo root.
 //!
-//! Those two files are committed: each PR that lands a perf-relevant change
+//! Those files are committed: each PR that lands a perf-relevant change
 //! reruns `experiments bench snapshot` and commits the refreshed numbers,
 //! so the trajectory is readable from git history alone. The `meta` block
 //! (schema tag, seed, machine cores, worker threads, git rev) makes any
 //! two snapshots comparable — or flags them as apples-to-oranges when the
-//! machines differ. `--quick` runs a reduced iteration count and validates
+//! machines differ. `--quick` runs a reduced iteration count, validates
 //! the schema round-trip against a scratch directory without touching the
-//! tracked files (the CI smoke path).
+//! tracked files, and gates every entry against the committed snapshot:
+//! a mean more than [`REGRESSION_FACTOR`]x the committed one fails the
+//! run (the CI smoke path).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -28,7 +31,10 @@ use tableau_core::dispatch::Dispatcher;
 use tableau_core::planner::{plan, PlannerOptions};
 use tableau_core::vcpu::VcpuId;
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+use workloads::{IntrinsicLatency, IoStress};
+use xensim::{Machine, Sim};
 
+use crate::config::{build_scenario, Background, SchedKind};
 use crate::report::{print_table, write_json_to};
 
 /// Schema tag; bump when the snapshot format changes incompatibly.
@@ -164,7 +170,11 @@ pub fn dispatch_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
     let p = plan(&host, &PlannerOptions::default()).expect("bench host plans");
     let len = p.table.len();
     let n_vcpus = p.params.len();
-    let make = |capped: bool| Dispatcher::new(p.table.clone(), vec![capped; n_vcpus], len);
+    // The control plane builds a table once and installs it everywhere; the
+    // benches mirror that by sharing one `Arc<Table>` so per-install cost is
+    // the staging/commit work itself, not a deep table clone.
+    let table = Arc::new(p.table.clone());
+    let make = |capped: bool| Dispatcher::new(table.clone(), vec![capped; n_vcpus], len);
 
     let entries = vec![
         {
@@ -189,7 +199,7 @@ pub fn dispatch_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
         },
         {
             let mut d = make(false);
-            let table = p.table.clone();
+            let table = table.clone();
             time_entry("dispatch/table_switch_begin_abort", iters, move || {
                 let staged = d
                     .begin_table_switch(table.clone(), Nanos(1))
@@ -200,7 +210,7 @@ pub fn dispatch_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
         },
         {
             let mut d = make(false);
-            let table = p.table.clone();
+            let table = table.clone();
             let mut round = 0u64;
             time_entry(
                 "dispatch/table_switch_commit",
@@ -219,6 +229,112 @@ pub fn dispatch_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
                     d.collect_garbage()
                 },
             )
+        },
+    ];
+    BenchSnapshot {
+        meta: meta(quick, seed),
+        entries,
+    }
+}
+
+/// Wall-clock for repeated `run_until` calls over fresh scenarios; the
+/// scenario build (planning, vCPU registration) is not timed.
+fn time_sim_entry(
+    name: &str,
+    iters: u64,
+    duration: Nanos,
+    mut mk: impl FnMut() -> Sim,
+) -> BenchEntry {
+    let mut warm = mk(); // warm-up: page in code and data
+    warm.run_until(duration);
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..iters {
+        let mut sim = mk();
+        let t0 = Instant::now();
+        sim.run_until(duration);
+        total += t0.elapsed();
+        std::hint::black_box(sim.events_processed());
+    }
+    BenchEntry {
+        name: name.to_string(),
+        iters,
+        total_ns: total.as_nanos() as u64,
+        mean_ns: total.as_nanos() as f64 / iters as f64,
+    }
+}
+
+/// Times the simulator engine itself: `run_until` wall-clock on a dense
+/// (I/O-churn) and a sparse (timer-tail) scenario, plus raw event
+/// throughput on the 16-core scaling scenario. `mean_ns` of
+/// `sim/events_per_sec` is ns *per event*: events/sec = 1e9 / mean_ns.
+pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
+    let iters: u64 = if quick { 1 } else { 5 };
+    let short = if quick {
+        Nanos::from_millis(20)
+    } else {
+        Nanos::from_millis(200)
+    };
+
+    // Dense: four vCPUs per core all churning I/O — the event queue holds a
+    // packed band of near-future timers, IPIs, and slice boundaries.
+    let dense = || {
+        let (sim, _v) = build_scenario(
+            Machine::small(4),
+            4,
+            SchedKind::Tableau,
+            true,
+            Box::new(IoStress::paper_default()),
+            Background::Io,
+        );
+        sim
+    };
+    // Sparse: one mostly-sleeping vCPU per core — long idle stretches where
+    // the engine must skip empty time cheaply.
+    let sparse = || {
+        let (sim, _v) = build_scenario(
+            Machine::small(4),
+            1,
+            SchedKind::Tableau,
+            true,
+            Box::new(IntrinsicLatency::new()),
+            Background::None,
+        );
+        sim
+    };
+
+    // Event throughput on the 16-core scaling scenario (same topology rule
+    // as the scaling sweep: sockets of ~11).
+    let scale_duration = if quick {
+        Nanos::from_millis(100)
+    } else {
+        Nanos::from_secs(1)
+    };
+    let machine = Machine {
+        n_sockets: 1,
+        cores_per_socket: 16,
+        ..Machine::xeon_16core()
+    };
+    let (mut scale_sim, _v) = build_scenario(
+        machine,
+        4,
+        SchedKind::Tableau,
+        true,
+        Box::new(IoStress::paper_default()),
+        Background::Io,
+    );
+    let t0 = Instant::now();
+    scale_sim.run_until(scale_duration);
+    let wall = t0.elapsed();
+    let events = scale_sim.events_processed().max(1);
+
+    let entries = vec![
+        time_sim_entry("sim/run_until_dense", iters, short, dense),
+        time_sim_entry("sim/run_until_sparse", iters, short, sparse),
+        BenchEntry {
+            name: "sim/events_per_sec".to_string(),
+            iters: events,
+            total_ns: wall.as_nanos() as u64,
+            mean_ns: wall.as_nanos() as f64 / events as f64,
         },
     ];
     BenchSnapshot {
@@ -259,16 +375,98 @@ fn validate(path: &std::path::Path) -> BenchSnapshot {
     snap
 }
 
+/// How much slower an entry may measure before the `--quick` gate calls it
+/// a regression. Generous on purpose: quick mode runs few iterations on a
+/// shared CI host, so only order-of-magnitude blowups should trip it.
+pub const REGRESSION_FACTOR: f64 = 3.0;
+
+/// A committed snapshot read back tolerantly: only the join key and the
+/// mean survive, so older or newer snapshots with extra/missing fields
+/// still compare. `None` means the file is absent or not a
+/// [`SCHEMA`]-tagged snapshot — the gate skips it rather than failing.
+fn read_committed(path: &Path) -> Option<Vec<(String, f64)>> {
+    use serde::Value;
+    let as_str = |v: &Value| match v {
+        Value::Str(s) => Some(s.clone()),
+        _ => None,
+    };
+    let as_f64 = |v: &Value| match v {
+        Value::F64(f) => Some(*f),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    };
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    let top = v.as_map()?;
+    let meta = Value::get_field(top, "meta")?.as_map()?;
+    if as_str(Value::get_field(meta, "schema")?)? != SCHEMA {
+        return None;
+    }
+    let entries = Value::get_field(top, "entries")?.as_seq()?;
+    Some(
+        entries
+            .iter()
+            .filter_map(|e| {
+                let e = e.as_map()?;
+                let name = as_str(Value::get_field(e, "name")?)?;
+                let mean = as_f64(Value::get_field(e, "mean_ns")?)?;
+                (mean > 0.0).then_some((name, mean))
+            })
+            .collect(),
+    )
+}
+
+/// Compares a fresh snapshot against the committed one at `path`.
+///
+/// Returns one line per entry that measured more than
+/// [`REGRESSION_FACTOR`]x its committed mean. Entries present on only one
+/// side are ignored (bench families grow over time), as are committed
+/// files that are missing or carry a foreign schema — the gate only ever
+/// fails on evidence, never on absence.
+pub fn regressions_against(current: &BenchSnapshot, path: &Path) -> Vec<String> {
+    let Some(committed) = read_committed(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for e in &current.entries {
+        let Some((_, base)) = committed.iter().find(|(n, _)| *n == e.name) else {
+            continue;
+        };
+        if e.mean_ns > base * REGRESSION_FACTOR {
+            out.push(format!(
+                "{}: {:.0} ns vs committed {:.0} ns ({:.1}x > {:.0}x budget, {})",
+                e.name,
+                e.mean_ns,
+                base,
+                e.mean_ns / base,
+                REGRESSION_FACTOR,
+                path.file_name().unwrap_or_default().to_string_lossy(),
+            ));
+        }
+    }
+    out
+}
+
 /// Runs both snapshots, prints them, writes and validates the artifacts.
+/// Returns `true` when the regression gate passed (it always passes in
+/// full mode, which *refreshes* the committed trajectory instead).
 ///
 /// Full mode writes `BENCH_planner.json`/`BENCH_dispatch.json` at the repo
 /// root (the committed trajectory); `--quick` writes to a scratch
-/// directory instead so a smoke run never dirties the tracked files.
-pub fn run(quick: bool, seed: u64) -> (BenchSnapshot, BenchSnapshot) {
+/// directory instead so a smoke run never dirties the tracked files, then
+/// gates each entry against the committed snapshot: any entry more than
+/// [`REGRESSION_FACTOR`]x slower than its committed mean fails the run.
+pub fn run(quick: bool, seed: u64) -> bool {
     let planner = planner_snapshot(quick, seed);
     let dispatch = dispatch_snapshot(quick, seed);
+    let sim = sim_snapshot(quick, seed);
 
-    for (title, snap) in [("planner", &planner), ("dispatch", &dispatch)] {
+    for (title, snap) in [
+        ("planner", &planner),
+        ("dispatch", &dispatch),
+        ("sim", &sim),
+    ] {
         let rows: Vec<Vec<String>> = snap
             .entries
             .iter()
@@ -297,9 +495,27 @@ pub fn run(quick: bool, seed: u64) -> (BenchSnapshot, BenchSnapshot) {
     };
     let p_path = write_json_to(&dir, "BENCH_planner", &planner);
     let d_path = write_json_to(&dir, "BENCH_dispatch", &dispatch);
+    let s_path = write_json_to(&dir, "BENCH_sim", &sim);
     validate(&p_path);
     validate(&d_path);
-    (planner, dispatch)
+    validate(&s_path);
+
+    if !quick {
+        return true;
+    }
+    let committed = bench_dir();
+    let mut bad = Vec::new();
+    for (snap, file) in [
+        (&planner, "BENCH_planner.json"),
+        (&dispatch, "BENCH_dispatch.json"),
+        (&sim, "BENCH_sim.json"),
+    ] {
+        bad.extend(regressions_against(snap, &committed.join(file)));
+    }
+    for line in &bad {
+        eprintln!("bench regression: {line}");
+    }
+    bad.is_empty()
 }
 
 #[cfg(test)]
@@ -336,6 +552,72 @@ mod tests {
                 .mean_ns
         };
         assert!(mean("cache/hit") * 10.0 < mean("cache/miss"));
+    }
+
+    fn fake_snapshot(entries: &[(&str, f64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            meta: meta(false, 1),
+            entries: entries
+                .iter()
+                .map(|&(name, mean_ns)| BenchEntry {
+                    name: name.to_string(),
+                    iters: 10,
+                    total_ns: (mean_ns * 10.0) as u64,
+                    mean_ns,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_the_budget() {
+        let dir = std::env::temp_dir().join("tableau-bench-gate-test");
+        let committed = fake_snapshot(&[("a/fast", 100.0), ("a/slow", 1000.0)]);
+        let path = write_json_to(&dir, "BENCH_gate", &committed);
+
+        // Within budget (even 2.9x) passes; a retired entry is ignored.
+        let ok = fake_snapshot(&[("a/fast", 290.0), ("a/new", 9e9)]);
+        assert_eq!(regressions_against(&ok, &path), Vec::<String>::new());
+
+        // Past the budget fails, and names the entry.
+        let bad = fake_snapshot(&[("a/fast", 301.0), ("a/slow", 500.0)]);
+        let lines = regressions_against(&bad, &path);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("a/fast"), "{lines:?}");
+    }
+
+    #[test]
+    fn regression_gate_tolerates_absent_or_foreign_snapshots() {
+        let dir = std::env::temp_dir().join("tableau-bench-gate-tolerant");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = fake_snapshot(&[("a/fast", 1e12)]);
+
+        // Missing file: no evidence, no failure.
+        assert!(regressions_against(&current, &dir.join("nope.json")).is_empty());
+
+        // Foreign schema: skipped.
+        let foreign = dir.join("foreign.json");
+        std::fs::write(
+            &foreign,
+            r#"{"meta":{"schema":"other-v9"},"entries":[{"name":"a/fast","mean_ns":1.0}]}"#,
+        )
+        .unwrap();
+        assert!(regressions_against(&current, &foreign).is_empty());
+
+        // Right schema but entries missing fields: the malformed entry is
+        // dropped, the well-formed one still compares.
+        let partial = dir.join("partial.json");
+        std::fs::write(
+            &partial,
+            format!(
+                r#"{{"meta":{{"schema":"{SCHEMA}"}},"entries":[{{"name":"a/fast"}},{{"name":"a/slow","mean_ns":10.0,"extra":true}}]}}"#
+            ),
+        )
+        .unwrap();
+        let current = fake_snapshot(&[("a/fast", 1e12), ("a/slow", 40.0)]);
+        let lines = regressions_against(&current, &partial);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("a/slow"), "{lines:?}");
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! Usage: `experiments <fig3|fig4|tab1|tab2|fig5|fig6|fig7|fig8|robustness|all>
 //! [--quick] [--seed <u64>]`. `fig3`/`fig4` and `tab1`/`tab2` are generated
 //! together (they share their runs). `bench snapshot` times the
-//! planner/cache/dispatcher hot paths and refreshes the committed
-//! `BENCH_planner.json`/`BENCH_dispatch.json` trajectory (with `--quick`:
-//! a schema smoke run against a scratch directory).
+//! planner/cache/dispatcher/simulator hot paths and refreshes the committed
+//! `BENCH_planner.json`/`BENCH_dispatch.json`/`BENCH_sim.json` trajectory
+//! (with `--quick`: a schema smoke run against a scratch directory that
+//! also gates each entry against the committed snapshot and exits non-zero
+//! on a >3x regression).
 //!
 //! Bad input never panics: every user error exits with code 1 and a
 //! one-line `error: ...` diagnostic.
@@ -117,11 +119,12 @@ fn main() -> ExitCode {
     // `bench snapshot` reads as one command but parses as two ids; run the
     // snapshot once no matter how it was spelled.
     let mut bench_done = false;
+    let mut bench_ok = true;
     for id in &cli.ids {
         match id.as_str() {
             "bench" | "snapshot" => {
                 if !bench_done {
-                    experiments::bench_snapshot::run(quick, cli.seed);
+                    bench_ok = experiments::bench_snapshot::run(quick, cli.seed);
                     bench_done = true;
                 }
             }
@@ -176,6 +179,10 @@ fn main() -> ExitCode {
             }
             _ => unreachable!("ids validated in parse"),
         }
+    }
+    if !bench_ok {
+        eprintln!("error: bench snapshot regressed past the gate (see lines above)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -20,7 +20,9 @@
 //! every 10 ms with accounting every third tick.
 
 use rtsched::time::Nanos;
-use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
+use xensim::sched::{
+    DeschedulePlan, IpiTargets, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
+};
 use xensim::Machine;
 
 use crate::costs::CreditCosts;
@@ -282,7 +284,7 @@ impl VmScheduler for Credit {
         };
         if self.vcpus[vcpu.0 as usize].parked {
             return WakeupPlan {
-                ipi_cores: vec![],
+                ipi_cores: IpiTargets::NONE,
                 cost,
             };
         }
@@ -297,7 +299,7 @@ impl VmScheduler for Credit {
         if let Some(c) = idle_core {
             self.vcpus[vcpu.0 as usize].home = c;
             return WakeupPlan {
-                ipi_cores: vec![c],
+                ipi_cores: IpiTargets::one(c),
                 cost,
             };
         }
@@ -306,7 +308,11 @@ impl VmScheduler for Credit {
             None => true,
         };
         WakeupPlan {
-            ipi_cores: if preempt { vec![home] } else { vec![] },
+            ipi_cores: if preempt {
+                IpiTargets::one(home)
+            } else {
+                IpiTargets::NONE
+            },
             cost,
         }
     }
@@ -332,7 +338,7 @@ impl VmScheduler for Credit {
             self.core_running[core] = None;
         }
         DeschedulePlan {
-            ipi_cores: vec![],
+            ipi_cores: IpiTargets::NONE,
             cost: self.costs.deschedule_base,
         }
     }

@@ -18,7 +18,9 @@
 //! against Credit/Credit2.
 
 use rtsched::time::Nanos;
-use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
+use xensim::sched::{
+    DeschedulePlan, IpiTargets, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
+};
 use xensim::{Machine, SimLock};
 
 use crate::costs::Credit2Costs;
@@ -170,7 +172,7 @@ impl VmScheduler for Credit2 {
             }),
         };
         WakeupPlan {
-            ipi_cores: target.into_iter().collect(),
+            ipi_cores: target.into(),
             cost,
         }
     }
@@ -197,7 +199,7 @@ impl VmScheduler for Credit2 {
             self.core_running[core] = None;
         }
         DeschedulePlan {
-            ipi_cores: vec![],
+            ipi_cores: IpiTargets::NONE,
             cost: self.costs.deschedule_base + self.costs.deschedule_lock_hold + wait + scan,
         }
     }

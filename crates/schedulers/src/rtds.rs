@@ -15,7 +15,9 @@
 //! evaluates it only in capped scenarios).
 
 use rtsched::time::Nanos;
-use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
+use xensim::sched::{
+    DeschedulePlan, IpiTargets, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
+};
 use xensim::{Machine, SimLock};
 
 use crate::costs::RtdsCosts;
@@ -222,7 +224,7 @@ impl VmScheduler for Rtds {
             // Depleted: it becomes eligible at its replenish; cores will
             // pick it up via their idle timers.
             return WakeupPlan {
-                ipi_cores: vec![],
+                ipi_cores: IpiTargets::NONE,
                 cost,
             };
         }
@@ -241,7 +243,7 @@ impl VmScheduler for Rtds {
                 .map(|(c, _)| c),
         };
         WakeupPlan {
-            ipi_cores: target.into_iter().collect(),
+            ipi_cores: target.into(),
             cost,
         }
     }
@@ -267,7 +269,7 @@ impl VmScheduler for Rtds {
             self.core_running[core] = None;
         }
         DeschedulePlan {
-            ipi_cores: vec![],
+            ipi_cores: IpiTargets::NONE,
             cost: self.costs.deschedule_base + self.costs.deschedule_lock_hold + wait,
         }
     }

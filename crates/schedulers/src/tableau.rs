@@ -123,7 +123,11 @@ impl Tableau {
     }
 
     /// Installs a replacement table (planner push); returns the switch time.
-    pub fn install_table(&mut self, table: tableau_core::Table, now: Nanos) -> Nanos {
+    pub fn install_table(
+        &mut self,
+        table: impl Into<std::sync::Arc<tableau_core::Table>>,
+        now: Nanos,
+    ) -> Nanos {
         self.dispatcher.install_table(table, now)
     }
 
@@ -134,7 +138,7 @@ impl Tableau {
     /// (the old table keeps running, untouched), or the validation error.
     pub fn try_install_table(
         &mut self,
-        table: tableau_core::Table,
+        table: impl Into<std::sync::Arc<tableau_core::Table>>,
         now: Nanos,
         interrupted: bool,
     ) -> Result<Option<Nanos>, tableau_core::InstallError> {
@@ -213,7 +217,7 @@ impl VmScheduler for Tableau {
         }
         let target = self.dispatcher.wakeup_target(tc(vcpu), now);
         WakeupPlan {
-            ipi_cores: target.into_iter().collect(),
+            ipi_cores: target.into(),
             cost: self.costs.wakeup_base,
         }
     }
@@ -275,7 +279,7 @@ impl VmScheduler for Tableau {
             cost += self.costs.handoff_ipi;
         }
         DeschedulePlan {
-            ipi_cores: handoff.into_iter().collect(),
+            ipi_cores: handoff.into(),
             cost,
         }
     }

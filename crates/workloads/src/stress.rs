@@ -175,7 +175,9 @@ mod tests {
         pub use xensim::{Machine, Sim};
     }
 
-    use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
+    use xensim::sched::{
+        DeschedulePlan, IpiTargets, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
+    };
 
     /// Run-whoever-is-runnable scheduler for workload unit tests.
     struct RunFirst;
@@ -203,7 +205,7 @@ mod tests {
         }
         fn on_wakeup(&mut self, _v: VcpuId, _n: Nanos, _view: VcpuView<'_>) -> WakeupPlan {
             WakeupPlan {
-                ipi_cores: vec![0],
+                ipi_cores: IpiTargets::one(0),
                 cost: Nanos(500),
             }
         }

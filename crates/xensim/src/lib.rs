@@ -27,6 +27,7 @@ pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod trace;
+pub mod wheel;
 
 pub use fault::{CoreFaults, FaultConfig, FaultEngine, IpiFate};
 pub use lock::SimLock;
@@ -35,6 +36,7 @@ pub use net::TxRing;
 pub use sched::{
     GuestAction, GuestWorkload, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan,
 };
-pub use sim::Sim;
+pub use sim::{EngineKind, Sim};
 pub use stats::{OpKind, OpStats, RecoveryStats, SimStats};
-pub use trace::{TraceBuffer, TraceEvent, TraceSummary};
+pub use trace::{TraceBuffer, TraceClass, TraceEvent, TraceSummary};
+pub use wheel::TimingWheel;

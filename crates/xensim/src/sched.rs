@@ -71,21 +71,86 @@ impl VcpuView<'_> {
     }
 }
 
+/// A small inline set of IPI target cores.
+///
+/// Wake-up and de-schedule plans are built on the simulator's per-event hot
+/// path, and every scheduler targets zero or one core per notification (a
+/// wake-up IPI or a migration hand-off). An inline fixed-capacity array
+/// keeps those plans heap-free; the capacity is an assertion about
+/// scheduler behavior, not a silent truncation point — overflow panics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IpiTargets {
+    cores: [usize; IpiTargets::CAPACITY],
+    len: u8,
+}
+
+impl IpiTargets {
+    /// Maximum targets one plan can carry.
+    pub const CAPACITY: usize = 4;
+
+    /// No IPIs.
+    pub const NONE: IpiTargets = IpiTargets {
+        cores: [0; IpiTargets::CAPACITY],
+        len: 0,
+    };
+
+    /// A single-target set (the common case).
+    pub fn one(core: usize) -> IpiTargets {
+        let mut t = IpiTargets::NONE;
+        t.push(core);
+        t
+    }
+
+    /// Appends a target.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan already holds [`IpiTargets::CAPACITY`] targets.
+    pub fn push(&mut self, core: usize) {
+        self.cores[self.len as usize] = core;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for IpiTargets {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        &self.cores[..self.len as usize]
+    }
+}
+
+impl From<Option<usize>> for IpiTargets {
+    fn from(core: Option<usize>) -> IpiTargets {
+        core.map_or(IpiTargets::NONE, IpiTargets::one)
+    }
+}
+
+impl FromIterator<usize> for IpiTargets {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> IpiTargets {
+        let mut t = IpiTargets::NONE;
+        for core in iter {
+            t.push(core);
+        }
+        t
+    }
+}
+
 /// Outcome of a wake-up notification: which cores to interrupt, and what
 /// the wake-up processing cost.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct WakeupPlan {
     /// Cores to send a re-schedule IPI to (usually zero or one).
-    pub ipi_cores: Vec<usize>,
+    pub ipi_cores: IpiTargets,
     /// CPU time spent processing the wake-up.
     pub cost: Nanos,
 }
 
 /// Outcome of a de-schedule hook (post-"context saved" work).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DeschedulePlan {
     /// Cores to send a re-schedule IPI to (e.g. migration hand-off).
-    pub ipi_cores: Vec<usize>,
+    pub ipi_cores: IpiTargets,
     /// CPU time spent (the paper's "Migrate" overhead column).
     pub cost: Nanos,
 }

@@ -23,7 +23,8 @@ use crate::fault::{FaultConfig, FaultEngine, IpiFate};
 use crate::machine::Machine;
 use crate::sched::{GuestAction, GuestWorkload, VcpuId, VcpuView, VmScheduler};
 use crate::stats::{OpKind, SimStats};
-use crate::trace::{TraceBuffer, TraceEvent};
+use crate::trace::{TraceBuffer, TraceClass, TraceEvent};
+use crate::wheel::TimingWheel;
 
 /// Guest-visible vCPU states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,12 +88,81 @@ enum Event {
     CoreOnline { core: usize },
 }
 
+/// Selects the pending-event structure backing a [`Sim`].
+///
+/// Both engines process events in identical `(time, seq)` order — the
+/// `engine_equivalence` test holds them to bit-for-bit equal streams. The
+/// wheel is the default; the heap remains as the reference oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Reference engine: a binary min-heap of `(time, seq, event)`.
+    Heap,
+    /// Hierarchical timing wheel ([`crate::wheel`]): O(1) amortized
+    /// insert/pop, allocation-free at steady state.
+    #[default]
+    Wheel,
+}
+
+/// The pending-event set, behind the engine selection.
+enum EventQueue {
+    Heap(BinaryHeap<Reverse<(Nanos, u64, Event)>>),
+    Wheel(Box<TimingWheel<Event>>),
+}
+
+impl EventQueue {
+    fn new(kind: EngineKind) -> EventQueue {
+        match kind {
+            EngineKind::Heap => EventQueue::Heap(BinaryHeap::new()),
+            EngineKind::Wheel => EventQueue::Wheel(Box::default()),
+        }
+    }
+
+    fn kind(&self) -> EngineKind {
+        match self {
+            EventQueue::Heap(_) => EngineKind::Heap,
+            EventQueue::Wheel(_) => EngineKind::Wheel,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: Nanos, seq: u64, event: Event) {
+        match self {
+            EventQueue::Heap(h) => h.push(Reverse((at, seq, event))),
+            EventQueue::Wheel(w) => w.push(at, seq, event),
+        }
+    }
+
+    /// Removes the earliest event if its time is `<= limit` (the per-event
+    /// operation of the simulation loop, fused so each engine does one
+    /// ordering pass).
+    #[inline]
+    fn pop_if_at_most(&mut self, limit: Nanos) -> Option<(Nanos, u64, Event)> {
+        match self {
+            EventQueue::Heap(h) => match h.peek() {
+                Some(&Reverse((at, _, _))) if at <= limit => {
+                    let Reverse(e) = h.pop().expect("peeked");
+                    Some(e)
+                }
+                _ => None,
+            },
+            EventQueue::Wheel(w) => w.pop_if_at_most(limit),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, u64, Event)> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|Reverse(e)| e),
+            EventQueue::Wheel(w) => w.pop(),
+        }
+    }
+}
+
 /// A deterministic discrete-event hypervisor simulation.
 pub struct Sim {
     machine: Machine,
     now: Nanos,
     seq: u64,
-    events: BinaryHeap<Reverse<(Nanos, u64, Event)>>,
+    events: EventQueue,
     cores: Vec<CoreState>,
     vcpus: Vec<VcpuSlot>,
     /// Runnable flags mirroring vCPU states, for cheap scheduler views.
@@ -111,6 +181,14 @@ pub struct Sim {
     /// service. An offline core runs nothing and absorbs re-schedules
     /// (they are re-issued when it returns).
     core_online: Vec<bool>,
+    /// Events handled since construction (the simulator's throughput
+    /// denominator: simulated work per wall second is events/sec).
+    events_processed: u64,
+    /// When present, every handled event is appended as
+    /// `(time, seq, debug string)` — the engine-equivalence tests compare
+    /// these streams across engines. `None` (the default) costs one branch
+    /// per event.
+    event_log: Option<Vec<(Nanos, u64, String)>>,
     started: bool,
 }
 
@@ -122,7 +200,7 @@ impl Sim {
             machine,
             now: Nanos::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(EngineKind::default()),
             cores: (0..n)
                 .map(|_| CoreState {
                     running: None,
@@ -142,8 +220,48 @@ impl Sim {
             faults: None,
             stolen_until: vec![Nanos::ZERO; n],
             core_online: vec![true; n],
+            events_processed: 0,
+            event_log: None,
             started: false,
         }
+    }
+
+    /// Selects the event-queue engine (default [`EngineKind::Wheel`]).
+    /// Events already queued (e.g. via [`Sim::push_external`]) are carried
+    /// over with their original `(time, seq)` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation started.
+    pub fn set_engine(&mut self, kind: EngineKind) {
+        assert!(
+            !self.started,
+            "the engine must be selected before the first run"
+        );
+        if kind == self.events.kind() {
+            return;
+        }
+        let mut next = EventQueue::new(kind);
+        while let Some((at, seq, event)) = self.events.pop() {
+            next.push(at, seq, event);
+        }
+        self.events = next;
+    }
+
+    /// The event-queue engine in use.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.events.kind()
+    }
+
+    /// Starts recording every handled event as `(time, seq, debug string)`
+    /// (engine-equivalence testing; unbounded, so not for long runs).
+    pub fn enable_event_log(&mut self) {
+        self.event_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded event log (empty if logging was never enabled).
+    pub fn take_event_log(&mut self) -> Vec<(Nanos, u64, String)> {
+        self.event_log.take().unwrap_or_default()
     }
 
     /// Installs a fault-injection configuration (see [`crate::fault`]).
@@ -183,8 +301,10 @@ impl Sim {
     /// preserving the enabled flag. Existing records are discarded.
     pub fn set_trace_capacity(&mut self, capacity: usize) {
         let enabled = self.trace.is_enabled();
+        let filter = self.trace.filter();
         self.trace = TraceBuffer::new(capacity);
         self.trace.set_enabled(enabled);
+        self.trace.set_filter(filter);
     }
 
     /// Turns on event tracing (a xentrace-style ring buffer; see
@@ -277,6 +397,12 @@ impl Sim {
         self.core_online[core]
     }
 
+    /// Total events handled so far (throughput accounting; see the
+    /// `sim/events_per_sec` bench entry).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     fn push(&mut self, at: Nanos, event: Event) {
         // Timer faults perturb hypervisor timers (decision expiry, burst
         // completion, ticks) only; external events, IPIs, and guest-internal
@@ -286,7 +412,7 @@ impl Sim {
             _ => at,
         };
         self.seq += 1;
-        self.events.push(Reverse((at, self.seq, event)));
+        self.events.push(at, self.seq, event);
     }
 
     /// Runs the simulation up to (and including) absolute time `end`.
@@ -302,52 +428,67 @@ impl Sim {
                     self.push(interval, Event::Tick { core });
                 }
             }
-            // Seed the stolen-time schedule on each affected core.
+            // Seed the stolen-time schedule on each affected core. Indexed
+            // loops, not clones of the core lists: the borrow of the fault
+            // engine ends before each push, and the RNG draw order (one gap
+            // per in-machine core, in list order) is exactly the old one.
             let machine = self.machine;
-            if let Some(f) = &mut self.faults {
-                if f.config().stolen.is_active() {
-                    let first: Vec<(usize, Nanos)> = f
-                        .config()
-                        .stolen
-                        .cores
-                        .clone()
-                        .into_iter()
-                        .filter(|&c| machine.has_core(c))
-                        .map(|c| (c, f.theft_gap()))
-                        .collect();
-                    for (core, gap) in first {
-                        let at = self.now + gap;
-                        self.push(at, Event::Stolen { core });
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.config().stolen.is_active())
+            {
+                let n = self
+                    .faults
+                    .as_ref()
+                    .expect("checked")
+                    .config()
+                    .stolen
+                    .cores
+                    .len();
+                for i in 0..n {
+                    let f = self.faults.as_mut().expect("checked");
+                    let core = f.config().stolen.cores[i];
+                    if !machine.has_core(core) {
+                        continue;
                     }
+                    let at = self.now + f.theft_gap();
+                    self.push(at, Event::Stolen { core });
                 }
             }
             // Seed the core-flap schedule on each affected core.
-            if let Some(f) = &mut self.faults {
-                if f.config().core.is_active() {
-                    let first: Vec<(usize, Nanos)> = f
-                        .config()
-                        .core
-                        .cores
-                        .clone()
-                        .into_iter()
-                        .filter(|&c| machine.has_core(c))
-                        .map(|c| (c, f.outage_gap()))
-                        .collect();
-                    for (core, gap) in first {
-                        let at = self.now + gap;
-                        self.push(at, Event::CoreOffline { core });
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.config().core.is_active())
+            {
+                let n = self
+                    .faults
+                    .as_ref()
+                    .expect("checked")
+                    .config()
+                    .core
+                    .cores
+                    .len();
+                for i in 0..n {
+                    let f = self.faults.as_mut().expect("checked");
+                    let core = f.config().core.cores[i];
+                    if !machine.has_core(core) {
+                        continue;
                     }
+                    let at = self.now + f.outage_gap();
+                    self.push(at, Event::CoreOffline { core });
                 }
             }
         }
 
-        while let Some(&Reverse((at, _, _))) = self.events.peek() {
-            if at > end {
-                break;
-            }
-            let Reverse((at, _, event)) = self.events.pop().expect("peeked");
+        while let Some((at, seq, event)) = self.events.pop_if_at_most(end) {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            self.events_processed += 1;
+            if let Some(log) = &mut self.event_log {
+                log.push((at, seq, format!("{event:?}")));
+            }
             self.handle(event);
         }
         self.now = end;
@@ -416,7 +557,10 @@ impl Sim {
         self.push(self.now + gap, Event::Stolen { core });
         self.stats.stolen_time[core] += duration;
         self.trace
-            .record(self.now, TraceEvent::Stolen { core, duration });
+            .emit(self.now, TraceClass::FAULT, || TraceEvent::Stolen {
+                core,
+                duration,
+            });
 
         let victim = self.cores[core].running;
         if victim.is_some() {
@@ -454,7 +598,10 @@ impl Sim {
         self.stats.core_offline_events += 1;
         self.stats.core_offline_time[core] += duration;
         self.trace
-            .record(self.now, TraceEvent::CoreOffline { core, duration });
+            .emit(self.now, TraceClass::FAULT, || TraceEvent::CoreOffline {
+                core,
+                duration,
+            });
         self.sched.on_core_offline(core, self.now);
         self.push(self.now + duration, Event::CoreOnline { core });
         self.push(self.now + duration + gap, Event::CoreOffline { core });
@@ -465,7 +612,10 @@ impl Sim {
     /// like an IPI arrival).
     fn core_comes_online(&mut self, core: usize) {
         self.core_online[core] = true;
-        self.trace.record(self.now, TraceEvent::CoreOnline { core });
+        self.trace
+            .emit(self.now, TraceClass::FAULT, || TraceEvent::CoreOnline {
+                core,
+            });
         self.sched.on_core_online(core, self.now);
         self.resched(core);
     }
@@ -549,10 +699,15 @@ impl Sim {
         slot.last_core = Some(core);
         self.flags[vcpu.0 as usize] = false;
         self.sched.on_block(vcpu, core, self.now);
-        self.trace.record(self.now, TraceEvent::Block { vcpu });
+        self.trace
+            .emit(self.now, TraceClass::VCPU, || TraceEvent::Block { vcpu });
         let ran = std::mem::replace(&mut self.cores[core].ran_since_dispatch, Nanos::ZERO);
         self.trace
-            .record(self.now, TraceEvent::Deschedule { core, vcpu, ran });
+            .emit(self.now, TraceClass::SCHED, || TraceEvent::Deschedule {
+                core,
+                vcpu,
+                ran,
+            });
         let plan = self.sched.on_descheduled(vcpu, core, ran, self.now);
         self.stats.ops.record(OpKind::Deschedule, plan.cost);
         self.cores[core].pending_overhead += plan.cost;
@@ -571,14 +726,18 @@ impl Sim {
                         // The interrupt is dropped; the target still
                         // re-schedules when the fallback poll notices.
                         self.stats.ipis_lost += 1;
-                        self.trace.record(self.now, TraceEvent::IpiLost { core: t });
+                        self.trace
+                            .emit(self.now, TraceClass::FAULT, || TraceEvent::IpiLost {
+                                core: t,
+                            });
                         self.push(self.now + redeliver_after, Event::Resched { core: t });
                         continue;
                     }
                 }
             }
             self.stats.ipis += 1;
-            self.trace.record(self.now, TraceEvent::Ipi { core: t });
+            self.trace
+                .emit(self.now, TraceClass::IPI, || TraceEvent::Ipi { core: t });
             self.push(self.now + latency, Event::Resched { core: t });
         }
     }
@@ -594,7 +753,10 @@ impl Sim {
         self.stats.overrun_time += extra;
         self.stats.vcpu_mut(vcpu).overruns += 1;
         self.trace
-            .record(self.now, TraceEvent::Overrun { vcpu, extra });
+            .emit(self.now, TraceClass::FAULT, || TraceEvent::Overrun {
+                vcpu,
+                extra,
+            });
         amount + extra
     }
 
@@ -611,7 +773,11 @@ impl Sim {
         slot.last_core = Some(core);
         let ran = std::mem::replace(&mut self.cores[core].ran_since_dispatch, Nanos::ZERO);
         self.trace
-            .record(self.now, TraceEvent::Deschedule { core, vcpu, ran });
+            .emit(self.now, TraceClass::SCHED, || TraceEvent::Deschedule {
+                core,
+                vcpu,
+                ran,
+            });
         let plan = self.sched.on_descheduled(vcpu, core, ran, self.now);
         self.stats.ops.record(OpKind::Deschedule, plan.cost);
         self.cores[core].pending_overhead += plan.cost;
@@ -644,7 +810,8 @@ impl Sim {
             let gen = self.cores[core].gen;
 
             let Some(vcpu) = decision.vcpu else {
-                self.trace.record(self.now, TraceEvent::Idle { core });
+                self.trace
+                    .emit(self.now, TraceClass::SCHED, || TraceEvent::Idle { core });
                 self.push(until, Event::CoreTimer { core, gen });
                 return;
             };
@@ -654,7 +821,10 @@ impl Sim {
             );
 
             self.trace
-                .record(self.now, TraceEvent::Dispatch { core, vcpu });
+                .emit(self.now, TraceClass::SCHED, || TraceEvent::Dispatch {
+                    core,
+                    vcpu,
+                });
 
             // Dispatch latency sample.
             let slot = &mut self.vcpus[vcpu.0 as usize];
@@ -738,7 +908,8 @@ impl Sim {
         slot.remaining = None;
         self.flags[vcpu.0 as usize] = true;
         self.stats.vcpu_mut(vcpu).wakeups += 1;
-        self.trace.record(self.now, TraceEvent::Wake { vcpu });
+        self.trace
+            .emit(self.now, TraceClass::VCPU, || TraceEvent::Wake { vcpu });
 
         let view = VcpuView {
             runnable: &self.flags,
@@ -758,7 +929,7 @@ impl Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::{BusyLoop, DeschedulePlan, SchedDecision, WakeupPlan};
+    use crate::sched::{BusyLoop, DeschedulePlan, IpiTargets, SchedDecision, WakeupPlan};
 
     fn ms(v: u64) -> Nanos {
         Nanos::from_millis(v)
@@ -811,7 +982,7 @@ mod tests {
 
         fn on_wakeup(&mut self, vcpu: VcpuId, _now: Nanos, _view: VcpuView<'_>) -> WakeupPlan {
             WakeupPlan {
-                ipi_cores: vec![vcpu.0 as usize % self.n_cores],
+                ipi_cores: IpiTargets::one(vcpu.0 as usize % self.n_cores),
                 cost: Nanos::from_micros(1),
             }
         }
@@ -826,7 +997,7 @@ mod tests {
             _now: Nanos,
         ) -> DeschedulePlan {
             DeschedulePlan {
-                ipi_cores: vec![],
+                ipi_cores: IpiTargets::NONE,
                 cost: Nanos(100),
             }
         }

@@ -217,7 +217,7 @@ pub struct RecoveryStats {
 }
 
 /// Whole-simulation statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Scheduler operation overheads.
     pub ops: OpStats,

@@ -47,6 +47,58 @@ pub enum TraceEvent {
     CoreOnline { core: usize },
 }
 
+impl TraceEvent {
+    /// The filter class this event belongs to.
+    pub fn class(&self) -> TraceClass {
+        match self {
+            TraceEvent::Dispatch { .. }
+            | TraceEvent::Deschedule { .. }
+            | TraceEvent::Idle { .. } => TraceClass::SCHED,
+            TraceEvent::Wake { .. } | TraceEvent::Block { .. } => TraceClass::VCPU,
+            TraceEvent::Ipi { .. } => TraceClass::IPI,
+            TraceEvent::Stolen { .. }
+            | TraceEvent::IpiLost { .. }
+            | TraceEvent::Overrun { .. }
+            | TraceEvent::CoreOffline { .. }
+            | TraceEvent::CoreOnline { .. } => TraceClass::FAULT,
+        }
+    }
+}
+
+/// A bit-mask of trace-event classes, mirroring xentrace's `TRC_*` class
+/// words. The buffer's filter is checked *before* an event is constructed
+/// (see [`TraceBuffer::emit`]), so suppressed classes cost one branch per
+/// call site, not a record construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceClass(u32);
+
+impl TraceClass {
+    /// Dispatch, deschedule, and idle decisions.
+    pub const SCHED: TraceClass = TraceClass(1 << 0);
+    /// vCPU state transitions (wake, block).
+    pub const VCPU: TraceClass = TraceClass(1 << 1);
+    /// Inter-processor interrupts (sent and lost).
+    pub const IPI: TraceClass = TraceClass(1 << 2);
+    /// Fault-injection events (thefts, overruns, core flaps).
+    pub const FAULT: TraceClass = TraceClass(1 << 3);
+    /// Every class (the default filter).
+    pub const ALL: TraceClass = TraceClass(u32::MAX);
+    /// No class at all.
+    pub const NONE: TraceClass = TraceClass(0);
+
+    /// `true` if any class in `other` is in this mask.
+    pub fn intersects(self, other: TraceClass) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl std::ops::BitOr for TraceClass {
+    type Output = TraceClass;
+    fn bitor(self, rhs: TraceClass) -> TraceClass {
+        TraceClass(self.0 | rhs.0)
+    }
+}
+
 /// A timestamped trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceRecord {
@@ -68,6 +120,8 @@ pub struct TraceBuffer {
     head: usize,
     wrapped: bool,
     enabled: bool,
+    /// Class mask; events outside it are dropped before construction.
+    filter: TraceClass,
     /// Records dropped due to wrapping.
     dropped: u64,
 }
@@ -81,6 +135,7 @@ impl TraceBuffer {
             head: 0,
             wrapped: false,
             enabled: false,
+            filter: TraceClass::ALL,
             dropped: 0,
         }
     }
@@ -95,12 +150,49 @@ impl TraceBuffer {
         self.enabled
     }
 
-    /// Records an event (no-op while disabled).
-    pub fn record(&mut self, at: Nanos, event: TraceEvent) {
-        if !self.enabled {
+    /// Restricts recording to the classes in `filter` (default
+    /// [`TraceClass::ALL`]).
+    pub fn set_filter(&mut self, filter: TraceClass) {
+        self.filter = filter;
+    }
+
+    /// The active class filter.
+    pub fn filter(&self) -> TraceClass {
+        self.filter
+    }
+
+    /// Whether an event of `class` would be recorded right now. Call sites
+    /// use this (via [`TraceBuffer::emit`]) to skip event construction
+    /// entirely for suppressed classes.
+    #[inline]
+    pub fn wants(&self, class: TraceClass) -> bool {
+        self.enabled && self.filter.intersects(class)
+    }
+
+    /// Records an event of `class`, constructing it only if the buffer is
+    /// enabled and the class passes the filter — a dropped event costs one
+    /// branch, not a construction.
+    #[inline]
+    pub fn emit(&mut self, at: Nanos, class: TraceClass, event: impl FnOnce() -> TraceEvent) {
+        if !self.wants(class) {
             return;
         }
-        let rec = TraceRecord { at, event };
+        let event = event();
+        debug_assert_eq!(event.class(), class, "event recorded under wrong class");
+        self.push_record(TraceRecord { at, event });
+    }
+
+    /// Records an already-constructed event (no-op while disabled or when
+    /// its class is filtered out). Prefer [`TraceBuffer::emit`] on hot
+    /// paths.
+    pub fn record(&mut self, at: Nanos, event: TraceEvent) {
+        if !self.enabled || !self.filter.intersects(event.class()) {
+            return;
+        }
+        self.push_record(TraceRecord { at, event });
+    }
+
+    fn push_record(&mut self, rec: TraceRecord) {
         if self.records.len() < self.capacity {
             self.records.push(rec);
         } else {
@@ -292,6 +384,48 @@ mod tests {
         t.record(us(2), TraceEvent::Ipi { core: 0 });
         let s = TraceSummary::from_trace(&t);
         assert_eq!(s.ipis_per_core, vec![(0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn filter_suppresses_classes_before_construction() {
+        let mut t = TraceBuffer::new(8);
+        t.set_enabled(true);
+        t.set_filter(TraceClass::SCHED);
+        // Suppressed class: the closure must never run.
+        t.emit(us(1), TraceClass::IPI, || {
+            panic!("constructed a filtered event")
+        });
+        assert!(t.is_empty());
+        t.emit(us(2), TraceClass::SCHED, || TraceEvent::Idle { core: 0 });
+        assert_eq!(t.len(), 1);
+        // `record` applies the same filter, after construction.
+        t.record(us(3), TraceEvent::Ipi { core: 1 });
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn disabled_buffer_skips_emit_construction() {
+        let mut t = TraceBuffer::new(8);
+        t.emit(us(1), TraceClass::SCHED, || {
+            panic!("constructed while disabled")
+        });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn class_masks_combine() {
+        let m = TraceClass::SCHED | TraceClass::FAULT;
+        assert!(m.intersects(TraceClass::SCHED));
+        assert!(m.intersects(TraceClass::FAULT));
+        assert!(!m.intersects(TraceClass::IPI));
+        assert!(TraceClass::ALL.intersects(TraceClass::VCPU));
+        assert!(!TraceClass::NONE.intersects(TraceClass::ALL));
+        assert_eq!(TraceEvent::Idle { core: 0 }.class(), TraceClass::SCHED);
+        assert_eq!(
+            TraceEvent::Wake { vcpu: VcpuId(0) }.class(),
+            TraceClass::VCPU
+        );
+        assert_eq!(TraceEvent::IpiLost { core: 0 }.class(), TraceClass::FAULT);
     }
 
     #[test]

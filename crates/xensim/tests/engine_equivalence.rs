@@ -1,0 +1,281 @@
+//! The determinism gate for the timing-wheel engine.
+//!
+//! The wheel ([`xensim::wheel`]) replaced the reference binary heap as the
+//! simulator's pending-event structure. Every committed artifact in this
+//! repo was produced under the heap's `(time, seq)` total order, so the
+//! wheel must be *observationally identical*: same handled-event stream,
+//! same statistics (including `RecoveryStats`), same trace — bit for bit —
+//! across randomized scenarios with fault injection active. If these
+//! properties hold, every `results/*.json` regenerates byte-identically
+//! under the new engine.
+
+use proptest::prelude::*;
+
+use rtsched::time::Nanos;
+use xensim::fault::FaultConfig;
+use xensim::sched::{
+    DeschedulePlan, GuestAction, GuestWorkload, IpiTargets, SchedDecision, VcpuId, VcpuView,
+    VmScheduler,
+};
+use xensim::trace::TraceRecord;
+use xensim::{EngineKind, Machine, Sim, SimStats, WakeupPlan};
+
+/// A scheduler whose picks rotate by a seed — arbitrary on purpose, to
+/// generate irregular event traffic rather than a sensible policy.
+struct Chaotic {
+    seed: u64,
+    n_cores: usize,
+    quantum_us: u64,
+}
+
+impl VmScheduler for Chaotic {
+    fn name(&self) -> &'static str {
+        "chaotic"
+    }
+
+    fn schedule(&mut self, core: usize, now: Nanos, view: VcpuView<'_>) -> (SchedDecision, Nanos) {
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(core as u64);
+        let n = view.runnable.len();
+        let until = now + Nanos::from_micros(1 + self.quantum_us);
+        if n == 0 {
+            return (SchedDecision::idle(until), Nanos(300));
+        }
+        let start = (self.seed >> 33) as usize % n;
+        for k in 0..n {
+            let v = VcpuId(((start + k) % n) as u32);
+            if v.0 as usize % self.n_cores == core && view.is_runnable(v) {
+                return (SchedDecision::run(v, until), Nanos(300));
+            }
+        }
+        (SchedDecision::idle(until), Nanos(300))
+    }
+
+    fn on_wakeup(&mut self, vcpu: VcpuId, _now: Nanos, _view: VcpuView<'_>) -> WakeupPlan {
+        WakeupPlan {
+            ipi_cores: IpiTargets::one(vcpu.0 as usize % self.n_cores),
+            cost: Nanos(200),
+        }
+    }
+
+    fn on_block(&mut self, _vcpu: VcpuId, _core: usize, _now: Nanos) {}
+
+    fn on_descheduled(
+        &mut self,
+        _vcpu: VcpuId,
+        _core: usize,
+        _ran: Nanos,
+        _now: Nanos,
+    ) -> DeschedulePlan {
+        DeschedulePlan {
+            ipi_cores: IpiTargets::NONE,
+            cost: Nanos(100),
+        }
+    }
+
+    fn register_vcpu(&mut self, _vcpu: VcpuId, _home: usize) {}
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Compute/block cycler (the `sim_invariants` workload).
+struct Cycler {
+    burst_us: u64,
+    wait_us: u64,
+    compute_next: bool,
+}
+
+impl GuestWorkload for Cycler {
+    fn next(&mut self, _now: Nanos) -> GuestAction {
+        self.compute_next = !self.compute_next;
+        if !self.compute_next || self.wait_us == 0 {
+            GuestAction::Compute(Nanos::from_micros(self.burst_us))
+        } else {
+            GuestAction::BlockFor(Nanos::from_micros(self.wait_us))
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FaultPreset {
+    None,
+    /// `FaultConfig::with_intensity`: timer jitter, IPI loss, stolen time,
+    /// overruns.
+    Robustness,
+    /// `FaultConfig::chaos`: the above plus core flaps.
+    Chaos,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    engine: EngineKind,
+    seed: u64,
+    cores: usize,
+    vcpus: &[(u64, u64)],
+    events: &[(u64, u32)],
+    quantum_us: u64,
+    preset: FaultPreset,
+    intensity: f64,
+) -> Sim {
+    let mut sim = Sim::new(
+        Machine::small(cores),
+        Box::new(Chaotic {
+            seed,
+            n_cores: cores,
+            quantum_us,
+        }),
+    );
+    sim.set_engine(engine);
+    match preset {
+        FaultPreset::None => {}
+        FaultPreset::Robustness => {
+            sim.set_fault_config(FaultConfig::with_intensity(seed, intensity));
+        }
+        FaultPreset::Chaos => sim.set_fault_config(FaultConfig::chaos(seed, intensity)),
+    }
+    sim.enable_tracing();
+    sim.enable_event_log();
+    for (i, &(burst, wait)) in vcpus.iter().enumerate() {
+        sim.add_vcpu(
+            Box::new(Cycler {
+                burst_us: burst.max(1),
+                wait_us: wait,
+                compute_next: false,
+            }),
+            i % cores,
+            i % 2 == 0,
+        );
+    }
+    for &(at_us, v) in events {
+        let target = VcpuId(v % vcpus.len() as u32);
+        sim.push_external(Nanos::from_micros(at_us % 50_000), target, 0);
+    }
+    sim
+}
+
+/// Everything an engine can influence: the handled-event stream, the full
+/// statistics block (which embeds `RecoveryStats`), the trace, and the
+/// throughput counter.
+type Observation = (Vec<(Nanos, u64, String)>, SimStats, Vec<TraceRecord>, u64);
+
+fn observe(mut sim: Sim, horizon: Nanos) -> Observation {
+    sim.run_until(horizon);
+    let log = sim.take_event_log();
+    let trace: Vec<TraceRecord> = sim.trace().iter().copied().collect();
+    (log, sim.stats().clone(), trace, sim.events_processed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Heap and wheel engines are indistinguishable over randomized
+    /// fault-injected scenarios.
+    #[test]
+    fn engines_are_bit_for_bit_equivalent(
+        seed in any::<u64>(),
+        cores in 1usize..=4,
+        vcpus in proptest::collection::vec((1u64..500, 0u64..500), 1..8),
+        events in proptest::collection::vec((0u64..50_000, any::<u32>()), 0..32),
+        quantum in 1u64..2_000,
+        preset_pick in 0u8..3,
+        intensity in 0.0f64..1.0,
+    ) {
+        let preset = match preset_pick {
+            0 => FaultPreset::None,
+            1 => FaultPreset::Robustness,
+            _ => FaultPreset::Chaos,
+        };
+        let horizon = Nanos::from_millis(30);
+        let heap = observe(
+            build(EngineKind::Heap, seed, cores, &vcpus, &events, quantum, preset, intensity),
+            horizon,
+        );
+        let wheel = observe(
+            build(EngineKind::Wheel, seed, cores, &vcpus, &events, quantum, preset, intensity),
+            horizon,
+        );
+        prop_assert_eq!(&heap.0, &wheel.0, "event streams diverged");
+        prop_assert_eq!(&heap.1, &wheel.1, "stats diverged");
+        prop_assert_eq!(&heap.2, &wheel.2, "traces diverged");
+        prop_assert_eq!(heap.3, wheel.3, "event counts diverged");
+    }
+}
+
+/// Events far beyond the overflow horizon (> ~134 ms out) exercise the
+/// far-heap level and the window cascade; the engines must still agree.
+#[test]
+fn far_horizon_events_stay_equivalent() {
+    let run = |engine: EngineKind| {
+        let mut sim = build(
+            engine,
+            7,
+            2,
+            &[(200, 300), (150, 0)],
+            &[],
+            500,
+            FaultPreset::Robustness,
+            0.4,
+        );
+        // Push wake-ups at 2 s, 5 s, and 30 s: all deep in far-heap
+        // territory, migrating inward across many window cascades.
+        sim.push_external(Nanos::from_millis(2_000), VcpuId(1), 1);
+        sim.push_external(Nanos::from_millis(5_000), VcpuId(1), 2);
+        sim.push_external(Nanos::from_millis(30_000), VcpuId(1), 3);
+        observe(sim, Nanos::from_millis(31_000))
+    };
+    let heap = run(EngineKind::Heap);
+    let wheel = run(EngineKind::Wheel);
+    assert_eq!(heap.0.len(), wheel.0.len());
+    assert_eq!(heap.0, wheel.0, "event streams diverged");
+    assert_eq!(heap.1, wheel.1, "stats diverged");
+    assert_eq!(heap.2, wheel.2, "traces diverged");
+}
+
+/// `set_engine` carries queued events (and their `(time, seq)` keys) over,
+/// and refuses to run after the simulation started.
+#[test]
+fn engine_swap_preserves_queued_events() {
+    let run = |swap: bool| {
+        let mut sim = build(
+            EngineKind::Wheel,
+            3,
+            1,
+            &[(100, 200)],
+            &[],
+            300,
+            FaultPreset::None,
+            0.0,
+        );
+        sim.push_external(Nanos::from_micros(10), VcpuId(0), 9);
+        if swap {
+            // Wheel -> heap -> wheel: queued externals survive both hops.
+            sim.set_engine(EngineKind::Heap);
+            sim.set_engine(EngineKind::Wheel);
+        }
+        observe(sim, Nanos::from_millis(5))
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+#[should_panic(expected = "before the first run")]
+fn engine_swap_after_start_panics() {
+    let mut sim = Sim::new(
+        Machine::small(1),
+        Box::new(Chaotic {
+            seed: 1,
+            n_cores: 1,
+            quantum_us: 100,
+        }),
+    );
+    sim.run_until(Nanos::from_millis(1));
+    sim.set_engine(EngineKind::Heap);
+}

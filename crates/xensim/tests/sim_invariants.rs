@@ -12,8 +12,8 @@ use proptest::prelude::*;
 
 use rtsched::time::Nanos;
 use xensim::sched::{
-    DeschedulePlan, GuestAction, GuestWorkload, SchedDecision, VcpuId, VcpuView, VmScheduler,
-    WakeupPlan,
+    DeschedulePlan, GuestAction, GuestWorkload, IpiTargets, SchedDecision, VcpuId, VcpuView,
+    VmScheduler, WakeupPlan,
 };
 use xensim::{Machine, Sim};
 
@@ -55,7 +55,7 @@ impl VmScheduler for Chaotic {
 
     fn on_wakeup(&mut self, vcpu: VcpuId, _now: Nanos, _view: VcpuView<'_>) -> WakeupPlan {
         WakeupPlan {
-            ipi_cores: vec![vcpu.0 as usize % self.n_cores],
+            ipi_cores: IpiTargets::one(vcpu.0 as usize % self.n_cores),
             cost: Nanos(200),
         }
     }
@@ -70,7 +70,7 @@ impl VmScheduler for Chaotic {
         _now: Nanos,
     ) -> DeschedulePlan {
         DeschedulePlan {
-            ipi_cores: vec![],
+            ipi_cores: IpiTargets::NONE,
             cost: Nanos(100),
         }
     }
