@@ -4,20 +4,32 @@
 //! configurations that are frequently reused" — cloud providers sell a
 //! handful of regular VM sizes, so hosts across a fleet keep asking the
 //! planner for the same table. [`PlanCache`] memoizes plans keyed by the
-//! *semantic* configuration: core count, the positional list of
-//! `(utilization, latency, capped)` specs, **and** a canonical encoding of
-//! the [`PlannerOptions`] the plan was computed under. VM names are
-//! irrelevant (vCPU ids are positional), so renaming a fleet hits the
-//! cache; changing the options (a conservative fallback rung, the peephole
-//! pass, a different coalescing threshold) must *miss* — a plan computed
-//! under different options is a different table, and serving it would
+//! *semantic* configuration: core count, NUMA layout, per-VM vCPU grouping
+//! and node pinning, the positional list of `(utilization, latency,
+//! capped)` specs, **and** a canonical encoding of the [`PlannerOptions`]
+//! the plan was computed under. VM names are irrelevant (vCPU ids are
+//! positional), so renaming a fleet hits the cache; changing the options (a
+//! conservative fallback rung, the peephole pass, a different coalescing
+//! threshold) or the NUMA pinning must *miss* — a plan computed under a
+//! different configuration is a different table, and serving it would
 //! silently change the guarantees the tenant was sold.
 //!
+//! **Hit-path cost.** A hit performs no allocation and builds no key: the
+//! request is reduced to a 64-bit FNV fingerprint of its cheap scalars
+//! (core/NUMA counts, per-VM shape, option scalars), the fingerprint
+//! indexes a bucket map hashed by identity, and the few candidate slots are
+//! confirmed by a *streaming* comparison directly against the live
+//! `HostConfig`/`PlannerOptions`. The full canonical [`Key`] — which owns
+//! vectors — is materialized only when a brand-new slot is inserted on a
+//! miss, where its cost disappears behind the planner run.
+//!
 //! Entries are shared via [`Arc`]; eviction is least-recently-used with a
-//! fixed capacity. [`PlanCache::stats`] reports aggregate and per-key
-//! hit/miss counts for fleet observability.
+//! fixed capacity and clears only the plan — the slot's key and counters
+//! survive, so [`PlanCache::stats`] reports each key's lifetime hit/miss
+//! history for fleet observability.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use rtsched::generator::Stage;
@@ -25,11 +37,11 @@ use rtsched::generator::Stage;
 use crate::planner::{plan, Plan, PlanError, PlannerOptions};
 use crate::vcpu::HostConfig;
 
-/// Canonical, hashable encoding of [`PlannerOptions`].
+/// Canonical encoding of [`PlannerOptions`].
 ///
 /// Every field that can change the produced table participates; two option
 /// values encode equal iff they drive the planner identically.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 struct OptionsKey {
     /// Hyperperiod of the candidate set.
     hyperperiod: u64,
@@ -45,6 +57,14 @@ struct OptionsKey {
     peephole: bool,
 }
 
+fn stage_code(stage: Stage) -> u8 {
+    match stage {
+        Stage::Partitioned => 0,
+        Stage::SemiPartitioned => 1,
+        Stage::Clustered => 2,
+    }
+}
+
 impl OptionsKey {
     fn of(opts: &PlannerOptions) -> OptionsKey {
         OptionsKey {
@@ -57,20 +77,26 @@ impl OptionsKey {
                 .collect(),
             coalesce_threshold: opts.coalesce_threshold.as_nanos(),
             min_piece: opts.gen.min_piece.as_nanos(),
-            first_stage: match opts.gen.first_stage {
-                Stage::Partitioned => 0,
-                Stage::SemiPartitioned => 1,
-                Stage::Clustered => 2,
-            },
+            first_stage: stage_code(opts.gen.first_stage),
             peephole: opts.peephole,
         }
     }
 }
 
 /// Semantic cache key of a `(host configuration, planner options)` pair.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Built only on slot insertion; the hit path compares requests against it
+/// via [`key_matches`] without constructing one.
+#[derive(Debug, Clone)]
 struct Key {
     n_cores: usize,
+    /// NUMA node count — it changes core striping and hence placement.
+    numa_nodes: usize,
+    /// Per-VM `(vcpu_count, numa_node)` shape: node pinning drives soft
+    /// placement preferences, and grouping determines which vCPUs share a
+    /// pin, so hosts with the same flat spec list but different VM
+    /// boundaries or pins must not alias.
+    vms: Vec<(usize, Option<usize>)>,
     /// Positional `(ppm, latency_ns, capped)` triples — positional because
     /// vCPU ids (and hence table contents) are positional.
     specs: Vec<(u32, u64, bool)>,
@@ -82,6 +108,12 @@ impl Key {
     fn of(host: &HostConfig, opts: &PlannerOptions) -> Key {
         Key {
             n_cores: host.n_cores,
+            numa_nodes: host.numa_nodes,
+            vms: host
+                .vms
+                .iter()
+                .map(|vm| (vm.vcpus.len(), vm.numa_node))
+                .collect(),
             specs: host
                 .vcpus()
                 .into_iter()
@@ -103,6 +135,111 @@ impl Key {
         ));
         s
     }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_word(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(FNV_PRIME)
+}
+
+/// 64-bit fingerprint of a request's cheap scalars — one multiply per word,
+/// no allocation, and deliberately *not* a walk of the per-VM data: FNV's
+/// xor-multiply chain is serial, so every extra word adds multiplier
+/// latency to the hit path. Hosts that agree on all scalars but differ in
+/// VM shape simply share a bucket and are split by [`key_matches`].
+fn fingerprint(host: &HostConfig, opts: &PlannerOptions) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv_word(h, host.n_cores as u64);
+    h = fnv_word(h, host.numa_nodes as u64);
+    h = fnv_word(h, host.vms.len() as u64);
+    h = fnv_word(h, opts.candidates.hyperperiod().as_nanos());
+    h = fnv_word(h, opts.candidates.periods().len() as u64);
+    h = fnv_word(h, opts.coalesce_threshold.as_nanos());
+    h = fnv_word(h, opts.gen.min_piece.as_nanos());
+    h = fnv_word(h, stage_code(opts.gen.first_stage) as u64);
+    h = fnv_word(h, opts.peephole as u64);
+    h
+}
+
+/// Full equality between a stored key and a live request, streamed directly
+/// off the request without building a [`Key`].
+fn key_matches(key: &Key, host: &HostConfig, opts: &PlannerOptions) -> bool {
+    let o = &key.opts;
+    if key.n_cores != host.n_cores
+        || key.numa_nodes != host.numa_nodes
+        || key.vms.len() != host.vms.len()
+        || o.hyperperiod != opts.candidates.hyperperiod().as_nanos()
+        || o.coalesce_threshold != opts.coalesce_threshold.as_nanos()
+        || o.min_piece != opts.gen.min_piece.as_nanos()
+        || o.first_stage != stage_code(opts.gen.first_stage)
+        || o.peephole != opts.peephole
+        || o.periods.len() != opts.candidates.periods().len()
+    {
+        return false;
+    }
+    // Branchless accumulate (no early exit) so the compiler can vectorize:
+    // the standard candidate set has 186 entries and this runs on every hit.
+    let periods_differ = o
+        .periods
+        .iter()
+        .zip(opts.candidates.periods())
+        .fold(0u64, |acc, (a, b)| acc | (a ^ b.as_nanos()));
+    if periods_differ != 0 {
+        return false;
+    }
+    // Single pass over the VMs covers both the grouping/pinning shape and
+    // the flat positional spec list.
+    let mut specs = key.specs.iter();
+    for (k, vm) in key.vms.iter().zip(&host.vms) {
+        if k.0 != vm.vcpus.len() || k.1 != vm.numa_node {
+            return false;
+        }
+        for s in &vm.vcpus {
+            match specs.next() {
+                Some(&(ppm, latency, capped))
+                    if ppm == s.utilization.ppm()
+                        && latency == s.latency.as_nanos()
+                        && capped == s.capped => {}
+                _ => return false,
+            }
+        }
+    }
+    specs.next().is_none()
+}
+
+/// Pass-through hasher for the fingerprint bucket map: the key *is* already
+/// a 64-bit hash, re-hashing it would only slow the hit path down.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("identity hasher only takes u64 keys");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type BucketMap = HashMap<u64, Vec<u32>, BuildHasherDefault<IdentityHasher>>;
+
+/// One cache slot. Slots are append-only: eviction clears `plan` but keeps
+/// the key and its lifetime counters.
+#[derive(Debug)]
+struct Slot {
+    key: Key,
+    plan: Option<Arc<Plan>>,
+    used: u64,
+    hits: u64,
+    misses: u64,
 }
 
 /// Hit/miss counters for one cache key, as reported by [`PlanCache::stats`].
@@ -131,10 +268,9 @@ pub struct CacheStats {
 /// An LRU cache of planner outputs.
 #[derive(Debug)]
 pub struct PlanCache {
-    entries: HashMap<Key, (Arc<Plan>, u64)>,
-    /// Per-key hit/miss counters; kept separate from `entries` so eviction
-    /// does not erase a key's history.
-    counters: HashMap<Key, (u64, u64)>,
+    slots: Vec<Slot>,
+    /// fingerprint -> indices into `slots` (collisions share a bucket).
+    buckets: BucketMap,
     capacity: usize,
     tick: u64,
     hits: u64,
@@ -145,8 +281,8 @@ impl PlanCache {
     /// Creates a cache holding up to `capacity` plans.
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
-            entries: HashMap::new(),
-            counters: HashMap::new(),
+            slots: Vec::new(),
+            buckets: BucketMap::default(),
             capacity: capacity.max(1),
             tick: 0,
             hits: 0,
@@ -155,40 +291,73 @@ impl PlanCache {
     }
 
     /// Returns the cached plan for `(host, opts)`, planning (and caching)
-    /// on miss. Plans computed under different [`PlannerOptions`] never
-    /// alias, even for the same host shape.
+    /// on miss. Plans computed under different [`PlannerOptions`] or NUMA
+    /// layouts never alias, even for the same flat spec list.
     ///
     /// # Errors
     ///
-    /// Propagates [`plan`]'s admission errors; failures are not cached.
+    /// Propagates [`plan`]'s admission errors; failures are not cached (the
+    /// key's miss counter still records the attempt).
     pub fn get_or_plan(
         &mut self,
         host: &HostConfig,
         opts: &PlannerOptions,
     ) -> Result<Arc<Plan>, PlanError> {
         self.tick += 1;
-        let key = Key::of(host, opts);
-        if let Some((cached, used)) = self.entries.get_mut(&key) {
-            *used = self.tick;
-            self.hits += 1;
-            self.counters.entry(key).or_insert((0, 0)).0 += 1;
-            return Ok(cached.clone());
-        }
-        self.misses += 1;
-        self.counters.entry(key.clone()).or_insert((0, 0)).1 += 1;
-        let fresh = Arc::new(plan(host, opts)?);
-        if self.entries.len() >= self.capacity {
-            // Evict the least-recently-used entry.
-            if let Some(victim) = self
-                .entries
+        let fp = fingerprint(host, opts);
+        let found = self.buckets.get(&fp).and_then(|bucket| {
+            bucket
                 .iter()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(k, _)| k.clone())
-            {
-                self.entries.remove(&victim);
+                .copied()
+                .find(|&i| key_matches(&self.slots[i as usize].key, host, opts))
+        });
+        if let Some(i) = found {
+            let slot = &mut self.slots[i as usize];
+            if let Some(cached) = &slot.plan {
+                let cached = cached.clone();
+                slot.used = self.tick;
+                slot.hits += 1;
+                self.hits += 1;
+                return Ok(cached);
             }
         }
-        self.entries.insert(key, (fresh.clone(), self.tick));
+
+        // Miss: materialize the slot first so even a failed planner run is
+        // charged to the key's counters.
+        let idx = match found {
+            Some(i) => i as usize,
+            None => {
+                let idx = self.slots.len();
+                self.slots.push(Slot {
+                    key: Key::of(host, opts),
+                    plan: None,
+                    used: 0,
+                    hits: 0,
+                    misses: 0,
+                });
+                self.buckets.entry(fp).or_default().push(idx as u32);
+                idx
+            }
+        };
+        self.slots[idx].misses += 1;
+        self.misses += 1;
+
+        let fresh = Arc::new(plan(host, opts)?);
+        if self.len() >= self.capacity {
+            // Evict the least-recently-used filled slot (clearing only the
+            // plan; the key keeps its counters).
+            if let Some(victim) = self
+                .slots
+                .iter_mut()
+                .filter(|s| s.plan.is_some())
+                .min_by_key(|s| s.used)
+            {
+                victim.plan = None;
+            }
+        }
+        let slot = &mut self.slots[idx];
+        slot.plan = Some(fresh.clone());
+        slot.used = self.tick;
         Ok(fresh)
     }
 
@@ -206,12 +375,12 @@ impl PlanCache {
     /// (ties broken by label for a stable report).
     pub fn stats(&self) -> CacheStats {
         let mut per_key: Vec<KeyStats> = self
-            .counters
+            .slots
             .iter()
-            .map(|(k, &(hits, misses))| KeyStats {
-                key: k.label(),
-                hits,
-                misses,
+            .map(|s| KeyStats {
+                key: s.key.label(),
+                hits: s.hits,
+                misses: s.misses,
             })
             .collect();
         per_key.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.key.cmp(&b.key)));
@@ -224,17 +393,19 @@ impl PlanCache {
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slots.iter().filter(|s| s.plan.is_some()).count()
     }
 
-    /// `true` if the cache is empty.
+    /// `true` if the cache holds no plans.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Drops every cached plan (per-key statistics are retained).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for s in &mut self.slots {
+            s.plan = None;
+        }
     }
 }
 
@@ -310,6 +481,51 @@ mod tests {
     }
 
     #[test]
+    fn numa_layout_is_part_of_the_key() {
+        // Same flat spec list, same core count — but different NUMA pinning
+        // produces different placements, so these must not alias. This is a
+        // regression test: the original key ignored NUMA entirely.
+        let spec = VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20));
+        let mut pinned0 = HostConfig::with_numa(4, 2);
+        let mut pinned1 = HostConfig::with_numa(4, 2);
+        for i in 0..4 {
+            pinned0.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec).on_node(0));
+            pinned1.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec).on_node(1));
+        }
+        let mut cache = PlanCache::new(4);
+        let opts = PlannerOptions::default();
+        let _ = cache.get_or_plan(&pinned0, &opts).unwrap();
+        let _ = cache.get_or_plan(&pinned1, &opts).unwrap();
+        assert_eq!(cache.misses(), 2, "NUMA pinning aliased a cached plan");
+
+        // Node count alone also discriminates (striping changes).
+        let mut flat = HostConfig::new(4);
+        for i in 0..4 {
+            flat.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec).on_node(0));
+        }
+        let _ = cache.get_or_plan(&flat, &opts).unwrap();
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn vm_grouping_is_part_of_the_key() {
+        // One VM with two vCPUs vs two single-vCPU VMs: the flat spec lists
+        // are identical, but grouping determines which vCPUs share a NUMA
+        // pin, so the cache keys them apart (conservatively, even unpinned).
+        let spec = VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20));
+        let mut grouped = HostConfig::new(2);
+        grouped.add_vm(VmSpec::uniform("a", 2, spec));
+        let mut split = HostConfig::new(2);
+        split.add_vm(VmSpec::uniform("a", 1, spec));
+        split.add_vm(VmSpec::uniform("b", 1, spec));
+        let mut cache = PlanCache::new(4);
+        let opts = PlannerOptions::default();
+        let _ = cache.get_or_plan(&grouped, &opts).unwrap();
+        let _ = cache.get_or_plan(&split, &opts).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
     fn per_key_stats_surface_hits_and_misses() {
         let mut cache = PlanCache::new(4);
         let defaults = PlannerOptions::default();
@@ -344,6 +560,26 @@ mod tests {
         assert_eq!(cache.len(), 2);
         let _ = cache.get_or_plan(&host(2, "a"), &opts).unwrap();
         assert_eq!(cache.hits(), 2, "A was evicted instead of B");
+    }
+
+    #[test]
+    fn evicted_keys_replan_but_keep_their_counters() {
+        let mut cache = PlanCache::new(1);
+        let opts = PlannerOptions::default();
+        let _ = cache.get_or_plan(&host(2, "a"), &opts).unwrap(); // A
+        let _ = cache.get_or_plan(&host(4, "b"), &opts).unwrap(); // evicts A
+        assert_eq!(cache.len(), 1);
+        // A was evicted: this is a miss, charged to A's surviving counters.
+        let _ = cache.get_or_plan(&host(2, "a"), &opts).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        let stats = cache.stats();
+        assert_eq!(stats.per_key.len(), 2);
+        let a = stats
+            .per_key
+            .iter()
+            .find(|k| k.key.contains("vcpus=2"))
+            .unwrap();
+        assert_eq!(a.misses, 2, "eviction erased the key's history");
     }
 
     #[test]

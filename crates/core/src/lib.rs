@@ -57,8 +57,8 @@ pub use guardian::{
     SlaMonitor, SlaViolation,
 };
 pub use planner::{
-    plan, plan_with_fallback, Plan, PlanError, PlannerOptions, ReplanError, ReplanOutcome,
-    ReplanPath,
+    plan, plan_timed, plan_with_fallback, Plan, PlanError, PlanTimings, PlannerOptions,
+    ReplanError, ReplanOutcome, ReplanPath,
 };
 pub use switch::{InstallError, StagedInstall, TableManager};
 pub use table::{Allocation, Slot, Table};

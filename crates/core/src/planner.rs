@@ -29,10 +29,14 @@
 //! index order, so the produced [`Plan`] is bit-identical to a sequential
 //! run (pinned by `tests/prop_parallel.rs`).
 
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
 use serde::{Deserialize, Serialize};
 
-use rtsched::generator::{generate_schedule_with_preferences, GenError, GenOptions, Stage};
+use rtsched::generator::{generate_schedule_instrumented, GenError, GenOptions, Stage};
 use rtsched::hyperperiod::PeriodCandidates;
+use rtsched::signature::CoreSharing;
 use rtsched::task::{PeriodicTask, TaskId};
 use rtsched::time::Nanos;
 use rtsched::verify::task_max_blackout;
@@ -101,6 +105,27 @@ pub struct Plan {
     /// Observed worst-case service gap per vCPU in the final table
     /// (cyclic), for validation against each vCPU's latency goal.
     pub worst_blackout: Vec<(VcpuId, Nanos)>,
+}
+
+/// Wall-clock breakdown of one planning run, by pipeline stage.
+///
+/// Side channel of [`plan_timed`]: [`Plan`] itself stays field-identical
+/// across engines and runs so plans can be compared structurally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanTimings {
+    /// Admission checks, SLA translation, partitioning, splitting, cluster
+    /// packing.
+    pub pack: Duration,
+    /// EDF simulation and DP-Fair generation.
+    pub simulate: Duration,
+    /// Coalescing (including the optional peephole pass).
+    pub coalesce: Duration,
+    /// Schedule verification, split detection, and blackout validation.
+    pub verify: Duration,
+    /// Slice-table construction.
+    pub slice_build: Duration,
+    /// End-to-end planning time (≥ the sum of the buckets).
+    pub total: Duration,
 }
 
 impl Plan {
@@ -340,6 +365,20 @@ pub fn period_for(spec: &VcpuSpec, candidates: &PeriodCandidates) -> Nanos {
 /// }
 /// ```
 pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError> {
+    plan_timed(host, opts).map(|(p, _)| p)
+}
+
+/// Like [`plan`], additionally returning the per-stage wall-clock breakdown.
+///
+/// The timings are a pure side channel: the returned [`Plan`] is the one
+/// [`plan`] would produce.
+pub fn plan_timed(
+    host: &HostConfig,
+    opts: &PlannerOptions,
+) -> Result<(Plan, PlanTimings), PlanError> {
+    let t_total = Instant::now();
+    let mut timings = PlanTimings::default();
+    let t0 = Instant::now();
     let hyperperiod = opts.candidates.hyperperiod();
     let vcpus = host.vcpus();
 
@@ -408,40 +447,96 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
         });
     }
 
-    // Stage 2: three-stage table generation (admission happens inside).
-    let mut generated =
-        generate_schedule_with_preferences(&tasks, shared_cores, hyperperiod, &opts.gen, &prefs)?;
+    timings.pack += t0.elapsed();
 
+    // Stage 2: three-stage table generation (admission happens inside).
+    let outcome =
+        generate_schedule_instrumented(&tasks, shared_cores, hyperperiod, &opts.gen, &prefs)?;
+    let mut generated = outcome.generated;
+    let mut sharing = outcome.sharing;
+    timings.pack += outcome.timings.pack;
+    timings.simulate += outcome.timings.simulate;
+    timings.verify += outcome.timings.verify;
+
+    let t0 = Instant::now();
     // Optional peephole pass: merge needlessly sliced allocations where the
-    // verifier confirms every guarantee survives.
+    // verifier confirms every guarantee survives. It mutates schedules in
+    // place, so any sharing record is stale afterwards and is dropped.
     if opts.peephole {
         rtsched::peephole::peephole(&tasks, &mut generated.schedule);
+        sharing = CoreSharing::none(shared_cores);
     }
 
     // Stage 3: post-processing — translate segments to allocations and
     // coalesce per core. Split vCPUs must never be *extended* by a
     // donation: their pieces on other cores begin exactly where a piece
     // ends, and growing one would schedule the vCPU on two cores at once.
-    // Coalescing is core-local, so the cores are processed concurrently;
-    // reports are absorbed in core order to keep the aggregate
-    // deterministic.
+    // Coalescing is core-local, so the direct cores are processed
+    // concurrently; stamped cores (identical schedules modulo vCPU ids)
+    // reuse their representative's result under the id substitution —
+    // coalescing decisions depend only on interval geometry and the
+    // may-extend predicate, both of which the stamp preserves (stamped
+    // cores carry only whole, unsplit vCPUs). Reports are absorbed in core
+    // order to keep the aggregate deterministic.
     let split: Vec<VcpuId> = generated.split_tasks.iter().map(|t| VcpuId(t.0)).collect();
-    let coalesced: Vec<(Vec<Allocation>, CoalesceReport)> =
-        rayon::par_map_indices(shared_cores, |core| {
-            let mut allocs: Vec<Allocation> = generated.schedule.cores[core]
-                .segments()
-                .iter()
-                .map(|s| Allocation {
-                    start: s.start,
-                    end: s.end,
-                    vcpu: VcpuId(s.task.0),
-                })
-                .collect();
-            let report = coalesce_with(&mut allocs, opts.coalesce_threshold, |v| {
-                !split.contains(&v)
-            });
-            (allocs, report)
+    let coalesce_core = |core: usize| -> (Vec<Allocation>, CoalesceReport) {
+        let mut allocs: Vec<Allocation> = generated.schedule.cores[core]
+            .segments()
+            .iter()
+            .map(|s| Allocation {
+                start: s.start,
+                end: s.end,
+                vcpu: VcpuId(s.task.0),
+            })
+            .collect();
+        let report = coalesce_with(&mut allocs, opts.coalesce_threshold, |v| {
+            !split.contains(&v)
         });
+        (allocs, report)
+    };
+    let direct: Vec<Option<(Vec<Allocation>, CoalesceReport)>> =
+        rayon::par_map_indices(shared_cores, |core| {
+            if sharing.stamp_of(core).is_some() {
+                None
+            } else {
+                Some(coalesce_core(core))
+            }
+        });
+    let mut coalesced: Vec<(Vec<Allocation>, CoalesceReport)> = Vec::with_capacity(shared_cores);
+    // `table_stamps[core] = Some(rep)` once the remap checked out, so the
+    // slice-table build below can reuse the representative's CpuTable too.
+    let mut table_stamps: Vec<Option<usize>> = vec![None; host.n_cores];
+    for (core, pre) in direct.into_iter().enumerate() {
+        if let Some(done) = pre {
+            coalesced.push(done);
+            continue;
+        }
+        let stamp = sharing.stamp_of(core).expect("stamped iff not direct");
+        let remapped = (stamp.rep < core).then(|| &coalesced[stamp.rep]).and_then(
+            |(rep_allocs, rep_report)| {
+                let map: HashMap<u32, u32> = stamp.map.iter().map(|&(r, t)| (r.0, t.0)).collect();
+                let allocs: Vec<Allocation> = rep_allocs
+                    .iter()
+                    .map(|a| {
+                        map.get(&a.vcpu.0).map(|&v| Allocation {
+                            vcpu: VcpuId(v),
+                            ..*a
+                        })
+                    })
+                    .collect::<Option<_>>()?;
+                let report = rep_report.relabel(|v| map.get(&v.0).copied().map(VcpuId))?;
+                Some((allocs, report))
+            },
+        );
+        match remapped {
+            Some(done) => {
+                table_stamps[core] = Some(stamp.rep);
+                coalesced.push(done);
+            }
+            // Inconsistent stamp (never expected): coalesce directly.
+            None => coalesced.push(coalesce_core(core)),
+        }
+    }
     let mut per_core: Vec<Vec<Allocation>> = Vec::with_capacity(host.n_cores);
     let mut coalesce_report = CoalesceReport::default();
     for (allocs, report) in coalesced {
@@ -457,9 +552,14 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
             vcpu,
         }]);
     }
+    timings.coalesce += t0.elapsed();
 
-    let table = Table::new(hyperperiod, per_core).map_err(PlanError::Table)?;
+    let t0 = Instant::now();
+    let table =
+        Table::new_with_stamps(hyperperiod, per_core, &table_stamps).map_err(PlanError::Table)?;
+    timings.slice_build += t0.elapsed();
 
+    let t0 = Instant::now();
     // Observed worst-case blackout per vCPU, for latency-goal validation.
     // Each vCPU's scan only reads the (now immutable) table, so the vCPUs
     // are validated concurrently, collected in vCPU order.
@@ -486,15 +586,20 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
         };
         (vcpu, blackout)
     });
+    timings.verify += t0.elapsed();
+    timings.total = t_total.elapsed();
 
-    Ok(Plan {
-        table,
-        stage: generated.stage,
-        params,
-        split_vcpus: generated.split_tasks.iter().map(|t| VcpuId(t.0)).collect(),
-        coalesce: coalesce_report,
-        worst_blackout,
-    })
+    Ok((
+        Plan {
+            table,
+            stage: generated.stage,
+            params,
+            split_vcpus: generated.split_tasks.iter().map(|t| VcpuId(t.0)).collect(),
+            coalesce: coalesce_report,
+            worst_blackout,
+        },
+        timings,
+    ))
 }
 
 #[cfg(test)]

@@ -55,6 +55,25 @@ impl CoalesceReport {
         }
         self.removed += other.removed;
     }
+
+    /// The same report with every vCPU id substituted through `f`.
+    ///
+    /// Used when a core's coalescing result is reused for another core that
+    /// runs the identical schedule under an id substitution (see the
+    /// planner's schedule-sharing fast path): the donated/dropped intervals
+    /// are positionally the same, only the owners differ. Returns `None` if
+    /// `f` has no substitute for some vCPU — the caller then falls back to
+    /// coalescing that core directly.
+    pub fn relabel(&self, f: impl Fn(VcpuId) -> Option<VcpuId>) -> Option<CoalesceReport> {
+        Some(CoalesceReport {
+            lost: self
+                .lost
+                .iter()
+                .map(|&(v, t)| f(v).map(|v2| (v2, t)))
+                .collect::<Option<_>>()?,
+            removed: self.removed,
+        })
+    }
 }
 
 /// Merges adjacent allocations of the same vCPU in place.
@@ -245,6 +264,23 @@ mod tests {
         let mut a = vec![alloc(0, 50, 0), alloc(50, 60, 1), alloc(60, 400, 2)];
         coalesce_with(&mut a, us(20), |v| v != VcpuId(2));
         assert_eq!(a, vec![alloc(0, 60, 0), alloc(60, 400, 2)]);
+    }
+
+    #[test]
+    fn report_relabel_substitutes_all_or_nothing() {
+        let mut r = CoalesceReport::default();
+        r.record_loss(VcpuId(0), us(5));
+        r.record_loss(VcpuId(1), us(3));
+        r.removed = 2;
+        let mapped = r
+            .relabel(|v| Some(VcpuId(v.0 + 10)))
+            .expect("total substitution");
+        assert_eq!(mapped.lost, vec![(VcpuId(10), us(5)), (VcpuId(11), us(3))]);
+        assert_eq!(mapped.removed, 2);
+        // A partial substitution refuses rather than dropping entries.
+        assert!(r
+            .relabel(|v| (v == VcpuId(0)).then_some(VcpuId(10)))
+            .is_none());
     }
 
     #[test]

@@ -176,6 +176,60 @@ impl CpuTable {
         })
     }
 
+    /// Builds a core table by reusing a representative core's geometry.
+    ///
+    /// When two cores carry positionally identical allocation lists that
+    /// differ only in vCPU ids (the planner's schedule-sharing fast path),
+    /// the slice index and segment arrays — the expensive part of
+    /// [`CpuTable::new`] — are the same structure; only `seg_vcpu` needs the
+    /// ids substituted. The reuse is *checked*, not trusted: every `(start,
+    /// end)` pair must match the representative's and the reserved segments
+    /// must line up one-to-one with the allocations; any mismatch returns
+    /// `None` and the caller builds the table from scratch. The result is
+    /// field-for-field what [`CpuTable::new`] would produce (the slice and
+    /// segment arrays depend only on interval geometry, which is equal by
+    /// the check; `allocations` and `seg_vcpu` carry this core's ids).
+    pub fn stamped_from(
+        rep: &CpuTable,
+        allocations: Vec<Allocation>,
+        table_len: Nanos,
+    ) -> Option<CpuTable> {
+        if rep.allocations.len() != allocations.len() {
+            return None;
+        }
+        if rep.seg_end.last() != Some(&table_len) {
+            return None;
+        }
+        for (a, b) in rep.allocations.iter().zip(&allocations) {
+            if a.start != b.start || a.end != b.end {
+                return None;
+            }
+        }
+        // Each allocation flattens to exactly one reserved segment, in
+        // order; substitute ids positionally.
+        let mut seg_vcpu = rep.seg_vcpu.clone();
+        let mut next = 0usize;
+        for v in seg_vcpu.iter_mut() {
+            if *v != NO_VCPU {
+                if rep.allocations.get(next).map(|a| a.vcpu.0) != Some(*v) {
+                    return None;
+                }
+                *v = allocations[next].vcpu.0;
+                next += 1;
+            }
+        }
+        if next != allocations.len() {
+            return None;
+        }
+        Some(CpuTable {
+            allocations,
+            slice_len: rep.slice_len,
+            slices: rep.slices.clone(),
+            seg_end: rep.seg_end.clone(),
+            seg_vcpu,
+        })
+    }
+
     /// Returns the allocations in time order.
     pub fn allocations(&self) -> &[Allocation] {
         &self.allocations
@@ -319,14 +373,37 @@ impl Table {
     /// allocations overlap in time across cores (it cannot run on two cores
     /// at once).
     pub fn new(len: Nanos, per_core: Vec<Vec<Allocation>>) -> Result<Table, String> {
-        let cpus: Vec<CpuTable> = per_core
-            .iter()
-            .cloned()
-            .enumerate()
-            .map(|(core, allocs)| {
-                CpuTable::new(allocs, len).map_err(|e| format!("core {core}: {e}"))
-            })
-            .collect::<Result<_, String>>()?;
+        Table::new_with_stamps(len, per_core, &[])
+    }
+
+    /// Like [`Table::new`], with a schedule-sharing hint: `stamps[core] =
+    /// Some(rep)` proposes building `core`'s slice table by substituting ids
+    /// into core `rep`'s (which must have a lower index). Each hint is
+    /// verified by [`CpuTable::stamped_from`]; a hint that does not check
+    /// out (or is absent — pass `&[]` for none) falls back to a fresh
+    /// per-core build, so the produced table is always identical to
+    /// [`Table::new`]'s.
+    pub fn new_with_stamps(
+        len: Nanos,
+        per_core: Vec<Vec<Allocation>>,
+        stamps: &[Option<usize>],
+    ) -> Result<Table, String> {
+        let mut cpus: Vec<CpuTable> = Vec::with_capacity(per_core.len());
+        for (core, allocs) in per_core.iter().enumerate() {
+            let stamped = stamps
+                .get(core)
+                .copied()
+                .flatten()
+                .filter(|&rep| rep < core)
+                .and_then(|rep| CpuTable::stamped_from(&cpus[rep], allocs.clone(), len));
+            let cpu = match stamped {
+                Some(c) => c,
+                None => {
+                    CpuTable::new(allocs.clone(), len).map_err(|e| format!("core {core}: {e}"))?
+                }
+            };
+            cpus.push(cpu);
+        }
 
         // Build per-vCPU placements.
         let max_vcpu = per_core
@@ -605,6 +682,43 @@ mod tests {
     #[test]
     fn allocation_past_table_end_rejected() {
         assert!(Table::new(ms(10), vec![vec![alloc(8, 12, 0)]]).is_err());
+    }
+
+    #[test]
+    fn stamped_cpu_table_matches_fresh_build() {
+        // Two cores with positionally identical allocations, different ids:
+        // the stamped build must be field-for-field the fresh build.
+        let a0 = vec![alloc(0, 2, 0), alloc(2, 5, 1), alloc(7, 9, 2)];
+        let a1 = vec![alloc(0, 2, 10), alloc(2, 5, 11), alloc(7, 9, 12)];
+        let rep = CpuTable::new(a0, ms(10)).unwrap();
+        let stamped = CpuTable::stamped_from(&rep, a1.clone(), ms(10)).unwrap();
+        let fresh = CpuTable::new(a1, ms(10)).unwrap();
+        assert_eq!(stamped, fresh);
+    }
+
+    #[test]
+    fn stamped_cpu_table_rejects_geometry_mismatch() {
+        let rep = CpuTable::new(vec![alloc(0, 2, 0)], ms(10)).unwrap();
+        // Different interval.
+        assert!(CpuTable::stamped_from(&rep, vec![alloc(0, 3, 5)], ms(10)).is_none());
+        // Different count.
+        assert!(CpuTable::stamped_from(&rep, vec![], ms(10)).is_none());
+        // Different table length.
+        assert!(CpuTable::stamped_from(&rep, vec![alloc(0, 2, 5)], ms(20)).is_none());
+    }
+
+    #[test]
+    fn table_with_stamps_equals_plain_table() {
+        let per_core = vec![
+            vec![alloc(0, 2, 0), alloc(5, 8, 1)],
+            vec![alloc(0, 2, 2), alloc(5, 8, 3)],
+        ];
+        let plain = Table::new(ms(10), per_core.clone()).unwrap();
+        let stamped = Table::new_with_stamps(ms(10), per_core.clone(), &[None, Some(0)]).unwrap();
+        assert_eq!(plain, stamped);
+        // A bogus hint (rep not below core) is ignored, not an error.
+        let bogus = Table::new_with_stamps(ms(10), per_core, &[Some(1), None]).unwrap();
+        assert_eq!(plain, bogus);
     }
 
     #[test]

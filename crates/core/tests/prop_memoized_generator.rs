@@ -1,0 +1,187 @@
+//! Memoization must be invisible in the output.
+//!
+//! The generator's default engine ([`GenEngine::Memoized`]) simulates EDF /
+//! DP-Fair once per distinct bin signature and *stamps* the resulting
+//! per-core schedule onto every other core sharing that signature via
+//! task-id substitution; the planner then reuses the stamps through
+//! coalescing and slice-table construction. The contract tested here: for
+//! any fleet, the plan produced by the memoized engine is **identical in
+//! every field** to the plan produced by [`GenEngine::Direct`] (simulate
+//! every core from scratch) — same table bytes, same stage, same
+//! parameters, same coalesce accounting, same blackouts, and the same error
+//! on unplannable fleets. Memoization may change how fast the planner runs,
+//! never what it produces.
+
+use proptest::prelude::*;
+
+use rtsched::generator::{generate_schedule, GenEngine, GenOptions};
+use rtsched::task::{PeriodicTask, TaskId};
+use rtsched::time::Nanos;
+use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+/// A reproducible fleet: core count plus per-VM (utilization %, latency
+/// ms, capped) tuples.
+type FleetDesc = (usize, Vec<(u32, u64, bool)>);
+
+fn build_host(cores: usize, vms: &[(u32, u64, bool)]) -> HostConfig {
+    let mut host = HostConfig::new(cores);
+    for (i, &(upct, l_ms, capped)) in vms.iter().enumerate() {
+        let u = Utilization::from_percent(upct);
+        let l = Nanos::from_millis(l_ms);
+        let spec = if capped {
+            VcpuSpec::capped(u, l)
+        } else {
+            VcpuSpec::new(u, l)
+        };
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    host
+}
+
+fn opts_with(engine: GenEngine, base: &PlannerOptions) -> PlannerOptions {
+    PlannerOptions {
+        gen: GenOptions { engine, ..base.gen },
+        ..base.clone()
+    }
+}
+
+fn assert_engines_agree(host: &HostConfig, base: &PlannerOptions) {
+    let memo = plan(host, &opts_with(GenEngine::Memoized, base));
+    let direct = plan(host, &opts_with(GenEngine::Direct, base));
+    match (memo, direct) {
+        (Ok(m), Ok(d)) => {
+            assert_eq!(m.table, d.table, "tables diverge");
+            assert_eq!(m.stage, d.stage, "stages diverge");
+            assert_eq!(m.params, d.params, "params diverge");
+            assert_eq!(m.split_vcpus, d.split_vcpus, "split sets diverge");
+            assert_eq!(m.coalesce, d.coalesce, "coalesce reports diverge");
+            assert_eq!(m.worst_blackout, d.worst_blackout, "blackouts diverge");
+        }
+        (Err(m), Err(d)) => assert_eq!(format!("{m:?}"), format!("{d:?}"), "errors diverge"),
+        (memo, direct) => panic!("plannability diverges: memoized {memo:?} vs direct {direct:?}"),
+    }
+}
+
+/// Paper-like menus; utilizations include 60% entries so some fleets force
+/// C=D splitting or clustered generation (where stamping must bow out).
+fn arb_fleet() -> impl Strategy<Value = FleetDesc> {
+    const UTILS: [u32; 4] = [10, 25, 40, 60];
+    const GOALS: [u64; 3] = [10, 20, 100];
+    let vm = (0usize..UTILS.len(), 0usize..GOALS.len(), any::<bool>())
+        .prop_map(|(u, l, c)| (UTILS[u], GOALS[l], c));
+    (2usize..=4, proptest::collection::vec(vm, 1..10))
+}
+
+/// High-density fleets: every VM identical, so almost every bin shares one
+/// signature and the memoized engine stamps nearly all cores.
+fn arb_homogeneous_fleet() -> impl Strategy<Value = FleetDesc> {
+    const UTILS: [u32; 3] = [10, 25, 40];
+    const GOALS: [u64; 3] = [10, 20, 100];
+    (
+        2usize..=4,
+        0usize..UTILS.len(),
+        0usize..GOALS.len(),
+        any::<bool>(),
+        1usize..16,
+    )
+        .prop_map(|(cores, u, l, c, n)| (cores, vec![(UTILS[u], GOALS[l], c); n]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn memoized_plan_is_field_identical_to_direct((cores, vms) in arb_fleet()) {
+        let host = build_host(cores, &vms);
+        assert_engines_agree(&host, &PlannerOptions::default());
+    }
+
+    #[test]
+    fn homogeneous_fleets_stamp_without_a_trace((cores, vms) in arb_homogeneous_fleet()) {
+        let host = build_host(cores, &vms);
+        assert_engines_agree(&host, &PlannerOptions::default());
+    }
+
+    #[test]
+    fn engines_agree_under_forced_clustering((cores, vms) in arb_homogeneous_fleet()) {
+        // Clustered DP-Fair cores opt out of sharing; the direct and
+        // memoized pipelines must still match to the byte.
+        let host = build_host(cores, &vms);
+        let opts = PlannerOptions {
+            gen: GenOptions {
+                first_stage: rtsched::generator::Stage::Clustered,
+                ..PlannerOptions::default().gen
+            },
+            ..PlannerOptions::default()
+        };
+        assert_engines_agree(&host, &opts);
+    }
+}
+
+/// 60%-utilization fleets overflow worst-fit bins and force C=D splitting;
+/// split pieces carry constrained deadlines, which disqualifies their bins
+/// from sharing. The engines must agree anyway.
+#[test]
+fn split_heavy_fleets_agree() {
+    for n in [3usize, 5, 7, 9] {
+        let host = build_host(4, &vec![(60, 20, true); n]);
+        assert_engines_agree(&host, &PlannerOptions::default());
+    }
+}
+
+/// rtsched-level check: equal-signature bins with *different task ids* must
+/// produce relabel-identical schedules — the memoized engine simulates the
+/// representative bin once and substitutes ids, so the full schedules (not
+/// just the plans) have to match the direct engine segment for segment.
+#[test]
+fn equal_signature_bins_remap_ids_exactly() {
+    let h = Nanos::from_millis(100);
+    let p = Nanos::from_millis(20);
+    let c = Nanos::from_millis(5);
+    // Four cores, two tasks each, all bins the same signature but with
+    // disjoint, non-contiguous id ranges.
+    let mut tasks = Vec::new();
+    for core in 0..4u32 {
+        for slot in 0..2u32 {
+            tasks.push(PeriodicTask::implicit(TaskId(10 + core * 7 + slot), c, p));
+        }
+    }
+    let memo = generate_schedule(
+        &tasks,
+        4,
+        h,
+        &GenOptions {
+            engine: GenEngine::Memoized,
+            ..GenOptions::default()
+        },
+    )
+    .expect("memoized generation succeeds");
+    let direct = generate_schedule(
+        &tasks,
+        4,
+        h,
+        &GenOptions {
+            engine: GenEngine::Direct,
+            ..GenOptions::default()
+        },
+    )
+    .expect("direct generation succeeds");
+    assert_eq!(memo.stage, direct.stage);
+    assert_eq!(memo.split_tasks, direct.split_tasks);
+    assert_eq!(
+        memo.schedule, direct.schedule,
+        "stamped schedules must be segment-for-segment identical"
+    );
+    // Sanity: every task id that went in comes back out on some core.
+    for t in &tasks {
+        assert!(
+            memo.schedule
+                .cores
+                .iter()
+                .any(|cs| cs.segments().iter().any(|s| s.task == t.id)),
+            "task {:?} missing from the stamped schedule",
+            t.id
+        );
+    }
+}

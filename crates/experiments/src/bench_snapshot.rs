@@ -97,8 +97,14 @@ fn time_entry<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) -> BenchEntry
 
 /// `n_vms` single-vCPU VMs at `pct`% utilization with a 20 ms goal.
 fn bench_host(n_cores: usize, n_vms: usize, pct: u32) -> HostConfig {
+    bench_host_with_goal(n_cores, n_vms, pct, Nanos::from_millis(20))
+}
+
+/// `n_vms` single-vCPU VMs at `pct`% utilization with an explicit goal —
+/// the paper-scale entries use the punishing 1 ms goal.
+fn bench_host_with_goal(n_cores: usize, n_vms: usize, pct: u32, goal: Nanos) -> HostConfig {
     let mut h = HostConfig::new(n_cores);
-    let spec = VcpuSpec::capped(Utilization::from_percent(pct), Nanos::from_millis(20));
+    let spec = VcpuSpec::capped(Utilization::from_percent(pct), goal);
     for i in 0..n_vms {
         h.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
     }
@@ -124,6 +130,8 @@ pub fn planner_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
     // set, and a 60%-utilization set that forces C=D splitting.
     let easy = bench_host(8, 32, 25);
     let split = bench_host(8, 13, 60);
+    let paper = bench_host_with_goal(44, 176, 25, Nanos::from_millis(1));
+    let paper_iters: u64 = if quick { 1 } else { 5 };
     let defaults = PlannerOptions::default();
     let mut clustered = PlannerOptions::default();
     clustered.gen.first_stage = Stage::Clustered;
@@ -141,6 +149,17 @@ pub fn planner_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
         }),
         time_entry("plan/clustered", iters, || {
             plan(&split, &clustered).expect("clustered set plans")
+        }),
+        // The Fig. 3 stress cell: 176 VMs on 44 cores at the 1 ms goal —
+        // the shape the memoized generator exists for (every bin shares one
+        // signature). Few iterations: each run is milliseconds, not micro.
+        time_entry("plan/partitioned_176", paper_iters, || {
+            let p = plan(&paper, &defaults).expect("paper-scale set plans");
+            assert_eq!(p.stage, Stage::Partitioned);
+            p
+        }),
+        time_entry("plan/clustered_176", paper_iters, || {
+            plan(&paper, &clustered).expect("paper-scale clustered set plans")
         }),
         time_entry("cache/miss", iters, || {
             // A fresh cache per iteration: the full miss path (key build,
@@ -532,6 +551,8 @@ mod tests {
                 "plan/partitioned",
                 "plan/semi_partitioned",
                 "plan/clustered",
+                "plan/partitioned_176",
+                "plan/clustered_176",
                 "cache/miss",
                 "cache/hit"
             ]

@@ -11,15 +11,27 @@
 //! Python on SchedCAT); the *shapes* to reproduce are: time grows with VM
 //! count, the 1 ms goal is by far the most expensive, and table size is
 //! dominated by the 1 ms goal while the others nearly coincide.
+//!
+//! Since v2 the artifact also records a per-stage wall-clock breakdown
+//! (pack / simulate / coalesce / verify / slice-build) from
+//! [`plan_timed`], plus provenance metadata, and the sweep can run under
+//! either generation engine: the default memoized pipeline (one EDF
+//! simulation per distinct bin signature, stamped onto every core sharing
+//! it) or the direct reference pipeline (every core simulated from
+//! scratch). The engines are result-equivalent — a test below and the
+//! `prop_memoized_generator` suite hold them to identical plans — so the
+//! artifact's engine tag documents *which* pipeline produced the timings,
+//! not which tables were produced.
 
 use serde::Serialize;
 
+use rtsched::generator::GenEngine;
 use rtsched::time::Nanos;
 use tableau_core::binary::encoded_size;
-use tableau_core::planner::{plan, PlannerOptions};
+use tableau_core::planner::{plan_timed, PlannerOptions};
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
 
-use crate::report::{print_table, write_json};
+use crate::report::{git_rev, print_table, write_json};
 
 /// One measurement point for Figs. 3–4.
 #[derive(Debug, Clone, Serialize)]
@@ -30,14 +42,63 @@ pub struct PlannerPoint {
     pub latency_goal_ms: u64,
     /// Mean wall-clock table-generation time in milliseconds.
     pub gen_time_ms: f64,
+    /// Mean time in SLA translation + bin packing (and C=D splitting).
+    pub pack_ms: f64,
+    /// Mean time simulating EDF / DP-Fair into per-core schedules.
+    pub simulate_ms: f64,
+    /// Mean time coalescing sliver allocations.
+    pub coalesce_ms: f64,
+    /// Mean time verifying the generated schedule and scanning blackouts.
+    pub verify_ms: f64,
+    /// Mean time compiling per-core slice lookup tables.
+    pub slice_build_ms: f64,
     /// Compiled (binary) table size in bytes.
     pub table_bytes: usize,
     /// Which generation stage succeeded.
     pub stage: String,
 }
 
+/// Provenance for the planner-scale artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlannerScaleMeta {
+    /// Artifact schema tag.
+    pub schema: String,
+    /// Whether this was a `--quick` run (reduced grid, one rep).
+    pub quick: bool,
+    /// Repetitions averaged per cell.
+    pub reps: usize,
+    /// Generation engine the sweep ran under.
+    pub engine: String,
+    /// Cores visible to the process.
+    pub machine_cores: usize,
+    /// Worker threads the parallel pipeline used.
+    pub threads: usize,
+    /// Git revision the numbers were produced at.
+    pub git_rev: String,
+}
+
+/// The artifact written to `results/fig3_fig4_planner_scale.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlannerScaleArtifact {
+    /// Provenance metadata.
+    pub meta: PlannerScaleMeta,
+    /// The sweep, goal-major then VM count.
+    pub points: Vec<PlannerPoint>,
+}
+
 /// The paper's latency goals.
 pub const GOALS_MS: [u64; 4] = [1, 30, 60, 100];
+
+/// Artifact schema tag (v2 added per-stage timings + meta).
+pub const SCHEMA: &str = "tableau-planner-scale-v2";
+
+/// Stable artifact/CLI name of an engine.
+pub fn engine_name(engine: GenEngine) -> &'static str {
+    match engine {
+        GenEngine::Memoized => "memoized",
+        GenEngine::Direct => "reference",
+    }
+}
 
 /// Builds the Fig. 3/4 host: `n_vms` single-vCPU VMs at 25% on 44 cores.
 fn host(n_vms: usize, goal: Nanos) -> HostConfig {
@@ -49,18 +110,23 @@ fn host(n_vms: usize, goal: Nanos) -> HostConfig {
     h
 }
 
-/// Measures every cell of the planner-scalability sweep, with no I/O
-/// side effects (tests call this; only [`run`] writes the artifact, so
-/// `cargo test` never overwrites the tracked `results/` JSON with
-/// quick-mode timings).
-pub fn sweep(quick: bool) -> Vec<PlannerPoint> {
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Measures every cell of the planner-scalability sweep under `engine`,
+/// with no I/O side effects (tests call this; only [`run`] and
+/// [`run_with_engine`] write the artifact, so `cargo test` never
+/// overwrites the tracked `results/` JSON with quick-mode timings).
+pub fn sweep_with_engine(quick: bool, engine: GenEngine) -> Vec<PlannerPoint> {
     let counts: Vec<usize> = if quick {
         vec![44, 176]
     } else {
         vec![22, 44, 66, 88, 110, 132, 154, 176]
     };
     let reps = if quick { 1 } else { 5 };
-    let opts = PlannerOptions::default();
+    let mut opts = PlannerOptions::default();
+    opts.gen.engine = engine;
 
     // Grid in sequential order: goal-major, then VM count.
     let mut cells = Vec::new();
@@ -72,34 +138,54 @@ pub fn sweep(quick: bool) -> Vec<PlannerPoint> {
     // Cells are independent `plan()` calls; running them concurrently and
     // reassembling in grid order leaves every deterministic field
     // (n_vms, goal, table_bytes, stage) identical to the sequential sweep.
-    // Only `gen_time_ms` is wall-clock, and under a concurrent sweep it
-    // measures *contended* time — `bench snapshot` is the uncontended
+    // Only the timing fields are wall-clock, and under a concurrent sweep
+    // they measure *contended* time — `bench snapshot` is the uncontended
     // timing source for the perf trajectory.
     rayon::par_map_indices(cells.len(), |i| {
         let (goal_ms, n) = cells[i];
         let h = host(n, Nanos::from_millis(goal_ms));
         let mut total = std::time::Duration::ZERO;
+        let mut stages = [std::time::Duration::ZERO; 5];
         let mut last = None;
         for _ in 0..reps {
             let t0 = std::time::Instant::now();
-            let p = plan(&h, &opts).expect("paper shape must plan");
+            let (p, t) = plan_timed(&h, &opts).expect("paper shape must plan");
             total += t0.elapsed();
+            for (acc, d) in
+                stages
+                    .iter_mut()
+                    .zip([t.pack, t.simulate, t.coalesce, t.verify, t.slice_build])
+            {
+                *acc += d;
+            }
             last = Some(p);
         }
         let p = last.expect("at least one rep");
+        let r = reps as f64;
         PlannerPoint {
             n_vms: n,
             latency_goal_ms: goal_ms,
-            gen_time_ms: total.as_secs_f64() * 1e3 / reps as f64,
+            gen_time_ms: ms(total) / r,
+            pack_ms: ms(stages[0]) / r,
+            simulate_ms: ms(stages[1]) / r,
+            coalesce_ms: ms(stages[2]) / r,
+            verify_ms: ms(stages[3]) / r,
+            slice_build_ms: ms(stages[4]) / r,
             table_bytes: encoded_size(&p.table),
             stage: format!("{:?}", p.stage),
         }
     })
 }
 
-/// Runs the planner-scalability experiment: sweep, table, JSON artifact.
-pub fn run(quick: bool) -> Vec<PlannerPoint> {
-    let points = sweep(quick);
+/// [`sweep_with_engine`] under the default (memoized) engine.
+pub fn sweep(quick: bool) -> Vec<PlannerPoint> {
+    sweep_with_engine(quick, GenEngine::Memoized)
+}
+
+/// Runs the planner-scalability experiment under `engine`: sweep, table,
+/// JSON artifact with provenance meta.
+pub fn run_with_engine(quick: bool, engine: GenEngine) -> Vec<PlannerPoint> {
+    let points = sweep_with_engine(quick, engine);
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -107,23 +193,60 @@ pub fn run(quick: bool) -> Vec<PlannerPoint> {
                 p.n_vms.to_string(),
                 p.latency_goal_ms.to_string(),
                 format!("{:.3}", p.gen_time_ms),
+                format!("{:.3}", p.pack_ms),
+                format!("{:.3}", p.simulate_ms),
+                format!("{:.3}", p.coalesce_ms),
+                format!("{:.3}", p.verify_ms),
+                format!("{:.3}", p.slice_build_ms),
                 format!("{:.3}", p.table_bytes as f64 / (1024.0 * 1024.0)),
                 p.stage.clone(),
             ]
         })
         .collect();
     print_table(
-        "Fig. 3 & 4: table-generation time and table size (44 guest cores)",
-        &["VMs", "goal(ms)", "gen time(ms)", "size(MiB)", "stage"],
+        &format!(
+            "Fig. 3 & 4: table-generation time and size (44 guest cores, {} engine)",
+            engine_name(engine)
+        ),
+        &[
+            "VMs",
+            "goal(ms)",
+            "gen(ms)",
+            "pack",
+            "simulate",
+            "coalesce",
+            "verify",
+            "slices",
+            "size(MiB)",
+            "stage",
+        ],
         &rows,
     );
-    write_json("fig3_fig4_planner_scale", &points);
-    points
+    let artifact = PlannerScaleArtifact {
+        meta: PlannerScaleMeta {
+            schema: SCHEMA.to_string(),
+            quick,
+            reps: if quick { 1 } else { 5 },
+            engine: engine_name(engine).to_string(),
+            machine_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: rayon::current_num_threads(),
+            git_rev: git_rev(),
+        },
+        points,
+    };
+    write_json("fig3_fig4_planner_scale", &artifact);
+    artifact.points
+}
+
+/// Runs the planner-scalability experiment under the default engine.
+pub fn run(quick: bool) -> Vec<PlannerPoint> {
+    run_with_engine(quick, GenEngine::Memoized)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tableau_core::planner::plan;
 
     #[test]
     fn quick_run_has_expected_shape() {
@@ -152,6 +275,32 @@ mod tests {
             .unwrap()
             .table_bytes;
         assert!(s1 > 5 * s100, "1 ms: {s1} B vs 100 ms: {s100} B");
+        // The per-stage breakdown is populated and nests inside the total.
+        for p in &pts {
+            let parts = p.pack_ms + p.simulate_ms + p.coalesce_ms + p.verify_ms + p.slice_build_ms;
+            assert!(parts > 0.0, "no stage time recorded for {p:?}");
+            assert!(
+                parts <= p.gen_time_ms * 1.01 + 0.1,
+                "stage times ({parts:.3} ms) exceed the total ({:.3} ms)",
+                p.gen_time_ms
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_at_figure_scale() {
+        // The memoized and reference engines must compile the same bytes at
+        // a figure-sized cell (88 VMs, the punishing 1 ms goal).
+        let h = host(88, Nanos::from_millis(1));
+        let mut memo_opts = PlannerOptions::default();
+        memo_opts.gen.engine = GenEngine::Memoized;
+        let mut direct_opts = PlannerOptions::default();
+        direct_opts.gen.engine = GenEngine::Direct;
+        let m = plan(&h, &memo_opts).expect("memoized engine plans");
+        let d = plan(&h, &direct_opts).expect("reference engine plans");
+        assert_eq!(m.table, d.table, "engines compiled different tables");
+        assert_eq!(m.stage, d.stage);
+        assert_eq!(encoded_size(&m.table), encoded_size(&d.table));
     }
 
     #[test]

@@ -155,6 +155,34 @@ pub fn simulate_edf(tasks: &[PeriodicTask], horizon: Nanos) -> Result<CoreSchedu
     Ok(schedule)
 }
 
+/// Simulates EDF for `tasks` with ids replaced by bin positions
+/// (`TaskId(0), TaskId(1), ...` in slice order).
+///
+/// This is the memoization-friendly form: the result depends only on the
+/// parameter *sequence* `(cost, period, deadline, offset)` of the input, so
+/// one positional schedule can be stamped onto every bin sharing that
+/// sequence via [`CoreSchedule::relabel`]. Equivalence with the direct
+/// simulation is exact, segment for segment: the simulator's heap orders
+/// jobs by `(deadline, task_index, release)` where `task_index` is the
+/// position in the input slice — real ids are consulted *only* when
+/// labeling output segments and the returned [`DeadlineMiss`] — and the
+/// position↔id substitution is a bijection within one bin, so segment
+/// merging in [`CoreSchedule::push`] coincides too.
+pub fn simulate_edf_positional(
+    tasks: &[PeriodicTask],
+    horizon: Nanos,
+) -> Result<CoreSchedule, DeadlineMiss> {
+    let positional: Vec<PeriodicTask> = tasks
+        .iter()
+        .enumerate()
+        .map(|(pos, t)| PeriodicTask {
+            id: crate::task::TaskId(pos as u32),
+            ..*t
+        })
+        .collect();
+    simulate_edf(&positional, horizon)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +275,17 @@ mod tests {
         let err = simulate_edf(&[a, b], ms(10)).unwrap_err();
         assert_eq!(err.deadline, ms(2));
         assert!(err.remaining > Nanos::ZERO);
+    }
+
+    #[test]
+    fn positional_simulation_relabels_to_direct() {
+        // Ids chosen out of order so any id-sensitive tie-break would show.
+        let a = PeriodicTask::implicit(TaskId(5), ms(5), ms(10));
+        let b = PeriodicTask::implicit(TaskId(3), ms(10), ms(20));
+        let direct = simulate_edf(&[a, b], ms(20)).unwrap();
+        let pos = simulate_edf_positional(&[a, b], ms(20)).unwrap();
+        let ids = [TaskId(5), TaskId(3)];
+        assert_eq!(pos.relabel(|t| ids[t.0 as usize]), direct);
     }
 
     #[test]

@@ -20,22 +20,38 @@
 //! is returned as an internal error rather than silently handed to the
 //! dispatcher.
 //!
+//! **Memoized engine.** High-density hosts are homogeneous, so most bins are
+//! the same task multiset modulo ids. The default [`GenEngine::Memoized`]
+//! engine simulates each *distinct* bin signature once (positionally, see
+//! [`crate::signature`]) and stamps the result onto every core sharing that
+//! signature via an id-substitution map, recording the sharing in a
+//! [`CoreSharing`] so verification, coalescing, and slice-table construction
+//! downstream can reuse per-core work too. [`GenEngine::Direct`] keeps the
+//! original per-core pipeline as a selectable reference engine; both produce
+//! bit-identical schedules (property-checked in `tableau-core`'s
+//! `prop_memoized_generator`).
+//!
 //! **Parallel execution.** Cores (stage 1/2) and clusters (stage 3) hold
 //! disjoint task sets, so their EDF simulations and the DP-Fair generation
 //! run concurrently on scoped worker threads. Results are reassembled in
 //! core order; the generated schedule is bit-identical to a sequential run
 //! (see `prop_parallel` in `tableau-core`).
 
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
 use serde::{Deserialize, Serialize};
 
 use crate::dpfair::dpfair_schedule;
-use crate::edf::simulate_edf;
+use crate::edf::{simulate_edf, simulate_edf_positional, DeadlineMiss};
 use crate::partition::{worst_fit_decreasing, CoreBins};
-use crate::schedule::MultiCoreSchedule;
+use crate::schedule::{CoreSchedule, MultiCoreSchedule};
+use crate::signature::{all_implicit, BinSignature, CoreSharing, SigMemo, Stamp};
 use crate::split::{semi_partition, SplitError};
 use crate::task::{PeriodicTask, TaskId};
 use crate::time::Nanos;
-use crate::verify::verify_schedule;
+use crate::verify::{verify_schedule, verify_schedule_shared};
 
 /// Which stage of the progression produced the schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +64,21 @@ pub enum Stage {
     Clustered,
 }
 
+/// Which generation pipeline to run.
+///
+/// Both engines produce bit-identical results; `Direct` exists as the
+/// reference to hold `Memoized` to (the heap-vs-wheel precedent from the
+/// simulator's event engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GenEngine {
+    /// Simulate once per distinct bin signature and stamp the schedule onto
+    /// every core sharing it (the default).
+    #[default]
+    Memoized,
+    /// Simulate every core from scratch (reference engine).
+    Direct,
+}
+
 /// Tunables for schedule generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GenOptions {
@@ -56,6 +87,9 @@ pub struct GenOptions {
     pub min_piece: Nanos,
     /// Skip straight to a later stage (used by ablation benchmarks).
     pub first_stage: Stage,
+    /// Which pipeline to run; engines are result-equivalent.
+    #[serde(default)]
+    pub engine: GenEngine,
 }
 
 impl Default for GenOptions {
@@ -63,6 +97,7 @@ impl Default for GenOptions {
         GenOptions {
             min_piece: Nanos::from_micros(100),
             first_stage: Stage::Partitioned,
+            engine: GenEngine::Memoized,
         }
     }
 }
@@ -76,6 +111,32 @@ pub struct Generated {
     pub stage: Stage,
     /// Tasks that ended up with allocations on more than one core.
     pub split_tasks: Vec<TaskId>,
+}
+
+/// Wall-clock breakdown of one generation run, by pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenTimings {
+    /// Admission checks, partitioning, splitting, cluster packing.
+    pub pack: Duration,
+    /// EDF simulation and DP-Fair generation.
+    pub simulate: Duration,
+    /// Schedule verification and split detection.
+    pub verify: Duration,
+}
+
+/// A [`Generated`] schedule plus the sharing record and timing breakdown.
+///
+/// Side-channel result of [`generate_schedule_instrumented`]; `Generated`
+/// itself stays field-identical across engines so plans can be compared
+/// structurally.
+#[derive(Debug, Clone)]
+pub struct GenOutcome {
+    /// The verified schedule.
+    pub generated: Generated,
+    /// Which cores were stamped from which representatives.
+    pub sharing: CoreSharing,
+    /// Per-stage wall-clock breakdown.
+    pub timings: GenTimings,
 }
 
 /// Why generation failed.
@@ -171,6 +232,20 @@ pub fn generate_schedule_with_preferences(
     opts: &GenOptions,
     prefs: &[Vec<usize>],
 ) -> Result<Generated, GenError> {
+    generate_schedule_instrumented(tasks, n_cores, horizon, opts, prefs).map(|o| o.generated)
+}
+
+/// Like [`generate_schedule_with_preferences`], additionally returning the
+/// core-sharing record and the per-stage timing breakdown.
+pub fn generate_schedule_instrumented(
+    tasks: &[PeriodicTask],
+    n_cores: usize,
+    horizon: Nanos,
+    opts: &GenOptions,
+    prefs: &[Vec<usize>],
+) -> Result<GenOutcome, GenError> {
+    let mut timings = GenTimings::default();
+    let t0 = Instant::now();
     for t in tasks {
         if !(horizon % t.period).is_zero() {
             return Err(GenError::BadPeriod(*t));
@@ -182,35 +257,65 @@ pub fn generate_schedule_with_preferences(
         return Err(GenError::OverUtilized { demand, capacity });
     }
     if tasks.is_empty() {
-        return Ok(Generated {
-            schedule: MultiCoreSchedule::idle(horizon, n_cores),
-            stage: Stage::Partitioned,
-            split_tasks: Vec::new(),
+        timings.pack += t0.elapsed();
+        return Ok(GenOutcome {
+            generated: Generated {
+                schedule: MultiCoreSchedule::idle(horizon, n_cores),
+                stage: Stage::Partitioned,
+                split_tasks: Vec::new(),
+            },
+            sharing: CoreSharing::none(n_cores),
+            timings,
         });
     }
+    timings.pack += t0.elapsed();
 
+    // One memo serves all stage attempts: a bin shape simulated (or found
+    // infeasible) in one stage is never re-simulated by a later one.
+    let mut memo = SigMemo::new();
     let mut last_error = String::new();
 
     // Stage 1: plain partitioning (preference-biased worst-fit).
     if opts.first_stage == Stage::Partitioned {
+        let t0 = Instant::now();
         let r = if prefs.is_empty() {
             worst_fit_decreasing(tasks, n_cores, horizon)
         } else {
             crate::partition::worst_fit_decreasing_with_preferences(tasks, n_cores, horizon, prefs)
         };
+        timings.pack += t0.elapsed();
         if r.is_complete() {
-            let schedule = simulate_bins(&r.bins, horizon)?;
-            return finish(tasks, schedule, Stage::Partitioned, Vec::new());
+            let (schedule, sharing) =
+                simulate_bins(&r.bins, horizon, opts.engine, &mut memo, &mut timings)?;
+            return finish(
+                tasks,
+                schedule,
+                Stage::Partitioned,
+                Vec::new(),
+                sharing,
+                timings,
+            );
         }
         last_error = format!("{} task(s) unplaceable whole", r.unassigned.len());
     }
 
     // Stage 2: C=D semi-partitioning.
     if opts.first_stage != Stage::Clustered {
-        match semi_partition(tasks, n_cores, horizon, opts.min_piece) {
+        let t0 = Instant::now();
+        let sp = semi_partition(tasks, n_cores, horizon, opts.min_piece);
+        timings.pack += t0.elapsed();
+        match sp {
             Ok(sp) => {
-                let schedule = simulate_bins(&sp.bins, horizon)?;
-                return finish(tasks, schedule, Stage::SemiPartitioned, sp.split_tasks);
+                let (schedule, sharing) =
+                    simulate_bins(&sp.bins, horizon, opts.engine, &mut memo, &mut timings)?;
+                return finish(
+                    tasks,
+                    schedule,
+                    Stage::SemiPartitioned,
+                    sp.split_tasks,
+                    sharing,
+                    timings,
+                );
             }
             Err(SplitError::NoProgress { task, remaining }) => {
                 last_error = format!("splitting stuck on {} ({remaining} left)", task.id);
@@ -219,45 +324,161 @@ pub fn generate_schedule_with_preferences(
     }
 
     // Stage 3: clustered optimal scheduling.
-    match clustered_schedule(tasks, n_cores, horizon, opts) {
-        Ok((schedule, split)) => finish(tasks, schedule, Stage::Clustered, split),
+    match clustered_schedule(tasks, n_cores, horizon, opts, &mut memo, &mut timings) {
+        Ok((schedule, split, sharing)) => {
+            finish(tasks, schedule, Stage::Clustered, split, sharing, timings)
+        }
         Err(e) => Err(GenError::Exhausted(format!(
             "{last_error}; clustering: {e}"
         ))),
     }
 }
 
-/// Simulates per-core EDF for a complete bin assignment.
+/// Simulates per-core EDF for a bin assignment, engine-dispatched.
 ///
-/// Cores are independent by construction (each bin is a disjoint task set),
-/// so the simulations run concurrently; results are reassembled in core
-/// order, making the outcome identical to the sequential evaluation. On
-/// failure the lowest-numbered failing core's diagnostic is returned —
-/// exactly the error the sequential loop would have stopped at.
-fn simulate_bins(bins: &CoreBins, horizon: Nanos) -> Result<MultiCoreSchedule, GenError> {
-    let per_core = rayon::par_map_indices(bins.cores.len(), |core| {
-        simulate_edf(&bins.cores[core], horizon).map_err(|miss| {
-            GenError::VerificationFailed(format!(
-                "EDF deadline miss on core {core}: task {} at {}",
-                miss.task, miss.deadline
-            ))
-        })
-    });
-    let mut schedule = MultiCoreSchedule::idle(horizon, bins.cores.len());
-    for (core, result) in per_core.into_iter().enumerate() {
-        schedule.cores[core] = result?;
+/// Direct engine: every core simulated from scratch, concurrently (cores
+/// hold disjoint task sets; results reassembled in core order). Memoized
+/// engine: each distinct all-implicit bin signature is simulated once — at
+/// its lowest-index ("representative") core, positionally — and relabeled
+/// onto every core sharing it; non-sharable bins (any C=D piece present)
+/// take the direct path. Returned results and errors are identical across
+/// engines: the positional simulator differs from the direct one only in
+/// output labels, and the relabeling restores those exactly.
+fn simulate_cores(
+    bins: &CoreBins,
+    horizon: Nanos,
+    engine: GenEngine,
+    memo: &mut SigMemo,
+) -> (Vec<Result<CoreSchedule, DeadlineMiss>>, Vec<Option<Stamp>>) {
+    let n = bins.cores.len();
+    let mut stamps: Vec<Option<Stamp>> = vec![None; n];
+    if engine == GenEngine::Direct {
+        let results = rayon::par_map_indices(n, |core| simulate_edf(&bins.cores[core], horizon));
+        return (results, stamps);
     }
-    Ok(schedule)
+
+    let sigs: Vec<Option<BinSignature>> = bins
+        .cores
+        .iter()
+        .map(|b| all_implicit(b).then(|| BinSignature::of(b)))
+        .collect();
+    let mut rep_of: HashMap<&BinSignature, usize> = HashMap::new();
+    for (core, sig) in sigs.iter().enumerate() {
+        if let Some(sig) = sig {
+            rep_of.entry(sig).or_insert(core);
+        }
+    }
+    // Simulate each *new* distinct signature once, concurrently, using its
+    // representative core's bin.
+    let todo: Vec<usize> = sigs
+        .iter()
+        .enumerate()
+        .filter_map(|(core, sig)| {
+            let sig = sig.as_ref()?;
+            (rep_of[sig] == core && memo.edf_get(sig).is_none()).then_some(core)
+        })
+        .collect();
+    let fresh = rayon::par_map_indices(todo.len(), |i| {
+        simulate_edf_positional(&bins.cores[todo[i]], horizon)
+    });
+    for (core, result) in todo.into_iter().zip(fresh) {
+        memo.edf_insert(sigs[core].clone().expect("todo cores are sharable"), result);
+    }
+    // Non-sharable bins take the direct path, also concurrently.
+    let direct: Vec<usize> = sigs
+        .iter()
+        .enumerate()
+        .filter_map(|(core, sig)| sig.is_none().then_some(core))
+        .collect();
+    let direct_results = rayon::par_map_indices(direct.len(), |i| {
+        simulate_edf(&bins.cores[direct[i]], horizon)
+    });
+
+    let mut out: Vec<Option<Result<CoreSchedule, DeadlineMiss>>> = (0..n).map(|_| None).collect();
+    for (core, result) in direct.into_iter().zip(direct_results) {
+        out[core] = Some(result);
+    }
+    for core in 0..n {
+        let Some(sig) = &sigs[core] else { continue };
+        let rep = rep_of[sig];
+        let bin = &bins.cores[core];
+        let result = match memo.edf_get(sig).expect("simulated above") {
+            Ok(positional) => Ok(positional.relabel(|t| bin[t.0 as usize].id)),
+            Err(miss) => Err(DeadlineMiss {
+                task: bin[miss.task.0 as usize].id,
+                ..*miss
+            }),
+        };
+        if result.is_ok() && core != rep {
+            stamps[core] = Some(Stamp {
+                rep,
+                map: bins.cores[rep]
+                    .iter()
+                    .zip(bin.iter())
+                    .map(|(r, c)| (r.id, c.id))
+                    .collect(),
+            });
+        }
+        out[core] = Some(result);
+    }
+    let results = out
+        .into_iter()
+        .map(|r| r.expect("every core simulated"))
+        .collect();
+    (results, stamps)
 }
 
-/// Runs the verifier and assembles the result.
+/// Simulates per-core EDF for a complete bin assignment.
+///
+/// On failure the lowest-numbered failing core's diagnostic is returned —
+/// exactly the error the sequential loop would have stopped at.
+fn simulate_bins(
+    bins: &CoreBins,
+    horizon: Nanos,
+    engine: GenEngine,
+    memo: &mut SigMemo,
+    timings: &mut GenTimings,
+) -> Result<(MultiCoreSchedule, CoreSharing), GenError> {
+    let t0 = Instant::now();
+    let (results, stamps) = simulate_cores(bins, horizon, engine, memo);
+    let mut schedule = MultiCoreSchedule::idle(horizon, bins.cores.len());
+    let mut sharing = CoreSharing::none(bins.cores.len());
+    for (core, (result, stamp)) in results.into_iter().zip(stamps).enumerate() {
+        match result {
+            Ok(cs) => {
+                schedule.cores[core] = cs;
+                if let Some(s) = stamp {
+                    sharing.set(core, s);
+                }
+            }
+            Err(miss) => {
+                timings.simulate += t0.elapsed();
+                return Err(GenError::VerificationFailed(format!(
+                    "EDF deadline miss on core {core}: task {} at {}",
+                    miss.task, miss.deadline
+                )));
+            }
+        }
+    }
+    timings.simulate += t0.elapsed();
+    Ok((schedule, sharing))
+}
+
+/// Runs the verifier, detects split tasks, and assembles the result.
 fn finish(
     tasks: &[PeriodicTask],
     schedule: MultiCoreSchedule,
     stage: Stage,
     mut split_tasks: Vec<TaskId>,
-) -> Result<Generated, GenError> {
-    let violations = verify_schedule(tasks, &schedule);
+    sharing: CoreSharing,
+    mut timings: GenTimings,
+) -> Result<GenOutcome, GenError> {
+    let t0 = Instant::now();
+    let violations = if sharing.any_stamped() {
+        verify_schedule_shared(tasks, &schedule, &sharing)
+    } else {
+        verify_schedule(tasks, &schedule)
+    };
     if let Some(v) = violations.first() {
         return Err(GenError::VerificationFailed(format!(
             "{v} ({} violation(s) total)",
@@ -265,21 +486,39 @@ fn finish(
         )));
     }
     // Report every task with allocations on >1 core (covers DP-Fair
-    // migrations too, not just C=D splits).
+    // migrations too, not just C=D splits). One pass over all segments
+    // rather than one `segments_of` scan per task.
+    let mut first_core: HashMap<u32, usize> = HashMap::new();
+    let mut multi: HashSet<u32> = HashSet::new();
+    for (core, cs) in schedule.cores.iter().enumerate() {
+        for seg in cs.segments() {
+            match first_core.entry(seg.task.0) {
+                Entry::Occupied(e) => {
+                    if *e.get() != core {
+                        multi.insert(seg.task.0);
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(core);
+                }
+            }
+        }
+    }
     for t in tasks {
-        let mut cores_used: Vec<usize> =
-            schedule.segments_of(t.id).iter().map(|(c, _)| *c).collect();
-        cores_used.sort_unstable();
-        cores_used.dedup();
-        if cores_used.len() > 1 && !split_tasks.contains(&t.id) {
+        if multi.contains(&t.id.0) && !split_tasks.contains(&t.id) {
             split_tasks.push(t.id);
         }
     }
     split_tasks.sort_unstable();
-    Ok(Generated {
-        schedule,
-        stage,
-        split_tasks,
+    timings.verify += t0.elapsed();
+    Ok(GenOutcome {
+        generated: Generated {
+            schedule,
+            stage,
+            split_tasks,
+        },
+        sharing,
+        timings,
     })
 }
 
@@ -291,7 +530,9 @@ fn clustered_schedule(
     n_cores: usize,
     horizon: Nanos,
     opts: &GenOptions,
-) -> Result<(MultiCoreSchedule, Vec<TaskId>), String> {
+    memo: &mut SigMemo,
+    timings: &mut GenTimings,
+) -> Result<(MultiCoreSchedule, Vec<TaskId>, CoreSharing), String> {
     if n_cores == 0 {
         return Err("no cores".to_owned());
     }
@@ -302,7 +543,7 @@ fn clustered_schedule(
     // attempt. This mirrors the paper's repeated bin merging and terminates
     // at a single all-core cluster.
     for cluster_size in 2..=n_cores {
-        let attempt = try_clustered(tasks, n_cores, cluster_size, horizon, opts);
+        let attempt = try_clustered(tasks, n_cores, cluster_size, horizon, opts, memo, timings);
         if let Some(result) = attempt {
             return Ok(result);
         }
@@ -318,13 +559,39 @@ fn try_clustered(
     cluster_size: usize,
     horizon: Nanos,
     opts: &GenOptions,
-) -> Option<(MultiCoreSchedule, Vec<TaskId>)> {
-    let singles = n_cores - cluster_size;
+    memo: &mut SigMemo,
+    timings: &mut GenTimings,
+) -> Option<(MultiCoreSchedule, Vec<TaskId>, CoreSharing)> {
+    let t0 = Instant::now();
+    let packed = pack_cluster(tasks, n_cores, cluster_size, horizon);
+    timings.pack += t0.elapsed();
+    let (single_bins, cluster_tasks) = packed?;
 
-    // Greedy: sort by decreasing utilization; fill the cluster with the
-    // tasks that the singles cannot hold. Strategy: first try to place each
-    // task on a singleton (worst-fit); overflow goes to the cluster if its
-    // capacity (minus a rounding reserve) allows.
+    let t0 = Instant::now();
+    let result = generate_cluster_and_singles(
+        &cluster_tasks,
+        &single_bins,
+        n_cores,
+        cluster_size,
+        horizon,
+        opts.engine,
+        memo,
+    );
+    timings.simulate += t0.elapsed();
+    result
+}
+
+/// Greedy packing for one clustered attempt: sort by decreasing
+/// utilization; fill the cluster with the tasks that the singles cannot
+/// hold. Strategy: first try to place each task on a singleton (worst-fit);
+/// overflow goes to the cluster if its capacity allows.
+fn pack_cluster(
+    tasks: &[PeriodicTask],
+    n_cores: usize,
+    cluster_size: usize,
+    horizon: Nanos,
+) -> Option<(CoreBins, Vec<PeriodicTask>)> {
+    let singles = n_cores - cluster_size;
     let order = crate::partition::decreasing_utilization_order(tasks);
     let mut single_bins = CoreBins::new(singles, horizon);
     let mut cluster_tasks: Vec<PeriodicTask> = Vec::new();
@@ -350,28 +617,76 @@ fn try_clustered(
         cluster_tasks.push(task);
         cluster_demand += d;
     }
+    Some((single_bins, cluster_tasks))
+}
 
-    // Generate: DP-Fair on the cluster and EDF on the singles, concurrently
-    // — the cluster and the singleton bins hold disjoint task sets.
-    let (cluster_cores, singles) = rayon::join(
-        || dpfair_schedule(&cluster_tasks, cluster_size, horizon),
-        || {
-            rayon::par_map_indices(single_bins.cores.len(), |i| {
-                simulate_edf(&single_bins.cores[i], horizon)
-            })
-        },
-    );
+/// Generates DP-Fair on the cluster and EDF on the singles.
+///
+/// Direct engine: cluster and singles run concurrently, exactly the
+/// original pipeline. Memoized engine: singles go through the signature
+/// memo (their bins repeat across attempts and across cores), and an
+/// all-implicit cluster runs positionally through the DP-Fair memo; cluster
+/// cores are never stamped — DP-Fair produces them jointly, not per-bin.
+fn generate_cluster_and_singles(
+    cluster_tasks: &[PeriodicTask],
+    single_bins: &CoreBins,
+    n_cores: usize,
+    cluster_size: usize,
+    horizon: Nanos,
+    engine: GenEngine,
+    memo: &mut SigMemo,
+) -> Option<(MultiCoreSchedule, Vec<TaskId>, CoreSharing)> {
+    let n_singles = single_bins.cores.len();
+    let (cluster_cores, single_results, single_stamps) = match engine {
+        GenEngine::Direct => {
+            // Cluster and singleton bins hold disjoint task sets, so they
+            // generate concurrently.
+            let (cluster, singles) = rayon::join(
+                || dpfair_schedule(cluster_tasks, cluster_size, horizon),
+                || {
+                    rayon::par_map_indices(n_singles, |i| {
+                        simulate_edf(&single_bins.cores[i], horizon)
+                    })
+                },
+            );
+            (cluster, singles, vec![None; n_singles])
+        }
+        GenEngine::Memoized => {
+            let (singles, stamps) = simulate_cores(single_bins, horizon, engine, memo);
+            let cluster = if all_implicit(cluster_tasks) {
+                let sig = BinSignature::of(cluster_tasks);
+                memo.dpfair(sig, cluster_tasks, cluster_size, horizon)
+                    .clone()
+                    .map(|cores| {
+                        cores
+                            .iter()
+                            .map(|c| c.relabel(|t| cluster_tasks[t.0 as usize].id))
+                            .collect()
+                    })
+            } else {
+                dpfair_schedule(cluster_tasks, cluster_size, horizon)
+            };
+            (cluster, singles, stamps)
+        }
+    };
+
     let cluster_cores = cluster_cores.ok()?;
     let mut schedule = MultiCoreSchedule::idle(horizon, n_cores);
+    let mut sharing = CoreSharing::none(n_cores);
     for (i, cs) in cluster_cores.into_iter().enumerate() {
         schedule.cores[i] = cs;
     }
-    for (i, cs) in singles.into_iter().enumerate() {
+    for (i, cs) in single_results.into_iter().enumerate() {
         schedule.cores[cluster_size + i] = cs.ok()?;
     }
+    for (i, stamp) in single_stamps.into_iter().enumerate() {
+        if let Some(mut s) = stamp {
+            s.rep += cluster_size;
+            sharing.set(cluster_size + i, s);
+        }
+    }
     let split: Vec<TaskId> = cluster_tasks.iter().map(|t| t.id).collect();
-    let _ = opts;
-    Some((schedule, split))
+    Some((schedule, split, sharing))
 }
 
 #[cfg(test)]
@@ -474,5 +789,62 @@ mod tests {
         for core in &g.schedule.cores {
             assert_eq!(core.busy_time(), ms(100));
         }
+    }
+
+    #[test]
+    fn memoized_engine_stamps_equal_signature_bins() {
+        // Eight identical tasks on two cores: both bins carry the same
+        // signature, so the second core must be stamped from the first, and
+        // the result must match the direct engine bit for bit.
+        let tasks: Vec<_> = (0..8).map(|i| imp(i, 2, 10)).collect();
+        let out =
+            generate_schedule_instrumented(&tasks, 2, ms(10), &GenOptions::default(), &[]).unwrap();
+        assert_eq!(out.generated.stage, Stage::Partitioned);
+        assert_eq!(out.sharing.stamped_count(), 1);
+        let stamp = out.sharing.stamp_of(1).expect("core 1 shares core 0's bin");
+        assert_eq!(stamp.rep, 0);
+        // The stamped core's ids are its own, not the representative's.
+        for (rep_id, this_id) in &stamp.map {
+            assert_ne!(rep_id, this_id);
+        }
+        let direct = GenOptions {
+            engine: GenEngine::Direct,
+            ..GenOptions::default()
+        };
+        let d = generate_schedule(&tasks, 2, ms(10), &direct).unwrap();
+        assert_eq!(out.generated.schedule, d.schedule);
+        assert_eq!(out.generated.split_tasks, d.split_tasks);
+    }
+
+    #[test]
+    fn split_bins_opt_out_of_stamping() {
+        // Semi-partitioning produces C=D pieces; any bin holding one takes
+        // the direct path, and the engines still agree exactly.
+        let tasks = [imp(0, 6, 10), imp(1, 6, 10), imp(2, 6, 10)];
+        let out =
+            generate_schedule_instrumented(&tasks, 2, ms(10), &GenOptions::default(), &[]).unwrap();
+        assert_eq!(out.generated.stage, Stage::SemiPartitioned);
+        assert_eq!(out.sharing.stamped_count(), 0);
+        let direct = GenOptions {
+            engine: GenEngine::Direct,
+            ..GenOptions::default()
+        };
+        let d = generate_schedule(&tasks, 2, ms(10), &direct).unwrap();
+        assert_eq!(out.generated.schedule, d.schedule);
+        assert_eq!(out.generated.split_tasks, d.split_tasks);
+    }
+
+    #[test]
+    fn engines_agree_on_infeasible_simulations() {
+        // Force clustering on a single core so the stage falls through, and
+        // check both engines produce the identical Exhausted diagnostic.
+        let tasks = [imp(0, 6, 10), imp(1, 6, 10)];
+        let memo_err = generate_schedule(&tasks, 1, ms(10), &GenOptions::default()).unwrap_err();
+        let direct = GenOptions {
+            engine: GenEngine::Direct,
+            ..GenOptions::default()
+        };
+        let direct_err = generate_schedule(&tasks, 1, ms(10), &direct).unwrap_err();
+        assert_eq!(memo_err, direct_err);
     }
 }

@@ -49,13 +49,18 @@ pub mod hyperperiod;
 pub mod partition;
 pub mod peephole;
 pub mod schedule;
+pub mod signature;
 pub mod split;
 pub mod task;
 pub mod time;
 pub mod verify;
 
-pub use generator::{generate_schedule, GenError, GenOptions, Generated, Stage};
+pub use generator::{
+    generate_schedule, generate_schedule_instrumented, GenEngine, GenError, GenOptions, GenOutcome,
+    GenTimings, Generated, Stage,
+};
 pub use hyperperiod::{PeriodCandidates, STANDARD_HYPERPERIOD};
 pub use schedule::{CoreSchedule, MultiCoreSchedule, Segment};
+pub use signature::{BinSignature, CoreSharing, SigMemo, Stamp};
 pub use task::{PeriodicTask, TaskId, TaskSet};
 pub use time::Nanos;

@@ -125,6 +125,27 @@ impl CoreSchedule {
         self.segments.get(idx).filter(|s| s.contains(t))
     }
 
+    /// Returns a copy of this schedule with every segment's task relabeled
+    /// through `f`, preserving segment geometry exactly.
+    ///
+    /// Used to stamp a memoized positional schedule onto a concrete bin's
+    /// task ids (see the `signature` module). Segments are mapped one for
+    /// one — no re-merging: as long as `f` is injective on the tasks
+    /// present, two adjacent segments have equal relabeled tasks iff their
+    /// original tasks were equal, so the merge structure cannot change.
+    pub fn relabel(&self, mut f: impl FnMut(TaskId) -> TaskId) -> CoreSchedule {
+        CoreSchedule {
+            segments: self
+                .segments
+                .iter()
+                .map(|s| Segment {
+                    task: f(s.task),
+                    ..*s
+                })
+                .collect(),
+        }
+    }
+
     /// Returns the total service of `task` within `[from, to)`.
     pub fn service_in(&self, task: TaskId, from: Nanos, to: Nanos) -> Nanos {
         self.segments

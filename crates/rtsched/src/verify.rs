@@ -16,8 +16,22 @@
 //!    bound `2 * (T - C)` used to translate latency goals into periods.
 //!
 //! The same checks double as the oracle for property-based tests.
+//!
+//! **Cost model.** [`verify_schedule`] makes a single pass over the
+//! schedule's segments to bucket them per task, then checks each task
+//! against its own interval list — `O(segments + tasks · windows)` overall.
+//! (The previous implementation re-scanned every segment of every core once
+//! per task per window, which dominated planner time at high density.)
+//!
+//! [`verify_schedule_shared`] additionally accepts the generator's
+//! core-sharing record: after independently validating each stamp (the
+//! verifier trusts nothing the generator claims), tasks on stamped cores
+//! are exact mirrors of their representatives and need no separate check.
 
-use crate::schedule::MultiCoreSchedule;
+use std::collections::{HashMap, HashSet};
+
+use crate::schedule::{CoreSchedule, MultiCoreSchedule};
+use crate::signature::CoreSharing;
 use crate::task::{PeriodicTask, TaskId};
 use crate::time::Nanos;
 
@@ -92,79 +106,247 @@ pub fn verify_schedule(tasks: &[PeriodicTask], schedule: &MultiCoreSchedule) -> 
 
     // (1) Per-core geometry.
     let per_core = rayon::par_map_indices(schedule.cores.len(), |core| {
-        let cs = &schedule.cores[core];
-        let mut found = Vec::new();
-        for seg in cs.segments() {
-            if seg.end > h || seg.start >= seg.end {
-                found.push(Violation::OutOfRange { core });
-            }
-        }
-        for w in cs.segments().windows(2) {
-            if w[0].end > w[1].start {
-                found.push(Violation::CoreOverlap {
-                    core,
-                    at: w[1].start,
-                });
-            }
-        }
-        found
+        core_geometry(core, &schedule.cores[core], h)
     });
 
-    // (2)–(4) Per-task guarantees.
-    let per_task = rayon::par_map_indices(tasks.len(), |i| {
-        let task = &tasks[i];
-        let mut found = Vec::new();
-        let segs = schedule.segments_of(task.id);
-        if segs.is_empty() {
-            found.push(Violation::MissingTask(task.id));
-            return found;
-        }
-
-        // (2) Exact service per period window.
-        let mut start = Nanos::ZERO;
-        while start < h {
-            let got = schedule.total_service_in(task.id, start, start + task.period);
-            if got != task.cost {
-                found.push(Violation::WrongService {
-                    task: task.id,
-                    window_start: start,
-                    got,
-                    want: task.cost,
-                });
-            }
-            start += task.period;
-        }
-
-        // (3) No parallel execution across cores.
-        let mut ordered: Vec<(Nanos, Nanos)> = segs.iter().map(|(_, s)| (s.start, s.end)).collect();
-        ordered.sort_unstable();
-        for w in ordered.windows(2) {
-            if w[0].1 > w[1].0 {
-                found.push(Violation::ParallelExecution {
-                    task: task.id,
-                    at: w[1].0,
-                });
-            }
-        }
-
-        // (4) Cyclic blackout bound.
-        if task.cost < task.period {
-            let bound = task.worst_case_blackout();
-            let observed = max_blackout(&ordered, h);
-            if observed > bound {
-                found.push(Violation::BlackoutTooLong {
-                    task: task.id,
-                    observed,
-                    bound,
-                });
-            }
-        }
-        found
-    });
+    // (2)–(4) Per-task guarantees, from one segment-bucketing pass.
+    let ivs = per_task_intervals(tasks, schedule);
+    let per_task = rayon::par_map_indices(tasks.len(), |i| check_task(&tasks[i], &ivs[i], h));
 
     let mut violations: Vec<Violation> = per_core.into_iter().flatten().collect();
     violations.extend(per_task.into_iter().flatten());
     violations
+}
+
+/// Like [`verify_schedule`], but consulting the generator's core-sharing
+/// record to skip re-checking mirrored tasks.
+///
+/// The verifier stays independent of the generator: each stamp is
+/// *validated from the schedule itself* — the stamped core's segments must
+/// equal the representative's under the claimed id substitution, the
+/// substitution must be injective and pair parameter-identical tasks, and
+/// every mapped task must live only on its own core. Only then are the
+/// stamped core's tasks skipped (their checks are textually the
+/// representative's). Any stamp that fails validation, and any violation
+/// found at all, falls back to the full [`verify_schedule`] pass so the
+/// returned violation list is always exactly the full verifier's.
+pub fn verify_schedule_shared(
+    tasks: &[PeriodicTask],
+    schedule: &MultiCoreSchedule,
+    sharing: &CoreSharing,
+) -> Vec<Violation> {
+    match verify_shared_fast(tasks, schedule, sharing) {
+        Some(v) if v.is_empty() => v,
+        // A stamp failed validation, or violations exist (the fast list
+        // omits mirrored tasks): produce the complete, exactly-ordered list.
+        _ => verify_schedule(tasks, schedule),
+    }
+}
+
+/// Fast path of [`verify_schedule_shared`]: `None` if any stamp fails
+/// validation; otherwise the violations of the geometry pass plus all
+/// non-mirrored tasks (mirrored tasks violate iff their representatives do,
+/// so emptiness of this list is equivalent to emptiness of the full list).
+fn verify_shared_fast(
+    tasks: &[PeriodicTask],
+    schedule: &MultiCoreSchedule,
+    sharing: &CoreSharing,
+) -> Option<Vec<Violation>> {
+    let h = schedule.hyperperiod;
+    if sharing.n_cores() != schedule.cores.len() {
+        return None;
+    }
+    // Unique id -> task index; duplicate ids defeat the skip logic.
+    let mut index: HashMap<u32, usize> = HashMap::with_capacity(tasks.len());
+    for (i, t) in tasks.iter().enumerate() {
+        if index.insert(t.id.0, i).is_some() {
+            return None;
+        }
+    }
+    let ivs = per_task_intervals(tasks, schedule);
+
+    let mut skip = vec![false; tasks.len()];
+    for core in 0..schedule.cores.len() {
+        let Some(stamp) = sharing.stamp_of(core) else {
+            continue;
+        };
+        let rep = stamp.rep;
+        // Representatives precede their mirrors and are themselves direct.
+        if rep >= core || sharing.stamp_of(rep).is_some() {
+            return None;
+        }
+        let mut rep_ids: HashSet<TaskId> = HashSet::with_capacity(stamp.map.len());
+        let mut this_ids: HashSet<TaskId> = HashSet::with_capacity(stamp.map.len());
+        let mut subst: HashMap<u32, u32> = HashMap::with_capacity(stamp.map.len());
+        for &(rid, tid) in &stamp.map {
+            // Injective in both directions.
+            if !rep_ids.insert(rid) || !this_ids.insert(tid) {
+                return None;
+            }
+            subst.insert(rid.0, tid.0);
+            // Parameter-identical pairing.
+            let ri = *index.get(&rid.0)?;
+            let ti = *index.get(&tid.0)?;
+            let (a, b) = (&tasks[ri], &tasks[ti]);
+            if (a.cost, a.period, a.deadline, a.offset) != (b.cost, b.period, b.deadline, b.offset)
+            {
+                return None;
+            }
+            // Mapped tasks live only on their own core — otherwise the
+            // mirror argument (and the skip) would miss cross-core service.
+            if ivs[ri].iter().any(|&(c, _, _)| c != rep)
+                || ivs[ti].iter().any(|&(c, _, _)| c != core)
+            {
+                return None;
+            }
+        }
+        // The stamped core must be the representative's schedule under the
+        // substitution, segment for segment.
+        let a = schedule.cores[rep].segments();
+        let b = schedule.cores[core].segments();
+        if a.len() != b.len() {
+            return None;
+        }
+        for (x, y) in a.iter().zip(b) {
+            if x.start != y.start || x.end != y.end {
+                return None;
+            }
+            if subst.get(&x.task.0) != Some(&y.task.0) {
+                return None;
+            }
+        }
+        for &(_, tid) in &stamp.map {
+            skip[index[&tid.0]] = true;
+        }
+    }
+
+    let per_core = rayon::par_map_indices(schedule.cores.len(), |core| {
+        core_geometry(core, &schedule.cores[core], h)
+    });
+    let per_task = rayon::par_map_indices(tasks.len(), |i| {
+        if skip[i] {
+            Vec::new()
+        } else {
+            check_task(&tasks[i], &ivs[i], h)
+        }
+    });
+    let mut violations: Vec<Violation> = per_core.into_iter().flatten().collect();
+    violations.extend(per_task.into_iter().flatten());
+    Some(violations)
+}
+
+/// Check (1): segments of one core are in range, ordered, non-overlapping.
+fn core_geometry(core: usize, cs: &CoreSchedule, h: Nanos) -> Vec<Violation> {
+    let mut found = Vec::new();
+    for seg in cs.segments() {
+        if seg.end > h || seg.start >= seg.end {
+            found.push(Violation::OutOfRange { core });
+        }
+    }
+    for w in cs.segments().windows(2) {
+        if w[0].end > w[1].start {
+            found.push(Violation::CoreOverlap {
+                core,
+                at: w[1].start,
+            });
+        }
+    }
+    found
+}
+
+/// Buckets every segment by task in one pass over the schedule.
+///
+/// Returns, for each entry of `tasks`, that task's service intervals as
+/// `(core, start, end)` in core-major order (the order `segments_of`
+/// produces). Duplicate ids in `tasks` each receive the full list.
+fn per_task_intervals(
+    tasks: &[PeriodicTask],
+    schedule: &MultiCoreSchedule,
+) -> Vec<Vec<(usize, Nanos, Nanos)>> {
+    let mut index: HashMap<u32, Vec<usize>> = HashMap::with_capacity(tasks.len());
+    for (i, t) in tasks.iter().enumerate() {
+        index.entry(t.id.0).or_default().push(i);
+    }
+    let mut ivs: Vec<Vec<(usize, Nanos, Nanos)>> = vec![Vec::new(); tasks.len()];
+    for (core, cs) in schedule.cores.iter().enumerate() {
+        for seg in cs.segments() {
+            if let Some(owners) = index.get(&seg.task.0) {
+                for &i in owners {
+                    ivs[i].push((core, seg.start, seg.end));
+                }
+            }
+        }
+    }
+    ivs
+}
+
+/// Checks (2)–(4) for one task given its pre-bucketed service intervals.
+///
+/// Emits the same violations, in the same order, as checking the task
+/// against the whole schedule: window service ascending, then parallel
+/// execution, then the blackout bound.
+fn check_task(task: &PeriodicTask, ivs: &[(usize, Nanos, Nanos)], h: Nanos) -> Vec<Violation> {
+    let mut found = Vec::new();
+    if ivs.is_empty() {
+        found.push(Violation::MissingTask(task.id));
+        return found;
+    }
+
+    // (2) Exact service per period window, via one accumulation pass over
+    // the task's own intervals instead of a whole-schedule scan per window.
+    let t = task.period;
+    let n_windows = h.div_ceil(t) as usize;
+    let mut got = vec![Nanos::ZERO; n_windows];
+    for &(_, s, e) in ivs {
+        if s >= e {
+            continue; // degenerate segment contributes no service
+        }
+        let k0 = (s / t) as usize;
+        let k1 = ((e - Nanos(1)) / t) as usize;
+        for (k, slot) in got.iter_mut().enumerate().take(k1 + 1).skip(k0) {
+            let w_lo = t * k as u64;
+            let w_hi = w_lo + t;
+            let lo = s.max(w_lo);
+            let hi = e.min(w_hi);
+            *slot += hi.saturating_sub(lo);
+        }
+    }
+    for (k, &g) in got.iter().enumerate() {
+        if g != task.cost {
+            found.push(Violation::WrongService {
+                task: task.id,
+                window_start: t * k as u64,
+                got: g,
+                want: task.cost,
+            });
+        }
+    }
+
+    // (3) No parallel execution across cores.
+    let mut ordered: Vec<(Nanos, Nanos)> = ivs.iter().map(|&(_, s, e)| (s, e)).collect();
+    ordered.sort_unstable();
+    for w in ordered.windows(2) {
+        if w[0].1 > w[1].0 {
+            found.push(Violation::ParallelExecution {
+                task: task.id,
+                at: w[1].0,
+            });
+        }
+    }
+
+    // (4) Cyclic blackout bound.
+    if task.cost < task.period {
+        let bound = task.worst_case_blackout();
+        let observed = max_blackout(&ordered, h);
+        if observed > bound {
+            found.push(Violation::BlackoutTooLong {
+                task: task.id,
+                observed,
+                bound,
+            });
+        }
+    }
+    found
 }
 
 /// Maximum service gap of a task within the cyclic schedule.
@@ -210,6 +392,7 @@ pub fn task_max_blackout(task: TaskId, schedule: &MultiCoreSchedule) -> Nanos {
 mod tests {
     use super::*;
     use crate::schedule::{CoreSchedule, Segment};
+    use crate::signature::Stamp;
 
     fn ms(v: u64) -> Nanos {
         Nanos::from_millis(v)
@@ -264,6 +447,15 @@ mod tests {
         let s = sched(20, vec![vec![seg(0, 4, 0)]]);
         let v = verify_schedule(&tasks, &s);
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn window_spanning_segment_is_split_across_windows() {
+        // One segment [8, 12) in a 20 table with period 10: 2 units land in
+        // each window, so a (2, 10) task is exactly served.
+        let tasks = [imp(0, 2, 10)];
+        let s = sched(20, vec![vec![seg(8, 12, 0)]]);
+        assert!(verify_schedule(&tasks, &s).is_empty());
     }
 
     #[test]
@@ -351,5 +543,85 @@ mod tests {
         // Continuous service [0,4) across two cores: gap is only the wrap
         // [4, 10) = 6.
         assert_eq!(task_max_blackout(TaskId(0), &s), ms(6));
+    }
+
+    #[test]
+    fn shared_verify_accepts_a_valid_stamp() {
+        // Core 1 is core 0's schedule under 0->2, 1->3; the stamp checks
+        // out, so the fast path validates it and reports no violations.
+        let tasks = [imp(0, 2, 10), imp(1, 5, 10), imp(2, 2, 10), imp(3, 5, 10)];
+        let s = sched(
+            10,
+            vec![
+                vec![seg(0, 2, 0), seg(2, 7, 1)],
+                vec![seg(0, 2, 2), seg(2, 7, 3)],
+            ],
+        );
+        let mut sharing = CoreSharing::none(2);
+        sharing.set(
+            1,
+            Stamp {
+                rep: 0,
+                map: vec![(TaskId(0), TaskId(2)), (TaskId(1), TaskId(3))],
+            },
+        );
+        assert!(verify_schedule_shared(&tasks, &s, &sharing).is_empty());
+    }
+
+    #[test]
+    fn shared_verify_falls_back_on_lying_stamp() {
+        // The stamp claims core 1 mirrors core 0, but core 1 underserves
+        // task 2: the relabel-equality check fails, the full verifier runs,
+        // and the exact violation list comes back.
+        let tasks = [imp(0, 2, 10), imp(1, 5, 10), imp(2, 2, 10), imp(3, 5, 10)];
+        let s = sched(
+            10,
+            vec![
+                vec![seg(0, 2, 0), seg(2, 7, 1)],
+                vec![seg(0, 1, 2), seg(2, 7, 3)],
+            ],
+        );
+        let mut sharing = CoreSharing::none(2);
+        sharing.set(
+            1,
+            Stamp {
+                rep: 0,
+                map: vec![(TaskId(0), TaskId(2)), (TaskId(1), TaskId(3))],
+            },
+        );
+        let shared = verify_schedule_shared(&tasks, &s, &sharing);
+        let full = verify_schedule(&tasks, &s);
+        assert_eq!(shared, full);
+        assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn shared_verify_rejects_parameter_mismatched_pairing() {
+        // Identical geometry, but the substitution pairs tasks with
+        // different costs: the fast path must refuse and defer to the full
+        // verifier (which flags the wrongly-served task).
+        let tasks = [imp(0, 2, 10), imp(1, 5, 10), imp(2, 3, 10), imp(3, 5, 10)];
+        let s = sched(
+            10,
+            vec![
+                vec![seg(0, 2, 0), seg(2, 7, 1)],
+                vec![seg(0, 2, 2), seg(2, 7, 3)],
+            ],
+        );
+        let mut sharing = CoreSharing::none(2);
+        sharing.set(
+            1,
+            Stamp {
+                rep: 0,
+                map: vec![(TaskId(0), TaskId(2)), (TaskId(1), TaskId(3))],
+            },
+        );
+        let shared = verify_schedule_shared(&tasks, &s, &sharing);
+        assert_eq!(shared, verify_schedule(&tasks, &s));
+        // Task 2 wants 3 but gets 2 -> the violation surfaces despite the
+        // stamp claiming it mirrors a correctly-served task.
+        assert!(shared
+            .iter()
+            .any(|v| matches!(v, Violation::WrongService { task, .. } if *task == TaskId(2))));
     }
 }
