@@ -330,7 +330,16 @@ impl Dispatcher {
     ///
     /// Accepts an owned [`Table`] or a shared `Arc<Table>`; the latter is
     /// allocation-free — the planner-built slice index is shared as-is.
-    pub fn install_table(&mut self, table: impl Into<Arc<Table>>, now: Nanos) -> Nanos {
+    ///
+    /// # Errors
+    ///
+    /// The typed install errors of [`TableManager::begin_install`]; a
+    /// rejected push leaves the running table untouched.
+    pub fn install_table(
+        &mut self,
+        table: impl Into<Arc<Table>>,
+        now: Nanos,
+    ) -> Result<Nanos, InstallError> {
         self.tables.install(table, now)
     }
 
@@ -549,7 +558,7 @@ mod tests {
         let a = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(5, 10, 1)]]).unwrap();
         let b = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(0, 3, 1)]]).unwrap();
         let mut d = Dispatcher::new(a, vec![true, true], ms(10));
-        d.install_table(b, ms(5));
+        d.install_table(b, ms(5)).expect("installs");
         // Core 0 decides just past the 20ms wrap and adopts B ...
         let _ = d.decide(0, ms(21), |_| true);
         // ... but a wakeup for vCPU 1 carries a pre-wrap timestamp (timer
@@ -572,7 +581,7 @@ mod tests {
             vec![vec![alloc(0, 3, 0)], vec![alloc(0, 5, 2), alloc(5, 8, 1)]],
         )
         .unwrap();
-        let switch_at = d.install_table(new, ms(1));
+        let switch_at = d.install_table(new, ms(1)).expect("installs");
         // After the switch, core 1's level 2 includes vCPU 1: during core
         // 1's idle tail [8, 10) it can pick vCPU 1 or 2.
         let dec = d.decide(1, switch_at + ms(8), |v| v == VcpuId(1));
@@ -642,7 +651,7 @@ mod tests {
             vec![vec![alloc(0, 3, 0), alloc(5, 8, 1)], vec![alloc(0, 10, 2)]],
         )
         .unwrap();
-        let switch_at = d.install_table(new, ms(1));
+        let switch_at = d.install_table(new, ms(1)).expect("installs");
         let dec = d.decide(0, switch_at + ms(3), |_| true);
         assert_eq!(dec.vcpu(), Some(VcpuId(1)));
     }

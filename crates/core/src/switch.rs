@@ -140,23 +140,21 @@ impl TableManager {
     /// next round. Returns the absolute time at which all cores will have
     /// switched.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the new table's length or core count differs from the
-    /// current one's (the planner always regenerates full same-shape
-    /// tables).
-    pub fn install(&mut self, table: impl Into<Arc<Table>>, now: Nanos) -> Nanos {
-        let table = table.into();
-        assert_eq!(table.len(), self.len, "table length changed across install");
-        assert_eq!(
-            table.n_cores(),
-            self.cores.len(),
-            "core count changed across install"
-        );
-        assert!(self.staged.is_none(), "install during a staged install");
-        let staged = self.begin_install(table, now).expect("validated above");
+    /// The same typed errors as [`TableManager::begin_install`]: a length
+    /// or core-count mismatch, or an install arriving while another is
+    /// staged. Control planes that push tables from recovery paths (a
+    /// guardian, a fleet placement loop) must get an error value back, not
+    /// a panic — a malformed push degrades to a rejected install and the
+    /// old table keeps running.
+    pub fn install(
+        &mut self,
+        table: impl Into<Arc<Table>>,
+        now: Nanos,
+    ) -> Result<Nanos, InstallError> {
+        let staged = self.begin_install(table, now)?;
         self.commit_install(staged)
-            .expect("a just-begun install is staged")
     }
 
     /// Phase one of a two-phase install: validates the table and stages it
@@ -334,14 +332,14 @@ mod tests {
     fn switch_lands_at_end_of_next_round() {
         let mut m = TableManager::new(table(10, 0));
         // Install at t = 3 ms (round 0): arm at 15 ms, switch at 20 ms.
-        let at = m.install(table(10, 1), ms(3));
+        let at = m.install(table(10, 1), ms(3)).expect("installs");
         assert_eq!(at, ms(20));
     }
 
     #[test]
     fn cores_use_old_table_until_switch_time() {
         let mut m = TableManager::new(table(10, 0));
-        m.install(table(10, 1), ms(3));
+        m.install(table(10, 1), ms(3)).expect("installs");
         // Mid-round 1 (pointer armed at 15 ms but adoption only at wrap).
         let t = m.table_for(0, ms(17));
         assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(0)));
@@ -355,7 +353,7 @@ mod tests {
     #[test]
     fn all_cores_switch_at_the_same_boundary() {
         let mut m = TableManager::new(table(10, 0));
-        let at = m.install(table(10, 1), ms(9)); // just before a wrap
+        let at = m.install(table(10, 1), ms(9)).expect("installs"); // just before a wrap
         assert_eq!(at, ms(20)); // arm at 15 ms, adopt at wrap 20 ms
                                 // At 19.9 ms neither core has switched (pointer armed mid-round 1).
         assert_eq!(
@@ -376,7 +374,7 @@ mod tests {
         // let one core switch a round earlier than another. Whatever cores
         // query at any time >= switch point sees one consistent table.
         let mut m = TableManager::new(table(10, 0));
-        let switch = m.install(table(10, 1), Nanos(9_999_999));
+        let switch = m.install(table(10, 1), Nanos(9_999_999)).expect("installs");
         for query in [switch, switch + Nanos(1), switch + ms(5)] {
             let a = m.table_for(0, query);
             let b = m.table_for(1, query);
@@ -387,7 +385,7 @@ mod tests {
     #[test]
     fn garbage_collection_after_all_cores_switch() {
         let mut m = TableManager::new(table(10, 0));
-        m.install(table(10, 1), ms(3));
+        m.install(table(10, 1), ms(3)).expect("installs");
         assert_eq!(m.live_tables(), 2);
         // Nothing collectible while a core still runs the old epoch.
         assert_eq!(m.collect_garbage(), 0);
@@ -401,18 +399,51 @@ mod tests {
     #[test]
     fn back_to_back_installs_resolve_to_newest() {
         let mut m = TableManager::new(table(10, 0));
-        m.install(table(10, 1), ms(1));
-        m.install(table(10, 2), ms(2));
+        m.install(table(10, 1), ms(1)).expect("installs");
+        m.install(table(10, 2), ms(2)).expect("installs");
         // Both armed mid-round 1; the wrap at 20 ms adopts the newest.
         let t = m.table_for(0, ms(20));
         assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(2)));
     }
 
     #[test]
-    #[should_panic(expected = "length changed")]
-    fn length_change_rejected() {
+    fn length_change_rejected_with_typed_error() {
+        // Regression: a hyperperiod drift used to panic the one-phase
+        // install; it must surface as the same typed error the two-phase
+        // path reports, with the running table untouched.
         let mut m = TableManager::new(table(10, 0));
-        m.install(table(20, 1), ms(1));
+        assert_eq!(
+            m.install(table(20, 1), ms(1)),
+            Err(InstallError::LengthMismatch {
+                expected: ms(10),
+                got: ms(20),
+            })
+        );
+        assert_eq!(m.live_tables(), 1);
+        let t = m.table_for(0, ms(40));
+        assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(0)));
+    }
+
+    #[test]
+    fn core_count_change_rejected_with_typed_error() {
+        let mut m = TableManager::new(table(10, 0));
+        let narrow = Table::new(
+            ms(10),
+            vec![vec![Allocation {
+                start: Nanos::ZERO,
+                end: ms(1),
+                vcpu: VcpuId(1),
+            }]],
+        )
+        .unwrap();
+        assert_eq!(
+            m.install(narrow, ms(1)),
+            Err(InstallError::CoreCountMismatch {
+                expected: 2,
+                got: 1,
+            })
+        );
+        assert_eq!(m.live_tables(), 1);
     }
 
     #[test]
@@ -441,7 +472,7 @@ mod tests {
         let t = m.table_for(0, ms(50));
         assert_eq!(t.lookup(0, Nanos::ZERO).vcpu(), Some(VcpuId(0)));
         // The manager accepts a fresh install afterwards.
-        let at = m.install(table(10, 2), ms(50));
+        let at = m.install(table(10, 2), ms(50)).expect("installs");
         assert_eq!(at, ms(70));
     }
 
@@ -464,11 +495,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "install during a staged install")]
-    fn one_phase_install_rejects_pending_stage() {
+    fn one_phase_install_rejects_pending_stage_with_typed_error() {
+        // Regression: an install racing a staged two-phase push used to
+        // panic; it must report `AlreadyStaged` and leave the stage intact.
         let mut m = TableManager::new(table(10, 0));
-        let _ = m.begin_install(table(10, 1), ms(1)).unwrap();
-        m.install(table(10, 2), ms(2));
+        let staged = m.begin_install(table(10, 1), ms(1)).unwrap();
+        assert_eq!(
+            m.install(table(10, 2), ms(2)),
+            Err(InstallError::AlreadyStaged)
+        );
+        assert!(m.has_staged());
+        assert_eq!(m.commit_install(staged), Ok(ms(20)));
     }
 
     #[test]
@@ -493,14 +530,14 @@ mod tests {
         m.abort_install();
         assert_eq!(m.commit_install(staged), Err(InstallError::NothingStaged));
         // The manager still works afterwards.
-        let at = m.install(table(10, 3), ms(30));
+        let at = m.install(table(10, 3), ms(30)).expect("installs");
         assert_eq!(at, ms(50));
     }
 
     #[test]
     fn epochs_are_monotonic_per_core() {
         let mut m = TableManager::new(table(10, 0));
-        m.install(table(10, 1), ms(1));
+        m.install(table(10, 1), ms(1)).expect("installs");
         let _ = m.table_for(0, ms(25));
         assert_eq!(m.core_epoch(0), 1);
         // A late query for an *earlier* time must not roll the core back.

@@ -111,7 +111,7 @@ fn bench_host_with_goal(n_cores: usize, n_vms: usize, pct: u32, goal: Nanos) -> 
     h
 }
 
-fn meta(quick: bool, seed: u64) -> BenchMeta {
+pub(crate) fn meta(quick: bool, seed: u64) -> BenchMeta {
     BenchMeta {
         schema: SCHEMA.to_string(),
         quick,
@@ -364,7 +364,7 @@ pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
 
 /// Where full-mode snapshots go: the repo root (`git rev-parse
 /// --show-toplevel`), overridable with `TABLEAU_BENCH_DIR`.
-fn bench_dir() -> PathBuf {
+pub(crate) fn bench_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("TABLEAU_BENCH_DIR") {
         return PathBuf::from(dir);
     }

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: experiments <id>... [--quick] [--seed <u64>] \
 [--engine <memoized|reference>]\n\
     known ids: fig3 fig4 tab1 tab2 fig5 fig6 fig7 fig8 planner overheads \
-    intrinsic ping ablations scaling latency_sweep robustness soak all\n\
+    intrinsic ping ablations scaling latency_sweep robustness soak fleet all\n\
     --engine selects the planner generation pipeline for fig3/fig4/planner\n\
     perf trajectory: experiments bench snapshot [--quick]";
 
@@ -73,6 +73,7 @@ const KNOWN_IDS: &[&str] = &[
     "latency_sweep",
     "robustness",
     "soak",
+    "fleet",
     "bench",
     "snapshot",
     "all",
@@ -142,6 +143,7 @@ fn main() -> ExitCode {
     // snapshot once no matter how it was spelled.
     let mut bench_done = false;
     let mut bench_ok = true;
+    let mut fleet_ok = true;
     for id in &cli.ids {
         match id.as_str() {
             "bench" | "snapshot" => {
@@ -186,6 +188,9 @@ fn main() -> ExitCode {
             "soak" => {
                 experiments::soak::run_with_seed(quick, cli.seed);
             }
+            "fleet" => {
+                fleet_ok &= experiments::fleet::run_with_seed(quick, cli.seed);
+            }
             "all" => {
                 experiments::planner_scale::run(quick);
                 experiments::overheads::run(quick);
@@ -198,12 +203,17 @@ fn main() -> ExitCode {
                 experiments::latency_sweep::run(quick);
                 experiments::robustness::run_with_seed(quick, cli.seed);
                 experiments::soak::run_with_seed(quick, cli.seed);
+                fleet_ok &= experiments::fleet::run_with_seed(quick, cli.seed);
             }
             _ => unreachable!("ids validated in parse"),
         }
     }
     if !bench_ok {
         eprintln!("error: bench snapshot regressed past the gate (see lines above)");
+        return ExitCode::FAILURE;
+    }
+    if !fleet_ok {
+        eprintln!("error: fleet bench regressed past the gate (see lines above)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,0 +1,535 @@
+//! Fleet chaos soak: SAP-shaped churn replayed over hundreds of simulated
+//! hosts while seeded host-level failures tear at the control plane.
+//!
+//! Where [`crate::soak`] closes the loop on a *single* host (a guardian
+//! repairing core flaps), this experiment runs the [`fleet::Fleet`] control
+//! plane: a placement front-end with a backpressure ladder (best-fit →
+//! first-fit → typed shed), crash-triggered evacuation through the
+//! `plan_with_fallback` ladder with bounded backoff and per-VM retry
+//! budgets, and a two-phase install pipeline battered by fleet-wide
+//! install storms.
+//!
+//! Each cell of the (seed × crash-intensity) matrix replays the same
+//! deterministic churn trace ([`workloads::churn::sap_trace`]) against the
+//! fleet chaos preset and asserts two invariants:
+//!
+//! 1. **Conservation** — at every control epoch, the set of VMs the fleet
+//!    owns (placed ∪ evacuating ∪ parked, pairwise disjoint) equals
+//!    exactly admissions minus teardowns. No VM is ever lost or
+//!    duplicated, under any interleaving of crashes and churn.
+//! 2. **Convergence** — once the fault horizon passes, every outstanding
+//!    evacuation re-places and every downed host restarts within
+//!    [`CONVERGENCE_EPOCHS`] control epochs (the bound covers a worst-case
+//!    late crash: the full outage, the evacuation backoff ladder, and one
+//!    parked retry interval).
+//!
+//! The artifact (`results/fleet.json`) records per-cell admission/
+//! evacuation/install counters, replan-rung provenance (shared-cache hits
+//! vs fallback-ladder rungs), and the admission-to-table-install latency
+//! distribution. `BENCH_fleet.json` tracks the p99 of that latency
+//! (simulated time, deterministic) and the wall-clock replay throughput;
+//! `--quick` gates both against the committed snapshot via
+//! [`crate::bench_snapshot::regressions_against`].
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+// Leading `::` paths: `fleet` is both this module's name and the
+// control-plane crate; the explicit root keeps the imports unambiguous.
+use ::fleet::{Fleet, FleetConfig, FleetCounters, HostState, RungCounters};
+use rtsched::time::Nanos;
+use workloads::churn::{sap_trace, ChurnConfig, ChurnOp};
+use xensim::fault::HostFaultConfig;
+use xensim::RecoveryStats;
+
+use crate::bench_snapshot::{BenchEntry, BenchSnapshot};
+use crate::report::{git_rev, print_table, write_json, write_json_to};
+
+/// Default seed (kept fixed so artifacts are reproducible).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Control epoch: how often the fleet control loop runs.
+pub const CONTROL_EPOCH: Nanos = Nanos(50_000_000);
+
+/// Post-horizon convergence bound, in control epochs. Derivation for the
+/// worst case — a crash firing on the last pre-horizon epoch at full
+/// intensity: the outage itself (≤ 1.2 s = 24 epochs), the evacuation
+/// backoff ladder to a parked VM (≤ ~2 s = 40 epochs including one parked
+/// retry interval of 1.6 s), plus slack for install storms trailing past
+/// the horizon.
+pub const CONVERGENCE_EPOCHS: u64 = 120;
+
+/// The swept crash intensities of a full run.
+pub const INTENSITIES: [f64; 3] = [0.0, 0.5, 1.0];
+
+/// The intensities of a `--quick` smoke run.
+pub const QUICK_INTENSITIES: [f64; 2] = [0.0, 1.0];
+
+/// The fleet chaos preset. [`HostFaultConfig::chaos`] is tuned for
+/// minutes-long single-host runs (60 s crash intervals); a fleet cell
+/// replays seconds of churn over hundreds of hosts, so the per-host
+/// schedule is compressed: at full intensity each host crashes roughly
+/// every 3 s for up to 1.2 s, degrades every ~4 s for up to 1.5 s, and
+/// fleet-wide install storms of up to 700 ms arrive every ~2 s
+/// interrupting 60% of installs attempted inside them.
+pub fn fleet_chaos(seed: u64, intensity: f64) -> HostFaultConfig {
+    let i = intensity.clamp(0.0, 1.0);
+    let scale = |ns: u64| Nanos((ns as f64 * i) as u64);
+    HostFaultConfig {
+        seed,
+        crash: xensim::fault::HostCrashFaults {
+            interval: Nanos::from_secs(3),
+            outage: scale(1_200_000_000),
+        },
+        degrade: xensim::fault::HostDegradeFaults {
+            interval: Nanos::from_secs(4),
+            duration: scale(1_500_000_000),
+        },
+        storm: xensim::fault::InstallStormFaults {
+            interval: Nanos::from_secs(2),
+            duration: scale(700_000_000),
+            interrupt_prob: 0.6 * i,
+        },
+    }
+}
+
+/// Provenance of a fleet artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetMeta {
+    /// True for the `--quick` smoke configuration.
+    pub quick: bool,
+    /// Hosts per cell.
+    pub hosts: usize,
+    /// Cores per host.
+    pub cores_per_host: usize,
+    /// Simulated churn horizon per cell (ms).
+    pub duration_ms: f64,
+    /// Control epoch (ms).
+    pub control_epoch_ms: f64,
+    /// The asserted post-horizon convergence bound (epochs).
+    pub convergence_epochs: u64,
+    /// Mean churn arrival rate (VM creates per simulated second).
+    pub arrivals_per_sec: f64,
+    /// The seed matrix.
+    pub seeds: Vec<u64>,
+    /// The swept crash intensities.
+    pub intensities: Vec<f64>,
+    /// Short git revision of the tree that produced the artifact.
+    pub git_rev: String,
+}
+
+/// The fleet artifact written to `results/fleet.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Run provenance.
+    pub meta: FleetMeta,
+    /// One entry per (seed, intensity) cell.
+    pub points: Vec<FleetPoint>,
+}
+
+/// One cell of the matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetPoint {
+    /// Fault/churn seed (independent streams derive from it).
+    pub seed: u64,
+    /// Crash intensity in `[0, 1]` (0 = no failures at all).
+    pub intensity: f64,
+    /// Control epochs executed over the churn horizon.
+    pub epochs: u64,
+    /// Control-plane counters (admissions, evacuations, installs, …).
+    pub counters: FleetCounters,
+    /// Replan-rung provenance: shared-cache hits/plans vs the
+    /// `plan_with_fallback` ladder rungs.
+    pub rungs: RungCounters,
+    /// Shared plan-cache hits across all hosts.
+    pub cache_hits: u64,
+    /// Shared plan-cache misses.
+    pub cache_misses: u64,
+    /// The fleet counters mirrored into the single-host recovery schema.
+    pub recovery: RecoveryStats,
+    /// VMs still owned when the replay ended.
+    pub live_vms_final: usize,
+    /// Epochs past the horizon until every evacuation re-placed and every
+    /// host was back up (must stay within [`CONVERGENCE_EPOCHS`]).
+    pub convergence_epochs: u64,
+    /// Admission-to-committed-install latency samples.
+    pub admit_samples: u64,
+    /// Median admission-to-install latency (simulated ms).
+    pub admit_p50_ms: f64,
+    /// p99 admission-to-install latency (simulated ms).
+    pub admit_p99_ms: f64,
+    /// p99 admission-to-install latency (simulated ns, exact — the
+    /// `BENCH_fleet.json` join value).
+    pub admit_p99_ns: u64,
+    /// Worst admission-to-install latency (simulated ms).
+    pub admit_max_ms: f64,
+}
+
+/// Scale knobs per mode: (hosts, churn horizon, drains derive from
+/// [`CONVERGENCE_EPOCHS`]).
+fn cell_shape(quick: bool) -> (usize, Nanos) {
+    if quick {
+        (12, Nanos::from_secs(3))
+    } else {
+        (160, Nanos::from_secs(8))
+    }
+}
+
+/// Churn arrival rate for a fleet size: enough concurrent churn to keep
+/// every host replanning without pinning the whole fleet at its admission
+/// ceiling (mean lifetime is 2 s, so steady state is ~1.5 VMs per host).
+fn arrival_rate(n_hosts: usize) -> f64 {
+    n_hosts as f64 * 0.75
+}
+
+/// Measures one cell with the fleet chaos preset armed.
+pub fn measure(n_hosts: usize, seed: u64, intensity: f64, duration: Nanos) -> FleetPoint {
+    run_cell(n_hosts, seed, intensity, duration, true)
+}
+
+/// Measures one cell with **no fault configuration at all** — the baseline
+/// a zero-intensity cell must reproduce byte-for-byte.
+pub fn measure_faultless(n_hosts: usize, seed: u64, duration: Nanos) -> FleetPoint {
+    run_cell(n_hosts, seed, 0.0, duration, false)
+}
+
+fn run_cell(
+    n_hosts: usize,
+    seed: u64,
+    intensity: f64,
+    duration: Nanos,
+    configure: bool,
+) -> FleetPoint {
+    let cfg = FleetConfig::new(n_hosts, 2);
+    let mut fleet = Fleet::new(cfg).expect("probe-only boot config plans");
+    if configure {
+        fleet.arm_faults(fleet_chaos(seed, intensity), duration);
+    }
+    let trace = sap_trace(&ChurnConfig::sap(seed, arrival_rate(n_hosts), duration));
+    assert!(!trace.is_empty(), "churn trace is empty");
+
+    let mut idx = 0usize;
+    let mut epochs = 0u64;
+    let mut now = Nanos::ZERO;
+    while now < duration {
+        now = Nanos((now.0 + CONTROL_EPOCH.0).min(duration.0));
+        while idx < trace.len() && trace[idx].at <= now {
+            let e = &trace[idx];
+            idx += 1;
+            match e.op {
+                // Admission requests carry their own arrival time so the
+                // latency histogram measures request-to-install, not
+                // epoch-to-install. Sheds and unknown-VM teardowns (the
+                // trace does not know which creates were shed) are typed
+                // rejections, counted inside the fleet.
+                ChurnOp::Create(f) => {
+                    let _ = fleet.admit(e.at, e.vm, f);
+                }
+                ChurnOp::Teardown => {
+                    let _ = fleet.teardown(e.at, e.vm);
+                }
+                ChurnOp::Resize(f) => {
+                    let _ = fleet.resize(e.at, e.vm, f);
+                }
+            }
+        }
+        fleet.step(now);
+        epochs += 1;
+        // Invariant 1: conservation, every epoch, under live chaos.
+        if let Err(err) = fleet.check_conservation() {
+            panic!("conservation violated at {now} (seed {seed}, intensity {intensity}): {err}");
+        }
+    }
+
+    // Invariant 2: past the horizon the fleet converges — every pending
+    // crash window fires, every outage ends, every displaced VM re-places.
+    let mut convergence_epochs = 0u64;
+    loop {
+        let settled = fleet.displaced() == 0
+            && fleet
+                .states()
+                .iter()
+                .all(|s| !matches!(s, HostState::Down { .. }));
+        if settled {
+            break;
+        }
+        assert!(
+            convergence_epochs < CONVERGENCE_EPOCHS,
+            "fleet failed to converge within {CONVERGENCE_EPOCHS} epochs past the horizon \
+             (seed {seed}, intensity {intensity}): {} displaced, states {:?}",
+            fleet.displaced(),
+            fleet.states(),
+        );
+        now += CONTROL_EPOCH;
+        convergence_epochs += 1;
+        fleet.step(now);
+        if let Err(err) = fleet.check_conservation() {
+            panic!(
+                "conservation violated during drain at {now} \
+                 (seed {seed}, intensity {intensity}): {err}"
+            );
+        }
+    }
+
+    let counters = *fleet.counters();
+    if intensity == 0.0 {
+        assert_eq!(counters.crashes, 0, "crashes on a pristine fleet");
+        assert_eq!(counters.evacuated_vms, 0, "evacuations on a pristine fleet");
+        assert_eq!(
+            counters.install_retries, 0,
+            "storm retries on a pristine fleet"
+        );
+        assert!(counters.admissions > 0, "churn admitted nothing");
+        assert!(counters.installs > 0, "no table ever installed");
+    }
+
+    let hist = fleet.admit_to_install();
+    let stats = fleet.cache().stats();
+    FleetPoint {
+        seed,
+        intensity,
+        epochs,
+        counters,
+        rungs: *fleet.rungs(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        recovery: fleet.recovery_stats(),
+        live_vms_final: fleet.live_vms(),
+        convergence_epochs,
+        admit_samples: hist.count(),
+        admit_p50_ms: hist.quantile(0.5).as_millis_f64(),
+        admit_p99_ms: hist.p99().as_millis_f64(),
+        admit_p99_ns: hist.p99().as_nanos(),
+        admit_max_ms: hist.max().as_millis_f64(),
+    }
+}
+
+/// Runs the fleet matrix and measures every cell, with no I/O side
+/// effects. Tests exercise this directly; only [`run_with_seed`] writes
+/// the artifacts.
+pub fn sweep(quick: bool, seed: u64) -> FleetReport {
+    let (n_hosts, duration) = cell_shape(quick);
+    let seeds: Vec<u64> = if quick {
+        vec![seed]
+    } else {
+        vec![seed.wrapping_sub(1), seed, seed.wrapping_add(1)]
+    };
+    let intensities: &[f64] = if quick {
+        &QUICK_INTENSITIES
+    } else {
+        &INTENSITIES
+    };
+    let mut cells = Vec::new();
+    for &s in &seeds {
+        for &i in intensities {
+            cells.push((s, i));
+        }
+    }
+    // Each cell is fully determined by (seed, intensity); measuring
+    // concurrently and reassembling in grid order reproduces the
+    // sequential sweep byte-for-byte.
+    let points = rayon::par_map_indices(cells.len(), |k| {
+        let (s, i) = cells[k];
+        measure(n_hosts, s, i, duration)
+    });
+    FleetReport {
+        meta: FleetMeta {
+            quick,
+            hosts: n_hosts,
+            cores_per_host: 2,
+            duration_ms: duration.as_millis_f64(),
+            control_epoch_ms: CONTROL_EPOCH.as_millis_f64(),
+            convergence_epochs: CONVERGENCE_EPOCHS,
+            arrivals_per_sec: arrival_rate(n_hosts),
+            seeds,
+            intensities: intensities.to_vec(),
+            git_rev: git_rev(),
+        },
+        points,
+    }
+}
+
+/// Builds the `BENCH_fleet.json` snapshot from a finished sweep.
+///
+/// Two entries, mixing the two clocks on purpose:
+/// * `fleet/admit_to_install_p99` — p99 admission-to-table-install latency
+///   in **simulated** ns (the zero-intensity, primary-seed cell, so the
+///   value is deterministic and machine-independent).
+/// * `fleet/wall_per_admission` — **wall-clock** ns of the whole replay
+///   divided by admissions; admissions/sec = 1e9 / mean_ns.
+fn bench(quick: bool, seed: u64, report: &FleetReport, wall_ns: u64) -> BenchSnapshot {
+    let zero = report
+        .points
+        .iter()
+        .find(|p| p.intensity == 0.0 && p.seed == seed)
+        .expect("the sweep always includes a zero-intensity primary-seed cell");
+    let admissions: u64 = report
+        .points
+        .iter()
+        .map(|p| p.counters.admissions)
+        .sum::<u64>()
+        .max(1);
+    BenchSnapshot {
+        meta: crate::bench_snapshot::meta(quick, seed),
+        entries: vec![
+            BenchEntry {
+                name: "fleet/admit_to_install_p99".to_string(),
+                iters: zero.admit_samples.max(1),
+                total_ns: zero.admit_p99_ns,
+                mean_ns: zero.admit_p99_ns as f64,
+            },
+            BenchEntry {
+                name: "fleet/wall_per_admission".to_string(),
+                iters: admissions,
+                total_ns: wall_ns,
+                mean_ns: wall_ns as f64 / admissions as f64,
+            },
+        ],
+    }
+}
+
+/// Runs the fleet chaos soak with the default seed.
+pub fn run(quick: bool) -> bool {
+    run_with_seed(quick, DEFAULT_SEED)
+}
+
+/// Runs the soak, prints the table, writes `results/fleet.json`, and
+/// refreshes (`full`) or gates (`--quick`) `BENCH_fleet.json`. Returns
+/// `false` when the quick regression gate tripped.
+pub fn run_with_seed(quick: bool, seed: u64) -> bool {
+    let t0 = Instant::now();
+    let report = sweep(quick, seed);
+    let wall = t0.elapsed();
+
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.seed.to_string(),
+                format!("{:.2}", p.intensity),
+                p.counters.admissions.to_string(),
+                p.counters.admissions_shed.to_string(),
+                p.counters.crashes.to_string(),
+                p.counters.evacuated_vms.to_string(),
+                p.counters.parked.to_string(),
+                p.counters.installs.to_string(),
+                p.counters.install_retries.to_string(),
+                p.convergence_epochs.to_string(),
+                format!("{:.2}", p.admit_p99_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fleet chaos soak: SAP churn over simulated hosts with crash/storm injection",
+        &[
+            "seed",
+            "intensity",
+            "admitted",
+            "shed",
+            "crashes",
+            "evacuated",
+            "parked",
+            "installs",
+            "retries",
+            "conv. epochs",
+            "p99 (ms)",
+        ],
+        &rows,
+    );
+    write_json("fleet", &report);
+
+    let snap = bench(quick, seed, &report, wall.as_nanos() as u64);
+    let admissions_per_sec = 1e9 / snap.entries[1].mean_ns;
+    println!(
+        "[fleet] {:.0} admissions/sec wall, p99 admit-to-install {:.2} ms simulated",
+        admissions_per_sec,
+        snap.entries[0].mean_ns / 1e6
+    );
+    if quick {
+        let dir = std::env::temp_dir().join("tableau-bench-quick");
+        write_json_to(&dir, "BENCH_fleet", &snap);
+        let committed = crate::bench_snapshot::bench_dir().join("BENCH_fleet.json");
+        let bad = crate::bench_snapshot::regressions_against(&snap, &committed);
+        for line in &bad {
+            eprintln!("bench regression: {line}");
+        }
+        bad.is_empty()
+    } else {
+        write_json_to(&crate::bench_snapshot::bench_dir(), "BENCH_fleet", &snap);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_intensity_cell_is_byte_identical_to_faultless() {
+        // `fleet_chaos(seed, 0.0)` installs no engine; the epoch-driven
+        // control loop on top must replay the pristine run bit-for-bit.
+        let zeroed = measure(6, DEFAULT_SEED, 0.0, Nanos::from_secs(1));
+        let clean = measure_faultless(6, DEFAULT_SEED, Nanos::from_secs(1));
+        assert_eq!(
+            serde_json::to_string_pretty(&zeroed).unwrap(),
+            serde_json::to_string_pretty(&clean).unwrap(),
+            "zero-intensity fleet cell diverged from the faultless baseline"
+        );
+        assert_eq!(zeroed.counters.crashes, 0);
+        assert_eq!(zeroed.convergence_epochs, 0);
+        assert!(zeroed.admit_samples > 0);
+    }
+
+    #[test]
+    fn full_intensity_cell_is_deterministic_per_seed() {
+        let a = measure(8, 7, 1.0, Nanos::from_secs(3));
+        let b = measure(8, 7, 1.0, Nanos::from_secs(3));
+        assert_eq!(
+            serde_json::to_string_pretty(&a).unwrap(),
+            serde_json::to_string_pretty(&b).unwrap(),
+            "fleet cell is not deterministic per (seed, intensity)"
+        );
+    }
+
+    #[test]
+    fn chaos_cell_crashes_evacuates_and_converges() {
+        let p = measure(8, DEFAULT_SEED, 1.0, Nanos::from_secs(4));
+        assert!(p.counters.crashes > 0, "no host crash injected");
+        assert!(p.counters.evacuated_vms > 0, "no VM ever evacuated");
+        assert!(p.counters.restarts > 0, "no host ever restarted");
+        assert!(p.counters.installs > 0, "no table ever installed");
+        assert!(
+            p.convergence_epochs <= CONVERGENCE_EPOCHS,
+            "convergence took {} epochs",
+            p.convergence_epochs
+        );
+        // Rung provenance is populated: placement planned through the
+        // shared cache (and possibly the fallback ladder).
+        assert!(p.rungs.cache_hit + p.rungs.cache_plan > 0);
+        // The mirrored recovery schema carries the fleet counters.
+        assert_eq!(p.recovery.evacuated_vms, p.counters.evacuated_vms);
+        assert_eq!(p.recovery.admissions, p.counters.admissions);
+    }
+
+    #[test]
+    fn quick_sweep_covers_the_grid() {
+        let report = sweep(true, DEFAULT_SEED);
+        assert!(report.meta.quick);
+        assert_eq!(report.meta.seeds, vec![DEFAULT_SEED]);
+        assert_eq!(report.points.len(), QUICK_INTENSITIES.len());
+        for p in &report.points {
+            assert_eq!(p.seed, DEFAULT_SEED);
+            assert!(p.counters.admissions > 0);
+            if p.intensity == 0.0 {
+                assert_eq!(p.counters.crashes, 0);
+            } else {
+                assert!(p.counters.crashes > 0, "full-intensity cell saw no crash");
+            }
+        }
+        let snap = bench(true, DEFAULT_SEED, &report, 1_000_000);
+        assert_eq!(snap.entries.len(), 2);
+        assert!(snap.entries.iter().all(|e| e.iters > 0 && e.mean_ns > 0.0));
+    }
+}

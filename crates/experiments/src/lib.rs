@@ -18,6 +18,10 @@
 //! run (core flaps, theft, overruns, interrupted installs), evacuates
 //! lost cores and repairs violations, with invariants asserted every
 //! control epoch.
+//! [`fleet`] scales the robustness story out: SAP-shaped churn replayed
+//! over hundreds of simulated hosts under seeded host crashes, slow-host
+//! degradation and install storms, asserting VM conservation and
+//! evacuation convergence every control epoch.
 //! [`bench_snapshot`] times the planner/cache/dispatcher hot paths and
 //! writes the committed `BENCH_*.json` perf trajectory (`bench snapshot`).
 //!
@@ -29,6 +33,7 @@
 pub mod ablations;
 pub mod bench_snapshot;
 pub mod config;
+pub mod fleet;
 pub mod intrinsic_delay;
 pub mod latency_sweep;
 pub mod nginx;

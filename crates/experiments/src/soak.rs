@@ -318,6 +318,9 @@ fn run_cell(
         evacuations: c.evacuations,
         install_retries: c.install_retries,
         quarantines: c.quarantines,
+        // Fleet-level counters stay zero in a single-host soak; the fleet
+        // experiment fills them (see `crates/experiments/src/fleet.rs`).
+        ..RecoveryStats::default()
     };
 
     let stats = sim.stats();

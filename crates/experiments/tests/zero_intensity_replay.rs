@@ -165,6 +165,64 @@ fn latency_sweep_scenario_replays_bit_for_bit() {
     assert_eq!(fingerprint(&run(false)), fingerprint(&run(true)));
 }
 
+/// Every host-level class present, every class at rate zero: crash windows
+/// with a zero outage, degradation with a zero duration, storms with a
+/// zero duration and probability. `any_active()` must be false, the fleet
+/// must arm no engine, and the armed replay must serialize byte-identically
+/// to a fleet that never configured faults at all.
+#[test]
+fn fleet_cell_replays_bit_for_bit_with_host_faults_at_rate_zero() {
+    use xensim::fault::{
+        HostCrashFaults, HostDegradeFaults, HostFaultConfig, HostFaultEngine, InstallStormFaults,
+    };
+
+    let cfg = HostFaultConfig {
+        seed: 42,
+        crash: HostCrashFaults {
+            interval: Nanos::from_secs(3),
+            outage: Nanos::ZERO,
+        },
+        degrade: HostDegradeFaults {
+            interval: Nanos::from_secs(4),
+            duration: Nanos::ZERO,
+        },
+        storm: InstallStormFaults {
+            interval: Nanos::from_secs(2),
+            duration: Nanos::ZERO,
+            interrupt_prob: 0.0,
+        },
+    };
+    assert!(!cfg.any_active(), "a zero-rate host class reported active");
+    assert!(
+        HostFaultEngine::new(cfg.clone()).is_none(),
+        "zero-rate host config built an engine"
+    );
+
+    let dur = Nanos::from_secs(1);
+    let n_hosts = 6;
+
+    // Arming the all-zero config on a live fleet is inert: no windows, no
+    // transitions, no draws.
+    let mut armed = fleet::Fleet::new(fleet::FleetConfig::new(n_hosts, 2)).expect("boots");
+    armed.arm_faults(cfg, dur);
+    for e in 1..=8u64 {
+        armed.step(Nanos(e * 50_000_000));
+    }
+    assert_eq!(armed.counters().crashes, 0);
+    assert_eq!(armed.counters().degradations, 0);
+
+    // And a zero-intensity sweep cell (which arms `fleet_chaos(seed, 0.0)`,
+    // the same structural zero) serializes byte-identically to a cell that
+    // never configured faults at all.
+    let clean = experiments::fleet::measure_faultless(n_hosts, 42, dur);
+    let zeroed = experiments::fleet::measure(n_hosts, 42, 0.0, dur);
+    assert_eq!(
+        serde_json::to_string_pretty(&zeroed).unwrap(),
+        serde_json::to_string_pretty(&clean).unwrap(),
+        "zero-rate fleet cell diverged from the faultless baseline"
+    );
+}
+
 #[test]
 fn soak_cell_replays_bit_for_bit_with_core_faults_at_rate_zero() {
     // The guardian soak drives the full epoch loop (monitor attached,

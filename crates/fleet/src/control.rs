@@ -1,0 +1,1127 @@
+//! The fleet controller: placement, evacuation, backpressure, installs.
+
+use std::collections::BTreeMap;
+use std::mem;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use rtsched::time::Nanos;
+use tableau_core::cache::PlanCache;
+use tableau_core::planner::{plan_with_fallback, Plan, PlanError, PlannerOptions, ReplanPath};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec};
+use workloads::churn::Flavor;
+use workloads::Histogram;
+use xensim::fault::{FaultWindow, HostFaultConfig, HostFaultEngine};
+use xensim::{Machine, RecoveryStats};
+
+use crate::host::{mask_table, probe_config, push_tenant, FleetHost, HostState, Tenant};
+use crate::{AdmissionRejected, FleetError};
+
+/// Fleet-wide configuration. `FleetConfig::new(n_hosts, cores_per_host)`
+/// gives the defaults the chaos soak uses.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of hosts.
+    pub n_hosts: usize,
+    /// Cores per host (all hosts are identically shaped — the premise of
+    /// plan-cache sharing).
+    pub cores_per_host: usize,
+    /// Per-core probe reservation (the dom0/agent stand-in).
+    pub probe_utilization: Utilization,
+    /// Uniform latency goal for probes and tenants. One goal keeps every
+    /// plan's hyperperiod identical, which the install protocol requires.
+    pub latency_goal: Nanos,
+    /// Fraction of post-probe capacity the placement front-end will
+    /// commit; the rest is evacuation headroom.
+    pub max_tenant_utilization: f64,
+    /// Planner tunables (shared by every host and the cache key).
+    pub planner: PlannerOptions,
+    /// Shared plan-cache capacity (distinct host shapes held at once).
+    pub cache_capacity: usize,
+    /// Control-plane backlog (dirty hosts + evacuating + parked) above
+    /// which admission drops from best-fit to first-fit.
+    pub backlog_first_fit_threshold: usize,
+    /// Candidate hosts each placement rung tries before falling through.
+    pub placement_candidates: usize,
+    /// Failed placement attempts before an evacuating VM is parked.
+    pub evac_retry_budget: u32,
+    /// Base/cap of the evacuation retry backoff (exponential, capped).
+    pub evac_backoff_base: Nanos,
+    /// Cap of the evacuation retry backoff.
+    pub evac_backoff_cap: Nanos,
+    /// Retry cadence for parked VMs (slow background re-placement).
+    pub parked_retry_interval: Nanos,
+    /// Interrupted install attempts before the backoff pins at its cap.
+    pub install_retry_budget: u32,
+    /// Base of the install retry backoff (exponential, capped).
+    pub install_backoff_base: Nanos,
+    /// Cap of the install retry backoff.
+    pub install_backoff_cap: Nanos,
+}
+
+impl FleetConfig {
+    /// Defaults: 20% probes, 20 ms goal, 75% committable capacity,
+    /// guardian-style backoffs.
+    pub fn new(n_hosts: usize, cores_per_host: usize) -> FleetConfig {
+        FleetConfig {
+            n_hosts,
+            cores_per_host,
+            probe_utilization: Utilization::from_percent(20),
+            latency_goal: Nanos::from_millis(20),
+            max_tenant_utilization: 0.75,
+            planner: PlannerOptions::default(),
+            cache_capacity: 256,
+            backlog_first_fit_threshold: 8,
+            placement_candidates: 4,
+            evac_retry_budget: 5,
+            evac_backoff_base: Nanos::from_millis(50),
+            evac_backoff_cap: Nanos::from_millis(800),
+            parked_retry_interval: Nanos::from_millis(1_600),
+            install_retry_budget: 5,
+            install_backoff_base: Nanos::from_millis(50),
+            install_backoff_cap: Nanos::from_millis(400),
+        }
+    }
+
+    /// Tenant capacity one host offers the placement front-end, in ppm of
+    /// one core: post-probe capacity scaled by `max_tenant_utilization`.
+    pub fn host_budget_ppm(&self) -> u64 {
+        let total = self.cores_per_host as u64 * 1_000_000;
+        let probes = self.cores_per_host as u64 * self.probe_utilization.ppm() as u64;
+        ((total - probes) as f64 * self.max_tenant_utilization.clamp(0.0, 1.0)) as u64
+    }
+}
+
+/// Fleet control-plane counters (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetCounters {
+    /// VMs admitted (any rung).
+    pub admissions: u64,
+    /// Admissions placed by the best-fit rung.
+    pub admissions_best_fit: u64,
+    /// Admissions placed by the first-fit rung (backpressure engaged).
+    pub admissions_first_fit: u64,
+    /// Admissions shed with a typed rejection.
+    pub admissions_shed: u64,
+    /// VMs torn down.
+    pub teardowns: u64,
+    /// In-place resizes applied.
+    pub resizes: u64,
+    /// Resizes rejected (replan infeasible; old flavor kept).
+    pub resize_rejections: u64,
+    /// Host crashes injected.
+    pub crashes: u64,
+    /// Host restarts completed.
+    pub restarts: u64,
+    /// Online→Degraded transitions.
+    pub degradations: u64,
+    /// VMs re-placed off a crashed host.
+    pub evacuated_vms: u64,
+    /// Evacuation placement attempts that failed and backed off.
+    pub evacuation_retries: u64,
+    /// Evacuating VMs parked after exhausting their retry budget.
+    pub parked: u64,
+    /// Parked VMs later re-placed.
+    pub unparked: u64,
+    /// Table installs committed across the fleet.
+    pub installs: u64,
+    /// Install attempts interrupted (storms) and retried with backoff.
+    pub install_retries: u64,
+    /// Hosts whose install retries exhausted the budget (backoff pinned
+    /// at the cap; the host keeps retrying, nothing is lost).
+    pub install_budget_exhaustions: u64,
+    /// Installs rejected by the dispatcher with a typed error (table
+    /// shape drift; the plan is dropped, the old table keeps running).
+    pub installs_rejected: u64,
+}
+
+/// Which rung produced each committed replan (provenance; the PR 3
+/// pattern extended with the cache rungs placement runs through first).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RungCounters {
+    /// Served from the shared fingerprint cache.
+    pub cache_hit: u64,
+    /// Cache miss: the cache planned (full path) and memoized.
+    pub cache_plan: u64,
+    /// Fallback ladder: incremental replan.
+    pub incremental: u64,
+    /// Fallback ladder: full replan.
+    pub full: u64,
+    /// Fallback ladder: conservative full replan.
+    pub full_conservative: u64,
+}
+
+impl RungCounters {
+    fn bump(&mut self, rung: Rung) {
+        match rung {
+            Rung::CacheHit => self.cache_hit += 1,
+            Rung::CachePlan => self.cache_plan += 1,
+            Rung::Ladder(ReplanPath::Incremental) => self.incremental += 1,
+            Rung::Ladder(ReplanPath::Full) => self.full += 1,
+            Rung::Ladder(ReplanPath::FullConservative) => self.full_conservative += 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Rung {
+    CacheHit,
+    CachePlan,
+    Ladder(ReplanPath),
+}
+
+/// Where a live VM currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmLocation {
+    /// Placed on (and planned into) the given host.
+    Placed(usize),
+    /// In the crash-evacuation queue, awaiting re-placement.
+    Evacuating,
+    /// Retry budget exhausted; parked, retried at a slow cadence.
+    Parked,
+}
+
+/// A VM displaced by a host crash.
+#[derive(Debug, Clone, Copy)]
+struct EvacVm {
+    vm: u64,
+    flavor: Flavor,
+    /// Original admission time, when the VM was still awaiting its first
+    /// committed install (latency attribution survives the crash).
+    requested_at: Option<Nanos>,
+    attempts: u32,
+    next_try: Nanos,
+}
+
+/// Bounded exponential backoff: `base * 2^(attempt-1)`, capped.
+fn backoff(base: Nanos, cap: Nanos, attempt: u32) -> Nanos {
+    let mult = 1u64 << (attempt.saturating_sub(1)).min(20);
+    Nanos(base.as_nanos().saturating_mul(mult).min(cap.as_nanos()))
+}
+
+/// The fleet control plane. See the crate docs for the architecture.
+pub struct Fleet {
+    cfg: FleetConfig,
+    machine: Machine,
+    hosts: Vec<FleetHost>,
+    cache: PlanCache,
+    engine: Option<HostFaultEngine>,
+    crash_windows: Vec<Vec<FaultWindow>>,
+    crash_cursor: Vec<usize>,
+    degrade_windows: Vec<Vec<FaultWindow>>,
+    storm_windows: Vec<FaultWindow>,
+    evacuating: Vec<EvacVm>,
+    parked: Vec<EvacVm>,
+    /// The ownership ledger: every admitted, not-torn-down VM, with its
+    /// current location. The conservation invariant is stated against it.
+    locations: BTreeMap<u64, VmLocation>,
+    counters: FleetCounters,
+    rungs: RungCounters,
+    admit_to_install: Histogram,
+    boot_cfg: HostConfig,
+    boot_plan: Arc<Plan>,
+    table_len: Nanos,
+}
+
+impl Fleet {
+    /// Builds the fleet with every host booted (probe-only) and online.
+    pub fn new(cfg: FleetConfig) -> Result<Fleet, PlanError> {
+        let machine = Machine::small(cfg.cores_per_host);
+        let probe = VcpuSpec::capped(cfg.probe_utilization, cfg.latency_goal);
+        let boot_cfg = probe_config(cfg.cores_per_host, probe);
+        let mut cache = PlanCache::new(cfg.cache_capacity);
+        let boot_plan = cache.get_or_plan(&boot_cfg, &cfg.planner)?;
+        let table_len = boot_plan.table.len();
+        let hosts = (0..cfg.n_hosts)
+            .map(|i| FleetHost::boot(i, &machine, &boot_cfg, &boot_plan, Nanos::ZERO))
+            .collect();
+        Ok(Fleet {
+            crash_windows: vec![Vec::new(); cfg.n_hosts],
+            crash_cursor: vec![0; cfg.n_hosts],
+            degrade_windows: vec![Vec::new(); cfg.n_hosts],
+            storm_windows: Vec::new(),
+            cfg,
+            machine,
+            hosts,
+            cache,
+            engine: None,
+            evacuating: Vec::new(),
+            parked: Vec::new(),
+            locations: BTreeMap::new(),
+            counters: FleetCounters::default(),
+            rungs: RungCounters::default(),
+            admit_to_install: Histogram::new(),
+            boot_cfg,
+            boot_plan,
+            table_len,
+        })
+    }
+
+    /// Arms host-level fault injection over `[0, horizon)`. A config with
+    /// every class at rate zero installs no engine and pre-computes no
+    /// windows — the zero-intensity replay contract.
+    pub fn arm_faults(&mut self, cfg: HostFaultConfig, horizon: Nanos) {
+        self.engine = HostFaultEngine::new(cfg);
+        if let Some(e) = &self.engine {
+            self.crash_windows = (0..self.cfg.n_hosts)
+                .map(|h| e.crash_windows(h, horizon))
+                .collect();
+            self.degrade_windows = (0..self.cfg.n_hosts)
+                .map(|h| e.degrade_windows(h, horizon))
+                .collect();
+            self.storm_windows = e.storm_windows(horizon);
+        }
+    }
+
+    // --- front-end -------------------------------------------------------
+
+    /// Admits a VM through the backpressure ladder: best-fit (healthy),
+    /// first-fit (backlogged), typed shed. Returns the placed host.
+    pub fn admit(
+        &mut self,
+        now: Nanos,
+        vm: u64,
+        flavor: Flavor,
+    ) -> Result<usize, AdmissionRejected> {
+        debug_assert!(
+            !self.locations.contains_key(&vm),
+            "admitting an already-owned vm"
+        );
+        let demand = flavor.vcpus as u64 * flavor.utilization_ppm as u64;
+        let budget = self.cfg.host_budget_ppm();
+        let mut candidates: Vec<usize> = self
+            .hosts
+            .iter()
+            .filter(|h| h.placeable() && h.committed_ppm + demand <= budget)
+            .map(|h| h.id)
+            .collect();
+        if candidates.is_empty() {
+            self.counters.admissions_shed += 1;
+            return Err(AdmissionRejected::NoCapacity { demand_ppm: demand });
+        }
+
+        let backlog = self.backlog();
+        let pressured = backlog > self.cfg.backlog_first_fit_threshold;
+        if !pressured {
+            // Best fit: tightest remaining headroom first (ties: lowest id,
+            // which the stable sort preserves from the id-ordered scan).
+            candidates.sort_by_key(|&i| budget - self.hosts[i].committed_ppm - demand);
+        }
+        // else: first fit — candidates are already in ascending host id.
+
+        let mut tried = 0usize;
+        let k = self.cfg.placement_candidates.max(1);
+        let mut best_fit_exhausted = pressured;
+        // First pass in the chosen order; if best-fit candidates all fail
+        // to plan, degrade to first-fit order over the untried remainder.
+        let first_pass: Vec<usize> = candidates.iter().copied().take(k).collect();
+        for &h in &first_pass {
+            tried += 1;
+            if self.try_place(now, h, vm, flavor, Some(now)) {
+                self.counters.admissions += 1;
+                if pressured {
+                    self.counters.admissions_first_fit += 1;
+                } else {
+                    self.counters.admissions_best_fit += 1;
+                }
+                self.locations.insert(vm, VmLocation::Placed(h));
+                return Ok(h);
+            }
+        }
+        if !best_fit_exhausted {
+            best_fit_exhausted = true;
+            let mut rest: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|h| !first_pass.contains(h))
+                .collect();
+            rest.sort_unstable();
+            for h in rest.into_iter().take(k) {
+                tried += 1;
+                if self.try_place(now, h, vm, flavor, Some(now)) {
+                    self.counters.admissions += 1;
+                    self.counters.admissions_first_fit += 1;
+                    self.locations.insert(vm, VmLocation::Placed(h));
+                    return Ok(h);
+                }
+            }
+        }
+        let _ = best_fit_exhausted;
+        self.counters.admissions_shed += 1;
+        Err(AdmissionRejected::NoFeasiblePlan {
+            candidates_tried: tried,
+        })
+    }
+
+    /// Tears a VM down wherever it currently is.
+    pub fn teardown(&mut self, now: Nanos, vm: u64) -> Result<(), FleetError> {
+        match self.locations.remove(&vm) {
+            None => Err(FleetError::UnknownVm(vm)),
+            Some(VmLocation::Evacuating) => {
+                self.evacuating.retain(|e| e.vm != vm);
+                self.counters.teardowns += 1;
+                Ok(())
+            }
+            Some(VmLocation::Parked) => {
+                self.parked.retain(|e| e.vm != vm);
+                self.counters.teardowns += 1;
+                Ok(())
+            }
+            Some(VmLocation::Placed(h)) => {
+                self.remove_tenant(now, h, vm);
+                self.counters.teardowns += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Resizes a VM in place. For a placed VM the host is replanned with
+    /// the new flavor; an infeasible replan keeps the old flavor and
+    /// returns a typed error. Queued VMs just update their request.
+    pub fn resize(&mut self, now: Nanos, vm: u64, flavor: Flavor) -> Result<(), FleetError> {
+        match self.locations.get(&vm).copied() {
+            None => Err(FleetError::UnknownVm(vm)),
+            Some(VmLocation::Evacuating) => {
+                if let Some(e) = self.evacuating.iter_mut().find(|e| e.vm == vm) {
+                    e.flavor = flavor;
+                }
+                self.counters.resizes += 1;
+                Ok(())
+            }
+            Some(VmLocation::Parked) => {
+                if let Some(e) = self.parked.iter_mut().find(|e| e.vm == vm) {
+                    e.flavor = flavor;
+                }
+                self.counters.resizes += 1;
+                Ok(())
+            }
+            Some(VmLocation::Placed(h)) => self.resize_in_place(now, h, vm, flavor),
+        }
+    }
+
+    /// Chaos hook: crashes `host` at `now`, restarting (empty) once `until`
+    /// passes. The seeded fault engine drives the same path; tests and
+    /// experiments use this for targeted interleavings. A no-op while the
+    /// host is already down.
+    pub fn inject_crash(&mut self, host: usize, now: Nanos, until: Nanos) {
+        if !matches!(self.hosts[host].state, HostState::Down { .. }) {
+            self.crash_host(host, now, until);
+        }
+    }
+
+    // --- control loop ----------------------------------------------------
+
+    /// One control epoch at absolute fleet time `now`: fire host fault
+    /// transitions, drive evacuations and parked retries, push pending
+    /// installs, and advance every live host's simulator.
+    pub fn step(&mut self, now: Nanos) {
+        self.apply_host_faults(now);
+        self.process_evacuations(now);
+        self.process_parked(now);
+        self.process_installs(now);
+        for h in &mut self.hosts {
+            let local = now - h.epoch_base;
+            if let Some(sim) = h.sim.as_mut() {
+                sim.run_until(local);
+            }
+        }
+    }
+
+    /// Verifies the conservation invariant: the ledger and the physical
+    /// state (host tenant lists + queues) describe exactly the same VM
+    /// set, with no VM in two places.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let mut seen: BTreeMap<u64, String> = BTreeMap::new();
+        let mut place = |vm: u64, at: String, want: VmLocation| -> Result<(), String> {
+            if let Some(prev) = seen.insert(vm, at.clone()) {
+                return Err(format!("vm {vm} duplicated: {prev} and {at}"));
+            }
+            match self.locations.get(&vm) {
+                Some(&loc) if loc == want => Ok(()),
+                Some(&loc) => Err(format!("vm {vm} at {at} but ledger says {loc:?}")),
+                None => Err(format!("vm {vm} at {at} but not in the ledger")),
+            }
+        };
+        for h in &self.hosts {
+            for t in &h.tenants {
+                place(t.vm, format!("host{}", h.id), VmLocation::Placed(h.id))?;
+            }
+        }
+        for e in &self.evacuating {
+            place(e.vm, "evacuating".into(), VmLocation::Evacuating)?;
+        }
+        for e in &self.parked {
+            place(e.vm, "parked".into(), VmLocation::Parked)?;
+        }
+        for &vm in self.locations.keys() {
+            if !seen.contains_key(&vm) {
+                return Err(format!(
+                    "vm {vm} is in the ledger but placed nowhere (lost)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// Control-plane counters.
+    pub fn counters(&self) -> &FleetCounters {
+        &self.counters
+    }
+
+    /// Replan-rung provenance counters.
+    pub fn rungs(&self) -> &RungCounters {
+        &self.rungs
+    }
+
+    /// The shared plan cache (hit/miss accounting).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Admission-to-committed-install latency distribution (fleet time).
+    pub fn admit_to_install(&self) -> &Histogram {
+        &self.admit_to_install
+    }
+
+    /// Current location of a live VM.
+    pub fn location(&self, vm: u64) -> Option<VmLocation> {
+        self.locations.get(&vm).copied()
+    }
+
+    /// Number of VMs the fleet currently owns.
+    pub fn live_vms(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Per-host control-plane states.
+    pub fn states(&self) -> Vec<HostState> {
+        self.hosts.iter().map(|h| h.state).collect()
+    }
+
+    /// Control-plane backlog: dirty hosts plus queued VMs. Drives the
+    /// backpressure ladder and the experiment's convergence assertion.
+    pub fn backlog(&self) -> usize {
+        self.evacuating.len() + self.parked.len() + self.hosts.iter().filter(|h| h.dirty).count()
+    }
+
+    /// VMs awaiting re-placement (evacuating + parked).
+    pub fn displaced(&self) -> usize {
+        self.evacuating.len() + self.parked.len()
+    }
+
+    /// The fleet counters mirrored into the single-host recovery schema
+    /// (the PR 3 pattern: damage and repairs travel in one record).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            violations_seen: 0,
+            evacuations: self.counters.crashes,
+            install_retries: self.counters.install_retries,
+            quarantines: 0,
+            evacuated_vms: self.counters.evacuated_vms,
+            evacuation_retries: self.counters.evacuation_retries,
+            admissions: self.counters.admissions,
+            admission_rejections: self.counters.admissions_shed,
+            parked_vms: self.counters.parked,
+        }
+    }
+
+    // --- internals -------------------------------------------------------
+
+    /// Plans `next` for a host: the shared cache first (identically shaped
+    /// hosts resolve to one entry), then the fallback ladder. Returns the
+    /// plan and the rung that produced it.
+    fn replan(
+        cache: &mut PlanCache,
+        prev: Option<(&HostConfig, &Plan)>,
+        next: &HostConfig,
+        opts: &PlannerOptions,
+    ) -> Option<(Arc<Plan>, Rung)> {
+        let hits_before = cache.hits();
+        match cache.get_or_plan(next, opts) {
+            Ok(p) => {
+                let rung = if cache.hits() > hits_before {
+                    Rung::CacheHit
+                } else {
+                    Rung::CachePlan
+                };
+                Some((p, rung))
+            }
+            // The straight planner rejected the shape; climb the ladder
+            // (conservative options may still fit it).
+            Err(_) => plan_with_fallback(prev, next, opts)
+                .ok()
+                .map(|o| (Arc::new(o.plan), Rung::Ladder(o.path))),
+        }
+    }
+
+    /// Tentatively places `vm` on `host`; commits bookkeeping only if the
+    /// replan succeeds and keeps the table shape installable.
+    fn try_place(
+        &mut self,
+        _now: Nanos,
+        host: usize,
+        vm: u64,
+        flavor: Flavor,
+        requested_at: Option<Nanos>,
+    ) -> bool {
+        let tenant = Tenant { vm, flavor };
+        let h = &mut self.hosts[host];
+        let mut next = h.host_cfg.clone();
+        push_tenant(&mut next, &tenant, self.cfg.latency_goal);
+        let Some((plan, rung)) = Self::replan(
+            &mut self.cache,
+            Some((&h.host_cfg, &h.plan)),
+            &next,
+            &self.cfg.planner,
+        ) else {
+            return false;
+        };
+        // A plan whose hyperperiod or width drifted cannot reach the
+        // dispatcher (the install protocol would reject it); treat the
+        // candidate as infeasible rather than wedging the host.
+        if plan.table.len() != self.table_len || plan.table.n_cores() != self.cfg.cores_per_host {
+            return false;
+        }
+        h.tenants.push(tenant);
+        h.committed_ppm += flavor.vcpus as u64 * flavor.utilization_ppm as u64;
+        h.host_cfg = next;
+        h.plan = plan;
+        h.dirty = true;
+        if let Some(t) = requested_at {
+            h.awaiting.push((vm, t));
+        }
+        self.rungs.bump(rung);
+        true
+    }
+
+    /// Removes a tenant from a host and replans the shrunk config. A
+    /// (practically impossible) failed shrink replan keeps the old table:
+    /// the departed VM's slots idle until the next successful replan.
+    fn remove_tenant(&mut self, _now: Nanos, host: usize, vm: u64) {
+        let h = &mut self.hosts[host];
+        let Some(pos) = h.tenants.iter().position(|t| t.vm == vm) else {
+            return;
+        };
+        let t = h.tenants.remove(pos);
+        h.committed_ppm -= t.flavor.vcpus as u64 * t.flavor.utilization_ppm as u64;
+        h.awaiting.retain(|&(w, _)| w != vm);
+        let mut next = self.boot_cfg.clone();
+        for t in &h.tenants {
+            push_tenant(&mut next, t, self.cfg.latency_goal);
+        }
+        if let Some((plan, rung)) = Self::replan(
+            &mut self.cache,
+            Some((&h.host_cfg, &h.plan)),
+            &next,
+            &self.cfg.planner,
+        ) {
+            if plan.table.len() == self.table_len {
+                h.host_cfg = next;
+                h.plan = plan;
+                h.dirty = true;
+                self.rungs.bump(rung);
+            }
+        }
+    }
+
+    fn resize_in_place(
+        &mut self,
+        _now: Nanos,
+        host: usize,
+        vm: u64,
+        flavor: Flavor,
+    ) -> Result<(), FleetError> {
+        let h = &mut self.hosts[host];
+        let Some(pos) = h.tenants.iter().position(|t| t.vm == vm) else {
+            return Err(FleetError::UnknownVm(vm));
+        };
+        let old = h.tenants[pos].flavor;
+        let mut next = self.boot_cfg.clone();
+        for (i, t) in h.tenants.iter().enumerate() {
+            let t = if i == pos { Tenant { vm, flavor } } else { *t };
+            push_tenant(&mut next, &t, self.cfg.latency_goal);
+        }
+        match plan_with_fallback(Some((&h.host_cfg, &h.plan)), &next, &self.cfg.planner) {
+            Ok(out) if out.plan.table.len() == self.table_len => {
+                h.tenants[pos].flavor = flavor;
+                h.committed_ppm = h.committed_ppm - old.vcpus as u64 * old.utilization_ppm as u64
+                    + flavor.vcpus as u64 * flavor.utilization_ppm as u64;
+                self.rungs.bump(Rung::Ladder(out.path));
+                h.host_cfg = next;
+                h.plan = Arc::new(out.plan);
+                h.dirty = true;
+                self.counters.resizes += 1;
+                Ok(())
+            }
+            Ok(_) | Err(_) => {
+                self.counters.resize_rejections += 1;
+                match plan_with_fallback(Some((&h.host_cfg, &h.plan)), &next, &self.cfg.planner) {
+                    Err(error) => Err(FleetError::ResizeInfeasible { vm, error }),
+                    Ok(_) => Err(FleetError::UnknownVm(vm)), // unreachable shape drift
+                }
+            }
+        }
+    }
+
+    fn apply_host_faults(&mut self, now: Nanos) {
+        for i in 0..self.hosts.len() {
+            // Restarts first: a host whose outage elapsed comes back empty.
+            if let HostState::Down { until } = self.hosts[i].state {
+                if now >= until {
+                    self.hosts[i] =
+                        FleetHost::boot(i, &self.machine, &self.boot_cfg, &self.boot_plan, now);
+                    self.counters.restarts += 1;
+                }
+            }
+            // Crashes: fire the next un-processed window that has started.
+            let cur = self.crash_cursor[i];
+            if let Some(&(from, until)) = self.crash_windows[i].get(cur) {
+                if from <= now && self.hosts[i].state != (HostState::Down { until }) {
+                    self.crash_cursor[i] = cur + 1;
+                    if !matches!(self.hosts[i].state, HostState::Down { .. }) {
+                        self.crash_host(i, now, until);
+                    }
+                }
+            }
+            // Degradation windows (only state-relevant while up).
+            if !matches!(self.hosts[i].state, HostState::Down { .. }) {
+                let degraded = self.degrade_windows[i]
+                    .iter()
+                    .any(|&(from, until)| from <= now && now < until);
+                let was = self.hosts[i].state;
+                self.hosts[i].state = if degraded {
+                    HostState::Degraded
+                } else {
+                    HostState::Online
+                };
+                if was == HostState::Online && degraded {
+                    self.counters.degradations += 1;
+                }
+            }
+        }
+    }
+
+    /// Kills a host: its simulator is gone, its tenants enter the
+    /// evacuation queue (latency attribution preserved for VMs still
+    /// awaiting their first install), and it will restart empty.
+    fn crash_host(&mut self, i: usize, now: Nanos, until: Nanos) {
+        self.counters.crashes += 1;
+        let h = &mut self.hosts[i];
+        let awaiting: BTreeMap<u64, Nanos> = h.awaiting.drain(..).collect();
+        for t in h.tenants.drain(..) {
+            self.locations.insert(t.vm, VmLocation::Evacuating);
+            self.evacuating.push(EvacVm {
+                vm: t.vm,
+                flavor: t.flavor,
+                requested_at: awaiting.get(&t.vm).copied(),
+                attempts: 0,
+                next_try: now,
+            });
+        }
+        h.committed_ppm = 0;
+        h.sim = None;
+        h.dirty = false;
+        h.install_attempts = 0;
+        h.next_install_try = Nanos::ZERO;
+        h.host_cfg = self.boot_cfg.clone();
+        h.plan = self.boot_plan.clone();
+        h.state = HostState::Down {
+            until: until.max(now + Nanos(1)),
+        };
+    }
+
+    /// Re-places a displaced VM through the same candidate ladder as
+    /// admission (without touching the admission counters).
+    fn place_displaced(&mut self, now: Nanos, e: &EvacVm) -> Option<usize> {
+        let demand = e.flavor.vcpus as u64 * e.flavor.utilization_ppm as u64;
+        let budget = self.cfg.host_budget_ppm();
+        let mut candidates: Vec<usize> = self
+            .hosts
+            .iter()
+            .filter(|h| h.placeable() && h.committed_ppm + demand <= budget)
+            .map(|h| h.id)
+            .collect();
+        candidates.sort_by_key(|&i| budget - self.hosts[i].committed_ppm - demand);
+        candidates
+            .into_iter()
+            .take(self.cfg.placement_candidates.max(1))
+            .find(|&h| self.try_place(now, h, e.vm, e.flavor, e.requested_at))
+    }
+
+    fn process_evacuations(&mut self, now: Nanos) {
+        let queue = mem::take(&mut self.evacuating);
+        let mut still = Vec::with_capacity(queue.len());
+        for mut e in queue {
+            if now < e.next_try {
+                still.push(e);
+                continue;
+            }
+            if let Some(h) = self.place_displaced(now, &e) {
+                self.counters.evacuated_vms += 1;
+                self.locations.insert(e.vm, VmLocation::Placed(h));
+                continue;
+            }
+            e.attempts += 1;
+            self.counters.evacuation_retries += 1;
+            if e.attempts > self.cfg.evac_retry_budget {
+                self.counters.parked += 1;
+                self.locations.insert(e.vm, VmLocation::Parked);
+                e.next_try = now + self.cfg.parked_retry_interval;
+                self.parked.push(e);
+            } else {
+                e.next_try = now
+                    + backoff(
+                        self.cfg.evac_backoff_base,
+                        self.cfg.evac_backoff_cap,
+                        e.attempts,
+                    );
+                still.push(e);
+            }
+        }
+        // Evacuations queued by concurrent crashes this epoch land behind
+        // the survivors.
+        still.append(&mut self.evacuating);
+        self.evacuating = still;
+    }
+
+    fn process_parked(&mut self, now: Nanos) {
+        let queue = mem::take(&mut self.parked);
+        let mut still = Vec::with_capacity(queue.len());
+        for mut e in queue {
+            if now < e.next_try {
+                still.push(e);
+                continue;
+            }
+            if let Some(h) = self.place_displaced(now, &e) {
+                self.counters.unparked += 1;
+                self.locations.insert(e.vm, VmLocation::Placed(h));
+                continue;
+            }
+            self.counters.evacuation_retries += 1;
+            e.next_try = now + self.cfg.parked_retry_interval;
+            still.push(e);
+        }
+        still.append(&mut self.parked);
+        self.parked = still;
+    }
+
+    fn process_installs(&mut self, now: Nanos) {
+        let in_storm = self
+            .storm_windows
+            .iter()
+            .any(|&(from, until)| from <= now && now < until);
+        let n_probes = self.cfg.cores_per_host as u32;
+        for i in 0..self.hosts.len() {
+            {
+                let h = &self.hosts[i];
+                if h.state != HostState::Online
+                    || !h.dirty
+                    || now < h.next_install_try
+                    || h.sim.is_none()
+                {
+                    continue;
+                }
+            }
+            let masked = match mask_table(&self.hosts[i].plan.table, n_probes) {
+                Ok(t) => t,
+                Err(_) => {
+                    // Cannot happen (filtering keeps allocations sorted and
+                    // in range), but never panic the control plane.
+                    self.counters.installs_rejected += 1;
+                    self.hosts[i].dirty = false;
+                    continue;
+                }
+            };
+            let interrupted = in_storm
+                && self
+                    .engine
+                    .as_mut()
+                    .is_some_and(|e| e.storm_interrupts_install());
+            let h = &mut self.hosts[i];
+            let local = h.local(now);
+            let epoch_base = h.epoch_base;
+            let Some(tab) = h.tableau_mut() else {
+                continue;
+            };
+            match tab.try_install_table(masked, local, interrupted) {
+                Ok(Some(switch_local)) => {
+                    let switch_at = switch_local + epoch_base;
+                    let h = &mut self.hosts[i];
+                    h.dirty = false;
+                    h.install_attempts = 0;
+                    h.next_install_try = Nanos::ZERO;
+                    self.counters.installs += 1;
+                    for (_, req) in h.awaiting.drain(..) {
+                        self.admit_to_install.record(switch_at - req);
+                    }
+                }
+                Ok(None) => {
+                    let h = &mut self.hosts[i];
+                    h.install_attempts += 1;
+                    self.counters.install_retries += 1;
+                    if h.install_attempts > self.cfg.install_retry_budget {
+                        self.counters.install_budget_exhaustions += 1;
+                        h.next_install_try = now + self.cfg.install_backoff_cap;
+                    } else {
+                        h.next_install_try = now
+                            + backoff(
+                                self.cfg.install_backoff_base,
+                                self.cfg.install_backoff_cap,
+                                h.install_attempts,
+                            );
+                    }
+                }
+                Err(_) => {
+                    // Typed rejection (shape drift / staged race): drop the
+                    // plan, keep the old table running. The VMs stay placed
+                    // and the next successful replan re-dirties the host.
+                    let h = &mut self.hosts[i];
+                    self.counters.installs_rejected += 1;
+                    h.dirty = false;
+                    h.awaiting.clear();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flavor(vcpus: usize, ppm: u32) -> Flavor {
+        Flavor {
+            vcpus,
+            utilization_ppm: ppm,
+        }
+    }
+
+    fn small_fleet(n_hosts: usize) -> Fleet {
+        Fleet::new(FleetConfig::new(n_hosts, 2)).expect("boot plan")
+    }
+
+    fn epochs(fleet: &mut Fleet, from: Nanos, n: u64) -> Nanos {
+        let epoch = Nanos::from_millis(50);
+        let mut now = from;
+        for _ in 0..n {
+            now += epoch;
+            fleet.step(now);
+            fleet.check_conservation().expect("conservation");
+        }
+        now
+    }
+
+    #[test]
+    fn admission_places_installs_and_records_latency() {
+        let mut fleet = small_fleet(2);
+        let t0 = Nanos::from_millis(1);
+        let h = fleet.admit(t0, 1, flavor(1, 250_000)).expect("admits");
+        assert_eq!(fleet.location(1), Some(VmLocation::Placed(h)));
+        assert_eq!(fleet.counters().admissions, 1);
+        epochs(&mut fleet, Nanos::ZERO, 4);
+        assert_eq!(fleet.counters().installs, 1);
+        assert_eq!(fleet.admit_to_install().count(), 1);
+        assert!(fleet.admit_to_install().max() > Nanos::ZERO);
+        assert!(fleet.rungs().cache_plan + fleet.rungs().cache_hit >= 1);
+    }
+
+    #[test]
+    fn identically_shaped_hosts_share_the_plan_cache() {
+        // Best-fit consolidates, so host 0 fills through four shapes
+        // (probes+1 … probes+4 tenants) and host 1 then walks the *same*
+        // shape sequence: the second host's replans are all cache hits,
+        // even though the tenant names differ.
+        let mut fleet = small_fleet(2);
+        for vm in 0..8u64 {
+            fleet
+                .admit(Nanos(1), vm, flavor(1, 250_000))
+                .expect("admits");
+        }
+        let hosts: std::collections::BTreeSet<usize> = (0..8u64)
+            .map(|vm| match fleet.location(vm) {
+                Some(VmLocation::Placed(h)) => h,
+                other => panic!("vm {vm} not placed: {other:?}"),
+            })
+            .collect();
+        assert_eq!(hosts.len(), 2, "the budget forces a spill to host 1");
+        assert_eq!(fleet.rungs().cache_plan, 4);
+        assert_eq!(fleet.rungs().cache_hit, 4);
+    }
+
+    #[test]
+    fn teardown_returns_capacity() {
+        let mut fleet = small_fleet(1);
+        fleet
+            .admit(Nanos(1), 7, flavor(2, 500_000))
+            .expect("admits");
+        assert!(matches!(
+            fleet.teardown(Nanos(2), 99),
+            Err(FleetError::UnknownVm(99))
+        ));
+        fleet.teardown(Nanos(2), 7).expect("tears down");
+        assert_eq!(fleet.live_vms(), 0);
+        fleet.check_conservation().expect("conservation");
+        // The capacity is admittable again.
+        fleet
+            .admit(Nanos(3), 8, flavor(2, 500_000))
+            .expect("re-admits");
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_rejection_and_loses_nothing() {
+        let mut fleet = small_fleet(1);
+        let mut placed = 0u64;
+        let mut shed = 0u64;
+        for vm in 0..64 {
+            match fleet.admit(Nanos(1), vm, flavor(1, 250_000)) {
+                Ok(_) => placed += 1,
+                Err(AdmissionRejected::NoCapacity { .. }) => shed += 1,
+                Err(e) => panic!("unexpected rejection kind: {e}"),
+            }
+        }
+        assert!(placed > 0 && shed > 0, "{placed} placed, {shed} shed");
+        assert_eq!(fleet.counters().admissions_shed, shed);
+        assert_eq!(fleet.live_vms() as u64, placed);
+        fleet.check_conservation().expect("conservation");
+    }
+
+    #[test]
+    fn crash_evacuates_every_vm_and_converges() {
+        let mut fleet = small_fleet(3);
+        for vm in 0..6u64 {
+            fleet
+                .admit(Nanos(1), vm, flavor(1, 125_000))
+                .expect("admits");
+        }
+        let now = epochs(&mut fleet, Nanos::ZERO, 4);
+        // Crash host 0 by hand (windows injected directly).
+        let until = now + Nanos::from_millis(500);
+        fleet.crash_windows[0] = vec![(now, until)];
+        let now = epochs(&mut fleet, now, 12);
+        assert_eq!(fleet.counters().crashes, 1);
+        assert_eq!(fleet.displaced(), 0, "evacuation must converge");
+        assert_eq!(fleet.live_vms(), 6, "no VM lost across the crash");
+        for vm in 0..6u64 {
+            match fleet.location(vm) {
+                Some(VmLocation::Placed(h)) => assert_ne!(
+                    fleet.states()[h],
+                    HostState::Down { until },
+                    "vm {vm} on a dead host"
+                ),
+                other => panic!("vm {vm} not placed after evacuation: {other:?}"),
+            }
+        }
+        // The crashed host restarts empty and serves again.
+        let _ = epochs(&mut fleet, now, 12);
+        assert_eq!(fleet.counters().restarts, 1);
+        assert!(matches!(fleet.states()[0], HostState::Online));
+    }
+
+    #[test]
+    fn evacuation_overflow_parks_instead_of_losing() {
+        // Two hosts, both nearly full; crash one. The displaced VMs cannot
+        // all fit and must end up parked — owned, not lost.
+        let mut fleet = small_fleet(2);
+        let mut vms = Vec::new();
+        for vm in 0..64u64 {
+            if fleet.admit(Nanos(1), vm, flavor(1, 250_000)).is_ok() {
+                vms.push(vm);
+            }
+        }
+        let now = epochs(&mut fleet, Nanos::ZERO, 4);
+        fleet.crash_windows[0] = vec![(now, now + Nanos::from_secs(3600))];
+        let _ = epochs(&mut fleet, now, 40);
+        assert!(fleet.counters().parked > 0, "some VMs must park");
+        assert_eq!(fleet.live_vms(), vms.len(), "every admitted VM still owned");
+    }
+
+    #[test]
+    fn parked_vms_resume_when_capacity_returns() {
+        let mut fleet = small_fleet(2);
+        for vm in 0..64u64 {
+            let _ = fleet.admit(Nanos(1), vm, flavor(1, 250_000));
+        }
+        let live = fleet.live_vms();
+        let now = epochs(&mut fleet, Nanos::ZERO, 4);
+        // A short outage: the host comes back while VMs are still parked.
+        fleet.crash_windows[0] = vec![(now, now + Nanos::from_millis(400))];
+        let _ = epochs(&mut fleet, now, 120);
+        assert_eq!(fleet.live_vms(), live);
+        assert_eq!(fleet.displaced(), 0, "parked VMs must eventually re-place");
+        assert!(fleet.counters().unparked > 0 || fleet.counters().parked == 0);
+        assert_eq!(fleet.counters().restarts, 1);
+    }
+
+    #[test]
+    fn resize_in_place_replans_or_rejects_typed() {
+        let mut fleet = small_fleet(1);
+        fleet
+            .admit(Nanos(1), 1, flavor(1, 125_000))
+            .expect("admits");
+        fleet
+            .resize(Nanos(2), 1, flavor(1, 250_000))
+            .expect("resizes up");
+        assert_eq!(fleet.counters().resizes, 1);
+        // An impossible resize (past total capacity) is rejected and the
+        // old flavor survives.
+        let err = fleet.resize(Nanos(3), 1, flavor(8, 900_000));
+        assert!(matches!(
+            err,
+            Err(FleetError::ResizeInfeasible { vm: 1, .. })
+        ));
+        assert_eq!(fleet.counters().resize_rejections, 1);
+        fleet.check_conservation().expect("conservation");
+        epochs(&mut fleet, Nanos::ZERO, 4);
+    }
+
+    #[test]
+    fn install_storms_retry_with_backoff_and_commit_eventually() {
+        use xensim::fault::{HostFaultConfig, InstallStormFaults};
+        let mut fleet = small_fleet(2);
+        let horizon = Nanos::from_secs(30);
+        fleet.arm_faults(
+            HostFaultConfig {
+                seed: 5,
+                storm: InstallStormFaults {
+                    interval: Nanos::from_millis(400),
+                    duration: Nanos::from_millis(300),
+                    interrupt_prob: 0.9,
+                },
+                ..HostFaultConfig::none()
+            },
+            horizon,
+        );
+        // Sustained churn: one admission per epoch, teardowns six epochs
+        // behind, so installs keep landing inside storm windows.
+        let epoch = Nanos::from_millis(50);
+        let mut now = Nanos::ZERO;
+        for k in 0..200u64 {
+            now += epoch;
+            let _ = fleet.admit(now, k, flavor(1, 125_000));
+            if k >= 6 {
+                let _ = fleet.teardown(now, k - 6);
+            }
+            fleet.step(now);
+            fleet.check_conservation().expect("conservation");
+        }
+        let c = *fleet.counters();
+        assert!(c.install_retries > 0, "storms must interrupt installs");
+        assert!(c.installs > 0, "installs must still commit");
+        assert!(
+            fleet.admit_to_install().count() > 0,
+            "admissions eventually measure a committed install"
+        );
+    }
+
+    #[test]
+    fn zero_rate_fault_config_arms_nothing() {
+        let mut fleet = small_fleet(2);
+        fleet.arm_faults(HostFaultConfig::chaos(9, 0.0), Nanos::from_secs(10));
+        assert!(fleet.engine.is_none());
+        assert!(fleet.crash_windows.iter().all(|w| w.is_empty()));
+        assert!(fleet.storm_windows.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! One fleet host: the single-host Tableau stack plus control-plane state.
+
+use std::sync::Arc;
+
+use rtsched::time::Nanos;
+use schedulers::Tableau;
+use tableau_core::planner::Plan;
+use tableau_core::table::Table;
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+use workloads::churn::Flavor;
+use xensim::sched::BusyLoop;
+use xensim::{Machine, Sim};
+
+/// Control-plane view of one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostState {
+    /// Serving traffic; a placement target.
+    Online,
+    /// In a degradation window: up (its simulator keeps running) but not a
+    /// placement target, and its table installs are deferred.
+    Degraded,
+    /// Crashed; restarts empty at `until`.
+    Down {
+        /// Absolute fleet time of the restart.
+        until: Nanos,
+    },
+}
+
+/// One tenant VM placed on a host (control-plane bookkeeping).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tenant {
+    pub vm: u64,
+    pub flavor: Flavor,
+}
+
+/// Per-host state: the simulated stack plus the install pipeline.
+pub(crate) struct FleetHost {
+    pub id: usize,
+    pub state: HostState,
+    pub tenants: Vec<Tenant>,
+    /// Sum of tenant demand in ppm of one core (vcpus × per-vCPU ppm).
+    pub committed_ppm: u64,
+    /// The config `plan` was computed from (the incremental rung's
+    /// baseline).
+    pub host_cfg: HostConfig,
+    /// Current target plan (probes + tenants). The installed table lags it
+    /// while an install is pending.
+    pub plan: Arc<Plan>,
+    /// The simulator; `None` while the host is down.
+    pub sim: Option<Sim>,
+    /// Fleet time at which the current simulator was born (restarted hosts
+    /// run their simulator in local time `now - epoch_base`).
+    pub epoch_base: Nanos,
+    /// Whether `plan` still needs to be installed into the dispatcher.
+    pub dirty: bool,
+    /// Admissions waiting for their first committed install on this host
+    /// (`(vm, requested_at)`), for admission-to-install latency.
+    pub awaiting: Vec<(u64, Nanos)>,
+    /// Consecutive failed install attempts for the current dirty plan.
+    pub install_attempts: u32,
+    /// Earliest fleet time of the next install attempt (backoff).
+    pub next_install_try: Nanos,
+}
+
+/// The per-core probe reservation every host carries (a stand-in for
+/// dom0/agents): one capped single-vCPU VM per core. Probes come *first*
+/// in every host config, so their vCPU ids are stably `0..n_cores` across
+/// arbitrary tenant churn — the property the sim-table masking relies on.
+pub(crate) fn probe_config(n_cores: usize, probe: VcpuSpec) -> HostConfig {
+    let mut cfg = HostConfig::new(n_cores);
+    for i in 0..n_cores {
+        cfg.add_vm(VmSpec::uniform(format!("probe{i}"), 1, probe));
+    }
+    cfg
+}
+
+/// Appends one tenant VM to a host config (after the probes).
+pub(crate) fn push_tenant(cfg: &mut HostConfig, t: &Tenant, latency_goal: Nanos) {
+    let spec = VcpuSpec::capped(
+        Utilization::from_ppm(t.flavor.utilization_ppm),
+        latency_goal,
+    );
+    cfg.add_vm(VmSpec::uniform(format!("vm{}", t.vm), t.flavor.vcpus, spec));
+}
+
+/// Strips every non-probe reservation from a planned table, leaving idle
+/// gaps. This is what gets installed into the host's simulator: probe ids
+/// (`0..keep_below`) are executed for real; tenant execution is the
+/// documented model reduction. Gaps are legal table content — the
+/// dispatcher falls through to its second level or idles.
+pub(crate) fn mask_table(table: &Table, keep_below: u32) -> Result<Table, String> {
+    let per_core: Vec<Vec<_>> = (0..table.n_cores())
+        .map(|c| {
+            table
+                .cpu(c)
+                .allocations()
+                .iter()
+                .copied()
+                .filter(|a| a.vcpu.0 < keep_below)
+                .collect()
+        })
+        .collect();
+    Table::new(table.len(), per_core)
+}
+
+impl FleetHost {
+    /// Builds a freshly booted (probe-only) host around `boot_plan`.
+    pub fn boot(
+        id: usize,
+        machine: &Machine,
+        boot_cfg: &HostConfig,
+        boot_plan: &Arc<Plan>,
+        now: Nanos,
+    ) -> FleetHost {
+        let keep = machine.n_cores() as u32;
+        let masked = mask_table(&boot_plan.table, keep)
+            .expect("masking preserves table shape, which Table::new accepts");
+        // The scheduler boots on the masked probe table; every later table
+        // reaches it through the two-phase install protocol.
+        let mut boot = (**boot_plan).clone();
+        boot.table = masked;
+        let mut sim = Sim::new(*machine, Box::new(Tableau::from_plan(&boot)));
+        for core in 0..machine.n_cores() {
+            sim.add_vcpu(Box::new(BusyLoop), core, true);
+        }
+        FleetHost {
+            id,
+            state: HostState::Online,
+            tenants: Vec::new(),
+            committed_ppm: 0,
+            host_cfg: boot_cfg.clone(),
+            plan: boot_plan.clone(),
+            sim: Some(sim),
+            epoch_base: now,
+            dirty: false,
+            awaiting: Vec::new(),
+            install_attempts: 0,
+            next_install_try: Nanos::ZERO,
+        }
+    }
+
+    /// The host's simulator-local time for an absolute fleet time.
+    pub fn local(&self, now: Nanos) -> Nanos {
+        now - self.epoch_base
+    }
+
+    /// Whether the host accepts new placements.
+    pub fn placeable(&self) -> bool {
+        self.state == HostState::Online
+    }
+
+    /// Mutable access to the Tableau scheduler inside the simulator.
+    pub fn tableau_mut(&mut self) -> Option<&mut Tableau> {
+        self.sim
+            .as_mut()?
+            .scheduler_mut()
+            .as_any()
+            .downcast_mut::<Tableau>()
+    }
+}

@@ -1,0 +1,107 @@
+//! Fleet control plane over simulated Tableau hosts (ROADMAP item 1).
+//!
+//! A [`Fleet`] owns N simulated hosts. Each host is the full single-host
+//! stack grown in earlier PRs — a [`xensim::Sim`] running per-core probe
+//! vCPUs under a `schedulers::Tableau` dispatcher — plus a slice of the
+//! *shared* fingerprint plan cache: identically shaped hosts (and with
+//! SAP-shaped churn, shapes recur constantly) resolve their tables from
+//! one [`tableau_core::cache::PlanCache`].
+//!
+//! The front-end admits VM create/teardown/resize requests and the
+//! robustness engine absorbs host-level failures:
+//!
+//! * **Placement backpressure ladder** — best-fit while the control plane
+//!   is healthy, first-fit once the install/evacuation backlog passes a
+//!   threshold, and finally a *typed* [`AdmissionRejected`] shed. Never a
+//!   panic, never a silently dropped VM.
+//! * **Crash-triggered evacuation** — a crashed host's VMs re-place
+//!   through the `plan_with_fallback` ladder with bounded exponential
+//!   backoff and a per-VM retry budget; budget exhaustion *parks* the VM
+//!   (still owned, retried at a slower cadence) instead of losing it.
+//! * **Install pipeline** — tables reach each host's dispatcher through
+//!   the two-phase install protocol; install-failure storms (see
+//!   [`xensim::fault::InstallStormFaults`]) abort pushes mid-protocol and
+//!   the per-host retry loop re-drives them with bounded backoff.
+//!
+//! The conservation invariant — every admitted, not-torn-down VM is in
+//! exactly one of *placed on a live host*, *evacuating*, or *parked*, and
+//! on at most one host — is checked by [`Fleet::check_conservation`] and
+//! holds across any seeded fault sequence (see the property tests and the
+//! `fleet` chaos soak experiment).
+//!
+//! **Model reduction.** Tenant vCPUs are control-plane objects: they
+//! occupy planner capacity and table slots, but the per-host simulator
+//! executes only the permanent probe vCPUs (tenant slots are masked to
+//! idle in the installed table). This keeps hundreds of hosts cheap while
+//! still exercising the real planner, the real two-phase installs against
+//! real dispatchers, and real probe dispatch under every table the control
+//! plane pushes.
+
+mod control;
+mod host;
+
+pub use control::{Fleet, FleetConfig, FleetCounters, RungCounters, VmLocation};
+pub use host::HostState;
+
+use tableau_core::planner::ReplanError;
+
+/// Typed admission shed: the last rung of the backpressure ladder. The VM
+/// was never admitted — rejecting is how the fleet degrades instead of
+/// panicking or losing work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionRejected {
+    /// No online host has the spare utilization the flavor demands.
+    NoCapacity {
+        /// The rejected demand, in ppm of one core.
+        demand_ppm: u64,
+    },
+    /// Hosts had nominal capacity but every candidate's replan failed
+    /// (fragmentation: the ladder ran out of rungs on each).
+    NoFeasiblePlan {
+        /// How many candidate hosts were tried before shedding.
+        candidates_tried: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionRejected::NoCapacity { demand_ppm } => {
+                write!(f, "no online host has {demand_ppm} ppm spare")
+            }
+            AdmissionRejected::NoFeasiblePlan { candidates_tried } => {
+                write!(f, "no feasible plan on {candidates_tried} candidate hosts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionRejected {}
+
+/// Errors of the non-admission front-end paths.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The VM id is not currently owned by the fleet.
+    UnknownVm(u64),
+    /// A resize could not be replanned in place; the VM keeps its old
+    /// flavor (the request is rejected, the VM is not lost).
+    ResizeInfeasible {
+        /// The VM whose resize was rejected.
+        vm: u64,
+        /// The ladder's per-rung failures.
+        error: ReplanError,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownVm(vm) => write!(f, "vm {vm} is not owned by the fleet"),
+            FleetError::ResizeInfeasible { vm, error } => {
+                write!(f, "resize of vm {vm} infeasible: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}

@@ -1,0 +1,127 @@
+//! Property-based test of the fleet conservation invariant.
+//!
+//! Under an arbitrary interleaving of admissions, teardowns, resizes, and
+//! host crashes, the fleet must never lose or duplicate a VM: at every
+//! control epoch the set of VMs the fleet owns (placed ∪ evacuating ∪
+//! parked, pairwise disjoint) equals exactly the admitted-minus-torn-down
+//! set the test tracks independently. Once the chaos stops and every host
+//! has restarted, every surviving VM must converge back to *placed*.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use fleet::{Fleet, FleetConfig, VmLocation};
+use rtsched::time::Nanos;
+use workloads::churn::Flavor;
+
+const FLAVORS: [Flavor; 4] = [
+    Flavor {
+        vcpus: 1,
+        utilization_ppm: 125_000,
+    },
+    Flavor {
+        vcpus: 1,
+        utilization_ppm: 250_000,
+    },
+    Flavor {
+        vcpus: 2,
+        utilization_ppm: 125_000,
+    },
+    Flavor {
+        vcpus: 2,
+        utilization_ppm: 250_000,
+    },
+];
+
+const N_HOSTS: usize = 6;
+const EPOCH: Nanos = Nanos::from_millis(50);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ops are `(kind, randomness, host)` triples, one per control epoch:
+    /// kind 0/1 admit, 2 teardown, 3 resize, 4 crash.
+    #[test]
+    fn no_vm_lost_or_duplicated_under_crash_churn(
+        ops in proptest::collection::vec((0u8..5, 0u64..u32::MAX as u64, 0usize..N_HOSTS), 1..60),
+    ) {
+        let mut fleet = Fleet::new(FleetConfig::new(N_HOSTS, 2)).expect("boot plan");
+        let mut now = Nanos::ZERO;
+        let mut next_vm = 0u64;
+        // The oracle: admitted minus torn-down, tracked independently.
+        let mut expected: BTreeSet<u64> = BTreeSet::new();
+
+        for &(kind, r, h) in &ops {
+            now += EPOCH;
+            match kind {
+                0 | 1 => {
+                    let f = FLAVORS[(r % 4) as usize];
+                    if fleet.admit(now, next_vm, f).is_ok() {
+                        expected.insert(next_vm);
+                    }
+                    next_vm += 1;
+                }
+                2 => {
+                    if !expected.is_empty() {
+                        let idx = (r as usize) % expected.len();
+                        let vm = *expected.iter().nth(idx).expect("idx in range");
+                        fleet.teardown(now, vm).expect("tearing down a live vm");
+                        expected.remove(&vm);
+                    }
+                }
+                3 => {
+                    if !expected.is_empty() {
+                        let idx = (r as usize) % expected.len();
+                        let vm = *expected.iter().nth(idx).expect("idx in range");
+                        // Either applied or rejected with a typed error;
+                        // both preserve ownership.
+                        let _ = fleet.resize(now, vm, FLAVORS[((r >> 8) % 4) as usize]);
+                    }
+                }
+                4 => {
+                    let outage = Nanos::from_millis(100 + r % 900);
+                    fleet.inject_crash(h, now, now + outage);
+                }
+                _ => unreachable!(),
+            }
+            fleet.step(now);
+
+            if let Err(e) = fleet.check_conservation() {
+                prop_assert!(false, "conservation violated at {now:?}: {e}");
+            }
+            prop_assert_eq!(
+                fleet.live_vms(),
+                expected.len(),
+                "ledger diverged from the oracle at {:?}",
+                now
+            );
+            for &vm in &expected {
+                prop_assert!(fleet.location(vm).is_some(), "vm {} lost", vm);
+            }
+        }
+
+        // Chaos over: drain long enough for every outage to end, every
+        // parked VM to retry, and every evacuation to converge.
+        for _ in 0..200 {
+            now += EPOCH;
+            fleet.step(now);
+        }
+        if let Err(e) = fleet.check_conservation() {
+            prop_assert!(false, "conservation violated after drain: {e}");
+        }
+        prop_assert_eq!(fleet.live_vms(), expected.len());
+        prop_assert_eq!(
+            fleet.displaced(),
+            0,
+            "evacuations/parked VMs failed to converge"
+        );
+        for &vm in &expected {
+            prop_assert!(
+                matches!(fleet.location(vm), Some(VmLocation::Placed(_))),
+                "vm {} not placed after convergence",
+                vm
+            );
+        }
+    }
+}

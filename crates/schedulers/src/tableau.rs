@@ -123,11 +123,17 @@ impl Tableau {
     }
 
     /// Installs a replacement table (planner push); returns the switch time.
+    ///
+    /// # Errors
+    ///
+    /// The typed install errors of the two-phase protocol (length or core
+    /// count drifted, or another install is already staged); the running
+    /// table is untouched on rejection.
     pub fn install_table(
         &mut self,
         table: impl Into<std::sync::Arc<tableau_core::Table>>,
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, tableau_core::InstallError> {
         self.dispatcher.install_table(table, now)
     }
 

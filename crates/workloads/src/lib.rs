@@ -16,6 +16,10 @@
 //! * [`wrk2`] — open-loop constant-rate load generation and the
 //!   latency-vs-throughput / SLA-aware-peak reporting used in Figs. 7–8.
 
+//! * [`churn`] — the SAP-shaped VM create/teardown/resize trace generator
+//!   driving the fleet control-plane experiments.
+
+pub mod churn;
 pub mod histogram;
 pub mod http;
 pub mod intrinsic;
@@ -23,6 +27,7 @@ pub mod ping;
 pub mod stress;
 pub mod wrk2;
 
+pub use churn::{sap_trace, ChurnConfig, ChurnEvent, ChurnOp, Flavor};
 pub use histogram::Histogram;
 pub use http::{HttpCosts, HttpServer};
 pub use intrinsic::IntrinsicLatency;

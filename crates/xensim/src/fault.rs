@@ -408,6 +408,242 @@ impl FaultEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Host-level faults (fleet control plane)
+// ---------------------------------------------------------------------------
+//
+// The classes above perturb one simulated host from the inside; a fleet
+// control plane additionally loses *whole hosts*. Three host-level classes,
+// same determinism contract: per-class streams derived from the master
+// seed, per-host sub-streams derived from the host index (so host 17's
+// crash schedule does not depend on how many hosts exist or in what order
+// they are queried), and a class at zero intensity performs no draws and
+// produces no events.
+
+/// Whole-host crash/restart cycles (kernel panic, PSU trip, fencing).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostCrashFaults {
+    /// Mean interval between crashes of any one host (actual gaps drawn
+    /// uniformly from `[interval/2, 3*interval/2]`).
+    pub interval: Nanos,
+    /// Maximum outage before the host restarts empty (drawn from
+    /// `[outage/2, outage]`).
+    pub outage: Nanos,
+}
+
+impl HostCrashFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        self.interval > Nanos::ZERO && self.outage > Nanos::ZERO
+    }
+}
+
+/// Slow-host degradation windows (thermal throttling, a failing disk, a
+/// noisy co-tenant): the host stays up but the control plane must stop
+/// placing new work on it and expect its installs to lag.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostDegradeFaults {
+    /// Mean interval between degradation windows per host (gaps drawn
+    /// uniformly from `[interval/2, 3*interval/2]`).
+    pub interval: Nanos,
+    /// Maximum duration of one window (drawn from `[duration/2, duration]`).
+    pub duration: Nanos,
+}
+
+impl HostDegradeFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        self.interval > Nanos::ZERO && self.duration > Nanos::ZERO
+    }
+}
+
+/// Install-failure storms: fleet-wide windows during which table pushes
+/// are interrupted with high probability (a congested management network,
+/// an overloaded control node) — the two-phase protocol plus bounded
+/// retries must absorb them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstallStormFaults {
+    /// Mean interval between storms (gaps drawn uniformly from
+    /// `[interval/2, 3*interval/2]`).
+    pub interval: Nanos,
+    /// Maximum duration of one storm (drawn from `[duration/2, duration]`).
+    pub duration: Nanos,
+    /// Probability each install attempted during a storm is interrupted.
+    pub interrupt_prob: f64,
+}
+
+impl InstallStormFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        self.interval > Nanos::ZERO && self.duration > Nanos::ZERO && self.interrupt_prob > 0.0
+    }
+}
+
+/// Full host-level fault configuration for a fleet.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HostFaultConfig {
+    /// Master seed; each class (and each host within a class) derives an
+    /// independent stream from it.
+    pub seed: u64,
+    /// Whole-host crash/restart cycles.
+    pub crash: HostCrashFaults,
+    /// Slow-host degradation windows.
+    pub degrade: HostDegradeFaults,
+    /// Fleet-wide install-failure storms.
+    pub storm: InstallStormFaults,
+}
+
+impl HostFaultConfig {
+    /// A configuration that injects nothing (equivalent to no engine).
+    pub fn none() -> HostFaultConfig {
+        HostFaultConfig::default()
+    }
+
+    /// Whether any class injects anything.
+    pub fn any_active(&self) -> bool {
+        self.crash.is_active() || self.degrade.is_active() || self.storm.is_active()
+    }
+
+    /// The fleet chaos preset, scaled by `intensity` in `[0, 1]`.
+    ///
+    /// At intensity 0 every class is inactive (the determinism contract);
+    /// at intensity 1 each host crashes on average once per 60 s of fleet
+    /// time with outages up to 4 s, degrades for up to 2 s every ~30 s,
+    /// and fleet-wide install storms of up to 1 s arrive every ~5 s
+    /// interrupting 60% of the installs attempted inside them.
+    pub fn chaos(seed: u64, intensity: f64) -> HostFaultConfig {
+        let i = intensity.clamp(0.0, 1.0);
+        let scale = |ns: u64| Nanos((ns as f64 * i) as u64);
+        HostFaultConfig {
+            seed,
+            crash: HostCrashFaults {
+                interval: Nanos::from_secs(60),
+                outage: scale(4_000_000_000),
+            },
+            degrade: HostDegradeFaults {
+                interval: Nanos::from_secs(30),
+                duration: scale(2_000_000_000),
+            },
+            storm: InstallStormFaults {
+                interval: Nanos::from_secs(5),
+                duration: scale(1_000_000_000),
+                interrupt_prob: 0.6 * i,
+            },
+        }
+    }
+}
+
+/// The seeded host-level fault engine a fleet control plane consults.
+///
+/// Unlike [`FaultEngine`] (which is driven event-by-event from inside one
+/// simulator), host faults are *schedules*: the control plane asks for the
+/// crash/degrade windows of each host (and the fleet-wide storm windows)
+/// over its run horizon up front, then consults
+/// [`HostFaultEngine::storm_interrupts_install`] per install attempt. The
+/// schedules are a pure function of `(seed, host)` — fleet size and query
+/// order cannot perturb them.
+#[derive(Debug)]
+pub struct HostFaultEngine {
+    cfg: HostFaultConfig,
+    storm_rng: SmallRng,
+}
+
+/// A half-open fault window `[from, until)` in absolute fleet time.
+pub type FaultWindow = (Nanos, Nanos);
+
+impl HostFaultEngine {
+    /// Builds an engine, or `None` when the configuration injects nothing
+    /// — the zero-intensity contract is structural: no engine, no draws.
+    pub fn new(cfg: HostFaultConfig) -> Option<HostFaultEngine> {
+        if !cfg.any_active() {
+            return None;
+        }
+        let storm_rng = Self::stream(cfg.seed, 7, u64::MAX);
+        Some(HostFaultEngine { cfg, storm_rng })
+    }
+
+    /// The configuration the engine was built from.
+    pub fn config(&self) -> &HostFaultConfig {
+        &self.cfg
+    }
+
+    /// An independent stream per `(class tag, host)`; `seed_from_u64` runs
+    /// splitmix64, so nearby tags still yield uncorrelated streams.
+    fn stream(seed: u64, tag: u64, host: u64) -> SmallRng {
+        SmallRng::seed_from_u64(
+            seed.wrapping_mul(0x9e37_79b9)
+                .wrapping_add(tag)
+                .wrapping_mul(0x0100_0000_01b3)
+                .wrapping_add(host),
+        )
+    }
+
+    fn windows(
+        mut rng: SmallRng,
+        interval: Nanos,
+        max_len: Nanos,
+        horizon: Nanos,
+    ) -> Vec<FaultWindow> {
+        let i = interval.as_nanos();
+        let d = max_len.as_nanos();
+        let mut out = Vec::new();
+        let mut t = Nanos::ZERO;
+        loop {
+            let gap = Nanos(rng.gen_range(i / 2..=i.saturating_mul(3) / 2).max(1));
+            let start = t + gap;
+            if start >= horizon {
+                return out;
+            }
+            let len = Nanos(rng.gen_range(d / 2..=d).max(1));
+            out.push((start, start + len));
+            t = start + len;
+        }
+    }
+
+    /// Crash windows of `host` over `[0, horizon)`: the host is down for
+    /// each `[from, until)` and restarts (empty) at `until`. No draws when
+    /// the class is inactive.
+    pub fn crash_windows(&self, host: usize, horizon: Nanos) -> Vec<FaultWindow> {
+        let c = &self.cfg.crash;
+        if !c.is_active() {
+            return Vec::new();
+        }
+        let rng = Self::stream(self.cfg.seed, 8, host as u64);
+        Self::windows(rng, c.interval, c.outage, horizon)
+    }
+
+    /// Degradation windows of `host` over `[0, horizon)`. No draws when
+    /// the class is inactive.
+    pub fn degrade_windows(&self, host: usize, horizon: Nanos) -> Vec<FaultWindow> {
+        let d = &self.cfg.degrade;
+        if !d.is_active() {
+            return Vec::new();
+        }
+        let rng = Self::stream(self.cfg.seed, 9, host as u64);
+        Self::windows(rng, d.interval, d.duration, horizon)
+    }
+
+    /// Fleet-wide install-storm windows over `[0, horizon)`. No draws when
+    /// the class is inactive.
+    pub fn storm_windows(&self, horizon: Nanos) -> Vec<FaultWindow> {
+        let s = &self.cfg.storm;
+        if !s.is_active() {
+            return Vec::new();
+        }
+        let rng = Self::stream(self.cfg.seed, 10, u64::MAX);
+        Self::windows(rng, s.interval, s.duration, horizon)
+    }
+
+    /// Whether one install attempted inside a storm window is interrupted.
+    /// Callers must consult this only when `now` falls inside a window from
+    /// [`HostFaultEngine::storm_windows`] — outside storms no draw is made
+    /// and installs proceed untouched.
+    pub fn storm_interrupts_install(&mut self) -> bool {
+        let s = &self.cfg.storm;
+        s.is_active() && self.storm_rng.gen_bool(s.interrupt_prob.min(1.0))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,5 +802,73 @@ mod tests {
             let d = e.theft_duration();
             assert!(d >= Nanos(2_000) && d <= Nanos(4_000), "{d}");
         }
+    }
+
+    #[test]
+    fn zero_intensity_host_chaos_is_fully_inactive() {
+        let cfg = HostFaultConfig::chaos(11, 0.0);
+        assert!(!cfg.any_active());
+        assert!(HostFaultEngine::new(cfg).is_none());
+        assert!(HostFaultEngine::new(HostFaultConfig::none()).is_none());
+    }
+
+    #[test]
+    fn host_schedules_are_per_host_deterministic() {
+        let horizon = Nanos::from_secs(600);
+        let mk = || HostFaultEngine::new(HostFaultConfig::chaos(42, 1.0)).expect("active");
+        let (a, b) = (mk(), mk());
+        for host in [0usize, 1, 17, 199] {
+            assert_eq!(
+                a.crash_windows(host, horizon),
+                b.crash_windows(host, horizon)
+            );
+            assert_eq!(
+                a.degrade_windows(host, horizon),
+                b.degrade_windows(host, horizon)
+            );
+        }
+        // Different hosts see different schedules; the same host's schedule
+        // is independent of any other host having been queried first.
+        assert_ne!(a.crash_windows(0, horizon), a.crash_windows(1, horizon));
+        let fresh = mk();
+        let _ = fresh.crash_windows(150, horizon);
+        assert_eq!(fresh.crash_windows(3, horizon), a.crash_windows(3, horizon));
+        assert_eq!(a.storm_windows(horizon), b.storm_windows(horizon));
+    }
+
+    #[test]
+    fn host_windows_are_ordered_and_bounded() {
+        let e = HostFaultEngine::new(HostFaultConfig::chaos(7, 1.0)).expect("active");
+        let horizon = Nanos::from_secs(600);
+        let cfg = e.config().clone();
+        for host in 0..32 {
+            let mut last = Nanos::ZERO;
+            for (from, until) in e.crash_windows(host, horizon) {
+                assert!(from >= last && from < horizon, "window starts in order");
+                assert!(until > from, "non-empty outage");
+                assert!(until - from <= cfg.crash.outage, "outage within bound");
+                last = until;
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_host_classes_produce_no_windows() {
+        // Only storms active: crash/degrade schedules must be empty (and,
+        // per the contract, draw nothing).
+        let cfg = HostFaultConfig {
+            seed: 3,
+            storm: InstallStormFaults {
+                interval: Nanos::from_secs(5),
+                duration: Nanos::from_secs(1),
+                interrupt_prob: 0.5,
+            },
+            ..HostFaultConfig::none()
+        };
+        let e = HostFaultEngine::new(cfg).expect("storm class is active");
+        let horizon = Nanos::from_secs(100);
+        assert!(e.crash_windows(0, horizon).is_empty());
+        assert!(e.degrade_windows(0, horizon).is_empty());
+        assert!(!e.storm_windows(horizon).is_empty());
     }
 }

@@ -29,7 +29,10 @@ pub mod stats;
 pub mod trace;
 pub mod wheel;
 
-pub use fault::{CoreFaults, FaultConfig, FaultEngine, IpiFate};
+pub use fault::{
+    CoreFaults, FaultConfig, FaultEngine, FaultWindow, HostCrashFaults, HostDegradeFaults,
+    HostFaultConfig, HostFaultEngine, InstallStormFaults, IpiFate,
+};
 pub use lock::SimLock;
 pub use machine::Machine;
 pub use net::TxRing;

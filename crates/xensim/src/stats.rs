@@ -214,6 +214,20 @@ pub struct RecoveryStats {
     pub install_retries: u64,
     /// Guests demoted for persistently overrunning their declared demand.
     pub quarantines: u64,
+    /// VMs re-placed onto another host after a host crash (fleet control
+    /// plane; zero for single-host runs).
+    pub evacuated_vms: u64,
+    /// Evacuation placement attempts that failed and were retried with
+    /// backoff (fleet control plane).
+    pub evacuation_retries: u64,
+    /// VM admissions accepted by the placement front-end (fleet).
+    pub admissions: u64,
+    /// VM admissions shed with a typed rejection under backpressure
+    /// (fleet; never a panic, never a lost VM).
+    pub admission_rejections: u64,
+    /// Evacuated VMs whose retry budget ran out and were parked awaiting
+    /// capacity (still owned, retried at a slower cadence; fleet).
+    pub parked_vms: u64,
 }
 
 /// Whole-simulation statistics.

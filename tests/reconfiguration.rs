@@ -57,7 +57,8 @@ fn vm_admission_via_table_switch() {
         .as_any()
         .downcast_mut::<Tableau>()
         .unwrap()
-        .install_table(expanded.table.clone(), now);
+        .install_table(expanded.table.clone(), now)
+        .expect("expanded table is well-formed");
     assert!(switch_at > now);
     // The protocol switches at the end of the round after next: within two
     // table lengths.
@@ -126,7 +127,8 @@ fn vm_teardown_frees_capacity_for_the_second_level() {
         .as_any()
         .downcast_mut::<Tableau>()
         .unwrap()
-        .install_table(shrunk.table.clone(), now);
+        .install_table(shrunk.table.clone(), now)
+        .expect("shrunk table is well-formed");
     let mark = switch_at + ms(100);
     sim.run_until(mark);
     let at_mark: Vec<Nanos> = (0..4u32)
@@ -165,7 +167,8 @@ fn switch_preserves_consistency_under_repeated_pushes() {
             .as_any()
             .downcast_mut::<Tableau>()
             .unwrap()
-            .install_table(table, now);
+            .install_table(table, now)
+            .expect("replanned table is well-formed");
         t += ms(150);
     }
     sim.run_until(t + Nanos::from_secs(1));
