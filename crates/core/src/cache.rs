@@ -275,6 +275,7 @@ pub struct PlanCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    warmed: u64,
 }
 
 impl PlanCache {
@@ -287,7 +288,110 @@ impl PlanCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            warmed: 0,
         }
+    }
+
+    /// Index of the slot matching `(host, opts)`, if one exists.
+    fn find(&self, host: &HostConfig, opts: &PlannerOptions) -> Option<usize> {
+        let fp = fingerprint(host, opts);
+        self.buckets.get(&fp).and_then(|bucket| {
+            bucket
+                .iter()
+                .copied()
+                .map(|i| i as usize)
+                .find(|&i| key_matches(&self.slots[i].key, host, opts))
+        })
+    }
+
+    /// Hit-only probe: returns the cached plan for `(host, opts)` without
+    /// ever invoking the planner. A hit refreshes recency and counts toward
+    /// the hit statistics; an absence counts nothing — misses are charged
+    /// by the entry points that actually plan ([`PlanCache::get_or_plan`],
+    /// [`PlanCache::warm`]).
+    pub fn lookup(&mut self, host: &HostConfig, opts: &PlannerOptions) -> Option<Arc<Plan>> {
+        self.tick += 1;
+        let i = self.find(host, opts)?;
+        let tick = self.tick;
+        let slot = &mut self.slots[i];
+        let cached = slot.plan.clone()?;
+        slot.used = tick;
+        slot.hits += 1;
+        self.hits += 1;
+        Some(cached)
+    }
+
+    /// Stores `plan` under the key of `(host, opts)` without counting a
+    /// request — the insert-without-request API for plans produced *outside*
+    /// the cache (the delta-replanning path).
+    ///
+    /// The entry is keyed by the host's **new** shape: a delta-patched table
+    /// never overwrites (or serves from) the pre-delta shape's entry, whose
+    /// key still describes the old configuration. Inserting for a shape
+    /// that already has an entry replaces that entry's plan.
+    pub fn insert(&mut self, host: &HostConfig, opts: &PlannerOptions, plan: Arc<Plan>) {
+        self.tick += 1;
+        let idx = match self.find(host, opts) {
+            Some(i) => i,
+            None => {
+                let fp = fingerprint(host, opts);
+                let idx = self.slots.len();
+                self.slots.push(Slot {
+                    key: Key::of(host, opts),
+                    plan: None,
+                    used: 0,
+                    hits: 0,
+                    misses: 0,
+                });
+                self.buckets.entry(fp).or_default().push(idx as u32);
+                idx
+            }
+        };
+        if self.slots[idx].plan.is_none() && self.len() >= self.capacity {
+            // Evict the least-recently-used filled slot, as on a miss.
+            if let Some(victim) = self
+                .slots
+                .iter_mut()
+                .filter(|s| s.plan.is_some())
+                .min_by_key(|s| s.used)
+            {
+                victim.plan = None;
+            }
+        }
+        let tick = self.tick;
+        let slot = &mut self.slots[idx];
+        slot.plan = Some(plan);
+        slot.used = tick;
+    }
+
+    /// Speculatively pre-plans `(host, opts)` so the predicted request hits.
+    ///
+    /// If the shape is already cached this only refreshes its recency (the
+    /// warmed entry must survive until the request it anticipates); nothing
+    /// is counted as a hit or miss either way — warming is not a request.
+    /// Planner invocations are tallied in [`PlanCache::warmed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`plan`]'s admission errors; failures are not cached.
+    pub fn warm(
+        &mut self,
+        host: &HostConfig,
+        opts: &PlannerOptions,
+    ) -> Result<Arc<Plan>, PlanError> {
+        self.tick += 1;
+        if let Some(i) = self.find(host, opts) {
+            let tick = self.tick;
+            let slot = &mut self.slots[i];
+            if let Some(cached) = slot.plan.clone() {
+                slot.used = tick;
+                return Ok(cached);
+            }
+        }
+        let fresh = Arc::new(plan(host, opts)?);
+        self.warmed += 1;
+        self.insert(host, opts, fresh.clone());
+        Ok(fresh)
     }
 
     /// Returns the cached plan for `(host, opts)`, planning (and caching)
@@ -369,6 +473,12 @@ impl PlanCache {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Planner runs performed by [`PlanCache::warm`] (speculative, not
+    /// counted as misses).
+    pub fn warmed(&self) -> u64 {
+        self.warmed
     }
 
     /// Aggregate plus per-key hit/miss statistics, most-hit keys first
@@ -592,6 +702,75 @@ mod tests {
         // The failed attempt still shows up as a per-key miss.
         assert_eq!(cache.stats().per_key.len(), 1);
         assert_eq!(cache.stats().per_key[0].misses, 1);
+    }
+
+    #[test]
+    fn delta_patched_plans_rekey_and_never_serve_the_stale_shape() {
+        // Satellite regression: after a delta replan changes a host's shape,
+        // the cache must serve the *new* shape from the delta-patched plan
+        // and must never hand the pre-delta table back for it.
+        let opts = PlannerOptions::default();
+        let mut cache = PlanCache::new(8);
+        let before = host(6, "vm");
+        let mut after = before.clone();
+        after.add_vm(VmSpec::uniform(
+            "newcomer",
+            1,
+            VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20)),
+        ));
+
+        let pre = cache.get_or_plan(&before, &opts).unwrap();
+        let (patched, _) = crate::delta::plan_delta(&before, &pre, &after, &opts).unwrap();
+        let patched = Arc::new(patched);
+        cache.insert(&after, &opts, patched.clone());
+
+        // The new shape resolves to the delta-patched plan...
+        let got = cache.lookup(&after, &opts).unwrap();
+        assert!(Arc::ptr_eq(&got, &patched));
+        assert!(
+            !Arc::ptr_eq(&got, &pre),
+            "post-delta lookup served the pre-delta table"
+        );
+        // ...and the old shape's entry is intact, still serving its own plan.
+        let old = cache.lookup(&before, &opts).unwrap();
+        assert!(Arc::ptr_eq(&old, &pre));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lookup_is_hit_only_and_counts_no_misses() {
+        let mut cache = PlanCache::new(4);
+        let opts = PlannerOptions::default();
+        assert!(cache.lookup(&host(4, "vm"), &opts).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        let _ = cache.get_or_plan(&host(4, "vm"), &opts).unwrap();
+        let _ = cache.lookup(&host(4, "vm"), &opts).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn warming_prefills_without_counting_requests() {
+        let mut cache = PlanCache::new(4);
+        let opts = PlannerOptions::default();
+        let warmed = cache.warm(&host(6, "vm"), &opts).unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.warmed()), (0, 0, 1));
+        // Re-warming an already-cached shape plans nothing.
+        let again = cache.warm(&host(6, "vm"), &opts).unwrap();
+        assert!(Arc::ptr_eq(&warmed, &again));
+        assert_eq!(cache.warmed(), 1);
+        // The predicted request is a plain hit.
+        let served = cache.get_or_plan(&host(6, "vm"), &opts).unwrap();
+        assert!(Arc::ptr_eq(&warmed, &served));
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+    }
+
+    #[test]
+    fn warming_respects_capacity() {
+        let mut cache = PlanCache::new(1);
+        let opts = PlannerOptions::default();
+        let _ = cache.warm(&host(2, "a"), &opts).unwrap();
+        let _ = cache.warm(&host(4, "b"), &opts).unwrap();
+        assert_eq!(cache.len(), 1, "warming must evict, not grow unbounded");
     }
 
     #[test]

@@ -399,6 +399,10 @@ pub fn plan_incremental(
             split_vcpus,
             coalesce: coalesce_report,
             worst_blackout,
+            // An incrementally patched plan carries no stage-1 bin record —
+            // the next replan of this host starts at the incremental rung.
+            core_bins: Vec::new(),
+            coalesce_by_core: Vec::new(),
         },
         report,
     ))

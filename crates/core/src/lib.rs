@@ -40,6 +40,7 @@
 
 pub mod binary;
 pub mod cache;
+pub mod delta;
 pub mod dispatch;
 pub mod guardian;
 pub mod incremental;
@@ -51,6 +52,7 @@ pub mod table;
 pub mod vcpu;
 pub mod viz;
 
+pub use delta::{plan_delta, DeltaAbort, DeltaReport};
 pub use dispatch::{Decision, Dispatcher};
 pub use guardian::{
     CoreEvent, Guardian, GuardianConfig, GuardianCounters, RecoveryAction, RecoveryRecord,

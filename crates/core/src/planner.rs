@@ -90,7 +90,7 @@ pub struct VcpuParams {
 
 /// A complete plan: the dispatch table plus everything the hypervisor-side
 /// needs to enact it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// The generated dispatch table (one hyperperiod).
     pub table: Table,
@@ -105,6 +105,16 @@ pub struct Plan {
     /// Observed worst-case service gap per vCPU in the final table
     /// (cyclic), for validation against each vCPU's latency goal.
     pub worst_blackout: Vec<(VcpuId, Nanos)>,
+    /// Stage-1 packing record: the vCPUs of each *shared* core, in bin
+    /// order. Populated only for plain-partitioned, peephole-free plans —
+    /// the precondition for delta replanning ([`crate::delta`]); empty
+    /// otherwise, which sends the next replan down the ladder instead.
+    pub core_bins: Vec<Vec<VcpuId>>,
+    /// Per-core coalescing reports (shared cores then dedicated cores, in
+    /// table-core order), kept so a delta replan can reproduce the
+    /// aggregate [`Plan::coalesce`] for untouched cores. Empty whenever
+    /// `core_bins` is empty.
+    pub coalesce_by_core: Vec<CoalesceReport>,
 }
 
 /// Wall-clock breakdown of one planning run, by pipeline stage.
@@ -183,6 +193,9 @@ impl From<GenError> for PlanError {
 /// Which rung of the replanning ladder produced a plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplanPath {
+    /// Delta replanning: only the bins dirtied by the churn were
+    /// re-simulated; everything else was spliced from the previous plan.
+    Delta,
     /// Incremental per-core replanning against the previous plan.
     Incremental,
     /// Full from-scratch replan (no previous plan, or incremental
@@ -197,6 +210,7 @@ impl ReplanPath {
     /// Short label for diagnostics.
     pub fn label(self) -> &'static str {
         match self {
+            ReplanPath::Delta => "delta",
             ReplanPath::Incremental => "incremental",
             ReplanPath::Full => "full",
             ReplanPath::FullConservative => "full-conservative",
@@ -213,6 +227,8 @@ pub struct ReplanOutcome {
     pub path: ReplanPath,
     /// The incremental report, when the incremental rung ran to completion.
     pub incremental: Option<crate::incremental::IncrementalReport>,
+    /// The delta report, when the delta rung ran to completion.
+    pub delta: Option<crate::delta::DeltaReport>,
     /// Errors from rungs that were tried and failed before this one.
     pub attempts: Vec<(ReplanPath, PlanError)>,
 }
@@ -241,11 +257,19 @@ impl std::fmt::Display for ReplanError {
 
 impl std::error::Error for ReplanError {}
 
-/// Plans `host` with graceful degradation: incremental replanning first
-/// (when a previous plan is available), then a full replan under the
-/// requested options, then — if the requested options were non-default — a
-/// full replan under conservative defaults. Only when every rung fails is
-/// the reconfiguration rejected, with the per-rung diagnostic trail.
+/// Plans `host` with graceful degradation: delta replanning first (patching
+/// only the bins the churn dirtied — see [`crate::delta`]), then incremental
+/// replanning (both only when a previous plan is available), then a full
+/// replan under the requested options, then — if the requested options were
+/// non-default — a full replan under conservative defaults. Only when every
+/// rung fails is the reconfiguration rejected, with the per-rung diagnostic
+/// trail.
+///
+/// A delta abort is *not* an error: the delta rung declines whenever the
+/// previous plan used C=D splits or DP-Fair clusters, the host geometry
+/// changed, or the bin metadata is missing — those are exactly the cases the
+/// lower rungs exist for, so the abort falls through silently and does not
+/// appear in `attempts`.
 ///
 /// This is the planner's fault-tolerance ladder: a planner daemon facing a
 /// pathological reconfiguration (or a table push that was rolled back
@@ -264,6 +288,18 @@ pub fn plan_with_fallback(
     let mut attempts: Vec<(ReplanPath, PlanError)> = Vec::new();
 
     if let Some((prev_host, prev_plan)) = prev {
+        // Rung 0: delta. Inapplicability (split/clustered history, changed
+        // geometry, missing bin metadata) is benign — fall through silently.
+        if let Ok((plan, report)) = crate::delta::plan_delta(prev_host, prev_plan, host, opts) {
+            return Ok(ReplanOutcome {
+                plan,
+                path: ReplanPath::Delta,
+                incremental: None,
+                delta: Some(report),
+                attempts,
+            });
+        }
+
         match crate::incremental::plan_incremental(prev_host, prev_plan, host, opts) {
             Ok((plan, report)) => {
                 // The incremental path may itself have decided on a full
@@ -278,6 +314,7 @@ pub fn plan_with_fallback(
                     plan,
                     path,
                     incremental: Some(report),
+                    delta: None,
                     attempts,
                 });
             }
@@ -291,6 +328,7 @@ pub fn plan_with_fallback(
                 plan,
                 path: ReplanPath::Full,
                 incremental: None,
+                delta: None,
                 attempts,
             })
         }
@@ -309,6 +347,7 @@ pub fn plan_with_fallback(
                     plan,
                     path: ReplanPath::FullConservative,
                     incremental: None,
+                    delta: None,
                     attempts,
                 })
             }
@@ -368,17 +407,30 @@ pub fn plan(host: &HostConfig, opts: &PlannerOptions) -> Result<Plan, PlanError>
     plan_timed(host, opts).map(|(p, _)| p)
 }
 
-/// Like [`plan`], additionally returning the per-stage wall-clock breakdown.
-///
-/// The timings are a pure side channel: the returned [`Plan`] is the one
-/// [`plan`] would produce.
-pub fn plan_timed(
+/// SLA-translation output (planner stages 0 and 1), shared between the full
+/// pipeline and the delta planner so both derive tasks, preferences, and
+/// parameters identically.
+pub(crate) struct Translation {
+    /// All vCPUs of the host, in id order.
+    pub vcpus: Vec<(VcpuId, VcpuSpec)>,
+    /// vCPUs that received dedicated cores, in id order.
+    pub dedicated: Vec<VcpuId>,
+    /// Cores available to the packing stages.
+    pub shared_cores: usize,
+    /// One implicit-deadline task per shared vCPU.
+    pub tasks: Vec<PeriodicTask>,
+    /// Soft NUMA preferences, aligned with `tasks` by position.
+    pub prefs: Vec<Vec<usize>>,
+    /// Chosen per-vCPU parameters, in vCPU-id order.
+    pub params: Vec<VcpuParams>,
+}
+
+/// Planner stages 0 and 1: dedicated-core selection and SLA → `(C, T)`
+/// translation.
+pub(crate) fn translate(
     host: &HostConfig,
     opts: &PlannerOptions,
-) -> Result<(Plan, PlanTimings), PlanError> {
-    let t_total = Instant::now();
-    let mut timings = PlanTimings::default();
-    let t0 = Instant::now();
+) -> Result<Translation, PlanError> {
     let hyperperiod = opts.candidates.hyperperiod();
     let vcpus = host.vcpus();
 
@@ -446,6 +498,61 @@ pub fn plan_timed(
             capped: spec.capped,
         });
     }
+    Ok(Translation {
+        vcpus,
+        dedicated,
+        shared_cores,
+        tasks,
+        prefs,
+        params,
+    })
+}
+
+/// Observed worst-case cyclic service gap of `vcpu` in `table` — the
+/// blackout the latency-goal validation checks. Pure function of the vCPU's
+/// interval set in the table.
+pub(crate) fn blackout_in_table(table: &Table, vcpu: VcpuId, hyperperiod: Nanos) -> Nanos {
+    let ivs: Vec<(Nanos, Nanos)> = table
+        .placement(vcpu)
+        .map(|p| p.allocations.iter().map(|&(_, s, e)| (s, e)).collect())
+        .unwrap_or_default();
+    if ivs.is_empty() {
+        hyperperiod
+    } else {
+        // Reuse the rtsched helper on a synthetic single-task schedule.
+        let mut sched = rtsched::MultiCoreSchedule::idle(hyperperiod, 1);
+        let mut merged = ivs;
+        merged.sort_unstable();
+        for (s, e) in merged {
+            // Allocations of one vCPU never overlap (checked by
+            // Table::new), but cross-core ones can touch; push merges
+            // only same-task adjacency, which is what we want.
+            sched.cores[0].push(rtsched::Segment::new(s, e, TaskId(vcpu.0)));
+        }
+        task_max_blackout(TaskId(vcpu.0), &sched)
+    }
+}
+
+/// Like [`plan`], additionally returning the per-stage wall-clock breakdown.
+///
+/// The timings are a pure side channel: the returned [`Plan`] is the one
+/// [`plan`] would produce.
+pub fn plan_timed(
+    host: &HostConfig,
+    opts: &PlannerOptions,
+) -> Result<(Plan, PlanTimings), PlanError> {
+    let t_total = Instant::now();
+    let mut timings = PlanTimings::default();
+    let t0 = Instant::now();
+    let hyperperiod = opts.candidates.hyperperiod();
+    let Translation {
+        vcpus,
+        dedicated,
+        shared_cores,
+        tasks,
+        prefs,
+        params,
+    } = translate(host, opts)?;
 
     timings.pack += t0.elapsed();
 
@@ -454,6 +561,7 @@ pub fn plan_timed(
         generate_schedule_instrumented(&tasks, shared_cores, hyperperiod, &opts.gen, &prefs)?;
     let mut generated = outcome.generated;
     let mut sharing = outcome.sharing;
+    let gen_core_bins = outcome.core_bins;
     timings.pack += outcome.timings.pack;
     timings.simulate += outcome.timings.simulate;
     timings.verify += outcome.timings.verify;
@@ -539,18 +647,20 @@ pub fn plan_timed(
     }
     let mut per_core: Vec<Vec<Allocation>> = Vec::with_capacity(host.n_cores);
     let mut coalesce_report = CoalesceReport::default();
+    let mut coalesce_by_core: Vec<CoalesceReport> = Vec::with_capacity(host.n_cores);
     for (allocs, report) in coalesced {
-        coalesce_report.absorb(report);
+        coalesce_report.absorb(report.clone());
+        coalesce_by_core.push(report);
         per_core.push(allocs);
     }
     // Dedicated cores: one wall-to-wall allocation each.
-    for (i, &vcpu) in dedicated.iter().enumerate() {
-        let _ = i;
+    for &vcpu in &dedicated {
         per_core.push(vec![Allocation {
             start: Nanos::ZERO,
             end: hyperperiod,
             vcpu,
         }]);
+        coalesce_by_core.push(CoalesceReport::default());
     }
     timings.coalesce += t0.elapsed();
 
@@ -565,29 +675,28 @@ pub fn plan_timed(
     // are validated concurrently, collected in vCPU order.
     let worst_blackout: Vec<(VcpuId, Nanos)> = rayon::par_map_indices(vcpus.len(), |i| {
         let (vcpu, _) = vcpus[i];
-        let ivs: Vec<(Nanos, Nanos)> = table
-            .placement(vcpu)
-            .map(|p| p.allocations.iter().map(|&(_, s, e)| (s, e)).collect())
-            .unwrap_or_default();
-        let blackout = if ivs.is_empty() {
-            hyperperiod
-        } else {
-            // Reuse the rtsched helper on a synthetic single-task schedule.
-            let mut sched = rtsched::MultiCoreSchedule::idle(hyperperiod, 1);
-            let mut merged = ivs;
-            merged.sort_unstable();
-            for (s, e) in merged {
-                // Allocations of one vCPU never overlap (checked by
-                // Table::new), but cross-core ones can touch; push merges
-                // only same-task adjacency, which is what we want.
-                sched.cores[0].push(rtsched::Segment::new(s, e, TaskId(vcpu.0)));
-            }
-            task_max_blackout(TaskId(vcpu.0), &sched)
-        };
-        (vcpu, blackout)
+        (vcpu, blackout_in_table(&table, vcpu, hyperperiod))
     });
     timings.verify += t0.elapsed();
     timings.total = t_total.elapsed();
+
+    // Delta-replanning metadata: the stage-1 packing record, translated to
+    // vCPU ids, plus the per-core coalescing reports. Only plain-partitioned
+    // peephole-free plans qualify (the peephole pass rewrites allocations
+    // out from under the per-bin bookkeeping).
+    let core_bins: Vec<Vec<VcpuId>> = if opts.peephole || generated.stage != Stage::Partitioned {
+        Vec::new()
+    } else {
+        gen_core_bins
+            .into_iter()
+            .map(|bin| bin.into_iter().map(|t| VcpuId(t.0)).collect())
+            .collect()
+    };
+    let coalesce_by_core = if core_bins.is_empty() {
+        Vec::new()
+    } else {
+        coalesce_by_core
+    };
 
     Ok((
         Plan {
@@ -597,6 +706,8 @@ pub fn plan_timed(
             split_vcpus: generated.split_tasks.iter().map(|t| VcpuId(t.0)).collect(),
             coalesce: coalesce_report,
             worst_blackout,
+            core_bins,
+            coalesce_by_core,
         },
         timings,
     ))
@@ -830,13 +941,36 @@ mod tests {
     }
 
     #[test]
-    fn fallback_ladder_uses_incremental_when_possible() {
+    fn fallback_ladder_uses_delta_when_possible() {
         let opts = PlannerOptions::default();
         let mut prev_host = HostConfig::new(4);
         for i in 0..12 {
             prev_host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, paper_spec()));
         }
         let prev = plan(&prev_host, &opts).unwrap();
+        let mut host = prev_host.clone();
+        host.add_vm(VmSpec::uniform("newcomer", 1, paper_spec()));
+
+        let out = plan_with_fallback(Some((&prev_host, &prev)), &host, &opts).unwrap();
+        assert_eq!(out.path, ReplanPath::Delta);
+        assert!(out.attempts.is_empty());
+        assert!(!out.delta.as_ref().unwrap().clean_cores.is_empty());
+        // The delta-produced plan is exactly what a full replan would build.
+        assert_eq!(out.plan, plan(&host, &opts).unwrap());
+    }
+
+    #[test]
+    fn fallback_ladder_uses_incremental_when_delta_declines() {
+        let opts = PlannerOptions::default();
+        let mut prev_host = HostConfig::new(4);
+        for i in 0..12 {
+            prev_host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, paper_spec()));
+        }
+        let mut prev = plan(&prev_host, &opts).unwrap();
+        // Strip the bin metadata (as an incrementally produced plan would):
+        // the delta rung must decline and the incremental rung take over.
+        prev.core_bins.clear();
+        prev.coalesce_by_core.clear();
         let mut host = prev_host.clone();
         host.add_vm(VmSpec::uniform("newcomer", 1, paper_spec()));
 

@@ -11,6 +11,8 @@
 //! inspects a bounded number of records regardless of table size, touching
 //! at most two cache lines in the hot path.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use rtsched::time::Nanos;
@@ -311,6 +313,24 @@ impl CpuTable {
     }
 }
 
+/// Home core of a vCPU given its sorted `(core, start, end)` allocations:
+/// the core with the most reserved time, ties to the lowest core id, `0`
+/// for an empty list (the fresh-build default).
+fn home_of(allocations: &[(usize, Nanos, Nanos)]) -> usize {
+    let mut per_core_time: Vec<(usize, Nanos)> = Vec::new();
+    for &(core, s, e) in allocations {
+        match per_core_time.iter_mut().find(|(c, _)| *c == core) {
+            Some((_, t)) => *t += e - s,
+            None => per_core_time.push((core, e - s)),
+        }
+    }
+    per_core_time
+        .iter()
+        .max_by_key(|&&(c, t)| (t, std::cmp::Reverse(c)))
+        .map(|&(c, _)| c)
+        .unwrap_or(0)
+}
+
 /// Per-vCPU placement metadata derived from the table, used for wake-up
 /// routing and second-level eligibility (Sec. 6, "Efficient wake-ups").
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -354,10 +374,13 @@ pub struct VcpuPlacement {
 pub struct Table {
     /// Table length (one hyperperiod).
     len: Nanos,
-    /// Per-core tables, indexed by core id.
-    cpus: Vec<CpuTable>,
-    /// Per-vCPU placement metadata, indexed by `VcpuId`.
-    placements: Vec<VcpuPlacement>,
+    /// Per-core tables, indexed by core id. `Arc`-shared so a delta splice
+    /// ([`Table::patched_from`]) reuses untouched cores by reference
+    /// instead of copying their slice and segment arrays.
+    cpus: Vec<Arc<CpuTable>>,
+    /// Per-vCPU placement metadata, indexed by `VcpuId` (`Arc`-shared for
+    /// the same splice reuse).
+    placements: Vec<Arc<VcpuPlacement>>,
     /// Per-core home lists: `homed[c]` holds the vCPUs whose home core is
     /// `c`, precomputed so second-level rebuilds on a table switch never
     /// re-scan all placements.
@@ -404,7 +427,168 @@ impl Table {
             };
             cpus.push(cpu);
         }
+        Table::assemble(len, per_core, cpus)
+    }
 
+    /// Like [`Table::new`], splicing in compiled per-core tables from a
+    /// *donor* (typically the previous plan's table): `donors[core] =
+    /// Some(cpu)` proposes reusing `cpu`'s slice index and segment arrays
+    /// for this core. This is the delta-replanning splice: untouched cores
+    /// keep their compiled form without re-running the slice build.
+    ///
+    /// Every donation is *checked*, not trusted — [`CpuTable::stamped_from`]
+    /// verifies positional `(start, end)` geometry and id alignment, and the
+    /// cross-core placement validation below runs on the full allocation
+    /// set either way — so the produced table is always field-identical to
+    /// what [`Table::new`] would build from the same allocations.
+    pub fn new_with_donors(
+        len: Nanos,
+        per_core: Vec<Vec<Allocation>>,
+        donors: &[Option<&CpuTable>],
+    ) -> Result<Table, String> {
+        let mut cpus: Vec<CpuTable> = Vec::with_capacity(per_core.len());
+        for (core, allocs) in per_core.iter().enumerate() {
+            let donated = donors
+                .get(core)
+                .copied()
+                .flatten()
+                .and_then(|rep| CpuTable::stamped_from(rep, allocs.clone(), len));
+            let cpu = match donated {
+                Some(c) => c,
+                None => {
+                    CpuTable::new(allocs.clone(), len).map_err(|e| format!("core {core}: {e}"))?
+                }
+            };
+            cpus.push(cpu);
+        }
+        Table::assemble(len, per_core, cpus)
+    }
+
+    /// Like [`Table::new`], but starting from a previous table and replacing
+    /// only the cores listed in `updates`; every core not listed keeps its
+    /// compiled table, its vCPU ids, and its placement entries verbatim.
+    ///
+    /// This is the delta-replanning splice for id-stable churn (a VM join,
+    /// or a leave of the highest-numbered VM): untouched cores carry exactly
+    /// the same `(vcpu, start, end)` triples as before, so their placements,
+    /// home cores, and slice tables are reused wholesale instead of being
+    /// rebuilt from the full allocation set. Updated cores are validated by
+    /// [`CpuTable::new`] as usual, and every vCPU that gained or lost an
+    /// allocation on an updated core is re-sorted, re-checked for cross-core
+    /// overlap, and re-homed — so the result is field-identical to what
+    /// [`Table::new`] would build from the combined allocation lists.
+    pub fn patched_from(
+        prev: &Table,
+        updates: Vec<(usize, Vec<Allocation>)>,
+    ) -> Result<Table, String> {
+        let len = prev.len;
+        let mut cpus = prev.cpus.clone();
+        let mut placements = prev.placements.clone();
+
+        // vCPUs whose allocation set changes: everything previously on an
+        // updated core, plus everything newly placed there.
+        let mut touched: Vec<u32> = Vec::new();
+        for &(core, ref allocs) in &updates {
+            if core >= cpus.len() {
+                return Err(format!("update for core {core} out of range"));
+            }
+            touched.extend(prev.cpus[core].allocations().iter().map(|a| a.vcpu.0));
+            touched.extend(allocs.iter().map(|a| a.vcpu.0));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Grow the placement vector for ids the updates introduce.
+        if let Some(max_new) = updates
+            .iter()
+            .flat_map(|(_, a)| a.iter().map(|x| x.vcpu.0))
+            .max()
+        {
+            if max_new as usize >= placements.len() {
+                placements.resize(
+                    max_new as usize + 1,
+                    Arc::new(VcpuPlacement {
+                        allocations: Vec::new(),
+                        home_core: 0,
+                    }),
+                );
+            }
+        }
+
+        // Drop the touched vCPUs' allocations on updated cores, then re-add
+        // from the new lists (a fresh build pushes in core order; within one
+        // vCPU equal starts are impossible in a valid table, so the sort
+        // below reproduces the fresh build's ordering exactly).
+        let updated_cores: Vec<usize> = updates.iter().map(|&(c, _)| c).collect();
+        for &v in &touched {
+            Arc::make_mut(&mut placements[v as usize])
+                .allocations
+                .retain(|&(c, _, _)| !updated_cores.contains(&c));
+        }
+        for (core, allocs) in updates {
+            for a in &allocs {
+                Arc::make_mut(&mut placements[a.vcpu.0 as usize])
+                    .allocations
+                    .push((core, a.start, a.end));
+            }
+            cpus[core] =
+                Arc::new(CpuTable::new(allocs, len).map_err(|e| format!("core {core}: {e}"))?);
+        }
+
+        // Re-validate and re-home the touched vCPUs exactly as
+        // [`Table::assemble`] does; untouched vCPUs cannot have gained an
+        // overlap (their allocation sets are unchanged).
+        for &v in &touched {
+            let p = Arc::make_mut(&mut placements[v as usize]);
+            p.allocations.sort_by_key(|&(_, s, _)| s);
+            for w in p.allocations.windows(2) {
+                if w[0].2 > w[1].1 {
+                    return Err(format!(
+                        "vCPU v{v} has overlapping allocations at {}",
+                        w[1].1
+                    ));
+                }
+            }
+            p.home_core = home_of(&p.allocations);
+        }
+        // A fresh build sizes placements to the highest id with allocations.
+        while placements.last().is_some_and(|p| p.allocations.is_empty()) {
+            placements.pop();
+        }
+
+        // Home lists: remove every touched vCPU, then re-insert the ones
+        // that still exist at their (ascending-id) position.
+        let mut homed = prev.homed.clone();
+        for list in &mut homed {
+            list.retain(|v| touched.binary_search(&v.0).is_err());
+        }
+        for &v in &touched {
+            let Some(p) = placements.get(v as usize) else {
+                continue;
+            };
+            if p.allocations.is_empty() {
+                continue;
+            }
+            let list = &mut homed[p.home_core];
+            let at = list.partition_point(|&x| x.0 < v);
+            list.insert(at, VcpuId(v));
+        }
+
+        Ok(Table {
+            len,
+            cpus,
+            placements,
+            homed,
+        })
+    }
+
+    /// Shared tail of the constructors: placement metadata, cross-core
+    /// overlap validation, and home-core assignment.
+    fn assemble(
+        len: Nanos,
+        per_core: Vec<Vec<Allocation>>,
+        cpus: Vec<CpuTable>,
+    ) -> Result<Table, String> {
         // Build per-vCPU placements.
         let max_vcpu = per_core
             .iter()
@@ -438,19 +622,7 @@ impl Table {
                     ));
                 }
             }
-            // Home core: most reserved time, ties to the lowest core id.
-            let mut per_core_time: Vec<(usize, Nanos)> = Vec::new();
-            for &(core, s, e) in &p.allocations {
-                match per_core_time.iter_mut().find(|(c, _)| *c == core) {
-                    Some((_, t)) => *t += e - s,
-                    None => per_core_time.push((core, e - s)),
-                }
-            }
-            p.home_core = per_core_time
-                .iter()
-                .max_by_key(|&&(c, t)| (t, std::cmp::Reverse(c)))
-                .map(|&(c, _)| c)
-                .unwrap_or(0);
+            p.home_core = home_of(&p.allocations);
         }
 
         let mut homed = vec![Vec::new(); per_core.len()];
@@ -462,8 +634,8 @@ impl Table {
 
         Ok(Table {
             len,
-            cpus,
-            placements,
+            cpus: cpus.into_iter().map(Arc::new).collect(),
+            placements: placements.into_iter().map(Arc::new).collect(),
             homed,
         })
     }
@@ -505,6 +677,7 @@ impl Table {
     pub fn placement(&self, vcpu: VcpuId) -> Option<&VcpuPlacement> {
         self.placements
             .get(vcpu.0 as usize)
+            .map(|p| &**p)
             .filter(|p| !p.allocations.is_empty())
     }
 
@@ -719,6 +892,55 @@ mod tests {
         // A bogus hint (rep not below core) is ignored, not an error.
         let bogus = Table::new_with_stamps(ms(10), per_core, &[Some(1), None]).unwrap();
         assert_eq!(plain, bogus);
+    }
+
+    #[test]
+    fn patched_table_matches_fresh_build() {
+        let prev = Table::new(
+            ms(10),
+            vec![vec![alloc(0, 2, 0), alloc(5, 8, 1)], vec![alloc(0, 4, 2)]],
+        )
+        .unwrap();
+        // Replace core 1's schedule and introduce a new vCPU 3.
+        let patched =
+            Table::patched_from(&prev, vec![(1, vec![alloc(0, 3, 2), alloc(4, 7, 3)])]).unwrap();
+        let fresh = Table::new(
+            ms(10),
+            vec![
+                vec![alloc(0, 2, 0), alloc(5, 8, 1)],
+                vec![alloc(0, 3, 2), alloc(4, 7, 3)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(patched, fresh);
+    }
+
+    #[test]
+    fn patched_table_detects_cross_core_overlap() {
+        // vCPU 0 lives on core 0 at [0, 3); patching core 1 to also reserve
+        // it at [2, 5) must be rejected like a fresh build would.
+        let prev = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(5, 7, 1)]]).unwrap();
+        assert!(Table::patched_from(&prev, vec![(1, vec![alloc(2, 5, 0)])]).is_err());
+        // The same patch with a non-overlapping interval is fine, and the
+        // migrating vCPU is re-homed onto the core with more time.
+        let ok = Table::patched_from(&prev, vec![(1, vec![alloc(3, 9, 0)])]).unwrap();
+        assert_eq!(ok.placement(VcpuId(0)).unwrap().home_core, 1);
+    }
+
+    #[test]
+    fn patched_table_drops_trailing_empty_ids() {
+        let prev = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(0, 4, 5)]]).unwrap();
+        let patched = Table::patched_from(&prev, vec![(1, vec![alloc(0, 4, 1)])]).unwrap();
+        let fresh = Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(0, 4, 1)]]).unwrap();
+        assert_eq!(patched, fresh);
+        assert!(patched.placement(VcpuId(5)).is_none());
+        assert_eq!(patched.vcpus_homed_on(1), vec![VcpuId(1)]);
+    }
+
+    #[test]
+    fn patched_table_rejects_out_of_range_core() {
+        let prev = Table::new(ms(10), vec![vec![alloc(0, 3, 0)]]).unwrap();
+        assert!(Table::patched_from(&prev, vec![(1, vec![alloc(0, 2, 1)])]).is_err());
     }
 
     #[test]

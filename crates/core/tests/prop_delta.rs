@@ -1,0 +1,203 @@
+//! Property-based tests for delta replanning.
+//!
+//! The contract is stronger than the incremental rung's: a delta-spliced
+//! plan must be **field-identical** to a full from-scratch replan of the
+//! same host — same table, same blackouts, same coalesce bookkeeping —
+//! because the splice reuses prior per-bin results only where the packing
+//! provably reproduces them. Random fleets are planned, hit with a random
+//! single-VM churn event (join, leave-of-last, mid-host leave, resize),
+//! and replanned both ways; whenever the delta rung declines, the fallback
+//! ladder must still produce a valid plan.
+
+use proptest::prelude::*;
+
+use rtsched::time::Nanos;
+use tableau_core::delta::plan_delta;
+use tableau_core::planner::{plan, plan_with_fallback, PlannerOptions, ReplanPath};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+
+/// A reproducible fleet description: per-VM (utilization %, latency ms,
+/// capped) tuples on a small multicore.
+type FleetDesc = (usize, Vec<(u32, u64, bool)>);
+
+fn add_vm(host: &mut HostConfig, i: usize, (upct, l_ms, capped): (u32, u64, bool)) {
+    let u = Utilization::from_percent(upct);
+    let l = Nanos::from_millis(l_ms);
+    let spec = if capped {
+        VcpuSpec::capped(u, l)
+    } else {
+        VcpuSpec::new(u, l)
+    };
+    host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+}
+
+fn build_host(cores: usize, vms: &[(u32, u64, bool)]) -> HostConfig {
+    let mut host = HostConfig::new(cores);
+    for (i, &vm) in vms.iter().enumerate() {
+        add_vm(&mut host, i, vm);
+    }
+    host
+}
+
+/// Strategy: 2–4 cores and 2–10 VMs whose utilizations always admit both
+/// the original fleet and the churned one (one extra 10% VM).
+fn arb_fleet() -> impl Strategy<Value = FleetDesc> {
+    const UTILS: [u32; 3] = [10, 20, 25];
+    const LATENCIES: [u64; 3] = [10, 20, 40];
+    (
+        2usize..=4,
+        proptest::collection::vec((0usize..3, 0usize..3, any::<bool>()), 2..=10),
+    )
+        .prop_map(|(cores, picks)| {
+            // Keep total utilization (plus a 10% newcomer) admissible.
+            let budget = cores as u64 * 100 - 15;
+            let mut used = 0u64;
+            let mut vms: Vec<(u32, u64, bool)> = Vec::new();
+            for (ui, li, capped) in picks {
+                let u = UTILS[ui];
+                if used + u as u64 > budget {
+                    continue;
+                }
+                used += u as u64;
+                vms.push((u, LATENCIES[li], capped));
+            }
+            while vms.len() < 2 {
+                vms.push((10, 40, false));
+            }
+            (cores, vms)
+        })
+}
+
+/// The four single-VM churn shapes the delta planner handles. Joins and
+/// leave-of-last keep surviving vCPU ids verbatim (id-stable splice);
+/// a mid-host leave shifts later ids down (relabel splice); a resize
+/// changes one VM's (cost, period) tuple in place.
+#[derive(Debug, Clone, Copy)]
+enum Churn {
+    Join,
+    LeaveLast,
+    LeaveMid,
+    Resize,
+}
+
+fn churned_host(cores: usize, vms: &[(u32, u64, bool)], churn: Churn, pick: usize) -> HostConfig {
+    let mut host = HostConfig::new(cores);
+    match churn {
+        Churn::Join => {
+            for (i, &vm) in vms.iter().enumerate() {
+                add_vm(&mut host, i, vm);
+            }
+            add_vm(&mut host, vms.len(), (10, 20, false));
+        }
+        Churn::LeaveLast => {
+            for (i, &vm) in vms[..vms.len() - 1].iter().enumerate() {
+                add_vm(&mut host, i, vm);
+            }
+        }
+        Churn::LeaveMid => {
+            // Pick strictly interior so ids after it genuinely shift.
+            let gone = pick % (vms.len() - 1);
+            for (i, &vm) in vms.iter().enumerate() {
+                if i != gone {
+                    add_vm(&mut host, i, vm);
+                }
+            }
+        }
+        Churn::Resize => {
+            // Shrink one VM to 5% (always admissible) — same id set, one
+            // changed (cost, period) tuple.
+            let resized = pick % vms.len();
+            for (i, &(u, l, capped)) in vms.iter().enumerate() {
+                let u = if i == resized { 5 } else { u };
+                add_vm(&mut host, i, (u, l, capped));
+            }
+        }
+    }
+    host
+}
+
+fn arb_churn() -> impl Strategy<Value = Churn> {
+    (0usize..4).prop_map(|i| match i {
+        0 => Churn::Join,
+        1 => Churn::LeaveLast,
+        2 => Churn::LeaveMid,
+        _ => Churn::Resize,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Delta-spliced and full-replan plans are field-identical over any
+    /// single-VM churn event, on both splice paths; when the delta rung
+    /// declines, the fallback ladder still plans the host.
+    #[test]
+    fn delta_is_field_identical_to_full_replan(
+        (cores, vms) in arb_fleet(),
+        churn in arb_churn(),
+        pick in 0usize..16,
+    ) {
+        let opts = PlannerOptions::default();
+        let prev_host = build_host(cores, &vms);
+        let prev = plan(&prev_host, &opts).expect("admissible fleet plans");
+        let host = churned_host(cores, &vms, churn, pick);
+        let full = plan(&host, &opts).expect("churned fleet plans fully");
+
+        match plan_delta(&prev_host, &prev, &host, &opts) {
+            Ok((delta, report)) => {
+                prop_assert_eq!(
+                    &delta, &full,
+                    "{:?}: delta-spliced plan diverged from the full replan \
+                     (report {:?})", churn, report
+                );
+                // Bookkeeping: every shared core is either clean or dirty,
+                // never both, never neither.
+                let mut seen: Vec<usize> = report
+                    .clean_cores
+                    .iter()
+                    .chain(&report.dirty_cores)
+                    .copied()
+                    .collect();
+                seen.sort_unstable();
+                let dedicated = full.params.iter().filter(|p| p.dedicated).count();
+                let shared = cores - dedicated;
+                prop_assert_eq!(seen.len(), shared, "{:?}", report);
+                seen.dedup();
+                prop_assert_eq!(seen.len(), shared, "core both clean and dirty: {:?}", report);
+            }
+            Err(abort) => {
+                // The rung declined (split/clustered history or geometry);
+                // the ladder below it must still produce a plan.
+                let out = plan_with_fallback(Some((&prev_host, &prev)), &host, &opts)
+                    .expect("ladder plans an admissible reconfiguration");
+                prop_assert!(
+                    !matches!(out.path, ReplanPath::Delta),
+                    "delta aborted ({abort:?}) yet the ladder reports the delta rung"
+                );
+            }
+        }
+    }
+
+    /// The full ladder, driven over the same churn: whenever it takes the
+    /// delta rung the result is field-identical to the full replan, and it
+    /// never fails on an admissible reconfiguration.
+    #[test]
+    fn fallback_ladder_delta_rung_matches_full_replan(
+        (cores, vms) in arb_fleet(),
+        churn in arb_churn(),
+        pick in 0usize..16,
+    ) {
+        let opts = PlannerOptions::default();
+        let prev_host = build_host(cores, &vms);
+        let prev = plan(&prev_host, &opts).expect("admissible fleet plans");
+        let host = churned_host(cores, &vms, churn, pick);
+
+        let out = plan_with_fallback(Some((&prev_host, &prev)), &host, &opts)
+            .expect("ladder plans an admissible reconfiguration");
+        if matches!(out.path, ReplanPath::Delta) {
+            let full = plan(&host, &opts).expect("churned fleet plans fully");
+            prop_assert_eq!(&out.plan, &full);
+            prop_assert!(out.delta.is_some(), "delta rung must carry its report");
+        }
+    }
+}

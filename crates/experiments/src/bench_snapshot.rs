@@ -28,6 +28,7 @@ use rtsched::generator::Stage;
 use rtsched::time::Nanos;
 use tableau_core::cache::PlanCache;
 use tableau_core::dispatch::Dispatcher;
+use tableau_core::plan_delta;
 use tableau_core::planner::{plan, PlannerOptions};
 use tableau_core::vcpu::VcpuId;
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
@@ -161,6 +162,21 @@ pub fn planner_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
         time_entry("plan/clustered_176", paper_iters, || {
             plan(&paper, &clustered).expect("paper-scale clustered set plans")
         }),
+        // Single-VM churn on the same paper-scale host: the 175-VM plan is
+        // delta-patched to the 176-VM shape. One bin is dirtied (WFD ties
+        // break by index, so prior assignments are stable); 43 cores reuse
+        // their compiled schedules, so the mean must sit far below the
+        // full plan/partitioned_176 replan.
+        {
+            let paper_prev = bench_host_with_goal(44, 175, 25, Nanos::from_millis(1));
+            let prev_plan = plan(&paper_prev, &defaults).expect("175-VM host plans");
+            time_entry("plan/delta_single_vm", iters, || {
+                let (p, report) = plan_delta(&paper_prev, &prev_plan, &paper, &defaults)
+                    .expect("single-VM add delta applies");
+                assert_eq!(report.dirty_cores.len(), 1, "one bin dirtied");
+                p
+            })
+        },
         time_entry("cache/miss", iters, || {
             // A fresh cache per iteration: the full miss path (key build,
             // plan, insert).
@@ -553,6 +569,7 @@ mod tests {
                 "plan/clustered",
                 "plan/partitioned_176",
                 "plan/clustered_176",
+                "plan/delta_single_vm",
                 "cache/miss",
                 "cache/hit"
             ]
@@ -573,6 +590,16 @@ mod tests {
                 .mean_ns
         };
         assert!(mean("cache/hit") * 10.0 < mean("cache/miss"));
+        // The delta patch recomputes one bin out of 44 and reuses every
+        // other core's compiled schedule; even with quick-mode iteration
+        // counts it must beat the full memoized replan by an order of
+        // magnitude (the expected gap is far larger).
+        assert!(
+            mean("plan/delta_single_vm") * 10.0 < mean("plan/partitioned_176"),
+            "delta {} ns vs full {} ns",
+            mean("plan/delta_single_vm"),
+            mean("plan/partitioned_176")
+        );
     }
 
     fn fake_snapshot(entries: &[(&str, f64)]) -> BenchSnapshot {

@@ -155,13 +155,15 @@ pub struct FleetPoint {
     pub convergence_epochs: u64,
     /// Admission-to-committed-install latency samples.
     pub admit_samples: u64,
-    /// Median admission-to-install latency (simulated ms).
-    pub admit_p50_ms: f64,
-    /// p99 admission-to-install latency (simulated ms).
-    pub admit_p99_ms: f64,
+    /// Median admission-to-install latency (simulated ms); `None` when no
+    /// admission ever reached a committed install in this cell.
+    pub admit_p50_ms: Option<f64>,
+    /// p99 admission-to-install latency (simulated ms); `None` when the
+    /// histogram is empty — never a fabricated 0 ns tail.
+    pub admit_p99_ms: Option<f64>,
     /// p99 admission-to-install latency (simulated ns, exact — the
-    /// `BENCH_fleet.json` join value).
-    pub admit_p99_ns: u64,
+    /// `BENCH_fleet.json` join value). `None` skips the bench entry.
+    pub admit_p99_ns: Option<u64>,
     /// Worst admission-to-install latency (simulated ms).
     pub admit_max_ms: f64,
 }
@@ -298,9 +300,9 @@ fn run_cell(
         live_vms_final: fleet.live_vms(),
         convergence_epochs,
         admit_samples: hist.count(),
-        admit_p50_ms: hist.quantile(0.5).as_millis_f64(),
-        admit_p99_ms: hist.p99().as_millis_f64(),
-        admit_p99_ns: hist.p99().as_nanos(),
+        admit_p50_ms: hist.quantile(0.5).map(|v| v.as_millis_f64()),
+        admit_p99_ms: hist.p99().map(|v| v.as_millis_f64()),
+        admit_p99_ns: hist.p99().map(|v| v.as_nanos()),
         admit_max_ms: hist.max().as_millis_f64(),
     }
 }
@@ -355,7 +357,9 @@ pub fn sweep(quick: bool, seed: u64) -> FleetReport {
 /// Two entries, mixing the two clocks on purpose:
 /// * `fleet/admit_to_install_p99` — p99 admission-to-table-install latency
 ///   in **simulated** ns (the zero-intensity, primary-seed cell, so the
-///   value is deterministic and machine-independent).
+///   value is deterministic and machine-independent). Omitted — not
+///   reported as 0 ns — when that cell recorded no admission-to-install
+///   sample at all: a phantom 0 ns tail would pass every regression gate.
 /// * `fleet/wall_per_admission` — **wall-clock** ns of the whole replay
 ///   divided by admissions; admissions/sec = 1e9 / mean_ns.
 fn bench(quick: bool, seed: u64, report: &FleetReport, wall_ns: u64) -> BenchSnapshot {
@@ -370,22 +374,28 @@ fn bench(quick: bool, seed: u64, report: &FleetReport, wall_ns: u64) -> BenchSna
         .map(|p| p.counters.admissions)
         .sum::<u64>()
         .max(1);
+    let mut entries = Vec::new();
+    match zero.admit_p99_ns {
+        Some(p99_ns) => entries.push(BenchEntry {
+            name: "fleet/admit_to_install_p99".to_string(),
+            iters: zero.admit_samples.max(1),
+            total_ns: p99_ns,
+            mean_ns: p99_ns as f64,
+        }),
+        None => eprintln!(
+            "[fleet] zero-intensity cell measured no admission-to-install \
+             latency; skipping the fleet/admit_to_install_p99 bench entry"
+        ),
+    }
+    entries.push(BenchEntry {
+        name: "fleet/wall_per_admission".to_string(),
+        iters: admissions,
+        total_ns: wall_ns,
+        mean_ns: wall_ns as f64 / admissions as f64,
+    });
     BenchSnapshot {
         meta: crate::bench_snapshot::meta(quick, seed),
-        entries: vec![
-            BenchEntry {
-                name: "fleet/admit_to_install_p99".to_string(),
-                iters: zero.admit_samples.max(1),
-                total_ns: zero.admit_p99_ns,
-                mean_ns: zero.admit_p99_ns as f64,
-            },
-            BenchEntry {
-                name: "fleet/wall_per_admission".to_string(),
-                iters: admissions,
-                total_ns: wall_ns,
-                mean_ns: wall_ns as f64 / admissions as f64,
-            },
-        ],
+        entries,
     }
 }
 
@@ -417,7 +427,8 @@ pub fn run_with_seed(quick: bool, seed: u64) -> bool {
                 p.counters.installs.to_string(),
                 p.counters.install_retries.to_string(),
                 p.convergence_epochs.to_string(),
-                format!("{:.2}", p.admit_p99_ms),
+                p.admit_p99_ms
+                    .map_or_else(|| "-".to_string(), |v| format!("{v:.2}")),
             ]
         })
         .collect();
@@ -441,11 +452,22 @@ pub fn run_with_seed(quick: bool, seed: u64) -> bool {
     write_json("fleet", &report);
 
     let snap = bench(quick, seed, &report, wall.as_nanos() as u64);
-    let admissions_per_sec = 1e9 / snap.entries[1].mean_ns;
+    let wall_entry = snap
+        .entries
+        .iter()
+        .find(|e| e.name == "fleet/wall_per_admission")
+        .expect("the wall-clock entry is always emitted");
+    let p99_entry = snap
+        .entries
+        .iter()
+        .find(|e| e.name == "fleet/admit_to_install_p99");
     println!(
-        "[fleet] {:.0} admissions/sec wall, p99 admit-to-install {:.2} ms simulated",
-        admissions_per_sec,
-        snap.entries[0].mean_ns / 1e6
+        "[fleet] {:.0} admissions/sec wall, p99 admit-to-install {} simulated",
+        1e9 / wall_entry.mean_ns,
+        p99_entry.map_or_else(
+            || "unmeasured".to_string(),
+            |e| format!("{:.2} ms", e.mean_ns / 1e6)
+        ),
     );
     if quick {
         let dir = std::env::temp_dir().join("tableau-bench-quick");
@@ -506,8 +528,8 @@ mod tests {
             p.convergence_epochs
         );
         // Rung provenance is populated: placement planned through the
-        // shared cache (and possibly the fallback ladder).
-        assert!(p.rungs.cache_hit + p.rungs.cache_plan > 0);
+        // shared cache and the delta patcher (and possibly the ladder).
+        assert!(p.rungs.cache_hit + p.rungs.cache_plan + p.rungs.delta > 0);
         // The mirrored recovery schema carries the fleet counters.
         assert_eq!(p.recovery.evacuated_vms, p.counters.evacuated_vms);
         assert_eq!(p.recovery.admissions, p.counters.admissions);
@@ -531,5 +553,35 @@ mod tests {
         let snap = bench(true, DEFAULT_SEED, &report, 1_000_000);
         assert_eq!(snap.entries.len(), 2);
         assert!(snap.entries.iter().all(|e| e.iters > 0 && e.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn empty_admit_histogram_skips_the_p99_bench_entry() {
+        // A cell that never measured an admission-to-install latency must
+        // drop the p99 entry from the snapshot — a fabricated 0 ns tail
+        // would sail through every future regression gate.
+        let mut p = measure(2, DEFAULT_SEED, 0.0, Nanos::from_secs(1));
+        p.admit_samples = 0;
+        p.admit_p50_ms = None;
+        p.admit_p99_ms = None;
+        p.admit_p99_ns = None;
+        let report = FleetReport {
+            meta: FleetMeta {
+                quick: true,
+                hosts: 2,
+                cores_per_host: 2,
+                duration_ms: 1_000.0,
+                control_epoch_ms: CONTROL_EPOCH.as_millis_f64(),
+                convergence_epochs: CONVERGENCE_EPOCHS,
+                arrivals_per_sec: 0.0,
+                seeds: vec![DEFAULT_SEED],
+                intensities: vec![0.0],
+                git_rev: String::new(),
+            },
+            points: vec![p],
+        };
+        let snap = bench(true, DEFAULT_SEED, &report, 1_000_000);
+        assert_eq!(snap.entries.len(), 1, "p99 entry must be skipped");
+        assert_eq!(snap.entries[0].name, "fleet/wall_per_admission");
     }
 }

@@ -76,7 +76,11 @@ pub fn measure(machine: Machine, goal: Nanos, rate: f64, duration: Nanos) -> Lat
         goal_ms: goal.as_millis(),
         period_ms: period.as_millis_f64(),
         mean_ms: server.latencies.mean().as_millis_f64(),
-        p99_ms: server.latencies.p99().as_millis_f64(),
+        p99_ms: server
+            .latencies
+            .p99()
+            .unwrap_or(Nanos::ZERO)
+            .as_millis_f64(),
         max_ms: server.latencies.max().as_millis_f64(),
         decisions_per_sec: decisions as f64 / duration.as_secs_f64(),
         table_bytes,

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use rtsched::time::Nanos;
 use tableau_core::cache::PlanCache;
+use tableau_core::plan_delta;
 use tableau_core::planner::{plan_with_fallback, Plan, PlanError, PlannerOptions, ReplanPath};
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec};
 use workloads::churn::Flavor;
@@ -42,6 +43,17 @@ pub struct FleetConfig {
     /// Control-plane backlog (dirty hosts + evacuating + parked) above
     /// which admission drops from best-fit to first-fit.
     pub backlog_first_fit_threshold: usize,
+    /// Hysteresis band of the backpressure ladder: once first-fit engages,
+    /// best-fit resumes only when the backlog falls back to
+    /// `backlog_first_fit_threshold - backlog_hysteresis`. A backlog
+    /// oscillating ±1 around the threshold therefore cannot flap the
+    /// placement policy. Zero restores the bare threshold comparison.
+    pub backlog_hysteresis: usize,
+    /// Speculative pre-planner: how many of the most-admitted flavors to
+    /// pre-plan each control epoch. For each, the shape the placement
+    /// ladder would request next (current policy, current fill) is warmed
+    /// into the shared plan cache off the admission path. Zero disables.
+    pub prewarm_flavors: usize,
     /// Candidate hosts each placement rung tries before falling through.
     pub placement_candidates: usize,
     /// Failed placement attempts before an evacuating VM is parked.
@@ -73,6 +85,8 @@ impl FleetConfig {
             planner: PlannerOptions::default(),
             cache_capacity: 256,
             backlog_first_fit_threshold: 8,
+            backlog_hysteresis: 2,
+            prewarm_flavors: 2,
             placement_candidates: 4,
             evac_retry_budget: 5,
             evac_backoff_base: Nanos::from_millis(50),
@@ -142,6 +156,11 @@ pub struct FleetCounters {
 pub struct RungCounters {
     /// Served from the shared fingerprint cache.
     pub cache_hit: u64,
+    /// Delta replan: the previous table was patched in place (single-VM
+    /// churn), either directly by the control plane or by the fallback
+    /// ladder's delta rung.
+    #[serde(default)]
+    pub delta: u64,
     /// Cache miss: the cache planned (full path) and memoized.
     pub cache_plan: u64,
     /// Fallback ladder: incremental replan.
@@ -156,6 +175,7 @@ impl RungCounters {
     fn bump(&mut self, rung: Rung) {
         match rung {
             Rung::CacheHit => self.cache_hit += 1,
+            Rung::Delta | Rung::Ladder(ReplanPath::Delta) => self.delta += 1,
             Rung::CachePlan => self.cache_plan += 1,
             Rung::Ladder(ReplanPath::Incremental) => self.incremental += 1,
             Rung::Ladder(ReplanPath::Full) => self.full += 1,
@@ -167,6 +187,7 @@ impl RungCounters {
 #[derive(Debug, Clone, Copy)]
 enum Rung {
     CacheHit,
+    Delta,
     CachePlan,
     Ladder(ReplanPath),
 }
@@ -194,10 +215,24 @@ struct EvacVm {
     next_try: Nanos,
 }
 
-/// Bounded exponential backoff: `base * 2^(attempt-1)`, capped.
+/// Bounded exponential backoff: `base * 2^(attempt-1)`, capped. The shift
+/// exponent is clamped (not just the product) so retry counts past 63 —
+/// which would overflow the `u64` shift — still pin at the cap.
 fn backoff(base: Nanos, cap: Nanos, attempt: u32) -> Nanos {
     let mult = 1u64 << (attempt.saturating_sub(1)).min(20);
     Nanos(base.as_nanos().saturating_mul(mult).min(cap.as_nanos()))
+}
+
+/// One transition of the backpressure hysteresis band: enter first-fit when
+/// the backlog exceeds `threshold`; return to best-fit only once it falls
+/// to `threshold - hysteresis` or below. Kept free of `Fleet` so the
+/// no-flapping property is testable in isolation.
+fn pressured_next(prev: bool, backlog: usize, threshold: usize, hysteresis: usize) -> bool {
+    if prev {
+        backlog > threshold.saturating_sub(hysteresis)
+    } else {
+        backlog > threshold
+    }
 }
 
 /// The fleet control plane. See the crate docs for the architecture.
@@ -216,6 +251,12 @@ pub struct Fleet {
     /// The ownership ledger: every admitted, not-torn-down VM, with its
     /// current location. The conservation invariant is stated against it.
     locations: BTreeMap<u64, VmLocation>,
+    /// Backpressure state: whether the admission ladder is currently in
+    /// first-fit mode (sticky across the hysteresis band).
+    pressured: bool,
+    /// Admission frequency per flavor `(vcpus, utilization_ppm)` — the
+    /// churn-stream signal the speculative pre-planner ranks by.
+    flavor_freq: BTreeMap<(usize, u32), u64>,
     counters: FleetCounters,
     rungs: RungCounters,
     admit_to_install: Histogram,
@@ -249,6 +290,8 @@ impl Fleet {
             evacuating: Vec::new(),
             parked: Vec::new(),
             locations: BTreeMap::new(),
+            pressured: false,
+            flavor_freq: BTreeMap::new(),
             counters: FleetCounters::default(),
             rungs: RungCounters::default(),
             admit_to_install: Histogram::new(),
@@ -288,6 +331,10 @@ impl Fleet {
             !self.locations.contains_key(&vm),
             "admitting an already-owned vm"
         );
+        *self
+            .flavor_freq
+            .entry((flavor.vcpus, flavor.utilization_ppm))
+            .or_insert(0) += 1;
         let demand = flavor.vcpus as u64 * flavor.utilization_ppm as u64;
         let budget = self.cfg.host_budget_ppm();
         let mut candidates: Vec<usize> = self
@@ -301,8 +348,13 @@ impl Fleet {
             return Err(AdmissionRejected::NoCapacity { demand_ppm: demand });
         }
 
-        let backlog = self.backlog();
-        let pressured = backlog > self.cfg.backlog_first_fit_threshold;
+        self.pressured = pressured_next(
+            self.pressured,
+            self.backlog(),
+            self.cfg.backlog_first_fit_threshold,
+            self.cfg.backlog_hysteresis,
+        );
+        let pressured = self.pressured;
         if !pressured {
             // Best fit: tightest remaining headroom first (ties: lowest id,
             // which the stable sort preserves from the id-ordered scan).
@@ -420,6 +472,7 @@ impl Fleet {
         self.process_evacuations(now);
         self.process_parked(now);
         self.process_installs(now);
+        self.prewarm_cache();
         for h in &mut self.hosts {
             let local = now - h.epoch_base;
             if let Some(sim) = h.sim.as_mut() {
@@ -531,29 +584,82 @@ impl Fleet {
     // --- internals -------------------------------------------------------
 
     /// Plans `next` for a host: the shared cache first (identically shaped
-    /// hosts resolve to one entry), then the fallback ladder. Returns the
-    /// plan and the rung that produced it.
+    /// hosts resolve to one entry), then a delta patch of the host's
+    /// running plan (single-VM churn touches one bin), then a full plan
+    /// memoized through the cache, then the fallback ladder. A successful
+    /// delta is inserted into the cache under the *new* shape, so sibling
+    /// hosts walking the same churn sequence hit it. Returns the plan and
+    /// the rung that produced it.
     fn replan(
         cache: &mut PlanCache,
         prev: Option<(&HostConfig, &Plan)>,
         next: &HostConfig,
         opts: &PlannerOptions,
     ) -> Option<(Arc<Plan>, Rung)> {
-        let hits_before = cache.hits();
-        match cache.get_or_plan(next, opts) {
-            Ok(p) => {
-                let rung = if cache.hits() > hits_before {
-                    Rung::CacheHit
-                } else {
-                    Rung::CachePlan
-                };
-                Some((p, rung))
+        if let Some(p) = cache.lookup(next, opts) {
+            return Some((p, Rung::CacheHit));
+        }
+        if let Some((prev_cfg, prev_plan)) = prev {
+            if let Ok((plan, _report)) = plan_delta(prev_cfg, prev_plan, next, opts) {
+                let plan = Arc::new(plan);
+                cache.insert(next, opts, Arc::clone(&plan));
+                return Some((plan, Rung::Delta));
             }
+        }
+        match cache.get_or_plan(next, opts) {
+            Ok(p) => Some((p, Rung::CachePlan)),
             // The straight planner rejected the shape; climb the ladder
             // (conservative options may still fit it).
             Err(_) => plan_with_fallback(prev, next, opts)
                 .ok()
                 .map(|o| (Arc::new(o.plan), Rung::Ladder(o.path))),
+        }
+    }
+
+    /// The speculative pre-planner (one pass per control epoch): for each
+    /// of the `prewarm_flavors` most-admitted flavors, predict the host the
+    /// placement ladder would pick for the *next* admission of that flavor
+    /// — same candidate filter, same best-fit/first-fit policy the current
+    /// backpressure state selects — and warm the shared cache with the
+    /// resulting host shape. The warm is a no-op when the shape is already
+    /// cached, so steady-state churn costs one lookup per flavor.
+    fn prewarm_cache(&mut self) {
+        if self.cfg.prewarm_flavors == 0 {
+            return;
+        }
+        let mut ranked: Vec<((usize, u32), u64)> =
+            self.flavor_freq.iter().map(|(&k, &n)| (k, n)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let budget = self.cfg.host_budget_ppm();
+        for &((vcpus, ppm), _) in ranked.iter().take(self.cfg.prewarm_flavors) {
+            let flavor = Flavor {
+                vcpus,
+                utilization_ppm: ppm,
+            };
+            let demand = vcpus as u64 * ppm as u64;
+            let candidates = self
+                .hosts
+                .iter()
+                .filter(|h| h.placeable() && h.committed_ppm + demand <= budget)
+                .map(|h| h.id);
+            let target = if self.pressured {
+                // First-fit: lowest id wins.
+                candidates.min()
+            } else {
+                // Best-fit: tightest remaining headroom (ties: lowest id,
+                // which min_by_key resolves via the ascending scan).
+                candidates.min_by_key(|&i| budget - self.hosts[i].committed_ppm - demand)
+            };
+            let Some(h) = target else { continue };
+            let mut next = self.hosts[h].host_cfg.clone();
+            // The cache key ignores VM names, so the placeholder id aliases
+            // whatever vm number the real admission arrives with.
+            let tenant = Tenant {
+                vm: u64::MAX,
+                flavor,
+            };
+            push_tenant(&mut next, &tenant, self.cfg.latency_goal);
+            let _ = self.cache.warm(&next, &self.cfg.planner);
         }
     }
 
@@ -925,15 +1031,17 @@ mod tests {
         assert_eq!(fleet.counters().installs, 1);
         assert_eq!(fleet.admit_to_install().count(), 1);
         assert!(fleet.admit_to_install().max() > Nanos::ZERO);
-        assert!(fleet.rungs().cache_plan + fleet.rungs().cache_hit >= 1);
+        let r = *fleet.rungs();
+        assert!(r.cache_plan + r.cache_hit + r.delta >= 1);
     }
 
     #[test]
     fn identically_shaped_hosts_share_the_plan_cache() {
         // Best-fit consolidates, so host 0 fills through four shapes
-        // (probes+1 … probes+4 tenants) and host 1 then walks the *same*
-        // shape sequence: the second host's replans are all cache hits,
-        // even though the tenant names differ.
+        // (probes+1 … probes+4 tenants), each produced by delta-patching
+        // the previous plan and memoized under the new shape. Host 1 then
+        // walks the *same* shape sequence: the second host's replans are
+        // all cache hits, even though the tenant names differ.
         let mut fleet = small_fleet(2);
         for vm in 0..8u64 {
             fleet
@@ -947,8 +1055,91 @@ mod tests {
             })
             .collect();
         assert_eq!(hosts.len(), 2, "the budget forces a spill to host 1");
-        assert_eq!(fleet.rungs().cache_plan, 4);
+        assert_eq!(fleet.rungs().delta, 4);
         assert_eq!(fleet.rungs().cache_hit, 4);
+        assert_eq!(fleet.rungs().cache_plan, 0, "delta pre-empts full plans");
+    }
+
+    #[test]
+    fn prewarming_fills_the_cache_from_the_churn_stream() {
+        // One admission teaches the pre-planner the dominant flavor; the
+        // next control epoch warms the shape the ladder would request
+        // next, so the following admission is a pure cache hit.
+        let mut fleet = small_fleet(2);
+        fleet
+            .admit(Nanos(1), 0, flavor(1, 250_000))
+            .expect("admits");
+        assert_eq!(fleet.cache().warmed(), 0);
+        epochs(&mut fleet, Nanos::ZERO, 1);
+        assert!(fleet.cache().warmed() >= 1, "step must prewarm");
+        let hits_before = fleet.rungs().cache_hit;
+        fleet
+            .admit(Nanos(2), 1, flavor(1, 250_000))
+            .expect("admits");
+        assert_eq!(
+            fleet.rungs().cache_hit,
+            hits_before + 1,
+            "the predicted shape was warmed, so admission hits the cache"
+        );
+    }
+
+    #[test]
+    fn prewarming_disabled_warms_nothing() {
+        let mut cfg = FleetConfig::new(2, 2);
+        cfg.prewarm_flavors = 0;
+        let mut fleet = Fleet::new(cfg).expect("boot plan");
+        fleet
+            .admit(Nanos(1), 0, flavor(1, 250_000))
+            .expect("admits");
+        epochs(&mut fleet, Nanos::ZERO, 4);
+        assert_eq!(fleet.cache().warmed(), 0);
+    }
+
+    #[test]
+    fn backoff_is_bounded_at_extreme_retry_counts() {
+        let base = Nanos::from_millis(50);
+        let cap = Nanos::from_millis(800);
+        assert_eq!(backoff(base, cap, 0), base);
+        assert_eq!(backoff(base, cap, 1), base);
+        assert_eq!(backoff(base, cap, 2), Nanos::from_millis(100));
+        // Past the cap the curve pins — including shift exponents that
+        // would overflow a u64 without the clamp.
+        for attempt in [6, 20, 21, 63, 64, 65, 1_000, u32::MAX] {
+            assert_eq!(backoff(base, cap, attempt), cap, "attempt {attempt}");
+        }
+        // A cap below the base still wins.
+        assert_eq!(backoff(base, Nanos(7), u32::MAX), Nanos(7));
+    }
+
+    #[test]
+    fn backpressure_hysteresis_does_not_flap_around_the_threshold() {
+        let (threshold, hysteresis) = (8, 2);
+        // Climbing to the threshold never engages first-fit.
+        let mut p = false;
+        for backlog in [7, 8, 7, 8, 8] {
+            p = pressured_next(p, backlog, threshold, hysteresis);
+            assert!(!p, "backlog {backlog} must not engage first-fit");
+        }
+        // One excursion engages it; oscillating ±1 around the threshold
+        // afterwards keeps the policy pinned (no alternation).
+        p = pressured_next(p, 9, threshold, hysteresis);
+        assert!(p);
+        for backlog in [8, 9, 8, 7, 9, 8, 7] {
+            p = pressured_next(p, backlog, threshold, hysteresis);
+            assert!(p, "backlog {backlog} inside the band must stay pinned");
+        }
+        // Only falling through the band releases it...
+        p = pressured_next(p, 6, threshold, hysteresis);
+        assert!(!p);
+        // ...and re-engaging needs a full threshold crossing again.
+        p = pressured_next(p, 8, threshold, hysteresis);
+        assert!(!p);
+        // Zero hysteresis degenerates to the bare comparison.
+        assert!(pressured_next(true, 9, 8, 0));
+        assert!(!pressured_next(true, 8, 8, 0));
+        // A band wider than the threshold saturates at zero backlog.
+        assert!(pressured_next(true, 1, 3, 10));
+        assert!(!pressured_next(true, 0, 3, 10));
     }
 
     #[test]

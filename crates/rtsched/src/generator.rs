@@ -137,6 +137,12 @@ pub struct GenOutcome {
     pub sharing: CoreSharing,
     /// Per-stage wall-clock breakdown.
     pub timings: GenTimings,
+    /// Stage-1 packing record: task ids per core, in bin order. Populated
+    /// only when the schedule came from plain partitioning (stage 1) — the
+    /// C=D and DP-Fair stages leave it empty, because their bins contain
+    /// split pieces that don't map back to whole tasks. Delta replanning
+    /// uses this to diff bin contents across single-task churn.
+    pub core_bins: Vec<Vec<TaskId>>,
 }
 
 /// Why generation failed.
@@ -266,6 +272,7 @@ pub fn generate_schedule_instrumented(
             },
             sharing: CoreSharing::none(n_cores),
             timings,
+            core_bins: vec![Vec::new(); n_cores],
         });
     }
     timings.pack += t0.elapsed();
@@ -285,6 +292,12 @@ pub fn generate_schedule_instrumented(
         };
         timings.pack += t0.elapsed();
         if r.is_complete() {
+            let core_bins: Vec<Vec<TaskId>> = r
+                .bins
+                .cores
+                .iter()
+                .map(|bin| bin.iter().map(|t| t.id).collect())
+                .collect();
             let (schedule, sharing) =
                 simulate_bins(&r.bins, horizon, opts.engine, &mut memo, &mut timings)?;
             return finish(
@@ -294,6 +307,7 @@ pub fn generate_schedule_instrumented(
                 Vec::new(),
                 sharing,
                 timings,
+                core_bins,
             );
         }
         last_error = format!("{} task(s) unplaceable whole", r.unassigned.len());
@@ -315,6 +329,7 @@ pub fn generate_schedule_instrumented(
                     sp.split_tasks,
                     sharing,
                     timings,
+                    Vec::new(),
                 );
             }
             Err(SplitError::NoProgress { task, remaining }) => {
@@ -325,9 +340,15 @@ pub fn generate_schedule_instrumented(
 
     // Stage 3: clustered optimal scheduling.
     match clustered_schedule(tasks, n_cores, horizon, opts, &mut memo, &mut timings) {
-        Ok((schedule, split, sharing)) => {
-            finish(tasks, schedule, Stage::Clustered, split, sharing, timings)
-        }
+        Ok((schedule, split, sharing)) => finish(
+            tasks,
+            schedule,
+            Stage::Clustered,
+            split,
+            sharing,
+            timings,
+            Vec::new(),
+        ),
         Err(e) => Err(GenError::Exhausted(format!(
             "{last_error}; clustering: {e}"
         ))),
@@ -465,6 +486,7 @@ fn simulate_bins(
 }
 
 /// Runs the verifier, detects split tasks, and assembles the result.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     tasks: &[PeriodicTask],
     schedule: MultiCoreSchedule,
@@ -472,6 +494,7 @@ fn finish(
     mut split_tasks: Vec<TaskId>,
     sharing: CoreSharing,
     mut timings: GenTimings,
+    core_bins: Vec<Vec<TaskId>>,
 ) -> Result<GenOutcome, GenError> {
     let t0 = Instant::now();
     let violations = if sharing.any_stamped() {
@@ -519,6 +542,7 @@ fn finish(
         },
         sharing,
         timings,
+        core_bins,
     })
 }
 

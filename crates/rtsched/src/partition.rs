@@ -153,10 +153,16 @@ pub fn worst_fit_decreasing_with_preferences(
 ) -> PartitionResult {
     let mut bins = CoreBins::new(n_cores, horizon);
     let mut unassigned = Vec::new();
+    // Worst-fit order, maintained incrementally: only the core that just
+    // received a task changes slack, so one remove + sorted re-insert keeps
+    // `order` equal to what a fresh `worst_fit_order()` sort would produce
+    // (keys `(Reverse(slack), core)` are unique, so there is exactly one
+    // sorted arrangement) without re-sorting all bins for every task.
+    let mut slack = vec![horizon; n_cores];
+    let mut order: Vec<usize> = (0..n_cores).collect();
     for idx in decreasing_utilization_order(tasks) {
         let task = tasks[idx];
         let preferred: &[usize] = prefs.get(idx).map(Vec::as_slice).unwrap_or(&[]);
-        let order = bins.worst_fit_order();
         let placed = order
             .iter()
             .copied()
@@ -164,7 +170,18 @@ pub fn worst_fit_decreasing_with_preferences(
             .chain(order.iter().copied().filter(|c| !preferred.contains(c)))
             .find(|&core| core < n_cores && bins.fits(core, &task));
         match placed {
-            Some(core) => bins.assign(core, task),
+            Some(core) => {
+                bins.assign(core, task);
+                let pos = order
+                    .iter()
+                    .position(|&c| c == core)
+                    .expect("core in order");
+                order.remove(pos);
+                slack[core] = bins.slack(core);
+                let key = (std::cmp::Reverse(slack[core]), core);
+                let at = order.partition_point(|&c| (std::cmp::Reverse(slack[c]), c) < key);
+                order.insert(at, core);
+            }
             None => unassigned.push(task),
         }
     }

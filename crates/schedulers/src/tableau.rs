@@ -578,6 +578,70 @@ mod tests {
     }
 
     #[test]
+    fn delta_spliced_table_installs_and_serves_the_new_vcpu() {
+        // Churn hot path, end to end: plan a host, grow it by one VM via
+        // `plan_delta`, push the spliced table through the two-phase install,
+        // and check the new vCPU starts drawing its reservation after the
+        // switch while the incumbent vCPUs keep theirs throughout.
+        let opts = PlannerOptions::default();
+        let spec = VcpuSpec::capped(Utilization::from_percent(25), ms(20));
+        let mut prev_host = HostConfig::new(2);
+        for i in 0..6 {
+            prev_host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+        }
+        let prev = plan(&prev_host, &opts).unwrap();
+        let mut host = prev_host.clone();
+        host.add_vm(VmSpec::uniform("vm6", 1, spec));
+        let (delta, report) = tableau_core::plan_delta(&prev_host, &prev, &host, &opts)
+            .expect("single-VM add is delta-eligible");
+        assert_eq!(report.dirty_cores.len(), 1, "{report:?}");
+        assert_eq!(report.clean_cores.len(), 1, "{report:?}");
+
+        let new_home = delta
+            .table
+            .placement(TcVcpu(6))
+            .expect("new vCPU has slots in the delta table")
+            .home_core;
+        let machine = Machine::small(2);
+        let mut sim = Sim::new(machine, Box::new(Tableau::from_plan(&prev)));
+        let mut vs = Vec::new();
+        for i in 0..6 {
+            let home = prev.table.placement(TcVcpu(i)).unwrap().home_core;
+            vs.push(sim.add_vcpu(Box::new(BusyLoop), home, true));
+        }
+        // The newcomer is runnable from t=0 but has no slots in the old
+        // table (and defaults to capped), so it idles until the switch.
+        let newcomer = sim.add_vcpu(Box::new(BusyLoop), new_home, true);
+        let switch_at = sim
+            .scheduler_mut()
+            .as_any()
+            .downcast_mut::<Tableau>()
+            .unwrap()
+            .try_install_table(delta.table.clone(), ms(1), false)
+            .unwrap()
+            .expect("clean push commits");
+        sim.run_until(Nanos::from_secs(1));
+
+        // Incumbents: 25% of the full second, same as without the switch.
+        for &v in &vs {
+            let s = sim.stats().vcpu(v).service;
+            assert!(s > Nanos::from_millis(235), "vCPU {v} got {s}");
+            assert!(s < Nanos::from_millis(255), "vCPU {v} got {s}");
+        }
+        // Newcomer: ~25% of the post-switch window only.
+        let window = Nanos::from_secs(1).as_nanos() - switch_at.as_nanos();
+        let s = sim.stats().vcpu(newcomer).service.as_nanos();
+        assert!(
+            s * 5 > window,
+            "newcomer got {s} ns of a {window} ns post-switch window"
+        );
+        assert!(
+            s < window / 4 + Nanos::from_millis(10).as_nanos(),
+            "newcomer over-served: {s} ns of {window} ns"
+        );
+    }
+
+    #[test]
     fn multicore_paper_shape() {
         // 2 cores, 4 capped VMs each: every vCPU gets 25% of its core and
         // stays within its latency goal.

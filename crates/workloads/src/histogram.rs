@@ -116,27 +116,30 @@ impl Histogram {
     }
 
     /// Value at quantile `q` in `[0, 1]`, within the histogram's relative
-    /// error. The exact max is returned for `q = 1`.
-    pub fn quantile(&self, q: f64) -> Nanos {
+    /// error. The exact max is returned for `q = 1`. `None` when no sample
+    /// was ever recorded — an empty distribution has no quantiles, and a
+    /// fabricated 0 ns would read as an impossibly good tail downstream.
+    pub fn quantile(&self, q: f64) -> Option<Nanos> {
         if self.total == 0 {
-            return Nanos::ZERO;
+            return None;
         }
         if q >= 1.0 {
-            return Nanos(self.max);
+            return Some(Nanos(self.max));
         }
         let rank = (q * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Nanos(Histogram::bucket_value(idx).min(self.max));
+                return Some(Nanos(Histogram::bucket_value(idx).min(self.max)));
             }
         }
-        Nanos(self.max)
+        Some(Nanos(self.max))
     }
 
-    /// The 99th percentile (the paper's headline tail metric).
-    pub fn p99(&self) -> Nanos {
+    /// The 99th percentile (the paper's headline tail metric); `None` when
+    /// the histogram is empty.
+    pub fn p99(&self) -> Option<Nanos> {
         self.quantile(0.99)
     }
 
@@ -162,7 +165,8 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), Nanos::ZERO);
         assert_eq!(h.max(), Nanos::ZERO);
-        assert_eq!(h.quantile(0.5), Nanos::ZERO);
+        assert_eq!(h.quantile(0.5), None, "an empty histogram has no median");
+        assert_eq!(h.p99(), None, "an empty histogram has no p99");
     }
 
     #[test]
@@ -195,11 +199,11 @@ mod tests {
             h.record(Nanos(v * 1_000));
         }
         for &(q, expect) in &[(0.5, 5_000_000u64), (0.9, 9_000_000), (0.99, 9_900_000)] {
-            let got = h.quantile(q).as_nanos() as f64;
+            let got = h.quantile(q).unwrap().as_nanos() as f64;
             let err = (got - expect as f64).abs() / expect as f64;
             assert!(err < 0.04, "q={q}: got {got}, want ~{expect}");
         }
-        assert_eq!(h.quantile(1.0), Nanos(10_000_000_000 / 1000));
+        assert_eq!(h.quantile(1.0), Some(Nanos(10_000_000_000 / 1000)));
     }
 
     #[test]
@@ -257,7 +261,7 @@ mod tests {
             h.record(Nanos(50_000_000));
         }
         // p99 straddles the mode boundary; p98 is clearly in the low mode.
-        assert!(h.quantile(0.98).as_nanos() < 2_000);
-        assert!(h.quantile(0.995).as_nanos() > 40_000_000);
+        assert!(h.quantile(0.98).unwrap().as_nanos() < 2_000);
+        assert!(h.quantile(0.995).unwrap().as_nanos() > 40_000_000);
     }
 }

@@ -77,7 +77,7 @@ impl LoadPoint {
             offered_rps,
             achieved_rps: completed as f64 / secs,
             mean_ms: latencies.mean().as_millis_f64(),
-            p99_ms: latencies.p99().as_millis_f64(),
+            p99_ms: latencies.p99().unwrap_or(Nanos::ZERO).as_millis_f64(),
             max_ms: latencies.max().as_millis_f64(),
         }
     }

@@ -472,6 +472,73 @@ mod tests {
         }
     }
 
+    /// Boundary audit for the level-classification arithmetic: pushes at
+    /// the exact first/last nanosecond of every level edge (near ↔
+    /// overflow, overflow ↔ far), including the coarse slot that aliases
+    /// bucket `window & OVF_MASK` (coarse = window + OVF_SLOTS — legal
+    /// because the bucket range `(window, window + OVF_SLOTS]` never
+    /// contains `window` itself), must drain exactly like the reference
+    /// heap, equal-time ties included.
+    #[test]
+    fn level_edge_nanoseconds_match_the_reference_heap() {
+        const WINDOW: u64 = 1 << (SLOT_SHIFT + NEAR_BITS); // one near window
+        const HORIZON: u64 = (OVF_SLOTS as u64 + 1) * WINDOW; // near + overflow
+        let mut w = TimingWheel::new();
+        let mut reference = Vec::new();
+        let times = [
+            0,                // first near slot
+            WINDOW - 1,       // last near nanosecond
+            WINDOW,           // first overflow nanosecond (coarse = 1)
+            WINDOW + 1,       // one past the edge
+            HORIZON - WINDOW, // first ns of coarse window + OVF_SLOTS (aliased bucket)
+            HORIZON - 1,      // last ns inside the overflow horizon
+            HORIZON,          // first far-heap nanosecond
+            HORIZON + 1,      // one past the far horizon
+            2 * HORIZON - 1,  // deep tail, one ns before a window multiple
+            2 * HORIZON,      // deep tail on the multiple itself
+        ];
+        let mut seq = 0u64;
+        for &ns in &times {
+            // Two entries per boundary: equal times must tie-break by seq
+            // across whatever levels classification put them in.
+            for _ in 0..2 {
+                w.push(Nanos(ns), seq, ns as u32);
+                reference.push((Nanos(ns), seq, ns as u32));
+                seq += 1;
+            }
+        }
+        drain_and_compare(&mut w, &mut reference);
+    }
+
+    /// Far-to-overflow promotion at the exact horizon edge, from an
+    /// unaligned window: when the wheel jumps to a far event's window `w`,
+    /// far entries at coarse `w + OVF_SLOTS` must land in bucket
+    /// `(w + OVF_SLOTS) & OVF_MASK` (the aliased one) while coarse
+    /// `w + OVF_SLOTS + 1` must stay in the far heap — off-by-one in
+    /// either direction would drop or misorder the edge events.
+    #[test]
+    fn promotion_at_the_exact_far_horizon_edge() {
+        const WINDOW: u64 = 1 << (SLOT_SHIFT + NEAR_BITS);
+        let mut w = TimingWheel::new();
+        let mut reference = Vec::new();
+        // 101 is deliberately not a multiple of OVF_SLOTS, so the rotated
+        // bitmap scan and the `& OVF_MASK` bucketing both start mid-cycle.
+        let base = 101 * WINDOW + 12_345;
+        let edge = (101 + OVF_SLOTS as u64) * WINDOW;
+        let cases = [
+            base,              // becomes the new window via the far peek
+            edge - 1,          // last coarse slot inside the promoted horizon
+            edge,              // exactly at coarse window + OVF_SLOTS
+            edge + WINDOW - 1, // same coarse slot, last nanosecond
+            edge + WINDOW,     // one coarse slot beyond: must stay far
+        ];
+        for (i, &ns) in cases.iter().enumerate() {
+            w.push(Nanos(ns), i as u64, i as u32);
+            reference.push((Nanos(ns), i as u64, i as u32));
+        }
+        drain_and_compare(&mut w, &mut reference);
+    }
+
     #[test]
     fn steady_state_reuses_slot_capacity() {
         let mut w = TimingWheel::new();

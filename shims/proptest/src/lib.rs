@@ -303,6 +303,18 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> ProptestConfig {
             ProptestConfig { cases }
         }
+
+        /// The case count to run: the `PROPTEST_CASES` environment
+        /// variable when set and parseable, else the configured count.
+        /// Unlike upstream (where the env var only seeds the default),
+        /// the override also trumps source-level counts, so CI quick
+        /// lanes can shrink every suite without editing sources.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
     }
 
     impl Default for ProptestConfig {
@@ -343,7 +355,7 @@ macro_rules! __proptest_impl {
             let mut __rng = $crate::test_runner::TestRng::deterministic(
                 concat!(module_path!(), "::", stringify!($name)),
             );
-            for __case in 0..__cfg.cases {
+            for __case in 0..__cfg.resolved_cases() {
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
                 $body
             }
