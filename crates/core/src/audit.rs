@@ -1,0 +1,457 @@
+//! Continuous table audit: a compact fact store snapshotted from a trusted
+//! plan at install time, re-checked incrementally against the live table.
+//!
+//! The planner verifies every schedule before it becomes a table, and the
+//! rule engine (`rtsched::rules`) re-verifies deltas in O(delta) — but both
+//! run *before* install. Once a table is live, nothing re-examines it: a
+//! bad splice that slipped past verification, or an in-memory corruption of
+//! the installed copy, would go unnoticed until a vCPU misses its SLA. The
+//! [`TableAuditor`] closes that gap. At install time it snapshots per-core
+//! fingerprints and a placement fingerprint from the table the verifier
+//! approved; afterwards a low-cadence audit loop (the guardian's) re-derives
+//! the same facts from the live table and compares. Each [`audit_step`]
+//! checks one core — O(one core), not O(host) — so the audit amortizes to
+//! a full sweep every `n_cores` steps without ever stalling the hot path.
+//!
+//! The module also carries the *corruption injector* used by chaos soaks
+//! and the mutation-kill harness: [`corrupt_table`] applies one of three
+//! seeded fault classes (bit-flipped slot ids, swapped placements, stale
+//! truncated slots) to a table, deterministically per salt, so end-to-end
+//! detect→repair can be exercised and every undetected corruption counted.
+//!
+//! [`audit_step`]: TableAuditor::audit_step
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rtsched::time::Nanos;
+
+use crate::table::{Allocation, Table};
+use crate::vcpu::VcpuId;
+
+/// A discrepancy between the live table and the facts recorded at install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditViolation {
+    /// The table's shape (length or core count) differs from the baseline.
+    ShapeMismatch {
+        /// Core count recorded at install time.
+        expected_cores: usize,
+        /// Core count observed in the live table.
+        got_cores: usize,
+    },
+    /// Core `core`'s allocation list no longer matches its fingerprint.
+    SlotMismatch {
+        /// The core whose slots diverged.
+        core: usize,
+    },
+    /// The per-vCPU placement metadata diverged from the baseline.
+    PlacementMismatch,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AuditViolation::ShapeMismatch {
+                expected_cores,
+                got_cores,
+            } => write!(
+                f,
+                "table shape mismatch: expected {expected_cores} cores, got {got_cores}"
+            ),
+            AuditViolation::SlotMismatch { core } => {
+                write!(f, "slot fingerprint mismatch on core {core}")
+            }
+            AuditViolation::PlacementMismatch => {
+                write!(f, "placement metadata diverged from installed baseline")
+            }
+        }
+    }
+}
+
+/// FNV-1a over a stream of `u64` words.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Fingerprint of one core's allocation list.
+fn core_fingerprint(core: usize, allocs: &[Allocation]) -> u64 {
+    fnv1a(
+        std::iter::once(core as u64).chain(
+            allocs
+                .iter()
+                .flat_map(|a| [a.start.as_nanos(), a.end.as_nanos(), a.vcpu.0 as u64]),
+        ),
+    )
+}
+
+/// Fingerprint of the whole placement map (home cores and allocation
+/// triples, in vCPU-id order).
+fn placement_fingerprint(table: &Table) -> u64 {
+    let mut words: Vec<u64> = Vec::new();
+    for core in 0..table.n_cores() {
+        for &v in table.vcpus_homed_on(core) {
+            let Some(p) = table.placement(v) else {
+                continue;
+            };
+            words.push(v.0 as u64);
+            words.push(p.home_core as u64);
+            for &(c, s, e) in &p.allocations {
+                words.push(c as u64);
+                words.push(s.as_nanos());
+                words.push(e.as_nanos());
+            }
+        }
+    }
+    fnv1a(words)
+}
+
+/// The audit fact store: fingerprints of a table known-good at install
+/// time, plus a cursor for incremental sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::time::Nanos;
+/// use tableau_core::audit::TableAuditor;
+/// use tableau_core::table::{Allocation, Table};
+/// use tableau_core::vcpu::VcpuId;
+///
+/// let ms = Nanos::from_millis;
+/// let table = Table::new(
+///     ms(10),
+///     vec![vec![Allocation { start: ms(0), end: ms(4), vcpu: VcpuId(0) }]],
+/// )
+/// .unwrap();
+/// let mut auditor = TableAuditor::new(&table);
+/// assert!(auditor.audit_full(&table).is_empty());
+/// assert!(auditor.audit_step(&table).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableAuditor {
+    len: Nanos,
+    core_fp: Vec<u64>,
+    placement_fp: u64,
+    cursor: usize,
+}
+
+impl TableAuditor {
+    /// Snapshots audit facts from a table the verifier has approved.
+    pub fn new(table: &Table) -> TableAuditor {
+        TableAuditor {
+            len: table.len(),
+            core_fp: (0..table.n_cores())
+                .map(|c| core_fingerprint(c, table.cpu(c).allocations()))
+                .collect(),
+            placement_fp: placement_fingerprint(table),
+            cursor: 0,
+        }
+    }
+
+    /// Rebases the fact store on a newly installed table.
+    pub fn refresh(&mut self, table: &Table) {
+        *self = TableAuditor::new(table);
+    }
+
+    /// Number of cores in the baseline.
+    pub fn n_cores(&self) -> usize {
+        self.core_fp.len()
+    }
+
+    /// Checks the live table's shape against the baseline.
+    fn check_shape(&self, table: &Table) -> Option<AuditViolation> {
+        if table.n_cores() != self.core_fp.len() || table.len() != self.len {
+            return Some(AuditViolation::ShapeMismatch {
+                expected_cores: self.core_fp.len(),
+                got_cores: table.n_cores(),
+            });
+        }
+        None
+    }
+
+    /// Re-derives and compares the facts for one core.
+    pub fn audit_core(&self, table: &Table, core: usize) -> Option<AuditViolation> {
+        if core >= table.n_cores() || core >= self.core_fp.len() {
+            return Some(AuditViolation::ShapeMismatch {
+                expected_cores: self.core_fp.len(),
+                got_cores: table.n_cores(),
+            });
+        }
+        (core_fingerprint(core, table.cpu(core).allocations()) != self.core_fp[core])
+            .then_some(AuditViolation::SlotMismatch { core })
+    }
+
+    /// Full audit: shape, every core, and the placement map.
+    pub fn audit_full(&self, table: &Table) -> Vec<AuditViolation> {
+        if let Some(v) = self.check_shape(table) {
+            return vec![v];
+        }
+        let mut out: Vec<AuditViolation> = (0..self.core_fp.len())
+            .filter_map(|c| self.audit_core(table, c))
+            .collect();
+        if placement_fingerprint(table) != self.placement_fp {
+            out.push(AuditViolation::PlacementMismatch);
+        }
+        out
+    }
+
+    /// One incremental audit step: shape, then the cursor's core, plus the
+    /// placement map each time the cursor wraps. Cost is O(one core), and
+    /// `n_cores` consecutive steps cover everything [`audit_full`] covers.
+    ///
+    /// [`audit_full`]: TableAuditor::audit_full
+    pub fn audit_step(&mut self, table: &Table) -> Vec<AuditViolation> {
+        if let Some(v) = self.check_shape(table) {
+            return vec![v];
+        }
+        let core = self.cursor;
+        self.cursor = (self.cursor + 1) % self.core_fp.len().max(1);
+        let mut out: Vec<AuditViolation> = self.audit_core(table, core).into_iter().collect();
+        if core == 0 && placement_fingerprint(table) != self.placement_fp {
+            out.push(AuditViolation::PlacementMismatch);
+        }
+        out
+    }
+}
+
+/// The seeded table-corruption fault classes (chaos soaks, mutation kill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// XOR a low bit of one allocation's vCPU id: the slot now names the
+    /// wrong vCPU (or nobody that exists).
+    BitFlipSlot,
+    /// Swap the vCPU ids of two allocations: both slots remain well-formed
+    /// but serve the wrong tenants.
+    SwapPlacement,
+    /// Truncate one allocation to half its length: a stale, partially
+    /// written slot record that silently under-serves its vCPU.
+    StaleStamp,
+}
+
+impl CorruptionKind {
+    /// All fault classes, for sweeps.
+    pub const ALL: [CorruptionKind; 3] = [
+        CorruptionKind::BitFlipSlot,
+        CorruptionKind::SwapPlacement,
+        CorruptionKind::StaleStamp,
+    ];
+}
+
+impl fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CorruptionKind::BitFlipSlot => "bit_flip_slot",
+            CorruptionKind::SwapPlacement => "swap_placement",
+            CorruptionKind::StaleStamp => "stale_stamp",
+        })
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer).
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// Applies one corruption of class `kind` to `table`, deterministically per
+/// `salt`.
+///
+/// Returns `None` when the mutation is a no-op for this salt (e.g. a swap
+/// picked two slots of the same vCPU) or produces a structurally invalid
+/// table (the corrupted copy is rebuilt through [`Table::new`], which
+/// rejects e.g. a bit flip that creates a cross-core overlap) — callers
+/// retry with another salt. A `Some` result is guaranteed to differ from
+/// the input table.
+pub fn corrupt_table(table: &Table, kind: CorruptionKind, salt: u64) -> Option<Table> {
+    let mut per_core: Vec<Vec<Allocation>> = (0..table.n_cores())
+        .map(|c| table.cpu(c).allocations().to_vec())
+        .collect();
+    // Flat index over every allocation slot in the table.
+    let slots: Vec<(usize, usize)> = per_core
+        .iter()
+        .enumerate()
+        .flat_map(|(c, list)| (0..list.len()).map(move |i| (c, i)))
+        .collect();
+    if slots.is_empty() {
+        return None;
+    }
+    let pick = |stream: u64| slots[(mix(salt.wrapping_add(stream)) % slots.len() as u64) as usize];
+    match kind {
+        CorruptionKind::BitFlipSlot => {
+            let (c, i) = pick(1);
+            let bit = mix(salt.wrapping_add(2)) % 6;
+            per_core[c][i].vcpu = VcpuId(per_core[c][i].vcpu.0 ^ (1 << bit));
+        }
+        CorruptionKind::SwapPlacement => {
+            let (c1, i1) = pick(3);
+            let (c2, i2) = pick(4);
+            let (a, b) = (per_core[c1][i1].vcpu, per_core[c2][i2].vcpu);
+            if a == b {
+                return None;
+            }
+            per_core[c1][i1].vcpu = b;
+            per_core[c2][i2].vcpu = a;
+        }
+        CorruptionKind::StaleStamp => {
+            let (c, i) = pick(5);
+            let a = per_core[c][i];
+            let stale_end = a.start + (a.end - a.start + Nanos::from_nanos(1)) / 2;
+            if stale_end == a.end {
+                return None;
+            }
+            per_core[c][i].end = stale_end;
+        }
+    }
+    let corrupted = Table::new(table.len(), per_core).ok()?;
+    (&corrupted != table).then_some(corrupted)
+}
+
+/// Finds the first salt in `[0, tries)` for which [`corrupt_table`]
+/// produces a corrupted table, and returns it with the table.
+pub fn corrupt_table_any(table: &Table, kind: CorruptionKind, tries: u64) -> Option<(u64, Table)> {
+    (0..tries).find_map(|salt| corrupt_table(table, kind, salt).map(|t| (salt, t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn alloc(s: u64, e: u64, v: u32) -> Allocation {
+        Allocation {
+            start: ms(s),
+            end: ms(e),
+            vcpu: VcpuId(v),
+        }
+    }
+
+    fn host_table() -> Table {
+        Table::new(
+            ms(10),
+            vec![
+                vec![alloc(0, 2, 0), alloc(2, 5, 1), alloc(7, 9, 2)],
+                vec![alloc(0, 4, 3), alloc(5, 8, 4)],
+                vec![alloc(1, 6, 5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_table_audits_clean() {
+        let t = host_table();
+        let mut a = TableAuditor::new(&t);
+        assert!(a.audit_full(&t).is_empty());
+        // A full cursor rotation (plus one) also finds nothing.
+        for _ in 0..=t.n_cores() {
+            assert!(a.audit_step(&t).is_empty());
+        }
+    }
+
+    #[test]
+    fn every_corruption_class_is_detected_by_full_and_stepped_audit() {
+        let t = host_table();
+        let a = TableAuditor::new(&t);
+        for kind in CorruptionKind::ALL {
+            let (salt, bad) =
+                corrupt_table_any(&t, kind, 64).unwrap_or_else(|| panic!("{kind}: no salt"));
+            let found = a.audit_full(&bad);
+            assert!(!found.is_empty(), "{kind} (salt {salt}) undetected by full");
+            // The stepped audit reaches the same verdict within one sweep.
+            let mut stepped = a.clone();
+            let step_found: Vec<_> = (0..t.n_cores())
+                .flat_map(|_| stepped.audit_step(&bad))
+                .collect();
+            assert!(!step_found.is_empty(), "{kind} undetected by stepped sweep");
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_salt() {
+        let t = host_table();
+        for kind in CorruptionKind::ALL {
+            let (salt, bad) = corrupt_table_any(&t, kind, 64).unwrap();
+            assert_eq!(corrupt_table(&t, kind, salt), Some(bad));
+        }
+    }
+
+    #[test]
+    fn refresh_rebases_the_fact_store() {
+        let t = host_table();
+        let (_, bad) = corrupt_table_any(&t, CorruptionKind::SwapPlacement, 64).unwrap();
+        let mut a = TableAuditor::new(&t);
+        assert!(!a.audit_full(&bad).is_empty());
+        a.refresh(&bad);
+        assert!(a.audit_full(&bad).is_empty());
+        assert!(!a.audit_full(&t).is_empty());
+    }
+
+    #[test]
+    fn shape_mismatch_reported_before_core_facts() {
+        let t = host_table();
+        let a = TableAuditor::new(&t);
+        let narrower = Table::new(ms(10), vec![vec![alloc(0, 2, 0)]]).unwrap();
+        assert_eq!(
+            a.audit_full(&narrower),
+            vec![AuditViolation::ShapeMismatch {
+                expected_cores: 3,
+                got_cores: 1
+            }]
+        );
+        let stretched = Table::new(ms(20), vec![vec![], vec![], vec![]]).unwrap();
+        assert!(matches!(
+            a.audit_full(&stretched)[0],
+            AuditViolation::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn swap_placement_flips_both_slot_and_placement_facts() {
+        let t = host_table();
+        let a = TableAuditor::new(&t);
+        let (_, bad) = corrupt_table_any(&t, CorruptionKind::SwapPlacement, 64).unwrap();
+        let found = a.audit_full(&bad);
+        assert!(found
+            .iter()
+            .any(|v| matches!(v, AuditViolation::SlotMismatch { .. })));
+        assert!(found.contains(&AuditViolation::PlacementMismatch));
+    }
+
+    #[test]
+    fn empty_table_cannot_be_corrupted() {
+        let t = Table::new(ms(10), vec![vec![], vec![]]).unwrap();
+        for kind in CorruptionKind::ALL {
+            assert_eq!(corrupt_table_any(&t, kind, 64), None);
+        }
+    }
+
+    #[test]
+    fn violation_display_is_stable() {
+        assert_eq!(
+            AuditViolation::SlotMismatch { core: 3 }.to_string(),
+            "slot fingerprint mismatch on core 3"
+        );
+        assert_eq!(
+            AuditViolation::ShapeMismatch {
+                expected_cores: 2,
+                got_cores: 4
+            }
+            .to_string(),
+            "table shape mismatch: expected 2 cores, got 4"
+        );
+        assert_eq!(CorruptionKind::StaleStamp.to_string(), "stale_stamp");
+    }
+}

@@ -265,6 +265,10 @@ pub struct CacheStats {
     pub per_key: Vec<KeyStats>,
 }
 
+/// Speculative planner runs [`PlanCache::warm`] may spend per warm epoch
+/// (see [`PlanCache::begin_warm_epoch`]) before declining further warms.
+pub const DEFAULT_WARM_BUDGET: usize = 8;
+
 /// An LRU cache of planner outputs.
 #[derive(Debug)]
 pub struct PlanCache {
@@ -276,6 +280,9 @@ pub struct PlanCache {
     hits: u64,
     misses: u64,
     warmed: u64,
+    warm_budget: usize,
+    /// Planner runs spent by `warm` since the last `begin_warm_epoch`.
+    warm_spent: usize,
 }
 
 impl PlanCache {
@@ -289,7 +296,23 @@ impl PlanCache {
             hits: 0,
             misses: 0,
             warmed: 0,
+            warm_budget: DEFAULT_WARM_BUDGET,
+            warm_spent: 0,
         }
+    }
+
+    /// Caps the speculative planner runs each warm epoch may spend.
+    pub fn set_warm_budget(&mut self, budget: usize) {
+        self.warm_budget = budget;
+    }
+
+    /// Opens a new warm epoch: [`PlanCache::warm`] may again spend up to
+    /// the warm budget in planner runs. Callers draw the epoch boundary —
+    /// the fleet control plane calls this once per control epoch, so a
+    /// prediction storm can never monopolize an epoch with speculative
+    /// planning.
+    pub fn begin_warm_epoch(&mut self) {
+        self.warm_spent = 0;
     }
 
     /// Index of the slot matching `(host, opts)`, if one exists.
@@ -331,6 +354,13 @@ impl PlanCache {
     /// that already has an entry replaces that entry's plan.
     pub fn insert(&mut self, host: &HostConfig, opts: &PlannerOptions, plan: Arc<Plan>) {
         self.tick += 1;
+        self.install(host, opts, plan, false);
+    }
+
+    /// Shared insertion path. A speculative install (`warm`) may only
+    /// evict entries that have never served a hit; a demanded install
+    /// evicts the least-recently-used filled slot unconditionally.
+    fn install(&mut self, host: &HostConfig, opts: &PlannerOptions, plan: Arc<Plan>, warm: bool) {
         let idx = match self.find(host, opts) {
             Some(i) => i,
             None => {
@@ -352,7 +382,7 @@ impl PlanCache {
             if let Some(victim) = self
                 .slots
                 .iter_mut()
-                .filter(|s| s.plan.is_some())
+                .filter(|s| s.plan.is_some() && (!warm || s.hits == 0))
                 .min_by_key(|s| s.used)
             {
                 victim.plan = None;
@@ -367,9 +397,15 @@ impl PlanCache {
     /// Speculatively pre-plans `(host, opts)` so the predicted request hits.
     ///
     /// If the shape is already cached this only refreshes its recency (the
-    /// warmed entry must survive until the request it anticipates); nothing
-    /// is counted as a hit or miss either way — warming is not a request.
-    /// Planner invocations are tallied in [`PlanCache::warmed`].
+    /// warmed entry must survive until the request it anticipates) and
+    /// returns it; nothing is counted as a hit or miss either way — warming
+    /// is not a request. Planner invocations are tallied in
+    /// [`PlanCache::warmed`] and bounded: once the per-epoch budget is
+    /// spent (see [`PlanCache::begin_warm_epoch`]) the warm is declined
+    /// with `Ok(None)` before any planning happens. A warm is likewise
+    /// declined when caching its result could only evict an entry with
+    /// demonstrated demand — speculation never displaces a plan that has
+    /// served a real request.
     ///
     /// # Errors
     ///
@@ -378,20 +414,31 @@ impl PlanCache {
         &mut self,
         host: &HostConfig,
         opts: &PlannerOptions,
-    ) -> Result<Arc<Plan>, PlanError> {
+    ) -> Result<Option<Arc<Plan>>, PlanError> {
         self.tick += 1;
         if let Some(i) = self.find(host, opts) {
             let tick = self.tick;
             let slot = &mut self.slots[i];
             if let Some(cached) = slot.plan.clone() {
                 slot.used = tick;
-                return Ok(cached);
+                return Ok(Some(cached));
             }
         }
+        if self.warm_spent >= self.warm_budget {
+            return Ok(None);
+        }
+        if self.len() >= self.capacity
+            && !self.slots.iter().any(|s| s.plan.is_some() && s.hits == 0)
+        {
+            // Every cached plan has proven demand; decline before spending
+            // the planner run on a table we could not keep.
+            return Ok(None);
+        }
         let fresh = Arc::new(plan(host, opts)?);
+        self.warm_spent += 1;
         self.warmed += 1;
-        self.insert(host, opts, fresh.clone());
-        Ok(fresh)
+        self.install(host, opts, fresh.clone(), true);
+        Ok(Some(fresh))
     }
 
     /// Returns the cached plan for `(host, opts)`, planning (and caching)
@@ -752,10 +799,10 @@ mod tests {
     fn warming_prefills_without_counting_requests() {
         let mut cache = PlanCache::new(4);
         let opts = PlannerOptions::default();
-        let warmed = cache.warm(&host(6, "vm"), &opts).unwrap();
+        let warmed = cache.warm(&host(6, "vm"), &opts).unwrap().unwrap();
         assert_eq!((cache.hits(), cache.misses(), cache.warmed()), (0, 0, 1));
         // Re-warming an already-cached shape plans nothing.
-        let again = cache.warm(&host(6, "vm"), &opts).unwrap();
+        let again = cache.warm(&host(6, "vm"), &opts).unwrap().unwrap();
         assert!(Arc::ptr_eq(&warmed, &again));
         assert_eq!(cache.warmed(), 1);
         // The predicted request is a plain hit.
@@ -769,8 +816,47 @@ mod tests {
         let mut cache = PlanCache::new(1);
         let opts = PlannerOptions::default();
         let _ = cache.warm(&host(2, "a"), &opts).unwrap();
-        let _ = cache.warm(&host(4, "b"), &opts).unwrap();
+        // The never-hit entry for "a" is fair game for a warm eviction.
+        assert!(cache.warm(&host(4, "b"), &opts).unwrap().is_some());
         assert_eq!(cache.len(), 1, "warming must evict, not grow unbounded");
+    }
+
+    #[test]
+    fn warm_budget_caps_speculative_planning_per_epoch() {
+        let mut cache = PlanCache::new(8);
+        cache.set_warm_budget(2);
+        let opts = PlannerOptions::default();
+        assert!(cache.warm(&host(2, "a"), &opts).unwrap().is_some());
+        assert!(cache.warm(&host(4, "b"), &opts).unwrap().is_some());
+        // Budget spent: the third distinct shape is declined, unplanned.
+        assert!(cache.warm(&host(6, "c"), &opts).unwrap().is_none());
+        assert_eq!(cache.warmed(), 2);
+        // Already-cached shapes still warm for free past the budget.
+        assert!(cache.warm(&host(2, "a"), &opts).unwrap().is_some());
+        assert_eq!(cache.warmed(), 2);
+        // A new epoch refills the budget.
+        cache.begin_warm_epoch();
+        assert!(cache.warm(&host(6, "c"), &opts).unwrap().is_some());
+        assert_eq!(cache.warmed(), 3);
+    }
+
+    #[test]
+    fn warm_never_evicts_an_entry_with_lifetime_hits() {
+        let mut cache = PlanCache::new(1);
+        let opts = PlannerOptions::default();
+        let served = cache.get_or_plan(&host(2, "a"), &opts).unwrap();
+        let _ = cache.get_or_plan(&host(2, "a"), &opts).unwrap(); // 1 hit
+                                                                  // The only evictable slot has proven demand: the warm is declined
+                                                                  // before planning, and the hot entry survives.
+        assert!(cache.warm(&host(4, "b"), &opts).unwrap().is_none());
+        assert_eq!(cache.warmed(), 0, "the declined warm spent no planner run");
+        let still = cache.lookup(&host(2, "a"), &opts).unwrap();
+        assert!(Arc::ptr_eq(&served, &still));
+        // A demanded insert (get_or_plan) may still evict it — only
+        // speculation is restricted.
+        let _ = cache.get_or_plan(&host(4, "b"), &opts).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&host(2, "a"), &opts).is_none());
     }
 
     #[test]

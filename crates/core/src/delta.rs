@@ -45,8 +45,8 @@ use std::collections::HashMap;
 use rtsched::edf::simulate_edf;
 use rtsched::generator::Stage;
 use rtsched::partition::worst_fit_decreasing_with_preferences;
+use rtsched::rules::{verify_with_engine, RuleEngine};
 use rtsched::time::Nanos;
-use rtsched::verify::verify_schedule;
 use rtsched::MultiCoreSchedule;
 
 use crate::planner::{blackout_in_table, translate, Plan, PlannerOptions};
@@ -85,6 +85,10 @@ pub enum DeltaAbort {
     /// A dirtied bin failed simulation, verification, or table splice —
     /// the full pipeline (with its C=D and clustered stages) must decide.
     Bin(String),
+    /// The table splice left a stale placement alive (a departed trailing
+    /// vCPU surviving a leave-of-last) — the patched table cannot be
+    /// trusted, so the full pipeline rebuilds from scratch.
+    StalePlacement(String),
 }
 
 impl std::fmt::Display for DeltaAbort {
@@ -96,6 +100,7 @@ impl std::fmt::Display for DeltaAbort {
             DeltaAbort::NoBinMetadata => write!(f, "previous plan has no bin metadata"),
             DeltaAbort::Packing(e) => write!(f, "packing left stage 1: {e}"),
             DeltaAbort::Bin(e) => write!(f, "dirty bin failed: {e}"),
+            DeltaAbort::StalePlacement(e) => write!(f, "table splice left {e}"),
         }
     }
 }
@@ -268,7 +273,13 @@ pub fn plan_delta(
             ));
             coalesce_by_core.push(CoalesceReport::default());
         }
-        Table::patched_from(&prev.table, updates).map_err(DeltaAbort::Bin)?
+        Table::patched_from(&prev.table, updates).map_err(|e| {
+            if e.starts_with("stale placement") {
+                DeltaAbort::StalePlacement(e)
+            } else {
+                DeltaAbort::Bin(e)
+            }
+        })?
     } else {
         // Relabeling splice: some clean bin changed vCPU ids (e.g. a leave
         // in the middle of the host shifts every later id down), so each
@@ -414,7 +425,14 @@ fn rebuild_bin(
     })?;
     let mut one = MultiCoreSchedule::idle(hyperperiod, 1);
     one.cores[0] = sched;
-    let violations = verify_schedule(new_bin, &one);
+    // Incremental verification: assert the rebuilt bin's facts into a
+    // one-core rule engine and re-derive the invariants from them — the
+    // cost is O(this bin), and across a delta O(dirtied bins), never
+    // O(host). A decline (or any violation) degrades to the full
+    // single-pass verifier, which is authoritative for the error text.
+    let mut engine = RuleEngine::new(hyperperiod, 1);
+    let _ = engine.apply_delta(0, new_bin.to_vec(), one.cores[0].segments().to_vec());
+    let violations = verify_with_engine(&mut engine, new_bin, &one);
     if let Some(v) = violations.first() {
         return Err(DeltaAbort::Bin(format!(
             "core {core}: {v} ({} violation(s) total)",

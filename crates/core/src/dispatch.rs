@@ -377,6 +377,18 @@ impl Dispatcher {
         self.tables.has_staged()
     }
 
+    /// The most recently committed table (see
+    /// [`TableManager::newest_table`]) — what the continuous audit
+    /// re-checks against its install-time fact store.
+    pub fn newest_table(&self) -> &Table {
+        self.tables.newest_table()
+    }
+
+    /// Fault-injection hook: see [`TableManager::corrupt_newest_table`].
+    pub fn corrupt_newest_table(&mut self, table: Table) -> Result<(), String> {
+        self.tables.corrupt_newest_table(table)
+    }
+
     /// Replaces the capped flags (on VM reconfiguration).
     pub fn set_capped(&mut self, capped: Vec<bool>) {
         self.capped = capped;

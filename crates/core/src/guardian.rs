@@ -27,6 +27,7 @@
 use rtsched::time::Nanos;
 use serde::{Deserialize, Serialize};
 
+use crate::audit::{AuditViolation, TableAuditor};
 use crate::dispatch::Dispatcher;
 use crate::planner::{plan_with_fallback, Plan, PlannerOptions, ReplanPath};
 use crate::table::Table;
@@ -226,6 +227,11 @@ pub struct GuardianConfig {
     /// Quarantine an uncapped guest once its cumulative overrun count
     /// reaches this threshold.
     pub quarantine_overruns: u64,
+    /// Continuous-audit cadence: at most one incremental audit step (one
+    /// core's facts re-checked) per this much time. Low by design — the
+    /// audit guards against corruption of an *installed* table, which has
+    /// no deadline, so it must never compete with the dispatch path.
+    pub audit_interval: Nanos,
     /// Planner options for evacuation/restore replans.
     pub planner: PlannerOptions,
 }
@@ -237,6 +243,7 @@ impl Default for GuardianConfig {
             backoff_base: Nanos::from_millis(1),
             backoff_cap: Nanos::from_millis(100),
             quarantine_overruns: 50,
+            audit_interval: Nanos::from_millis(100),
             planner: PlannerOptions::default(),
         }
     }
@@ -307,6 +314,13 @@ pub enum RecoveryAction {
         /// Interrupted attempts before this one succeeded.
         attempts: u32,
     },
+    /// The continuous audit found the installed table diverged from the
+    /// facts recorded when it was installed; recovery replans and
+    /// reinstalls through the ordinary ladder.
+    AuditViolation {
+        /// What diverged.
+        violation: AuditViolation,
+    },
     /// A persistently overrunning guest was demoted at the second level.
     Quarantined {
         /// The demoted vCPU.
@@ -337,6 +351,12 @@ pub struct GuardianCounters {
     pub install_retries: u64,
     /// Guests demoted at the second level.
     pub quarantines: u64,
+    /// Incremental audit steps performed over installed tables.
+    #[serde(default)]
+    pub audit_checks: u64,
+    /// Audit discrepancies detected (each triggers a replan).
+    #[serde(default)]
+    pub audit_violations: u64,
 }
 
 /// An evacuation/restore plan awaiting a successful two-phase install.
@@ -374,6 +394,11 @@ pub struct Guardian {
     pending: Option<PendingInstall>,
     /// Latest cumulative overrun count per vCPU id.
     overruns_seen: Vec<u64>,
+    /// Fact store snapshotted from the installed table, re-checked by the
+    /// continuous audit.
+    auditor: TableAuditor,
+    /// Earliest time of the next audit step.
+    next_audit: Nanos,
     counters: GuardianCounters,
     log: Vec<RecoveryRecord>,
 }
@@ -387,6 +412,7 @@ impl Guardian {
             .into_iter()
             .map(|(_, spec)| spec.capped)
             .collect();
+        let auditor = TableAuditor::new(&initial.table);
         Guardian {
             cfg,
             capped,
@@ -396,6 +422,8 @@ impl Guardian {
             replan_needed: false,
             pending: None,
             overruns_seen: Vec::new(),
+            auditor,
+            next_audit: Nanos::ZERO,
             counters: GuardianCounters::default(),
             log: Vec::new(),
         }
@@ -470,6 +498,29 @@ impl Guardian {
                         bound: v.bound,
                     },
                 });
+            }
+        }
+
+        // Continuous audit: one incremental step per cadence interval,
+        // re-checking the live table against the install-time fact store.
+        // Silent when clean; a discrepancy is typed into the log and routed
+        // through the ordinary replan ladder (the corrupted copy is
+        // replaced by a freshly planned, freshly verified install).
+        if now >= self.next_audit {
+            self.next_audit = now + self.cfg.audit_interval;
+            self.counters.audit_checks += 1;
+            let found = self.auditor.audit_step(dispatcher.newest_table());
+            if !found.is_empty() {
+                self.counters.audit_violations += found.len() as u64;
+                for violation in found {
+                    self.log.push(RecoveryRecord {
+                        at: now,
+                        action: RecoveryAction::AuditViolation { violation },
+                    });
+                }
+                self.replan_needed = true;
+                // The pending install (if any) predates the discrepancy.
+                self.pending = None;
             }
         }
 
@@ -626,6 +677,9 @@ impl Guardian {
                         attempts: p.attempts,
                     },
                 });
+                // Rebase the audit facts on the table just committed (the
+                // full-width remap, which is what the dispatcher now runs).
+                self.auditor.refresh(&p.table);
                 self.installed = (p.host, p.plan);
             }
             Err(e) => {
@@ -937,6 +991,55 @@ mod tests {
         assert_eq!(vcpu, VcpuId(0));
         assert_eq!(observed, ms(25));
         assert_eq!(g.counters().violations_seen, 1);
+    }
+
+    #[test]
+    fn continuous_audit_is_silent_on_a_clean_table() {
+        let (mut g, mut d) = setup();
+        for i in 0..6 {
+            let r = g.step(&mut d, ms(100 * i), false);
+            assert!(r.is_empty(), "clean audit must not log: {r:?}");
+        }
+        // One audit step per cadence interval, none mid-interval.
+        assert_eq!(g.counters().audit_checks, 6);
+        let quiet = g.step(&mut d, ms(500) + Nanos::from_micros(1), false);
+        assert!(quiet.is_empty());
+        assert_eq!(g.counters().audit_checks, 6);
+        assert_eq!(g.counters().audit_violations, 0);
+    }
+
+    #[test]
+    fn audit_detects_corruption_and_repairs_through_the_ladder() {
+        use crate::audit::{corrupt_table_any, CorruptionKind};
+        let h = host();
+        let p = plan(&h, &PlannerOptions::default()).unwrap();
+        // The dispatcher boots on a corrupted copy of the approved table —
+        // the in-memory fault the continuous audit exists to catch.
+        let (_, bad) = corrupt_table_any(&p.table, CorruptionKind::SwapPlacement, 64).unwrap();
+        let capped: Vec<bool> = h.vcpus().into_iter().map(|(_, s)| s.capped).collect();
+        let mut d = Dispatcher::new(bad, capped, DEFAULT_EPOCH);
+        let mut g = Guardian::new(h, p, GuardianConfig::default());
+        d.attach_sla_monitor(g.monitor());
+
+        let r = g.step(&mut d, ms(0), false);
+        assert!(
+            find(&r, |a| matches!(a, RecoveryAction::AuditViolation { .. })).is_some(),
+            "corruption not flagged: {r:?}"
+        );
+        // The same step replans and installs a repaired table.
+        assert!(find(&r, |a| matches!(a, RecoveryAction::Installed { .. })).is_some());
+        assert!(g.counters().audit_violations >= 1);
+        let seen = g.counters().audit_violations;
+
+        // A full audit rotation over the repaired table stays silent.
+        for i in 1..=2 * d.n_cores() as u64 {
+            let r = g.step(&mut d, ms(100 * i), false);
+            assert!(
+                find(&r, |a| matches!(a, RecoveryAction::AuditViolation { .. })).is_none(),
+                "repaired table re-flagged: {r:?}"
+            );
+        }
+        assert_eq!(g.counters().audit_violations, seen);
     }
 
     #[test]

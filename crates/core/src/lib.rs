@@ -38,6 +38,7 @@
 //! assert!(slot.vcpu().is_some() || slot.until() > Nanos::ZERO);
 //! ```
 
+pub mod audit;
 pub mod binary;
 pub mod cache;
 pub mod delta;
@@ -52,6 +53,7 @@ pub mod table;
 pub mod vcpu;
 pub mod viz;
 
+pub use audit::{corrupt_table, corrupt_table_any, AuditViolation, CorruptionKind, TableAuditor};
 pub use delta::{plan_delta, DeltaAbort, DeltaReport};
 pub use dispatch::{Decision, Dispatcher};
 pub use guardian::{

@@ -289,6 +289,33 @@ impl TableManager {
         freed
     }
 
+    /// The most recently committed table — the one every core is on, or
+    /// converging to (the continuous audit re-checks this copy).
+    pub fn newest_table(&self) -> &Table {
+        self.epochs.last().expect("manager always has an epoch")
+    }
+
+    /// Fault-injection hook: overwrites the newest committed table in
+    /// place, bypassing the two-phase install protocol — the model of a
+    /// stray write corrupting the installed table underneath the control
+    /// plane. Nothing in the product path calls this; chaos harnesses use
+    /// it to prove the continuous audit detects and repairs. The
+    /// replacement must keep the epoch's shape (length and core count).
+    pub fn corrupt_newest_table(&mut self, table: Table) -> Result<(), String> {
+        let cur = self.newest_table();
+        if table.len() != cur.len() || table.n_cores() != cur.n_cores() {
+            return Err(format!(
+                "corruption changed the table shape: {}x{:?} -> {}x{:?}",
+                cur.n_cores(),
+                cur.len(),
+                table.n_cores(),
+                table.len()
+            ));
+        }
+        *self.epochs.last_mut().expect("manager always has an epoch") = Arc::new(table);
+        Ok(())
+    }
+
     /// The epoch index `core` currently runs (diagnostics/tests).
     pub fn core_epoch(&self, core: usize) -> usize {
         self.cores[core].epoch

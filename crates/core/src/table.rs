@@ -555,6 +555,23 @@ impl Table {
         while placements.last().is_some_and(|p| p.allocations.is_empty()) {
             placements.pop();
         }
+        // The trailing-id cleanup is *checked*, not trusted: a leave-of-last
+        // splice whose translate step left a departed vCPU's allocations
+        // behind would survive the pops above with a live placement the new
+        // table should not carry. Cross-check every touched id against the
+        // spliced per-core tables before committing.
+        for &v in &touched {
+            let on_cores = cpus
+                .iter()
+                .any(|c| c.allocations().iter().any(|a| a.vcpu.0 == v));
+            let placed = placements
+                .get(v as usize)
+                .is_some_and(|p| !p.allocations.is_empty());
+            if placed && !on_cores {
+                debug_assert!(false, "stale placement for vCPU v{v} survived the splice");
+                return Err(format!("stale placement for vCPU v{v} survived the splice"));
+            }
+        }
 
         // Home lists: remove every touched vCPU, then re-insert the ones
         // that still exist at their (ascending-id) position.
@@ -935,6 +952,32 @@ mod tests {
         assert_eq!(patched, fresh);
         assert!(patched.placement(VcpuId(5)).is_none());
         assert_eq!(patched.vcpus_homed_on(1), vec![VcpuId(1)]);
+    }
+
+    /// A table whose placement metadata bogusly claims vCPU 1 also lives
+    /// on core 0 — the desync the checked trailing-id cleanup must catch
+    /// when a leave-of-last splice empties vCPU 1's real core.
+    fn desynced_table() -> Table {
+        let mut prev =
+            Table::new(ms(10), vec![vec![alloc(0, 3, 0)], vec![alloc(0, 4, 1)]]).unwrap();
+        Arc::make_mut(&mut prev.placements[1])
+            .allocations
+            .push((0, ms(8), ms(9)));
+        prev
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale placement for vCPU v1")]
+    fn stale_placement_after_splice_panics_in_debug() {
+        let _ = Table::patched_from(&desynced_table(), vec![(1, vec![])]);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn stale_placement_after_splice_errors_in_release() {
+        let err = Table::patched_from(&desynced_table(), vec![(1, vec![])]).unwrap_err();
+        assert!(err.starts_with("stale placement"), "{err}");
     }
 
     #[test]

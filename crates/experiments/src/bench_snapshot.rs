@@ -25,7 +25,11 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use rtsched::generator::Stage;
+use rtsched::rules::RuleEngine;
+use rtsched::schedule::{CoreSchedule, MultiCoreSchedule, Segment};
+use rtsched::task::{PeriodicTask, TaskId};
 use rtsched::time::Nanos;
+use rtsched::verify::verify_schedule;
 use tableau_core::cache::PlanCache;
 use tableau_core::dispatch::Dispatcher;
 use tableau_core::plan_delta;
@@ -112,6 +116,67 @@ fn bench_host_with_goal(n_cores: usize, n_vms: usize, pct: u32, goal: Nanos) -> 
     h
 }
 
+/// The paper-scale verification substrate: a 44-core, 176-task schedule
+/// (4 tasks per core, 0.5 ms each over a 2 ms hyperperiod) in rtsched
+/// types, i.e. the exact inputs `verify_schedule` and the rule engine see.
+#[allow(clippy::type_complexity)]
+fn verify_host_176() -> (Vec<Vec<PeriodicTask>>, Vec<Vec<Segment>>, MultiCoreSchedule) {
+    let h = Nanos::from_millis(2);
+    let q = h / 4;
+    let bins: Vec<Vec<PeriodicTask>> = (0..44u32)
+        .map(|c| {
+            (0..4u32)
+                .map(|i| PeriodicTask::implicit(TaskId(c * 4 + i), q, h))
+                .collect()
+        })
+        .collect();
+    let slots: Vec<Vec<Segment>> = (0..44u64)
+        .map(|c| {
+            (0..4u64)
+                .map(|i| Segment::new(q * i, q * (i + 1), TaskId((c * 4 + i) as u32)))
+                .collect()
+        })
+        .collect();
+    let sched = MultiCoreSchedule {
+        hyperperiod: h,
+        cores: slots
+            .iter()
+            .map(|v| CoreSchedule::from_segments(v.clone()).expect("valid core"))
+            .collect(),
+    };
+    (bins, slots, sched)
+}
+
+/// Times one full single-pass verify of the 176-task host.
+fn verify_full_entry(iters: u64) -> BenchEntry {
+    let (bins, _, sched) = verify_host_176();
+    let tasks: Vec<PeriodicTask> = bins.into_iter().flatten().collect();
+    time_entry("verify/full_176", iters.max(100), || {
+        let v = verify_schedule(&tasks, &sched);
+        assert!(v.is_empty(), "bench schedule must be valid");
+        v
+    })
+}
+
+/// Times re-certifying a single-bin delta through the rule engine on the
+/// same host: one retract+assert plus an O(dirty-core) re-derivation.
+fn verify_delta_entry(iters: u64) -> BenchEntry {
+    let (bins, slots, sched) = verify_host_176();
+    let mut engine = RuleEngine::from_bins(sched.hyperperiod, &bins, &sched);
+    assert!(
+        engine.verdict().expect("engine certifies").is_empty(),
+        "bench schedule must be valid"
+    );
+    time_entry("verify/delta_incremental", iters.max(100), || {
+        engine
+            .apply_delta(0, bins[0].clone(), slots[0].clone())
+            .expect("re-asserting a self-contained bin");
+        let v = engine.verdict().expect("engine certifies");
+        assert!(v.is_empty());
+        v
+    })
+}
+
 pub(crate) fn meta(quick: bool, seed: u64) -> BenchMeta {
     BenchMeta {
         schema: SCHEMA.to_string(),
@@ -177,6 +242,8 @@ pub fn planner_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
                 p
             })
         },
+        verify_full_entry(iters),
+        verify_delta_entry(iters),
         time_entry("cache/miss", iters, || {
             // A fresh cache per iteration: the full miss path (key build,
             // plan, insert).
@@ -191,6 +258,23 @@ pub fn planner_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
             })
         },
     ];
+    // The ISSUE 8 acceptance bar: re-certifying a single-bin delta through
+    // the rule engine must be at least 5x cheaper than a full single-pass
+    // verify of the same 176-task host (the expected gap is far larger).
+    let mean = |n: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == n)
+            .map(|e| e.mean_ns)
+            .expect("verify entries present")
+    };
+    assert!(
+        mean("verify/delta_incremental") * 5.0 < mean("verify/full_176"),
+        "incremental delta verify ({:.0} ns) must be >= 5x cheaper than the \
+         full pass ({:.0} ns)",
+        mean("verify/delta_incremental"),
+        mean("verify/full_176")
+    );
     BenchSnapshot {
         meta: meta(quick, seed),
         entries,
@@ -570,6 +654,8 @@ mod tests {
                 "plan/partitioned_176",
                 "plan/clustered_176",
                 "plan/delta_single_vm",
+                "verify/full_176",
+                "verify/delta_incremental",
                 "cache/miss",
                 "cache/hit"
             ]

@@ -18,7 +18,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: experiments <id>... [--quick] [--seed <u64>] \
 [--engine <memoized|reference>]\n\
     known ids: fig3 fig4 tab1 tab2 fig5 fig6 fig7 fig8 planner overheads \
-    intrinsic ping ablations scaling latency_sweep robustness soak fleet all\n\
+    intrinsic ping ablations scaling latency_sweep robustness soak fleet \
+    audit all\n\
     --engine selects the planner generation pipeline for fig3/fig4/planner\n\
     perf trajectory: experiments bench snapshot [--quick]";
 
@@ -74,6 +75,7 @@ const KNOWN_IDS: &[&str] = &[
     "robustness",
     "soak",
     "fleet",
+    "audit",
     "bench",
     "snapshot",
     "all",
@@ -144,6 +146,7 @@ fn main() -> ExitCode {
     let mut bench_done = false;
     let mut bench_ok = true;
     let mut fleet_ok = true;
+    let mut audit_ok = true;
     for id in &cli.ids {
         match id.as_str() {
             "bench" | "snapshot" => {
@@ -191,6 +194,9 @@ fn main() -> ExitCode {
             "fleet" => {
                 fleet_ok &= experiments::fleet::run_with_seed(quick, cli.seed);
             }
+            "audit" => {
+                audit_ok &= experiments::audit::run_with_seed(quick, cli.seed);
+            }
             "all" => {
                 experiments::planner_scale::run(quick);
                 experiments::overheads::run(quick);
@@ -204,6 +210,7 @@ fn main() -> ExitCode {
                 experiments::robustness::run_with_seed(quick, cli.seed);
                 experiments::soak::run_with_seed(quick, cli.seed);
                 fleet_ok &= experiments::fleet::run_with_seed(quick, cli.seed);
+                audit_ok &= experiments::audit::run_with_seed(quick, cli.seed);
             }
             _ => unreachable!("ids validated in parse"),
         }
@@ -214,6 +221,10 @@ fn main() -> ExitCode {
     }
     if !fleet_ok {
         eprintln!("error: fleet bench regressed past the gate (see lines above)");
+        return ExitCode::FAILURE;
+    }
+    if !audit_ok {
+        eprintln!("error: a corruption mutant survived the audit gate (see lines above)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

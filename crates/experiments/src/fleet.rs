@@ -70,9 +70,10 @@ pub const QUICK_INTENSITIES: [f64; 2] = [0.0, 1.0];
 /// minutes-long single-host runs (60 s crash intervals); a fleet cell
 /// replays seconds of churn over hundreds of hosts, so the per-host
 /// schedule is compressed: at full intensity each host crashes roughly
-/// every 3 s for up to 1.2 s, degrades every ~4 s for up to 1.5 s, and
+/// every 3 s for up to 1.2 s, degrades every ~4 s for up to 1.5 s,
 /// fleet-wide install storms of up to 700 ms arrive every ~2 s
-/// interrupting 60% of installs attempted inside them.
+/// interrupting 60% of installs attempted inside them, and each host's
+/// installed table is corrupted with probability 75% roughly every 2.5 s.
 pub fn fleet_chaos(seed: u64, intensity: f64) -> HostFaultConfig {
     let i = intensity.clamp(0.0, 1.0);
     let scale = |ns: u64| Nanos((ns as f64 * i) as u64);
@@ -90,6 +91,10 @@ pub fn fleet_chaos(seed: u64, intensity: f64) -> HostFaultConfig {
             interval: Nanos::from_secs(2),
             duration: scale(700_000_000),
             interrupt_prob: 0.6 * i,
+        },
+        corruption: xensim::fault::TableCorruptionFaults {
+            interval: Nanos::from_millis(2_500),
+            prob: 0.75 * i,
         },
     }
 }
@@ -282,9 +287,29 @@ fn run_cell(
             counters.install_retries, 0,
             "storm retries on a pristine fleet"
         );
+        assert_eq!(
+            counters.corruptions_injected, 0,
+            "corruptions on a pristine fleet"
+        );
         assert!(counters.admissions > 0, "churn admitted nothing");
         assert!(counters.installs > 0, "no table ever installed");
+    } else {
+        // Invariant 3: every corruption the chaos schedule lands on a live
+        // host is flagged by the continuous audit the same epoch — none
+        // survive undetected, and the audit never cries wolf.
+        assert!(
+            counters.corruptions_injected > 0,
+            "chaos preset injected no corruptions (seed {seed}, intensity {intensity})"
+        );
+        assert_eq!(
+            counters.corruptions_detected, counters.corruptions_injected,
+            "undetected table corruption (seed {seed}, intensity {intensity})"
+        );
     }
+    assert_eq!(
+        counters.audit_false_positives, 0,
+        "audit false positive (seed {seed}, intensity {intensity})"
+    );
 
     let hist = fleet.admit_to_install();
     let stats = fleet.cache().stats();

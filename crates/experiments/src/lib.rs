@@ -24,6 +24,10 @@
 //! evacuation convergence every control epoch.
 //! [`bench_snapshot`] times the planner/cache/dispatcher hot paths and
 //! writes the committed `BENCH_*.json` perf trajectory (`bench snapshot`).
+//! [`audit`] is the mutation-kill harness: every table-corruption class is
+//! injected into a planned host and must be flagged by the install-time
+//! audit fact store, with the incremental rule engine agreeing
+//! byte-for-byte with the full verifier on every mutant.
 //!
 //! Run via the `experiments` binary: `cargo run --release -p experiments --
 //! all` (or a specific id, with `--quick` for a fast smoke pass). Each
@@ -31,6 +35,7 @@
 //! `results/`.
 
 pub mod ablations;
+pub mod audit;
 pub mod bench_snapshot;
 pub mod config;
 pub mod fleet;

@@ -124,6 +124,11 @@ pub struct SoakPoint {
     pub install_retries: u64,
     /// Guests demoted for persistent overruns.
     pub quarantines: u64,
+    /// Incremental audit steps the guardian ran over installed tables.
+    pub audit_checks: u64,
+    /// Audit discrepancies detected (zero unless tables are corrupted
+    /// out from under the dispatcher).
+    pub audit_violations: u64,
     /// Longest recovering streak observed (epochs; must stay within
     /// [`CONVERGENCE_EPOCHS`]).
     pub max_recovery_epochs: u64,
@@ -341,7 +346,15 @@ fn run_cell(
             capped_max <= LATENCY_GOAL,
             "capped probe exceeded its bound on a pristine platform: {capped_max}"
         );
+        assert_eq!(
+            c.audit_violations, 0,
+            "continuous audit flagged a pristine table (seed {seed})"
+        );
     }
+    assert!(
+        c.audit_checks > 0,
+        "continuous audit never ran (seed {seed}, intensity {intensity})"
+    );
     let offline_total = stats
         .core_offline_time
         .iter()
@@ -356,6 +369,8 @@ fn run_cell(
         evacuations: c.evacuations,
         install_retries: c.install_retries,
         quarantines: c.quarantines,
+        audit_checks: c.audit_checks,
+        audit_violations: c.audit_violations,
         max_recovery_epochs,
         capped_max_delay_ms: capped_max.as_millis_f64(),
         max_delay_ms: max_delay.as_millis_f64(),

@@ -174,6 +174,7 @@ fn latency_sweep_scenario_replays_bit_for_bit() {
 fn fleet_cell_replays_bit_for_bit_with_host_faults_at_rate_zero() {
     use xensim::fault::{
         HostCrashFaults, HostDegradeFaults, HostFaultConfig, HostFaultEngine, InstallStormFaults,
+        TableCorruptionFaults,
     };
 
     let cfg = HostFaultConfig {
@@ -190,6 +191,10 @@ fn fleet_cell_replays_bit_for_bit_with_host_faults_at_rate_zero() {
             interval: Nanos::from_secs(2),
             duration: Nanos::ZERO,
             interrupt_prob: 0.0,
+        },
+        corruption: TableCorruptionFaults {
+            interval: Nanos::from_secs(5),
+            prob: 0.0,
         },
     };
     assert!(!cfg.any_active(), "a zero-rate host class reported active");

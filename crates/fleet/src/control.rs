@@ -7,13 +7,14 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use rtsched::time::Nanos;
+use tableau_core::audit::{corrupt_table, CorruptionKind, TableAuditor};
 use tableau_core::cache::PlanCache;
 use tableau_core::plan_delta;
 use tableau_core::planner::{plan_with_fallback, Plan, PlanError, PlannerOptions, ReplanPath};
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec};
 use workloads::churn::Flavor;
 use workloads::Histogram;
-use xensim::fault::{FaultWindow, HostFaultConfig, HostFaultEngine};
+use xensim::fault::{CorruptionEvent, FaultWindow, HostFaultConfig, HostFaultEngine};
 use xensim::{Machine, RecoveryStats};
 
 use crate::host::{mask_table, probe_config, push_tenant, FleetHost, HostState, Tenant};
@@ -148,6 +149,18 @@ pub struct FleetCounters {
     /// Installs rejected by the dispatcher with a typed error (table
     /// shape drift; the plan is dropped, the old table keeps running).
     pub installs_rejected: u64,
+    /// Table corruptions injected into live hosts (chaos).
+    #[serde(default)]
+    pub corruptions_injected: u64,
+    /// Injected corruptions the continuous audit flagged (each one is
+    /// detected exactly once, the epoch it lands).
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Audit violations on hosts with no outstanding corruption. Must
+    /// stay zero: a nonzero value means the audit flagged a table the
+    /// control plane installed itself.
+    #[serde(default)]
+    pub audit_false_positives: u64,
 }
 
 /// Which rung produced each committed replan (provenance; the PR 3
@@ -246,6 +259,8 @@ pub struct Fleet {
     crash_cursor: Vec<usize>,
     degrade_windows: Vec<Vec<FaultWindow>>,
     storm_windows: Vec<FaultWindow>,
+    corruption_events: Vec<Vec<CorruptionEvent>>,
+    corruption_cursor: Vec<usize>,
     evacuating: Vec<EvacVm>,
     parked: Vec<EvacVm>,
     /// The ownership ledger: every admitted, not-torn-down VM, with its
@@ -282,6 +297,8 @@ impl Fleet {
             crash_cursor: vec![0; cfg.n_hosts],
             degrade_windows: vec![Vec::new(); cfg.n_hosts],
             storm_windows: Vec::new(),
+            corruption_events: vec![Vec::new(); cfg.n_hosts],
+            corruption_cursor: vec![0; cfg.n_hosts],
             cfg,
             machine,
             hosts,
@@ -314,6 +331,9 @@ impl Fleet {
                 .map(|h| e.degrade_windows(h, horizon))
                 .collect();
             self.storm_windows = e.storm_windows(horizon);
+            self.corruption_events = (0..self.cfg.n_hosts)
+                .map(|h| e.corruption_events(h, horizon))
+                .collect();
         }
     }
 
@@ -465,10 +485,16 @@ impl Fleet {
     // --- control loop ----------------------------------------------------
 
     /// One control epoch at absolute fleet time `now`: fire host fault
-    /// transitions, drive evacuations and parked retries, push pending
-    /// installs, and advance every live host's simulator.
+    /// transitions (including table corruptions), audit every live host's
+    /// installed table, drive evacuations and parked retries, push pending
+    /// installs, and advance every live host's simulator. Corruptions land
+    /// before the audit and the audit before installs, so an injected
+    /// corruption is detected — and its repair install issued — within the
+    /// same epoch.
     pub fn step(&mut self, now: Nanos) {
         self.apply_host_faults(now);
+        self.inject_corruptions(now);
+        self.audit_tables();
         self.process_evacuations(now);
         self.process_parked(now);
         self.process_installs(now);
@@ -569,7 +595,7 @@ impl Fleet {
     /// (the PR 3 pattern: damage and repairs travel in one record).
     pub fn recovery_stats(&self) -> RecoveryStats {
         RecoveryStats {
-            violations_seen: 0,
+            violations_seen: self.counters.corruptions_detected,
             evacuations: self.counters.crashes,
             install_retries: self.counters.install_retries,
             quarantines: 0,
@@ -627,6 +653,9 @@ impl Fleet {
         if self.cfg.prewarm_flavors == 0 {
             return;
         }
+        // One warm budget per control epoch: a prediction storm cannot
+        // monopolize the epoch with speculative planner runs.
+        self.cache.begin_warm_epoch();
         let mut ranked: Vec<((usize, u32), u64)> =
             self.flavor_freq.iter().map(|(&k, &n)| (k, n)).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -810,6 +839,79 @@ impl Fleet {
         }
     }
 
+    /// Fires every corruption event due at `now` on a live host: the
+    /// host's installed table is overwritten in place with a seeded
+    /// mutation, underneath the install protocol. Events due while a host
+    /// is down are consumed without effect (the table they would have
+    /// corrupted no longer exists).
+    fn inject_corruptions(&mut self, now: Nanos) {
+        for i in 0..self.hosts.len() {
+            while let Some(&ev) = self.corruption_events[i].get(self.corruption_cursor[i]) {
+                if ev.at > now {
+                    break;
+                }
+                self.corruption_cursor[i] += 1;
+                if self.hosts[i].sim.is_none() {
+                    continue;
+                }
+                let kind = CorruptionKind::ALL[(ev.class % 3) as usize];
+                let Some(tab) = self.hosts[i].tableau_mut() else {
+                    continue;
+                };
+                let live = tab.dispatcher().newest_table().clone();
+                // The event's salt seeds the mutation; salts that pick a
+                // no-op (e.g. a swap of two identical probe ids) slide to
+                // the next one.
+                let corrupted =
+                    (0..16u64).find_map(|k| corrupt_table(&live, kind, ev.salt.wrapping_add(k)));
+                let Some(bad) = corrupted else {
+                    continue;
+                };
+                if tab.dispatcher_mut().corrupt_newest_table(bad).is_ok() {
+                    self.counters.corruptions_injected += 1;
+                    self.hosts[i].pending_corruptions += 1;
+                }
+            }
+        }
+    }
+
+    /// Re-checks every live host's installed table against its
+    /// install-time fingerprints. A violation on a host with outstanding
+    /// corruptions counts them detected, marks the host dirty, and lets
+    /// the ordinary install pipeline repair it (the target plan is still
+    /// sound — only the installed copy was damaged). A violation with no
+    /// outstanding corruption is an audit false positive and must never
+    /// happen.
+    fn audit_tables(&mut self) {
+        for i in 0..self.hosts.len() {
+            if self.hosts[i].sim.is_none() {
+                continue;
+            }
+            let Some(tab) = self.hosts[i].tableau_mut() else {
+                continue;
+            };
+            let live = tab.dispatcher().newest_table().clone();
+            let h = &mut self.hosts[i];
+            if h.auditor.audit_full(&live).is_empty() {
+                continue;
+            }
+            if h.audit_flagged {
+                // Already flagged; the repair install is pending (backoff,
+                // degradation, or a storm is deferring it).
+                continue;
+            }
+            if h.pending_corruptions == 0 {
+                self.counters.audit_false_positives += 1;
+                continue;
+            }
+            self.counters.corruptions_detected += h.pending_corruptions;
+            h.pending_corruptions = 0;
+            h.audit_flagged = true;
+            // Re-install the (sound) target plan over the damaged copy.
+            h.dirty = true;
+        }
+    }
+
     /// Kills a host: its simulator is gone, its tenants enter the
     /// evacuation queue (latency attribution preserved for VMs still
     /// awaiting their first install), and it will restart empty.
@@ -832,6 +934,10 @@ impl Fleet {
         h.dirty = false;
         h.install_attempts = 0;
         h.next_install_try = Nanos::ZERO;
+        // The corrupted copy (if any) died with the simulator; the reboot
+        // re-baselines the auditor.
+        h.pending_corruptions = 0;
+        h.audit_flagged = false;
         h.host_cfg = self.boot_cfg.clone();
         h.plan = self.boot_plan.clone();
         h.state = HostState::Down {
@@ -949,6 +1055,9 @@ impl Fleet {
             let h = &mut self.hosts[i];
             let local = h.local(now);
             let epoch_base = h.epoch_base;
+            // Fingerprint what we are about to install; a committed
+            // install re-baselines the audit.
+            let staged_auditor = TableAuditor::new(&masked);
             let Some(tab) = h.tableau_mut() else {
                 continue;
             };
@@ -959,6 +1068,8 @@ impl Fleet {
                     h.dirty = false;
                     h.install_attempts = 0;
                     h.next_install_try = Nanos::ZERO;
+                    h.auditor = staged_auditor;
+                    h.audit_flagged = false;
                     self.counters.installs += 1;
                     for (_, req) in h.awaiting.drain(..) {
                         self.admit_to_install.record(switch_at - req);
@@ -1314,5 +1425,86 @@ mod tests {
         assert!(fleet.engine.is_none());
         assert!(fleet.crash_windows.iter().all(|w| w.is_empty()));
         assert!(fleet.storm_windows.is_empty());
+        assert!(fleet.corruption_events.iter().all(|e| e.is_empty()));
+    }
+
+    #[test]
+    fn every_corruption_class_is_detected_and_repaired_within_an_epoch() {
+        for class in 0..3u8 {
+            let mut fleet = small_fleet(1);
+            fleet
+                .admit(Nanos(1), 1, flavor(1, 250_000))
+                .expect("admits");
+            let now = epochs(&mut fleet, Nanos::ZERO, 4);
+            let installs_before = fleet.counters().installs;
+            assert!(installs_before >= 1);
+            // Inject one event of this class by hand (the seeded engine
+            // drives the same path).
+            fleet.corruption_events[0] = vec![CorruptionEvent {
+                at: now + Nanos(1),
+                class,
+                salt: 7,
+            }];
+            // Epoch 1: inject -> audit flags -> repair install commits.
+            let now = epochs(&mut fleet, now, 1);
+            let c = *fleet.counters();
+            assert_eq!(c.corruptions_injected, 1, "class {class} injected");
+            assert_eq!(c.corruptions_detected, 1, "class {class} detected");
+            assert_eq!(
+                c.installs,
+                installs_before + 1,
+                "class {class} repaired through the install pipeline"
+            );
+            // Later epochs: the repaired table audits clean.
+            let _ = epochs(&mut fleet, now, 4);
+            let c = *fleet.counters();
+            assert_eq!(c.corruptions_detected, 1, "detected exactly once");
+            assert_eq!(c.audit_false_positives, 0);
+            assert!(!fleet.hosts[0].audit_flagged);
+        }
+    }
+
+    #[test]
+    fn corruption_on_a_down_host_is_consumed_without_effect() {
+        let mut fleet = small_fleet(1);
+        fleet
+            .admit(Nanos(1), 1, flavor(1, 250_000))
+            .expect("admits");
+        let now = epochs(&mut fleet, Nanos::ZERO, 4);
+        fleet.crash_windows[0] = vec![(now, now + Nanos::from_secs(3600))];
+        fleet.corruption_events[0] = vec![CorruptionEvent {
+            at: now + Nanos::from_millis(100),
+            class: 0,
+            salt: 1,
+        }];
+        let _ = epochs(&mut fleet, now, 8);
+        let c = *fleet.counters();
+        assert_eq!(c.crashes, 1);
+        assert_eq!(c.corruptions_injected, 0, "no table to corrupt");
+        assert_eq!(c.corruptions_detected, 0);
+        assert_eq!(c.audit_false_positives, 0);
+        assert_eq!(
+            fleet.corruption_cursor[0], 1,
+            "the event is consumed, not replayed after the restart"
+        );
+    }
+
+    #[test]
+    fn continuous_audit_is_silent_under_churn_without_corruption() {
+        let mut fleet = small_fleet(2);
+        let epoch = Nanos::from_millis(50);
+        let mut now = Nanos::ZERO;
+        for k in 0..40u64 {
+            now += epoch;
+            let _ = fleet.admit(now, k, flavor(1, 125_000));
+            if k >= 4 {
+                let _ = fleet.teardown(now, k - 4);
+            }
+            fleet.step(now);
+        }
+        let c = *fleet.counters();
+        assert!(c.installs > 0);
+        assert_eq!(c.audit_false_positives, 0, "installs re-baseline the audit");
+        assert_eq!(c.corruptions_detected, 0);
     }
 }

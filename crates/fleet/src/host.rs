@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use rtsched::time::Nanos;
 use schedulers::Tableau;
+use tableau_core::audit::TableAuditor;
 use tableau_core::planner::Plan;
 use tableau_core::table::Table;
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
@@ -60,6 +61,16 @@ pub(crate) struct FleetHost {
     pub install_attempts: u32,
     /// Earliest fleet time of the next install attempt (backoff).
     pub next_install_try: Nanos,
+    /// Install-time fingerprints of the table the control plane believes
+    /// is installed; the per-epoch audit checks the live table against it.
+    pub auditor: TableAuditor,
+    /// Corruptions injected since the audit last ran clean (drained into
+    /// the detection counter the epoch the audit flags them).
+    pub pending_corruptions: u64,
+    /// Whether the audit has flagged the live table and a repair install
+    /// is in flight; repeat violations of the same corruption are expected
+    /// and not re-counted.
+    pub audit_flagged: bool,
 }
 
 /// The per-core probe reservation every host carries (a stand-in for
@@ -119,6 +130,7 @@ impl FleetHost {
         // reaches it through the two-phase install protocol.
         let mut boot = (**boot_plan).clone();
         boot.table = masked;
+        let auditor = TableAuditor::new(&boot.table);
         let mut sim = Sim::new(*machine, Box::new(Tableau::from_plan(&boot)));
         for core in 0..machine.n_cores() {
             sim.add_vcpu(Box::new(BusyLoop), core, true);
@@ -136,6 +148,9 @@ impl FleetHost {
             awaiting: Vec::new(),
             install_attempts: 0,
             next_install_try: Nanos::ZERO,
+            auditor,
+            pending_corruptions: 0,
+            audit_flagged: false,
         }
     }
 

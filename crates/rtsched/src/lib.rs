@@ -18,7 +18,9 @@
 //! * DP-Fair optimal cluster scheduling ([`dpfair`]);
 //! * the three-stage generator combining them ([`generator`]);
 //! * a verified peephole preemption-reduction pass ([`peephole`]);
-//! * an independent schedule verifier ([`verify`]).
+//! * an independent schedule verifier ([`verify`]);
+//! * an incremental rule-based re-verifier over per-core plan facts, with
+//!   the single-pass verifier as its always-available fallback ([`rules`]).
 //!
 //! The Tableau planner (crate `tableau-core`) maps vCPU SLAs onto periodic
 //! tasks and feeds them to [`generator::generate_schedule`]; every schedule
@@ -48,6 +50,7 @@ pub mod generator;
 pub mod hyperperiod;
 pub mod partition;
 pub mod peephole;
+pub mod rules;
 pub mod schedule;
 pub mod signature;
 pub mod split;
@@ -60,6 +63,7 @@ pub use generator::{
     GenTimings, Generated, Stage,
 };
 pub use hyperperiod::{PeriodCandidates, STANDARD_HYPERPERIOD};
+pub use rules::{verify_with_engine, RuleDecline, RuleEngine};
 pub use schedule::{CoreSchedule, MultiCoreSchedule, Segment};
 pub use signature::{BinSignature, CoreSharing, SigMemo, Stamp};
 pub use task::{PeriodicTask, TaskId, TaskSet};

@@ -30,7 +30,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::schedule::{CoreSchedule, MultiCoreSchedule};
+use crate::schedule::{MultiCoreSchedule, Segment};
 use crate::signature::CoreSharing;
 use crate::task::{PeriodicTask, TaskId};
 use crate::time::Nanos;
@@ -106,7 +106,7 @@ pub fn verify_schedule(tasks: &[PeriodicTask], schedule: &MultiCoreSchedule) -> 
 
     // (1) Per-core geometry.
     let per_core = rayon::par_map_indices(schedule.cores.len(), |core| {
-        core_geometry(core, &schedule.cores[core], h)
+        core_geometry(core, schedule.cores[core].segments(), h)
     });
 
     // (2)–(4) Per-task guarantees, from one segment-bucketing pass.
@@ -221,7 +221,7 @@ fn verify_shared_fast(
     }
 
     let per_core = rayon::par_map_indices(schedule.cores.len(), |core| {
-        core_geometry(core, &schedule.cores[core], h)
+        core_geometry(core, schedule.cores[core].segments(), h)
     });
     let per_task = rayon::par_map_indices(tasks.len(), |i| {
         if skip[i] {
@@ -236,14 +236,18 @@ fn verify_shared_fast(
 }
 
 /// Check (1): segments of one core are in range, ordered, non-overlapping.
-fn core_geometry(core: usize, cs: &CoreSchedule, h: Nanos) -> Vec<Violation> {
+///
+/// Takes a raw segment slice (not a validated [`CoreSchedule`]) so the
+/// rule engine can run the same check over fact-store slot tuples that a
+/// corrupted table may have knocked out of order.
+pub(crate) fn core_geometry(core: usize, segments: &[Segment], h: Nanos) -> Vec<Violation> {
     let mut found = Vec::new();
-    for seg in cs.segments() {
+    for seg in segments {
         if seg.end > h || seg.start >= seg.end {
             found.push(Violation::OutOfRange { core });
         }
     }
-    for w in cs.segments().windows(2) {
+    for w in segments.windows(2) {
         if w[0].end > w[1].start {
             found.push(Violation::CoreOverlap {
                 core,
@@ -285,7 +289,11 @@ fn per_task_intervals(
 /// Emits the same violations, in the same order, as checking the task
 /// against the whole schedule: window service ascending, then parallel
 /// execution, then the blackout bound.
-fn check_task(task: &PeriodicTask, ivs: &[(usize, Nanos, Nanos)], h: Nanos) -> Vec<Violation> {
+pub(crate) fn check_task(
+    task: &PeriodicTask,
+    ivs: &[(usize, Nanos, Nanos)],
+    h: Nanos,
+) -> Vec<Violation> {
     let mut found = Vec::new();
     if ivs.is_empty() {
         found.push(Violation::MissingTask(task.id));

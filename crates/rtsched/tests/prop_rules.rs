@@ -1,0 +1,286 @@
+//! Property-based tests for the incremental rule engine.
+//!
+//! The contract: [`RuleEngine`] verdicts are byte-identical to the
+//! single-pass verifier's violation list — over randomized partitioned
+//! plans, random deltas, and injected corruptions — and whenever the
+//! engine declines, the [`verify_with_engine`] wrapper degrades to the
+//! full verifier, so no corruption the full verifier flags can slip past
+//! the incremental path.
+
+use proptest::prelude::*;
+
+use rtsched::generator::{generate_schedule, GenOptions};
+use rtsched::hyperperiod::divisors;
+use rtsched::rules::{verify_with_engine, RuleEngine};
+use rtsched::schedule::{CoreSchedule, MultiCoreSchedule, Segment};
+use rtsched::task::{PeriodicTask, TaskId};
+use rtsched::time::Nanos;
+use rtsched::verify::verify_schedule;
+
+/// Hyperperiod of the hand-built plans (ms). Half-period tasks run at
+/// `H_MS / 2` with mirrored slots.
+const H_MS: u64 = 12;
+
+fn ms(v: u64) -> Nanos {
+    Nanos::from_millis(v)
+}
+
+/// One core's randomized bin: `(cost_ms, halved)` per task. A `halved`
+/// task runs at period `H_MS / 2` and needs a mirrored slot per half.
+type BinDesc = Vec<(u64, bool)>;
+
+/// Builds one core's tasks and a *valid* sequential slot layout: halved
+/// tasks occupy a prefix of each half, full-period tasks follow in the
+/// second half. `None` when the bin does not fit.
+fn build_core(core_base: u32, desc: &BinDesc) -> Option<(Vec<PeriodicTask>, Vec<Segment>)> {
+    let h = ms(H_MS);
+    let half = h / 2;
+    let mut tasks = Vec::new();
+    let (mut first, mut second) = (Vec::new(), Vec::new());
+    let mut cur = Nanos::ZERO;
+    for (i, &(c_ms, halved)) in desc.iter().enumerate() {
+        if !halved {
+            continue;
+        }
+        let (id, c) = (TaskId(core_base + i as u32), ms(c_ms));
+        if cur + c > half {
+            return None;
+        }
+        tasks.push(PeriodicTask::implicit(id, c, half));
+        first.push(Segment::new(cur, cur + c, id));
+        second.push(Segment::new(cur + half, cur + c + half, id));
+        cur += c;
+    }
+    let mut cur = half + cur;
+    for (i, &(c_ms, halved)) in desc.iter().enumerate() {
+        if halved {
+            continue;
+        }
+        let (id, c) = (TaskId(core_base + i as u32), ms(c_ms));
+        if cur + c > h {
+            return None;
+        }
+        tasks.push(PeriodicTask::implicit(id, c, h));
+        second.push(Segment::new(cur, cur + c, id));
+        cur += c;
+    }
+    first.extend(second);
+    Some((tasks, first))
+}
+
+/// Builds the whole host; `None` when any core overflows.
+#[allow(clippy::type_complexity)]
+fn build_host(descs: &[BinDesc]) -> Option<(Vec<Vec<PeriodicTask>>, Vec<Vec<Segment>>)> {
+    let mut bins = Vec::new();
+    let mut cores = Vec::new();
+    for (c, desc) in descs.iter().enumerate() {
+        let (tasks, segments) = build_core((c * 16) as u32, desc)?;
+        bins.push(tasks);
+        cores.push(segments);
+    }
+    Some((bins, cores))
+}
+
+fn sched(cores: Vec<Vec<Segment>>) -> MultiCoreSchedule {
+    MultiCoreSchedule {
+        hyperperiod: ms(H_MS),
+        cores: cores
+            .into_iter()
+            .map(|v| CoreSchedule::from_segments(v).expect("sorted, non-overlapping"))
+            .collect(),
+    }
+}
+
+fn arb_descs() -> impl Strategy<Value = Vec<BinDesc>> {
+    proptest::collection::vec(
+        proptest::collection::vec((1u64..=3, any::<bool>()), 1..=4),
+        1..=3,
+    )
+}
+
+/// Applies one corruption to `cores[target]`, mirroring the fault classes
+/// the chaos harness injects. Returns the corrupted per-core slot lists.
+fn corrupt(
+    bins: &[Vec<PeriodicTask>],
+    cores: &[Vec<Segment>],
+    target: usize,
+    slot: usize,
+    kind: u8,
+) -> Vec<Vec<Segment>> {
+    let mut out = cores.to_vec();
+    let list = &mut out[target];
+    let i = slot % list.len();
+    match kind % 4 {
+        // Shrink a slot: the task is underserved by 1 ns (a stale stamp).
+        0 => list[i] = Segment::new(list[i].start, list[i].end - Nanos(1), list[i].task),
+        // Retarget a slot to a sibling on the same core (a bit flip that
+        // stays local); falls back to a shrink on single-task bins.
+        1 => match bins[target].iter().find(|t| t.id != list[i].task) {
+            Some(other) => list[i] = Segment::new(list[i].start, list[i].end, other.id),
+            None => list[i] = Segment::new(list[i].start, list[i].end - Nanos(1), list[i].task),
+        },
+        // Retarget a slot to a foreign core's task (a swapped placement);
+        // falls back to a shrink on single-core hosts.
+        2 => {
+            let foreign = bins
+                .iter()
+                .enumerate()
+                .filter(|&(c, _)| c != target)
+                .flat_map(|(_, b)| b.iter())
+                .next();
+            match foreign {
+                Some(other) => list[i] = Segment::new(list[i].start, list[i].end, other.id),
+                None => list[i] = Segment::new(list[i].start, list[i].end - Nanos(1), list[i].task),
+            }
+        }
+        // Drop a slot entirely; falls back to a shrink when it is the
+        // core's only one.
+        _ => {
+            if list.len() >= 2 {
+                list.remove(i);
+            } else {
+                list[i] = Segment::new(list[i].start, list[i].end - Nanos(1), list[i].task);
+            }
+        }
+    }
+    out
+}
+
+/// Period menu for generator-produced plans (divisors of 7,200 µs).
+fn period_menu() -> Vec<u64> {
+    divisors(7_200).into_iter().filter(|&d| d >= 400).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A valid randomized plan certifies incrementally, and the verdict is
+    /// the (empty) full-verifier list.
+    #[test]
+    fn valid_plans_certify_incrementally(descs in arb_descs()) {
+        let Some((bins, cores)) = build_host(&descs) else {
+            return; // over-full bin; nothing to check
+        };
+        let s = sched(cores);
+        let mut engine = RuleEngine::from_bins(s.hyperperiod, &bins, &s);
+        prop_assert!(engine.declined().is_none());
+        let tasks = engine.tasks_in_order();
+        let verdict = engine.verdict().unwrap();
+        prop_assert_eq!(&verdict, &verify_schedule(&tasks, &s));
+        prop_assert!(verdict.is_empty());
+    }
+
+    /// Every injected corruption produces a verdict byte-identical to the
+    /// full verifier's — whether the engine rules on it or declines into
+    /// the fallback — and the full verifier always flags it (so the
+    /// incremental path can never pass a corruption the full pass flags).
+    #[test]
+    fn corruptions_verdict_byte_identical_to_full_verifier(
+        descs in arb_descs(),
+        target in any::<usize>(),
+        slot in any::<usize>(),
+        kind in any::<u8>(),
+    ) {
+        let Some((bins, cores)) = build_host(&descs) else {
+            return;
+        };
+        let target = target % cores.len();
+        let bad_cores = corrupt(&bins, &cores, target, slot, kind);
+
+        // Prime a clean engine, then splice in only the dirty core — the
+        // exact shape the delta path drives.
+        let mut engine = RuleEngine::from_bins(ms(H_MS), &bins, &sched(cores));
+        prop_assert!(engine.verdict().unwrap().is_empty());
+        let _ = engine.apply_delta(
+            target,
+            bins[target].clone(),
+            bad_cores[target].clone(),
+        );
+
+        let bad = sched(bad_cores);
+        let tasks: Vec<PeriodicTask> = bins.iter().flatten().cloned().collect();
+        let full = verify_schedule(&tasks, &bad);
+        prop_assert!(!full.is_empty(), "corruption was a no-op");
+        let out = verify_with_engine(&mut engine, &tasks, &bad);
+        prop_assert_eq!(out, full);
+    }
+
+    /// Random single-bin deltas (grow, shrink, clear) track the full
+    /// verifier exactly, violations and order included.
+    #[test]
+    fn random_deltas_track_the_full_verifier(
+        descs in arb_descs(),
+        replacement in proptest::collection::vec((1u64..=3, any::<bool>()), 0..=4),
+        target in any::<usize>(),
+    ) {
+        let Some((bins, cores)) = build_host(&descs) else {
+            return;
+        };
+        let target = target % cores.len();
+        let Some((new_tasks, new_segments)) = build_core((target * 16) as u32, &replacement)
+        else {
+            return;
+        };
+        let mut engine = RuleEngine::from_bins(ms(H_MS), &bins, &sched(cores.clone()));
+        prop_assert!(engine.verdict().unwrap().is_empty());
+        engine
+            .apply_delta(target, new_tasks.clone(), new_segments.clone())
+            .expect("replacement bin is self-contained");
+
+        let mut bins = bins;
+        let mut cores = cores;
+        bins[target] = new_tasks;
+        cores[target] = new_segments;
+        let s = sched(cores);
+        let tasks = engine.tasks_in_order();
+        prop_assert_eq!(engine.verdict().unwrap(), verify_schedule(&tasks, &s));
+    }
+
+    /// Generator-produced plans (the real planner substrate) also certify
+    /// through the wrapper with verdicts equal to the full verifier's.
+    #[test]
+    fn generated_plans_agree_with_the_full_verifier(
+        raw in proptest::collection::vec((0usize..6, 5u64..=90), 1..=8),
+    ) {
+        let menu = period_menu();
+        let horizon = Nanos::from_micros(7_200);
+        let mut tasks: Vec<PeriodicTask> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(pi, upct))| {
+                let period = Nanos::from_micros(menu[pi % menu.len()]);
+                PeriodicTask::implicit(TaskId(i as u32), Nanos(period.as_nanos() * upct / 100), period)
+            })
+            .collect();
+        let capacity = horizon * 2;
+        while tasks.iter().map(|t| t.cost_per(horizon)).sum::<Nanos>() > capacity {
+            tasks.pop();
+        }
+        if tasks.is_empty() {
+            return;
+        }
+        let opts = GenOptions { min_piece: Nanos::from_micros(10), ..GenOptions::default() };
+        let Ok(g) = generate_schedule(&tasks, 2, horizon, &opts) else {
+            return;
+        };
+        // Derive per-core bins from the schedule (first core of appearance
+        // wins; a split task then triggers a cross-core decline and the
+        // wrapper must fall back).
+        let mut bins: Vec<Vec<PeriodicTask>> = vec![Vec::new(); g.schedule.cores.len()];
+        let mut seen: Vec<u32> = Vec::new();
+        for (core, cs) in g.schedule.cores.iter().enumerate() {
+            for seg in cs.segments() {
+                if !seen.contains(&seg.task.0) {
+                    seen.push(seg.task.0);
+                    let t = tasks.iter().find(|t| t.id == seg.task).expect("known task");
+                    bins[core].push(*t);
+                }
+            }
+        }
+        let mut engine = RuleEngine::from_bins(g.schedule.hyperperiod, &bins, &g.schedule);
+        let ordered: Vec<PeriodicTask> = bins.iter().flatten().cloned().collect();
+        let out = verify_with_engine(&mut engine, &ordered, &g.schedule);
+        prop_assert_eq!(&out, &verify_schedule(&ordered, &g.schedule));
+        prop_assert!(out.is_empty(), "generated schedules verify");
+    }
+}

@@ -479,6 +479,43 @@ impl InstallStormFaults {
     }
 }
 
+/// Seeded corruption of a host's installed table: the in-memory copy is
+/// mutated out from under its dispatcher (a stray DMA, a bit flip in a
+/// non-ECC DIMM, a buggy management agent scribbling over the mapping).
+/// The control plane's continuous audit must detect and repair every one.
+///
+/// The class emits [`CorruptionEvent`]s, not mutations — the simulator
+/// stays ignorant of table internals; harnesses map each event's `class`
+/// and `salt` onto a deterministic table mutation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TableCorruptionFaults {
+    /// Mean interval between corruption opportunities per host (gaps drawn
+    /// uniformly from `[interval/2, 3*interval/2]`).
+    pub interval: Nanos,
+    /// Probability each opportunity actually corrupts the table.
+    pub prob: f64,
+}
+
+impl TableCorruptionFaults {
+    /// Whether this class injects anything.
+    pub fn is_active(&self) -> bool {
+        self.interval > Nanos::ZERO && self.prob > 0.0
+    }
+}
+
+/// One scheduled table corruption on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorruptionEvent {
+    /// Absolute fleet time of the corruption.
+    pub at: Nanos,
+    /// Fault class selector in `0..3` (bit-flipped slot, swapped
+    /// placements, stale truncated slot — the harness maps it onto its
+    /// table-mutation vocabulary).
+    pub class: u8,
+    /// Deterministic salt for the mutation itself.
+    pub salt: u64,
+}
+
 /// Full host-level fault configuration for a fleet.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HostFaultConfig {
@@ -491,6 +528,9 @@ pub struct HostFaultConfig {
     pub degrade: HostDegradeFaults,
     /// Fleet-wide install-failure storms.
     pub storm: InstallStormFaults,
+    /// Per-host installed-table corruption.
+    #[serde(default)]
+    pub corruption: TableCorruptionFaults,
 }
 
 impl HostFaultConfig {
@@ -501,7 +541,10 @@ impl HostFaultConfig {
 
     /// Whether any class injects anything.
     pub fn any_active(&self) -> bool {
-        self.crash.is_active() || self.degrade.is_active() || self.storm.is_active()
+        self.crash.is_active()
+            || self.degrade.is_active()
+            || self.storm.is_active()
+            || self.corruption.is_active()
     }
 
     /// The fleet chaos preset, scaled by `intensity` in `[0, 1]`.
@@ -509,8 +552,10 @@ impl HostFaultConfig {
     /// At intensity 0 every class is inactive (the determinism contract);
     /// at intensity 1 each host crashes on average once per 60 s of fleet
     /// time with outages up to 4 s, degrades for up to 2 s every ~30 s,
-    /// and fleet-wide install storms of up to 1 s arrive every ~5 s
-    /// interrupting 60% of the installs attempted inside them.
+    /// fleet-wide install storms of up to 1 s arrive every ~5 s
+    /// interrupting 60% of the installs attempted inside them, and each
+    /// host's installed table is corrupted with probability 50% roughly
+    /// every 20 s.
     pub fn chaos(seed: u64, intensity: f64) -> HostFaultConfig {
         let i = intensity.clamp(0.0, 1.0);
         let scale = |ns: u64| Nanos((ns as f64 * i) as u64);
@@ -528,6 +573,10 @@ impl HostFaultConfig {
                 interval: Nanos::from_secs(5),
                 duration: scale(1_000_000_000),
                 interrupt_prob: 0.6 * i,
+            },
+            corruption: TableCorruptionFaults {
+                interval: Nanos::from_secs(20),
+                prob: 0.5 * i,
             },
         }
     }
@@ -632,6 +681,35 @@ impl HostFaultEngine {
         }
         let rng = Self::stream(self.cfg.seed, 10, u64::MAX);
         Self::windows(rng, s.interval, s.duration, horizon)
+    }
+
+    /// Table-corruption events of `host` over `[0, horizon)`, in time
+    /// order. A pure function of `(seed, host)` like the window schedules;
+    /// no draws when the class is inactive.
+    pub fn corruption_events(&self, host: usize, horizon: Nanos) -> Vec<CorruptionEvent> {
+        let c = &self.cfg.corruption;
+        if !c.is_active() {
+            return Vec::new();
+        }
+        let mut rng = Self::stream(self.cfg.seed, 11, host as u64);
+        let i = c.interval.as_nanos();
+        let mut out = Vec::new();
+        let mut t = Nanos::ZERO;
+        loop {
+            let gap = Nanos(rng.gen_range(i / 2..=i.saturating_mul(3) / 2).max(1));
+            let at = t + gap;
+            if at >= horizon {
+                return out;
+            }
+            t = at;
+            if rng.gen_bool(c.prob.min(1.0)) {
+                out.push(CorruptionEvent {
+                    at,
+                    class: rng.gen_range(0..3u8),
+                    salt: rng.gen(),
+                });
+            }
+        }
     }
 
     /// Whether one install attempted inside a storm window is interrupted.
@@ -870,5 +948,52 @@ mod tests {
         assert!(e.crash_windows(0, horizon).is_empty());
         assert!(e.degrade_windows(0, horizon).is_empty());
         assert!(!e.storm_windows(horizon).is_empty());
+        assert!(e.corruption_events(0, horizon).is_empty());
+    }
+
+    #[test]
+    fn corruption_events_are_deterministic_ordered_and_classed() {
+        let horizon = Nanos::from_secs(600);
+        let mk = || HostFaultEngine::new(HostFaultConfig::chaos(42, 1.0)).expect("active");
+        let (a, b) = (mk(), mk());
+        for host in [0usize, 1, 17, 199] {
+            let events = a.corruption_events(host, horizon);
+            assert_eq!(events, b.corruption_events(host, horizon));
+            assert!(!events.is_empty(), "host {host} drew no corruptions");
+            let mut last = Nanos::ZERO;
+            for ev in &events {
+                assert!(ev.at > last && ev.at < horizon, "events in order");
+                assert!(ev.class < 3, "class selector in range");
+                last = ev.at;
+            }
+        }
+        // Hosts draw independent schedules from the shared seed.
+        assert_ne!(
+            a.corruption_events(0, horizon),
+            a.corruption_events(1, horizon)
+        );
+    }
+
+    #[test]
+    fn corruption_only_config_activates_the_engine() {
+        let cfg = HostFaultConfig {
+            seed: 9,
+            corruption: TableCorruptionFaults {
+                interval: Nanos::from_secs(2),
+                prob: 1.0,
+            },
+            ..HostFaultConfig::none()
+        };
+        assert!(cfg.any_active());
+        let e = HostFaultEngine::new(cfg).expect("corruption class is active");
+        let horizon = Nanos::from_secs(100);
+        assert!(e.crash_windows(0, horizon).is_empty());
+        // prob 1.0: every opportunity fires, gaps within [i/2, 3i/2].
+        let events = e.corruption_events(0, horizon);
+        assert!(
+            events.len() >= 100 / 3 && events.len() <= 100,
+            "{}",
+            events.len()
+        );
     }
 }
