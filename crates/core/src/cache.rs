@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use rtsched::generator::Stage;
 
@@ -566,6 +566,312 @@ impl PlanCache {
     }
 }
 
+/// Lock stripes in a [`SharedPlanCache`] — a power of two so the
+/// fingerprint's low bits route uniformly.
+const SHARDS: usize = 8;
+
+/// A lock-striped, shareable [`PlanCache`].
+///
+/// The fleet control plane shards its per-host work across worker threads;
+/// the plan cache is the one structure every host's replan path touches, so
+/// a single `&mut PlanCache` would serialize the whole control plane (or
+/// force unsafe sharing). `SharedPlanCache` stripes the key space over
+/// [`SHARDS`] independently locked [`PlanCache`]s, routed by the same
+/// request [`fingerprint`] the hit path computes anyway: every method takes
+/// `&self`, two requests for different stripes never contend, and two
+/// requests for the *same* shape serialize on one stripe — exactly the
+/// ordering a correct cache needs.
+///
+/// The speculative warm budget stays **global** (one counter behind its own
+/// mutex, not per stripe): `begin_warm_epoch` opens a fleet-wide allowance
+/// exactly as the sequential cache did, so sharding cannot multiply the
+/// planner runs a prediction storm may spend.
+#[derive(Debug)]
+pub struct SharedPlanCache {
+    shards: Vec<Mutex<PlanCache>>,
+    warm: Mutex<SharedWarmState>,
+}
+
+#[derive(Debug)]
+struct SharedWarmState {
+    budget: usize,
+    spent: usize,
+}
+
+impl SharedPlanCache {
+    /// Creates a shared cache holding up to `capacity` plans overall. The
+    /// capacity is divided evenly across stripes (rounded up, minimum one
+    /// plan per stripe), so eviction pressure is per-stripe rather than
+    /// global — a hot stripe can evict while a cold one has room.
+    pub fn new(capacity: usize) -> SharedPlanCache {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        let shards = (0..SHARDS)
+            .map(|_| {
+                let mut c = PlanCache::new(per_shard);
+                // Stripes never decline on budget themselves; the global
+                // warm state is the only budget authority.
+                c.set_warm_budget(usize::MAX);
+                Mutex::new(c)
+            })
+            .collect();
+        SharedPlanCache {
+            shards,
+            warm: Mutex::new(SharedWarmState {
+                budget: DEFAULT_WARM_BUDGET,
+                spent: 0,
+            }),
+        }
+    }
+
+    fn shard(&self, host: &HostConfig, opts: &PlannerOptions) -> MutexGuard<'_, PlanCache> {
+        let i = (fingerprint(host, opts) as usize) & (SHARDS - 1);
+        self.shards[i].lock().expect("plan cache stripe poisoned")
+    }
+
+    /// Caps the speculative planner runs each warm epoch may spend,
+    /// fleet-wide (see [`PlanCache::set_warm_budget`]).
+    pub fn set_warm_budget(&self, budget: usize) {
+        self.warm.lock().expect("warm state poisoned").budget = budget;
+    }
+
+    /// Opens a new warm epoch (see [`PlanCache::begin_warm_epoch`]).
+    pub fn begin_warm_epoch(&self) {
+        self.warm.lock().expect("warm state poisoned").spent = 0;
+    }
+
+    /// Reserves one planner run against the global warm budget.
+    fn try_spend_warm(&self) -> bool {
+        let mut w = self.warm.lock().expect("warm state poisoned");
+        if w.spent >= w.budget {
+            return false;
+        }
+        w.spent += 1;
+        true
+    }
+
+    /// Returns a reserved planner run that was declined or failed.
+    fn refund_warm(&self) {
+        let mut w = self.warm.lock().expect("warm state poisoned");
+        w.spent = w.spent.saturating_sub(1);
+    }
+
+    /// Hit-only probe (see [`PlanCache::lookup`]).
+    pub fn lookup(&self, host: &HostConfig, opts: &PlannerOptions) -> Option<Arc<Plan>> {
+        self.shard(host, opts).lookup(host, opts)
+    }
+
+    /// Insert-without-request (see [`PlanCache::insert`]).
+    pub fn insert(&self, host: &HostConfig, opts: &PlannerOptions, plan: Arc<Plan>) {
+        self.shard(host, opts).insert(host, opts, plan);
+    }
+
+    /// Returns the cached plan, planning on miss (see
+    /// [`PlanCache::get_or_plan`]). The planner runs under the stripe lock,
+    /// so concurrent requests for the same shape plan once and hit once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`plan`]'s admission errors; failures are not cached.
+    pub fn get_or_plan(
+        &self,
+        host: &HostConfig,
+        opts: &PlannerOptions,
+    ) -> Result<Arc<Plan>, PlanError> {
+        self.shard(host, opts).get_or_plan(host, opts)
+    }
+
+    /// Speculatively pre-plans one shape (see [`PlanCache::warm`]), charged
+    /// against the **global** warm budget. Already-cached shapes refresh
+    /// for free past the budget, exactly as sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`plan`]'s admission errors; failures are not cached and
+    /// do not consume budget.
+    pub fn warm(
+        &self,
+        host: &HostConfig,
+        opts: &PlannerOptions,
+    ) -> Result<Option<Arc<Plan>>, PlanError> {
+        let mut shard = self.shard(host, opts);
+        if let Some(i) = shard.find(host, opts) {
+            if shard.slots[i].plan.is_some() {
+                // Cached: the stripe's own warm path is a free refresh.
+                return shard.warm(host, opts);
+            }
+        }
+        if !self.try_spend_warm() {
+            return Ok(None);
+        }
+        let before = shard.warmed;
+        let out = shard.warm(host, opts);
+        if shard.warmed == before {
+            // The stripe declined (capacity) or the planner failed: the
+            // reserved run was never spent.
+            self.refund_warm();
+        }
+        out
+    }
+
+    /// Warms a batch of shapes, running the planner for the uncached ones
+    /// **in parallel** (the planner is pure; every cache mutation stays
+    /// sequential in request order, so the outcome is deterministic and
+    /// thread-count independent). Per shape the result is the warmed plan,
+    /// or `None` when the shape was declined (budget, capacity) or its
+    /// planner run failed — speculative failures are not actionable, so
+    /// they are not surfaced as errors.
+    ///
+    /// Decline decisions are taken up-front against the pre-batch stripe
+    /// state; duplicate shapes in one batch plan once, with later
+    /// occurrences served from the first one's install.
+    pub fn warm_batch(
+        &self,
+        shapes: &[HostConfig],
+        opts: &PlannerOptions,
+    ) -> Vec<Option<Arc<Plan>>> {
+        enum Triage {
+            Done(Option<Arc<Plan>>),
+            /// Plan this shape (budget already reserved).
+            Plan,
+            /// Duplicate of an earlier `Plan` entry; resolve after install.
+            Dup,
+        }
+        let mut triage: Vec<Triage> = Vec::with_capacity(shapes.len());
+        let mut planned_keys: Vec<Key> = Vec::new();
+        for host in shapes {
+            let mut shard = self.shard(host, opts);
+            shard.tick += 1;
+            if let Some(i) = shard.find(host, opts) {
+                let tick = shard.tick;
+                let slot = &mut shard.slots[i];
+                if let Some(cached) = slot.plan.clone() {
+                    // Cached: free recency refresh, as in `warm`.
+                    slot.used = tick;
+                    triage.push(Triage::Done(Some(cached)));
+                    continue;
+                }
+            }
+            if planned_keys.iter().any(|k| key_matches(k, host, opts)) {
+                triage.push(Triage::Dup);
+                continue;
+            }
+            if !self.try_spend_warm() {
+                triage.push(Triage::Done(None));
+                continue;
+            }
+            if shard.len() >= shard.capacity
+                && !shard.slots.iter().any(|s| s.plan.is_some() && s.hits == 0)
+            {
+                // Caching the result could only evict proven demand.
+                self.refund_warm();
+                triage.push(Triage::Done(None));
+                continue;
+            }
+            planned_keys.push(Key::of(host, opts));
+            triage.push(Triage::Plan);
+        }
+
+        // Parallel phase: pure planner runs, reassembled in input order.
+        let jobs: Vec<usize> = triage
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, Triage::Plan))
+            .map(|(i, _)| i)
+            .collect();
+        let fresh = rayon::par_map_indices(jobs.len(), |k| plan(&shapes[jobs[k]], opts));
+
+        // Sequential install phase, in request order.
+        for (&i, result) in jobs.iter().zip(fresh) {
+            match result {
+                Ok(p) => {
+                    let p = Arc::new(p);
+                    let mut shard = self.shard(&shapes[i], opts);
+                    shard.tick += 1;
+                    shard.warmed += 1;
+                    shard.install(&shapes[i], opts, Arc::clone(&p), true);
+                    triage[i] = Triage::Done(Some(p));
+                }
+                Err(_) => {
+                    self.refund_warm();
+                    triage[i] = Triage::Done(None);
+                }
+            }
+        }
+        triage
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Triage::Done(p) => p,
+                // Duplicates resolve against the now-installed first copy.
+                Triage::Dup => self.shard(&shapes[i], opts).lookup(&shapes[i], opts),
+                Triage::Plan => unreachable!("every planned shape was installed"),
+            })
+            .collect()
+    }
+
+    /// Cache hits so far, across all stripes.
+    pub fn hits(&self) -> u64 {
+        self.fold(|c| c.hits())
+    }
+
+    /// Cache misses so far, across all stripes.
+    pub fn misses(&self) -> u64 {
+        self.fold(|c| c.misses())
+    }
+
+    /// Speculative planner runs performed, across all stripes.
+    pub fn warmed(&self) -> u64 {
+        self.fold(|c| c.warmed())
+    }
+
+    fn fold(&self, f: impl Fn(&PlanCache) -> u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| f(&s.lock().expect("plan cache stripe poisoned")))
+            .sum()
+    }
+
+    /// Aggregate plus per-key statistics merged across stripes, most-hit
+    /// keys first (ties broken by label, as sequentially).
+    pub fn stats(&self) -> CacheStats {
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut per_key = Vec::new();
+        for s in &self.shards {
+            let st = s.lock().expect("plan cache stripe poisoned").stats();
+            hits += st.hits;
+            misses += st.misses;
+            per_key.extend(st.per_key);
+        }
+        per_key.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.key.cmp(&b.key)));
+        CacheStats {
+            hits,
+            misses,
+            per_key,
+        }
+    }
+
+    /// Number of cached plans across all stripes.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache stripe poisoned").len())
+            .sum()
+    }
+
+    /// `true` if no stripe holds a plan.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (per-key statistics are retained).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("plan cache stripe poisoned").clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -890,5 +1196,110 @@ mod tests {
         let _ = cache.get_or_plan(&h1, &opts).unwrap();
         let _ = cache.get_or_plan(&h2, &opts).unwrap();
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn shared_cache_hits_and_counts_like_the_sequential_one() {
+        let cache = SharedPlanCache::new(16);
+        let opts = PlannerOptions::default();
+        let a = cache.get_or_plan(&host(8, "a"), &opts).unwrap();
+        let b = cache.get_or_plan(&host(8, "b"), &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "names must not split the key");
+        let _ = cache.get_or_plan(&host(6, "c"), &opts).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+        // lookup is hit-only; insert stores without counting.
+        assert!(cache.lookup(&host(4, "d"), &opts).is_none());
+        cache.insert(&host(4, "d"), &opts, a.clone());
+        assert!(cache.lookup(&host(4, "d"), &opts).is_some());
+        assert_eq!(cache.misses(), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (cache.hits(), cache.misses()));
+        assert_eq!(stats.per_key.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_is_usable_from_threads() {
+        // Eight threads hammer two shapes through `&self`; totals must come
+        // out exact (each shape plans once, every other request hits).
+        let cache = SharedPlanCache::new(16);
+        let opts = PlannerOptions::default();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let cache = &cache;
+                let opts = &opts;
+                s.spawn(move || {
+                    let shape = if t % 2 == 0 { 4 } else { 6 };
+                    for _ in 0..4 {
+                        let _ = cache.get_or_plan(&host(shape, "vm"), opts).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 2, "each shape plans exactly once");
+        assert_eq!(cache.hits(), 30);
+    }
+
+    #[test]
+    fn shared_warm_budget_is_global_across_stripes() {
+        let cache = SharedPlanCache::new(64);
+        cache.set_warm_budget(2);
+        let opts = PlannerOptions::default();
+        assert!(cache.warm(&host(2, "a"), &opts).unwrap().is_some());
+        assert!(cache.warm(&host(4, "b"), &opts).unwrap().is_some());
+        // Distinct shapes land on distinct stripes, but the global budget
+        // still declines the third.
+        assert!(cache.warm(&host(6, "c"), &opts).unwrap().is_none());
+        assert_eq!(cache.warmed(), 2);
+        // Cached shapes refresh for free past the budget.
+        assert!(cache.warm(&host(2, "a"), &opts).unwrap().is_some());
+        assert_eq!(cache.warmed(), 2);
+        cache.begin_warm_epoch();
+        assert!(cache.warm(&host(6, "c"), &opts).unwrap().is_some());
+        assert_eq!(cache.warmed(), 3);
+    }
+
+    #[test]
+    fn warm_batch_plans_uncached_shapes_and_respects_the_budget() {
+        let cache = SharedPlanCache::new(64);
+        cache.set_warm_budget(2);
+        let opts = PlannerOptions::default();
+        // Pre-cache one shape: it must resolve without spending budget.
+        let cached = cache.get_or_plan(&host(2, "a"), &opts).unwrap();
+        let shapes = vec![host(2, "a"), host(4, "b"), host(4, "x"), host(6, "c")];
+        let out = cache.warm_batch(&shapes, &opts);
+        assert_eq!(out.len(), 4);
+        assert!(Arc::ptr_eq(out[0].as_ref().unwrap(), &cached));
+        // "b" plans; "x" is the same shape (a duplicate) and resolves from
+        // b's install without a second planner run; "c" then still fits
+        // the budget.
+        assert!(out[1].is_some() && out[2].is_some() && out[3].is_some());
+        assert!(Arc::ptr_eq(
+            out[1].as_ref().unwrap(),
+            out[2].as_ref().unwrap()
+        ));
+        assert_eq!(cache.warmed(), 2);
+        // The budget is spent: a further distinct shape declines.
+        assert!(cache.warm(&host(8, "d"), &opts).unwrap().is_none());
+        // And batch results serve later requests as plain hits.
+        let hits_before = cache.hits();
+        let _ = cache.get_or_plan(&host(4, "b"), &opts).unwrap();
+        assert_eq!(cache.hits(), hits_before + 1);
+    }
+
+    #[test]
+    fn warm_batch_failures_refund_the_budget() {
+        let cache = SharedPlanCache::new(64);
+        cache.set_warm_budget(1);
+        let opts = PlannerOptions::default();
+        // 9 * 25% on 2 cores is infeasible: the run fails, nothing is
+        // cached, and the reserved budget comes back.
+        let out = cache.warm_batch(&[host(9, "x")], &opts);
+        assert_eq!(out, vec![None]);
+        assert_eq!(cache.warmed(), 0);
+        assert!(cache.is_empty());
+        assert!(cache.warm(&host(2, "a"), &opts).unwrap().is_some());
     }
 }

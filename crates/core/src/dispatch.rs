@@ -295,6 +295,138 @@ impl Dispatcher {
         self.level2[core].charge(vcpu, amount);
     }
 
+    /// Precomputes `core`'s dispatch decisions over `[from, horizon]` as a
+    /// dense window — the read-only half of the dense-phase fast path.
+    ///
+    /// Emits one `(vcpu, absolute until)` pair per table segment, starting
+    /// with the segment containing `from` and continuing (wrapping rounds)
+    /// until a segment ends strictly after `horizon`. Returns `false` —
+    /// mutating nothing — unless the window is provably equivalent to
+    /// calling [`Dispatcher::decide`] at every slice boundary:
+    ///
+    /// * the table manager is settled: nothing staged, and `core` is (or
+    ///   would confirm onto) the newest epoch, so no switch lands
+    ///   mid-window;
+    /// * `core`'s second level is in sync with that epoch (no lazy refresh
+    ///   pending from `set_capped` / `set_quarantined` / a table switch)
+    ///   and its eligible set is empty, so every level-2 pick is a
+    ///   side-effect-free `None` and every level-2 charge a no-op;
+    /// * no SLA monitor is attached (dispatches would feed it);
+    /// * no IPI request is pending anywhere (a de-schedule would consume
+    ///   one and trigger a hand-off IPI);
+    /// * every runnable reserved vCPU in the window is single-homed on
+    ///   `core`, so the owner protocol cannot defer a dispatch.
+    ///
+    /// Runnability is sampled once per slot at build time; the caller
+    /// guarantees guest state cannot change inside the window (the
+    /// simulator abandons a batch on any block or wake). On `false`,
+    /// slices already emitted must be discarded by the caller.
+    pub fn dense_plan(
+        &self,
+        core: usize,
+        from: Nanos,
+        horizon: Nanos,
+        mut is_runnable: impl FnMut(VcpuId) -> bool,
+        mut emit: impl FnMut(Option<VcpuId>, Nanos),
+    ) -> bool {
+        if self.monitor.is_some() || self.tables.has_staged() {
+            return false;
+        }
+        let epoch = self.tables.peek_epoch(core, from);
+        if epoch + 1 != self.tables.n_epochs() || self.level2_epoch[core] != epoch {
+            return false;
+        }
+        let table = self.tables.epoch_table(epoch);
+        if !table
+            .vcpus_homed_on(core)
+            .iter()
+            .all(|&v| self.is_capped(v))
+        {
+            return false;
+        }
+        if self.ipi_request.iter().any(|r| r.is_some()) {
+            return false;
+        }
+        let len = table.len();
+        let cpu = table.cpu(core);
+        let n_segs = cpu.n_segments();
+        let mut round_base = from - from % len;
+        let mut seg = cpu.segment_at(from - round_base);
+        // Slots and the runnability snapshot are time-invariant inside a
+        // window, so a segment's decision (and its single-homed proof) is
+        // computed once on first visit and replayed on every later round —
+        // long windows cost O(segments) checks, not O(slices).
+        let mut memo: Vec<Option<(Option<VcpuId>, Nanos)>> = vec![None; n_segs];
+        loop {
+            let (vcpu, rel_until) = match memo[seg] {
+                Some(d) => d,
+                None => {
+                    let slot = cpu.segment_slot(seg);
+                    let vcpu = match slot.vcpu() {
+                        Some(v) if is_runnable(v) => {
+                            let single_homed = table
+                                .placement(v)
+                                .is_some_and(|p| p.allocations.iter().all(|&(c, _, _)| c == core));
+                            if !single_homed {
+                                return false;
+                            }
+                            Some(v)
+                        }
+                        _ => None,
+                    };
+                    let d = (vcpu, slot.until());
+                    memo[seg] = Some(d);
+                    d
+                }
+            };
+            let until = round_base + rel_until;
+            emit(vcpu, until);
+            if until > horizon {
+                return true;
+            }
+            seg += 1;
+            if seg == n_segs {
+                seg = 0;
+                round_base += len;
+            }
+        }
+    }
+
+    /// Applies the net state effect of executing a dense window on `core`
+    /// — the mutating half of the dense-phase fast path.
+    ///
+    /// `at` is the time of the window's last committed decision and
+    /// `running` the vCPU that decision left dispatched (if any). Under
+    /// the [`Dispatcher::dense_plan`] guards the generic boundary
+    /// callbacks would have: cleared `core`'s ownership at every
+    /// de-schedule and re-asserted it at every dispatch (net: only the
+    /// final dispatch survives), advanced the table view once per decision
+    /// (net: the last decision's confirm), and rebuilt the slot cursor
+    /// (net: the cursor of the last decision). Level-2 state is untouched
+    /// — its eligible set was empty for the whole window.
+    pub fn dense_commit(&mut self, core: usize, at: Nanos, running: Option<VcpuId>) {
+        let epoch = self.tables.confirm(core, at);
+        for o in &mut self.owner {
+            if *o == Some(core) {
+                *o = None;
+            }
+        }
+        if let Some(vcpu) = running {
+            self.ensure_vcpu_slots(vcpu);
+            self.owner[vcpu.0 as usize] = Some(core);
+        }
+        let (round_base, seg) = {
+            let table = self.tables.epoch_table(epoch);
+            let round_base = at - at % table.len();
+            (round_base, table.cpu(core).segment_at(at - round_base))
+        };
+        self.cursor[core] = SlotCursor {
+            epoch,
+            round_base,
+            seg,
+        };
+    }
+
     /// The core to IPI when `vcpu` wakes at `now` (Sec. 6, "Efficient
     /// wake-ups"): the core of its current-or-next allocation; capped vCPUs
     /// with no current allocation can safely be left for their next slot.

@@ -267,6 +267,34 @@ impl TableManager {
         view.epoch
     }
 
+    /// The epoch `core` would confirm at `now`, without advancing its
+    /// view — the read-only twin of [`TableManager::confirm`].
+    ///
+    /// Dense-phase batching probes this (per core, before building a
+    /// window) so a declined batch leaves the manager byte-identical to
+    /// an untouched one; the matching mutation happens in the commit.
+    pub fn peek_epoch(&self, core: usize, now: Nanos) -> usize {
+        let view = &self.cores[core];
+        if now >= view.confirmed_at && now - view.confirmed_at < self.len {
+            return view.epoch;
+        }
+        let boundary = self.len * (now / self.len);
+        if boundary > view.confirmed_at {
+            let newest = self
+                .activations
+                .iter()
+                .rposition(|&a| a < boundary)
+                .unwrap_or(view.epoch);
+            return view.epoch.max(newest);
+        }
+        view.epoch
+    }
+
+    /// Number of committed epochs; `n_epochs() - 1` is the newest index.
+    pub fn n_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
     /// The table at epoch index `epoch` (as returned by
     /// [`TableManager::confirm`]), borrowed — the dispatcher's hot path
     /// never touches the reference count.

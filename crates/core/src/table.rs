@@ -247,6 +247,11 @@ impl CpuTable {
         self.slices.len()
     }
 
+    /// Returns the number of segments in the flattened schedule.
+    pub fn n_segments(&self) -> usize {
+        self.seg_end.len()
+    }
+
     /// O(1) lookup: the slot covering table-relative time `t`.
     ///
     /// `t` must already be reduced modulo the table length (the

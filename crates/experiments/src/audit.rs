@@ -163,11 +163,8 @@ fn judge(
     let mut engine = RuleEngine::from_bins(clean.len(), bins, &clean_sched);
     for (core, bin) in bins.iter().enumerate() {
         if clean.cpu(core).allocations() != bad.cpu(core).allocations() {
-            let _ = engine.apply_delta(
-                core,
-                bin.clone(),
-                bad_sched.cores[core].segments().to_vec(),
-            );
+            let _ =
+                engine.apply_delta(core, bin.clone(), bad_sched.cores[core].segments().to_vec());
         }
     }
     let full = verify_schedule(tasks, &bad_sched);

@@ -30,6 +30,7 @@ use rtsched::schedule::{CoreSchedule, MultiCoreSchedule, Segment};
 use rtsched::task::{PeriodicTask, TaskId};
 use rtsched::time::Nanos;
 use rtsched::verify::verify_schedule;
+use schedulers::tableau::Tableau;
 use tableau_core::cache::PlanCache;
 use tableau_core::dispatch::Dispatcher;
 use tableau_core::plan_delta;
@@ -37,7 +38,8 @@ use tableau_core::planner::{plan, PlannerOptions};
 use tableau_core::vcpu::VcpuId;
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
 use workloads::{IntrinsicLatency, IoStress};
-use xensim::{Machine, Sim};
+use xensim::sched::BusyLoop;
+use xensim::{EngineKind, Machine, Sim};
 
 use crate::config::{build_scenario, Background, SchedKind};
 use crate::report::{print_table, write_json_to};
@@ -358,33 +360,82 @@ pub fn dispatch_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
 
 /// Wall-clock for repeated `run_until` calls over fresh scenarios; the
 /// scenario build (planning, vCPU registration) is not timed.
-fn time_sim_entry(
+fn time_sim_entry(name: &str, iters: u64, duration: Nanos, mk: impl FnMut() -> Sim) -> BenchEntry {
+    time_sim_entry_with_min(name, iters, duration, mk).0
+}
+
+/// Like [`time_sim_entry`], additionally returning the fastest single
+/// iteration (ns) — the noise-robust estimator comparative assertions
+/// should use on a shared, contended runner.
+fn time_sim_entry_with_min(
     name: &str,
     iters: u64,
     duration: Nanos,
-    mut mk: impl FnMut() -> Sim,
-) -> BenchEntry {
+    mk: impl FnMut() -> Sim,
+) -> (BenchEntry, f64) {
+    let samples = time_sim_samples(iters, duration, mk);
+    let min = *samples.iter().min().expect("iters > 0") as f64;
+    let total: u64 = samples.iter().sum();
+    (
+        BenchEntry {
+            name: name.to_string(),
+            iters,
+            total_ns: total,
+            mean_ns: total as f64 / iters as f64,
+        },
+        min,
+    )
+}
+
+/// Like [`time_sim_entry_with_min`], but the entry records only the
+/// fastest half of the iterations (sum, count, and mean). A single
+/// descheduled iteration on a contended shared runner runs 3–6x slow;
+/// a plain mean over few iterations absorbs that outlier and trips the
+/// 3x regression gate on noise alone, where the fastest-half mean stays
+/// within ~10% run to run. Used for the dense A/B pair, whose committed
+/// values carry a ratio claim.
+fn time_sim_entry_trimmed(
+    name: &str,
+    iters: u64,
+    duration: Nanos,
+    mk: impl FnMut() -> Sim,
+) -> (BenchEntry, f64) {
+    let mut samples = time_sim_samples(iters, duration, mk);
+    samples.sort_unstable();
+    let min = samples[0] as f64;
+    let kept = &samples[..samples.len().div_ceil(2)];
+    let total: u64 = kept.iter().sum();
+    (
+        BenchEntry {
+            name: name.to_string(),
+            iters: kept.len() as u64,
+            total_ns: total,
+            mean_ns: total as f64 / kept.len() as f64,
+        },
+        min,
+    )
+}
+
+/// Per-iteration `run_until` wall times (ns) over fresh scenarios, after
+/// one untimed warm-up replay.
+fn time_sim_samples(iters: u64, duration: Nanos, mut mk: impl FnMut() -> Sim) -> Vec<u64> {
     let mut warm = mk(); // warm-up: page in code and data
     warm.run_until(duration);
-    let mut total = std::time::Duration::ZERO;
+    let mut samples = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
         let mut sim = mk();
         let t0 = Instant::now();
         sim.run_until(duration);
-        total += t0.elapsed();
+        samples.push(t0.elapsed().as_nanos() as u64);
         std::hint::black_box(sim.events_processed());
     }
-    BenchEntry {
-        name: name.to_string(),
-        iters,
-        total_ns: total.as_nanos() as u64,
-        mean_ns: total.as_nanos() as f64 / iters as f64,
-    }
+    samples
 }
 
 /// Times the simulator engine itself: `run_until` wall-clock on a dense
-/// (I/O-churn) and a sparse (timer-tail) scenario, plus raw event
-/// throughput on the 16-core scaling scenario. `mean_ns` of
+/// (I/O-churn) and a sparse (timer-tail) scenario, a pure-dense Tableau
+/// phase under the hybrid (batched) and wheel (unbatched) engines, plus
+/// raw event throughput on the 16-core scaling scenario. `mean_ns` of
 /// `sim/events_per_sec` is ns *per event*: events/sec = 1e9 / mean_ns.
 pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
     let iters: u64 = if quick { 1 } else { 5 };
@@ -421,6 +472,37 @@ pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
         sim
     };
 
+    // The pure-dense pair gets its own, longer horizon (quick mode
+    // included): a 20 ms run ends before the batch-entry cooldown ever
+    // lets batching engage, per-run setup would dominate short replays,
+    // and the scenario is cheap either way — one second of simulated
+    // dense phase is under two thousand slice boundaries.
+    let dense_pair = Nanos::from_secs(1);
+
+    // Pure-dense: eight capped busy-loop vCPUs per core under Tableau —
+    // the high-density steady state the dense-phase detector exists for.
+    // The batched row runs the hybrid engine; the unbatched twin runs the
+    // *identical* scenario on the wheel reference engine, so the pair
+    // measures the batching win inside one snapshot (the equivalence
+    // suites prove the two are bit-for-bit identical in every
+    // observable).
+    let pure_dense = |kind: EngineKind| {
+        move || {
+            let mut host = HostConfig::new(2);
+            let spec = VcpuSpec::capped(Utilization::from_percent(12), Nanos::from_millis(20));
+            for i in 0..16 {
+                host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+            }
+            let p = plan(&host, &PlannerOptions::default()).expect("dense host plans");
+            let mut sim = Sim::new(Machine::small(2), Box::new(Tableau::from_plan(&p)));
+            sim.set_engine(kind);
+            for i in 0..16 {
+                sim.add_vcpu(Box::new(BusyLoop), i % 2, true);
+            }
+            sim
+        }
+    };
+
     // Event throughput on the 16-core scaling scenario (same topology rule
     // as the scaling sweep: sockets of ~11).
     let scale_duration = if quick {
@@ -446,9 +528,40 @@ pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
     let wall = t0.elapsed();
     let events = scale_sim.events_processed().max(1);
 
+    // Both halves of the pair run several iterations even in quick mode —
+    // one replay is tens of microseconds, the comparative assertion below
+    // wants a noise-robust minimum, and the trimmed entries need enough
+    // samples to shed contention outliers.
+    let pair_iters = iters.max(8);
+    let (batched, batched_min) = time_sim_entry_trimmed(
+        "sim/run_until_dense_batched",
+        pair_iters,
+        dense_pair,
+        pure_dense(EngineKind::Hybrid),
+    );
+    let (unbatched, unbatched_min) = time_sim_entry_trimmed(
+        "sim/run_until_dense_unbatched",
+        pair_iters,
+        dense_pair,
+        pure_dense(EngineKind::Wheel),
+    );
+    // The dense-batching bar: advancing a settled dense phase from the
+    // per-core slice-table windows measures ~3.3x cheaper than draining
+    // the same boundaries through the generic event loop (see
+    // EXPERIMENTS.md). The floor is set below that, and compares fastest
+    // iterations, so timing noise on a loaded shared runner cannot flake
+    // the gate; the committed trajectory tracks the real ratio.
+    assert!(
+        batched_min * 2.5 < unbatched_min,
+        "dense batching (min {batched_min:.0} ns) must be well below the \
+         unbatched twin (min {unbatched_min:.0} ns)",
+    );
+
     let entries = vec![
         time_sim_entry("sim/run_until_dense", iters, short, dense),
         time_sim_entry("sim/run_until_sparse", iters, short, sparse),
+        batched,
+        unbatched,
         BenchEntry {
             name: "sim/events_per_sec".to_string(),
             iters: events,

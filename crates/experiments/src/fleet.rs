@@ -151,6 +151,10 @@ pub struct FleetPoint {
     pub cache_hits: u64,
     /// Shared plan-cache misses.
     pub cache_misses: u64,
+    /// Dense-phase batching counters aggregated across every host
+    /// simulator (entries/exits, events retired inside batches, and the
+    /// per-cause fallback breakdown).
+    pub batch: xensim::stats::BatchStats,
     /// The fleet counters mirrored into the single-host recovery schema.
     pub recovery: RecoveryStats,
     /// VMs still owned when the replay ended.
@@ -321,6 +325,7 @@ fn run_cell(
         rungs: *fleet.rungs(),
         cache_hits: stats.hits,
         cache_misses: stats.misses,
+        batch: fleet.batch_stats(),
         recovery: fleet.recovery_stats(),
         live_vms_final: fleet.live_vms(),
         convergence_epochs,

@@ -140,6 +140,10 @@ pub struct SoakPoint {
     pub context_switches: u64,
     /// IPIs sent (part of the determinism fingerprint).
     pub ipis: u64,
+    /// Dense-phase batching counters for the cell's simulator (how often
+    /// the hybrid engine entered its batched fast path, how many events it
+    /// retired there, and why it fell back).
+    pub batch: xensim::stats::BatchStats,
     /// Per-vCPU service received (ms).
     pub service_ms: Vec<f64>,
     /// Every recovery action taken, timestamped, with the planning-ladder
@@ -376,6 +380,7 @@ fn run_cell(
         max_delay_ms: max_delay.as_millis_f64(),
         context_switches: stats.context_switches,
         ipis: stats.ipis,
+        batch: stats.batch,
         service_ms: stats
             .vcpus
             .iter()

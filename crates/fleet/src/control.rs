@@ -1,14 +1,13 @@
 //! The fleet controller: placement, evacuation, backpressure, installs.
 
 use std::collections::BTreeMap;
-use std::mem;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use rtsched::time::Nanos;
 use tableau_core::audit::{corrupt_table, CorruptionKind, TableAuditor};
-use tableau_core::cache::PlanCache;
+use tableau_core::cache::SharedPlanCache;
 use tableau_core::plan_delta;
 use tableau_core::planner::{plan_with_fallback, Plan, PlanError, PlannerOptions, ReplanPath};
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec};
@@ -18,6 +17,7 @@ use xensim::fault::{CorruptionEvent, FaultWindow, HostFaultConfig, HostFaultEngi
 use xensim::{Machine, RecoveryStats};
 
 use crate::host::{mask_table, probe_config, push_tenant, FleetHost, HostState, Tenant};
+use crate::queue::VmQueue;
 use crate::{AdmissionRejected, FleetError};
 
 /// Fleet-wide configuration. `FleetConfig::new(n_hosts, cores_per_host)`
@@ -253,7 +253,9 @@ pub struct Fleet {
     cfg: FleetConfig,
     machine: Machine,
     hosts: Vec<FleetHost>,
-    cache: PlanCache,
+    /// Lock-striped: the parallel phases of [`Fleet::step`] never touch
+    /// it, but admission bursts from concurrent front-ends may.
+    cache: SharedPlanCache,
     engine: Option<HostFaultEngine>,
     crash_windows: Vec<Vec<FaultWindow>>,
     crash_cursor: Vec<usize>,
@@ -261,8 +263,8 @@ pub struct Fleet {
     storm_windows: Vec<FaultWindow>,
     corruption_events: Vec<Vec<CorruptionEvent>>,
     corruption_cursor: Vec<usize>,
-    evacuating: Vec<EvacVm>,
-    parked: Vec<EvacVm>,
+    evacuating: VmQueue<EvacVm>,
+    parked: VmQueue<EvacVm>,
     /// The ownership ledger: every admitted, not-torn-down VM, with its
     /// current location. The conservation invariant is stated against it.
     locations: BTreeMap<u64, VmLocation>,
@@ -286,7 +288,7 @@ impl Fleet {
         let machine = Machine::small(cfg.cores_per_host);
         let probe = VcpuSpec::capped(cfg.probe_utilization, cfg.latency_goal);
         let boot_cfg = probe_config(cfg.cores_per_host, probe);
-        let mut cache = PlanCache::new(cfg.cache_capacity);
+        let cache = SharedPlanCache::new(cfg.cache_capacity);
         let boot_plan = cache.get_or_plan(&boot_cfg, &cfg.planner)?;
         let table_len = boot_plan.table.len();
         let hosts = (0..cfg.n_hosts)
@@ -304,8 +306,8 @@ impl Fleet {
             hosts,
             cache,
             engine: None,
-            evacuating: Vec::new(),
-            parked: Vec::new(),
+            evacuating: VmQueue::new(),
+            parked: VmQueue::new(),
             locations: BTreeMap::new(),
             pressured: false,
             flavor_freq: BTreeMap::new(),
@@ -431,12 +433,12 @@ impl Fleet {
         match self.locations.remove(&vm) {
             None => Err(FleetError::UnknownVm(vm)),
             Some(VmLocation::Evacuating) => {
-                self.evacuating.retain(|e| e.vm != vm);
+                self.evacuating.remove(vm);
                 self.counters.teardowns += 1;
                 Ok(())
             }
             Some(VmLocation::Parked) => {
-                self.parked.retain(|e| e.vm != vm);
+                self.parked.remove(vm);
                 self.counters.teardowns += 1;
                 Ok(())
             }
@@ -455,14 +457,14 @@ impl Fleet {
         match self.locations.get(&vm).copied() {
             None => Err(FleetError::UnknownVm(vm)),
             Some(VmLocation::Evacuating) => {
-                if let Some(e) = self.evacuating.iter_mut().find(|e| e.vm == vm) {
+                if let Some(e) = self.evacuating.get_mut(vm) {
                     e.flavor = flavor;
                 }
                 self.counters.resizes += 1;
                 Ok(())
             }
             Some(VmLocation::Parked) => {
-                if let Some(e) = self.parked.iter_mut().find(|e| e.vm == vm) {
+                if let Some(e) = self.parked.get_mut(vm) {
                     e.flavor = flavor;
                 }
                 self.counters.resizes += 1;
@@ -491,6 +493,16 @@ impl Fleet {
     /// before the audit and the audit before installs, so an injected
     /// corruption is detected — and its repair install issued — within the
     /// same epoch.
+    ///
+    /// **Parallelism.** The phase order above is the control plane's
+    /// semantics and never changes; what shards across worker threads is
+    /// the per-host work *inside* a phase: audit verdicts, install mask
+    /// prep, speculative warm planning, and — dominating the wall clock —
+    /// the host simulators, each of which owns its state exclusively.
+    /// Every fleet-level mutation (counters, queues, RNG draws, cache
+    /// installs) stays sequential in host order, so a step is bit-for-bit
+    /// identical under any thread count, including
+    /// `rayon::force_sequential`.
     pub fn step(&mut self, now: Nanos) {
         self.apply_host_faults(now);
         self.inject_corruptions(now);
@@ -499,12 +511,12 @@ impl Fleet {
         self.process_parked(now);
         self.process_installs(now);
         self.prewarm_cache();
-        for h in &mut self.hosts {
+        rayon::par_map_mut(&mut self.hosts, |_, h| {
             let local = now - h.epoch_base;
             if let Some(sim) = h.sim.as_mut() {
                 sim.run_until(local);
             }
-        }
+        });
     }
 
     /// Verifies the conservation invariant: the ledger and the physical
@@ -527,10 +539,10 @@ impl Fleet {
                 place(t.vm, format!("host{}", h.id), VmLocation::Placed(h.id))?;
             }
         }
-        for e in &self.evacuating {
+        for e in self.evacuating.iter() {
             place(e.vm, "evacuating".into(), VmLocation::Evacuating)?;
         }
-        for e in &self.parked {
+        for e in self.parked.iter() {
             place(e.vm, "parked".into(), VmLocation::Parked)?;
         }
         for &vm in self.locations.keys() {
@@ -556,8 +568,27 @@ impl Fleet {
     }
 
     /// The shared plan cache (hit/miss accounting).
-    pub fn cache(&self) -> &PlanCache {
+    pub fn cache(&self) -> &SharedPlanCache {
         &self.cache
+    }
+
+    /// Aggregate dense-batching counters across the live host simulators.
+    /// Counters die with a crashed host's simulator, so this reports the
+    /// currently running fleet, not a lifetime total.
+    pub fn batch_stats(&self) -> xensim::stats::BatchStats {
+        let mut total = xensim::stats::BatchStats::default();
+        for h in &self.hosts {
+            if let Some(sim) = &h.sim {
+                let b = sim.stats().batch;
+                total.batched_events += b.batched_events;
+                total.batch_entries += b.batch_entries;
+                total.batch_exits += b.batch_exits;
+                total.fallback_horizon += b.fallback_horizon;
+                total.fallback_block += b.fallback_block;
+                total.fallback_window += b.fallback_window;
+            }
+        }
+        total
     }
 
     /// Admission-to-committed-install latency distribution (fleet time).
@@ -617,7 +648,7 @@ impl Fleet {
     /// hosts walking the same churn sequence hit it. Returns the plan and
     /// the rung that produced it.
     fn replan(
-        cache: &mut PlanCache,
+        cache: &SharedPlanCache,
         prev: Option<(&HostConfig, &Plan)>,
         next: &HostConfig,
         opts: &PlannerOptions,
@@ -647,8 +678,9 @@ impl Fleet {
     /// placement ladder would pick for the *next* admission of that flavor
     /// — same candidate filter, same best-fit/first-fit policy the current
     /// backpressure state selects — and warm the shared cache with the
-    /// resulting host shape. The warm is a no-op when the shape is already
-    /// cached, so steady-state churn costs one lookup per flavor.
+    /// resulting host shape. The predicted shapes are gathered sequentially
+    /// and warmed as one batch, so the uncached ones run the planner in
+    /// parallel; an already-cached shape costs one lookup.
     fn prewarm_cache(&mut self) {
         if self.cfg.prewarm_flavors == 0 {
             return;
@@ -660,6 +692,7 @@ impl Fleet {
             self.flavor_freq.iter().map(|(&k, &n)| (k, n)).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let budget = self.cfg.host_budget_ppm();
+        let mut shapes: Vec<HostConfig> = Vec::new();
         for &((vcpus, ppm), _) in ranked.iter().take(self.cfg.prewarm_flavors) {
             let flavor = Flavor {
                 vcpus,
@@ -688,7 +721,10 @@ impl Fleet {
                 flavor,
             };
             push_tenant(&mut next, &tenant, self.cfg.latency_goal);
-            let _ = self.cache.warm(&next, &self.cfg.planner);
+            shapes.push(next);
+        }
+        if !shapes.is_empty() {
+            let _ = self.cache.warm_batch(&shapes, &self.cfg.planner);
         }
     }
 
@@ -707,7 +743,7 @@ impl Fleet {
         let mut next = h.host_cfg.clone();
         push_tenant(&mut next, &tenant, self.cfg.latency_goal);
         let Some((plan, rung)) = Self::replan(
-            &mut self.cache,
+            &self.cache,
             Some((&h.host_cfg, &h.plan)),
             &next,
             &self.cfg.planner,
@@ -748,7 +784,7 @@ impl Fleet {
             push_tenant(&mut next, t, self.cfg.latency_goal);
         }
         if let Some((plan, rung)) = Self::replan(
-            &mut self.cache,
+            &self.cache,
             Some((&h.host_cfg, &h.plan)),
             &next,
             &self.cfg.planner,
@@ -883,18 +919,24 @@ impl Fleet {
     /// outstanding corruption is an audit false positive and must never
     /// happen.
     fn audit_tables(&mut self) {
-        for i in 0..self.hosts.len() {
-            if self.hosts[i].sim.is_none() {
-                continue;
+        // The full-table audit dominates this phase and is per-host pure,
+        // so verdicts shard across workers; flagging and counters drain
+        // sequentially in host order.
+        let verdicts = rayon::par_map_mut(&mut self.hosts, |_, h| {
+            if h.sim.is_none() {
+                return false;
             }
-            let Some(tab) = self.hosts[i].tableau_mut() else {
-                continue;
+            let Some(tab) = h.tableau_mut() else {
+                return false;
             };
             let live = tab.dispatcher().newest_table().clone();
-            let h = &mut self.hosts[i];
-            if h.auditor.audit_full(&live).is_empty() {
+            !h.auditor.audit_full(&live).is_empty()
+        });
+        for (i, violated) in verdicts.into_iter().enumerate() {
+            if !violated {
                 continue;
             }
+            let h = &mut self.hosts[i];
             if h.audit_flagged {
                 // Already flagged; the repair install is pending (backoff,
                 // degradation, or a storm is deferring it).
@@ -921,13 +963,16 @@ impl Fleet {
         let awaiting: BTreeMap<u64, Nanos> = h.awaiting.drain(..).collect();
         for t in h.tenants.drain(..) {
             self.locations.insert(t.vm, VmLocation::Evacuating);
-            self.evacuating.push(EvacVm {
-                vm: t.vm,
-                flavor: t.flavor,
-                requested_at: awaiting.get(&t.vm).copied(),
-                attempts: 0,
-                next_try: now,
-            });
+            self.evacuating.push(
+                t.vm,
+                EvacVm {
+                    vm: t.vm,
+                    flavor: t.flavor,
+                    requested_at: awaiting.get(&t.vm).copied(),
+                    attempts: 0,
+                    next_try: now,
+                },
+            );
         }
         h.committed_ppm = 0;
         h.sim = None;
@@ -964,11 +1009,11 @@ impl Fleet {
     }
 
     fn process_evacuations(&mut self, now: Nanos) {
-        let queue = mem::take(&mut self.evacuating);
-        let mut still = Vec::with_capacity(queue.len());
-        for mut e in queue {
+        // Drain and re-queue: survivors keep FIFO order, and the drain
+        // resets the queue's tombstoned slots from this epoch's teardowns.
+        for mut e in self.evacuating.drain() {
             if now < e.next_try {
-                still.push(e);
+                self.evacuating.push(e.vm, e);
                 continue;
             }
             if let Some(h) = self.place_displaced(now, &e) {
@@ -982,7 +1027,7 @@ impl Fleet {
                 self.counters.parked += 1;
                 self.locations.insert(e.vm, VmLocation::Parked);
                 e.next_try = now + self.cfg.parked_retry_interval;
-                self.parked.push(e);
+                self.parked.push(e.vm, e);
             } else {
                 e.next_try = now
                     + backoff(
@@ -990,21 +1035,15 @@ impl Fleet {
                         self.cfg.evac_backoff_cap,
                         e.attempts,
                     );
-                still.push(e);
+                self.evacuating.push(e.vm, e);
             }
         }
-        // Evacuations queued by concurrent crashes this epoch land behind
-        // the survivors.
-        still.append(&mut self.evacuating);
-        self.evacuating = still;
     }
 
     fn process_parked(&mut self, now: Nanos) {
-        let queue = mem::take(&mut self.parked);
-        let mut still = Vec::with_capacity(queue.len());
-        for mut e in queue {
+        for mut e in self.parked.drain() {
             if now < e.next_try {
-                still.push(e);
+                self.parked.push(e.vm, e);
                 continue;
             }
             if let Some(h) = self.place_displaced(now, &e) {
@@ -1014,10 +1053,8 @@ impl Fleet {
             }
             self.counters.evacuation_retries += 1;
             e.next_try = now + self.cfg.parked_retry_interval;
-            still.push(e);
+            self.parked.push(e.vm, e);
         }
-        still.append(&mut self.parked);
-        self.parked = still;
     }
 
     fn process_installs(&mut self, now: Nanos) {
@@ -1026,26 +1063,35 @@ impl Fleet {
             .iter()
             .any(|&(from, until)| from <= now && now < until);
         let n_probes = self.cfg.cores_per_host as u32;
-        for i in 0..self.hosts.len() {
+        // Masking the staged table and fingerprinting it for the audit are
+        // per-host pure work — prep them in parallel. The drain below runs
+        // in host order, so the storm RNG draws one value per *eligible*
+        // host in ascending id order, exactly as sequentially.
+        let prep = rayon::par_map_mut(&mut self.hosts, |_, h| {
+            if h.state != HostState::Online
+                || !h.dirty
+                || now < h.next_install_try
+                || h.sim.is_none()
             {
-                let h = &self.hosts[i];
-                if h.state != HostState::Online
-                    || !h.dirty
-                    || now < h.next_install_try
-                    || h.sim.is_none()
-                {
-                    continue;
-                }
+                return None;
             }
-            let masked = match mask_table(&self.hosts[i].plan.table, n_probes) {
-                Ok(t) => t,
-                Err(_) => {
-                    // Cannot happen (filtering keeps allocations sorted and
-                    // in range), but never panic the control plane.
-                    self.counters.installs_rejected += 1;
-                    self.hosts[i].dirty = false;
-                    continue;
-                }
+            Some(
+                mask_table(&h.plan.table, n_probes)
+                    .map(|masked| {
+                        let staged_auditor = TableAuditor::new(&masked);
+                        (masked, staged_auditor)
+                    })
+                    .map_err(|_| ()),
+            )
+        });
+        for (i, p) in prep.into_iter().enumerate() {
+            let Some(p) = p else { continue };
+            let Ok((masked, staged_auditor)) = p else {
+                // Cannot happen (filtering keeps allocations sorted and
+                // in range), but never panic the control plane.
+                self.counters.installs_rejected += 1;
+                self.hosts[i].dirty = false;
+                continue;
             };
             let interrupted = in_storm
                 && self
@@ -1055,9 +1101,6 @@ impl Fleet {
             let h = &mut self.hosts[i];
             let local = h.local(now);
             let epoch_base = h.epoch_base;
-            // Fingerprint what we are about to install; a committed
-            // install re-baselines the audit.
-            let staged_auditor = TableAuditor::new(&masked);
             let Some(tab) = h.tableau_mut() else {
                 continue;
             };
@@ -1487,6 +1530,58 @@ mod tests {
             fleet.corruption_cursor[0], 1,
             "the event is consumed, not replayed after the restart"
         );
+    }
+
+    #[test]
+    fn queued_vms_teardown_and_resize_by_index() {
+        // Regression for the O(n)-scan queues: teardown and resize must
+        // find evacuating/parked VMs through the vm-id index, keep the
+        // survivors' FIFO order, and preserve conservation.
+        let mut fleet = small_fleet(2);
+        let mut vms = Vec::new();
+        for vm in 0..64u64 {
+            if fleet.admit(Nanos(1), vm, flavor(1, 250_000)).is_ok() {
+                vms.push(vm);
+            }
+        }
+        let now = epochs(&mut fleet, Nanos::ZERO, 4);
+        // An outage with the fleet nearly full: the displaced VMs cannot
+        // re-place while the host is down, so the queues stay populated
+        // for several epochs.
+        fleet.crash_windows[0] = vec![(now, now + Nanos::from_millis(900))];
+        let now = epochs(&mut fleet, now, 8);
+        let queued: Vec<u64> = vms
+            .iter()
+            .copied()
+            .filter(|&vm| {
+                matches!(
+                    fleet.location(vm),
+                    Some(VmLocation::Evacuating | VmLocation::Parked)
+                )
+            })
+            .collect();
+        assert!(queued.len() >= 2, "outage must leave VMs queued");
+
+        // Tear one down mid-queue and resize another in place.
+        fleet.teardown(now, queued[0]).expect("queued teardown");
+        assert_eq!(fleet.location(queued[0]), None);
+        fleet
+            .resize(now, queued[1], flavor(1, 125_000))
+            .expect("queued resize");
+        fleet.check_conservation().expect("conservation");
+        assert_eq!(fleet.live_vms(), vms.len() - 1);
+        assert_eq!(fleet.counters().teardowns, 1);
+        assert_eq!(fleet.counters().resizes, 1);
+
+        // The resized (smaller) flavor re-places once the host restarts...
+        let _ = epochs(&mut fleet, now, 100);
+        assert_eq!(fleet.displaced(), 0, "queues must drain after recovery");
+        assert!(matches!(
+            fleet.location(queued[1]),
+            Some(VmLocation::Placed(_))
+        ));
+        // ...and the torn-down VM never re-appears.
+        assert_eq!(fleet.location(queued[0]), None);
     }
 
     #[test]

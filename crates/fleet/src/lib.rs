@@ -39,6 +39,7 @@
 
 mod control;
 mod host;
+pub mod queue;
 
 pub use control::{Fleet, FleetConfig, FleetCounters, RungCounters, VmLocation};
 pub use host::HostState;

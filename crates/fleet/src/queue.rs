@@ -1,0 +1,148 @@
+//! Indexed displaced-VM queues.
+
+use std::collections::HashMap;
+
+/// A FIFO queue of per-VM records with O(1) lookup by VM id.
+///
+/// The control plane's evacuating and parked queues used to be plain
+/// vectors, so tearing down or resizing a queued VM was an O(n) scan —
+/// and a mass-crash epoch can put every VM of several hosts in flight at
+/// once. `VmQueue` keeps the arrival order (placement fairness and retry
+/// cadence depend on it) and adds a vm-id index: items live in
+/// append-only slots, removal tombstones the slot without shifting, and
+/// the index maps vm → slot so teardown/resize are O(1). The control
+/// loop fully [`VmQueue::drain`]s each queue every epoch, which resets
+/// the slot storage, so tombstones never accumulate past one epoch's
+/// churn.
+#[derive(Debug)]
+pub struct VmQueue<T> {
+    slots: Vec<Option<T>>,
+    /// vm id → index into `slots`. Only live (non-tombstoned) slots are
+    /// indexed.
+    index: HashMap<u64, u32>,
+    live: usize,
+}
+
+impl<T> Default for VmQueue<T> {
+    fn default() -> Self {
+        VmQueue {
+            slots: Vec::new(),
+            index: HashMap::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> VmQueue<T> {
+    /// An empty queue.
+    pub fn new() -> VmQueue<T> {
+        VmQueue::default()
+    }
+
+    /// Appends `item` for `vm` at the back of the queue. A vm id may be
+    /// queued at most once (the conservation invariant guarantees this
+    /// for the control plane's queues).
+    pub fn push(&mut self, vm: u64, item: T) {
+        debug_assert!(!self.index.contains_key(&vm), "vm {vm} queued twice");
+        let slot = self.slots.len() as u32;
+        self.slots.push(Some(item));
+        self.index.insert(vm, slot);
+        self.live += 1;
+    }
+
+    /// Removes and returns `vm`'s record, if queued. O(1): the slot is
+    /// tombstoned in place, preserving every other record's order.
+    pub fn remove(&mut self, vm: u64) -> Option<T> {
+        let slot = self.index.remove(&vm)?;
+        let item = self.slots[slot as usize].take();
+        debug_assert!(item.is_some(), "index pointed at a tombstone");
+        self.live -= 1;
+        item
+    }
+
+    /// Mutable access to `vm`'s record, if queued. O(1).
+    pub fn get_mut(&mut self, vm: u64) -> Option<&mut T> {
+        let slot = *self.index.get(&vm)?;
+        self.slots[slot as usize].as_mut()
+    }
+
+    /// `true` if `vm` is queued.
+    pub fn contains(&self, vm: u64) -> bool {
+        self.index.contains_key(&vm)
+    }
+
+    /// The live records in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no record is queued.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Removes every record, returned in FIFO order, and resets the slot
+    /// storage (dropping accumulated tombstones).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.index.clear();
+        self.live = 0;
+        self.slots.drain(..).flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_survives_indexed_removal() {
+        let mut q = VmQueue::new();
+        for vm in [5u64, 3, 9, 1, 7] {
+            q.push(vm, vm * 10);
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.remove(9), Some(90));
+        assert_eq!(q.remove(9), None, "double removal is a clean miss");
+        assert_eq!(q.len(), 4);
+        assert!(!q.contains(9));
+        assert!(q.contains(3));
+        // Remaining records keep arrival order across the tombstone.
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![50, 30, 10, 70]);
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut q = VmQueue::new();
+        q.push(4, "a".to_string());
+        q.push(8, "b".to_string());
+        *q.get_mut(8).unwrap() = "patched".to_string();
+        assert!(q.get_mut(5).is_none());
+        assert_eq!(
+            q.iter().cloned().collect::<Vec<_>>(),
+            vec!["a".to_string(), "patched".to_string()]
+        );
+    }
+
+    #[test]
+    fn drain_returns_fifo_and_resets() {
+        let mut q = VmQueue::new();
+        for vm in 0..6u64 {
+            q.push(vm, vm);
+        }
+        q.remove(2);
+        q.remove(4);
+        assert_eq!(q.drain(), vec![0, 1, 3, 5]);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        // Reusable after the drain, including previously seen ids.
+        q.push(2, 20);
+        q.push(0, 0);
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![20, 0]);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! The determinism gate for the sharded fleet control plane.
+//!
+//! [`Fleet::step`] shards its per-host work (simulators, audit verdicts,
+//! install prep, speculative warm planning) across worker threads; the
+//! contract is that every fleet-level observable — counters, rung
+//! provenance, recovery stats, the admit-to-install histogram, the shared
+//! plan cache's counters and per-key stats, every VM's location, and the
+//! aggregated dense-batching counters — is **bit-for-bit identical** to
+//! the sequential execution, for any thread count. This drives one chaos
+//! scenario (crashes, degradations, install storms, table corruptions,
+//! sustained churn) through `rayon::force_sequential` and
+//! `rayon::with_threads(3)` and compares everything.
+
+use fleet::{Fleet, FleetConfig, VmLocation};
+use rtsched::time::Nanos;
+use workloads::churn::Flavor;
+use xensim::fault::HostFaultConfig;
+use xensim::stats::BatchStats;
+use xensim::RecoveryStats;
+
+/// Every observable the control plane exposes, in one comparable record.
+#[derive(Debug, PartialEq)]
+struct FleetObservation {
+    counters: fleet::FleetCounters,
+    rungs: fleet::RungCounters,
+    recovery: RecoveryStats,
+    batch: BatchStats,
+    live_vms: usize,
+    backlog: usize,
+    displaced: usize,
+    states: Vec<fleet::HostState>,
+    locations: Vec<(u64, Option<VmLocation>)>,
+    histogram: (u64, Nanos, Nanos, Nanos, Option<Nanos>),
+    cache: (u64, u64, u64, tableau_core::cache::CacheStats),
+}
+
+fn run_chaos_scenario() -> FleetObservation {
+    let mut fleet = Fleet::new(FleetConfig::new(8, 2)).expect("boot plan");
+    let horizon = Nanos::from_secs(20);
+    fleet.arm_faults(HostFaultConfig::chaos(42, 0.6), horizon);
+
+    let epoch = Nanos::from_millis(50);
+    let mut now = Nanos::ZERO;
+    let mut vm = 0u64;
+    for k in 0..120u64 {
+        now += epoch;
+        // Sustained churn: two admissions per epoch with alternating
+        // flavors, teardowns and resizes trailing behind.
+        for _ in 0..2 {
+            let flavor = if vm.is_multiple_of(3) {
+                Flavor {
+                    vcpus: 2,
+                    utilization_ppm: 125_000,
+                }
+            } else {
+                Flavor {
+                    vcpus: 1,
+                    utilization_ppm: 250_000,
+                }
+            };
+            let _ = fleet.admit(now, vm, flavor);
+            vm += 1;
+        }
+        if k % 2 == 0 && vm > 12 {
+            let _ = fleet.teardown(now, vm - 12);
+        }
+        if k % 5 == 0 && vm > 8 {
+            let _ = fleet.resize(
+                now,
+                vm - 8,
+                Flavor {
+                    vcpus: 1,
+                    utilization_ppm: 125_000,
+                },
+            );
+        }
+        // Guaranteed outages on top of the seeded chaos, so evacuation,
+        // parking, and restart paths run regardless of the fault draw.
+        if k == 40 {
+            fleet.inject_crash(0, now, now + Nanos::from_millis(800));
+        }
+        if k == 70 {
+            fleet.inject_crash(3, now, now + Nanos::from_millis(400));
+            fleet.inject_crash(5, now, now + Nanos::from_millis(1_200));
+        }
+        fleet.step(now);
+        fleet.check_conservation().expect("conservation");
+    }
+
+    let h = fleet.admit_to_install();
+    FleetObservation {
+        counters: *fleet.counters(),
+        rungs: *fleet.rungs(),
+        recovery: fleet.recovery_stats(),
+        batch: fleet.batch_stats(),
+        live_vms: fleet.live_vms(),
+        backlog: fleet.backlog(),
+        displaced: fleet.displaced(),
+        states: fleet.states(),
+        locations: (0..vm).map(|v| (v, fleet.location(v))).collect(),
+        histogram: (h.count(), h.min(), h.max(), h.mean(), h.p99()),
+        cache: (
+            fleet.cache().hits(),
+            fleet.cache().misses(),
+            fleet.cache().warmed(),
+            fleet.cache().stats(),
+        ),
+    }
+}
+
+#[test]
+fn parallel_fleet_step_is_bit_identical_to_sequential() {
+    let sequential = rayon::force_sequential(run_chaos_scenario);
+    let parallel = rayon::with_threads(3, run_chaos_scenario);
+    assert_eq!(
+        sequential, parallel,
+        "sharded control plane diverged from the sequential reference"
+    );
+    // The scenario must actually exercise the sharded phases.
+    assert!(
+        sequential.counters.crashes > 0,
+        "chaos never crashed a host"
+    );
+    assert!(sequential.counters.installs > 0, "no installs committed");
+    assert!(sequential.counters.admissions > 0, "no admissions");
+    assert!(sequential.cache.0 > 0, "the plan cache never served a hit");
+}
+
+#[test]
+fn thread_count_does_not_change_the_outcome() {
+    // Two different worker counts (one of which does not divide the host
+    // count) still agree — chunking must not leak into results.
+    let two = rayon::with_threads(2, run_chaos_scenario);
+    let five = rayon::with_threads(5, run_chaos_scenario);
+    assert_eq!(two, five);
+}

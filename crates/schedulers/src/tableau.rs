@@ -11,7 +11,10 @@ use tableau_core::dispatch::{Decision, Dispatcher};
 use tableau_core::guardian::CoreEvent;
 use tableau_core::planner::Plan;
 use tableau_core::vcpu::VcpuId as TcVcpu;
-use xensim::sched::{DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler, WakeupPlan};
+use xensim::sched::{
+    DenseCosts, DenseSlice, DeschedulePlan, SchedDecision, VcpuId, VcpuView, VmScheduler,
+    WakeupPlan,
+};
 
 use crate::costs::TableauCosts;
 
@@ -288,6 +291,68 @@ impl VmScheduler for Tableau {
             ipi_cores: handoff.into(),
             cost,
         }
+    }
+
+    fn dense_capable(&self) -> bool {
+        true
+    }
+
+    fn dense_window(
+        &mut self,
+        core: usize,
+        from: Nanos,
+        horizon: Nanos,
+        view: VcpuView<'_>,
+        out: &mut Vec<DenseSlice>,
+    ) -> Option<DenseCosts> {
+        // The dispatcher enforces the equivalence guards (settled tables,
+        // empty second level, no monitor, no pending hand-offs, single-homed
+        // reservations). No adapter-side guard is needed on top: with an
+        // empty second level a stale `last_pick` level-2 charge at the first
+        // in-batch de-schedule would be a no-op anyway.
+        let ok = self.dispatcher.dense_plan(
+            core,
+            from,
+            horizon,
+            |v| view.is_runnable(VcpuId(v.0)),
+            |vcpu, until| {
+                out.push(DenseSlice {
+                    vcpu: vcpu.map(|v| VcpuId(v.0)),
+                    until,
+                })
+            },
+        );
+        ok.then_some(DenseCosts {
+            schedule: self.costs.schedule_base,
+            deschedule: self.costs.deschedule_base,
+        })
+    }
+
+    fn dense_commit(&mut self, core: usize, at: Nanos, consumed: &[DenseSlice], running: bool) {
+        // Every committed slice with a vCPU was a first-level (table) pick;
+        // idle slices charge nothing. The final pick (if still dispatched)
+        // becomes the live `last_pick`, exactly as the last generic
+        // `schedule` call would have left it.
+        for s in consumed {
+            let Some(v) = s.vcpu else { continue };
+            let idx = v.0 as usize;
+            if self.picks.len() <= idx {
+                self.picks.resize_with(idx + 1, PickCounts::default);
+            }
+            self.picks[idx].level1 += 1;
+        }
+        let last = if running {
+            consumed.last().and_then(|s| s.vcpu)
+        } else {
+            None
+        };
+        debug_assert!(
+            !running || last.is_some(),
+            "running window must end in a pick"
+        );
+        self.last_pick[core] = last.map(|v| (v, false));
+        self.stolen_in_pick[core] = Nanos::ZERO;
+        self.dispatcher.dense_commit(core, at, last.map(tc));
     }
 
     fn on_core_offline(&mut self, core: usize, now: Nanos) {

@@ -1,0 +1,256 @@
+//! The determinism gate for dense-phase batching under Tableau.
+//!
+//! The hybrid engine may advance slice boundaries through precomputed
+//! dense windows ([`xensim::sched::VmScheduler::dense_window`]) instead of
+//! the generic event loop. The contract is observational equivalence: the
+//! handled-event stream, statistics, and trace must be bit-for-bit
+//! identical to both reference engines — modulo the `SimStats::batch`
+//! counters and the `TraceClass::BATCH` markers, which exist only to
+//! observe the batching itself. These tests drive the Tableau scheduler
+//! (the only dense-capable one) through scenarios that enter, exit, and
+//! decline batches: pure busy loops (whole-horizon windows), compute/block
+//! cyclers (mid-window bails), external wake-ups (batching suppressed
+//! while foreign events are pending), and a mid-run table install (the
+//! settled-tables guard).
+
+use proptest::prelude::*;
+
+use rtsched::time::Nanos;
+use schedulers::tableau::Tableau;
+use tableau_core::planner::{plan, Plan, PlannerOptions};
+use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
+use xensim::sched::{BusyLoop, GuestAction, GuestWorkload, VcpuId};
+use xensim::trace::{TraceClass, TraceRecord};
+use xensim::{EngineKind, Machine, Sim, SimStats};
+
+/// Paper-style host: `vms_per_core` single-vCPU capped VMs per core with
+/// uniform reservations and a 20 ms latency goal — the dense steady state.
+fn paper_plan(cores: usize, vms_per_core: usize) -> Plan {
+    let mut host = HostConfig::new(cores);
+    let u = Utilization::from_percent((100 / vms_per_core) as u32);
+    let spec = VcpuSpec::capped(u, Nanos::from_millis(20));
+    for i in 0..cores * vms_per_core {
+        host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+    }
+    plan(&host, &PlannerOptions::default()).unwrap()
+}
+
+/// Compute/block cycler: breaks dense windows with guest blocks.
+struct Cycler {
+    burst_us: u64,
+    wait_us: u64,
+    compute_next: bool,
+}
+
+impl GuestWorkload for Cycler {
+    fn next(&mut self, _now: Nanos) -> GuestAction {
+        self.compute_next = !self.compute_next;
+        if !self.compute_next || self.wait_us == 0 {
+            GuestAction::Compute(Nanos::from_micros(self.burst_us))
+        } else {
+            GuestAction::BlockFor(Nanos::from_micros(self.wait_us))
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Everything an engine can influence, with the batch-only observability
+/// stripped: `SimStats::batch` zeroed and `TraceClass::BATCH` records
+/// dropped (they are the *only* permitted difference between engines).
+type Observation = (Vec<(Nanos, u64, String)>, SimStats, Vec<TraceRecord>, u64);
+
+struct Scenario<'a> {
+    cores: usize,
+    vms_per_core: usize,
+    /// Per-vCPU `(burst_us, wait_us)`; `wait_us == 0` means a pure busy
+    /// loop. Cycled over the vCPU population.
+    mix: &'a [(u64, u64)],
+    /// External wake-ups `(at_us, vcpu)`.
+    events: &'a [(u64, u32)],
+    /// Re-install the (identical) table at this time, exercising the
+    /// two-phase switch with batching active.
+    reinstall_at: Option<Nanos>,
+    horizon: Nanos,
+}
+
+/// Builds, drives, and drains one run of `s` under `kind`, returning the
+/// normalized observation plus the raw batch counters.
+fn run(kind: EngineKind, s: &Scenario<'_>) -> (Observation, xensim::stats::BatchStats) {
+    let p = paper_plan(s.cores, s.vms_per_core);
+    let mut sim = Sim::new(Machine::small(s.cores), Box::new(Tableau::from_plan(&p)));
+    sim.set_engine(kind);
+    sim.enable_tracing();
+    sim.enable_event_log();
+    let n_vcpus = s.cores * s.vms_per_core;
+    for i in 0..n_vcpus {
+        let (burst, wait) = s.mix[i % s.mix.len()];
+        let workload: Box<dyn GuestWorkload> = if wait == 0 {
+            Box::new(BusyLoop)
+        } else {
+            Box::new(Cycler {
+                burst_us: burst.max(1),
+                wait_us: wait,
+                compute_next: false,
+            })
+        };
+        sim.add_vcpu(workload, i % s.cores, true);
+    }
+    for &(at_us, v) in s.events {
+        sim.push_external(Nanos::from_micros(at_us), VcpuId(v % n_vcpus as u32), 0);
+    }
+    if let Some(at) = s.reinstall_at {
+        sim.run_until(at);
+        let t = sim
+            .scheduler_mut()
+            .as_any()
+            .downcast_mut::<Tableau>()
+            .unwrap();
+        t.install_table(p.table.clone(), at).unwrap();
+    }
+    sim.run_until(s.horizon);
+    let log = sim.take_event_log();
+    let trace: Vec<TraceRecord> = sim
+        .trace()
+        .iter()
+        .filter(|r| !r.event.class().intersects(TraceClass::BATCH))
+        .copied()
+        .collect();
+    let batch = sim.stats().batch;
+    let mut stats = sim.stats().clone();
+    stats.batch = Default::default();
+    ((log, stats, trace, sim.events_processed()), batch)
+}
+
+fn observe(kind: EngineKind, s: &Scenario<'_>) -> Observation {
+    run(kind, s).0
+}
+
+/// Runs all three engines and asserts pairwise equality, returning the
+/// hybrid run's batch counters for scenario-specific assertions.
+fn assert_three_way(s: &Scenario<'_>) -> xensim::stats::BatchStats {
+    let heap = observe(EngineKind::Heap, s);
+    let wheel = observe(EngineKind::Wheel, s);
+    assert_eq!(heap.0, wheel.0, "heap/wheel event streams diverged");
+    assert_eq!(heap.1, wheel.1, "heap/wheel stats diverged");
+    assert_eq!(heap.2, wheel.2, "heap/wheel traces diverged");
+    assert_eq!(heap.3, wheel.3, "heap/wheel event counts diverged");
+
+    let (hybrid, batch) = run(EngineKind::Hybrid, s);
+    assert_eq!(heap.0, hybrid.0, "heap/hybrid event streams diverged");
+    assert_eq!(heap.1, hybrid.1, "heap/hybrid stats diverged");
+    assert_eq!(heap.2, hybrid.2, "heap/hybrid traces diverged");
+    assert_eq!(heap.3, hybrid.3, "heap/hybrid event counts diverged");
+    batch
+}
+
+#[test]
+fn pure_dense_phase_batches_nearly_everything() {
+    let s = Scenario {
+        cores: 2,
+        vms_per_core: 4,
+        mix: &[(0, 0)],
+        events: &[],
+        reinstall_at: None,
+        horizon: Nanos::from_secs(1),
+    };
+    let batch = assert_three_way(&s);
+    assert!(batch.batch_entries > 0, "batching never engaged: {batch:?}");
+    assert_eq!(
+        batch.fallback_block, 0,
+        "busy loops cannot block: {batch:?}"
+    );
+    assert!(
+        batch.batched_events > 500,
+        "a 1 s dense phase should batch hundreds of boundaries: {batch:?}"
+    );
+}
+
+#[test]
+fn guest_blocks_bail_and_reenter() {
+    let s = Scenario {
+        cores: 2,
+        vms_per_core: 4,
+        // Half busy loops, half cyclers that block mid-slot.
+        mix: &[(0, 0), (1_300, 900)],
+        events: &[],
+        reinstall_at: None,
+        horizon: Nanos::from_millis(400),
+    };
+    let batch = assert_three_way(&s);
+    assert!(
+        batch.fallback_block > 0,
+        "cyclers should break batches: {batch:?}"
+    );
+}
+
+#[test]
+fn external_wakeups_suppress_then_release_batching() {
+    let s = Scenario {
+        cores: 1,
+        vms_per_core: 4,
+        mix: &[(0, 0), (700, 1_100)],
+        events: &[(1_000, 0), (7_500, 2), (90_000, 1), (250_000, 3)],
+        reinstall_at: None,
+        horizon: Nanos::from_millis(400),
+    };
+    let batch = assert_three_way(&s);
+    assert!(batch.batch_entries > 0, "batching never engaged: {batch:?}");
+}
+
+#[test]
+fn mid_run_table_install_declines_until_settled() {
+    let s = Scenario {
+        cores: 2,
+        vms_per_core: 4,
+        mix: &[(0, 0)],
+        events: &[],
+        reinstall_at: Some(Nanos::from_millis(137)),
+        horizon: Nanos::from_millis(500),
+    };
+    let batch = assert_three_way(&s);
+    assert!(batch.batch_entries > 0, "batching never engaged: {batch:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized dense/sparse mixes stay three-way bit-for-bit equivalent
+    /// across batch boundaries, bails, and re-entries.
+    #[test]
+    fn dense_batching_is_observationally_equivalent(
+        cores in 1usize..=4,
+        vms_per_core in 2usize..=5,
+        mix in proptest::collection::vec((1u64..3_000, 0u64..2_000), 1..6),
+        events in proptest::collection::vec((0u64..400_000, any::<u32>()), 0..12),
+        horizon_ms in 50u64..300,
+    ) {
+        // Fold a third of the waits to zero so pure busy loops (dense
+        // phases) are common, not a measure-zero draw.
+        let mix: Vec<(u64, u64)> = mix
+            .into_iter()
+            .map(|(b, w)| (b, if w % 3 == 0 { 0 } else { w }))
+            .collect();
+        let s = Scenario {
+            cores,
+            vms_per_core,
+            mix: &mix,
+            events: &events,
+            reinstall_at: None,
+            horizon: Nanos::from_millis(horizon_ms),
+        };
+        let heap = observe(EngineKind::Heap, &s);
+        let wheel = observe(EngineKind::Wheel, &s);
+        let hybrid = observe(EngineKind::Hybrid, &s);
+        prop_assert_eq!(&heap.0, &wheel.0, "heap/wheel event streams diverged");
+        prop_assert_eq!(&heap.1, &wheel.1, "heap/wheel stats diverged");
+        prop_assert_eq!(&heap.2, &wheel.2, "heap/wheel traces diverged");
+        prop_assert_eq!(heap.3, wheel.3, "heap/wheel event counts diverged");
+        prop_assert_eq!(&heap.0, &hybrid.0, "heap/hybrid event streams diverged");
+        prop_assert_eq!(&heap.1, &hybrid.1, "heap/hybrid stats diverged");
+        prop_assert_eq!(&heap.2, &hybrid.2, "heap/hybrid traces diverged");
+        prop_assert_eq!(heap.3, hybrid.3, "heap/hybrid event counts diverged");
+    }
+}

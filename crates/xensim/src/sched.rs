@@ -155,13 +155,38 @@ pub struct DeschedulePlan {
     pub cost: Nanos,
 }
 
+/// One contiguous decision in a dense window: run `vcpu` (or idle) until
+/// the absolute time `until`. See [`VmScheduler::dense_window`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseSlice {
+    /// The vCPU the scheduler would dispatch, or `None` for idle.
+    pub vcpu: Option<VcpuId>,
+    /// Absolute end of the decision (the next slice starts here).
+    pub until: Nanos,
+}
+
+/// Flat per-operation costs the scheduler guarantees for every decision in
+/// a dense window (the batched fast path charges these without calling the
+/// scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseCosts {
+    /// Cost of each scheduling decision in the window.
+    pub schedule: Nanos,
+    /// Cost of each de-schedule in the window (no hand-off IPIs allowed).
+    pub deschedule: Nanos,
+}
+
 /// A hypervisor VM scheduler under test.
 ///
 /// Implementations live in the `schedulers` crate (Credit, Credit2, RTDS,
 /// and the Tableau adapter). All callbacks are invoked in global simulated
 /// time order; implementations keep their own run queues in sync using the
 /// wake/block/deschedule notifications.
-pub trait VmScheduler {
+///
+/// `Send` so boxed schedulers can ride inside simulations that a fleet
+/// control plane steps from worker threads (hosts are sharded across
+/// threads; each simulation is owned by exactly one thread at a time).
+pub trait VmScheduler: Send {
     /// Short name for reports ("credit", "rtds", "tableau", ...).
     fn name(&self) -> &'static str;
 
@@ -224,6 +249,51 @@ pub trait VmScheduler {
         let _ = (core, now);
     }
 
+    /// Whether this scheduler can ever produce dense windows (see
+    /// [`VmScheduler::dense_window`]). A cheap static gate the simulator
+    /// checks before attempting a batch; `false` (the default) keeps the
+    /// simulator on the event-at-a-time path.
+    fn dense_capable(&self) -> bool {
+        false
+    }
+
+    /// Emits into `out` the exact sequence of decisions this scheduler
+    /// would make for `core` at every decision boundary in `(from, horizon]`,
+    /// assuming the runnable set in `view` does not change, and returns the
+    /// flat per-decision costs. Slices must be contiguous, strictly
+    /// increasing in `until`, start with the slice containing `from`, and
+    /// extend until `until > horizon`.
+    ///
+    /// Returning `None` (the default) means "cannot guarantee exactness
+    /// right now" — the simulator falls back to calling
+    /// [`VmScheduler::schedule`] per decision. A scheduler returning
+    /// `Some` promises that, over the window, `schedule` would be
+    /// side-effect-free apart from the bookkeeping reconstructed by
+    /// [`VmScheduler::dense_commit`], would send no IPIs, and would charge
+    /// exactly the returned flat costs.
+    fn dense_window(
+        &mut self,
+        core: usize,
+        from: Nanos,
+        horizon: Nanos,
+        view: VcpuView<'_>,
+        out: &mut Vec<DenseSlice>,
+    ) -> Option<DenseCosts> {
+        let _ = (core, from, horizon, view, out);
+        None
+    }
+
+    /// Replays the scheduler-internal bookkeeping for `consumed` dense
+    /// slices of `core` that the simulator advanced through without calling
+    /// [`VmScheduler::schedule`]. `at` is the time of the last decision in
+    /// `consumed`; `running` is whether that decision's vCPU is still
+    /// dispatched (its de-schedule has not happened yet). After this call
+    /// the scheduler's state must be byte-identical to having served every
+    /// consumed decision through the generic callbacks.
+    fn dense_commit(&mut self, core: usize, at: Nanos, consumed: &[DenseSlice], running: bool) {
+        let _ = (core, at, consumed, running);
+    }
+
     /// Registers a vCPU before the simulation starts. `home` is a placement
     /// hint (round-robin by default in the harness).
     fn register_vcpu(&mut self, vcpu: VcpuId, home: usize);
@@ -250,7 +320,10 @@ pub enum GuestAction {
 /// completes (including at first dispatch), and
 /// [`GuestWorkload::on_event`] whenever an external event tagged by the
 /// harness is delivered.
-pub trait GuestWorkload {
+///
+/// `Send` for the same reason as [`VmScheduler`]: simulations migrate
+/// between fleet worker threads.
+pub trait GuestWorkload: Send {
     /// The next action, decided at absolute guest-visible time `now`.
     fn next(&mut self, now: Nanos) -> GuestAction;
 

@@ -21,7 +21,9 @@ use rtsched::time::Nanos;
 
 use crate::fault::{FaultConfig, FaultEngine, IpiFate};
 use crate::machine::Machine;
-use crate::sched::{GuestAction, GuestWorkload, VcpuId, VcpuView, VmScheduler};
+use crate::sched::{
+    DenseCosts, DenseSlice, GuestAction, GuestWorkload, VcpuId, VcpuView, VmScheduler,
+};
 use crate::stats::{OpKind, SimStats};
 use crate::trace::{TraceBuffer, TraceClass, TraceEvent};
 use crate::wheel::TimingWheel;
@@ -90,17 +92,36 @@ enum Event {
 
 /// Selects the pending-event structure backing a [`Sim`].
 ///
-/// Both engines process events in identical `(time, seq)` order — the
-/// `engine_equivalence` test holds them to bit-for-bit equal streams. The
-/// wheel is the default; the heap remains as the reference oracle.
+/// All engines process events in identical `(time, seq)` order — the
+/// `engine_equivalence` tests hold them to bit-for-bit equal streams. The
+/// hybrid is the default; the heap and wheel remain as reference oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// Reference engine: a binary min-heap of `(time, seq, event)`.
     Heap,
     /// Hierarchical timing wheel ([`crate::wheel`]): O(1) amortized
     /// insert/pop, allocation-free at steady state.
-    #[default]
     Wheel,
+    /// Wheel-backed queue plus dense-phase batching: when every pending
+    /// event is a core timer, no faults are armed, and the scheduler can
+    /// pre-compute its decision sequence ([`VmScheduler::dense_window`]),
+    /// slice boundaries are advanced in a branch-predictable inner loop
+    /// without round-tripping each one through the wheel. Bit-for-bit
+    /// identical to the reference engines (modulo [`SimStats::batch`]
+    /// counters and [`TraceClass::BATCH`] markers).
+    #[default]
+    Hybrid,
+}
+
+impl EngineKind {
+    /// The queue representation backing this engine (hybrid batching
+    /// happens above the queue, which stays a wheel).
+    fn repr(self) -> EngineKind {
+        match self {
+            EngineKind::Heap => EngineKind::Heap,
+            EngineKind::Wheel | EngineKind::Hybrid => EngineKind::Wheel,
+        }
+    }
 }
 
 /// The pending-event set, behind the engine selection.
@@ -110,10 +131,10 @@ enum EventQueue {
 }
 
 impl EventQueue {
-    fn new(kind: EngineKind) -> EventQueue {
-        match kind {
+    fn new(repr: EngineKind) -> EventQueue {
+        match repr.repr() {
             EngineKind::Heap => EventQueue::Heap(BinaryHeap::new()),
-            EngineKind::Wheel => EventQueue::Wheel(Box::default()),
+            _ => EventQueue::Wheel(Box::default()),
         }
     }
 
@@ -162,7 +183,23 @@ pub struct Sim {
     machine: Machine,
     now: Nanos,
     seq: u64,
+    /// The selected engine; [`EngineKind::Hybrid`] additionally enables
+    /// dense-phase batching above the queue.
+    kind: EngineKind,
     events: EventQueue,
+    /// Events in the queue that are *not* core timers (wake-ups, IPIs,
+    /// ticks, fault events). Dense batching only engages at zero: with
+    /// nothing but timers pending, the next stretch of events is fully
+    /// determined by the slice tables.
+    pending_other: usize,
+    /// Batching is re-attempted only once `events_processed` passes this
+    /// mark (set on every fallback, so a workload that keeps breaking
+    /// batches does not pay the window-construction cost per event).
+    batch_cooldown: u64,
+    /// Consecutive unproductive batch attempts; the fallback cooldown
+    /// doubles per bail (capped), so churny workloads that momentarily
+    /// look dense pay the window-construction cost ever more rarely.
+    batch_bails: u32,
     cores: Vec<CoreState>,
     vcpus: Vec<VcpuSlot>,
     /// Runnable flags mirroring vCPU states, for cheap scheduler views.
@@ -200,7 +237,11 @@ impl Sim {
             machine,
             now: Nanos::ZERO,
             seq: 0,
+            kind: EngineKind::default(),
             events: EventQueue::new(EngineKind::default()),
+            pending_other: 0,
+            batch_cooldown: 0,
+            batch_bails: 0,
             cores: (0..n)
                 .map(|_| CoreState {
                     running: None,
@@ -226,7 +267,7 @@ impl Sim {
         }
     }
 
-    /// Selects the event-queue engine (default [`EngineKind::Wheel`]).
+    /// Selects the event-queue engine (default [`EngineKind::Hybrid`]).
     /// Events already queued (e.g. via [`Sim::push_external`]) are carried
     /// over with their original `(time, seq)` keys.
     ///
@@ -238,7 +279,8 @@ impl Sim {
             !self.started,
             "the engine must be selected before the first run"
         );
-        if kind == self.events.kind() {
+        self.kind = kind;
+        if kind.repr() == self.events.kind() {
             return;
         }
         let mut next = EventQueue::new(kind);
@@ -250,7 +292,7 @@ impl Sim {
 
     /// The event-queue engine in use.
     pub fn engine_kind(&self) -> EngineKind {
-        self.events.kind()
+        self.kind
     }
 
     /// Starts recording every handled event as `(time, seq, debug string)`
@@ -411,6 +453,9 @@ impl Sim {
             (Some(f), Event::CoreTimer { .. } | Event::Tick { .. }) => f.adjust_timer(at),
             _ => at,
         };
+        if !matches!(event, Event::CoreTimer { .. }) {
+            self.pending_other += 1;
+        }
         self.seq += 1;
         self.events.push(at, self.seq, event);
     }
@@ -482,7 +527,24 @@ impl Sim {
             }
         }
 
-        while let Some((at, seq, event)) = self.events.pop_if_at_most(end) {
+        loop {
+            if self.pending_other == 0
+                && self.kind == EngineKind::Hybrid
+                && self.faults.is_none()
+                && self.batch_cooldown <= self.events_processed
+                && self.sched.dense_capable()
+            {
+                // The batch advances as far as it can; anything it could
+                // not take (a bail re-arm, future timers) is back in the
+                // queue for the generic pop below.
+                self.dense_batch(end);
+            }
+            let Some((at, seq, event)) = self.events.pop_if_at_most(end) else {
+                break;
+            };
+            if !matches!(event, Event::CoreTimer { .. }) {
+                self.pending_other -= 1;
+            }
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events_processed += 1;
@@ -493,6 +555,420 @@ impl Sim {
         }
         self.now = end;
         self.stats.trace_dropped = self.trace.dropped();
+    }
+
+    /// Advances a dense phase in a batched inner loop.
+    ///
+    /// Preconditions (checked by the caller): every pending event is a core
+    /// timer (`pending_other == 0`), no fault engine is installed, and the
+    /// scheduler is dense-capable. The scheduler pre-computes each core's
+    /// decision sequence over a capped window ([`VmScheduler::dense_window`];
+    /// a dense phase longer than the cap rolls window-to-window inside the
+    /// batch); slice boundaries are then processed straight from a flat
+    /// pending list — no wheel round-trips, no per-decision virtual calls —
+    /// with byte-identical `seq` allocation, event-log lines, traces, and
+    /// stats to the generic loop. The scheduler's own state is synced at
+    /// each window boundary via [`VmScheduler::dense_commit`].
+    ///
+    /// The moment anything the window cannot express happens (a guest
+    /// blocks, the window under-runs), the batch commits, puts every
+    /// untaken timer back with its original `(time, seq)` key, finishes the
+    /// in-flight operation through the generic helpers, and returns — the
+    /// caller's event loop continues seamlessly.
+    fn dense_batch(&mut self, end: Nanos) {
+        // One window's construction cost is bounded by capping how much
+        // simulated time it may cover (one second ≈ a few thousand slices
+        // per core, so even a `run_until` spanning hours cannot make a
+        // single attempt allocate unboundedly); a dense phase longer than
+        // the cap rolls into the next window *inside* the batch — no
+        // event-queue round-trip, no generic event in between.
+        const WINDOW_CAP: Nanos = Nanos(1_000_000_000);
+
+        // Cheap gate: nothing due before the horizon means nothing to batch.
+        let Some((at0, seq0, ev0)) = self.events.pop_if_at_most(end) else {
+            return;
+        };
+        let Event::CoreTimer {
+            core: core0,
+            gen: gen0,
+        } = ev0
+        else {
+            unreachable!("non-timer event {ev0:?} in a dense batch (pending_other == 0)");
+        };
+        let mut pending: Vec<(Nanos, u64, usize, u64)> = vec![(at0, seq0, core0, gen0)];
+
+        // Drain the rest of the queue: all core timers, by precondition.
+        while let Some((at, seq, event)) = self.events.pop() {
+            let Event::CoreTimer { core, gen } = event else {
+                unreachable!("non-timer event {event:?} in a dense batch (pending_other == 0)");
+            };
+            pending.push((at, seq, core, gen));
+        }
+
+        // Per-core window storage and bookkeeping: the next slice to
+        // consider, the committed/picked range, and the time of the latest
+        // pick (what the scheduler sees as its decision time on commit).
+        // Allocated once and reset per window.
+        let n = self.cores.len();
+        let mut windows: Vec<Vec<DenseSlice>> = (0..n).map(|_| Vec::new()).collect();
+        let mut costs: Vec<DenseCosts> = Vec::with_capacity(n);
+        let mut next_idx = vec![0usize; n];
+        let mut commit_from = vec![usize::MAX; n];
+        let mut picked_to = vec![0usize; n];
+        let mut last_decided = vec![Nanos::ZERO; n];
+
+        'window: loop {
+            // Each window starts at the earliest untaken timer (which is
+            // `>= self.now`); an empty pending list or one entirely past
+            // the horizon ends the batch.
+            let first = pending.iter().map(|p| p.0).min();
+            let Some(first) = first.filter(|&f| f <= end) else {
+                self.batch_bails = 0;
+                self.dense_restore(&pending);
+                return;
+            };
+            let cap = end.min(first.max(self.now) + WINDOW_CAP);
+
+            // Ask the scheduler for every core's decision window up front;
+            // any core declining aborts the attempt before any state
+            // changes.
+            costs.clear();
+            for (core, out) in windows.iter_mut().enumerate() {
+                out.clear();
+                let view = VcpuView {
+                    runnable: &self.flags,
+                };
+                match self.sched.dense_window(core, self.now, cap, view, out) {
+                    Some(c) => costs.push(c),
+                    None => {
+                        self.dense_restore(&pending);
+                        self.stats.batch.fallback_window += 1;
+                        self.batch_cooldown = self.events_processed + self.bail_cooldown(0);
+                        return;
+                    }
+                }
+            }
+            next_idx.fill(0);
+            commit_from.fill(usize::MAX);
+            picked_to.fill(0);
+            last_decided.fill(Nanos::ZERO);
+            let mut batched: u64 = 0;
+
+            self.stats.batch.batch_entries += 1;
+            self.trace
+                .emit(self.now, TraceClass::BATCH, || TraceEvent::BatchEnter {
+                    pending: pending.len(),
+                });
+
+            loop {
+                // The pending list is small (one live timer per core plus a few
+                // stale ones); a linear min-scan beats any queue structure here.
+                if pending.is_empty() {
+                    break;
+                }
+                let mut min_i = 0;
+                for i in 1..pending.len() {
+                    if (pending[i].0, pending[i].1) < (pending[min_i].0, pending[min_i].1) {
+                        min_i = i;
+                    }
+                }
+                if pending[min_i].0 > cap {
+                    break;
+                }
+                let (at, seq, core, gen) = pending.swap_remove(min_i);
+                debug_assert!(at >= self.now, "time went backwards");
+                self.now = at;
+                self.events_processed += 1;
+                batched += 1;
+                if let Some(log) = &mut self.event_log {
+                    log.push((at, seq, format!("{:?}", Event::CoreTimer { core, gen })));
+                }
+                if self.cores[core].gen != gen {
+                    continue; // superseded decision
+                }
+
+                if self.cores[core].running.is_some() && self.now < self.cores[core].decision_until
+                {
+                    // Burst completion inside the decision window.
+                    self.apply_progress(core);
+                    let vcpu = self.cores[core].running.expect("burst on idle core");
+                    let remaining = self.vcpus[vcpu.0 as usize]
+                        .remaining
+                        .expect("burst event without a burst");
+                    if remaining > Nanos::ZERO {
+                        // Only timer perturbation can shift a burst, and faults
+                        // are excluded here; mirrored for exactness.
+                        let c = &self.cores[core];
+                        let fire = (c.run_started.max(self.now) + remaining).min(c.decision_until);
+                        let g = c.gen;
+                        self.seq += 1;
+                        pending.push((fire, self.seq, core, g));
+                        continue;
+                    }
+                    self.vcpus[vcpu.0 as usize].remaining = None;
+                    let action = self.vcpus[vcpu.0 as usize].workload.next(self.now);
+                    match action {
+                        GuestAction::Compute(amount) => {
+                            // `burst_demand` without the (absent) fault engine.
+                            let amount = amount.max(Nanos(1));
+                            self.vcpus[vcpu.0 as usize].remaining = Some(amount);
+                            let c = &mut self.cores[core];
+                            c.run_started = self.now;
+                            let fire = (self.now + amount).min(c.decision_until);
+                            let g = c.gen;
+                            self.seq += 1;
+                            pending.push((fire, self.seq, core, g));
+                        }
+                        GuestAction::Block | GuestAction::BlockFor(_) => {
+                            // The guest blocks: sync the scheduler, hand the
+                            // timers back, and finish generically.
+                            self.dense_commit_all(
+                                &windows,
+                                &mut commit_from,
+                                &picked_to,
+                                &last_decided,
+                            );
+                            self.dense_restore(&pending);
+                            if let GuestAction::BlockFor(delay) = action {
+                                let slot = &mut self.vcpus[vcpu.0 as usize];
+                                slot.wake_gen += 1;
+                                let wgen = slot.wake_gen;
+                                self.push(self.now + delay, Event::SelfWake { vcpu, gen: wgen });
+                            }
+                            self.block_running(core, vcpu);
+                            self.resched(core);
+                            self.stats.batch.batched_events += batched;
+                            self.stats.batch.batch_exits += 1;
+                            self.stats.batch.fallback_block += 1;
+                            self.trace.emit(self.now, TraceClass::BATCH, || {
+                                TraceEvent::BatchExit { batched }
+                            });
+                            self.batch_cooldown =
+                                self.events_processed + self.bail_cooldown(batched);
+                            return;
+                        }
+                    }
+                    continue;
+                }
+
+                // Decision expiry: de-schedule the incumbent (`stop_current`
+                // under the dense contract — flat cost, no IPIs) and take the
+                // next slice from the precomputed window.
+                self.apply_progress(core);
+                if let Some(vcpu) = self.cores[core].running.take() {
+                    let slot = &mut self.vcpus[vcpu.0 as usize];
+                    slot.state = VState::Runnable;
+                    slot.runnable_since = Some(self.now);
+                    slot.last_core = Some(core);
+                    let ran =
+                        std::mem::replace(&mut self.cores[core].ran_since_dispatch, Nanos::ZERO);
+                    self.trace
+                        .emit(self.now, TraceClass::SCHED, || TraceEvent::Deschedule {
+                            core,
+                            vcpu,
+                            ran,
+                        });
+                    self.stats
+                        .ops
+                        .record(OpKind::Deschedule, costs[core].deschedule);
+                    self.cores[core].pending_overhead += costs[core].deschedule;
+                }
+                self.cores[core].gen += 1;
+
+                let w = &windows[core];
+                let mut i = next_idx[core];
+                while i < w.len() && w[i].until <= self.now {
+                    i += 1;
+                }
+                if i >= w.len() {
+                    // The window under-ran the horizon (contract violation —
+                    // windows must extend past it); bail into the generic pick.
+                    debug_assert!(false, "dense window exhausted before the horizon");
+                    self.dense_commit_all(&windows, &mut commit_from, &picked_to, &last_decided);
+                    self.dense_restore(&pending);
+                    self.resched_pick(core);
+                    self.stats.batch.batched_events += batched;
+                    self.stats.batch.batch_exits += 1;
+                    self.stats.batch.fallback_window += 1;
+                    self.trace
+                        .emit(self.now, TraceClass::BATCH, || TraceEvent::BatchExit {
+                            batched,
+                        });
+                    self.batch_cooldown = self.events_processed + self.bail_cooldown(batched);
+                    return;
+                }
+                let slice = w[i];
+                if commit_from[core] == usize::MAX {
+                    commit_from[core] = i;
+                }
+                next_idx[core] = i + 1;
+                picked_to[core] = i + 1;
+                last_decided[core] = self.now;
+                self.stats
+                    .ops
+                    .record(OpKind::Schedule, costs[core].schedule);
+                let overhead =
+                    costs[core].schedule + std::mem::take(&mut self.cores[core].pending_overhead);
+                let until = slice.until.max(self.now + Nanos(1));
+                self.cores[core].decision_until = until;
+                let gen = self.cores[core].gen;
+
+                let Some(vcpu) = slice.vcpu else {
+                    self.trace
+                        .emit(self.now, TraceClass::SCHED, || TraceEvent::Idle { core });
+                    self.seq += 1;
+                    pending.push((until, self.seq, core, gen));
+                    continue;
+                };
+                debug_assert!(
+                    self.flags[vcpu.0 as usize],
+                    "dense window dispatched blocked {vcpu}"
+                );
+                self.trace
+                    .emit(self.now, TraceClass::SCHED, || TraceEvent::Dispatch {
+                        core,
+                        vcpu,
+                    });
+                let slot = &mut self.vcpus[vcpu.0 as usize];
+                if let Some(since) = slot.runnable_since.take() {
+                    let delay = self.now - since;
+                    self.stats.record_delay(vcpu, delay);
+                }
+                self.stats.vcpu_mut(vcpu).dispatches += 1;
+
+                let mut cs = Nanos::ZERO;
+                if self.cores[core].last_ran != Some(vcpu) {
+                    cs += self.machine.context_switch;
+                    self.stats.context_switches += 1;
+                    let slot = &self.vcpus[vcpu.0 as usize];
+                    if slot.last_core.is_some() && slot.last_core != Some(core) {
+                        cs += self.machine.migration_penalty;
+                    }
+                }
+                let start = (self.now + overhead + cs).max(self.stolen_until[core]);
+                let slot = &mut self.vcpus[vcpu.0 as usize];
+                slot.state = VState::Running;
+                let c = &mut self.cores[core];
+                c.running = Some(vcpu);
+                c.run_started = start;
+                c.ran_since_dispatch = start - self.now;
+                c.last_ran = Some(vcpu);
+
+                if self.vcpus[vcpu.0 as usize].remaining.is_none() {
+                    let action = self.vcpus[vcpu.0 as usize].workload.next(self.now);
+                    match action {
+                        GuestAction::Compute(amount) => {
+                            let amount = amount.max(Nanos(1));
+                            self.vcpus[vcpu.0 as usize].remaining = Some(amount);
+                        }
+                        GuestAction::Block | GuestAction::BlockFor(_) => {
+                            // Blocks straight off the dispatch: sync, restore,
+                            // and resume the pick loop generically (the generic
+                            // path `continue`s inside `resched_pick` here).
+                            self.dense_commit_all(
+                                &windows,
+                                &mut commit_from,
+                                &picked_to,
+                                &last_decided,
+                            );
+                            self.dense_restore(&pending);
+                            if let GuestAction::BlockFor(delay) = action {
+                                let slot = &mut self.vcpus[vcpu.0 as usize];
+                                slot.wake_gen += 1;
+                                let wgen = slot.wake_gen;
+                                self.push(self.now + delay, Event::SelfWake { vcpu, gen: wgen });
+                            }
+                            self.block_running(core, vcpu);
+                            self.resched_pick(core);
+                            self.stats.batch.batched_events += batched;
+                            self.stats.batch.batch_exits += 1;
+                            self.stats.batch.fallback_block += 1;
+                            self.trace.emit(self.now, TraceClass::BATCH, || {
+                                TraceEvent::BatchExit { batched }
+                            });
+                            self.batch_cooldown =
+                                self.events_processed + self.bail_cooldown(batched);
+                            return;
+                        }
+                    }
+                }
+                let remaining = self.vcpus[vcpu.0 as usize]
+                    .remaining
+                    .expect("dispatched vCPU without a burst");
+                let fire = (start + remaining).min(until);
+                self.seq += 1;
+                pending.push((fire.max(self.now), self.seq, core, gen));
+            }
+
+            // Window horizon reached: sync the scheduler, then either hand
+            // untaken timers back (batch done) or roll into the next
+            // window. No cooldown either way, and the bail streak resets:
+            // the attempt paid for itself.
+            self.dense_commit_all(&windows, &mut commit_from, &picked_to, &last_decided);
+            self.stats.batch.batched_events += batched;
+            self.stats.batch.batch_exits += 1;
+            self.stats.batch.fallback_horizon += 1;
+            self.trace
+                .emit(self.now, TraceClass::BATCH, || TraceEvent::BatchExit {
+                    batched,
+                });
+            if cap >= end {
+                self.batch_bails = 0;
+                self.dense_restore(&pending);
+                return;
+            }
+            continue 'window;
+        }
+    }
+
+    /// Registers a bailed batch attempt and returns how many events the
+    /// generic loop must process before the next one. The base cooldown
+    /// doubles per consecutive unproductive bail (capped at `32 << 8` =
+    /// 8192 events), so workloads that momentarily look dense but always
+    /// break the batch pay the window-construction cost ever more rarely;
+    /// a bail that still batched a sizeable run of events — or any batch
+    /// that reaches its horizon — resets the streak.
+    fn bail_cooldown(&mut self, batched: u64) -> u64 {
+        /// Events to process generically after a fallback before batching
+        /// is attempted again.
+        const COOLDOWN: u64 = 32;
+        if batched >= 256 {
+            self.batch_bails = 0;
+        } else {
+            self.batch_bails = (self.batch_bails + 1).min(8);
+        }
+        COOLDOWN << self.batch_bails
+    }
+
+    /// Replays the cumulative effect of a batch's picks on the scheduler
+    /// (see [`VmScheduler::dense_commit`]), in core order.
+    fn dense_commit_all(
+        &mut self,
+        windows: &[Vec<DenseSlice>],
+        commit_from: &mut [usize],
+        picked_to: &[usize],
+        last_decided: &[Nanos],
+    ) {
+        for core in 0..windows.len() {
+            let from = commit_from[core];
+            if from == usize::MAX || from >= picked_to[core] {
+                continue;
+            }
+            let consumed = &windows[core][from..picked_to[core]];
+            let running = self.cores[core].running.is_some();
+            self.sched
+                .dense_commit(core, last_decided[core], consumed, running);
+            commit_from[core] = usize::MAX;
+        }
+    }
+
+    /// Hands unconsumed batch timers back to the queue with their original
+    /// `(time, seq)` keys. A raw re-push: no seq is allocated and
+    /// `pending_other` is untouched, since every entry is a core timer.
+    fn dense_restore(&mut self, pending: &[(Nanos, u64, usize, u64)]) {
+        for &(at, seq, core, gen) in pending {
+            self.events.push(at, seq, Event::CoreTimer { core, gen });
+        }
     }
 
     fn handle(&mut self, event: Event) {
@@ -794,7 +1270,14 @@ impl Sim {
         }
         self.stop_current(core);
         self.cores[core].gen += 1;
+        self.resched_pick(core);
+    }
 
+    /// The pick-and-dispatch half of a scheduling pass: the incumbent is
+    /// already stopped and the decision generation bumped. Split out so the
+    /// dense-batch path can resume a pass generically after a mid-pick
+    /// bail.
+    fn resched_pick(&mut self, core: usize) {
         // A scheduler may hand back a vCPU that blocks instantly on
         // dispatch; loop a bounded number of times (each iteration blocks
         // one more vCPU, so it terminates).

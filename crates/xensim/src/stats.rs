@@ -230,6 +230,30 @@ pub struct RecoveryStats {
     pub parked_vms: u64,
 }
 
+/// Dense-phase batching accounting (the hybrid engine's fast path; see
+/// `Sim` in [`crate::sim`]). Excluded from engine-equivalence comparisons:
+/// reference engines never batch, so these counters describe *how* events
+/// were processed, not *what* happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct BatchStats {
+    /// Events advanced through the batched inner loop instead of the
+    /// event-at-a-time engine.
+    pub batched_events: u64,
+    /// Dense phases entered.
+    pub batch_entries: u64,
+    /// Dense phases exited (every entry exits; kept separately so a crash
+    /// mid-batch would be visible as an imbalance).
+    pub batch_exits: u64,
+    /// Exits because the batch reached the run horizon (the normal case).
+    pub fallback_horizon: u64,
+    /// Exits because a guest blocked mid-batch (the runnable set changed).
+    pub fallback_block: u64,
+    /// Entry attempts abandoned because the scheduler declined to produce
+    /// a dense window (unsettled tables, level-2 work pending, ...).
+    pub fallback_window: u64,
+}
+
 /// Whole-simulation statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
@@ -264,6 +288,9 @@ pub struct SimStats {
     /// Runtime-recovery accounting, filled in by a control loop driving
     /// the simulation (the simulator itself never recovers anything).
     pub recovery: RecoveryStats,
+    /// Dense-phase batching accounting (zero on the reference engines).
+    #[serde(default)]
+    pub batch: BatchStats,
 }
 
 impl SimStats {

@@ -45,6 +45,11 @@ pub enum TraceEvent {
     CoreOffline { core: usize, duration: Nanos },
     /// `core` returned to service (fault injection).
     CoreOnline { core: usize },
+    /// The hybrid engine entered a dense batched phase with `pending`
+    /// queued timers.
+    BatchEnter { pending: usize },
+    /// The dense phase ended after advancing `batched` events.
+    BatchExit { batched: u64 },
 }
 
 impl TraceEvent {
@@ -61,6 +66,7 @@ impl TraceEvent {
             | TraceEvent::Overrun { .. }
             | TraceEvent::CoreOffline { .. }
             | TraceEvent::CoreOnline { .. } => TraceClass::FAULT,
+            TraceEvent::BatchEnter { .. } | TraceEvent::BatchExit { .. } => TraceClass::BATCH,
         }
     }
 }
@@ -81,6 +87,9 @@ impl TraceClass {
     pub const IPI: TraceClass = TraceClass(1 << 2);
     /// Fault-injection events (thefts, overruns, core flaps).
     pub const FAULT: TraceClass = TraceClass(1 << 3);
+    /// Dense-phase batch entry/exit markers (hybrid engine only; exclude
+    /// this class when comparing traces across engines).
+    pub const BATCH: TraceClass = TraceClass(1 << 4);
     /// Every class (the default filter).
     pub const ALL: TraceClass = TraceClass(u32::MAX);
     /// No class at all.

@@ -176,8 +176,12 @@ fn observe(mut sim: Sim, horizon: Nanos) -> Observation {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Heap and wheel engines are indistinguishable over randomized
-    /// fault-injected scenarios.
+    /// Heap, wheel, and hybrid engines are indistinguishable over
+    /// randomized fault-injected scenarios. (The hybrid engine must keep
+    /// its batching preconditions honest: with faults armed or foreign
+    /// events pending it must behave exactly like the wheel. Batching
+    /// *engagement* equivalence is covered by the dense-capable Tableau
+    /// suite in the `schedulers` crate.)
     #[test]
     fn engines_are_bit_for_bit_equivalent(
         seed in any::<u64>(),
@@ -202,10 +206,18 @@ proptest! {
             build(EngineKind::Wheel, seed, cores, &vcpus, &events, quantum, preset, intensity),
             horizon,
         );
+        let hybrid = observe(
+            build(EngineKind::Hybrid, seed, cores, &vcpus, &events, quantum, preset, intensity),
+            horizon,
+        );
         prop_assert_eq!(&heap.0, &wheel.0, "event streams diverged");
         prop_assert_eq!(&heap.1, &wheel.1, "stats diverged");
         prop_assert_eq!(&heap.2, &wheel.2, "traces diverged");
         prop_assert_eq!(heap.3, wheel.3, "event counts diverged");
+        prop_assert_eq!(&heap.0, &hybrid.0, "hybrid event stream diverged");
+        prop_assert_eq!(&heap.1, &hybrid.1, "hybrid stats diverged");
+        prop_assert_eq!(&heap.2, &hybrid.2, "hybrid trace diverged");
+        prop_assert_eq!(heap.3, hybrid.3, "hybrid event count diverged");
     }
 }
 

@@ -29,13 +29,23 @@ thread_local! {
     /// Set inside worker threads (and `force_sequential`): parallel entry
     /// points observed under this flag run inline instead of spawning.
     static INLINE: Cell<bool> = const { Cell::new(false) };
+
+    /// Per-thread thread-count override (see [`with_threads`]); `0` means
+    /// "no override".
+    static THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Upper bound on worker threads for one parallel call.
 ///
 /// `RAYON_NUM_THREADS` overrides the detected core count, mirroring real
-/// rayon's global-pool knob.
+/// rayon's global-pool knob; [`with_threads`] overrides both for the
+/// current thread (determinism tests on single-core runners need to force
+/// a genuinely multi-threaded execution).
 pub fn current_num_threads() -> usize {
+    let forced = THREADS.with(Cell::get);
+    if forced > 0 {
+        return forced;
+    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
@@ -44,6 +54,18 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Runs `f` with parallel entry points on this thread using exactly `n`
+/// worker threads, regardless of `RAYON_NUM_THREADS` or the detected core
+/// count (shim extension; determinism tests compare an `n > 1` run against
+/// a [`force_sequential`] reference even on single-core CI runners).
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREADS.with(Cell::get);
+    THREADS.with(|c| c.set(n.max(1)));
+    let r = f();
+    THREADS.with(|c| c.set(prev));
+    r
 }
 
 fn workers_for(n_items: usize) -> usize {
@@ -115,6 +137,57 @@ where
                 INLINE.with(|c| c.set(true));
                 (start..end).map(f).collect::<Vec<R>>()
             }));
+        }
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon shim: worker panicked"));
+        }
+        out
+    })
+}
+
+/// Maps `f` over the elements of `items` in place, potentially in
+/// parallel, returning per-element results in index order.
+///
+/// The mutable-sharding workhorse behind fleet host stepping: the slice is
+/// split into contiguous chunks with `split_at_mut`, each worker owns its
+/// chunk exclusively, and results are reassembled in input order — so the
+/// output (and every mutation) is bit-identical to the sequential
+/// evaluation regardless of thread count (shim extension; real rayon
+/// spells this `items.par_iter_mut().enumerate().map(..)`).
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest = items;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            handles.push(s.spawn(move || {
+                INLINE.with(|c| c.set(true));
+                head.iter_mut()
+                    .enumerate()
+                    .map(|(i, item)| f(start + i, item))
+                    .collect::<Vec<R>>()
+            }));
+            start += take;
         }
         let mut out = Vec::with_capacity(n);
         for h in handles {
@@ -246,6 +319,44 @@ mod tests {
             i
         });
         assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_mut_mutates_and_preserves_order() {
+        let mut items: Vec<u64> = (0..533).collect();
+        let out = with_threads(4, || {
+            par_map_mut(&mut items, |i, x| {
+                *x += 1;
+                *x * i as u64
+            })
+        });
+        assert_eq!(items, (1..534).collect::<Vec<u64>>());
+        assert_eq!(out, (0..533u64).map(|i| (i + 1) * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_map_mut_matches_sequential_reference() {
+        let run = |par: bool| {
+            let mut items: Vec<u64> = (0..101).collect();
+            let f = || {
+                par_map_mut(&mut items, |i, x| {
+                    *x = x.wrapping_mul(31).wrapping_add(i as u64);
+                    *x
+                })
+            };
+            let out = if par {
+                with_threads(3, f)
+            } else {
+                force_sequential(f)
+            };
+            (items, out)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn with_threads_overrides_thread_count() {
+        with_threads(7, || assert_eq!(current_num_threads(), 7));
     }
 
     #[test]
