@@ -227,6 +227,22 @@ impl TableManager {
         self.staged.is_some()
     }
 
+    /// Whether the switch protocol is fully quiescent: nothing staged and
+    /// every core's view already on the newest epoch. In this state no
+    /// core's future confirmations can change which table it runs, so the
+    /// manager can be cloned per partition and advanced independently
+    /// (the PDES engine's precondition).
+    pub fn is_settled(&self) -> bool {
+        self.staged.is_none() && self.cores.iter().all(|c| c.epoch + 1 == self.epochs.len())
+    }
+
+    /// Adopts `core`'s view (epoch + confirmation boundary) from another
+    /// manager — merging a PDES partition's per-core progress back into
+    /// the master after a partitioned run.
+    pub(crate) fn adopt_core_view(&mut self, core: usize, other: &TableManager) {
+        self.cores[core] = other.cores[core];
+    }
+
     /// The table `core` must use for a scheduling decision at `now`.
     ///
     /// A convenience wrapper over [`TableManager::confirm`] +

@@ -359,41 +359,16 @@ pub fn dispatch_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
 }
 
 /// Wall-clock for repeated `run_until` calls over fresh scenarios; the
-/// scenario build (planning, vCPU registration) is not timed.
-fn time_sim_entry(name: &str, iters: u64, duration: Nanos, mk: impl FnMut() -> Sim) -> BenchEntry {
-    time_sim_entry_with_min(name, iters, duration, mk).0
-}
-
-/// Like [`time_sim_entry`], additionally returning the fastest single
-/// iteration (ns) — the noise-robust estimator comparative assertions
-/// should use on a shared, contended runner.
-fn time_sim_entry_with_min(
-    name: &str,
-    iters: u64,
-    duration: Nanos,
-    mk: impl FnMut() -> Sim,
-) -> (BenchEntry, f64) {
-    let samples = time_sim_samples(iters, duration, mk);
-    let min = *samples.iter().min().expect("iters > 0") as f64;
-    let total: u64 = samples.iter().sum();
-    (
-        BenchEntry {
-            name: name.to_string(),
-            iters,
-            total_ns: total,
-            mean_ns: total as f64 / iters as f64,
-        },
-        min,
-    )
-}
-
-/// Like [`time_sim_entry_with_min`], but the entry records only the
-/// fastest half of the iterations (sum, count, and mean). A single
-/// descheduled iteration on a contended shared runner runs 3–6x slow;
-/// a plain mean over few iterations absorbs that outlier and trips the
-/// 3x regression gate on noise alone, where the fastest-half mean stays
-/// within ~10% run to run. Used for the dense A/B pair, whose committed
-/// values carry a ratio claim.
+/// scenario build (planning, vCPU registration) is not timed. The entry
+/// records only the fastest half of the iterations (sum, count, and
+/// mean), and the fastest single iteration (ns) is returned alongside
+/// for comparative assertions. A single descheduled iteration on a
+/// contended shared runner runs 3–6x slow; a plain mean over few
+/// iterations absorbs that outlier and trips the 3x regression gate on
+/// noise alone, where the fastest-half mean stays within ~10% run to
+/// run. Every `sim/*` entry gets this treatment: the committed
+/// trajectory carries ratio claims (dense batching, PDES overhead) that
+/// single-run means polluted in earlier PRs.
 fn time_sim_entry_trimmed(
     name: &str,
     iters: u64,
@@ -434,8 +409,10 @@ fn time_sim_samples(iters: u64, duration: Nanos, mut mk: impl FnMut() -> Sim) ->
 
 /// Times the simulator engine itself: `run_until` wall-clock on a dense
 /// (I/O-churn) and a sparse (timer-tail) scenario, a pure-dense Tableau
-/// phase under the hybrid (batched) and wheel (unbatched) engines, plus
-/// raw event throughput on the 16-core scaling scenario. `mean_ns` of
+/// phase under the hybrid (batched) and wheel (unbatched) engines, the
+/// per-socket PDES engine against the sequential wheel on a two-socket
+/// host (at one worker — the overhead bound — and at two), plus raw
+/// event throughput on the 16-core scaling scenario. `mean_ns` of
 /// `sim/events_per_sec` is ns *per event*: events/sec = 1e9 / mean_ns.
 pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
     let iters: u64 = if quick { 1 } else { 5 };
@@ -504,7 +481,10 @@ pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
     };
 
     // Event throughput on the 16-core scaling scenario (same topology rule
-    // as the scaling sweep: sockets of ~11).
+    // as the scaling sweep: sockets of ~11). Run several times and keep
+    // the fastest half: the committed per-event figure drifted 101→160 ns
+    // across PRs on single-run snapshots, which was scheduler noise on the
+    // shared container, not a real slowdown.
     let scale_duration = if quick {
         Nanos::from_millis(100)
     } else {
@@ -515,18 +495,43 @@ pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
         cores_per_socket: 16,
         ..Machine::xeon_16core()
     };
-    let (mut scale_sim, _v) = build_scenario(
-        machine,
-        4,
-        SchedKind::Tableau,
-        true,
-        Box::new(IoStress::paper_default()),
-        Background::Io,
-    );
-    let t0 = Instant::now();
-    scale_sim.run_until(scale_duration);
-    let wall = t0.elapsed();
-    let events = scale_sim.events_processed().max(1);
+    let mk_scale = || {
+        build_scenario(
+            machine,
+            4,
+            SchedKind::Tableau,
+            true,
+            Box::new(IoStress::paper_default()),
+            Background::Io,
+        )
+        .0
+    };
+    let scale_iters: u64 = 8;
+    let mut scale_events = 1u64;
+    let mut scale_samples = Vec::with_capacity(scale_iters as usize);
+    {
+        let mut warm = mk_scale();
+        warm.run_until(scale_duration);
+    }
+    for _ in 0..scale_iters {
+        let mut sim = mk_scale();
+        let t0 = Instant::now();
+        sim.run_until(scale_duration);
+        scale_samples.push(t0.elapsed().as_nanos() as u64);
+        scale_events = sim.events_processed().max(1);
+    }
+    scale_samples.sort_unstable();
+    let kept = &scale_samples[..scale_samples.len().div_ceil(2)];
+    let kept_wall: u64 = kept.iter().sum();
+    // The run is deterministic, so every iteration processes the same
+    // event count; `iters` records the events behind the kept wall time.
+    let kept_events = scale_events * kept.len() as u64;
+    let events_entry = BenchEntry {
+        name: "sim/events_per_sec".to_string(),
+        iters: kept_events,
+        total_ns: kept_wall,
+        mean_ns: kept_wall as f64 / kept_events as f64,
+    };
 
     // Both halves of the pair run several iterations even in quick mode —
     // one replay is tens of microseconds, the comparative assertion below
@@ -557,17 +562,106 @@ pub fn sim_snapshot(quick: bool, seed: u64) -> BenchSnapshot {
          unbatched twin (min {unbatched_min:.0} ns)",
     );
 
+    // The PDES A/B pair: one committed two-socket Tableau host, every
+    // vCPU homed on its *table* core so the per-socket lanes own disjoint
+    // placements and the partitioned engine engages rather than declining.
+    // The guests run the paper's target regime — high-density capped VMs
+    // in dense phases — so each lane composes dense batching inside its
+    // lookahead windows while still paying the full per-event lane
+    // bookkeeping and boundary re-enactment (batched events are recorded
+    // one by one). The partitioned half is pinned to **one** worker — on
+    // this single-core container any ≥2-worker speedup is structural, so
+    // the honest claim is the overhead bound: 1-worker partitioned must
+    // stay within 15% of the sequential wheel on the identical scenario.
+    // A third entry records the 2-worker figure so the committed
+    // trajectory keeps the multi-worker ratio. (On an all-I/O-churn
+    // variant, where batching cannot engage, the raw lane+merge
+    // bookkeeping is ~20-25 ns/event against a ~97 ns/event wheel
+    // baseline, i.e. ~1.2x at one worker — see EXPERIMENTS.md.)
+    let pdes_machine = {
+        let mut m = Machine::small(4);
+        m.n_sockets = 2;
+        m.cores_per_socket = 2;
+        m.with_cross_ipi_latency(Nanos::from_micros(3))
+    };
+    let pdes_pair = Nanos::from_secs(10);
+    let pdes_scenario = |kind: EngineKind| {
+        move || {
+            let mut host = HostConfig::new(4);
+            let spec = VcpuSpec::capped(Utilization::from_percent(25), Nanos::from_millis(20));
+            for i in 0..16 {
+                host.add_vm(VmSpec::uniform(format!("vm{i}"), 1, spec));
+            }
+            let p = plan(&host, &PlannerOptions::default()).expect("pdes bench host plans");
+            let mut sim = Sim::new(pdes_machine, Box::new(Tableau::from_plan(&p)));
+            sim.set_engine(kind);
+            for i in 0..16 {
+                let home = p
+                    .table
+                    .placement(VcpuId(i as u32))
+                    .map(|pl| pl.home_core)
+                    .unwrap_or(i % 4);
+                sim.add_vcpu(Box::new(BusyLoop), home, true);
+            }
+            sim
+        }
+    };
+    // Probe once that the scenario actually partitions — a silent decline
+    // would turn the A/B pair into sequential-vs-sequential.
+    {
+        let mut probe = pdes_scenario(EngineKind::Partitioned)();
+        rayon::with_threads(1, || probe.run_until(pdes_pair));
+        assert!(
+            probe.stats().pdes.partitioned_runs > 0,
+            "pdes bench scenario declined partitioning: {:?}",
+            probe.stats().pdes
+        );
+    }
+    let (pdes_seq, pdes_seq_min) = time_sim_entry_trimmed(
+        "sim/run_until_pdes_sequential",
+        pair_iters,
+        pdes_pair,
+        pdes_scenario(EngineKind::Wheel),
+    );
+    let (pdes_part, pdes_part_min) = rayon::with_threads(1, || {
+        time_sim_entry_trimmed(
+            "sim/run_until_pdes_partitioned",
+            pair_iters,
+            pdes_pair,
+            pdes_scenario(EngineKind::Partitioned),
+        )
+    });
+    let (pdes_part_2w, _) = rayon::with_threads(2, || {
+        time_sim_entry_trimmed(
+            "sim/run_until_pdes_partitioned_2w",
+            pair_iters,
+            pdes_pair,
+            pdes_scenario(EngineKind::Partitioned),
+        )
+    });
+    assert!(
+        pdes_part_min <= pdes_seq_min * 1.15,
+        "1-worker partitioned PDES (min {pdes_part_min:.0} ns) must stay \
+         within 15% of the sequential wheel (min {pdes_seq_min:.0} ns)",
+    );
+    println!(
+        "pdes pair: 1w/seq = {:.2}, 2w/seq = {:.2} (single-core container)",
+        pdes_part.mean_ns / pdes_seq.mean_ns,
+        pdes_part_2w.mean_ns / pdes_seq.mean_ns,
+    );
+
+    let (dense_entry, _) = time_sim_entry_trimmed("sim/run_until_dense", pair_iters, short, dense);
+    let (sparse_entry, _) =
+        time_sim_entry_trimmed("sim/run_until_sparse", pair_iters, short, sparse);
     let entries = vec![
-        time_sim_entry("sim/run_until_dense", iters, short, dense),
-        time_sim_entry("sim/run_until_sparse", iters, short, sparse),
+        dense_entry,
+        sparse_entry,
         batched,
         unbatched,
-        BenchEntry {
-            name: "sim/events_per_sec".to_string(),
-            iters: events,
-            total_ns: wall.as_nanos() as u64,
-            mean_ns: wall.as_nanos() as f64 / events as f64,
-        },
+        pdes_seq,
+        pdes_part,
+        pdes_part_2w,
+        events_entry,
     ];
     BenchSnapshot {
         meta: meta(quick, seed),

@@ -155,6 +155,10 @@ pub struct FleetPoint {
     /// simulator (entries/exits, events retired inside batches, and the
     /// per-cause fallback breakdown).
     pub batch: xensim::stats::BatchStats,
+    /// Partitioned-engine (per-socket PDES) counters aggregated across
+    /// every host simulator (windows advanced, mailbox traffic, lookahead
+    /// stalls, and the per-cause decline breakdown).
+    pub pdes: xensim::stats::PdesStats,
     /// The fleet counters mirrored into the single-host recovery schema.
     pub recovery: RecoveryStats,
     /// VMs still owned when the replay ended.
@@ -326,6 +330,7 @@ fn run_cell(
         cache_hits: stats.hits,
         cache_misses: stats.misses,
         batch: fleet.batch_stats(),
+        pdes: fleet.pdes_stats(),
         recovery: fleet.recovery_stats(),
         live_vms_final: fleet.live_vms(),
         convergence_epochs,

@@ -285,7 +285,21 @@ pub struct Fleet {
 impl Fleet {
     /// Builds the fleet with every host booted (probe-only) and online.
     pub fn new(cfg: FleetConfig) -> Result<Fleet, PlanError> {
-        let machine = Machine::small(cfg.cores_per_host);
+        // Hosts with an even core count model two sockets so the host
+        // simulators can run the partitioned (per-socket PDES) engine.
+        // `ipi_cross_latency` stays `None` — cross-socket IPIs cost the
+        // same as intra-socket ones — so every simulated timing is
+        // byte-identical to the historical flat machine; only the engine's
+        // internal execution strategy (and its `stats.pdes` counters)
+        // changes.
+        let machine = {
+            let mut m = Machine::small(cfg.cores_per_host);
+            if cfg.cores_per_host >= 2 && cfg.cores_per_host.is_multiple_of(2) {
+                m.n_sockets = 2;
+                m.cores_per_socket = cfg.cores_per_host / 2;
+            }
+            m
+        };
         let probe = VcpuSpec::capped(cfg.probe_utilization, cfg.latency_goal);
         let boot_cfg = probe_config(cfg.cores_per_host, probe);
         let cache = SharedPlanCache::new(cfg.cache_capacity);
@@ -586,6 +600,18 @@ impl Fleet {
                 total.fallback_horizon += b.fallback_horizon;
                 total.fallback_block += b.fallback_block;
                 total.fallback_window += b.fallback_window;
+            }
+        }
+        total
+    }
+
+    /// Aggregate partitioned-engine (PDES) counters across the live host
+    /// simulators; same lifetime caveat as [`Fleet::batch_stats`].
+    pub fn pdes_stats(&self) -> xensim::stats::PdesStats {
+        let mut total = xensim::stats::PdesStats::default();
+        for h in &self.hosts {
+            if let Some(sim) = &h.sim {
+                total.absorb(&sim.stats().pdes);
             }
         }
         total

@@ -10,7 +10,7 @@ use tableau_core::table::Table;
 use tableau_core::vcpu::{HostConfig, Utilization, VcpuSpec, VmSpec};
 use workloads::churn::Flavor;
 use xensim::sched::BusyLoop;
-use xensim::{Machine, Sim};
+use xensim::{EngineKind, Machine, Sim};
 
 /// Control-plane view of one host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +132,13 @@ impl FleetHost {
         boot.table = masked;
         let auditor = TableAuditor::new(&boot.table);
         let mut sim = Sim::new(*machine, Box::new(Tableau::from_plan(&boot)));
+        if machine.n_sockets > 1 {
+            // Multi-socket hosts run the partitioned (per-socket PDES)
+            // engine; it declines back to the sequential path whenever a
+            // precondition fails (faults armed, cross-socket placements,
+            // …), so enabling it is always behavior-preserving.
+            sim.set_engine(EngineKind::Partitioned);
+        }
         for core in 0..machine.n_cores() {
             sim.add_vcpu(Box::new(BusyLoop), core, true);
         }

@@ -22,7 +22,8 @@ use rtsched::time::Nanos;
 use crate::fault::{FaultConfig, FaultEngine, IpiFate};
 use crate::machine::Machine;
 use crate::sched::{
-    DenseCosts, DenseSlice, GuestAction, GuestWorkload, VcpuId, VcpuView, VmScheduler,
+    DenseCosts, DenseSlice, GuestAction, GuestWorkload, IdleGuest, PdesDecline, VcpuId, VcpuView,
+    VmScheduler,
 };
 use crate::stats::{OpKind, SimStats};
 use crate::trace::{TraceBuffer, TraceClass, TraceEvent};
@@ -47,9 +48,14 @@ struct VcpuSlot {
     runnable_since: Option<Nanos>,
     last_core: Option<usize>,
     wake_gen: u64,
+    /// Placement hint given at registration; the partitioned engine routes
+    /// this vCPU's events to `socket_of(home)`, and wake-up IPI distances
+    /// are measured from it.
+    home: usize,
     workload: Box<dyn GuestWorkload>,
 }
 
+#[derive(Clone)]
 struct CoreState {
     running: Option<VcpuId>,
     /// When the current vCPU began making guest progress (dispatch time
@@ -111,15 +117,29 @@ pub enum EngineKind {
     /// counters and [`TraceClass::BATCH`] markers).
     #[default]
     Hybrid,
+    /// Conservative per-socket PDES: each socket's cores advance on their
+    /// own timing wheel up to a lookahead horizon bounded by the minimum
+    /// cross-socket IPI latency, exchanging cross-socket events through
+    /// ordered mailboxes drained at window boundaries. Runs the partitions
+    /// on the `par` worker pool with index-ordered reassembly, so any
+    /// worker count reproduces the sequential wheel run byte for byte
+    /// (modulo [`SimStats::pdes`]/[`SimStats::batch`] counters and
+    /// [`TraceClass::BATCH`] markers). Dense-phase batching composes
+    /// inside each partition's window. Non-partitionable runs (single
+    /// socket, armed faults, schedulers that do not opt in via
+    /// [`VmScheduler::pdes_split`], ...) decline per `run_until` call to
+    /// the sequential hybrid path, recording the reason in
+    /// [`SimStats::pdes`].
+    Partitioned,
 }
 
 impl EngineKind {
-    /// The queue representation backing this engine (hybrid batching
-    /// happens above the queue, which stays a wheel).
+    /// The queue representation backing this engine (hybrid batching and
+    /// PDES partitioning happen above the queue, which stays a wheel).
     fn repr(self) -> EngineKind {
         match self {
             EngineKind::Heap => EngineKind::Heap,
-            EngineKind::Wheel | EngineKind::Hybrid => EngineKind::Wheel,
+            EngineKind::Wheel | EngineKind::Hybrid | EngineKind::Partitioned => EngineKind::Wheel,
         }
     }
 }
@@ -176,6 +196,87 @@ impl EventQueue {
             EventQueue::Wheel(w) => w.pop(),
         }
     }
+
+    /// The time of the earliest pending event, without removing it (the
+    /// partitioned engine's window-start probe).
+    fn peek_at(&mut self) -> Option<Nanos> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|Reverse((at, _, _))| *at),
+            EventQueue::Wheel(w) => w.peek().map(|&(at, _, _)| at),
+        }
+    }
+}
+
+/// First provisional sequence number. While a partition runs a lookahead
+/// window it cannot know which global `seq` values its pushes will get (the
+/// global order interleaves all partitions), so it allocates from this
+/// high half-space; the window-boundary merge re-enacts the global handling
+/// order and rewrites every provisional key to the sequence number the
+/// sequential engine would have allocated. At equal times provisional keys
+/// compare after all pre-window (real) keys — exactly the order the
+/// sequential engine gives current-window pushes — so intra-window pops are
+/// correctly ordered before resolution.
+const PROV_BASE: u64 = 1 << 63;
+
+/// One handled event in a partition's window, recorded in handling order.
+/// `pushes`/`traces` count the provisional seqs the event's handler
+/// allocated and the trace records it spooled, so the boundary merge can
+/// attribute both to the event that made them. When the run is
+/// unobserved (no event log, tracing off), events that allocate nothing
+/// are not recorded at all: they occupy a position in the global handling
+/// order but assign no sequence numbers, so skipping them cannot change
+/// what any other record resolves to — this keeps the record stream (and
+/// the boundary re-enactment pass over it) proportional to the *pushing*
+/// events only.
+#[derive(Clone, Copy)]
+struct Rec {
+    at: Nanos,
+    /// The popped queue key: a real (pre-window) seq or a provisional one.
+    key: u64,
+    /// Provisional seqs allocated by this event's handler.
+    pushes: u32,
+    /// Trace records spooled by this event's handler.
+    traces: u32,
+}
+
+/// Partition-local state hung off a [`Sim`] acting as one PDES partition.
+struct PartCtx {
+    /// Owned core range: `[core_lo, core_hi)`.
+    core_lo: usize,
+    core_hi: usize,
+    /// Per-target-socket ordered mailboxes of cross-partition events
+    /// (provisional keys), drained at the window boundary.
+    outboxes: Vec<Vec<(Nanos, u64, Event)>>,
+    /// Events handled this window, in handling order.
+    records: Vec<Rec>,
+    /// The event being handled (finalized into `records` when the next
+    /// event is noted, so its snapshots cover the whole handler).
+    staged: Option<(Nanos, u64)>,
+    /// Provisional-seq counter at the last finalized record (the baseline
+    /// `pushes` deltas are taken against).
+    last_seq: u64,
+    /// Trace-spool length at the last finalized record.
+    last_spool: usize,
+    /// True when an event log or tracing observes this lane — every
+    /// handled event must then be recorded. Cached here (constant for the
+    /// whole run) so the per-event fast path tests one flag on a line it
+    /// already owns.
+    observed: bool,
+}
+
+/// A placeholder vCPU slot standing in for a vCPU owned elsewhere (the
+/// master while a lane holds the real slot, and lanes for every foreign
+/// vCPU). Only `home` is meaningful — it keeps event routing working.
+fn parked_slot(home: usize) -> VcpuSlot {
+    VcpuSlot {
+        state: VState::Blocked,
+        remaining: None,
+        runnable_since: None,
+        last_core: None,
+        wake_gen: 0,
+        home,
+        workload: Box::new(IdleGuest),
+    }
 }
 
 /// A deterministic discrete-event hypervisor simulation.
@@ -227,6 +328,19 @@ pub struct Sim {
     /// per event.
     event_log: Option<Vec<(Nanos, u64, String)>>,
     started: bool,
+    /// Present while this `Sim` is acting as one PDES partition (a
+    /// per-socket lane of a [`EngineKind::Partitioned`] parent run).
+    /// Switches `push` into lane mode (provisional seqs, cross-socket
+    /// routing into mailboxes) and arms per-event record keeping; handler
+    /// bodies are untouched.
+    part: Option<Box<PartCtx>>,
+    /// Retired per-lane record buffers, reused across partitioned runs so
+    /// the (events-proportional) record streams stop paying `Vec` growth
+    /// after the first run.
+    rec_pool: Vec<Vec<Rec>>,
+    /// Retired master-seq maps (`gseq`), reused across window boundaries
+    /// for the same reason.
+    gseq_pool: Vec<Vec<u64>>,
 }
 
 impl Sim {
@@ -264,6 +378,9 @@ impl Sim {
             events_processed: 0,
             event_log: None,
             started: false,
+            part: None,
+            rec_pool: Vec::new(),
+            gseq_pool: Vec::new(),
         }
     }
 
@@ -389,6 +506,7 @@ impl Sim {
             runnable_since: runnable.then_some(Nanos::ZERO),
             last_core: None,
             wake_gen: 0,
+            home,
             workload,
         });
         self.flags.push(runnable);
@@ -445,6 +563,29 @@ impl Sim {
         self.events_processed
     }
 
+    /// The core an event belongs to: core events by their core, vCPU
+    /// events by the vCPU's home core (partitioned runs require every
+    /// vCPU's placement to stay on its home socket; schedulers assert
+    /// this in [`VmScheduler::pdes_split`]).
+    fn event_core(&self, event: &Event) -> usize {
+        match *event {
+            Event::CoreTimer { core, .. }
+            | Event::Resched { core }
+            | Event::Tick { core }
+            | Event::Stolen { core }
+            | Event::CoreOffline { core }
+            | Event::CoreOnline { core } => core,
+            Event::External { vcpu, .. } | Event::SelfWake { vcpu, .. } => {
+                self.vcpus[vcpu.0 as usize].home
+            }
+        }
+    }
+
+    /// The socket an event belongs to (see [`Sim::event_core`]).
+    fn event_socket(&self, event: &Event) -> usize {
+        self.machine.socket_of(self.event_core(event))
+    }
+
     fn push(&mut self, at: Nanos, event: Event) {
         // Timer faults perturb hypervisor timers (decision expiry, burst
         // completion, ticks) only; external events, IPIs, and guest-internal
@@ -453,10 +594,23 @@ impl Sim {
             (Some(f), Event::CoreTimer { .. } | Event::Tick { .. }) => f.adjust_timer(at),
             _ => at,
         };
+        self.seq += 1;
+        // Lane mode: the seq just allocated is provisional (rewritten to
+        // the global order at the window boundary); cross-socket events
+        // route into the target's mailbox instead of the local wheel. The
+        // ownership test is a range compare on the lane's core span —
+        // cheaper than a socket division on this per-push hot path.
+        let lane_core = self.part.is_some().then(|| self.event_core(&event));
+        if let (Some(core), Some(part)) = (lane_core, self.part.as_mut()) {
+            if core < part.core_lo || core >= part.core_hi {
+                let target = self.machine.socket_of(core);
+                part.outboxes[target].push((at, self.seq, event));
+                return;
+            }
+        }
         if !matches!(event, Event::CoreTimer { .. }) {
             self.pending_other += 1;
         }
-        self.seq += 1;
         self.events.push(at, self.seq, event);
     }
 
@@ -527,9 +681,24 @@ impl Sim {
             }
         }
 
+        if self.kind == EngineKind::Partitioned && self.try_run_partitioned(end) {
+            self.now = end;
+            self.stats.trace_dropped = self.trace.dropped();
+            return;
+        }
+
+        self.run_events(end);
+        self.now = end;
+        self.stats.trace_dropped = self.trace.dropped();
+    }
+
+    /// The generic event loop: pops and handles every event due at or
+    /// before `limit`. Shared between the sequential engines (where `limit`
+    /// is the `run_until` horizon) and a partition's lookahead windows.
+    fn run_events(&mut self, limit: Nanos) {
         loop {
             if self.pending_other == 0
-                && self.kind == EngineKind::Hybrid
+                && matches!(self.kind, EngineKind::Hybrid | EngineKind::Partitioned)
                 && self.faults.is_none()
                 && self.batch_cooldown <= self.events_processed
                 && self.sched.dense_capable()
@@ -537,9 +706,9 @@ impl Sim {
                 // The batch advances as far as it can; anything it could
                 // not take (a bail re-arm, future timers) is back in the
                 // queue for the generic pop below.
-                self.dense_batch(end);
+                self.dense_batch(limit);
             }
-            let Some((at, seq, event)) = self.events.pop_if_at_most(end) else {
+            let Some((at, seq, event)) = self.events.pop_if_at_most(limit) else {
                 break;
             };
             if !matches!(event, Event::CoreTimer { .. }) {
@@ -548,13 +717,419 @@ impl Sim {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events_processed += 1;
+            if self.part.is_some() {
+                self.note_handled(at, seq);
+            }
             if let Some(log) = &mut self.event_log {
                 log.push((at, seq, format!("{event:?}")));
             }
             self.handle(event);
         }
-        self.now = end;
-        self.stats.trace_dropped = self.trace.dropped();
+    }
+
+    /// Records (in lane mode) that the event keyed `(at, key)` is about to
+    /// be handled: finalizes the previous staged record with the current
+    /// seq/trace snapshots (its handler is done) and stages this one.
+    #[inline]
+    fn note_handled(&mut self, at: Nanos, key: u64) {
+        let seq = self.seq;
+        {
+            let part = self.part.as_mut().expect("lane mode");
+            if !part.observed {
+                // Unobserved fast path: traces cannot grow, and
+                // zero-allocation events are droppable (see [`Rec`]), so the
+                // record stream tracks pushing events only.
+                if let Some((prev_at, prev_key)) = part.staged {
+                    if seq != part.last_seq {
+                        part.records.push(Rec {
+                            at: prev_at,
+                            key: prev_key,
+                            pushes: (seq - part.last_seq) as u32,
+                            traces: 0,
+                        });
+                        part.last_seq = seq;
+                    }
+                }
+                part.staged = Some((at, key));
+                return;
+            }
+        }
+        let spool = self.trace.len();
+        let part = self.part.as_mut().expect("lane mode");
+        if let Some((prev_at, prev_key)) = part.staged.take() {
+            part.records.push(Rec {
+                at: prev_at,
+                key: prev_key,
+                pushes: (seq - part.last_seq) as u32,
+                traces: (spool - part.last_spool) as u32,
+            });
+            part.last_seq = seq;
+            part.last_spool = spool;
+        }
+        part.staged = Some((at, key));
+    }
+
+    /// Finalizes the last staged record at the end of a lookahead window.
+    /// Always recorded (even when droppable) so "handled anything this
+    /// window" stays readable off `records` for the stall counter.
+    fn finalize_window(&mut self) {
+        let seq = self.seq;
+        let spool = self.trace.len();
+        let part = self.part.as_mut().expect("lane mode");
+        if let Some((at, key)) = part.staged.take() {
+            part.records.push(Rec {
+                at,
+                key,
+                pushes: (seq - part.last_seq) as u32,
+                traces: (spool - part.last_spool) as u32,
+            });
+            part.last_seq = seq;
+            part.last_spool = spool;
+        }
+    }
+
+    /// One partition window: handle everything due at or before `limit`,
+    /// then close out the record stream.
+    fn run_window(&mut self, limit: Nanos) {
+        self.run_events(limit);
+        self.finalize_window();
+    }
+
+    /// Attempts to run `[now, end]` with the per-socket partitioned (PDES)
+    /// engine. Returns `false` — recording the decline reason — when any
+    /// precondition fails, in which case the caller falls through to the
+    /// sequential loop; the two paths are bit-for-bit identical (modulo
+    /// `stats.pdes`/`stats.batch` counters and `BATCH` trace markers).
+    ///
+    /// Scheme: each socket becomes a lane — a private `Sim` owning that
+    /// socket's cores, vCPUs, and a wheel seeded with the socket's share of
+    /// the pending queue. Lanes advance in conservative lookahead windows
+    /// of the minimum cross-socket event-insertion latency (the cross-
+    /// socket IPI hop), in parallel on `rayon` workers; cross-socket
+    /// events land in per-pair mailboxes. At each barrier the master
+    /// re-enacts the global handling order from the lanes' per-event
+    /// records, assigns the exact sequence numbers the sequential engine
+    /// would have, splices logs and traces, renumbers still-queued events,
+    /// and delivers the mailboxes — so any worker count reproduces the
+    /// sequential run byte-for-byte.
+    fn try_run_partitioned(&mut self, end: Nanos) -> bool {
+        debug_assert!(self.part.is_none(), "nested partitioned run");
+        let n_sockets = self.machine.n_sockets;
+        if n_sockets < 2 {
+            self.stats.pdes.declined_single_socket += 1;
+            return false;
+        }
+        if self.faults.is_some() {
+            self.stats.pdes.declined_faults_armed += 1;
+            return false;
+        }
+        let split = match self.sched.pdes_split(&self.machine) {
+            Ok(split) => split,
+            Err(reason) => {
+                let pdes = &mut self.stats.pdes;
+                match reason {
+                    PdesDecline::SingleSocket => pdes.declined_single_socket += 1,
+                    PdesDecline::FaultsArmed => pdes.declined_faults_armed += 1,
+                    PdesDecline::SchedulerOptOut => pdes.declined_scheduler_opt_out += 1,
+                    PdesDecline::TablesUnsettled => pdes.declined_tables_unsettled += 1,
+                    PdesDecline::MonitorAttached => pdes.declined_monitor_attached += 1,
+                    PdesDecline::CrossSocketPlacement => pdes.declined_cross_socket_placement += 1,
+                    PdesDecline::NoLookahead => pdes.declined_no_lookahead += 1,
+                }
+                return false;
+            }
+        };
+        if split.parts.len() != n_sockets {
+            debug_assert!(
+                false,
+                "pdes_split returned {} partitions for {n_sockets} sockets",
+                split.parts.len()
+            );
+            self.stats.pdes.declined_scheduler_opt_out += 1;
+            return false;
+        }
+        // Every vCPU the scheduler places must sit on its home socket —
+        // events for a vCPU route by home, so a cross-socket placement
+        // would put its dispatches in the wrong lane.
+        for (v, slot) in self.vcpus.iter().enumerate() {
+            let home_socket = self.machine.socket_of(slot.home);
+            if let Some(s) = split.vcpu_sockets.get(v).copied().flatten() {
+                if s != home_socket {
+                    self.stats.pdes.declined_cross_socket_placement += 1;
+                    return false;
+                }
+            }
+        }
+        let lookahead = self.machine.cross_ipi_latency();
+        if lookahead == Nanos::ZERO && !split.socket_local_ipis {
+            self.stats.pdes.declined_no_lookahead += 1;
+            return false;
+        }
+
+        // ---- Split: route the master queue and state into lanes.
+        let per = self.machine.cores_per_socket;
+        let mut seeds: Vec<Vec<(Nanos, u64, Event)>> = (0..n_sockets).map(|_| Vec::new()).collect();
+        while let Some((at, seq, event)) = self.events.pop() {
+            let s = self.event_socket(&event);
+            seeds[s].push((at, seq, event));
+        }
+        self.pending_other = 0;
+
+        let mut lanes: Vec<Sim> = Vec::with_capacity(n_sockets);
+        for (li, sched) in split.parts.into_iter().enumerate() {
+            let core_lo = li * per;
+            let core_hi = core_lo + per;
+            let mut vcpus: Vec<VcpuSlot> = Vec::with_capacity(self.vcpus.len());
+            for slot in self.vcpus.iter_mut() {
+                let home = slot.home;
+                if self.machine.socket_of(home) == li {
+                    // Owned: move the real slot into the lane (the master
+                    // keeps a parked placeholder until reassembly).
+                    vcpus.push(std::mem::replace(slot, parked_slot(home)));
+                } else {
+                    vcpus.push(parked_slot(home));
+                }
+            }
+            let mut lane = Sim {
+                machine: self.machine,
+                now: self.now,
+                seq: PROV_BASE,
+                kind: EngineKind::Partitioned,
+                events: EventQueue::new(EngineKind::Wheel),
+                pending_other: 0,
+                batch_cooldown: 0,
+                batch_bails: 0,
+                cores: self.cores.clone(),
+                vcpus,
+                flags: self.flags.clone(),
+                sched,
+                stats: SimStats::new(self.machine.n_cores()),
+                trace: TraceBuffer::spool_like(&self.trace),
+                faults: None,
+                stolen_until: self.stolen_until.clone(),
+                core_online: self.core_online.clone(),
+                events_processed: 0,
+                event_log: self.event_log.is_some().then(Vec::new),
+                started: true,
+                part: Some(Box::new(PartCtx {
+                    core_lo,
+                    core_hi,
+                    outboxes: (0..n_sockets).map(|_| Vec::new()).collect(),
+                    records: self.rec_pool.pop().unwrap_or_default(),
+                    staged: None,
+                    last_seq: PROV_BASE,
+                    last_spool: 0,
+                    observed: self.event_log.is_some() || self.trace.is_enabled(),
+                })),
+                rec_pool: Vec::new(),
+                gseq_pool: Vec::new(),
+            };
+            for (at, seq, event) in seeds[li].drain(..) {
+                if !matches!(event, Event::CoreTimer { .. }) {
+                    lane.pending_other += 1;
+                }
+                lane.events.push(at, seq, event);
+            }
+            lanes.push(lane);
+        }
+
+        // ---- Conservative window loop.
+        let socket_local = split.socket_local_ipis;
+        loop {
+            let w = lanes.iter_mut().filter_map(|l| l.events.peek_at()).min();
+            let Some(w) = w.filter(|&w| w <= end) else {
+                break;
+            };
+            // Socket-local IPIs mean lanes cannot affect each other at all
+            // inside this run: one window covers the whole horizon.
+            let limit = if socket_local {
+                end
+            } else {
+                end.min(w + lookahead - Nanos(1))
+            };
+            rayon::par_map_mut(&mut lanes, |_i, lane| lane.run_window(limit));
+            self.stats.pdes.windows_advanced += 1;
+            for lane in &lanes {
+                let part = lane.part.as_ref().expect("lane");
+                if part.records.is_empty() {
+                    self.stats.pdes.lookahead_stalls += 1;
+                }
+                assert!(
+                    !socket_local || part.outboxes.iter().all(|o| o.is_empty()),
+                    "scheduler declared socket-local IPIs but emitted a cross-socket event"
+                );
+            }
+            self.merge_boundary(&mut lanes);
+        }
+
+        // ---- Finish: reassemble the master from the lanes.
+        let mut parts: Vec<Box<dyn VmScheduler>> = Vec::with_capacity(n_sockets);
+        for (li, mut lane) in lanes.into_iter().enumerate() {
+            let mut part = lane.part.take().expect("lane");
+            debug_assert!(part.records.is_empty() && part.staged.is_none());
+            self.rec_pool.push(std::mem::take(&mut part.records));
+            while let Some((at, key, event)) = lane.events.pop() {
+                debug_assert!(key < PROV_BASE, "unresolved key survived the last boundary");
+                if !matches!(event, Event::CoreTimer { .. }) {
+                    self.pending_other += 1;
+                }
+                self.events.push(at, key, event);
+            }
+            for core in part.core_lo..part.core_hi {
+                self.cores[core] = lane.cores[core].clone();
+                self.stolen_until[core] = lane.stolen_until[core];
+                self.core_online[core] = lane.core_online[core];
+            }
+            for v in 0..self.vcpus.len() {
+                if self.machine.socket_of(self.vcpus[v].home) == li {
+                    std::mem::swap(&mut self.vcpus[v], &mut lane.vcpus[v]);
+                    self.flags[v] = lane.flags[v];
+                }
+            }
+            self.stats.absorb(&lane.stats);
+            self.events_processed += lane.events_processed;
+            parts.push(lane.sched);
+        }
+        self.sched.pdes_merge(&self.machine, parts);
+        self.stats.pdes.partitioned_runs += 1;
+        true
+    }
+
+    /// Window-boundary barrier: re-enacts the global handling order from
+    /// the lanes' per-event records, assigning master sequence numbers to
+    /// every push made this window (exactly the numbers the sequential
+    /// engine would have allocated), splicing event-log lines and trace
+    /// records in that order, then renumbering still-queued lane events
+    /// and delivering the cross-socket mailboxes.
+    fn merge_boundary(&mut self, lanes: &mut [Sim]) {
+        let n_lanes = lanes.len();
+        let log_on = self.event_log.is_some();
+        // Pull each lane's record and log streams out up front: the merge
+        // loop then walks plain local slices instead of re-borrowing
+        // through every lane's `part` box per iteration. The record
+        // vectors go back (cleared, capacity kept) in the renumber pass.
+        let mut recs: Vec<Vec<Rec>> = lanes
+            .iter_mut()
+            .map(|l| std::mem::take(&mut l.part.as_mut().expect("lane").records))
+            .collect();
+        let mut logs: Vec<std::vec::IntoIter<(Nanos, u64, String)>> = lanes
+            .iter_mut()
+            .map(|l| {
+                let fresh = l.event_log.is_some().then(Vec::new);
+                std::mem::replace(&mut l.event_log, fresh)
+                    .unwrap_or_default()
+                    .into_iter()
+            })
+            .collect();
+        // Each lane's allocation count is exact (`seq - PROV_BASE`), so the
+        // maps reserve once; retired maps come back from the pool.
+        let mut gseq: Vec<Vec<u64>> = Vec::with_capacity(n_lanes);
+        for lane in lanes.iter() {
+            let mut g = self.gseq_pool.pop().unwrap_or_default();
+            g.reserve((lane.seq - PROV_BASE) as usize);
+            gseq.push(g);
+        }
+        fn resolve(key: u64, gseq: &[u64]) -> u64 {
+            if key < PROV_BASE {
+                key
+            } else {
+                gseq[(key - PROV_BASE - 1) as usize]
+            }
+        }
+
+        // Merge cursors with *cached* resolved heads. A lane's head key
+        // always resolves against its own lane's `gseq`: the pusher's
+        // record sits strictly earlier in the same stream, so by the time
+        // a record becomes the head, every allocation it can reference is
+        // already numbered — recomputing the cache only after consuming
+        // from that lane is sound.
+        let mut idx = vec![0usize; n_lanes];
+        let mut spool = vec![0usize; n_lanes];
+        let mut head: Vec<Option<(Nanos, u64)>> = recs
+            .iter()
+            .map(|r| r.first().map(|rec| (rec.at, resolve(rec.key, &[]))))
+            .collect();
+        loop {
+            // Head record with the globally smallest (time, resolved seq).
+            let mut best: Option<(Nanos, u64, usize)> = None;
+            for (li, h) in head.iter().enumerate() {
+                if let Some((at, rk)) = *h {
+                    if best.is_none_or(|(bat, bk, _)| (at, rk) < (bat, bk)) {
+                        best = Some((at, rk, li));
+                    }
+                }
+            }
+            let Some((at, rk, li)) = best else {
+                break;
+            };
+            let rec = recs[li][idx[li]];
+            idx[li] += 1;
+            // Master seqs for this record's pushes, in allocation order —
+            // exactly when the sequential engine would have allocated them.
+            let base = self.seq;
+            gseq[li].extend(base + 1..=base + rec.pushes as u64);
+            self.seq = base + rec.pushes as u64;
+            if log_on {
+                if let Some(line) = logs[li].next() {
+                    debug_assert_eq!(line.0, at);
+                    if let Some(log) = &mut self.event_log {
+                        log.push((at, rk, line.2));
+                    }
+                }
+            }
+            if rec.traces > 0 {
+                let end = spool[li] + rec.traces as usize;
+                for i in spool[li]..end {
+                    let r = lanes[li].trace.spooled()[i];
+                    self.trace.absorb_record(r);
+                }
+                spool[li] = end;
+            }
+            head[li] = recs[li]
+                .get(idx[li])
+                .map(|r| (r.at, resolve(r.key, &gseq[li])));
+        }
+
+        // Renumber still-queued lane events (provisional keys get their
+        // assigned master seqs) and resolve the outboxes.
+        let mut deliveries: Vec<(usize, Nanos, u64, Event)> = Vec::new();
+        for (li, lane) in lanes.iter_mut().enumerate() {
+            debug_assert_eq!((lane.seq - PROV_BASE) as usize, gseq[li].len());
+            if lane.seq != PROV_BASE {
+                let mut held: Vec<(Nanos, u64, Event)> = Vec::new();
+                while let Some(e) = lane.events.pop() {
+                    held.push(e);
+                }
+                for (at, key, event) in held {
+                    lane.events.push(at, resolve(key, &gseq[li]), event);
+                }
+            }
+            lane.seq = PROV_BASE;
+            let part = lane.part.as_mut().expect("lane");
+            let mut records = std::mem::take(&mut recs[li]);
+            records.clear();
+            part.records = records;
+            part.last_seq = PROV_BASE;
+            part.last_spool = 0;
+            for target in 0..n_lanes {
+                for (at, key, event) in part.outboxes[target].drain(..) {
+                    deliveries.push((target, at, resolve(key, &gseq[li]), event));
+                }
+            }
+            lane.trace.clear();
+        }
+        for (target, at, key, event) in deliveries {
+            let lane = &mut lanes[target];
+            if !matches!(event, Event::CoreTimer { .. }) {
+                lane.pending_other += 1;
+            }
+            lane.events.push(at, key, event);
+            self.stats.pdes.mailbox_events += 1;
+        }
+        for mut g in gseq {
+            g.clear();
+            self.gseq_pool.push(g);
+        }
     }
 
     /// Advances a dense phase in a batched inner loop.
@@ -629,17 +1204,24 @@ impl Sim {
             };
             let cap = end.min(first.max(self.now) + WINDOW_CAP);
 
-            // Ask the scheduler for every core's decision window up front;
-            // any core declining aborts the attempt before any state
-            // changes.
+            // Ask the scheduler for every owned core's decision window up
+            // front (all cores sequentially; the partition's range in lane
+            // mode); any core declining aborts the attempt before any
+            // state changes.
+            let (lo, hi) = self
+                .part
+                .as_ref()
+                .map_or((0, n), |p| (p.core_lo, p.core_hi));
             costs.clear();
-            for (core, out) in windows.iter_mut().enumerate() {
+            costs.resize(n, DenseCosts::default());
+            for core in lo..hi {
+                let out = &mut windows[core];
                 out.clear();
                 let view = VcpuView {
                     runnable: &self.flags,
                 };
                 match self.sched.dense_window(core, self.now, cap, view, out) {
-                    Some(c) => costs.push(c),
+                    Some(c) => costs[core] = c,
                     None => {
                         self.dense_restore(&pending);
                         self.stats.batch.fallback_window += 1;
@@ -680,6 +1262,9 @@ impl Sim {
                 self.now = at;
                 self.events_processed += 1;
                 batched += 1;
+                if self.part.is_some() {
+                    self.note_handled(at, seq);
+                }
                 if let Some(log) = &mut self.event_log {
                     log.push((at, seq, format!("{:?}", Event::CoreTimer { core, gen })));
                 }
@@ -1187,13 +1772,16 @@ impl Sim {
         let plan = self.sched.on_descheduled(vcpu, core, ran, self.now);
         self.stats.ops.record(OpKind::Deschedule, plan.cost);
         self.cores[core].pending_overhead += plan.cost;
-        self.send_ipis(&plan.ipi_cores);
+        self.send_ipis(core, &plan.ipi_cores);
         self.cores[core].running = None;
     }
 
-    fn send_ipis(&mut self, targets: &[usize]) {
+    /// Sends re-schedule IPIs from `src` to every target, charging the
+    /// intra- or cross-socket latency per hop (see
+    /// [`Machine::ipi_latency_between`]).
+    fn send_ipis(&mut self, src: usize, targets: &[usize]) {
         for &t in targets {
-            let mut latency = self.machine.ipi_latency;
+            let mut latency = self.machine.ipi_latency_between(src, t);
             if let Some(f) = &mut self.faults {
                 match f.ipi_fate() {
                     IpiFate::Deliver => {}
@@ -1257,7 +1845,7 @@ impl Sim {
         let plan = self.sched.on_descheduled(vcpu, core, ran, self.now);
         self.stats.ops.record(OpKind::Deschedule, plan.cost);
         self.cores[core].pending_overhead += plan.cost;
-        self.send_ipis(&plan.ipi_cores);
+        self.send_ipis(core, &plan.ipi_cores);
     }
 
     /// Full scheduling pass on `core`: stop the incumbent, ask the
@@ -1403,9 +1991,19 @@ impl Sim {
         // that will act on it); with no target the cost is charged nowhere
         // — the wake-up was absorbed by state alone.
         if let Some(&first) = plan.ipi_cores.first() {
+            // In lane mode the cost must land on an owned core — wake
+            // events route to the home socket, and partition-capable
+            // schedulers keep wake IPI targets on the waker's socket.
+            debug_assert!(
+                self.part
+                    .as_ref()
+                    .is_none_or(|p| (p.core_lo..p.core_hi).contains(&first)),
+                "wake IPI cost target {first} outside the partition"
+            );
             self.cores[first].pending_overhead += plan.cost;
         }
-        self.send_ipis(&plan.ipi_cores);
+        let home = self.vcpus[vcpu.0 as usize].home;
+        self.send_ipis(home, &plan.ipi_cores);
     }
 }
 

@@ -9,8 +9,9 @@
 //! serialize as their inner value), unit structs, and enums with unit,
 //! tuple and struct variants (externally tagged, matching serde's default).
 //! Supported attributes: `#[serde(transparent)]` on containers,
-//! `#[serde(default)]`, `#[serde(default = "path")]` and
-//! `#[serde(flatten)]` on named fields. Generic types are not supported.
+//! `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(skip_serializing_if = "path")]` and `#[serde(flatten)]` on
+//! named fields. Generic types are not supported.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -21,6 +22,8 @@ struct FieldAttrs {
     /// `Some(None)` for `#[serde(default)]`, `Some(Some(path))` for
     /// `#[serde(default = "path")]`.
     default: Option<Option<String>>,
+    /// `Some(path)` for `#[serde(skip_serializing_if = "path")]`.
+    skip_if: Option<String>,
     flatten: bool,
 }
 
@@ -148,6 +151,18 @@ impl Cursor {
                         } else {
                             attrs.default = Some(None);
                         }
+                    }
+                    "skip_serializing_if" => {
+                        if !a.eat_punct('=') {
+                            panic!("serde_derive: expected = after skip_serializing_if");
+                        }
+                        let lit = match a.next() {
+                            Some(TokenTree::Literal(l)) => l.to_string(),
+                            other => panic!(
+                                "serde_derive: expected \"path\" after skip_serializing_if =, got {other:?}"
+                            ),
+                        };
+                        attrs.skip_if = Some(lit.trim_matches('"').to_string());
                     }
                     // Unknown flags (rename, skip, ...) are not used in this
                     // workspace; fail loudly rather than mis-serializing.
@@ -299,6 +314,14 @@ fn gen_serialize(item: &Item) -> String {
                             "match ::serde::Serialize::to_value(&self.{n}) {{\n\
                              ::serde::Value::Map(__inner) => __m.extend(__inner),\n\
                              __other => __m.push((::std::string::String::from(\"{n}\"), __other)),\n\
+                             }}\n",
+                            n = f.name
+                        ));
+                    } else if let Some(skip) = &f.attrs.skip_if {
+                        s.push_str(&format!(
+                            "if !{skip}(&self.{n}) {{\n\
+                             __m.push((::std::string::String::from(\"{n}\"), \
+                             ::serde::Serialize::to_value(&self.{n})));\n\
                              }}\n",
                             n = f.name
                         ));
